@@ -1,0 +1,177 @@
+(* zmail-sim: command-line front end for the Zmail reproduction.
+
+   Subcommands:
+     experiment   run one reproduction experiment (or all of them)
+     demo         simulate a small Zmail world and print a summary
+     explore      exhaustively check the Section-4 protocol spec
+     claims       list the paper claims each experiment reproduces *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Seed for all randomness (experiments are deterministic per seed)." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let verbosity_arg =
+  let doc = "Log protocol events ($(docv) = info or debug)." in
+  Arg.(value & opt (some string) None & info [ "log" ] ~docv:"LEVEL" ~doc)
+
+let setup_logs level =
+  match level with
+  | None -> ()
+  | Some name ->
+      let level =
+        match String.lowercase_ascii name with
+        | "debug" -> Logs.Debug
+        | "info" -> Logs.Info
+        | _ -> Logs.Warning
+      in
+      Logs.set_reporter (Logs_fmt.reporter ());
+      Logs.set_level (Some level)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id: e1..e11, or 'all'." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let run id seed =
+    if String.lowercase_ascii id = "all" then begin
+      Harness.Experiments.run_all ~seed ();
+      Ok ()
+    end
+    else Harness.Experiments.run_one ~seed id
+  in
+  let term = Term.(term_result' (const run $ id_arg $ seed_arg)) in
+  let doc = "Run a reproduction experiment and print its table(s)" in
+  Cmd.v (Cmd.info "experiment" ~doc) term
+
+(* ------------------------------------------------------------------ *)
+(* demo                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let demo n_isps users days spammers seed log_level =
+  setup_logs log_level;
+  let world =
+    Zmail.World.create
+      { (Zmail.World.default_config ~n_isps ~users_per_isp:users) with
+        Zmail.World.seed;
+        audit_period = Some (12. *. Sim.Engine.hour) }
+  in
+  Zmail.World.attach_user_traffic world ();
+  for k = 0 to spammers - 1 do
+    Zmail.World.attach_bulk_sender world ~isp:(k mod n_isps) ~user:0 ~per_day:2000. ()
+  done;
+  Format.printf "Simulating %d ISPs x %d users for %g days (%d bulk senders)...@."
+    n_isps users days spammers;
+  Zmail.World.run_days world days;
+  let c = Zmail.World.counters world in
+  let table =
+    Sim.Table.create ~title:"demo: world summary"
+      ~columns:[ "metric"; "value" ]
+  in
+  let add name v = Sim.Table.add_row table [ name; v ] in
+  add "legitimate mail delivered" (Sim.Table.cell_int c.Zmail.World.ham_delivered);
+  add "spam delivered" (Sim.Table.cell_int c.Zmail.World.spam_delivered);
+  add "sends blocked (no e-pennies)" (Sim.Table.cell_int c.Zmail.World.blocked_balance);
+  add "sends blocked (daily limit)" (Sim.Table.cell_int c.Zmail.World.blocked_limit);
+  add "limit warnings (zombie alarms)" (Sim.Table.cell_int c.Zmail.World.limit_warnings);
+  add "sends buffered by audits" (Sim.Table.cell_int c.Zmail.World.deferred_sends);
+  add "audits completed"
+    (Sim.Table.cell_int (List.length (Zmail.World.audit_results world)));
+  add "audit violations"
+    (Sim.Table.cell_int
+       (List.fold_left
+          (fun acc r -> acc + List.length r.Zmail.Bank.violations)
+          0 (Zmail.World.audit_results world)));
+  let bank_stats = Zmail.Bank.stats (Zmail.World.bank world) in
+  add "bank e-penny sales (buys)" (Sim.Table.cell_int bank_stats.Zmail.Bank.buys);
+  add "bank buy-backs (sells)" (Sim.Table.cell_int bank_stats.Zmail.Bank.sells);
+  add "outstanding e-pennies"
+    (Sim.Table.cell_int (Zmail.Bank.outstanding_epennies (Zmail.World.bank world)));
+  Sim.Table.print table
+
+let demo_cmd =
+  let isps = Arg.(value & opt int 3 & info [ "isps" ] ~docv:"N" ~doc:"Number of ISPs.") in
+  let users =
+    Arg.(value & opt int 50 & info [ "users" ] ~docv:"N" ~doc:"Users per ISP.")
+  in
+  let days = Arg.(value & opt float 2. & info [ "days" ] ~docv:"D" ~doc:"Simulated days.") in
+  let spammers =
+    Arg.(value & opt int 1 & info [ "spammers" ] ~docv:"N" ~doc:"Bulk senders to attach.")
+  in
+  let term =
+    Term.(const demo $ isps $ users $ days $ spammers $ seed_arg $ verbosity_arg)
+  in
+  let doc = "Simulate a Zmail world and print a summary" in
+  Cmd.v (Cmd.info "demo" ~doc) term
+
+(* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explore literal max_states =
+  let cfg =
+    { Zmail.Ap_spec.default_config with
+      Zmail.Ap_spec.snapshot =
+        (if literal then Zmail.Ap_spec.Paper_literal else Zmail.Ap_spec.Two_phase) }
+  in
+  Format.printf
+    "Exploring the Section-4 protocol (2 ISPs x 2 users, 1 audit, %s snapshot rule)...@."
+    (if literal then "paper-literal" else "two-phase");
+  match
+    Apn.Explore.run ~max_states ~invariant:(Zmail.Ap_spec.all_invariants cfg)
+      (Zmail.Ap_spec.build cfg)
+  with
+  | Apn.Explore.Exhausted { visited } ->
+      Format.printf
+        "All %d reachable states satisfy conservation, limit, freeze-consistency \
+         and audit-cleanliness.@."
+        visited
+  | Apn.Explore.Bounded { visited } ->
+      Format.printf "No violation in the %d states explored (bounded).@." visited
+  | Apn.Explore.Violation { trace; detail; _ } ->
+      Format.printf "VIOLATION: %s@.witness interleaving:@." detail;
+      List.iter (fun step -> Format.printf "  %s@." step) trace
+
+let explore_cmd =
+  let literal =
+    Arg.(
+      value & flag
+      & info [ "literal" ]
+          ~doc:
+            "Use the paper's literal snapshot rule (exhibits the \
+             false-accusation race) instead of the sound two-phase variant.")
+  in
+  let max_states =
+    Arg.(value & opt int 200_000 & info [ "max-states" ] ~docv:"N" ~doc:"State budget.")
+  in
+  let term = Term.(const explore $ literal $ max_states) in
+  let doc = "Exhaustively model-check the Section-4 Abstract Protocol spec" in
+  Cmd.v (Cmd.info "explore" ~doc) term
+
+(* ------------------------------------------------------------------ *)
+(* claims                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let claims () =
+  List.iter
+    (fun e ->
+      Format.printf "%-4s %s@.     %s@.@."
+        (String.uppercase_ascii e.Harness.Experiments.id)
+        e.Harness.Experiments.title e.Harness.Experiments.claim)
+    Harness.Experiments.all
+
+let claims_cmd =
+  let doc = "List the paper claims each experiment reproduces" in
+  Cmd.v (Cmd.info "claims" ~doc) Term.(const claims $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Zmail: zero-sum free market control of spam (ICDCS 2005) — reproduction" in
+  let info = Cmd.info "zmail-sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ experiment_cmd; demo_cmd; explore_cmd; claims_cmd ]))

@@ -1,0 +1,1 @@
+examples/incremental_deployment.ml: Econ Format List Sim String

@@ -1,0 +1,1 @@
+examples/mailing_list_day.ml: Format List Printf Smtp Zmail

@@ -1,0 +1,1 @@
+examples/spam_economics.ml: Econ Format List Sim

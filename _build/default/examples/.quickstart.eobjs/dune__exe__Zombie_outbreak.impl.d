@@ -1,0 +1,1 @@
+examples/zombie_outbreak.ml: Econ Float Format List Printf Sim Zmail

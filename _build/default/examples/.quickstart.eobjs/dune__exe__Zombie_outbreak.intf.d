@@ -1,0 +1,1 @@
+examples/zombie_outbreak.mli:

@@ -1,0 +1,33 @@
+(* Incremental deployment: from two compliant ISPs to the whole network
+   (paper §1.3 and §5).
+
+   Run with: dune exec examples/incremental_deployment.exe *)
+
+let () =
+  let rng = Sim.Rng.create 7 in
+  let params = Econ.Adoption.default_params in
+  let series = Econ.Adoption.simulate rng params in
+  Format.printf
+    "Twenty ISPs, two of them Zmail-compliant on day 0.  Users at hold-out \
+     ISPs see %.0f spam/day; compliant users see %.1f.@.@."
+    params.Econ.Adoption.spam_per_user_day
+    (params.Econ.Adoption.spam_per_user_day
+    *. (1. -. params.Econ.Adoption.compliant_spam_suppression));
+  Format.printf "day | compliant ISPs | users behind compliant ISPs@.";
+  List.iter
+    (fun p ->
+      if p.Econ.Adoption.day mod 20 = 0 then begin
+        let bar =
+          String.make p.Econ.Adoption.compliant_isps '#'
+          ^ String.make (params.Econ.Adoption.n_isps - p.Econ.Adoption.compliant_isps) '.'
+        in
+        Format.printf "%3d | %s | %5.1f%%@." p.Econ.Adoption.day bar
+          (100. *. p.Econ.Adoption.compliant_user_share)
+      end)
+    series;
+  (match Econ.Adoption.days_to_majority ~total_isps:params.Econ.Adoption.n_isps series with
+  | Some day -> Format.printf "@.A majority of ISPs is compliant by day %d.@." day
+  | None -> Format.printf "@.No majority within the horizon.@.");
+  Format.printf
+    "The feedback loop: users flee spam toward compliant ISPs, and losing \
+     users pushes the remaining ISPs over their adoption thresholds.@."

@@ -1,0 +1,50 @@
+(* A day in the life of a mailing list under Zmail (paper §5).
+
+   The distributor pays one e-penny per subscriber per post; receiving
+   ISPs answer with automatic acknowledgment emails that return the
+   e-penny — and double as liveness probes that keep the roster clean.
+
+   Run with: dune exec examples/mailing_list_day.exe *)
+
+let () =
+  (* ISP 2 is non-compliant: subscribers there behave like dead
+     addresses (their ISP never generates acknowledgments). *)
+  let world =
+    Zmail.World.create
+      { (Zmail.World.default_config ~n_isps:3 ~users_per_isp:20) with
+        Zmail.World.compliant = [| true; true; false |];
+        customize_isp = (fun _ c -> { c with Zmail.Isp.initial_balance = 500 }) }
+  in
+  let list = Zmail.World.host_list world ~isp:0 ~user:0 ~list_id:"caml-list" in
+
+  (* 12 live subscribers across the compliant ISPs, 3 dead ones. *)
+  for k = 1 to 6 do
+    Zmail.Listserv.subscribe list (Zmail.World.address world ~isp:0 ~user:k);
+    Zmail.Listserv.subscribe list (Zmail.World.address world ~isp:1 ~user:k)
+  done;
+  for k = 0 to 2 do
+    Zmail.Listserv.subscribe list (Zmail.World.address world ~isp:2 ~user:k)
+  done;
+  Format.printf "caml-list has %d subscribers (3 of them dead).@.@."
+    (Zmail.Listserv.subscriber_count list);
+
+  let post n =
+    let sent = Zmail.World.post_to_list world list ~body:(Printf.sprintf "Digest #%d" n) in
+    Zmail.World.run_days world 0.02;
+    Zmail.Listserv.note_post_complete list;
+    Format.printf
+      "post #%d: %2d copies sent, %2d e-pennies refunded so far, net cost %d@."
+      n sent
+      (Zmail.Listserv.epennies_refunded list)
+      (Zmail.Listserv.net_cost list)
+  in
+  post 1;
+  post 2;
+  post 3;
+
+  (* After three silent posts, the dead addresses are pruned. *)
+  let removed = Zmail.Listserv.prune list ~max_missed:3 in
+  Format.printf "@.Pruned %d dead subscribers:@." (List.length removed);
+  List.iter (fun a -> Format.printf "  %s@." (Smtp.Address.to_string a)) removed;
+  Format.printf "Roster is down to %d live readers; every further post is net-free.@."
+    (Zmail.Listserv.subscriber_count list)

@@ -1,0 +1,43 @@
+(* Quickstart: two compliant ISPs, one e-penny per message.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A world with two compliant ISPs, three users each. *)
+  let world =
+    Zmail.World.create (Zmail.World.default_config ~n_isps:2 ~users_per_isp:3)
+  in
+  let balance isp user =
+    Zmail.Ledger.balance (Zmail.Isp.ledger (Zmail.World.isp world isp)) ~user
+  in
+  Format.printf "alice@@isp0 starts with %d e-pennies; bob@@isp1 with %d.@."
+    (balance 0 0) (balance 1 0);
+
+  (* Alice mails Bob.  Under the hood: her ISP charges one e-penny,
+     stamps the X-Zmail-Payment header, opens an SMTP session to Bob's
+     ISP, and Bob's ISP credits him on delivery. *)
+  (match
+     Zmail.World.send_email world ~from:(0, 0) ~to_:(1, 0)
+       ~subject:"lunch tomorrow?" ~body:"Noon at the usual place." ()
+   with
+  | Zmail.World.Submitted `Paid -> Format.printf "Message submitted (paid).@."
+  | _ -> assert false);
+  Zmail.World.run_until_quiet world;
+
+  Format.printf "After delivery: alice has %d, bob has %d.@." (balance 0 0)
+    (balance 1 0);
+
+  (* Bob's inbox holds the real RFC-822-style message. *)
+  let inbox =
+    Smtp.Mailbox.messages
+      (Smtp.Mta.mailboxes (Zmail.World.mta world 1))
+      (Zmail.World.address world ~isp:1 ~user:0)
+  in
+  (match inbox with
+  | [ message ] ->
+      Format.printf "Bob's inbox:@.%s@." (Smtp.Message.to_string message)
+  | _ -> assert false);
+
+  (* Zero-sum: no e-penny was created or destroyed. *)
+  assert (Zmail.World.conservation_holds world);
+  Format.printf "Conservation invariant holds: the e-penny moved, nothing more.@."

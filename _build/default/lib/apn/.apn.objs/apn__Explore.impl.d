@@ -1,0 +1,1 @@
+lib/apn/explore.ml: Array Hashtbl List Printf Queue Spec

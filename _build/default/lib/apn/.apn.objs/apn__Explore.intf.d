@@ -1,0 +1,1 @@
+lib/apn/explore.mli: Spec

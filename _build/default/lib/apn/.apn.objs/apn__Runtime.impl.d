@@ -1,0 +1,1 @@
+lib/apn/runtime.ml: Array List Queue Sim Spec

@@ -1,0 +1,1 @@
+lib/apn/runtime.mli: Spec

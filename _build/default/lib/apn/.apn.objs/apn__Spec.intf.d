@@ -1,0 +1,1 @@
+lib/apn/spec.mli:

@@ -1,0 +1,115 @@
+type ('s, 'm) global = {
+  states : 's array;
+  chans : 'm list array array;
+}
+
+type ('s, 'm) outcome =
+  | Exhausted of { visited : int }
+  | Bounded of { visited : int }
+  | Violation of { trace : string list; state : ('s, 'm) global; detail : string }
+
+let initial spec =
+  Spec.validate spec;
+  let n = Array.length spec in
+  {
+    states = Array.map (fun (p : ('s, 'm) Spec.process) -> p.init) spec;
+    chans = Array.make_matrix n n [];
+  }
+
+let copy_chans chans = Array.map Array.copy chans
+
+let with_state g pid s =
+  let states = Array.copy g.states in
+  states.(pid) <- s;
+  { g with states }
+
+let enqueue_sends g src sends =
+  let chans = copy_chans g.chans in
+  List.iter (fun (dst, m) -> chans.(src).(dst) <- chans.(src).(dst) @ [ m ]) sends;
+  { g with chans }
+
+let view_of g : ('s, 'm) Spec.view =
+  {
+    outgoing_empty = (fun p -> Array.for_all (fun c -> c = []) g.chans.(p));
+    channel = (fun ~src ~dst -> g.chans.(src).(dst));
+    state_of = (fun p -> g.states.(p));
+  }
+
+let successors spec g =
+  let n = Array.length spec in
+  let next = ref [] in
+  let emit name g' = next := (name, g') :: !next in
+  let global_view = view_of g in
+  for p = 0 to n - 1 do
+    let tag name = Printf.sprintf "%d:%s" p name in
+    List.iter
+      (fun action ->
+        match (action : ('s, 'm) Spec.action) with
+        | Spec.Local { name; enabled; apply } ->
+            if enabled g.states.(p) then begin
+              let s', sends = apply g.states.(p) in
+              emit (tag name) (enqueue_sends (with_state g p s') p sends)
+            end
+        | Spec.Timeout { name; enabled; apply } ->
+            if enabled global_view g.states.(p) then begin
+              let s', sends = apply g.states.(p) in
+              emit (tag name) (enqueue_sends (with_state g p s') p sends)
+            end
+        | Spec.Receive { name; accepts; apply } ->
+            for src = 0 to n - 1 do
+              match g.chans.(src).(p) with
+              | m :: rest when accepts ~src m ->
+                  let s', sends = apply g.states.(p) ~src m in
+                  let g' = with_state g p s' in
+                  let chans = copy_chans g'.chans in
+                  chans.(src).(p) <- rest;
+                  let g' = enqueue_sends { g' with chans } p sends in
+                  emit (tag (Printf.sprintf "%s<-%d" name src)) g'
+              | _ :: _ | [] -> ()
+            done)
+      spec.(p).Spec.actions
+  done;
+  List.rev !next
+
+let run ?(max_states = 100_000) ?max_depth ~invariant spec =
+  let start = initial spec in
+  let visited = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let depth_ok depth =
+    match max_depth with None -> true | Some d -> depth < d
+  in
+  let truncated = ref false in
+  let check g trace =
+    match invariant g with
+    | Ok () -> None
+    | Error detail -> Some (Violation { trace = List.rev trace; state = g; detail })
+  in
+  match check start [] with
+  | Some v -> v
+  | None ->
+      Hashtbl.replace visited start ();
+      Queue.push (start, 0, []) queue;
+      let result = ref None in
+      while !result = None && not (Queue.is_empty queue) do
+        let g, depth, trace = Queue.pop queue in
+        if depth_ok depth then
+          List.iter
+            (fun (name, g') ->
+              if !result = None && not (Hashtbl.mem visited g') then begin
+                match check g' (name :: trace) with
+                | Some v -> result := Some v
+                | None ->
+                    if Hashtbl.length visited >= max_states then truncated := true
+                    else begin
+                      Hashtbl.replace visited g' ();
+                      Queue.push (g', depth + 1, name :: trace) queue
+                    end
+              end)
+            (successors spec g)
+        else truncated := true
+      done;
+      (match !result with
+      | Some v -> v
+      | None ->
+          let visited = Hashtbl.length visited in
+          if !truncated then Bounded { visited } else Exhausted { visited })

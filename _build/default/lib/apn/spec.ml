@@ -1,0 +1,50 @@
+type pid = int
+
+type ('s, 'm) view = {
+  outgoing_empty : pid -> bool;
+  channel : src:pid -> dst:pid -> 'm list;
+  state_of : pid -> 's;
+}
+
+type ('s, 'm) effect = 's * (pid * 'm) list
+
+type ('s, 'm) action =
+  | Local of {
+      name : string;
+      enabled : 's -> bool;
+      apply : 's -> ('s, 'm) effect;
+    }
+  | Receive of {
+      name : string;
+      accepts : src:pid -> 'm -> bool;
+      apply : 's -> src:pid -> 'm -> ('s, 'm) effect;
+    }
+  | Timeout of {
+      name : string;
+      enabled : ('s, 'm) view -> 's -> bool;
+      apply : 's -> ('s, 'm) effect;
+    }
+
+let local ~name ~enabled ~apply = Local { name; enabled; apply }
+let receive ~name ~accepts ~apply = Receive { name; accepts; apply }
+let timeout ~name ~enabled ~apply = Timeout { name; enabled; apply }
+
+let action_name = function
+  | Local { name; _ } | Receive { name; _ } | Timeout { name; _ } -> name
+
+type ('s, 'm) process = {
+  pid : pid;
+  init : 's;
+  actions : ('s, 'm) action list;
+}
+
+type ('s, 'm) protocol = ('s, 'm) process array
+
+let validate protocol =
+  if Array.length protocol = 0 then invalid_arg "Spec.validate: empty protocol";
+  Array.iteri
+    (fun i p ->
+      if p.pid <> i then
+        invalid_arg
+          (Printf.sprintf "Spec.validate: process at index %d has pid %d" i p.pid))
+    protocol

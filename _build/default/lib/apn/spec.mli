@@ -1,0 +1,88 @@
+(** Abstract Protocol notation (Gouda, {e Elements of Network Protocol
+    Design}): protocol specifications as guarded-action processes.
+
+    A protocol is a fixed array of processes connected by one FIFO
+    channel per ordered pair.  Each process has a set of actions of the
+    three forms the notation allows:
+
+    - {e local} — guard is a predicate over the process's own state;
+    - {e receive} — guard is "the head of some incoming channel is a
+      message this action accepts"; executing it consumes that message;
+    - {e timeout} — guard may read a restricted global view (the paper
+      only ever needs "all my outgoing channels are empty", which is the
+      operational meaning of its 10-minute snapshot timeout).
+
+    Executing an action atomically updates the process state and sends
+    messages.  The paper's [par] keyword (a finite family of actions,
+    one per parameter value) is expressed by generating one action per
+    parameter value; {!local} etc. are plain constructors so this is
+    ordinary list building.
+
+    The state type ['s] and message type ['m] must be immutable,
+    structurally comparable values: the explorer uses them as hash-table
+    keys. *)
+
+type pid = int
+(** Process identifier, an index into the protocol's process array. *)
+
+type ('s, 'm) view = {
+  outgoing_empty : pid -> bool;
+      (** [outgoing_empty p] is [true] when every channel {e from} [p]
+          is empty. *)
+  channel : src:pid -> dst:pid -> 'm list;
+      (** Contents of a channel, head first. *)
+  state_of : pid -> 's;  (** Peek at another process's state. *)
+}
+(** The restricted global view available to timeout guards. *)
+
+type ('s, 'm) effect = 's * (pid * 'm) list
+(** Result of executing an action: the new state and the messages to
+    send, as [(destination, message)] pairs, sent in list order. *)
+
+type ('s, 'm) action = private
+  | Local of {
+      name : string;
+      enabled : 's -> bool;
+      apply : 's -> ('s, 'm) effect;
+    }
+  | Receive of {
+      name : string;
+      accepts : src:pid -> 'm -> bool;
+      apply : 's -> src:pid -> 'm -> ('s, 'm) effect;
+    }
+  | Timeout of {
+      name : string;
+      enabled : ('s, 'm) view -> 's -> bool;
+      apply : 's -> ('s, 'm) effect;
+    }
+
+val local :
+  name:string -> enabled:('s -> bool) -> apply:('s -> ('s, 'm) effect) ->
+  ('s, 'm) action
+
+val receive :
+  name:string ->
+  accepts:(src:pid -> 'm -> bool) ->
+  apply:('s -> src:pid -> 'm -> ('s, 'm) effect) ->
+  ('s, 'm) action
+
+val timeout :
+  name:string ->
+  enabled:(('s, 'm) view -> 's -> bool) ->
+  apply:('s -> ('s, 'm) effect) ->
+  ('s, 'm) action
+
+val action_name : ('s, 'm) action -> string
+
+type ('s, 'm) process = {
+  pid : pid;
+  init : 's;
+  actions : ('s, 'm) action list;
+}
+
+type ('s, 'm) protocol = ('s, 'm) process array
+(** Processes must be stored at index [pid]; {!validate} checks this. *)
+
+val validate : ('s, 'm) protocol -> unit
+(** @raise Invalid_argument if process ids do not match their indices
+    or the protocol is empty. *)

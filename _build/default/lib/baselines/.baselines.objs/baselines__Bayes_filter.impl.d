@@ -1,0 +1,1 @@
+lib/baselines/bayes_filter.ml: Econ Float Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/baselines/bayes_filter.mli: Econ

@@ -1,0 +1,1 @@
+lib/baselines/hashcash.ml: Int64 Sim Toycrypto

@@ -1,0 +1,1 @@
+lib/baselines/hashcash.mli: Sim

@@ -1,0 +1,102 @@
+type t = {
+  spam_tokens : (string, int) Hashtbl.t;
+  ham_tokens : (string, int) Hashtbl.t;
+  mutable spam_docs : int;
+  mutable ham_docs : int;
+  mutable spam_token_total : int;
+  mutable ham_token_total : int;
+}
+
+let create () =
+  {
+    spam_tokens = Hashtbl.create 256;
+    ham_tokens = Hashtbl.create 256;
+    spam_docs = 0;
+    ham_docs = 0;
+    spam_token_total = 0;
+    ham_token_total = 0;
+  }
+
+let bump table token =
+  Hashtbl.replace table token (1 + Option.value ~default:0 (Hashtbl.find_opt table token))
+
+let train t (doc : Econ.Corpus.document) =
+  match doc.label with
+  | Econ.Corpus.Spam ->
+      t.spam_docs <- t.spam_docs + 1;
+      List.iter
+        (fun tok ->
+          bump t.spam_tokens tok;
+          t.spam_token_total <- t.spam_token_total + 1)
+        doc.tokens
+  | Econ.Corpus.Ham ->
+      t.ham_docs <- t.ham_docs + 1;
+      List.iter
+        (fun tok ->
+          bump t.ham_tokens tok;
+          t.ham_token_total <- t.ham_token_total + 1)
+        doc.tokens
+
+let train_all t docs = List.iter (train t) docs
+
+let vocabulary_size t =
+  let seen = Hashtbl.create 256 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace seen k ()) t.spam_tokens;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace seen k ()) t.ham_tokens;
+  Hashtbl.length seen
+
+let spam_probability t tokens =
+  if t.spam_docs = 0 || t.ham_docs = 0 then 0.5
+  else begin
+    let vocab = float_of_int (max 1 (vocabulary_size t)) in
+    let log_likelihood table total token =
+      let count = Option.value ~default:0 (Hashtbl.find_opt table token) in
+      log ((float_of_int count +. 1.) /. (float_of_int total +. vocab))
+    in
+    let docs = float_of_int (t.spam_docs + t.ham_docs) in
+    let log_spam = ref (log (float_of_int t.spam_docs /. docs)) in
+    let log_ham = ref (log (float_of_int t.ham_docs /. docs)) in
+    List.iter
+      (fun tok ->
+        log_spam := !log_spam +. log_likelihood t.spam_tokens t.spam_token_total tok;
+        log_ham := !log_ham +. log_likelihood t.ham_tokens t.ham_token_total tok)
+      tokens;
+    (* Convert the two log scores to a posterior without overflow. *)
+    let m = Float.max !log_spam !log_ham in
+    let es = exp (!log_spam -. m) and eh = exp (!log_ham -. m) in
+    es /. (es +. eh)
+  end
+
+let classify ?(threshold = 0.9) t tokens =
+  if spam_probability t tokens >= threshold then Econ.Corpus.Spam else Econ.Corpus.Ham
+
+type evaluation = {
+  true_positives : int;
+  false_positives : int;
+  true_negatives : int;
+  false_negatives : int;
+}
+
+let evaluate ?threshold t docs =
+  List.fold_left
+    (fun acc (doc : Econ.Corpus.document) ->
+      let predicted = classify ?threshold t doc.tokens in
+      match (doc.label, predicted) with
+      | Econ.Corpus.Spam, Econ.Corpus.Spam ->
+          { acc with true_positives = acc.true_positives + 1 }
+      | Econ.Corpus.Ham, Econ.Corpus.Spam ->
+          { acc with false_positives = acc.false_positives + 1 }
+      | Econ.Corpus.Ham, Econ.Corpus.Ham ->
+          { acc with true_negatives = acc.true_negatives + 1 }
+      | Econ.Corpus.Spam, Econ.Corpus.Ham ->
+          { acc with false_negatives = acc.false_negatives + 1 })
+    { true_positives = 0; false_positives = 0; true_negatives = 0; false_negatives = 0 }
+    docs
+
+let recall e =
+  let spam = e.true_positives + e.false_negatives in
+  if spam = 0 then 0. else float_of_int e.true_positives /. float_of_int spam
+
+let false_positive_rate e =
+  let ham = e.false_positives + e.true_negatives in
+  if ham = 0 then 0. else float_of_int e.false_positives /. float_of_int ham

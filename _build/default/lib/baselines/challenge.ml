@@ -1,0 +1,89 @@
+type params = {
+  human_seconds_per_challenge : float;
+  automated_legit_fraction : float;
+  spammer_answers : bool;
+}
+
+let default_params =
+  {
+    human_seconds_per_challenge = 12.;
+    automated_legit_fraction = 0.15;
+    spammer_answers = false;
+  }
+
+type t = {
+  params : params;
+  verified : (string, unit) Hashtbl.t;
+  mutable delivered : int;
+  mutable challenges_sent : int;
+  mutable human_seconds : float;
+  mutable legit_lost : int;
+  mutable spam_delivered : int;
+  mutable spam_dropped : int;
+}
+
+type fate = Delivered | Challenged_then_delivered | Held_forever | Dropped_spam
+
+let create params =
+  {
+    params;
+    verified = Hashtbl.create 64;
+    delivered = 0;
+    challenges_sent = 0;
+    human_seconds = 0.;
+    legit_lost = 0;
+    spam_delivered = 0;
+    spam_dropped = 0;
+  }
+
+let process t _rng ~sender ~is_spam ~is_automated =
+  if Hashtbl.mem t.verified sender then begin
+    t.delivered <- t.delivered + 1;
+    if is_spam then t.spam_delivered <- t.spam_delivered + 1;
+    Delivered
+  end
+  else begin
+    t.challenges_sent <- t.challenges_sent + 1;
+    if is_spam then
+      if t.params.spammer_answers then begin
+        Hashtbl.replace t.verified sender ();
+        t.delivered <- t.delivered + 1;
+        t.spam_delivered <- t.spam_delivered + 1;
+        Challenged_then_delivered
+      end
+      else begin
+        t.spam_dropped <- t.spam_dropped + 1;
+        Dropped_spam
+      end
+    else if is_automated then begin
+      (* The sender is a program; the challenge is never answered and
+         the message is lost — the scheme's false-positive mode. *)
+      t.legit_lost <- t.legit_lost + 1;
+      Held_forever
+    end
+    else begin
+      Hashtbl.replace t.verified sender ();
+      t.human_seconds <- t.human_seconds +. t.params.human_seconds_per_challenge;
+      t.delivered <- t.delivered + 1;
+      Challenged_then_delivered
+    end
+  end
+
+type totals = {
+  delivered : int;
+  challenges_sent : int;
+  human_seconds : float;
+  legit_lost : int;
+  spam_delivered : int;
+  spam_dropped : int;
+}
+
+let totals (t : t) =
+  {
+    delivered = t.delivered;
+    challenges_sent = t.challenges_sent;
+    human_seconds = t.human_seconds;
+    legit_lost = t.legit_lost;
+    spam_delivered = t.spam_delivered;
+    spam_dropped = t.spam_dropped;
+  }

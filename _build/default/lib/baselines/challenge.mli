@@ -1,0 +1,45 @@
+(** Human challenge–response model — the §2.3 "human effort based"
+    baseline (Mailblocks / Active Spam Killer style).
+
+    First contact from an unknown sender is held and a CAPTCHA-like
+    challenge is returned; only humans answer.  The model tracks the
+    human seconds spent answering challenges, the held legitimate mail
+    from automated-but-wanted senders (newsletters, receipts — the
+    approach's classic loss), and the spam that gets through. *)
+
+type params = {
+  human_seconds_per_challenge : float;  (** Default 12 s. *)
+  automated_legit_fraction : float;
+      (** Fraction of legitimate mail sent by software that cannot
+          answer (order confirmations, lists).  Default 0.15. *)
+  spammer_answers : bool;
+      (** Whether spammers pay humans to solve challenges (the known
+          bypass).  Default false. *)
+}
+
+val default_params : params
+
+type t
+
+val create : params -> t
+
+type fate =
+  | Delivered  (** Sender already verified. *)
+  | Challenged_then_delivered  (** Human answered; cost incurred. *)
+  | Held_forever  (** Automated legit sender never answers. *)
+  | Dropped_spam
+
+val process :
+  t -> Sim.Rng.t -> sender:string -> is_spam:bool -> is_automated:bool -> fate
+(** Run one message through the scheme. *)
+
+type totals = {
+  delivered : int;
+  challenges_sent : int;
+  human_seconds : float;
+  legit_lost : int;
+  spam_delivered : int;
+  spam_dropped : int;
+}
+
+val totals : t -> totals

@@ -1,0 +1,86 @@
+type params = {
+  trigger_probability : float;
+  charge_cents : float;
+  processing_cost_cents : float;
+  colluding_isps : float;
+  human_seconds_per_trigger : float;
+}
+
+let default_params =
+  {
+    trigger_probability = 0.3;
+    charge_cents = 1.;
+    processing_cost_cents = 2.;
+    colluding_isps = 0.;
+    human_seconds_per_trigger = 3.;
+  }
+
+type t = {
+  params : params;
+  mutable spam_seen : int;
+  mutable legit_seen : int;
+  mutable triggers : int;
+  mutable payments_processed : int;
+  mutable spammer_paid_cents : float;
+  mutable isp_processing_cost_cents : float;
+  mutable human_seconds : float;
+  mutable accounting_ops : int;
+}
+
+let create params =
+  {
+    params;
+    spam_seen = 0;
+    legit_seen = 0;
+    triggers = 0;
+    payments_processed = 0;
+    spammer_paid_cents = 0.;
+    isp_processing_cost_cents = 0.;
+    human_seconds = 0.;
+    accounting_ops = 0;
+  }
+
+let on_spam_received t rng =
+  t.spam_seen <- t.spam_seen + 1;
+  if Sim.Dist.bernoulli rng t.params.trigger_probability then begin
+    t.triggers <- t.triggers + 1;
+    t.human_seconds <- t.human_seconds +. t.params.human_seconds_per_trigger;
+    (* Every payment is an individual transaction at the sender's ISP:
+       look up the message, debit, log, settle. *)
+    t.payments_processed <- t.payments_processed + 1;
+    t.accounting_ops <- t.accounting_ops + 4;
+    t.isp_processing_cost_cents <-
+      t.isp_processing_cost_cents +. t.params.processing_cost_cents;
+    let colluding = Sim.Dist.bernoulli rng t.params.colluding_isps in
+    if not colluding then
+      (* The money goes to the sender's ISP; a colluding ISP refunds
+         the spammer so the spammer loses nothing. *)
+      t.spammer_paid_cents <- t.spammer_paid_cents +. t.params.charge_cents
+  end
+
+let on_legit_received t = t.legit_seen <- t.legit_seen + 1
+
+type totals = {
+  spam_seen : int;
+  legit_seen : int;
+  triggers : int;
+  payments_processed : int;
+  spammer_paid_cents : float;
+  receiver_earned_cents : float;
+  isp_processing_cost_cents : float;
+  human_seconds : float;
+  accounting_ops : int;
+}
+
+let totals (t : t) =
+  {
+    spam_seen = t.spam_seen;
+    legit_seen = t.legit_seen;
+    triggers = t.triggers;
+    payments_processed = t.payments_processed;
+    spammer_paid_cents = t.spammer_paid_cents;
+    receiver_earned_cents = 0.;
+    isp_processing_cost_cents = t.isp_processing_cost_cents;
+    human_seconds = t.human_seconds;
+    accounting_ops = t.accounting_ops;
+  }

@@ -1,0 +1,53 @@
+(** SHRED / Vanquish model — the §2.3 "monetary value based"
+    competitors Zmail is compared against in E4.
+
+    In SHRED the {e receiver} must take an explicit action to trigger a
+    payment, the payment goes to the {e sender's ISP} (not the
+    receiver), and every payment is processed individually.  The four
+    §2.3 criticisms become measurable quantities here:
+
+    + extra human actions per spam received;
+    + missing incentive — the trigger probability is a parameter,
+      and the receiver earns nothing either way;
+    + ISP–spammer collusion refunds the charge;
+    + per-payment processing cost that can exceed the penny collected. *)
+
+type params = {
+  trigger_probability : float;
+      (** Chance an annoyed receiver bothers to flag a spam.  Default
+          0.3 — unpaid labour. *)
+  charge_cents : float;  (** Payment per triggered spam.  Default 1. *)
+  processing_cost_cents : float;
+      (** ISP bookkeeping cost per individually handled payment.
+          Default 2 (the paper: cost "could possibly exceed the
+          monetary value of the payment"). *)
+  colluding_isps : float;  (** Fraction of spam sent via colluding ISPs. *)
+  human_seconds_per_trigger : float;  (** Default 3 s. *)
+}
+
+val default_params : params
+
+type t
+
+val create : params -> t
+
+val on_spam_received : t -> Sim.Rng.t -> unit
+(** Account one spam arriving at a receiver. *)
+
+val on_legit_received : t -> unit
+
+type totals = {
+  spam_seen : int;
+  legit_seen : int;
+  triggers : int;  (** Explicit receiver actions taken. *)
+  payments_processed : int;  (** Individual payment transactions. *)
+  spammer_paid_cents : float;  (** What spammers actually lost. *)
+  receiver_earned_cents : float;  (** Always 0 — §2.3 criticism 2. *)
+  isp_processing_cost_cents : float;
+  human_seconds : float;
+  accounting_ops : int;
+      (** Ledger operations, for the E4 comparison with Zmail's two
+          in-memory counter bumps per message. *)
+}
+
+val totals : t -> totals

@@ -1,0 +1,1 @@
+lib/econ/adoption.ml: Array Float List Sim

@@ -1,0 +1,1 @@
+lib/econ/adoption.mli: Sim

@@ -1,0 +1,1 @@
+lib/econ/campaign.ml: Float Format List Sim

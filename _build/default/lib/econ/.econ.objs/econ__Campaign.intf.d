@@ -1,0 +1,1 @@
+lib/econ/campaign.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/econ/corpus.ml: Array Bytes List Sim String

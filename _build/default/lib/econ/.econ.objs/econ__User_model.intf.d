@@ -1,0 +1,1 @@
+lib/econ/user_model.mli: Sim

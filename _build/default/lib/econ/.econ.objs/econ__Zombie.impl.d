@@ -1,0 +1,1 @@
+lib/econ/zombie.ml: Array List Sim

@@ -1,0 +1,116 @@
+type params = {
+  n_isps : int;
+  users_per_isp : int;
+  initial_compliant : int;
+  spam_per_user_day : float;
+  compliant_spam_suppression : float;
+  threshold_mean : float;
+  threshold_sigma : float;
+  user_switch_rate : float;
+  days : int;
+}
+
+let default_params =
+  {
+    n_isps = 20;
+    users_per_isp = 5_000;
+    initial_compliant = 2;
+    spam_per_user_day = 15.;
+    compliant_spam_suppression = 0.9;
+    threshold_mean = 0.35;
+    threshold_sigma = 0.15;
+    user_switch_rate = 0.01;
+    days = 365;
+  }
+
+type day_point = {
+  day : int;
+  compliant_isps : int;
+  compliant_user_share : float;
+  avg_spam_noncompliant : float;
+  avg_spam_compliant : float;
+}
+
+type isp_state = {
+  mutable compliant : bool;
+  mutable users : float;
+  threshold : float;
+}
+
+let simulate rng p =
+  if p.initial_compliant < 1 || p.initial_compliant > p.n_isps then
+    invalid_arg "Adoption.simulate: initial_compliant out of range";
+  let isps =
+    Array.init p.n_isps (fun i ->
+        {
+          compliant = i < p.initial_compliant;
+          users = float_of_int p.users_per_isp;
+          threshold =
+            Float.max 0.02
+              (Sim.Dist.normal rng ~mean:p.threshold_mean ~stddev:p.threshold_sigma);
+        })
+  in
+  let total_users = float_of_int (p.n_isps * p.users_per_isp) in
+  let spam_compliant () = p.spam_per_user_day *. (1. -. p.compliant_spam_suppression) in
+  let observe day =
+    let compliant_isps = Array.fold_left (fun a i -> if i.compliant then a + 1 else a) 0 isps in
+    let compliant_users =
+      Array.fold_left (fun a i -> if i.compliant then a +. i.users else a) 0. isps
+    in
+    {
+      day;
+      compliant_isps;
+      compliant_user_share = compliant_users /. total_users;
+      avg_spam_noncompliant = p.spam_per_user_day;
+      avg_spam_compliant = spam_compliant ();
+    }
+  in
+  let points = ref [ observe 0 ] in
+  for day = 1 to p.days do
+    let compliant_share =
+      Array.fold_left (fun a i -> if i.compliant then a +. 1. else a) 0. isps
+      /. float_of_int p.n_isps
+    in
+    (* Users at non-compliant ISPs drift toward compliant ones.  The
+       switch pressure grows with the spam burden they carry and with
+       the availability of compliant alternatives. *)
+    let spam_burden = p.spam_per_user_day -. spam_compliant () in
+    let switch_prob =
+      Float.min 0.5 (p.user_switch_rate *. spam_burden /. 10. *. compliant_share)
+    in
+    let total_switchers = ref 0. in
+    Array.iter
+      (fun isp ->
+        if not isp.compliant then begin
+          let leaving = isp.users *. switch_prob in
+          isp.users <- isp.users -. leaving;
+          total_switchers := !total_switchers +. leaving
+        end)
+      isps;
+    let compliant_count =
+      Array.fold_left (fun a i -> if i.compliant then a + 1 else a) 0 isps
+    in
+    if compliant_count > 0 && !total_switchers > 0. then begin
+      let gain = !total_switchers /. float_of_int compliant_count in
+      Array.iter (fun isp -> if isp.compliant then isp.users <- isp.users +. gain) isps
+    end;
+    (* An ISP converts when the pressure it feels exceeds its private
+       threshold.  Pressure combines peer adoption with its own user
+       loss so far. *)
+    Array.iter
+      (fun isp ->
+        if not isp.compliant then begin
+          let user_loss = 1. -. (isp.users /. float_of_int p.users_per_isp) in
+          let pressure = (0.5 *. compliant_share) +. (0.5 *. user_loss) in
+          let jitter = Sim.Dist.normal rng ~mean:0. ~stddev:0.01 in
+          if pressure +. jitter > isp.threshold then isp.compliant <- true
+        end)
+      isps;
+    points := observe day :: !points
+  done;
+  List.rev !points
+
+let days_to_majority ~total_isps points =
+  List.find_map
+    (fun p -> if 2 * p.compliant_isps > total_isps then Some p.day else None)
+    points

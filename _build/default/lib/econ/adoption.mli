@@ -1,0 +1,45 @@
+(** Incremental-deployment dynamics (experiment E5).
+
+    §1.3/§5: Zmail "can be bootstrapped with as few as two compliant
+    ISPs", and good experience at compliant ISPs attracts users, which
+    pressures more ISPs to comply — a positive-feedback loop.  This is
+    the classic threshold-adoption model (Granovetter): each ISP has a
+    private conversion threshold; it converts once the pressure it
+    feels (its users' spam burden weighted by how much of the network
+    is already compliant) exceeds that threshold. *)
+
+type params = {
+  n_isps : int;
+  users_per_isp : int;
+  initial_compliant : int;  (** The paper's bootstrap: 2. *)
+  spam_per_user_day : float;
+      (** Spam a user at a non-compliant ISP receives daily. *)
+  compliant_spam_suppression : float;
+      (** Fraction of spam removed for users of compliant ISPs (E1's
+          market effect, taken as an input here). *)
+  threshold_mean : float;  (** Mean conversion threshold in [0, 1]. *)
+  threshold_sigma : float;
+  user_switch_rate : float;
+      (** Daily probability scale that an annoyed user moves to a
+          compliant ISP. *)
+  days : int;
+}
+
+val default_params : params
+
+type day_point = {
+  day : int;
+  compliant_isps : int;
+  compliant_user_share : float;
+      (** Fraction of all users served by compliant ISPs (including
+          switchers). *)
+  avg_spam_noncompliant : float;  (** Spam/user/day at hold-out ISPs. *)
+  avg_spam_compliant : float;
+}
+
+val simulate : Sim.Rng.t -> params -> day_point list
+(** One trajectory, one point per simulated day (day 0 = initial
+    state included). *)
+
+val days_to_majority : total_isps:int -> day_point list -> int option
+(** First day on which more than half the ISPs are compliant. *)

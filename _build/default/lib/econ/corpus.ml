@@ -1,0 +1,116 @@
+type label = Ham | Spam
+
+type document = { label : label; tokens : string list }
+
+type params = {
+  n : int;
+  spam_fraction : float;
+  tokens_per_message : int;
+  misspell_probability : float;
+  newsletter_fraction : float;
+}
+
+let default_params =
+  {
+    n = 5_000;
+    spam_fraction = 0.6;
+    tokens_per_message = 40;
+    misspell_probability = 0.;
+    newsletter_fraction = 0.05;
+  }
+
+let ham_vocabulary =
+  [|
+    "meeting"; "schedule"; "report"; "project"; "deadline"; "budget"; "review";
+    "lunch"; "attached"; "draft"; "minutes"; "agenda"; "thanks"; "regards";
+    "question"; "answer"; "team"; "family"; "weekend"; "photos"; "dinner";
+    "homework"; "flight"; "conference"; "paper"; "submission"; "committee";
+    "interview"; "resume"; "contract"; "invoice"; "payment"; "semester";
+  |]
+
+let spam_vocabulary =
+  [|
+    "viagra"; "free"; "winner"; "millions"; "lottery"; "enlarge"; "pills";
+    "cheap"; "mortgage"; "refinance"; "casino"; "prize"; "guarantee";
+    "unsubscribe"; "offer"; "limited"; "act"; "now"; "cash"; "bonus";
+    "investment"; "nigeria"; "prince"; "urgent"; "confidential"; "rolex";
+    "replica"; "weight"; "loss"; "miracle"; "singles"; "hot";
+  |]
+
+let common_vocabulary =
+  [|
+    "the"; "a"; "to"; "of"; "and"; "you"; "for"; "is"; "this"; "that"; "with";
+    "your"; "have"; "will"; "please"; "on"; "in"; "we"; "be"; "at";
+  |]
+
+let leet = [ ('a', '4'); ('e', '3'); ('i', '1'); ('o', '0'); ('s', '5'); ('l', '7') ]
+
+let misspell rng token =
+  if String.length token < 2 then token
+  else begin
+    let b = Bytes.of_string token in
+    let substitutable =
+      List.filter
+        (fun i -> List.mem_assoc (Bytes.get b i) leet)
+        (List.init (Bytes.length b) (fun i -> i))
+    in
+    match substitutable with
+    | [] ->
+        (* No leet-able letter: inject punctuation after the first
+           character ("sex" -> "s.ex" style). *)
+        let pos = 1 + Sim.Rng.int rng (String.length token - 1) in
+        String.sub token 0 pos ^ "." ^ String.sub token pos (String.length token - pos)
+    | i :: _ ->
+        (* First substitutable letter, deterministically: repeated
+           obfuscations of a token collide, which matches real spam
+           (everyone writes "v1agra"). *)
+        Bytes.set b i (List.assoc (Bytes.get b i) leet);
+        Bytes.to_string b
+  end
+
+let draw_tokens rng ~count ~primary ~primary_weight =
+  List.init count (fun _ ->
+      if Sim.Dist.bernoulli rng primary_weight then Sim.Rng.pick rng primary
+      else Sim.Rng.pick rng common_vocabulary)
+
+let generate rng p =
+  if p.spam_fraction < 0. || p.spam_fraction > 1. then
+    invalid_arg "Corpus.generate: spam_fraction out of range";
+  List.init p.n (fun _ ->
+      if Sim.Dist.bernoulli rng p.spam_fraction then begin
+        let tokens =
+          draw_tokens rng ~count:p.tokens_per_message ~primary:spam_vocabulary
+            ~primary_weight:0.6
+        in
+        let tokens =
+          List.map
+            (fun tok ->
+              if
+                Array.exists (String.equal tok) spam_vocabulary
+                && Sim.Dist.bernoulli rng p.misspell_probability
+              then misspell rng tok
+              else tok)
+            tokens
+        in
+        { label = Spam; tokens }
+      end
+      else if Sim.Dist.bernoulli rng p.newsletter_fraction then
+        (* A legitimate commercial newsletter: wanted mail whose words
+           look like spam ("free", "offer", "limited"). *)
+        {
+          label = Ham;
+          tokens =
+            List.map
+              (fun tok ->
+                if Sim.Dist.bernoulli rng 0.45 then Sim.Rng.pick rng spam_vocabulary
+                else tok)
+              (draw_tokens rng ~count:p.tokens_per_message ~primary:ham_vocabulary
+                 ~primary_weight:0.3);
+        }
+      else
+        {
+          label = Ham;
+          tokens =
+            draw_tokens rng ~count:p.tokens_per_message ~primary:ham_vocabulary
+              ~primary_weight:0.55;
+        })

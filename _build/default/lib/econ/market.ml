@@ -1,0 +1,55 @@
+type point = {
+  price : float;
+  viable_campaigns : int;
+  total_campaigns : int;
+  monthly_volume : int;
+  volume_fraction : float;
+  break_even_rate : float;
+  spammer_cost_multiplier : float;
+}
+
+let epenny_price = 0.01
+
+let median values =
+  match List.sort compare values with
+  | [] -> invalid_arg "Market.median: empty list"
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+let volume_at campaigns ~price =
+  List.fold_left
+    (fun acc c -> if Campaign.viable c ~price then acc + Campaign.monthly_volume c else acc)
+    0 campaigns
+
+let evaluate campaigns ~price =
+  let total_campaigns = List.length campaigns in
+  if total_campaigns = 0 then invalid_arg "Market.evaluate: no campaigns";
+  let viable_campaigns =
+    List.length (List.filter (fun c -> Campaign.viable c ~price) campaigns)
+  in
+  let monthly_volume = volume_at campaigns ~price in
+  let base_volume = volume_at campaigns ~price:0. in
+  let median_value =
+    median (List.map (fun c -> c.Campaign.value_per_response) campaigns)
+  in
+  let median_infra =
+    median (List.map (fun c -> c.Campaign.infra_cost_per_message) campaigns)
+  in
+  {
+    price;
+    viable_campaigns;
+    total_campaigns;
+    monthly_volume;
+    volume_fraction =
+      (if base_volume = 0 then 0.
+       else float_of_int monthly_volume /. float_of_int base_volume);
+    break_even_rate =
+      Campaign.break_even_response_rate ~value_per_response:median_value
+        ~infra:median_infra ~price;
+    spammer_cost_multiplier =
+      (if median_infra = 0. then infinity else (median_infra +. price) /. median_infra);
+  }
+
+let sweep campaigns ~prices = List.map (fun price -> evaluate campaigns ~price) prices

@@ -1,0 +1,29 @@
+(** Market equilibrium under per-message pricing (experiment E1).
+
+    For a population of campaigns and a price sweep, compute which
+    campaigns stay in business and how much spam volume survives —
+    the quantitative form of §1.2's market-forces claim. *)
+
+type point = {
+  price : float;  (** Dollars per message. *)
+  viable_campaigns : int;
+  total_campaigns : int;
+  monthly_volume : int;  (** Messages/month from viable campaigns. *)
+  volume_fraction : float;  (** Relative to the price-zero volume. *)
+  break_even_rate : float;
+      (** Response rate needed to break even at the population's median
+          value per response. *)
+  spammer_cost_multiplier : float;
+      (** (infra + price) / infra — the paper's "two orders of
+          magnitude" factor. *)
+}
+
+val evaluate : Campaign.t list -> price:float -> point
+val sweep : Campaign.t list -> prices:float list -> point list
+
+val epenny_price : float
+(** $0.01, the paper's nominal e-penny. *)
+
+val median : float list -> float
+(** Median of a non-empty list (exposed for tests).
+    @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,47 @@
+type profile = {
+  name : string;
+  daily_sends : float;
+  reply_probability : float;
+  contacts : int;
+  weight : float;
+}
+
+let light =
+  { name = "light"; daily_sends = 2.; reply_probability = 0.3; contacts = 15; weight = 0.4 }
+
+let average =
+  { name = "average"; daily_sends = 8.; reply_probability = 0.4; contacts = 40; weight = 0.4 }
+
+let heavy =
+  { name = "heavy"; daily_sends = 25.; reply_probability = 0.5; contacts = 120; weight = 0.15 }
+
+let broadcaster =
+  { name = "broadcaster"; daily_sends = 60.; reply_probability = 0.1; contacts = 300; weight = 0.05 }
+
+let standard_mix = [ light; average; heavy; broadcaster ]
+
+let assign rng mix n =
+  if mix = [] then invalid_arg "User_model.assign: empty mix";
+  let weights = Array.of_list (List.map (fun p -> p.weight) mix) in
+  let profiles = Array.of_list mix in
+  let sample = Sim.Dist.categorical ~weights in
+  Array.init n (fun _ -> profiles.(sample rng))
+
+let inter_send_delay rng profile =
+  if profile.daily_sends <= 0. then infinity
+  else Sim.Dist.exponential rng ~rate:(profile.daily_sends /. 86400.)
+
+(* A user's address book is the [contacts]-sized pseudo-random subset
+   of the universe determined by mixing the user's index; Zipf rank
+   weighting concentrates traffic on the first few contacts. *)
+let pick_correspondent rng ~self ~universe profile =
+  if universe < 2 then invalid_arg "User_model.pick_correspondent: universe too small";
+  let book_size = min profile.contacts (universe - 1) in
+  let book_entry rank =
+    (* Deterministic per-(self, rank) contact, skipping self. *)
+    let mix = (self * 2_654_435_761) + (rank * 40_503) in
+    let candidate = abs (Hashtbl.hash mix) mod universe in
+    if candidate = self then (candidate + 1) mod universe else candidate
+  in
+  let zipf = Sim.Dist.zipf ~n:book_size ~s:1.1 in
+  book_entry (zipf rng)

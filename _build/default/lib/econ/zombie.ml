@@ -1,0 +1,136 @@
+type params = {
+  users : int;
+  initially_infected : int;
+  contacts_per_user : int;
+  virus_sends_per_day : int;
+  infection_probability : float;
+  daily_limit : int;
+  legitimate_sends_per_day : int;
+  disinfect_after_warning_days : int;
+  days : int;
+}
+
+let default_params =
+  {
+    users = 1_000;
+    initially_infected = 3;
+    contacts_per_user = 30;
+    virus_sends_per_day = 2000;
+    infection_probability = 0.02;
+    daily_limit = 100;
+    legitimate_sends_per_day = 10;
+    disinfect_after_warning_days = 2;
+    days = 30;
+  }
+
+type day_point = {
+  day : int;
+  infected : int;
+  detected : int;
+  virus_sent : int;
+  virus_blocked : int;
+  legit_blocked : int;
+}
+
+type outcome = {
+  series : day_point list;
+  peak_infected : int;
+  total_virus_delivered : int;
+  max_user_liability_epennies : int;
+  mean_detection_day : float;
+}
+
+type machine = {
+  mutable infected : bool;
+  mutable warned_on : int option;  (** Day the limit warning fired. *)
+  mutable immune : bool;  (** Cleaned machines are patched. *)
+}
+
+let simulate rng p =
+  if p.initially_infected > p.users then
+    invalid_arg "Zombie.simulate: more infections than users";
+  let machines =
+    Array.init p.users (fun i ->
+        { infected = i < p.initially_infected; warned_on = None; immune = false })
+  in
+  let detection_days = ref [] in
+  let series = ref [] in
+  let peak = ref p.initially_infected in
+  let delivered_total = ref 0 in
+  let max_liability = ref 0 in
+  for day = 1 to p.days do
+    (* Cleanup first: owners warned long enough ago disinfect. *)
+    Array.iter
+      (fun m ->
+        match m.warned_on with
+        | Some d when m.infected && day - d >= p.disinfect_after_warning_days ->
+            m.infected <- false;
+            m.immune <- true
+        | Some _ | None -> ())
+      machines;
+    let virus_sent = ref 0 and virus_blocked = ref 0 and legit_blocked = ref 0 in
+    let newly_infected = ref [] in
+    Array.iteri
+      (fun i m ->
+        if m.infected then begin
+          (* The virus drains the budget before the owner's own mail:
+             mass mailers fire early and fast. *)
+          let attempts = p.virus_sends_per_day in
+          let sent = min attempts p.daily_limit in
+          let blocked = attempts - sent in
+          virus_sent := !virus_sent + sent;
+          virus_blocked := !virus_blocked + blocked;
+          delivered_total := !delivered_total + sent;
+          max_liability := max !max_liability sent;
+          let remaining_budget = max 0 (p.daily_limit - sent) in
+          let legit_stopped = max 0 (p.legitimate_sends_per_day - remaining_budget) in
+          legit_blocked := !legit_blocked + legit_stopped;
+          if blocked > 0 && m.warned_on = None then begin
+            m.warned_on <- Some day;
+            detection_days := float_of_int day :: !detection_days
+          end;
+          (* Each delivered virus message may infect the recipient. *)
+          for _ = 1 to sent do
+            let target = Sim.Rng.int rng (min p.contacts_per_user p.users) in
+            (* Contacts cluster near the sender's index: a cheap proxy
+               for social locality. *)
+            let victim = (i + 1 + target) mod p.users in
+            let vm = machines.(victim) in
+            if
+              (not vm.infected) && (not vm.immune)
+              && Sim.Dist.bernoulli rng p.infection_probability
+            then newly_infected := victim :: !newly_infected
+          done
+        end)
+      machines;
+    List.iter (fun v -> machines.(v).infected <- true) !newly_infected;
+    let infected_now =
+      Array.fold_left (fun a m -> if m.infected then a + 1 else a) 0 machines
+    in
+    let detected_now =
+      Array.fold_left (fun a m -> if m.warned_on <> None then a + 1 else a) 0 machines
+    in
+    peak := max !peak infected_now;
+    series :=
+      {
+        day;
+        infected = infected_now;
+        detected = detected_now;
+        virus_sent = !virus_sent;
+        virus_blocked = !virus_blocked;
+        legit_blocked = !legit_blocked;
+      }
+      :: !series
+  done;
+  let mean_detection_day =
+    match !detection_days with
+    | [] -> nan
+    | ds -> List.fold_left ( +. ) 0. ds /. float_of_int (List.length ds)
+  in
+  {
+    series = List.rev !series;
+    peak_infected = !peak;
+    total_virus_delivered = !delivered_total;
+    max_user_liability_epennies = !max_liability;
+    mean_detection_day;
+  }

@@ -1,0 +1,1 @@
+lib/harness/e10_snapshot.ml: List Printf Sim Zmail

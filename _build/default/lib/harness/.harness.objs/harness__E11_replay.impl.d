@@ -1,0 +1,1 @@
+lib/harness/e11_replay.ml: Sim Toycrypto Zmail

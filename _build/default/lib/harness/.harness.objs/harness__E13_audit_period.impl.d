@@ -1,0 +1,1 @@
+lib/harness/e13_audit_period.ml: List Printf Sim Zmail

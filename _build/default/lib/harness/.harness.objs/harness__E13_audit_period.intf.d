@@ -1,0 +1,1 @@
+lib/harness/e13_audit_period.mli: Sim

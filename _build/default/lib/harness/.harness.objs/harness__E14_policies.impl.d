@@ -1,0 +1,1 @@
+lib/harness/e14_policies.ml: Baselines Econ List Sim String Zmail

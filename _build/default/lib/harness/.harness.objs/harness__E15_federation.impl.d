@@ -1,0 +1,1 @@
+lib/harness/e15_federation.ml: Array List Printf Sim String Zmail

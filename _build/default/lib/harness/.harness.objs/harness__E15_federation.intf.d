@@ -1,0 +1,1 @@
+lib/harness/e15_federation.mli: Sim

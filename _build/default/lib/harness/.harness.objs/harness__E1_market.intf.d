@@ -1,0 +1,1 @@
+lib/harness/e1_market.mli: Sim

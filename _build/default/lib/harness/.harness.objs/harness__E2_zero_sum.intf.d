@@ -1,0 +1,1 @@
+lib/harness/e2_zero_sum.mli: Sim

@@ -1,0 +1,1 @@
+lib/harness/e3_detection.ml: List Printf Sim String Zmail

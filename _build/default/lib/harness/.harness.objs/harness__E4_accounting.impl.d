@@ -1,0 +1,1 @@
+lib/harness/e4_accounting.ml: Array Baselines Printf Sim Toycrypto Zmail

@@ -1,0 +1,1 @@
+lib/harness/e5_adoption.ml: Econ List Printf Sim

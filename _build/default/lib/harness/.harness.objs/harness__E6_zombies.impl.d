@@ -1,0 +1,1 @@
+lib/harness/e6_zombies.ml: Econ Float List Sim Zmail

@@ -1,0 +1,1 @@
+lib/harness/e7_listserv.ml: List Sim Zmail

@@ -1,0 +1,1 @@
+lib/harness/e7_listserv.mli: Sim

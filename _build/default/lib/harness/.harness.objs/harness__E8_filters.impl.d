@@ -1,0 +1,1 @@
+lib/harness/e8_filters.ml: Baselines Econ List Printf Sim

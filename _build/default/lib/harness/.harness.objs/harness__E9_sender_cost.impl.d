@@ -1,0 +1,1 @@
+lib/harness/e9_sender_cost.ml: Baselines List Printf Sim Zmail

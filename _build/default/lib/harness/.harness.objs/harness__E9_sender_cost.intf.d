@@ -1,0 +1,1 @@
+lib/harness/e9_sender_cost.mli: Sim

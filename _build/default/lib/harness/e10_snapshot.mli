@@ -1,0 +1,14 @@
+(** E10 — the snapshot protocol under live traffic (§4.4).
+
+    Paper claim: "the 10 minutes timeout period is only experienced by
+    ISPs, not email users … these emails will be buffered and sent
+    right after the timeout expires", and the collected snapshots are
+    consistent.
+
+    Runs audits against increasing traffic intensity in the timed
+    world and reports how much mail is buffered, the added latency,
+    and the audit verdicts (always clean — the timing assumption holds
+    when delivery latency is milliseconds against a 10-minute window;
+    see {!Zmail.Ap_spec} for the untimed counterexample). *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

@@ -1,0 +1,93 @@
+let setup ~seed ~hardened =
+  let rng = Sim.Rng.create seed in
+  let compliant = [| true |] in
+  let bank =
+    Zmail.Bank.create rng
+      { (Zmail.Bank.default_config ~n_isps:1 ~compliant) with
+        Zmail.Bank.replay_hardening = hardened }
+  in
+  let isp =
+    Zmail.Isp.create rng
+      { (Zmail.Isp.default_config ~index:0 ~n_isps:1 ~n_users:4 ~compliant
+           ~bank_public:(Zmail.Bank.public_key bank))
+        with
+        Zmail.Isp.initial_avail = 100;
+        replay_hardening = hardened;
+      }
+  in
+  (rng, bank, isp)
+
+(* Run one legitimate buy exchange, returning the pieces an on-path
+   attacker can capture. *)
+let legitimate_buy bank isp =
+  match Zmail.Isp.pool_action isp with
+  | None -> failwith "expected a buy request"
+  | Some sealed_buy -> (
+      match Zmail.Bank.on_isp_message bank ~from_isp:0 sealed_buy with
+      | Zmail.Bank.Reply signed_reply ->
+          ignore (Zmail.Isp.on_bank_message isp signed_reply);
+          (sealed_buy, signed_reply)
+      | _ -> failwith "expected a bank reply")
+
+let attack_duplicate_buy ~seed ~hardened =
+  let _, bank, isp = setup ~seed ~hardened in
+  let sealed_buy, _ = legitimate_buy bank isp in
+  let account_before = Zmail.Bank.account_balance bank ~isp:0 in
+  ignore (Zmail.Bank.on_isp_message bank ~from_isp:0 sealed_buy);
+  account_before - Zmail.Bank.account_balance bank ~isp:0
+
+let attack_duplicate_reply ~seed ~hardened =
+  let _, bank, isp = setup ~seed ~hardened in
+  let _, signed_reply = legitimate_buy bank isp in
+  let pool_before = Zmail.Ledger.avail (Zmail.Isp.ledger isp) in
+  ignore (Zmail.Isp.on_bank_message isp signed_reply);
+  Zmail.Ledger.avail (Zmail.Isp.ledger isp) - pool_before
+
+let attack_tampered_envelope ~seed ~hardened =
+  let _, bank, isp = setup ~seed ~hardened in
+  match Zmail.Isp.pool_action isp with
+  | None -> failwith "expected a buy request"
+  | Some sealed_buy -> (
+      let account_before = Zmail.Bank.account_balance bank ~isp:0 in
+      match
+        Zmail.Bank.on_isp_message bank ~from_isp:0 (Toycrypto.Seal.flip_bit sealed_buy)
+      with
+      | Zmail.Bank.Rejected _ -> account_before - Zmail.Bank.account_balance bank ~isp:0
+      | _ -> max_int)
+
+let attack_forged_signature ~seed ~hardened =
+  let rng, _, isp = setup ~seed ~hardened in
+  (* An attacker without the bank key signs with its own. *)
+  let _, attacker_sk = Toycrypto.Rsa.generate rng in
+  let forged =
+    Zmail.Wire.sign_by_bank attacker_sk (Zmail.Wire.Audit_request { seq = 0 })
+  in
+  match Zmail.Isp.on_bank_message isp forged with
+  | Zmail.Isp.No_reaction -> if Zmail.Isp.frozen isp then max_int else 0
+  | Zmail.Isp.Start_snapshot_timer -> max_int
+
+let run ?(seed = 11) () =
+  let table =
+    Sim.Table.create
+      ~title:
+        "E11: adversarial bank-channel traffic — money moved by each attack \
+         (0 = attack neutralized; the ablated column drops the nonce \
+         tracking / outstanding-request checks)"
+      ~columns:
+        [ "attack"; "hardened kernels"; "ablated (paper-literal)"; "unit" ]
+  in
+  let row label attack unit =
+    Sim.Table.add_row table
+      [
+        label;
+        Sim.Table.cell_int (attack ~seed ~hardened:true);
+        Sim.Table.cell_int (attack ~seed ~hardened:false);
+        unit;
+      ]
+  in
+  row "duplicate sealed BUY at bank" attack_duplicate_buy "extra pennies debited";
+  row "duplicate signed BUYREPLY at ISP" attack_duplicate_reply
+    "phantom pool e-pennies";
+  row "bit-flipped envelope" attack_tampered_envelope "pennies moved";
+  row "forged bank signature" attack_forged_signature "freezes triggered";
+  [ table ]

@@ -1,0 +1,12 @@
+(** E11 — replay and forgery attacks on the bank channel (§4.3).
+
+    Paper claim: "we add nonces to prevent message replay attacks."
+
+    Runs concrete attacks (duplicated [buy] at the bank, duplicated
+    [buyreply] at the ISP, bit-flipped envelopes, forged signatures)
+    against the hardened kernels and against an ablated/paper-literal
+    configuration, and reports the money that moves.  The duplicated
+    [buyreply] row documents a genuine gap in the paper's literal
+    acceptance rule (see {!Zmail.Isp}). *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

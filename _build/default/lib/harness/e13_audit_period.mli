@@ -1,0 +1,9 @@
+(** E13 (extension/ablation) — how often should the bank audit?
+
+    §4.4 leaves the reconciliation frequency open ("once a week or once
+    a month, for example").  This ablation sweeps the audit period
+    against a resident cheater and measures the trade the designer
+    faces: settlement traffic and user-visible freezes against how many
+    e-pennies the cheater mints before its first detection. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

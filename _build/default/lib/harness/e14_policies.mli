@@ -1,0 +1,11 @@
+(** E14 (extension/ablation) — what should compliant ISPs do with
+    unpaid mail during incremental deployment?
+
+    §5 offers three options: accept it, "segregate or discard" it, or
+    "require any email from a non-compliant ISP to pass a spam filter".
+    This ablation runs the same mixed world (compliant and
+    non-compliant ISPs, organic ham plus bulk spam from the
+    non-compliant side) under each policy and measures what compliant
+    users experience. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

@@ -1,0 +1,10 @@
+(** E15 (extension) — distributed banks and inter-bank clearing.
+
+    §5 ("Bank Setup"): "the role of the bank in the Zmail protocol can
+    be implemented as a set of distributed banks".  This experiment
+    runs ISP kernels homed to two member banks with asymmetric
+    cross-bank mail flow, shows the cash imbalance that e-penny
+    migration creates, the clearing transfers that fix it, and a global
+    audit that catches a cheater across bank lines. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

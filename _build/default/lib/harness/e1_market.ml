@@ -1,0 +1,34 @@
+let prices = [ 0.; 0.0001; 0.001; 0.005; 0.01; 0.02; 0.05 ]
+
+let run ?(seed = 1) () =
+  let rng = Sim.Rng.create seed in
+  let campaigns = Econ.Campaign.population rng Econ.Campaign.default_population in
+  let table =
+    Sim.Table.create
+      ~title:
+        "E1: spam market equilibrium vs per-message price (200 campaigns, \
+         log-normal response rates, median $15/response)"
+      ~columns:
+        [
+          "price (c/msg)";
+          "viable campaigns";
+          "monthly volume";
+          "volume vs free";
+          "break-even resp. rate";
+          "spammer cost multiplier";
+        ]
+  in
+  List.iter
+    (fun point ->
+      Sim.Table.add_row table
+        [
+          Sim.Table.cell (point.Econ.Market.price *. 100.);
+          Printf.sprintf "%d/%d" point.Econ.Market.viable_campaigns
+            point.Econ.Market.total_campaigns;
+          Sim.Table.cell_int point.Econ.Market.monthly_volume;
+          Sim.Table.cell_pct point.Econ.Market.volume_fraction;
+          Sim.Table.cell point.Econ.Market.break_even_rate;
+          Printf.sprintf "%.0fx" point.Econ.Market.spammer_cost_multiplier;
+        ])
+    (Econ.Market.sweep campaigns ~prices);
+  [ table ]

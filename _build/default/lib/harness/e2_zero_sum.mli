@@ -1,0 +1,11 @@
+(** E2 — zero-sum balances for normal users (§1.2).
+
+    Paper claim: "Users who receive as much email as they send, on
+    average, will neither pay nor profit from email, once they have set
+    up initial balances with their ISPs to buffer the fluctuations."
+
+    Runs a multi-ISP world of profiled users for several simulated
+    weeks and reports per-profile balance drift and the buffering the
+    heaviest senders needed. *)
+
+val run : ?seed:int -> ?days:float -> ?isps:int -> ?users_per_isp:int -> unit -> Sim.Table.t list

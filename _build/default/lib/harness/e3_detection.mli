@@ -1,0 +1,10 @@
+(** E3 — detecting misbehaving ISPs through the credit audit (§4.4).
+
+    Paper claim: "the bank can detect misbehaved ISPs using the
+    information in the credit array of every ISP."
+
+    Seeds one or more cheating ISPs (fake receives / unreported sends)
+    into an otherwise honest world, runs traffic and an audit, and
+    scores the bank's accusations against ground truth. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

@@ -1,0 +1,11 @@
+(** E5 — incremental deployment dynamics (§1.3, §5).
+
+    Paper claim: "It can be bootstrapped with as few as two compliant
+    ISPs … The good experience of the users of compliant ISPs will
+    attract more people to switch to compliant ISPs and more ISPs will
+    therefore become compliant."
+
+    Threshold-adoption trajectory seeded with two compliant ISPs, plus
+    a sensitivity row for weaker network effects. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

@@ -1,0 +1,43 @@
+let limits = [ 10; 50; 100; 500; 1000; max_int ]
+
+let limit_label l = if l = max_int then "unlimited" else string_of_int l
+
+let run ?(seed = 6) () =
+  let table =
+    Sim.Table.create
+      ~title:
+        "E6: mass-mailing virus outbreak vs daily spending limit (1000 \
+         users, 3 seeds, 2000 virus sends/day per zombie, 30 days)"
+      ~columns:
+        [
+          "daily limit";
+          "peak infected";
+          "virus delivered";
+          "max user liability";
+          "mean detection day";
+          "legit mail blocked";
+        ]
+  in
+  List.iter
+    (fun daily_limit ->
+      let rng = Sim.Rng.create seed in
+      let params = { Econ.Zombie.default_params with Econ.Zombie.daily_limit } in
+      let o = Econ.Zombie.simulate rng params in
+      let legit_blocked =
+        List.fold_left
+          (fun acc d -> acc + d.Econ.Zombie.legit_blocked)
+          0 o.Econ.Zombie.series
+      in
+      Sim.Table.add_row table
+        [
+          limit_label daily_limit;
+          Sim.Table.cell_int o.Econ.Zombie.peak_infected;
+          Sim.Table.cell_int o.Econ.Zombie.total_virus_delivered;
+          Sim.Table.cell_money
+            (Zmail.Epenny.to_dollars o.Econ.Zombie.max_user_liability_epennies);
+          (if Float.is_nan o.Econ.Zombie.mean_detection_day then "never"
+           else Sim.Table.cell o.Econ.Zombie.mean_detection_day);
+          Sim.Table.cell_int legit_blocked;
+        ])
+    limits;
+  [ table ]

@@ -1,0 +1,11 @@
+(** E6 — zombie containment via daily limits (§5).
+
+    Paper claim: "ISPs can enforce a user specified limit on the number
+    of e-pennies the user is willing to spend per day.  Exceeding this
+    limit blocks further outgoing mail (for that day), and the user is
+    sent a warning message … this provides a new mechanism for
+    detecting, limiting, and disinfecting zombie PCs."
+
+    Sweeps the daily limit over a mass-mailing-virus outbreak. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

@@ -1,0 +1,12 @@
+(** E7 — mailing lists under Zmail (§5).
+
+    Paper claim: the automatic acknowledgment "returns the e-penny back
+    to the distributor", and "the email distributor can automatically
+    keep track of which addresses do not acknowledge messages and
+    should be removed from its subscriber database".
+
+    Runs list posts through the full world (real SMTP, real acks) with
+    the acknowledgment mechanism on and off, and with a share of dead
+    subscribers. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

@@ -1,0 +1,13 @@
+(** E8 — content/header filtering vs economic suppression (§1.2, §2.2).
+
+    Paper claims: "False positives in filtering out spam are not
+    acceptable…", "spammers can always find ways to deceive
+    [filters]" (misspelling), and "Using Zmail, spammers' efforts to
+    evade definitions of spam become irrelevant."
+
+    Trains a naive-Bayes filter on a clean corpus, evaluates it on
+    clean and adversarially misspelled corpora, runs the blacklist and
+    challenge–response baselines on the same stream, and puts Zmail's
+    E1 market suppression (which is content-blind) beside them. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

@@ -1,0 +1,14 @@
+(** E9 — who pays, and how much: computational challenges vs Zmail
+    (§2.3).
+
+    Paper claim: with computational approaches "email systems become
+    significantly inefficient in sending and receiving email" and "the
+    cost to ISPs for sending out email is dramatically increased",
+    whereas Zmail's e-penny is roughly free for balanced users and
+    crushing for bulk senders.
+
+    Mints real Hashcash stamps (measured work) at several difficulties
+    and compares the daily cost borne by a normal user and by a
+    million-message spammer under each scheme. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

@@ -1,0 +1,137 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  run : seed:int -> Sim.Table.t list;
+}
+
+let all =
+  [
+    {
+      id = "e1";
+      title = "Spam market equilibrium vs per-message price";
+      claim =
+        "§1.2: spam cost rises by at least two orders of magnitude; the \
+         break-even response rate rises similarly; spam volume decreases \
+         substantially.";
+      run = (fun ~seed -> E1_market.run ~seed ());
+    };
+    {
+      id = "e2";
+      title = "Zero-sum balances for normal users";
+      claim =
+        "§1.2: users who receive about as much as they send neither pay nor \
+         profit, given an initial buffering balance.";
+      run = (fun ~seed -> E2_zero_sum.run ~seed ());
+    };
+    {
+      id = "e3";
+      title = "Misbehaving-ISP detection through the credit audit";
+      claim = "§4.4: the bank can detect misbehaved ISPs from the credit arrays.";
+      run = (fun ~seed -> E3_detection.run ~seed ());
+    };
+    {
+      id = "e4";
+      title = "Bulk accounting cost vs SHRED";
+      claim =
+        "§2.3: Zmail handles payments in bulk so handling cost is small; \
+         SHRED's per-payment cost can exceed the penny collected.";
+      run = (fun ~seed -> E4_accounting.run ~seed ());
+    };
+    {
+      id = "e5";
+      title = "Incremental deployment from two compliant ISPs";
+      claim =
+        "§1.3/§5: bootstrap with two compliant ISPs; positive feedback spreads \
+         compliance.";
+      run = (fun ~seed -> E5_adoption.run ~seed ());
+    };
+    {
+      id = "e6";
+      title = "Zombie containment via daily limits";
+      claim =
+        "§5: a per-day spending limit bounds virus liability, blocks the \
+         flood, and detects zombies via the warning.";
+      run = (fun ~seed -> E6_zombies.run ~seed ());
+    };
+    {
+      id = "e7";
+      title = "Mailing-list acknowledgments";
+      claim =
+        "§5: the automatic acknowledgment returns the e-penny to the \
+         distributor and keeps the subscriber database clean.";
+      run = (fun ~seed -> E7_listserv.run ~seed ());
+    };
+    {
+      id = "e8";
+      title = "Filtering baselines vs economic suppression";
+      claim =
+        "§1.2/§2.2: filters suffer false positives and misspelling evasion; \
+         Zmail needs no spam definition at all.";
+      run = (fun ~seed -> E8_filters.run ~seed ());
+    };
+    {
+      id = "e9";
+      title = "Sender-side cost: computational challenges vs e-pennies";
+      claim =
+        "§2.3: computational schemes make everyone slower; Zmail is free for \
+         balanced users and expensive for bulk senders.";
+      run = (fun ~seed -> E9_sender_cost.run ~seed ());
+    };
+    {
+      id = "e10";
+      title = "Snapshot audits under live traffic";
+      claim =
+        "§4.4: the 10-minute freeze buffers user mail briefly and yields \
+         consistent snapshots.";
+      run = (fun ~seed -> E10_snapshot.run ~seed ());
+    };
+    {
+      id = "e11";
+      title = "Replay and forgery attacks on the bank channel";
+      claim = "§4.3: nonces prevent message replay attacks.";
+      run = (fun ~seed -> E11_replay.run ~seed ());
+    };
+    {
+      id = "e13";
+      title = "Ablation: audit period vs settlement cost and fraud exposure";
+      claim =
+        "§4.4 leaves the frequency open (\"once a week or once a month, for \
+         example\"); this sweeps the trade-off.";
+      run = (fun ~seed -> E13_audit_period.run ~seed ());
+    };
+    {
+      id = "e14";
+      title = "Ablation: unpaid-mail policy during deployment";
+      claim =
+        "§5: accept, segregate/discard, or filter mail from non-compliant \
+         ISPs — measured side by side.";
+      run = (fun ~seed -> E14_policies.run ~seed ());
+    };
+    {
+      id = "e15";
+      title = "Extension: distributed banks with clearing";
+      claim =
+        "§5 (Bank Setup): the bank \"can be implemented as a set of \
+         distributed banks\"; this builds two and clears their imbalance.";
+      run = (fun ~seed -> E15_federation.run ~seed ());
+    };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let print_experiment ~seed e =
+  Format.printf "---- %s: %s ----@." (String.uppercase_ascii e.id) e.title;
+  Format.printf "claim: %s@.@." e.claim;
+  List.iter Sim.Table.print (e.run ~seed)
+
+let run_all ?(seed = 0) () = List.iter (print_experiment ~seed) all
+
+let run_one ?(seed = 0) id =
+  match find id with
+  | Some e ->
+      print_experiment ~seed e;
+      Ok ()
+  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e15)" id)

@@ -1,0 +1,25 @@
+(** Registry of every reproduction experiment.
+
+    Each entry regenerates one of the quantitative claims catalogued in
+    DESIGN.md §4 (the paper publishes no tables or figures of its own;
+    these are its claims made measurable).  All experiments are
+    deterministic for a given seed. *)
+
+type t = {
+  id : string;  (** ["e1"] … ["e11"]. *)
+  title : string;
+  claim : string;  (** The paper sentence being reproduced. *)
+  run : seed:int -> Sim.Table.t list;
+}
+
+val all : t list
+(** In id order. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by id. *)
+
+val run_all : ?seed:int -> unit -> unit
+(** Run every experiment, printing each table to stdout. *)
+
+val run_one : ?seed:int -> string -> (unit, string) result
+(** Run and print a single experiment by id. *)

@@ -1,0 +1,1 @@
+lib/sim/table.ml: Array Format List Printf Stdlib String

@@ -1,0 +1,94 @@
+let bernoulli rng p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else Rng.unit_float rng < p
+
+let uniform rng ~lo ~hi =
+  if lo > hi then invalid_arg "Dist.uniform: lo > hi";
+  lo +. Rng.unit_float rng *. (hi -. lo)
+
+let uniform_int rng ~lo ~hi =
+  if lo > hi then invalid_arg "Dist.uniform_int: lo > hi";
+  lo + Rng.int rng (hi - lo + 1)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  -.log1p (-.Rng.unit_float rng) /. rate
+
+let normal rng ~mean ~stddev =
+  (* Box-Muller; one variate per call keeps the sampler stateless. *)
+  let u1 = 1. -. Rng.unit_float rng in
+  let u2 = Rng.unit_float rng in
+  mean +. (stddev *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~stddev:sigma)
+
+let pareto rng ~scale ~shape =
+  if scale <= 0. || shape <= 0. then
+    invalid_arg "Dist.pareto: scale and shape must be positive";
+  scale /. ((1. -. Rng.unit_float rng) ** (1. /. shape))
+
+let poisson_small rng mean =
+  let limit = exp (-.mean) in
+  let rec loop k p =
+    let p = p *. Rng.unit_float rng in
+    if p <= limit then k else loop (k + 1) p
+  in
+  loop 0 1.
+
+let poisson rng ~mean =
+  if mean < 0. then invalid_arg "Dist.poisson: mean must be non-negative";
+  if mean = 0. then 0
+  else if mean <= 64. then poisson_small rng mean
+  else
+    let x = normal rng ~mean ~stddev:(sqrt mean) in
+    Stdlib.max 0 (int_of_float (Float.round x))
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p must be in (0, 1]";
+  if p = 1. then 0
+  else
+    let u = 1. -. Rng.unit_float rng in
+    int_of_float (floor (log u /. log1p (-.p)))
+
+let zipf ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for k = 1 to n do
+    total := !total +. (1. /. (float_of_int k ** s));
+    cdf.(k - 1) <- !total
+  done;
+  let total = !total in
+  fun rng ->
+    let u = Rng.unit_float rng *. total in
+    (* Binary search for the first index with cdf >= u. *)
+    let rec search lo hi =
+      if lo >= hi then lo + 1
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (n - 1)
+
+let categorical ~weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.categorical: empty weights";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    if weights.(i) < 0. then invalid_arg "Dist.categorical: negative weight";
+    total := !total +. weights.(i);
+    cdf.(i) <- !total
+  done;
+  if !total <= 0. then invalid_arg "Dist.categorical: zero total weight";
+  let total = !total in
+  fun rng ->
+    let u = Rng.unit_float rng *. total in
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) > u then search lo mid else search (mid + 1) hi
+    in
+    search 0 (n - 1)

@@ -1,0 +1,45 @@
+(** Random-variate samplers over a {!Rng.t} stream.
+
+    All samplers take the generator explicitly so that call sites make
+    their consumption of randomness visible and reproducible. *)
+
+val bernoulli : Rng.t -> float -> bool
+(** [bernoulli rng p] is [true] with probability [p] ([p] clamped to
+    [\[0, 1\]]). *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)].  Requires [lo <= hi]. *)
+
+val uniform_int : Rng.t -> lo:int -> hi:int -> int
+(** Uniform integer in the inclusive range [\[lo, hi\]].  Requires
+    [lo <= hi]. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with rate [rate] (mean [1 /. rate]).  [rate] must be
+    positive. *)
+
+val normal : Rng.t -> mean:float -> stddev:float -> float
+(** Gaussian via the Box–Muller transform. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** Log-normal: [exp] of a Gaussian with parameters [mu], [sigma]. *)
+
+val pareto : Rng.t -> scale:float -> shape:float -> float
+(** Pareto with minimum [scale] and tail index [shape]; both positive. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Poisson-distributed count.  Uses Knuth's product method for small
+    means and a normal approximation above [mean = 64]. *)
+
+val geometric : Rng.t -> p:float -> int
+(** Number of failures before the first success, [p] in [(0, 1\]]. *)
+
+val zipf : n:int -> s:float -> Rng.t -> int
+(** [zipf ~n ~s] builds a sampler over ranks [1..n] with exponent [s]
+    (probability of rank [k] proportional to [1 /. k ** s]).  The table
+    is computed once; apply the result to a generator per draw. *)
+
+val categorical : weights:float array -> Rng.t -> int
+(** [categorical ~weights] builds a sampler returning index [i] with
+    probability proportional to [weights.(i)].  Weights must be
+    non-negative with a positive sum. *)

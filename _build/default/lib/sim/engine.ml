@@ -1,0 +1,95 @@
+type event = { id : int; run : unit -> unit; foreground : bool }
+
+type handle = int
+
+type t = {
+  mutable clock : float;
+  queue : event Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable foreground_pending : int;
+  root_rng : Rng.t;
+}
+
+let minute = 60.
+let hour = 3600.
+let day = 86400.
+
+let create ?(seed = 0) () =
+  {
+    clock = 0.;
+    queue = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    next_id = 0;
+    foreground_pending = 0;
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let schedule t ~at f =
+  if at < t.clock then invalid_arg "Engine.schedule: time is in the past";
+  let id = fresh_id t in
+  Heap.push t.queue ~priority:at { id; run = f; foreground = true };
+  t.foreground_pending <- t.foreground_pending + 1;
+  id
+
+let schedule_after t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) f
+
+let every t ?start ~period f =
+  if period <= 0. then invalid_arg "Engine.every: period must be positive";
+  let first = match start with Some s -> s | None -> t.clock +. period in
+  (* The recurrence shares one handle: cancelling it marks the id, which
+     is checked before each occurrence fires or reschedules.
+     Recurrences are background events: a plain [run] does not wait for
+     them (they never drain), only [run ~until] executes them. *)
+  let id = fresh_id t in
+  let rec occurrence at () =
+    if not (Hashtbl.mem t.cancelled id) then begin
+      f ();
+      if not (Hashtbl.mem t.cancelled id) then
+        Heap.push t.queue ~priority:(at +. period)
+          { id; run = occurrence (at +. period); foreground = false }
+    end
+  in
+  if first < t.clock then invalid_arg "Engine.every: start is in the past";
+  Heap.push t.queue ~priority:first { id; run = occurrence first; foreground = false };
+  id
+
+let cancel t handle = Hashtbl.replace t.cancelled handle ()
+
+let pending t = Heap.length t.queue
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, ev) ->
+      t.clock <- Stdlib.max t.clock at;
+      if ev.foreground then t.foreground_pending <- t.foreground_pending - 1;
+      if Hashtbl.mem t.cancelled ev.id then ()
+      else ev.run ();
+      true
+
+let run ?until t =
+  match until with
+  | None ->
+      (* Run until all one-shot (foreground) work has drained;
+         recurrences alone do not keep the simulation alive. *)
+      while t.foreground_pending > 0 && step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.queue with
+        | Some (at, _) when at <= horizon -> ignore (step t)
+        | Some _ | None -> continue := false
+      done;
+      t.clock <- Stdlib.max t.clock horizon

@@ -1,0 +1,63 @@
+(** Discrete-event simulation engine.
+
+    An engine owns a virtual clock and an event queue.  Callbacks are run
+    in non-decreasing time order; events scheduled for the same instant
+    run in scheduling order.  Time is a [float] whose unit is chosen by
+    the caller — this repository uses seconds of simulated time
+    throughout, with helper constants in {!val-minute}, {!val-hour} and
+    {!val-day}. *)
+
+type t
+(** An engine instance. *)
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] returns an engine whose {!rng} is seeded with
+    [seed] (default [0]). *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root generator.  Components should {!Rng.split} from it
+    at construction so their random streams are independent. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> handle
+(** [schedule t ~at f] runs [f] at absolute time [at].
+    @raise Invalid_argument if [at] is before {!now}. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule_after t ~delay f] runs [f] [delay] time units from now.
+    Negative delays are rejected. *)
+
+val every : t -> ?start:float -> period:float -> (unit -> unit) -> handle
+(** [every t ~start ~period f] runs [f] at [start] (default
+    [now t +. period]) and then every [period] units, until cancelled.
+    The returned handle cancels the whole recurrence.  Recurrences are
+    {e background} events: they fire during [run ~until], but a plain
+    {!run} does not wait for them (they would never drain). *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event; cancelling a fired or already-cancelled
+    event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still queued (including cancelled stubs not yet
+    drained). *)
+
+val step : t -> bool
+(** Run the single next event.  Returns [false] when the queue is
+    empty. *)
+
+val run : ?until:float -> t -> unit
+(** [run t] executes events until every one-shot event has drained
+    (background recurrences from {!every} do not keep it alive);
+    [run ~until t] stops once the next event would fire strictly after
+    [until], and advances the clock to [until]. *)
+
+val minute : float
+val hour : float
+val day : float
+(** Convenience durations, in seconds. *)

@@ -1,0 +1,28 @@
+(** Binary min-heap keyed by [(priority, sequence)].
+
+    Entries with equal priority pop in insertion order, which gives the
+    event queue of {!Engine} deterministic FIFO behaviour for
+    simultaneous events. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of entries currently stored. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** Insert an entry.  Amortised O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest priority (ties broken
+    by insertion order), or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Like {!pop} without removing. *)
+
+val clear : 'a t -> unit
+(** Drop all entries. *)

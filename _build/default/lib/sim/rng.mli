@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every source of randomness in the repository flows through a value of
+    type {!t}, so that any simulation or experiment is reproducible
+    bit-for-bit from its seed.  The generator is the SplitMix64 mixer of
+    Steele, Lea and Flood, which has a full 2{^64} period and passes
+    BigCrush; it is not cryptographically secure (see {!Toycrypto} for the
+    protocol-facing randomness). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Two generators created with
+    the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that continues [t]'s stream;
+    advancing one does not affect the other. *)
+
+val split : t -> t
+(** [split t] derives a new generator from [t]'s stream, advancing [t].
+    Streams of the parent and child are statistically independent. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** 62 uniformly random non-negative bits as an OCaml [int]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)] with 53-bit resolution. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniformly random element of a non-empty list.
+    @raise Invalid_argument on an empty list. *)

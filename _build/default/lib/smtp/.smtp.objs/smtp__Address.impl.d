@@ -1,0 +1,1 @@
+lib/smtp/address.ml: Format Hashtbl Printf String

@@ -1,0 +1,1 @@
+lib/smtp/address.mli: Format

@@ -1,0 +1,1 @@
+lib/smtp/client.ml: Address Command Envelope List Message Printf Reply Result Server String

@@ -1,0 +1,1 @@
+lib/smtp/client.mli: Address Envelope Message Reply Server

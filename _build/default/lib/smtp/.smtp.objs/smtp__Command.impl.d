@@ -1,0 +1,1 @@
+lib/smtp/command.ml: Address Format Printf Result String

@@ -1,0 +1,1 @@
+lib/smtp/command.mli: Address Format

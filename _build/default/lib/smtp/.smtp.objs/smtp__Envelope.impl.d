@@ -1,0 +1,1 @@
+lib/smtp/envelope.ml: Address Format List String

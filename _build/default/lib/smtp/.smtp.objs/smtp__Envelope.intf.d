@@ -1,0 +1,1 @@
+lib/smtp/envelope.mli: Address Format

@@ -1,0 +1,1 @@
+lib/smtp/mailbox.ml: Address Hashtbl List Message

@@ -1,0 +1,1 @@
+lib/smtp/mailbox.mli: Address Message

@@ -1,0 +1,1 @@
+lib/smtp/message.ml: Address Format List Option Printf Result String

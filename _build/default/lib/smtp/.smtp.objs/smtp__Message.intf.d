@@ -1,0 +1,1 @@
+lib/smtp/message.mli: Address Format

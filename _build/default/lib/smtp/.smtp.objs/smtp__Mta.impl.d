@@ -1,0 +1,1 @@
+lib/smtp/mta.ml: Address Client Dns Envelope List Logs Mailbox Message Printf Reply Server Sim String

@@ -1,0 +1,1 @@
+lib/smtp/mta.mli: Address Dns Envelope Mailbox Message Sim

@@ -1,0 +1,1 @@
+lib/smtp/reply.ml: Format Printf String

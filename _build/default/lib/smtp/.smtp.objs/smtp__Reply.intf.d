@@ -1,0 +1,1 @@
+lib/smtp/reply.mli: Format

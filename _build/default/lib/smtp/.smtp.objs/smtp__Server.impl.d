@@ -1,0 +1,1 @@
+lib/smtp/server.ml: Address Command Envelope List Message Printf Reply String

@@ -1,0 +1,1 @@
+lib/smtp/server.mli: Address Envelope Message Reply

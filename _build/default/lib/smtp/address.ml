@@ -1,0 +1,46 @@
+type t = { local : string; domain : string }
+
+let valid_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '.' || c = '_' || c = '+' || c = '-'
+
+let valid_part s = s <> "" && String.for_all valid_char s
+
+let v ~local ~domain =
+  if not (valid_part local) then
+    invalid_arg (Printf.sprintf "Address.v: invalid local part %S" local);
+  if not (valid_part domain) then
+    invalid_arg (Printf.sprintf "Address.v: invalid domain %S" domain);
+  { local; domain = String.lowercase_ascii domain }
+
+let of_string s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "missing '@' in %S" s)
+  | Some i ->
+      let local = String.sub s 0 i in
+      let domain = String.sub s (i + 1) (String.length s - i - 1) in
+      if String.contains domain '@' then Error (Printf.sprintf "multiple '@' in %S" s)
+      else if not (valid_part local) then Error (Printf.sprintf "invalid local part in %S" s)
+      else if not (valid_part domain) then Error (Printf.sprintf "invalid domain in %S" s)
+      else Ok { local; domain = String.lowercase_ascii domain }
+
+let of_string_exn s =
+  match of_string s with Ok a -> a | Error e -> invalid_arg ("Address.of_string_exn: " ^ e)
+
+let to_string t = t.local ^ "@" ^ t.domain
+
+let local t = t.local
+let domain t = t.domain
+
+let equal a b = String.equal a.local b.local && String.equal a.domain b.domain
+
+let compare a b =
+  match String.compare a.domain b.domain with
+  | 0 -> String.compare a.local b.local
+  | c -> c
+
+let hash t = Hashtbl.hash (t.local, t.domain)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,30 @@
+(** Email addresses of the form [local@domain].
+
+    Parsing is deliberately stricter than RFC 5321 (no quoting, no
+    source routes): the simulator only ever generates the simple form,
+    and strictness catches generator bugs early. *)
+
+type t = private { local : string; domain : string }
+
+val v : local:string -> domain:string -> t
+(** Build an address.
+    @raise Invalid_argument if either part is empty or contains
+    characters outside [A-Za-z0-9._+-]. *)
+
+val of_string : string -> (t, string) result
+(** Parse ["local@domain"]. *)
+
+val of_string_exn : string -> t
+
+val to_string : t -> string
+
+val local : t -> string
+val domain : t -> string
+
+val equal : t -> t -> bool
+(** Case-insensitive on the domain, case-sensitive on the local part
+    (the common conservative interpretation). *)
+
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+type t =
+  | Helo of string
+  | Mail_from of Address.t
+  | Rcpt_to of Address.t
+  | Data
+  | Rset
+  | Noop
+  | Quit
+  | Vrfy of string
+
+let to_line = function
+  | Helo h -> "HELO " ^ h
+  | Mail_from a -> Printf.sprintf "MAIL FROM:<%s>" (Address.to_string a)
+  | Rcpt_to a -> Printf.sprintf "RCPT TO:<%s>" (Address.to_string a)
+  | Data -> "DATA"
+  | Rset -> "RSET"
+  | Noop -> "NOOP"
+  | Quit -> "QUIT"
+  | Vrfy who -> "VRFY " ^ who
+
+let angle_path s =
+  (* Accept "<addr>" or bare "addr". *)
+  let s = String.trim s in
+  let stripped =
+    if String.length s >= 2 && s.[0] = '<' && s.[String.length s - 1] = '>' then
+      String.sub s 1 (String.length s - 2)
+    else s
+  in
+  Address.of_string stripped
+
+let of_line line =
+  let line = String.trim line in
+  let upper = String.uppercase_ascii line in
+  let starts prefix = String.length upper >= String.length prefix
+                      && String.sub upper 0 (String.length prefix) = prefix in
+  let rest_after prefix = String.trim (String.sub line (String.length prefix) (String.length line - String.length prefix)) in
+  if upper = "DATA" then Ok Data
+  else if upper = "RSET" then Ok Rset
+  else if upper = "NOOP" then Ok Noop
+  else if upper = "QUIT" then Ok Quit
+  else if starts "HELO " then
+    let h = rest_after "HELO " in
+    if h = "" then Error "HELO requires a hostname" else Ok (Helo h)
+  else if starts "EHLO " then
+    (* Treated as HELO: the simulator offers no extensions. *)
+    let h = rest_after "EHLO " in
+    if h = "" then Error "EHLO requires a hostname" else Ok (Helo h)
+  else if starts "MAIL FROM:" then
+    Result.map (fun a -> Mail_from a) (angle_path (rest_after "MAIL FROM:"))
+  else if starts "RCPT TO:" then
+    Result.map (fun a -> Rcpt_to a) (angle_path (rest_after "RCPT TO:"))
+  else if starts "VRFY " then Ok (Vrfy (rest_after "VRFY "))
+  else Error (Printf.sprintf "unrecognized command: %S" line)
+
+let equal a b =
+  match (a, b) with
+  | Helo x, Helo y | Vrfy x, Vrfy y -> String.equal x y
+  | Mail_from x, Mail_from y | Rcpt_to x, Rcpt_to y -> Address.equal x y
+  | Data, Data | Rset, Rset | Noop, Noop | Quit, Quit -> true
+  | (Helo _ | Mail_from _ | Rcpt_to _ | Data | Rset | Noop | Quit | Vrfy _), _ ->
+      false
+
+let pp ppf t = Format.pp_print_string ppf (to_line t)

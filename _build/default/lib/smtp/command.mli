@@ -1,0 +1,19 @@
+(** SMTP commands (RFC 821 §4.1) and their wire form. *)
+
+type t =
+  | Helo of string  (** HELO <hostname> *)
+  | Mail_from of Address.t  (** MAIL FROM:<address> *)
+  | Rcpt_to of Address.t  (** RCPT TO:<address> *)
+  | Data
+  | Rset
+  | Noop
+  | Quit
+  | Vrfy of string
+
+val to_line : t -> string
+val of_line : string -> (t, string) result
+(** Parse a command line; verbs are case-insensitive, as RFC 821
+    requires. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type host = int
+
+type t = (string, host) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let register t ~domain host =
+  Hashtbl.replace t (String.lowercase_ascii domain) host
+
+let lookup t ~domain = Hashtbl.find_opt t (String.lowercase_ascii domain)
+
+let domains_of t host =
+  Hashtbl.fold (fun d h acc -> if h = host then d :: acc else acc) t []
+  |> List.sort String.compare
+
+let size t = Hashtbl.length t

@@ -1,0 +1,23 @@
+(** A miniature MX registry: maps mail domains to host identifiers.
+
+    The simulated Internet registers each MTA's domains here; senders
+    look up where to open an SMTP session, exactly as a real MTA
+    resolves MX records. *)
+
+type host = int
+(** An opaque host identifier (the MTA's index in the simulation). *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> domain:string -> host -> unit
+(** Bind [domain] to [host]; re-registering replaces the binding
+    (domains are case-insensitive). *)
+
+val lookup : t -> domain:string -> host option
+
+val domains_of : t -> host -> string list
+(** All domains currently served by a host, sorted. *)
+
+val size : t -> int

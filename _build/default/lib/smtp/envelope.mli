@@ -1,0 +1,19 @@
+(** The SMTP envelope: the sender and recipients named in the MAIL
+    FROM / RCPT TO dialogue, independent of the message headers. *)
+
+type t = private { sender : Address.t; recipients : Address.t list }
+
+val v : sender:Address.t -> recipients:Address.t list -> t
+(** @raise Invalid_argument on an empty or duplicated recipient list. *)
+
+val sender : t -> Address.t
+val recipients : t -> Address.t list
+
+val recipients_in : t -> domain:string -> Address.t list
+(** Recipients whose address is in [domain]. *)
+
+val domains : t -> string list
+(** Distinct recipient domains, in first-appearance order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type entry = { mutable items : (float * Message.t) list (* reversed *) }
+
+type t = (Address.t, entry) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let entry t address =
+  match Hashtbl.find_opt t address with
+  | Some e -> e
+  | None ->
+      let e = { items = [] } in
+      Hashtbl.replace t address e;
+      e
+
+let deliver t address ~time message =
+  let e = entry t address in
+  e.items <- (time, message) :: e.items
+
+let messages_with_times t address =
+  match Hashtbl.find_opt t address with
+  | None -> []
+  | Some e -> List.rev e.items
+
+let messages t address = List.map snd (messages_with_times t address)
+
+let count t address =
+  match Hashtbl.find_opt t address with None -> 0 | Some e -> List.length e.items
+
+let total t = Hashtbl.fold (fun _ e acc -> acc + List.length e.items) t 0
+
+let users t =
+  Hashtbl.fold (fun a e acc -> if e.items = [] then acc else a :: acc) t []
+  |> List.sort Address.compare
+
+let clear t address = Hashtbl.remove t address

@@ -1,0 +1,99 @@
+type t = { fields : (string * string) list; body : string }
+
+let zmail_payment_header = "X-Zmail-Payment"
+let zmail_ack_header = "X-Zmail-Ack"
+
+let canonical name = String.lowercase_ascii name
+
+let header t name =
+  let key = canonical name in
+  List.find_map
+    (fun (n, v) -> if canonical n = key then Some v else None)
+    t.fields
+
+let headers t = t.fields
+
+let add_header t name value = { t with fields = t.fields @ [ (name, value) ] }
+
+(* Simulated-time date rendering: day counter plus time of day, which
+   keeps headers readable without a real calendar. *)
+let render_date seconds =
+  let day = int_of_float (seconds /. 86400.) in
+  let rem = seconds -. (float_of_int day *. 86400.) in
+  let h = int_of_float (rem /. 3600.) in
+  let m = int_of_float ((rem -. (float_of_int h *. 3600.)) /. 60.) in
+  let s = int_of_float (rem -. (float_of_int h *. 3600.) -. (float_of_int m *. 60.)) in
+  Printf.sprintf "Day %d %02d:%02d:%02d +0000" day h m s
+
+let make ~from ~to_ ?subject ?(headers = []) ?date ~body () =
+  let base =
+    [ ("From", Address.to_string from);
+      ("To", String.concat ", " (List.map Address.to_string to_));
+    ]
+  in
+  let with_subject =
+    match subject with None -> base | Some s -> base @ [ ("Subject", s) ]
+  in
+  let with_date =
+    match date with
+    | None -> with_subject
+    | Some d -> with_subject @ [ ("Date", render_date d) ]
+  in
+  { fields = with_date @ headers; body }
+
+let from t = Option.bind (header t "From") (fun v -> Result.to_option (Address.of_string v))
+
+let recipients t =
+  match header t "To" with
+  | None -> []
+  | Some v ->
+      String.split_on_char ',' v
+      |> List.filter_map (fun s ->
+             Result.to_option (Address.of_string (String.trim s)))
+
+let subject t = header t "Subject"
+let body t = t.body
+
+let mark_payment t ~epennies =
+  add_header t zmail_payment_header (string_of_int epennies)
+
+let payment t = Option.bind (header t zmail_payment_header) int_of_string_opt
+
+let mark_ack t ~of_id = add_header t zmail_ack_header of_id
+
+let ack_of t = header t zmail_ack_header
+
+let message_id t = header t "Message-Id"
+
+let split_lines s = if s = "" then [] else String.split_on_char '\n' s
+
+let to_lines t =
+  List.map (fun (n, v) -> n ^ ": " ^ v) t.fields @ ("" :: split_lines t.body)
+
+let of_lines lines =
+  let rec parse_fields acc = function
+    | [] -> Ok (List.rev acc, [])
+    | "" :: rest -> Ok (List.rev acc, rest)
+    | line :: rest -> (
+        match String.index_opt line ':' with
+        | None -> Error (Printf.sprintf "malformed header line %S" line)
+        | Some i ->
+            let name = String.sub line 0 i in
+            let value =
+              String.trim (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            if name = "" || String.contains name ' ' then
+              Error (Printf.sprintf "malformed header name in %S" line)
+            else parse_fields ((name, value) :: acc) rest)
+  in
+  match parse_fields [] lines with
+  | Error _ as e -> e
+  | Ok (fields, body_lines) -> Ok { fields; body = String.concat "\n" body_lines }
+
+let to_string t = String.concat "\n" (to_lines t)
+
+let of_string s = of_lines (String.split_on_char '\n' s)
+
+let size_bytes t = String.length (to_string t)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

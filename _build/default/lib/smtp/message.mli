@@ -1,0 +1,73 @@
+(** RFC-822-style messages: a header block and a body, with the
+    [X-Zmail-*] extension headers Zmail rides on.
+
+    Header field names are case-insensitive; insertion order is
+    preserved when rendering.  {!to_lines}/{!of_lines} round-trip, and
+    the MTA applies SMTP dot-stuffing separately at the session layer. *)
+
+type t
+
+val make :
+  from:Address.t ->
+  to_:Address.t list ->
+  ?subject:string ->
+  ?headers:(string * string) list ->
+  ?date:float ->
+  body:string ->
+  unit ->
+  t
+(** Build a message.  [date] is simulated seconds since the epoch and is
+    rendered into a [Date] header.  Extra [headers] follow the standard
+    ones. *)
+
+val from : t -> Address.t option
+(** Parsed [From] header, if present and well-formed. *)
+
+val recipients : t -> Address.t list
+(** Parsed [To] header addresses (comma separated). *)
+
+val subject : t -> string option
+val body : t -> string
+
+val header : t -> string -> string option
+(** [header t name] is the first value of field [name]
+    (case-insensitive). *)
+
+val headers : t -> (string * string) list
+(** All fields in order. *)
+
+val add_header : t -> string -> string -> t
+(** Functional update appending a field. *)
+
+val size_bytes : t -> int
+(** Rendered size. *)
+
+(** The Zmail extension headers (§1.3: Zmail changes no SMTP verb; all
+    protocol information rides in the message header block). *)
+
+val zmail_payment_header : string
+(** ["X-Zmail-Payment"] — stamped by a compliant sending ISP with the
+    e-penny amount attached to the message. *)
+
+val zmail_ack_header : string
+(** ["X-Zmail-Ack"] — marks the automatic mailing-list acknowledgment
+    (§5); such messages are processed by the ISP and never delivered to
+    a human inbox. *)
+
+val mark_payment : t -> epennies:int -> t
+val payment : t -> int option
+val mark_ack : t -> of_id:string -> t
+val ack_of : t -> string option
+
+val message_id : t -> string option
+
+val to_lines : t -> string list
+(** Render as header lines, a blank line, then body lines. *)
+
+val of_lines : string list -> (t, string) result
+(** Parse the rendering back.  Fails on a malformed header line. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,229 @@
+let log_src = Logs.Src.create "smtp.mta" ~doc:"Simulated mail transfer agents"
+
+module Log = (val Logs.src_log log_src)
+
+type decision = Deliver | Intercept | Discard of string
+
+type stats = {
+  submitted : int;
+  sessions : int;
+  delivered : int;
+  intercepted : int;
+  discarded : int;
+  bounced : int;
+  bytes_sent : int;
+}
+
+type t = {
+  net : network;
+  host : Dns.host;
+  hostname : string;
+  domains : string list;
+  mailboxes : Mailbox.t;
+  mutable outbound_stamp : Envelope.t -> Message.t -> Message.t;
+  mutable inbound_filter : sender:Address.t -> rcpt:Address.t -> Message.t -> decision;
+  mutable on_delivered : rcpt:Address.t -> Message.t -> unit;
+  mutable down : bool;
+  mutable submitted : int;
+  mutable sessions : int;
+  mutable delivered : int;
+  mutable intercepted : int;
+  mutable discarded : int;
+  mutable bounced : int;
+  mutable bytes_sent : int;
+  mutable dead : (Envelope.t * string) list;  (* reversed *)
+  mutable next_message_id : int;
+}
+
+and network = {
+  engine : Sim.Engine.t;
+  registry : Dns.t;
+  latency : Sim.Rng.t -> float;
+  local_latency : float;
+  rng : Sim.Rng.t;
+  mutable hosts : t list;  (* reversed; host id = index at creation *)
+  mutable host_count : int;
+}
+
+let default_latency rng = 0.010 +. Sim.Dist.exponential rng ~rate:20.
+
+let network ?(latency = default_latency) ?(local_latency = 0.001) engine =
+  {
+    engine;
+    registry = Dns.create ();
+    latency;
+    local_latency;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    hosts = [];
+    host_count = 0;
+  }
+
+let engine net = net.engine
+let dns net = net.registry
+
+let create net ~hostname ~domains =
+  List.iter
+    (fun d ->
+      match Dns.lookup net.registry ~domain:d with
+      | Some _ -> invalid_arg (Printf.sprintf "Mta.create: domain %s already registered" d)
+      | None -> ())
+    domains;
+  let t =
+    {
+      net;
+      host = net.host_count;
+      hostname;
+      domains = List.map String.lowercase_ascii domains;
+      mailboxes = Mailbox.create ();
+      outbound_stamp = (fun _ m -> m);
+      inbound_filter = (fun ~sender:_ ~rcpt:_ _ -> Deliver);
+      on_delivered = (fun ~rcpt:_ _ -> ());
+      down = false;
+      submitted = 0;
+      sessions = 0;
+      delivered = 0;
+      intercepted = 0;
+      discarded = 0;
+      bounced = 0;
+      bytes_sent = 0;
+      dead = [];
+      next_message_id = 0;
+    }
+  in
+  net.host_count <- net.host_count + 1;
+  net.hosts <- t :: net.hosts;
+  List.iter (fun d -> Dns.register net.registry ~domain:d t.host) domains;
+  t
+
+let host t = t.host
+let hostname t = t.hostname
+let domains t = t.domains
+let mailboxes t = t.mailboxes
+
+let set_outbound_stamp t f = t.outbound_stamp <- f
+let set_inbound_filter t f = t.inbound_filter <- f
+let set_on_delivered t f = t.on_delivered <- f
+let set_down t b = t.down <- b
+
+let find_host net id = List.find (fun h -> h.host = id) net.hosts
+
+(* Accept every mailbox within our domains; actual per-message policy
+   runs in the inbound filter after DATA completes, like real ISPs
+   filtering after acceptance. *)
+let session_policy t = Server.default_policy ~local_domains:t.domains
+
+(* Deliver a message that has fully arrived at this (receiving) MTA. *)
+let accept_locally t envelope message =
+  let now = Sim.Engine.now t.net.engine in
+  let sender = Envelope.sender envelope in
+  let stamped =
+    Message.add_header message "Received"
+      (Printf.sprintf "from %s by %s; t=%.3f" (Address.domain sender) t.hostname now)
+  in
+  List.iter
+    (fun rcpt ->
+      match t.inbound_filter ~sender ~rcpt stamped with
+      | Deliver ->
+          Mailbox.deliver t.mailboxes rcpt ~time:now stamped;
+          t.delivered <- t.delivered + 1;
+          t.on_delivered ~rcpt stamped
+      | Intercept -> t.intercepted <- t.intercepted + 1
+      | Discard _ -> t.discarded <- t.discarded + 1)
+    (Envelope.recipients envelope)
+
+let bounce t envelope reason =
+  Log.warn (fun m ->
+      m "%s: bouncing %a: %s" t.hostname Envelope.pp envelope reason);
+  t.bounced <- t.bounced + List.length (Envelope.recipients envelope);
+  t.dead <- (envelope, reason) :: t.dead
+
+let max_attempts = 3
+
+(* Run one SMTP session from [t] to [dest] for [envelope]/[message];
+   returns [Ok ()] or a retryable/permanent failure. *)
+let run_session t dest envelope message =
+  t.sessions <- t.sessions + 1;
+  if dest.down then Error (`Transient "host down (421)")
+  else begin
+    let server = Server.create ~hostname:dest.hostname ~policy:(session_policy dest) in
+    let transport = Client.of_server server in
+    match Client.deliver transport ~hostname:t.hostname envelope message with
+    | Ok _outcome ->
+        t.bytes_sent <- t.bytes_sent + Message.size_bytes message;
+        List.iter
+          (fun (env, msg) -> accept_locally dest env msg)
+          (Server.take_received server);
+        Ok ()
+    | Error (Client.Connection_refused reply) ->
+        if Reply.is_transient_failure reply then Error (`Transient (Reply.to_line reply))
+        else Error (`Permanent (Reply.to_line reply))
+    | Error (Client.All_recipients_rejected _ as f) ->
+        Error (`Permanent (Client.failure_to_string f))
+    | Error (Client.Protocol_error { reply; _ } as f) ->
+        if Reply.is_transient_failure reply then
+          Error (`Transient (Client.failure_to_string f))
+        else Error (`Permanent (Client.failure_to_string f))
+  end
+
+let rec transmit t ~dest_host envelope message ~attempt =
+  let dest = find_host t.net dest_host in
+  match run_session t dest envelope message with
+  | Ok () -> ()
+  | Error (`Permanent reason) -> bounce t envelope reason
+  | Error (`Transient reason) ->
+      if attempt + 1 >= max_attempts then bounce t envelope reason
+      else begin
+        Log.debug (fun m ->
+            m "%s: transient failure to host %d (attempt %d): %s" t.hostname
+              dest_host (attempt + 1) reason);
+        let backoff = 60. *. (2. ** float_of_int attempt) in
+        ignore
+          (Sim.Engine.schedule_after t.net.engine ~delay:backoff (fun () ->
+               transmit t ~dest_host envelope message ~attempt:(attempt + 1)))
+      end
+
+let submit t envelope message =
+  t.submitted <- t.submitted + 1;
+  (* Stamp a Message-Id on first submission, like any real MTA. *)
+  let message =
+    match Message.message_id message with
+    | Some _ -> message
+    | None ->
+        t.next_message_id <- t.next_message_id + 1;
+        Message.add_header message "Message-Id"
+          (Printf.sprintf "<%d@%s>" t.next_message_id t.hostname)
+  in
+  let message = t.outbound_stamp envelope message in
+  let by_domain =
+    List.map
+      (fun d -> (d, Envelope.recipients_in envelope ~domain:d))
+      (Envelope.domains envelope)
+  in
+  List.iter
+    (fun (domain, recipients) ->
+      let sub_envelope = Envelope.v ~sender:(Envelope.sender envelope) ~recipients in
+      match Dns.lookup t.net.registry ~domain with
+      | None -> bounce t sub_envelope (Printf.sprintf "no MX for %s" domain)
+      | Some dest_host when dest_host = t.host ->
+          ignore
+            (Sim.Engine.schedule_after t.net.engine ~delay:t.net.local_latency
+               (fun () -> accept_locally t sub_envelope message))
+      | Some dest_host ->
+          let delay = t.net.latency t.net.rng in
+          ignore
+            (Sim.Engine.schedule_after t.net.engine ~delay (fun () ->
+                 transmit t ~dest_host sub_envelope message ~attempt:0)))
+    by_domain
+
+let stats t =
+  {
+    submitted = t.submitted;
+    sessions = t.sessions;
+    delivered = t.delivered;
+    intercepted = t.intercepted;
+    discarded = t.discarded;
+    bounced = t.bounced;
+    bytes_sent = t.bytes_sent;
+  }
+
+let dead_letters t = List.rev t.dead

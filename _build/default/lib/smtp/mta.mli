@@ -1,0 +1,68 @@
+(** Mail transfer agents on a simulated network.
+
+    A {!network} ties MTAs to one {!Sim.Engine.t}, an MX registry and a
+    latency model.  Every remote delivery runs the full RFC 821
+    dialogue through {!Client} and {!Server} — the codec and the session
+    state machines are on the hot path, not just in tests.
+
+    Hooks let higher layers participate in the mail flow:
+    - [outbound_stamp] rewrites a message as it leaves (a compliant
+      Zmail ISP stamps the payment header here);
+    - [inbound_filter] decides the fate of each arriving message
+      (deliver, intercept for protocol processing, or discard);
+    - [on_delivered] observes every mailbox write. *)
+
+type network
+
+val network :
+  ?latency:(Sim.Rng.t -> float) -> ?local_latency:float -> Sim.Engine.t ->
+  network
+(** [latency] draws the one-way transmission delay for a remote SMTP
+    session (default: exponential with mean 50 ms plus 10 ms floor);
+    [local_latency] (default 1 ms) applies to same-host delivery. *)
+
+val engine : network -> Sim.Engine.t
+val dns : network -> Dns.t
+
+type t
+
+type decision =
+  | Deliver  (** Write to the addressee's mailbox. *)
+  | Intercept  (** Consumed by the ISP layer; no mailbox write. *)
+  | Discard of string  (** Dropped, with a reason (counted). *)
+
+val create : network -> hostname:string -> domains:string list -> t
+(** Create an MTA and register its domains in the network's MX
+    registry.
+    @raise Invalid_argument if a domain is already registered. *)
+
+val host : t -> Dns.host
+val hostname : t -> string
+val domains : t -> string list
+val mailboxes : t -> Mailbox.t
+
+val set_outbound_stamp : t -> (Envelope.t -> Message.t -> Message.t) -> unit
+val set_inbound_filter : t -> (sender:Address.t -> rcpt:Address.t -> Message.t -> decision) -> unit
+val set_on_delivered : t -> (rcpt:Address.t -> Message.t -> unit) -> unit
+val set_down : t -> bool -> unit
+(** A down MTA answers sessions with 421; senders retry with backoff. *)
+
+val submit : t -> Envelope.t -> Message.t -> unit
+(** Hand a message from a local user to this MTA for delivery
+    (local and remote recipients are routed automatically).  A
+    [Message-Id] header is stamped if the message lacks one. *)
+
+type stats = {
+  submitted : int;  (** Messages accepted from local users. *)
+  sessions : int;  (** Outbound SMTP sessions run. *)
+  delivered : int;  (** Mailbox writes on this host. *)
+  intercepted : int;
+  discarded : int;
+  bounced : int;  (** Envelope-recipients abandoned after retries. *)
+  bytes_sent : int;  (** Message bytes sent over remote sessions. *)
+}
+
+val stats : t -> stats
+
+val dead_letters : t -> (Envelope.t * string) list
+(** Abandoned sends with the failure reason, oldest first. *)

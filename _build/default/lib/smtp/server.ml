@@ -1,0 +1,152 @@
+type policy = {
+  accept_recipient : Address.t -> (unit, string) result;
+  max_recipients : int;
+  max_message_bytes : int;
+}
+
+let default_policy ~local_domains =
+  let local_domains = List.map String.lowercase_ascii local_domains in
+  {
+    accept_recipient =
+      (fun a ->
+        if List.mem (Address.domain a) local_domains then Ok ()
+        else Error (Address.to_string a));
+    max_recipients = 100;
+    max_message_bytes = 1024 * 1024;
+  }
+
+(* Session phases, in RFC 821 order. *)
+type phase =
+  | Start  (* awaiting HELO *)
+  | Idle  (* greeted, no transaction open *)
+  | Have_sender of Address.t
+  | Collecting of { sender : Address.t; recipients : Address.t list }
+  | In_data of {
+      sender : Address.t;
+      recipients : Address.t list;
+      lines : string list;  (* reversed *)
+    }
+  | Quit_received
+
+type t = {
+  hostname : string;
+  policy : policy;
+  mutable phase : phase;
+  mutable inbox : (Envelope.t * Message.t) list;  (* reversed *)
+}
+
+let create ~hostname ~policy = { hostname; policy; phase = Start; inbox = [] }
+
+let greeting t = Reply.service_ready ~hostname:t.hostname
+
+let closed t = t.phase = Quit_received
+
+let reset_transaction t = t.phase <- Idle
+
+let unstuff line =
+  (* RFC 821 §4.5.2: a leading '.' was doubled by the sender. *)
+  if String.length line >= 2 && line.[0] = '.' && line.[1] = '.' then
+    String.sub line 1 (String.length line - 1)
+  else line
+
+let finish_data t sender recipients lines =
+  let size =
+    List.fold_left (fun acc line -> acc + String.length line + 1) 0 lines
+  in
+  if size > t.policy.max_message_bytes then begin
+    t.phase <- Idle;
+    Reply.v 552 "Requested mail action aborted: exceeded storage allocation"
+  end
+  else begin
+  let body_and_headers = List.rev lines in
+  (match Message.of_lines body_and_headers with
+  | Ok message ->
+      let envelope = Envelope.v ~sender ~recipients in
+      t.inbox <- (envelope, message) :: t.inbox
+  | Error _ ->
+      (* RFC 821 delivers even messy content; preserve it as an opaque
+         body so nothing is silently lost. *)
+      let message =
+        Message.make ~from:sender ~to_:recipients
+          ~body:(String.concat "\n" body_and_headers) ()
+      in
+      let envelope = Envelope.v ~sender ~recipients in
+      t.inbox <- (envelope, message) :: t.inbox);
+  t.phase <- Idle;
+  Reply.completed
+  end
+
+let on_command t command =
+  match (t.phase, (command : Command.t)) with
+  | Quit_received, _ -> Reply.service_unavailable
+  | _, Command.Noop -> Reply.completed
+  | _, Command.Quit ->
+      t.phase <- Quit_received;
+      Reply.closing ~hostname:t.hostname
+  | _, Command.Rset ->
+      (match t.phase with Start -> () | _ -> reset_transaction t);
+      Reply.completed
+  | Start, Command.Helo peer ->
+      t.phase <- Idle;
+      Reply.completed_text (Printf.sprintf "%s greets %s" t.hostname peer)
+  | Start, (Command.Mail_from _ | Command.Rcpt_to _ | Command.Data | Command.Vrfy _)
+    ->
+      Reply.bad_sequence
+  | (Idle | Have_sender _ | Collecting _), Command.Helo peer ->
+      (* Re-HELO aborts any transaction in progress. *)
+      t.phase <- Idle;
+      Reply.completed_text (Printf.sprintf "%s greets %s" t.hostname peer)
+  | Idle, Command.Mail_from sender ->
+      t.phase <- Have_sender sender;
+      Reply.completed
+  | Idle, (Command.Rcpt_to _ | Command.Data) -> Reply.bad_sequence
+  | Have_sender _, Command.Mail_from _ -> Reply.bad_sequence
+  | Have_sender sender, Command.Rcpt_to rcpt -> (
+      match t.policy.accept_recipient rcpt with
+      | Ok () ->
+          t.phase <- Collecting { sender; recipients = [ rcpt ] };
+          Reply.completed
+      | Error who -> Reply.mailbox_unavailable who)
+  | Have_sender _, Command.Data -> Reply.bad_sequence
+  | Collecting _, Command.Mail_from _ -> Reply.bad_sequence
+  | Collecting { sender; recipients }, Command.Rcpt_to rcpt ->
+      if List.length recipients >= t.policy.max_recipients then
+        Reply.transaction_failed "too many recipients"
+      else if List.exists (Address.equal rcpt) recipients then
+        (* Idempotent accept: RFC allows repeating a recipient. *)
+        Reply.completed
+      else (
+        match t.policy.accept_recipient rcpt with
+        | Ok () ->
+            t.phase <- Collecting { sender; recipients = recipients @ [ rcpt ] };
+            Reply.completed
+        | Error who -> Reply.mailbox_unavailable who)
+  | Collecting { sender; recipients }, Command.Data ->
+      t.phase <- In_data { sender; recipients; lines = [] };
+      Reply.start_mail_input
+  | _, Command.Vrfy _ ->
+      (* We confirm nothing: the classic anti-harvesting stance. *)
+      Reply.completed_text "Cannot VRFY user, but will accept message"
+  | In_data _, _ ->
+      (* Commands are not interpreted during DATA; handled in on_line. *)
+      assert false
+
+let on_line t line =
+  match t.phase with
+  | In_data { sender; recipients; lines } ->
+      if line = "." then Some (finish_data t sender recipients lines)
+      else begin
+        t.phase <- In_data { sender; recipients; lines = unstuff line :: lines };
+        None
+      end
+  | Start | Idle | Have_sender _ | Collecting _ | Quit_received -> (
+      match Command.of_line line with
+      | Ok command -> Some (on_command t command)
+      | Error _ -> Some Reply.syntax_error)
+
+let received t = List.rev t.inbox
+
+let take_received t =
+  let all = List.rev t.inbox in
+  t.inbox <- [];
+  all

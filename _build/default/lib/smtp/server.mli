@@ -1,0 +1,43 @@
+(** Server side of an SMTP session: the RFC 821 command state machine.
+
+    One {!t} handles one connection.  Feed it command lines with
+    {!on_line}; during a DATA block every line (dot-stuffing removed)
+    accumulates until the terminating ["."].  Completed messages are
+    queued and retrieved with {!take_received}.
+
+    Recipient acceptance is delegated to the [accept] policy so the MTA
+    (or a Zmail ISP, or a spam filter baseline) can refuse mailboxes. *)
+
+type policy = {
+  accept_recipient : Address.t -> (unit, string) result;
+      (** Checked at RCPT TO time; [Error why] yields a 550. *)
+  max_recipients : int;  (** RCPT TO beyond this count gets a 554. *)
+  max_message_bytes : int;
+      (** Messages larger than this (measured over the received data
+          lines) are refused with 552 at the end of DATA. *)
+}
+
+val default_policy : local_domains:string list -> policy
+(** Accept any mailbox in one of [local_domains]; 100 recipients max;
+    1 MiB message cap. *)
+
+type t
+
+val create : hostname:string -> policy:policy -> t
+
+val greeting : t -> Reply.t
+(** The 220 banner; must be read (conceptually) before commands. *)
+
+val on_line : t -> string -> Reply.t option
+(** Feed one line from the client.  Returns [Some reply] for command
+    lines and for the DATA terminator, [None] for intermediate data
+    lines.  A [QUIT] reply (221) ends the session; further lines get
+    421. *)
+
+val received : t -> (Envelope.t * Message.t) list
+(** Messages completed so far, oldest first (kept until taken). *)
+
+val take_received : t -> (Envelope.t * Message.t) list
+(** As {!received}, and clears the queue. *)
+
+val closed : t -> bool

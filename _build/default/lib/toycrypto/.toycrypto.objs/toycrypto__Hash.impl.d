@@ -1,0 +1,1 @@
+lib/toycrypto/hash.ml: Bytes Char Int64 String

@@ -1,0 +1,1 @@
+lib/toycrypto/hash.mli:

@@ -1,0 +1,1 @@
+lib/toycrypto/nonce.ml: Hashtbl Int64 Sim

@@ -1,0 +1,1 @@
+lib/toycrypto/nonce.mli: Sim

@@ -1,0 +1,1 @@
+lib/toycrypto/rsa.ml: Hash Int64 Sim

@@ -1,0 +1,1 @@
+lib/toycrypto/rsa.mli: Sim

@@ -1,0 +1,1 @@
+lib/toycrypto/seal.ml: Bytes Char Hash Int64 List Rsa Sim String Xtea

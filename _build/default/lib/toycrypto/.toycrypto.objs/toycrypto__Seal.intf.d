@@ -1,0 +1,1 @@
+lib/toycrypto/seal.mli: Rsa Sim

@@ -1,0 +1,1 @@
+lib/toycrypto/xtea.ml: Bytes Char Int64 Sim

@@ -1,0 +1,1 @@
+lib/toycrypto/xtea.mli: Sim

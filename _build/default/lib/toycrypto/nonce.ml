@@ -1,0 +1,25 @@
+type t = { rng : Sim.Rng.t; mutable counter : int }
+
+let create rng = { rng = Sim.Rng.split rng; counter = 0 }
+
+let next t =
+  t.counter <- t.counter + 1;
+  let random_low = Int64.logand (Sim.Rng.int64 t.rng) 0xFFFFFFFFL in
+  Int64.logor (Int64.shift_left (Int64.of_int t.counter) 32) random_low
+
+let count t = t.counter
+
+module Tracker = struct
+  type nonrec t = (int64, unit) Hashtbl.t
+
+  let create () = Hashtbl.create 64
+
+  let seen t n = Hashtbl.mem t n
+
+  let first_use t n =
+    if Hashtbl.mem t n then false
+    else begin
+      Hashtbl.replace t n ();
+      true
+    end
+end

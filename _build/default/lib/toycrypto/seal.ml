@@ -1,0 +1,83 @@
+type sealed = {
+  recipient : int;
+  wrapped_key : int list;
+  iv : int64;
+  ciphertext : string;
+  mac : int64;
+}
+
+(* The 128-bit session key is carried as eight 15-bit chunks plus a
+   16th-bit remainder word, all below any possible 30-bit modulus. *)
+let chunk_bits = 14
+
+let key_to_chunks hi lo =
+  let word x shift = Int64.to_int (Int64.shift_right_logical x shift) land ((1 lsl chunk_bits) - 1) in
+  let rec take x shift acc =
+    if shift >= 64 then List.rev acc else take x (shift + chunk_bits) (word x shift :: acc)
+  in
+  take hi 0 [] @ take lo 0 []
+
+let chunks_to_key chunks =
+  let rebuild chunks =
+    List.fold_right
+      (fun c acc -> Int64.logor (Int64.shift_left acc chunk_bits) (Int64.of_int c))
+      chunks 0L
+  in
+  let rec split i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | c :: rest -> split (i - 1) (c :: acc) rest
+    | [] -> (List.rev acc, [])
+  in
+  let per_half = (64 + chunk_bits - 1) / chunk_bits in
+  let first, second = split per_half [] chunks in
+  (rebuild first, rebuild second)
+
+let mac_key hi lo = (hi, lo)
+
+let mac_input ~iv ~ciphertext =
+  let b = Bytes.create (8 + String.length ciphertext) in
+  for i = 0 to 7 do
+    Bytes.set b i (Char.chr (Int64.to_int (Int64.shift_right_logical iv (8 * (7 - i))) land 0xff))
+  done;
+  Bytes.blit_string ciphertext 0 b 8 (String.length ciphertext);
+  b
+
+let seal rng pk payload =
+  let hi = Sim.Rng.int64 rng and lo = Sim.Rng.int64 rng in
+  let key = Xtea.key_of_int64s hi lo in
+  let iv = Sim.Rng.int64 rng in
+  let ciphertext = Bytes.to_string (Xtea.encrypt_cbc key ~iv payload) in
+  let mac = Hash.siphash ~key:(mac_key hi lo) (mac_input ~iv ~ciphertext) in
+  {
+    recipient = Rsa.key_id pk;
+    wrapped_key = List.map (Rsa.encrypt pk) (key_to_chunks hi lo);
+    iv;
+    ciphertext;
+    mac;
+  }
+
+let unseal sk sealed =
+  let chunks = List.map (Rsa.decrypt sk) sealed.wrapped_key in
+  let hi, lo = chunks_to_key chunks in
+  let expected =
+    Hash.siphash ~key:(mac_key hi lo)
+      (mac_input ~iv:sealed.iv ~ciphertext:sealed.ciphertext)
+  in
+  if expected <> sealed.mac then None
+  else
+    Xtea.decrypt_cbc (Xtea.key_of_int64s hi lo) ~iv:sealed.iv
+      (Bytes.of_string sealed.ciphertext)
+
+let recipient_id sealed = sealed.recipient
+
+let flip_bit sealed =
+  if String.length sealed.ciphertext = 0 then sealed
+  else begin
+    let b = Bytes.of_string sealed.ciphertext in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 1));
+    { sealed with ciphertext = Bytes.to_string b }
+  end
+
+let size_bytes sealed =
+  (* recipient id + wrapped key chunks (4 bytes each) + iv + mac *)
+  4 + (4 * List.length sealed.wrapped_key) + 8 + String.length sealed.ciphertext + 8

@@ -1,0 +1,113 @@
+type key = { k0 : int; k1 : int; k2 : int; k3 : int }
+
+let mask32 = 0xFFFFFFFF
+
+let key_of_words a b c d =
+  { k0 = a land mask32; k1 = b land mask32; k2 = c land mask32; k3 = d land mask32 }
+
+let key_of_int64s hi lo =
+  let w x shift = Int64.to_int (Int64.shift_right_logical x shift) land mask32 in
+  key_of_words (w hi 32) (w hi 0) (w lo 32) (w lo 0)
+
+let random_key rng = key_of_int64s (Sim.Rng.int64 rng) (Sim.Rng.int64 rng)
+
+let key_words { k0; k1; k2; k3 } = (k0, k1, k2, k3)
+
+let key_word k i =
+  match i land 3 with
+  | 0 -> k.k0
+  | 1 -> k.k1
+  | 2 -> k.k2
+  | _ -> k.k3
+
+let delta = 0x9E3779B9
+let rounds = 32
+
+(* All arithmetic is on 32-bit words held in native ints. *)
+let mix v = (((v lsl 4) lxor (v lsr 5)) + v) land mask32
+
+let split_block b =
+  let v0 = Int64.to_int (Int64.shift_right_logical b 32) land mask32 in
+  let v1 = Int64.to_int b land mask32 in
+  (v0, v1)
+
+let join_block v0 v1 =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (v0 land mask32)) 32)
+    (Int64.of_int (v1 land mask32))
+
+let encrypt_block k b =
+  let v0 = ref 0 and v1 = ref 0 and sum = ref 0 in
+  let x, y = split_block b in
+  v0 := x;
+  v1 := y;
+  for _ = 1 to rounds do
+    v0 := (!v0 + (mix !v1 lxor ((!sum + key_word k !sum) land mask32))) land mask32;
+    sum := (!sum + delta) land mask32;
+    v1 := (!v1 + (mix !v0 lxor ((!sum + key_word k (!sum lsr 11)) land mask32))) land mask32
+  done;
+  join_block !v0 !v1
+
+let decrypt_block k b =
+  let v0 = ref 0 and v1 = ref 0 in
+  let sum = ref ((delta * rounds) land mask32) in
+  let x, y = split_block b in
+  v0 := x;
+  v1 := y;
+  for _ = 1 to rounds do
+    v1 := (!v1 - (mix !v0 lxor ((!sum + key_word k (!sum lsr 11)) land mask32))) land mask32;
+    sum := (!sum - delta) land mask32;
+    v0 := (!v0 - (mix !v1 lxor ((!sum + key_word k !sum) land mask32))) land mask32
+  done;
+  join_block !v0 !v1
+
+let get_block b off =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code (Bytes.get b (off + i))))
+  done;
+  !acc
+
+let set_block b off v =
+  for i = 0 to 7 do
+    let byte = Int64.to_int (Int64.shift_right_logical v (8 * (7 - i))) land 0xff in
+    Bytes.set b (off + i) (Char.chr byte)
+  done
+
+let encrypt_cbc k ~iv plain =
+  let len = Bytes.length plain in
+  let pad = 8 - (len mod 8) in
+  let padded = Bytes.make (len + pad) (Char.chr pad) in
+  Bytes.blit plain 0 padded 0 len;
+  let out = Bytes.create (len + pad) in
+  let prev = ref iv in
+  for i = 0 to ((len + pad) / 8) - 1 do
+    let block = Int64.logxor (get_block padded (i * 8)) !prev in
+    let c = encrypt_block k block in
+    set_block out (i * 8) c;
+    prev := c
+  done;
+  out
+
+let decrypt_cbc k ~iv cipher =
+  let len = Bytes.length cipher in
+  if len = 0 || len mod 8 <> 0 then None
+  else begin
+    let out = Bytes.create len in
+    let prev = ref iv in
+    for i = 0 to (len / 8) - 1 do
+      let c = get_block cipher (i * 8) in
+      let p = Int64.logxor (decrypt_block k c) !prev in
+      set_block out (i * 8) p;
+      prev := c
+    done;
+    let pad = Char.code (Bytes.get out (len - 1)) in
+    if pad < 1 || pad > 8 || pad > len then None
+    else begin
+      let valid = ref true in
+      for i = len - pad to len - 1 do
+        if Char.code (Bytes.get out i) <> pad then valid := false
+      done;
+      if !valid then Some (Bytes.sub out 0 (len - pad)) else None
+    end
+  end

@@ -1,0 +1,1 @@
+lib/zmail/ap_spec.mli: Apn

@@ -1,0 +1,1 @@
+lib/zmail/bank.ml: Array Credit Hashtbl List Toycrypto Wire

@@ -1,0 +1,1 @@
+lib/zmail/bank.mli: Credit Epenny Sim Toycrypto Wire

@@ -1,0 +1,1 @@
+lib/zmail/credit.ml: Array Hashtbl List Option Printf

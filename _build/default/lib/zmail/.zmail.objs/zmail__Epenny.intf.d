@@ -1,0 +1,1 @@
+lib/zmail/epenny.mli:

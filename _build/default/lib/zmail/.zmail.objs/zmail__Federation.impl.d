@@ -1,0 +1,1 @@
+lib/zmail/federation.ml: Array Bank Credit Hashtbl List Toycrypto Wire

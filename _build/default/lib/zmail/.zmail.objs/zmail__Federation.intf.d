@@ -1,0 +1,1 @@
+lib/zmail/federation.mli: Bank Epenny Sim Toycrypto Wire

@@ -1,0 +1,1 @@
+lib/zmail/isp.ml: Array Credit Epenny Int64 Ledger List Sim Toycrypto Wire

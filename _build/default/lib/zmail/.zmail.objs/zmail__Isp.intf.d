@@ -1,0 +1,1 @@
+lib/zmail/isp.mli: Epenny Ledger Sim Toycrypto Wire

@@ -1,0 +1,1 @@
+lib/zmail/listserv.ml: Hashtbl List Smtp

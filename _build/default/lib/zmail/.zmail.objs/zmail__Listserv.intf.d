@@ -1,0 +1,1 @@
+lib/zmail/listserv.mli: Smtp

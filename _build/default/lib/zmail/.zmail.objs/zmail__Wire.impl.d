@@ -1,0 +1,1 @@
+lib/zmail/wire.ml: Array Bytes Epenny Format Int64 List Printf Result String Toycrypto

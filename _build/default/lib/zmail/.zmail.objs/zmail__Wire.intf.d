@@ -1,0 +1,1 @@
+lib/zmail/wire.mli: Epenny Format Sim Toycrypto

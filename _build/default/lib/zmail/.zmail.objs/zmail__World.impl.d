@@ -1,0 +1,1 @@
+lib/zmail/world.ml: Array Bank Econ Epenny Hashtbl Isp Ledger List Listserv Logs Option Printf Queue Sim Smtp String

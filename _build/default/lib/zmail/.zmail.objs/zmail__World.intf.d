@@ -1,0 +1,1 @@
+lib/zmail/world.mli: Bank Econ Epenny Isp Ledger Listserv Sim Smtp

@@ -1,0 +1,408 @@
+type snapshot_rule = Two_phase | Paper_literal
+
+type config = {
+  n_isps : int;
+  users_per_isp : int;
+  compliant : bool array;
+  initial_balance : int;
+  daily_limit : int;
+  workload : (int * int * int * int) list;
+  audits : int;
+  snapshot : snapshot_rule;
+}
+
+let default_config =
+  {
+    n_isps = 2;
+    users_per_isp = 2;
+    compliant = [| true; true |];
+    initial_balance = 2;
+    daily_limit = 2;
+    workload = [ (0, 0, 1, 0); (1, 0, 0, 1); (0, 1, 0, 0) ];
+    audits = 1;
+    snapshot = Two_phase;
+  }
+
+type isp_state = {
+  isp_index : int;
+  balance : int list;
+  sent : int list;
+  credit : int list;
+  cansend : bool;
+  frozen : bool;
+  awaiting_resume : bool;
+  isp_seq : int;
+  pending : (int * int * int) list;
+}
+
+type bank_state = {
+  bank_seq : int;
+  audits_left : int;
+  collecting : bool;
+  waiting : int list;
+  reported : (int * int list) list;
+  violation_found : bool;
+}
+
+type state = Isp_node of isp_state | Bank_node of bank_state
+
+type msg =
+  | Email of { sender : int; rcpt : int }
+  | Audit_request of int
+  | Audit_reply of { isp : int; seq : int; credit : int list }
+  | Resume of int
+
+
+let nth_add l i d = List.mapi (fun k x -> if k = i then x + d else x) l
+
+let isp_of = function
+  | Isp_node s -> s
+  | Bank_node _ -> invalid_arg "Ap_spec: expected an ISP state"
+
+let bank_of = function
+  | Bank_node s -> s
+  | Isp_node _ -> invalid_arg "Ap_spec: expected the bank state"
+
+(* The §4.1 send action, applied to the head of the workload queue. *)
+let apply_send cfg me (s, j, r) =
+  let can_pay = List.nth me.balance s >= 1 && List.nth me.sent s < cfg.daily_limit in
+  if j = me.isp_index then
+    (* Local transfer: both sides settle immediately. *)
+    if can_pay then
+      { me with
+        balance = nth_add (nth_add me.balance s (-1)) r 1;
+        sent = nth_add me.sent s 1 }, []
+    else me, []
+  else if cfg.compliant.(j) then
+    if can_pay then
+      ( { me with
+          balance = nth_add me.balance s (-1);
+          sent = nth_add me.sent s 1;
+          credit = nth_add me.credit j 1 },
+        [ (j, Email { sender = s; rcpt = r }) ] )
+    else (me, [])
+  else
+    (* §4.1: destination non-compliant — send without charge. *)
+    (me, [ (j, Email { sender = s; rcpt = r }) ])
+
+let isp_process cfg index : (state, msg) Apn.Spec.process =
+  let init =
+    Isp_node
+      {
+        isp_index = index;
+        balance = List.init cfg.users_per_isp (fun _ -> cfg.initial_balance);
+        sent = List.init cfg.users_per_isp (fun _ -> 0);
+        credit = List.init cfg.n_isps (fun _ -> 0);
+        cansend = true;
+        frozen = false;
+        awaiting_resume = false;
+        isp_seq = 0;
+        pending =
+          List.filter_map
+            (fun (src, s, dst, r) -> if src = index then Some (s, dst, r) else None)
+            cfg.workload;
+      }
+  in
+  let send_action =
+    Apn.Spec.local ~name:"send"
+      ~enabled:(fun st ->
+        let me = isp_of st in
+        me.cansend && me.pending <> [])
+      ~apply:(fun st ->
+        let me = isp_of st in
+        match me.pending with
+        | [] -> (st, [])
+        | item :: rest ->
+            let me = { me with pending = rest } in
+            let me, sends =
+              if cfg.compliant.(me.isp_index) then apply_send cfg me item
+              else
+                (* A non-compliant ISP sends freely, no accounting. *)
+                let _, j, r = item in
+                let _, s, _ = item in
+                (me, [ (j, Email { sender = s; rcpt = r }) ])
+            in
+            (Isp_node me, sends))
+  in
+  let receive_email =
+    Apn.Spec.receive ~name:"recv-email"
+      ~accepts:(fun ~src:_ m ->
+        match m with Email _ -> true | Audit_request _ | Audit_reply _ | Resume _ -> false)
+      ~apply:(fun st ~src m ->
+        let me = isp_of st in
+        match m with
+        | Email { rcpt; _ } ->
+            if cfg.compliant.(me.isp_index) && cfg.compliant.(src) && src <> me.isp_index
+            then
+              ( Isp_node
+                  { me with
+                    balance = nth_add me.balance rcpt 1;
+                    credit = nth_add me.credit src (-1) },
+                [] )
+            else (st, [])
+        | Audit_request _ | Audit_reply _ | Resume _ -> (st, []))
+  in
+  let receive_request =
+    Apn.Spec.receive ~name:"recv-request"
+      ~accepts:(fun ~src:_ m ->
+        match m with Audit_request _ -> true | Email _ | Audit_reply _ | Resume _ -> false)
+      ~apply:(fun st ~src:_ m ->
+        let me = isp_of st in
+        match m with
+        | Audit_request seq ->
+            if cfg.compliant.(me.isp_index) && seq = me.isp_seq && me.cansend then
+              (Isp_node { me with cansend = false; frozen = true }, [])
+            else (st, [])
+        | Email _ | Audit_reply _ | Resume _ -> (st, []))
+  in
+  let receive_resume =
+    Apn.Spec.receive ~name:"recv-resume"
+      ~accepts:(fun ~src:_ m ->
+        match m with Resume _ -> true | Email _ | Audit_request _ | Audit_reply _ -> false)
+      ~apply:(fun st ~src:_ m ->
+        let me = isp_of st in
+        match m with
+        | Resume seq ->
+            if me.awaiting_resume && seq + 1 = me.isp_seq then
+              (Isp_node { me with awaiting_resume = false; cansend = true }, [])
+            else (st, [])
+        | Email _ | Audit_request _ | Audit_reply _ -> (st, []))
+  in
+  (* The paper renders the snapshot wait as a 10-minute timer — a
+     timing assumption that every frozen window overlaps and covers the
+     worst-case delivery latency.  [Two_phase] expresses that
+     assumption logically (AP timeout guards may read global state):
+     report only once every compliant ISP has frozen and all of this
+     ISP's channels have drained, and resume sending only on the bank's
+     resume.  [Paper_literal] keeps the paper's local rule ("my own
+     outgoing channels are empty"), under which the explorer exhibits a
+     false-accusation race — see EXPERIMENTS.md E10. *)
+  let timeout_enabled view me =
+    match cfg.snapshot with
+    | Paper_literal -> me.frozen && view.Apn.Spec.outgoing_empty me.isp_index
+    | Two_phase ->
+        (* Every compliant peer must be inside THIS round's window:
+           frozen at my sequence number, or already reported it
+           (awaiting resume at seq + 1).  A peer merely pausing between
+           rounds (awaiting the previous resume at my seq) will send
+           again before freezing, so it does not count. *)
+        me.frozen
+        && view.Apn.Spec.outgoing_empty me.isp_index
+        && List.for_all
+             (fun j ->
+               j = me.isp_index
+               ||
+               match view.Apn.Spec.state_of j with
+               | Isp_node peer ->
+                   (peer.frozen && peer.isp_seq = me.isp_seq)
+                   || (peer.awaiting_resume && peer.isp_seq = me.isp_seq + 1)
+               | Bank_node _ -> true)
+             (List.filter (fun j -> cfg.compliant.(j)) (List.init cfg.n_isps (fun j -> j)))
+        && List.for_all
+             (fun j ->
+               List.for_all
+                 (fun m -> match m with Email _ -> false | Audit_request _ | Audit_reply _ | Resume _ -> true)
+                 (view.Apn.Spec.channel ~src:j ~dst:me.isp_index))
+             (List.init cfg.n_isps (fun j -> j))
+  in
+  let timeout =
+    Apn.Spec.timeout ~name:"snapshot-timeout"
+      ~enabled:(fun view st -> timeout_enabled view (isp_of st))
+      ~apply:(fun st ->
+        let me = isp_of st in
+        let resumed = cfg.snapshot = Paper_literal in
+        ( Isp_node
+            { me with
+              credit = List.map (fun _ -> 0) me.credit;
+              isp_seq = me.isp_seq + 1;
+              cansend = resumed;
+              awaiting_resume = not resumed;
+              frozen = false },
+          [ (cfg.n_isps,
+             Audit_reply { isp = me.isp_index; seq = me.isp_seq; credit = me.credit }) ] ))
+  in
+  { Apn.Spec.pid = index; init;
+    actions = [ send_action; receive_email; receive_request; receive_resume; timeout ] }
+
+let compliant_list cfg =
+  List.filter (fun i -> cfg.compliant.(i)) (List.init cfg.n_isps (fun i -> i))
+
+let verify_reports cfg reported =
+  let row i = List.assoc i reported in
+  let pairs = compliant_list cfg in
+  List.exists
+    (fun a ->
+      List.exists
+        (fun b -> a < b && List.nth (row a) b + List.nth (row b) a <> 0)
+        pairs)
+    pairs
+
+let bank_process cfg : (state, msg) Apn.Spec.process =
+  let init =
+    Bank_node
+      {
+        bank_seq = 0;
+        audits_left = cfg.audits;
+        collecting = false;
+        waiting = [];
+        reported = [];
+        violation_found = false;
+      }
+  in
+  let start_audit =
+    Apn.Spec.local ~name:"start-audit"
+      ~enabled:(fun st ->
+        let b = bank_of st in
+        b.audits_left > 0 && not b.collecting)
+      ~apply:(fun st ->
+        let b = bank_of st in
+        let targets = compliant_list cfg in
+        ( Bank_node
+            { b with
+              audits_left = b.audits_left - 1;
+              collecting = true;
+              waiting = targets;
+              reported = [] },
+          List.map (fun i -> (i, Audit_request b.bank_seq)) targets ))
+  in
+  let collect =
+    Apn.Spec.receive ~name:"collect-reply"
+      ~accepts:(fun ~src:_ m ->
+        match m with Audit_reply _ -> true | Email _ | Audit_request _ | Resume _ -> false)
+      ~apply:(fun st ~src m ->
+        let b = bank_of st in
+        match m with
+        | Audit_reply { isp; seq; credit } ->
+            if b.collecting && seq = b.bank_seq && isp = src && List.mem isp b.waiting
+            then begin
+              let b =
+                { b with
+                  reported = (isp, credit) :: b.reported;
+                  waiting = List.filter (fun i -> i <> isp) b.waiting }
+              in
+              if b.waiting = [] then
+                ( Bank_node
+                    { b with
+                      collecting = false;
+                      bank_seq = b.bank_seq + 1;
+                      violation_found =
+                        b.violation_found || verify_reports cfg b.reported },
+                  (* Two-phase: release the frozen world. *)
+                  if cfg.snapshot = Two_phase then
+                    List.map (fun i -> (i, Resume b.bank_seq)) (compliant_list cfg)
+                  else [] )
+              else (Bank_node b, [])
+            end
+            else (st, [])
+        | Email _ | Audit_request _ | Resume _ -> (st, []))
+  in
+  { Apn.Spec.pid = cfg.n_isps; init; actions = [ start_audit; collect ] }
+
+let build cfg =
+  if Array.length cfg.compliant <> cfg.n_isps then
+    invalid_arg "Ap_spec.build: compliance map size mismatch";
+  List.iter
+    (fun (src, s, dst, r) ->
+      if src < 0 || src >= cfg.n_isps || dst < 0 || dst >= cfg.n_isps
+         || s < 0 || s >= cfg.users_per_isp || r < 0 || r >= cfg.users_per_isp
+      then invalid_arg "Ap_spec.build: workload entry out of range")
+    cfg.workload;
+  Array.init (cfg.n_isps + 1) (fun i ->
+      if i < cfg.n_isps then isp_process cfg i else bank_process cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fold_isps g f init =
+  let acc = ref init in
+  Array.iter
+    (fun st -> match st with Isp_node s -> acc := f !acc s | Bank_node _ -> ())
+    g.Apn.Explore.states;
+  !acc
+
+let paid_in_flight cfg g =
+  let count = ref 0 in
+  Array.iteri
+    (fun src row ->
+      Array.iteri
+        (fun dst msgs ->
+          if src < cfg.n_isps && dst < cfg.n_isps && src <> dst
+             && cfg.compliant.(src) && cfg.compliant.(dst)
+          then
+            List.iter
+              (fun m ->
+                match m with
+                | Email _ -> incr count
+                | Audit_request _ | Audit_reply _ | Resume _ -> ())
+              msgs)
+        row)
+    g.Apn.Explore.chans;
+  !count
+
+let conservation cfg g =
+  let balances =
+    fold_isps g
+      (fun acc s ->
+        if cfg.compliant.(s.isp_index) then acc + List.fold_left ( + ) 0 s.balance
+        else acc)
+      0
+  in
+  let expected =
+    cfg.users_per_isp * cfg.initial_balance
+    * List.length (compliant_list cfg)
+  in
+  let total = balances + paid_in_flight cfg g in
+  if total = expected then Ok ()
+  else
+    Error
+      (Printf.sprintf "e-pennies not conserved: %d in balances+flight, expected %d"
+         total expected)
+
+let limit_respected cfg g =
+  fold_isps g
+    (fun acc s ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+          if List.exists (fun n -> n > cfg.daily_limit) s.sent then
+            Error (Printf.sprintf "isp %d exceeded the daily limit" s.isp_index)
+          else Ok ())
+    (Ok ())
+
+let freeze_consistent cfg g =
+  let bank =
+    match g.Apn.Explore.states.(cfg.n_isps) with
+    | Bank_node b -> b
+    | Isp_node _ -> invalid_arg "Ap_spec.freeze_consistent: bad bank index"
+  in
+  fold_isps g
+    (fun acc s ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+          if s.frozen && s.cansend then
+            Error (Printf.sprintf "isp %d frozen but cansend" s.isp_index)
+          else if
+            s.frozen && not (bank.collecting && List.mem s.isp_index bank.waiting)
+          then
+            Error
+              (Printf.sprintf "isp %d frozen while the bank is not waiting for it"
+                 s.isp_index)
+          else Ok ())
+    (Ok ())
+
+let audit_clean g =
+  let failed =
+    Array.exists
+      (fun st -> match st with Bank_node b -> b.violation_found | Isp_node _ -> false)
+      g.Apn.Explore.states
+  in
+  if failed then Error "audit reported a violation among honest ISPs" else Ok ()
+
+let all_invariants cfg g =
+  let ( let* ) = Result.bind in
+  let* () = conservation cfg g in
+  let* () = limit_respected cfg g in
+  let* () = freeze_consistent cfg g in
+  audit_clean g

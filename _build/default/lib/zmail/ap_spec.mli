@@ -1,0 +1,104 @@
+(** The paper's §4 specification transcribed into the Abstract Protocol
+    runtime, for exhaustive small-configuration verification.
+
+    Unlike {!Isp}/{!Bank} (the deployable kernels driven by the timed
+    simulation), this module is a direct, state-enumerable rendering of
+    the paper's guarded actions: email transfer (§4.1) and the credit
+    snapshot/audit (§4.4).  The explorer checks that in {e every}
+    reachable interleaving:
+
+    - e-pennies are conserved (balances plus messages in flight);
+    - the [sent]/[limit] guard is never bypassed;
+    - a frozen ISP has no email in flight when it reports (the timeout
+      guard is the paper's 10-minute wait, rendered as
+      "outgoing channels empty");
+    - an all-honest audit finds no violations.
+
+    The bank's buy/sell path is exercised by the kernel unit tests and
+    E11 instead; including it here would blow up the state space
+    without strengthening the checked claims. *)
+
+type snapshot_rule =
+  | Two_phase
+      (** The sound rendering of the paper's timing assumption: an ISP
+          reports once every compliant ISP has frozen and its own
+          channels have drained, and resumes sending only on a bank
+          resume message after the audit completes.  (AP timeout guards
+          may read global state, so this is expressible in the
+          notation.) *)
+  | Paper_literal
+      (** The paper's §4.4 local rule: report when {e my own} outgoing
+          channels are empty, resume immediately.  Under asynchrony
+          this admits a race — a receiver can report before a sender's
+          in-flight mail arrives — which the explorer exhibits as a
+          false audit accusation among honest ISPs.  In the timed
+          simulation the 10-minute window masks the race because
+          delivery latency is milliseconds; see EXPERIMENTS.md. *)
+
+type config = {
+  n_isps : int;
+  users_per_isp : int;
+  compliant : bool array;
+  initial_balance : int;
+  daily_limit : int;
+  workload : (int * int * int * int) list;
+      (** Emails each ISP will try to send, as
+          [(src_isp, sender, dst_isp, rcpt)] — consumed in order, which
+          keeps the explored space finite. *)
+  audits : int;  (** How many §4.4 audits the bank runs (0 or 1 usual). *)
+  snapshot : snapshot_rule;
+}
+
+val default_config : config
+(** 2 ISPs × 2 users, both compliant, balance 2, limit 2, a small
+    crossing workload, one audit. *)
+
+type isp_state = {
+  isp_index : int;
+  balance : int list;
+  sent : int list;
+  credit : int list;
+  cansend : bool;
+  frozen : bool;
+  awaiting_resume : bool;  (** Reported, waiting for the bank ([Two_phase]). *)
+  isp_seq : int;
+  pending : (int * int * int) list;  (** Remaining [(sender, dst_isp, rcpt)]. *)
+}
+
+type bank_state = {
+  bank_seq : int;
+  audits_left : int;
+  collecting : bool;
+  waiting : int list;
+  reported : (int * int list) list;  (** [(isp, credit row)] received. *)
+  violation_found : bool;
+}
+
+type state = Isp_node of isp_state | Bank_node of bank_state
+
+type msg =
+  | Email of { sender : int; rcpt : int }
+  | Audit_request of int
+  | Audit_reply of { isp : int; seq : int; credit : int list }
+  | Resume of int  (** Bank release after a completed audit ([Two_phase]). *)
+
+val build : config -> (state, msg) Apn.Spec.protocol
+(** Processes [0 .. n_isps-1] are ISPs; process [n_isps] is the bank. *)
+
+val conservation : config -> (state, msg) Apn.Explore.global -> (unit, string) result
+(** Invariant: Σ balances + e-pennies riding in in-flight [Email]
+    messages between compliant ISPs is constant. *)
+
+val limit_respected : config -> (state, msg) Apn.Explore.global -> (unit, string) result
+(** Invariant: no [sent] counter exceeds its limit. *)
+
+val freeze_consistent : config -> (state, msg) Apn.Explore.global -> (unit, string) result
+(** Invariant: the snapshot choreography stays consistent — an ISP is
+    frozen only while the bank is collecting and still waiting for that
+    ISP's reply, and a frozen ISP never has [cansend] set. *)
+
+val audit_clean : (state, msg) Apn.Explore.global -> (unit, string) result
+(** Invariant: the bank never records a violation (valid for all-honest
+    configurations). *)
+
+val all_invariants : config -> (state, msg) Apn.Explore.global -> (unit, string) result

@@ -1,0 +1,188 @@
+type config = {
+  n_isps : int;
+  compliant : bool array;
+  initial_account : int;
+  replay_hardening : bool;
+}
+
+let default_config ~n_isps ~compliant =
+  { n_isps; compliant; initial_account = 1_000_000; replay_hardening = true }
+
+type audit_state = {
+  audit_seq : int;
+  mutable waiting : int list;
+  reported : int array array;
+}
+
+type t = {
+  config : config;
+  public : Toycrypto.Rsa.public;
+  secret : Toycrypto.Rsa.secret;
+  account : int array;
+  seen_nonces : (int * int64, unit) Hashtbl.t;
+  mutable outstanding : int;
+  mutable seq : int;
+  mutable audit : audit_state option;
+  mutable buys : int;
+  mutable buys_rejected : int;
+  mutable sells : int;
+  mutable replays_dropped : int;
+  mutable audits_completed : int;
+  mutable messages_in : int;
+  mutable messages_out : int;
+}
+
+let create rng config =
+  if Array.length config.compliant <> config.n_isps then
+    invalid_arg "Bank.create: compliance map size mismatch";
+  let public, secret = Toycrypto.Rsa.generate rng in
+  {
+    config;
+    public;
+    secret;
+    account = Array.make config.n_isps config.initial_account;
+    seen_nonces = Hashtbl.create 256;
+    outstanding = 0;
+    seq = 0;
+    audit = None;
+    buys = 0;
+    buys_rejected = 0;
+    sells = 0;
+    replays_dropped = 0;
+    audits_completed = 0;
+    messages_in = 0;
+    messages_out = 0;
+  }
+
+let public_key t = t.public
+let account_balance t ~isp = t.account.(isp)
+let outstanding_epennies t = t.outstanding
+
+type audit_result = {
+  seq : int;
+  violations : Credit.Audit.violation list;
+  suspects : int list;
+}
+
+type response =
+  | Reply of Wire.signed
+  | Audit_progress
+  | Audit_complete of audit_result
+  | Rejected of string
+
+let fresh_nonce t ~from_isp nonce =
+  if not t.config.replay_hardening then true
+  else if Hashtbl.mem t.seen_nonces (from_isp, nonce) then false
+  else begin
+    Hashtbl.replace t.seen_nonces (from_isp, nonce) ();
+    true
+  end
+
+let reply t payload =
+  t.messages_out <- t.messages_out + 1;
+  Reply (Wire.sign_by_bank t.secret payload)
+
+let suspects_of t violations =
+  Credit.Audit.suspects ~compliant:t.config.compliant violations
+
+let finish_audit t (audit : audit_state) =
+  let violations =
+    Credit.Audit.verify ~reported:audit.reported ~compliant:t.config.compliant
+  in
+  t.audit <- None;
+  t.seq <- t.seq + 1;
+  t.audits_completed <- t.audits_completed + 1;
+  Audit_complete
+    { seq = audit.audit_seq; violations; suspects = suspects_of t violations }
+
+let on_payload t ~from_isp payload =
+  match (payload : Wire.payload) with
+  | Wire.Buy { amount; nonce } ->
+      if not (fresh_nonce t ~from_isp nonce) then begin
+        t.replays_dropped <- t.replays_dropped + 1;
+        Rejected "replayed buy"
+      end
+      else if t.account.(from_isp) >= amount then begin
+        t.account.(from_isp) <- t.account.(from_isp) - amount;
+        t.outstanding <- t.outstanding + amount;
+        t.buys <- t.buys + 1;
+        reply t (Wire.Buy_reply { nonce; accepted = true })
+      end
+      else begin
+        t.buys_rejected <- t.buys_rejected + 1;
+        reply t (Wire.Buy_reply { nonce; accepted = false })
+      end
+  | Wire.Sell { amount; nonce } ->
+      if not (fresh_nonce t ~from_isp nonce) then begin
+        t.replays_dropped <- t.replays_dropped + 1;
+        Rejected "replayed sell"
+      end
+      else begin
+        t.account.(from_isp) <- t.account.(from_isp) + amount;
+        t.outstanding <- t.outstanding - amount;
+        t.sells <- t.sells + 1;
+        reply t (Wire.Sell_reply { nonce })
+      end
+  | Wire.Audit_reply { isp; seq; credit } -> (
+      match t.audit with
+      | Some audit
+        when audit.audit_seq = seq && isp = from_isp && List.mem isp audit.waiting ->
+          audit.reported.(isp) <- credit;
+          audit.waiting <- List.filter (fun i -> i <> isp) audit.waiting;
+          if audit.waiting = [] then finish_audit t audit else Audit_progress
+      | Some _ -> Rejected "unexpected audit reply"
+      | None -> Rejected "no audit in progress")
+  | Wire.Buy_reply _ | Wire.Sell_reply _ | Wire.Audit_request _ ->
+      Rejected "bank-origin payload from an ISP"
+
+let on_isp_message t ~from_isp sealed =
+  t.messages_in <- t.messages_in + 1;
+  if from_isp < 0 || from_isp >= t.config.n_isps then Rejected "unknown ISP"
+  else if not t.config.compliant.(from_isp) then Rejected "non-compliant ISP"
+  else
+    match Wire.open_at_bank t.secret sealed with
+    | None -> Rejected "unreadable (forged or corrupted) message"
+    | Some payload -> on_payload t ~from_isp payload
+
+let start_audit t =
+  if t.audit <> None then invalid_arg "Bank.start_audit: audit already in progress";
+  let compliant_isps =
+    List.filter
+      (fun i -> t.config.compliant.(i))
+      (List.init t.config.n_isps (fun i -> i))
+  in
+  t.audit <-
+    Some
+      {
+        audit_seq = t.seq;
+        waiting = compliant_isps;
+        reported = Array.make_matrix t.config.n_isps t.config.n_isps 0;
+      };
+  List.map
+    (fun isp ->
+      t.messages_out <- t.messages_out + 1;
+      (isp, Wire.sign_by_bank t.secret (Wire.Audit_request { seq = t.seq })))
+    compliant_isps
+
+let audit_in_progress t = t.audit <> None
+
+type stats = {
+  buys : int;
+  buys_rejected : int;
+  sells : int;
+  replays_dropped : int;
+  audits_completed : int;
+  messages_in : int;
+  messages_out : int;
+}
+
+let stats (t : t) =
+  {
+    buys = t.buys;
+    buys_rejected = t.buys_rejected;
+    sells = t.sells;
+    replays_dropped = t.replays_dropped;
+    audits_completed = t.audits_completed;
+    messages_in = t.messages_in;
+    messages_out = t.messages_out;
+  }

@@ -1,0 +1,73 @@
+(** The central bank (§4.3–§4.4): ISP real-money accounts, e-penny
+    issue and buy-back, and the periodic credit audit.
+
+    Note that no inter-ISP settlement is needed: e-pennies migrate
+    between ISPs inside email, and the backing money flows through the
+    bank automatically when pools are topped up ([buy]) or skimmed
+    ([sell]).  {!outstanding_epennies} (sold minus bought back) is the
+    bank's liability and equals the sum of every compliant ISP's
+    {!Isp.total_epennies} — the global zero-sum invariant the tests
+    check.  The credit audit exists purely to {e detect} ISPs that
+    mint e-pennies fraudulently.
+
+    The bank also tracks seen request nonces so that a {e duplicated}
+    [buy] cannot debit an ISP twice ([replay_hardening], on by
+    default; E11 ablates it). *)
+
+type config = {
+  n_isps : int;
+  compliant : bool array;
+  initial_account : int;  (** Real pennies deposited by each ISP. *)
+  replay_hardening : bool;
+}
+
+val default_config : n_isps:int -> compliant:bool array -> config
+(** Accounts of 1,000,000 real pennies; hardened. *)
+
+type t
+
+val create : Sim.Rng.t -> config -> t
+(** Generates the bank keypair from [rng]. *)
+
+val public_key : t -> Toycrypto.Rsa.public
+val account_balance : t -> isp:int -> int
+val outstanding_epennies : t -> Epenny.amount
+
+type audit_result = {
+  seq : int;
+  violations : Credit.Audit.violation list;
+  suspects : int list;
+      (** ISPs violating with a strict majority of their possible
+          peers — cheaters disagree with (nearly) everyone, honest
+          ISPs only with the cheaters.  When no ISP crosses the
+          majority threshold, everyone implicated is reported for
+          further investigation (§4.4). *)
+}
+
+type response =
+  | Reply of Wire.signed  (** Send this back to the originating ISP. *)
+  | Audit_progress  (** Audit reply stored; more outstanding. *)
+  | Audit_complete of audit_result
+  | Rejected of string  (** Forgery, replay, wrong state, or garbage. *)
+
+val on_isp_message : t -> from_isp:int -> Toycrypto.Seal.sealed -> response
+(** Handle a sealed ISP-origin message. *)
+
+val start_audit : t -> (int * Wire.signed) list
+(** Begin a §4.4 audit: returns the signed request for every compliant
+    ISP.
+    @raise Invalid_argument if an audit is already in progress. *)
+
+val audit_in_progress : t -> bool
+
+type stats = {
+  buys : int;  (** Accepted buy transactions. *)
+  buys_rejected : int;  (** Insufficient account. *)
+  sells : int;
+  replays_dropped : int;
+  audits_completed : int;
+  messages_in : int;
+  messages_out : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,72 @@
+type t = int array
+
+let create ~n =
+  if n <= 0 then invalid_arg "Credit.create: n must be positive";
+  Array.make n 0
+
+let n t = Array.length t
+
+let get t peer = t.(peer)
+
+let record_send t ~peer = t.(peer) <- t.(peer) + 1
+
+let record_receive t ~peer = t.(peer) <- t.(peer) - 1
+
+let snapshot t = Array.copy t
+
+let reset t = Array.fill t 0 (Array.length t) 0
+
+let net_flow t = Array.fold_left ( + ) 0 t
+
+module Audit = struct
+  type violation = { isp_a : int; isp_b : int; discrepancy : int }
+
+  let verify ~reported ~compliant =
+    let n = Array.length compliant in
+    if Array.length reported <> n then
+      invalid_arg "Credit.Audit.verify: reported size mismatch";
+    Array.iteri
+      (fun i row ->
+        if compliant.(i) && Array.length row <> n then
+          invalid_arg
+            (Printf.sprintf "Credit.Audit.verify: row %d has length %d, expected %d"
+               i (Array.length row) n))
+      reported;
+    let violations = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        if compliant.(a) && compliant.(b) then begin
+          let discrepancy = reported.(a).(b) + reported.(b).(a) in
+          if discrepancy <> 0 then
+            violations := { isp_a = a; isp_b = b; discrepancy } :: !violations
+        end
+      done
+    done;
+    List.rev !violations
+
+  let implicated violations =
+    List.concat_map (fun v -> [ v.isp_a; v.isp_b ]) violations
+    |> List.sort_uniq compare
+
+  let suspects ~compliant violations =
+    let compliant_count =
+      Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 compliant
+    in
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun isp ->
+            Hashtbl.replace counts isp
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts isp)))
+          [ v.isp_a; v.isp_b ])
+      violations;
+    let majority = (compliant_count - 1) / 2 in
+    let repeat_offenders =
+      Hashtbl.fold (fun isp n acc -> if n > majority then isp :: acc else acc) counts []
+    in
+    match (repeat_offenders, violations) with
+    | [], [] -> []
+    | [], _ -> implicated violations
+    | offenders, _ -> List.sort compare offenders
+end

@@ -1,0 +1,55 @@
+(** Per-peer credit vectors and the §4.4 consistency check.
+
+    Each compliant ISP [i] keeps [credit.(j)]: incremented when [i]
+    sends an email to compliant ISP [j], decremented when [i] receives
+    one from [j].  After quiescence, honesty implies the antisymmetry
+    [credit_i.(j) + credit_j.(i) = 0] for every pair; any violation
+    implicates at least one of the two ISPs. *)
+
+type t
+(** A mutable credit vector over [n] peers. *)
+
+val create : n:int -> t
+val n : t -> int
+val get : t -> int -> int
+val record_send : t -> peer:int -> unit
+(** [credit.(peer) <- credit.(peer) + 1]. *)
+
+val record_receive : t -> peer:int -> unit
+(** [credit.(peer) <- credit.(peer) - 1]. *)
+
+val snapshot : t -> int array
+(** Copy of the vector. *)
+
+val reset : t -> unit
+(** Zero the vector (a new billing period, §4.4). *)
+
+val net_flow : t -> int
+(** Sum of the vector: messages sent minus received against all
+    compliant peers this period. *)
+
+(** The bank's verification matrix. *)
+module Audit : sig
+  type violation = {
+    isp_a : int;
+    isp_b : int;
+    discrepancy : int;  (** [credit_a.(b) + credit_b.(a)], non-zero. *)
+  }
+
+  val verify : reported:int array array -> compliant:bool array -> violation list
+  (** [reported.(i)] is ISP [i]'s snapshot (rows for non-compliant ISPs
+      are ignored).  Returns all inconsistent compliant pairs with
+      [isp_a < isp_b].
+      @raise Invalid_argument on ragged input. *)
+
+  val implicated : violation list -> int list
+  (** Sorted distinct ISPs appearing in any violation — the §4.4
+      "suspected misbehaved ISPs" for further investigation. *)
+
+  val suspects : compliant:bool array -> violation list -> int list
+  (** Majority-rule accusation: an ISP is a suspect when it violates
+      with a strict majority of its possible peers (a fraudulent array
+      disagrees with nearly everyone; an honest one only with the
+      cheaters).  Falls back to {!implicated} when nobody crosses the
+      threshold (e.g. one isolated, inherently ambiguous pair). *)
+end

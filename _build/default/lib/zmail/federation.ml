@@ -1,0 +1,231 @@
+type config = {
+  n_banks : int;
+  n_isps : int;
+  compliant : bool array;
+  home : int array;
+  initial_account : int;
+}
+
+let default_config ~n_banks ~n_isps =
+  {
+    n_banks;
+    n_isps;
+    compliant = Array.make n_isps true;
+    home = Array.init n_isps (fun i -> i mod n_banks);
+    initial_account = 1_000_000;
+  }
+
+type member_bank = {
+  public : Toycrypto.Rsa.public;
+  secret : Toycrypto.Rsa.secret;
+  seen_nonces : (int * int64, unit) Hashtbl.t;
+  mutable issued : int;
+  mutable redeemed : int;
+  mutable cash : int;  (** Net real pennies from e-penny ops + clearing. *)
+  mutable members : int;
+}
+
+type audit_state = {
+  audit_seq : int;
+  mutable waiting : int list;
+  reported : int array array;
+}
+
+type t = {
+  config : config;
+  banks : member_bank array;
+  account : int array;  (* per ISP, at its home bank *)
+  mutable seq : int;
+  mutable audit : audit_state option;
+}
+
+let create rng config =
+  if config.n_banks <= 0 then invalid_arg "Federation.create: need at least one bank";
+  if Array.length config.compliant <> config.n_isps then
+    invalid_arg "Federation.create: compliance map size mismatch";
+  if Array.length config.home <> config.n_isps then
+    invalid_arg "Federation.create: home map size mismatch";
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= config.n_banks then
+        invalid_arg "Federation.create: home bank out of range")
+    config.home;
+  let banks =
+    Array.init config.n_banks (fun _ ->
+        let public, secret = Toycrypto.Rsa.generate rng in
+        { public; secret; seen_nonces = Hashtbl.create 64; issued = 0;
+          redeemed = 0; cash = 0; members = 0 })
+  in
+  Array.iteri
+    (fun isp b -> if config.compliant.(isp) then banks.(b).members <- banks.(b).members + 1)
+    config.home;
+  {
+    config;
+    banks;
+    account = Array.make config.n_isps config.initial_account;
+    seq = 0;
+    audit = None;
+  }
+
+let n_banks t = t.config.n_banks
+let home_of t ~isp = t.config.home.(isp)
+let public_key t ~bank = t.banks.(bank).public
+let account_balance t ~isp = t.account.(isp)
+let outstanding t ~bank = t.banks.(bank).issued - t.banks.(bank).redeemed
+
+let total_outstanding t =
+  Array.fold_left (fun acc b -> acc + b.issued - b.redeemed) 0 t.banks
+
+type response = Reply of Wire.signed | Rejected of string
+
+let fresh_nonce bank ~from_isp nonce =
+  if Hashtbl.mem bank.seen_nonces (from_isp, nonce) then false
+  else begin
+    Hashtbl.replace bank.seen_nonces (from_isp, nonce) ();
+    true
+  end
+
+let on_isp_message t ~from_isp sealed =
+  if from_isp < 0 || from_isp >= t.config.n_isps then Rejected "unknown ISP"
+  else if not t.config.compliant.(from_isp) then Rejected "non-compliant ISP"
+  else begin
+    let bank = t.banks.(t.config.home.(from_isp)) in
+    (* A foreign bank cannot open the envelope at all: unseal fails. *)
+    match Wire.open_at_bank bank.secret sealed with
+    | None -> Rejected "unreadable (wrong bank, forged or corrupted)"
+    | Some (Wire.Buy { amount; nonce }) ->
+        if not (fresh_nonce bank ~from_isp nonce) then Rejected "replayed buy"
+        else if t.account.(from_isp) >= amount then begin
+          t.account.(from_isp) <- t.account.(from_isp) - amount;
+          bank.issued <- bank.issued + amount;
+          bank.cash <- bank.cash + amount;
+          Reply (Wire.sign_by_bank bank.secret (Wire.Buy_reply { nonce; accepted = true }))
+        end
+        else
+          Reply (Wire.sign_by_bank bank.secret (Wire.Buy_reply { nonce; accepted = false }))
+    | Some (Wire.Sell { amount; nonce }) ->
+        if not (fresh_nonce bank ~from_isp nonce) then Rejected "replayed sell"
+        else begin
+          t.account.(from_isp) <- t.account.(from_isp) + amount;
+          bank.redeemed <- bank.redeemed + amount;
+          bank.cash <- bank.cash - amount;
+          Reply (Wire.sign_by_bank bank.secret (Wire.Sell_reply { nonce }))
+        end
+    | Some (Wire.Audit_reply _) ->
+        Rejected "audit replies go through on_audit_reply"
+    | Some (Wire.Buy_reply _ | Wire.Sell_reply _ | Wire.Audit_request _) ->
+        Rejected "bank-origin payload from an ISP"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Global audits                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let compliant_isps t =
+  List.filter (fun i -> t.config.compliant.(i)) (List.init t.config.n_isps (fun i -> i))
+
+let audit_in_progress t = t.audit <> None
+
+let start_audit t =
+  if t.audit <> None then
+    invalid_arg "Federation.start_audit: audit already in progress";
+  let targets = compliant_isps t in
+  t.audit <-
+    Some
+      {
+        audit_seq = t.seq;
+        waiting = targets;
+        reported = Array.make_matrix t.config.n_isps t.config.n_isps 0;
+      };
+  List.map
+    (fun isp ->
+      let bank = t.banks.(t.config.home.(isp)) in
+      (isp, Wire.sign_by_bank bank.secret (Wire.Audit_request { seq = t.seq })))
+    targets
+
+let on_audit_reply t ~from_isp sealed =
+  match t.audit with
+  | None -> Error "no audit in progress"
+  | Some audit -> (
+      if from_isp < 0 || from_isp >= t.config.n_isps || not t.config.compliant.(from_isp)
+      then Error "unknown or non-compliant ISP"
+      else
+        let bank = t.banks.(t.config.home.(from_isp)) in
+        match Wire.open_at_bank bank.secret sealed with
+        | Some (Wire.Audit_reply { isp; seq; credit })
+          when isp = from_isp && seq = audit.audit_seq && List.mem isp audit.waiting ->
+            audit.reported.(isp) <- credit;
+            audit.waiting <- List.filter (fun i -> i <> isp) audit.waiting;
+            if audit.waiting = [] then begin
+              let violations =
+                Credit.Audit.verify ~reported:audit.reported
+                  ~compliant:t.config.compliant
+              in
+              t.audit <- None;
+              t.seq <- t.seq + 1;
+              Ok
+                (Some
+                   {
+                     Bank.seq = audit.audit_seq;
+                     violations;
+                     suspects =
+                       Credit.Audit.suspects ~compliant:t.config.compliant violations;
+                   })
+            end
+            else Ok None
+        | Some (Wire.Audit_reply _) -> Error "stale, duplicate or misattributed reply"
+        | Some _ -> Error "not an audit reply"
+        | None -> Error "unreadable (wrong bank, forged or corrupted)")
+
+(* ------------------------------------------------------------------ *)
+(* Clearing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Each bank's fair share of the federation float is pro rata by member
+   count (remainders to the lowest indices, deterministically). *)
+let fair_shares t =
+  let total = total_outstanding t in
+  let members_total = Array.fold_left (fun acc b -> acc + b.members) 0 t.banks in
+  if members_total = 0 then Array.make t.config.n_banks 0
+  else begin
+    let shares =
+      Array.map (fun b -> total * b.members / members_total) t.banks
+    in
+    let distributed = Array.fold_left ( + ) 0 shares in
+    let remainder = total - distributed in
+    let give = if remainder >= 0 then 1 else -1 in
+    for k = 0 to abs remainder - 1 do
+      shares.(k mod t.config.n_banks) <- shares.(k mod t.config.n_banks) + give
+    done;
+    shares
+  end
+
+let position t ~bank = t.banks.(bank).cash - (fair_shares t).(bank)
+
+let settle t =
+  let shares = fair_shares t in
+  let positions =
+    Array.mapi (fun b mb -> (b, mb.cash - shares.(b))) t.banks |> Array.to_list
+  in
+  let debtors = List.filter (fun (_, p) -> p > 0) positions in
+  let creditors = List.filter (fun (_, p) -> p < 0) positions in
+  (* Greedy matching of surpluses against deficits. *)
+  let transfers = ref [] in
+  let creditors = ref (List.map (fun (b, p) -> (b, -p)) creditors) in
+  List.iter
+    (fun (from_bank, surplus) ->
+      let remaining = ref surplus in
+      while !remaining > 0 do
+        match !creditors with
+        | [] -> remaining := 0
+        | (to_bank, need) :: rest ->
+            let amount = min !remaining need in
+            transfers := (from_bank, to_bank, amount) :: !transfers;
+            t.banks.(from_bank).cash <- t.banks.(from_bank).cash - amount;
+            t.banks.(to_bank).cash <- t.banks.(to_bank).cash + amount;
+            remaining := !remaining - amount;
+            creditors :=
+              if need > amount then (to_bank, need - amount) :: rest else rest
+      done)
+    debtors;
+  List.rev !transfers

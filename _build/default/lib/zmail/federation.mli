@@ -1,0 +1,89 @@
+(** Distributed banks (§5, "Bank Setup").
+
+    The paper: "the role of the bank in the Zmail protocol can be
+    implemented as a set of distributed banks … It is fairly
+    straightforward to extend the Zmail protocol to incorporate
+    multiple collaborating banks."  This module is that extension.
+
+    Each compliant ISP is {e homed} to one member bank, which holds its
+    real-money account and serves its §4.3 buy/sell requests (sealed to
+    that bank's key; requests to a foreign bank are rejected).  Two
+    things require collaboration:
+
+    - {b Global audits.}  Credit consistency is a property of ISP
+      {e pairs}, which may be homed to different banks.  The federation
+      gathers every member bank's collected credit rows and runs the
+      §4.4 verification over the global matrix.
+    - {b Clearing.}  E-pennies issued by bank A migrate inside email to
+      ISPs homed at bank B, whose buy-backs then pay out cash B never
+      collected.  Each bank's {!position} (issued minus redeemed) drifts
+      accordingly; {!settle} computes the inter-bank transfers that
+      return every position to the federation mean, conserving money.
+
+    The single-bank protocol is the [n_banks = 1] special case. *)
+
+type config = {
+  n_banks : int;
+  n_isps : int;
+  compliant : bool array;
+  home : int array;  (** [home.(isp)] is the ISP's member bank. *)
+  initial_account : int;  (** Real pennies per ISP, at its home bank. *)
+}
+
+val default_config : n_banks:int -> n_isps:int -> config
+(** All ISPs compliant, homed round-robin, accounts of 1,000,000. *)
+
+type t
+
+val create : Sim.Rng.t -> config -> t
+val n_banks : t -> int
+val home_of : t -> isp:int -> int
+val public_key : t -> bank:int -> Toycrypto.Rsa.public
+(** ISPs seal their traffic to their home bank's key. *)
+
+val account_balance : t -> isp:int -> int
+val outstanding : t -> bank:int -> Epenny.amount
+(** E-pennies issued minus redeemed by one member bank (may be
+    negative: the bank redeemed foreign issue). *)
+
+val total_outstanding : t -> Epenny.amount
+(** Federation-wide liability; equals the sum of every ISP's e-penny
+    growth (the conservation invariant). *)
+
+type response =
+  | Reply of Wire.signed  (** Signed by the ISP's home bank. *)
+  | Rejected of string
+
+val on_isp_message : t -> from_isp:int -> Toycrypto.Seal.sealed -> response
+(** Serve a §4.3 buy/sell.  The envelope must be sealed to the sender's
+    home bank; anything else (foreign bank, forgery, replay, audit
+    payloads outside an audit) is rejected. *)
+
+(** {1 Global audits} *)
+
+val start_audit : t -> (int * Wire.signed) list
+(** Audit requests for every compliant ISP, each signed by the ISP's
+    home bank.
+    @raise Invalid_argument if an audit is in progress. *)
+
+val on_audit_reply : t -> from_isp:int -> Toycrypto.Seal.sealed ->
+  (Bank.audit_result option, string) result
+(** Feed one ISP's sealed snapshot to its home bank.  [Ok None] while
+    replies are outstanding; [Ok (Some result)] when the last reply
+    completes the {e global} pairwise verification. *)
+
+val audit_in_progress : t -> bool
+
+(** {1 Clearing} *)
+
+val position : t -> bank:int -> int
+(** Real pennies this bank holds beyond its own liability: the cash it
+    collected for issued e-pennies minus the cash it paid redeeming.
+    Positive = owes the federation; negative = is owed. *)
+
+val settle : t -> (int * int * int) list
+(** Compute and apply the clearing transfers [(from_bank, to_bank,
+    pennies)] that zero all pairwise imbalance (up to the global
+    outstanding, which stays with the issuers pro rata).  Total money
+    is conserved; repeated settlement with no new traffic is a
+    no-op. *)

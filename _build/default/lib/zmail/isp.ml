@@ -1,0 +1,276 @@
+type cheat = Honest | Fake_receives of int | Unreported_sends of float
+
+type config = {
+  index : int;
+  n_isps : int;
+  n_users : int;
+  compliant : bool array;
+  bank_public : Toycrypto.Rsa.public;
+  initial_balance : Epenny.amount;
+  initial_account : int;
+  daily_limit : int;
+  minavail : Epenny.amount;
+  maxavail : Epenny.amount;
+  initial_avail : Epenny.amount;
+  buy_amount : Epenny.amount;
+  sell_amount : Epenny.amount;
+  replay_hardening : bool;
+  cheat : cheat;
+}
+
+let default_config ~index ~n_isps ~n_users ~compliant ~bank_public =
+  {
+    index;
+    n_isps;
+    n_users;
+    compliant;
+    bank_public;
+    initial_balance = 100;
+    initial_account = 1000;
+    daily_limit = 500;
+    minavail = 200;
+    maxavail = 5000;
+    initial_avail = 1000;
+    buy_amount = 1000;
+    sell_amount = 1000;
+    replay_hardening = true;
+    cheat = Honest;
+  }
+
+(* Outstanding-request state for the §4.3 buy/sell exchanges. *)
+type pending = { nonce : int64; amount : Epenny.amount }
+
+type t = {
+  config : config;
+  rng : Sim.Rng.t;
+  nonces : Toycrypto.Nonce.t;
+  ledger : Ledger.t;
+  credit : Credit.t;
+  mutable cansend : bool;
+  mutable pending_buy : pending option;  (** The paper's [~canbuy] + [ns1]. *)
+  mutable pending_sell : pending option;
+  mutable last_buy : pending option;
+      (** Most recently applied buy, kept to reproduce the paper's
+          literal (replay-unsafe) acceptance rule when
+          [replay_hardening] is off. *)
+  mutable last_sell : pending option;
+  mutable seq : int;  (** Next expected audit sequence number. *)
+  mutable pending_warnings : int list;  (** Users newly at their limit. *)
+  mutable warned_today : bool array;
+  mutable sent_paid : int;
+  mutable sent_free : int;
+  mutable received_paid : int;
+}
+
+let create rng config =
+  if config.index < 0 || config.index >= config.n_isps then
+    invalid_arg "Isp.create: index out of range";
+  if Array.length config.compliant <> config.n_isps then
+    invalid_arg "Isp.create: compliance map size mismatch";
+  if not config.compliant.(config.index) then
+    invalid_arg "Isp.create: kernel only models compliant ISPs";
+  if config.minavail >= config.maxavail then
+    invalid_arg "Isp.create: minavail must be below maxavail";
+  let rng = Sim.Rng.split rng in
+  {
+    config;
+    rng;
+    nonces = Toycrypto.Nonce.create rng;
+    ledger =
+      Ledger.create ~n_users:config.n_users ~initial_balance:config.initial_balance
+        ~initial_account:config.initial_account ~daily_limit:config.daily_limit
+        ~initial_avail:config.initial_avail;
+    credit = Credit.create ~n:config.n_isps;
+    cansend = true;
+    pending_buy = None;
+    pending_sell = None;
+    last_buy = None;
+    last_sell = None;
+    seq = 0;
+    pending_warnings = [];
+    warned_today = Array.make config.n_users false;
+    sent_paid = 0;
+    sent_free = 0;
+    received_paid = 0;
+  }
+
+let index t = t.config.index
+let compliant_peer t j = t.config.compliant.(j)
+let ledger t = t.ledger
+let credit_vector t = Credit.snapshot t.credit
+let frozen t = not t.cansend
+
+type send_outcome =
+  | Sent_paid
+  | Sent_free
+  | Deferred
+  | Blocked of Ledger.block
+
+let note_limit_warning t user =
+  if Ledger.sent_today t.ledger ~user >= Ledger.limit t.ledger ~user
+     && not t.warned_today.(user)
+  then begin
+    t.warned_today.(user) <- true;
+    t.pending_warnings <- user :: t.pending_warnings
+  end
+
+let skip_credit_increment t =
+  match t.config.cheat with
+  | Unreported_sends p -> Sim.Dist.bernoulli t.rng p
+  | Honest | Fake_receives _ -> false
+
+let charge_send t ~sender ~dest_isp =
+  if dest_isp < 0 || dest_isp >= t.config.n_isps then
+    invalid_arg "Isp.charge_send: dest_isp out of range";
+  (* §4.4: during a snapshot freeze the ISP "stops sending out any
+     email" — including free mail to non-compliant destinations. *)
+  if not t.cansend then Deferred
+  else if not t.config.compliant.(dest_isp) then begin
+    (* §4.1: mail to a non-compliant ISP is sent without charge. *)
+    t.sent_free <- t.sent_free + 1;
+    Sent_free
+  end
+  else
+    match Ledger.debit_send t.ledger ~user:sender with
+    | Error block ->
+        note_limit_warning t sender;
+        Blocked block
+    | Ok () ->
+        if dest_isp <> t.config.index && not (skip_credit_increment t) then
+          Credit.record_send t.credit ~peer:dest_isp;
+        t.sent_paid <- t.sent_paid + 1;
+        note_limit_warning t sender;
+        Sent_paid
+
+let accept_delivery t ~from_isp ~rcpt =
+  if not t.config.compliant.(from_isp) then `Unpaid
+  else begin
+    Ledger.credit_receive t.ledger ~user:rcpt;
+    if from_isp <> t.config.index then Credit.record_receive t.credit ~peer:from_isp;
+    t.received_paid <- t.received_paid + 1;
+    `Paid
+  end
+
+let pool_action t =
+  let avail = Ledger.avail t.ledger in
+  if avail < t.config.minavail && t.pending_buy = None then begin
+    let nonce = Toycrypto.Nonce.next t.nonces in
+    t.pending_buy <- Some { nonce; amount = t.config.buy_amount };
+    Some
+      (Wire.seal_for_bank t.rng t.config.bank_public
+         (Wire.Buy { amount = t.config.buy_amount; nonce }))
+  end
+  else if avail > t.config.maxavail && t.pending_sell = None then begin
+    let nonce = Toycrypto.Nonce.next t.nonces in
+    (* Sell down to the midpoint of the band. *)
+    let target = (t.config.minavail + t.config.maxavail) / 2 in
+    let amount = max 1 (min avail (avail - target)) in
+    t.pending_sell <- Some { nonce; amount };
+    Some (Wire.seal_for_bank t.rng t.config.bank_public (Wire.Sell { amount; nonce }))
+  end
+  else None
+
+type reaction = No_reaction | Start_snapshot_timer
+
+let apply_buy t amount accepted = if accepted then Ledger.add_pool t.ledger amount
+
+let apply_sell t amount =
+  match Ledger.take_pool t.ledger amount with
+  | Ok () -> ()
+  | Error _ ->
+      (* The pool shrank below the promised amount between request and
+         reply; sell what remains. *)
+      let avail = Ledger.avail t.ledger in
+      (match Ledger.take_pool t.ledger avail with Ok () -> () | Error _ -> ())
+
+let on_buy_reply t ~nonce ~accepted =
+  match t.pending_buy with
+  | Some ({ nonce = expected; amount } as p) when Int64.equal nonce expected ->
+      t.pending_buy <- None;
+      t.last_buy <- Some p;
+      apply_buy t amount accepted
+  | Some _ -> ()  (* nonce mismatch: stale or forged reply *)
+  | None -> (
+      (* No outstanding buy.  The paper's literal rule only compares
+         the nonce against [ns1], which still holds the last value, so
+         a duplicated reply is applied twice; the hardened kernel
+         drops it. *)
+      match t.last_buy with
+      | Some { nonce = last; amount } when (not t.config.replay_hardening) && Int64.equal nonce last ->
+          apply_buy t amount accepted
+      | Some _ | None -> ())
+
+let on_sell_reply t ~nonce =
+  match t.pending_sell with
+  | Some ({ nonce = expected; amount } as p) when Int64.equal nonce expected ->
+      t.pending_sell <- None;
+      t.last_sell <- Some p;
+      apply_sell t amount
+  | Some _ -> ()
+  | None -> (
+      match t.last_sell with
+      | Some { nonce = last; amount } when (not t.config.replay_hardening) && Int64.equal nonce last ->
+          apply_sell t amount
+      | Some _ | None -> ())
+
+let on_bank_message t signed =
+  match Wire.verify_from_bank t.config.bank_public signed with
+  | None -> No_reaction
+  | Some payload -> (
+      match payload with
+      | Wire.Buy_reply { nonce; accepted } ->
+          on_buy_reply t ~nonce ~accepted;
+          No_reaction
+      | Wire.Sell_reply { nonce } ->
+          on_sell_reply t ~nonce;
+          No_reaction
+      | Wire.Audit_request { seq } ->
+          if seq = t.seq && t.cansend then begin
+            t.cansend <- false;
+            Start_snapshot_timer
+          end
+          else No_reaction
+      | Wire.Buy _ | Wire.Sell _ | Wire.Audit_reply _ ->
+          (* ISP-origin payloads signed by the bank make no sense. *)
+          No_reaction)
+
+let thaw t =
+  if t.cansend then invalid_arg "Isp.thaw: no snapshot freeze in force";
+  let reply =
+    Wire.seal_for_bank t.rng t.config.bank_public
+      (Wire.Audit_reply
+         { isp = t.config.index; seq = t.seq; credit = Credit.snapshot t.credit })
+  in
+  Credit.reset t.credit;
+  t.seq <- t.seq + 1;
+  t.cansend <- true;
+  reply
+
+let apply_daily_cheat t =
+  match t.config.cheat with
+  | Fake_receives k ->
+      for peer = 0 to t.config.n_isps - 1 do
+        if peer <> t.config.index && t.config.compliant.(peer) then
+          for _ = 1 to k do
+            Credit.record_receive t.credit ~peer;
+            (* The stolen e-penny lands on some user's balance. *)
+            Ledger.credit_receive t.ledger ~user:(Sim.Rng.int t.rng t.config.n_users)
+          done
+      done
+  | Honest | Unreported_sends _ -> ()
+
+let end_of_day t =
+  apply_daily_cheat t;
+  Ledger.reset_daily t.ledger;
+  Array.fill t.warned_today 0 (Array.length t.warned_today) false
+
+let limit_warnings t =
+  let warnings = List.rev t.pending_warnings in
+  t.pending_warnings <- [];
+  warnings
+
+let total_epennies t = Ledger.total_epennies t.ledger
+
+let stats_sent_paid t = t.sent_paid
+let stats_sent_free t = t.sent_free
+let stats_received_paid t = t.received_paid

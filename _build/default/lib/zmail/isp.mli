@@ -1,0 +1,121 @@
+(** The compliant-ISP protocol kernel: §4.1 zero-sum transfer, §4.2
+    user transactions, §4.3 bank transactions, §4.4 snapshot replies.
+
+    This module is pure protocol state — it knows nothing about SMTP or
+    the event loop.  {!World} drives it from MTA hooks and timers; unit
+    tests and the {!Ap_spec} explorer drive it directly.
+
+    One deliberate deviation from the paper's literal pseudocode is
+    recorded here because E11 measures it: the paper accepts a
+    [buyreply] whenever its nonce equals [ns1], but since [ns1] only
+    changes on the {e next} buy, a {e duplicated} reply would be
+    applied twice.  With [replay_hardening] (the default) a reply is
+    accepted only while a matching request is outstanding; constructing
+    a kernel with [~replay_hardening:false] reproduces the paper's
+    literal — and replay-unsafe — behaviour. *)
+
+type cheat =
+  | Honest
+  | Fake_receives of int
+      (** Each day the ISP invents this many receives from each
+          compliant peer, crediting its own users with unbacked
+          e-pennies (the §4.4 fraud the audit exists to catch). *)
+  | Unreported_sends of float
+      (** Probability of not recording [credit+1] on a paid send (the
+          user is still charged; the ISP pockets the e-penny). *)
+
+type config = {
+  index : int;  (** This ISP's id in [0, n_isps). *)
+  n_isps : int;
+  n_users : int;
+  compliant : bool array;  (** The bank-published compliance map. *)
+  bank_public : Toycrypto.Rsa.public;
+  initial_balance : Epenny.amount;
+  initial_account : int;
+  daily_limit : int;
+  minavail : Epenny.amount;
+  maxavail : Epenny.amount;
+  initial_avail : Epenny.amount;
+  buy_amount : Epenny.amount;  (** The paper's [buyvalue]. *)
+  sell_amount : Epenny.amount;
+  replay_hardening : bool;
+  cheat : cheat;
+}
+
+val default_config :
+  index:int -> n_isps:int -> n_users:int -> compliant:bool array ->
+  bank_public:Toycrypto.Rsa.public -> config
+(** Sensible defaults: balance 100, account 1000, limit 500, pool
+    bounds 200/5000, initial pool 1000, buy/sell 1000, hardened,
+    honest. *)
+
+type t
+
+val create : Sim.Rng.t -> config -> t
+val index : t -> int
+val compliant_peer : t -> int -> bool
+val ledger : t -> Ledger.t
+val credit_vector : t -> int array
+(** Snapshot of the current credit array. *)
+
+val frozen : t -> bool
+(** [true] while a §4.4 snapshot freeze is in force ([cansend =
+    false]). *)
+
+(** {1 Mail path (§4.1)} *)
+
+type send_outcome =
+  | Sent_paid  (** Charged one e-penny (credit bumped if remote compliant). *)
+  | Sent_free  (** Destination ISP non-compliant: no charge, no record. *)
+  | Deferred  (** Snapshot freeze: the caller must retry after {!thaw}. *)
+  | Blocked of Ledger.block
+
+val charge_send : t -> sender:int -> dest_isp:int -> send_outcome
+(** Apply the sender-side action for one message from [sender] to a
+    user of [dest_isp] (which may be this ISP). *)
+
+val accept_delivery : t -> from_isp:int -> rcpt:int -> [ `Paid | `Unpaid ]
+(** Apply the receiver-side action: from a compliant ISP the recipient
+    earns one e-penny (and the credit vector records it when remote);
+    from a non-compliant ISP nothing is recorded and the caller's
+    delivery policy decides the message's fate. *)
+
+(** {1 Bank path (§4.3)} *)
+
+val pool_action : t -> Toycrypto.Seal.sealed option
+(** If [avail] has crossed a threshold and no request is outstanding,
+    produce the sealed [buy]/[sell] to send to the bank. *)
+
+type reaction =
+  | No_reaction
+  | Start_snapshot_timer
+      (** A valid audit request arrived: the caller must schedule
+          {!thaw} after the freeze interval (the paper's 10 minutes). *)
+
+val on_bank_message : t -> Wire.signed -> reaction
+(** Handle a bank-origin message: verify the signature, then apply
+    [buyreply]/[sellreply]/[request] semantics.  Invalid signatures and
+    replays are ignored. *)
+
+val thaw : t -> Toycrypto.Seal.sealed
+(** End the snapshot freeze: emit the sealed [Audit_reply] carrying the
+    credit snapshot, reset the credit array for the new billing period,
+    advance [seq], and lift [cansend].
+    @raise Invalid_argument if no freeze is in force. *)
+
+(** {1 Housekeeping} *)
+
+val end_of_day : t -> unit
+(** Reset the [sent] counters; applies any configured per-period
+    cheating. *)
+
+val limit_warnings : t -> int list
+(** Users who hit their daily limit since the last call (the §5 zombie
+    warning); clears the pending set. *)
+
+val total_epennies : t -> Epenny.amount
+(** User balances plus pool — the conserved quantity. *)
+
+val stats_sent_paid : t -> int
+val stats_sent_free : t -> int
+val stats_received_paid : t -> int

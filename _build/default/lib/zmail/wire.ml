@@ -1,0 +1,77 @@
+type payload =
+  | Buy of { amount : Epenny.amount; nonce : int64 }
+  | Buy_reply of { nonce : int64; accepted : bool }
+  | Sell of { amount : Epenny.amount; nonce : int64 }
+  | Sell_reply of { nonce : int64 }
+  | Audit_request of { seq : int }
+  | Audit_reply of { isp : int; seq : int; credit : int array }
+
+let encode = function
+  | Buy { amount; nonce } -> Printf.sprintf "buy %d %Ld" amount nonce
+  | Buy_reply { nonce; accepted } ->
+      Printf.sprintf "buyreply %Ld %b" nonce accepted
+  | Sell { amount; nonce } -> Printf.sprintf "sell %d %Ld" amount nonce
+  | Sell_reply { nonce } -> Printf.sprintf "sellreply %Ld" nonce
+  | Audit_request { seq } -> Printf.sprintf "request %d" seq
+  | Audit_reply { isp; seq; credit } ->
+      Printf.sprintf "reply %d %d %s" isp seq
+        (String.concat "," (Array.to_list (Array.map string_of_int credit)))
+
+let decode s =
+  let fail () = Error (Printf.sprintf "Wire.decode: cannot parse %S" s) in
+  match String.split_on_char ' ' s with
+  | [ "buy"; amount; nonce ] -> (
+      match (int_of_string_opt amount, Int64.of_string_opt nonce) with
+      | Some amount, Some nonce when amount >= 0 -> Ok (Buy { amount; nonce })
+      | _ -> fail ())
+  | [ "buyreply"; nonce; accepted ] -> (
+      match (Int64.of_string_opt nonce, bool_of_string_opt accepted) with
+      | Some nonce, Some accepted -> Ok (Buy_reply { nonce; accepted })
+      | _ -> fail ())
+  | [ "sell"; amount; nonce ] -> (
+      match (int_of_string_opt amount, Int64.of_string_opt nonce) with
+      | Some amount, Some nonce when amount >= 0 -> Ok (Sell { amount; nonce })
+      | _ -> fail ())
+  | [ "sellreply"; nonce ] -> (
+      match Int64.of_string_opt nonce with
+      | Some nonce -> Ok (Sell_reply { nonce })
+      | None -> fail ())
+  | [ "request"; seq ] -> (
+      match int_of_string_opt seq with
+      | Some seq -> Ok (Audit_request { seq })
+      | None -> fail ())
+  | [ "reply"; isp; seq; credit ] -> (
+      match (int_of_string_opt isp, int_of_string_opt seq) with
+      | Some isp, Some seq -> (
+          let cells = String.split_on_char ',' credit in
+          let parsed = List.filter_map int_of_string_opt cells in
+          if List.length parsed = List.length cells then
+            Ok (Audit_reply { isp; seq; credit = Array.of_list parsed })
+          else fail ())
+      | _ -> fail ())
+  | _ -> fail ()
+
+type signed = { payload : payload; signature : int }
+
+let seal_for_bank rng bank_pk payload =
+  Toycrypto.Seal.seal rng bank_pk (Bytes.of_string (encode payload))
+
+let open_at_bank bank_sk sealed =
+  match Toycrypto.Seal.unseal bank_sk sealed with
+  | None -> None
+  | Some bytes -> Result.to_option (decode (Bytes.to_string bytes))
+
+let sign_by_bank bank_sk payload =
+  let signature = Toycrypto.Rsa.sign bank_sk (Bytes.of_string (encode payload)) in
+  { payload; signature }
+
+let verify_from_bank bank_pk { payload; signature } =
+  if Toycrypto.Rsa.verify_sig bank_pk (Bytes.of_string (encode payload)) signature
+  then Some payload
+  else None
+
+(* Structural equality is correct here: payloads are pure data and
+   arrays compare element-wise. *)
+let equal_payload (a : payload) (b : payload) = a = b
+
+let pp_payload ppf p = Format.pp_print_string ppf (encode p)

@@ -1,0 +1,42 @@
+(** Wire messages between compliant ISPs and the bank (§4.3–§4.4).
+
+    Directionality follows the paper's key usage:
+    - ISP → bank traffic ([buy], [sell], audit replies) is {e sealed}
+      to the bank's public key ([NCR(B_p, …)]), so only the bank reads
+      it;
+    - bank → ISP traffic ([buyreply], [sellreply], audit requests) is
+      {e signed} with the bank's private key ([NCR(R_p, …)]), so every
+      ISP can check its origin.
+
+    Payloads have an explicit textual encoding (no [Marshal]), so a
+    tampered byte is a parse failure, not undefined behaviour. *)
+
+type payload =
+  | Buy of { amount : Epenny.amount; nonce : int64 }
+  | Buy_reply of { nonce : int64; accepted : bool }
+  | Sell of { amount : Epenny.amount; nonce : int64 }
+  | Sell_reply of { nonce : int64 }
+  | Audit_request of { seq : int }
+  | Audit_reply of { isp : int; seq : int; credit : int array }
+
+val encode : payload -> string
+val decode : string -> (payload, string) result
+
+type signed = { payload : payload; signature : int }
+(** A bank-origin message: payload in clear, RSA signature over the
+    encoding. *)
+
+val seal_for_bank : Sim.Rng.t -> Toycrypto.Rsa.public -> payload -> Toycrypto.Seal.sealed
+(** ISP → bank. *)
+
+val open_at_bank : Toycrypto.Rsa.secret -> Toycrypto.Seal.sealed -> payload option
+(** Unseal and decode; [None] on forgery, tampering or garbage. *)
+
+val sign_by_bank : Toycrypto.Rsa.secret -> payload -> signed
+(** Bank → ISP. *)
+
+val verify_from_bank : Toycrypto.Rsa.public -> signed -> payload option
+(** Check the signature and return the payload; [None] if invalid. *)
+
+val equal_payload : payload -> payload -> bool
+val pp_payload : Format.formatter -> payload -> unit

@@ -1,0 +1,587 @@
+let log_src = Logs.Src.create "zmail.world" ~doc:"Assembled Zmail simulation"
+
+module Log = (val Logs.src_log log_src)
+
+type unpaid_policy =
+  | Unpaid_deliver
+  | Unpaid_discard
+  | Unpaid_filter of { score : string list -> float; threshold : float }
+
+type config = {
+  n_isps : int;
+  users_per_isp : int;
+  compliant : bool array;
+  seed : int;
+  audit_period : float option;
+  freeze_duration : float;
+  bank_link_latency : float;
+  pool_check_period : float;
+  unpaid_policy : unpaid_policy;
+  auto_ack : bool;
+  auto_topup : Epenny.amount option;
+  customize_isp : int -> Isp.config -> Isp.config;
+}
+
+let default_config ~n_isps ~users_per_isp =
+  {
+    n_isps;
+    users_per_isp;
+    compliant = Array.make n_isps true;
+    seed = 0;
+    audit_period = None;
+    freeze_duration = 10. *. Sim.Engine.minute;
+    bank_link_latency = 0.1;
+    pool_check_period = Sim.Engine.hour;
+    unpaid_policy = Unpaid_deliver;
+    auto_ack = true;
+    auto_topup = Some 50;
+    customize_isp = (fun _ c -> c);
+  }
+
+type counters = {
+  mutable ham_delivered : int;
+  mutable spam_delivered : int;
+  mutable unpaid_discarded : int;
+  mutable blocked_balance : int;
+  mutable blocked_limit : int;
+  mutable deferred_sends : int;
+  mutable acks_generated : int;
+  mutable limit_warnings : int;
+}
+
+type t = {
+  cfg : config;
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  mtas : Smtp.Mta.t array;
+  kernels : Isp.t option array;
+  the_bank : Bank.t;
+  isp_of_domain : (string, int) Hashtbl.t;
+  lists : (Smtp.Address.t, Listserv.t) Hashtbl.t;
+  deferred : (float * (unit -> unit)) Queue.t array;
+  stats : counters;
+  deferral : Sim.Stats.Summary.t;
+  mutable audits : (float * Bank.audit_result) list;  (* reversed *)
+  mutable profiles : Econ.User_model.profile array option;
+  initial : Epenny.amount;
+  initial_balance_of : int array;  (* per ISP, after customization *)
+}
+
+let engine t = t.engine
+let config t = t.cfg
+let bank t = t.the_bank
+let mta t i = t.mtas.(i)
+let counters t = t.stats
+let deferral_delay t = t.deferral
+let initial_epennies t = t.initial
+let audit_results_timed t = List.rev t.audits
+
+let audit_results t = List.map snd (audit_results_timed t)
+
+let isp t i =
+  match t.kernels.(i) with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "World.isp: ISP %d is not compliant" i)
+
+let domain_of_isp i = Printf.sprintf "isp%d.example" i
+
+let address t ~isp:i ~user =
+  if i < 0 || i >= t.cfg.n_isps || user < 0 || user >= t.cfg.users_per_isp then
+    invalid_arg "World.address: index out of range";
+  Smtp.Address.v ~local:(Printf.sprintf "u%d" user) ~domain:(domain_of_isp i)
+
+let locate t addr =
+  match Hashtbl.find_opt t.isp_of_domain (Smtp.Address.domain addr) with
+  | None -> None
+  | Some i -> (
+      let local = Smtp.Address.local addr in
+      if String.length local >= 2 && local.[0] = 'u' then
+        match int_of_string_opt (String.sub local 1 (String.length local - 1)) with
+        | Some u when u >= 0 && u < t.cfg.users_per_isp -> Some (i, u)
+        | Some _ | None -> None
+      else None)
+
+let drain_warnings t i =
+  match t.kernels.(i) with
+  | None -> ()
+  | Some k ->
+      let warned = Isp.limit_warnings k in
+      t.stats.limit_warnings <- t.stats.limit_warnings + List.length warned
+
+(* ------------------------------------------------------------------ *)
+(* Bank links                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec to_bank t i sealed =
+  ignore
+    (Sim.Engine.schedule_after t.engine ~delay:t.cfg.bank_link_latency (fun () ->
+         match Bank.on_isp_message t.the_bank ~from_isp:i sealed with
+         | Bank.Reply signed ->
+             ignore
+               (Sim.Engine.schedule_after t.engine ~delay:t.cfg.bank_link_latency
+                  (fun () -> bank_message_to_isp t i signed))
+         | Bank.Audit_complete result ->
+             Log.info (fun m ->
+                 m "t=%.0f audit %d complete: %d violations, suspects [%s]"
+                   (Sim.Engine.now t.engine) result.Bank.seq
+                   (List.length result.Bank.violations)
+                   (String.concat ","
+                      (List.map string_of_int result.Bank.suspects)));
+             t.audits <- (Sim.Engine.now t.engine, result) :: t.audits
+         | Bank.Audit_progress | Bank.Rejected _ -> ()))
+
+and bank_message_to_isp t i signed =
+  match t.kernels.(i) with
+  | None -> ()
+  | Some kernel -> (
+      match Isp.on_bank_message kernel signed with
+      | Isp.No_reaction -> ()
+      | Isp.Start_snapshot_timer ->
+          Log.debug (fun m ->
+              m "t=%.0f isp %d frozen for snapshot" (Sim.Engine.now t.engine) i);
+          ignore
+            (Sim.Engine.schedule_after t.engine ~delay:t.cfg.freeze_duration
+               (fun () ->
+                 let reply = Isp.thaw kernel in
+                 Log.debug (fun m ->
+                     m "t=%.0f isp %d thawed, reporting" (Sim.Engine.now t.engine) i);
+                 to_bank t i reply;
+                 flush_deferred t i)))
+
+and flush_deferred t i =
+  let queue = t.deferred.(i) in
+  let now = Sim.Engine.now t.engine in
+  while not (Queue.is_empty queue) do
+    let submitted_at, retry = Queue.pop queue in
+    Sim.Stats.Summary.add t.deferral (now -. submitted_at);
+    retry ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Send path                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type send_result =
+  | Submitted of [ `Paid | `Free ]
+  | Deferred_snapshot
+  | Rejected of Ledger.block
+
+(* [build_msg ~paid] constructs the message (payment stamp applied by
+   the caller of the MTA, i.e. here). *)
+let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
+  let from_addr = address t ~isp:i ~user:u in
+  let submit paid =
+    let msg = build_msg () in
+    let msg = if paid then Smtp.Message.mark_payment msg ~epennies:1 else msg in
+    let envelope = Smtp.Envelope.v ~sender:from_addr ~recipients:[ to_addr ] in
+    Smtp.Mta.submit t.mtas.(i) envelope msg
+  in
+  let dest_isp =
+    match Hashtbl.find_opt t.isp_of_domain (Smtp.Address.domain to_addr) with
+    | Some j -> j
+    | None -> -1  (* outside world: treated as non-compliant *)
+  in
+  match t.kernels.(i) with
+  | None ->
+      (* Non-compliant sender: plain SMTP, no accounting. *)
+      submit false;
+      Submitted `Free
+  | Some kernel -> (
+      let charge () =
+        if dest_isp >= 0 then Isp.charge_send kernel ~sender:u ~dest_isp
+        else if Isp.frozen kernel then Isp.Deferred
+        else Isp.Sent_free
+      in
+      let outcome =
+        match charge () with
+        | Isp.Blocked Ledger.Insufficient_balance as blocked -> (
+            (* §1.2: the user buffers fluctuations by buying e-pennies
+               from the ISP pool, then the send is retried once. *)
+            match t.cfg.auto_topup with
+            | Some amount -> (
+                match Ledger.user_buy (Isp.ledger kernel) ~user:u ~amount with
+                | Ok () -> charge ()
+                | Error _ -> blocked)
+            | None -> blocked)
+        | outcome -> outcome
+      in
+      drain_warnings t i;
+      match outcome with
+      | Isp.Sent_paid ->
+          submit true;
+          Submitted `Paid
+      | Isp.Sent_free ->
+          submit false;
+          Submitted `Free
+      | Isp.Deferred ->
+          t.stats.deferred_sends <- t.stats.deferred_sends + 1;
+          Queue.push
+            ( Sim.Engine.now t.engine,
+              fun () -> ignore (submit_message t ~from:(i, u) ~to_addr ~build_msg) )
+            t.deferred.(i);
+          Deferred_snapshot
+      | Isp.Blocked block ->
+          (match block with
+          | Ledger.Insufficient_balance ->
+              t.stats.blocked_balance <- t.stats.blocked_balance + 1
+          | Ledger.Daily_limit_reached ->
+              t.stats.blocked_limit <- t.stats.blocked_limit + 1);
+          Rejected block)
+
+let send_email t ~from ~to_:(j, v) ?(subject = "(no subject)") ?(spam = false)
+    ?in_reply_to ?(body = "hello") () =
+  let to_addr = address t ~isp:j ~user:v in
+  let from_addr = address t ~isp:(fst from) ~user:(snd from) in
+  let build_msg () =
+    let msg =
+      Smtp.Message.make ~from:from_addr ~to_:[ to_addr ] ~subject
+        ~date:(Sim.Engine.now t.engine) ~body ()
+    in
+    let msg =
+      match in_reply_to with
+      | Some id -> Smtp.Message.add_header msg "In-Reply-To" id
+      | None -> msg
+    in
+    Smtp.Message.add_header msg "X-Sim-Label" (if spam then "spam" else "ham")
+  in
+  submit_message t ~from ~to_addr ~build_msg
+
+(* ------------------------------------------------------------------ *)
+(* Inbound processing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let maybe_generate_ack t ~isp_index ~rcpt_user message =
+  if t.cfg.auto_ack then
+    match (Smtp.Message.header message "List-Id", Smtp.Message.from message) with
+    | Some list_id, Some distributor ->
+        let build_msg () =
+          let msg =
+            Smtp.Message.make
+              ~from:(address t ~isp:isp_index ~user:rcpt_user)
+              ~to_:[ distributor ] ~subject:"ack"
+              ~date:(Sim.Engine.now t.engine) ~body:"" ()
+          in
+          Smtp.Message.mark_ack msg ~of_id:list_id
+        in
+        t.stats.acks_generated <- t.stats.acks_generated + 1;
+        ignore
+          (submit_message t ~from:(isp_index, rcpt_user) ~to_addr:distributor
+             ~build_msg)
+    | (Some _ | None), _ -> ()
+
+let inbound_filter t ~isp_index kernel ~sender ~rcpt message =
+  let from_isp =
+    match Hashtbl.find_opt t.isp_of_domain (Smtp.Address.domain sender) with
+    | Some i when t.cfg.compliant.(i) -> Some i
+    | Some _ | None -> None
+  in
+  let rcpt_user =
+    match locate t rcpt with Some (_, u) -> Some u | None -> None
+  in
+  let settle () =
+    match (from_isp, rcpt_user) with
+    | Some fi, Some u -> Isp.accept_delivery kernel ~from_isp:fi ~rcpt:u
+    | _, _ -> `Unpaid
+  in
+  (* Mailing-list acknowledgments are protocol traffic: settle the
+     payment, inform the distributor's list state, never deliver. *)
+  match Smtp.Message.ack_of message with
+  | Some list_id when Hashtbl.mem t.lists rcpt ->
+      ignore (settle ());
+      ignore (Listserv.on_ack (Hashtbl.find t.lists rcpt) ~from:sender ~list_id);
+      Smtp.Mta.Intercept
+  | Some _ | None -> (
+      match settle () with
+      | `Paid ->
+          (match Smtp.Message.header message "X-Sim-Label" with
+          | Some "spam" -> t.stats.spam_delivered <- t.stats.spam_delivered + 1
+          | Some _ | None -> t.stats.ham_delivered <- t.stats.ham_delivered + 1);
+          (match rcpt_user with
+          | Some u ->
+              if Smtp.Message.header message "List-Id" <> None then
+                maybe_generate_ack t ~isp_index ~rcpt_user:u message
+          | None -> ());
+          Smtp.Mta.Deliver
+      | `Unpaid -> (
+          let deliver_unpaid () =
+            (match Smtp.Message.header message "X-Sim-Label" with
+            | Some "spam" -> t.stats.spam_delivered <- t.stats.spam_delivered + 1
+            | Some _ | None -> t.stats.ham_delivered <- t.stats.ham_delivered + 1);
+            Smtp.Mta.Deliver
+          in
+          match t.cfg.unpaid_policy with
+          | Unpaid_deliver -> deliver_unpaid ()
+          | Unpaid_discard ->
+              t.stats.unpaid_discarded <- t.stats.unpaid_discarded + 1;
+              Smtp.Mta.Discard "unpaid mail from non-compliant ISP"
+          | Unpaid_filter { score; threshold } ->
+              let text =
+                Option.value ~default:"" (Smtp.Message.subject message)
+                ^ " " ^ Smtp.Message.body message
+              in
+              let tokens =
+                String.split_on_char ' '
+                  (String.lowercase_ascii (String.map (function '\n' -> ' ' | c -> c) text))
+                |> List.filter (fun s -> s <> "")
+              in
+              if score tokens >= threshold then begin
+                t.stats.unpaid_discarded <- t.stats.unpaid_discarded + 1;
+                Smtp.Mta.Discard "unpaid mail failed the spam filter"
+              end
+              else deliver_unpaid ()))
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create cfg =
+  if Array.length cfg.compliant <> cfg.n_isps then
+    invalid_arg "World.create: compliance map size mismatch";
+  if cfg.n_isps <= 0 || cfg.users_per_isp <= 0 then
+    invalid_arg "World.create: need at least one ISP and one user";
+  let engine = Sim.Engine.create ~seed:cfg.seed () in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let net = Smtp.Mta.network engine in
+  let the_bank =
+    Bank.create rng (Bank.default_config ~n_isps:cfg.n_isps ~compliant:cfg.compliant)
+  in
+  let mtas =
+    Array.init cfg.n_isps (fun i ->
+        Smtp.Mta.create net
+          ~hostname:(Printf.sprintf "mx.%s" (domain_of_isp i))
+          ~domains:[ domain_of_isp i ])
+  in
+  let initial_balance_of = Array.make cfg.n_isps 0 in
+  let kernels =
+    Array.init cfg.n_isps (fun i ->
+        if cfg.compliant.(i) then begin
+          let base =
+            Isp.default_config ~index:i ~n_isps:cfg.n_isps
+              ~n_users:cfg.users_per_isp ~compliant:cfg.compliant
+              ~bank_public:(Bank.public_key the_bank)
+          in
+          let final = cfg.customize_isp i base in
+          initial_balance_of.(i) <- final.Isp.initial_balance;
+          Some (Isp.create rng final)
+        end
+        else None)
+  in
+  let isp_of_domain = Hashtbl.create 16 in
+  Array.iteri (fun i _ -> Hashtbl.replace isp_of_domain (domain_of_isp i) i) mtas;
+  let initial =
+    Array.fold_left
+      (fun acc k -> match k with Some k -> acc + Isp.total_epennies k | None -> acc)
+      0 kernels
+  in
+  let t =
+    {
+      cfg;
+      engine;
+      rng;
+      mtas;
+      kernels;
+      the_bank;
+      isp_of_domain;
+      lists = Hashtbl.create 8;
+      deferred = Array.init cfg.n_isps (fun _ -> Queue.create ());
+      stats =
+        {
+          ham_delivered = 0;
+          spam_delivered = 0;
+          unpaid_discarded = 0;
+          blocked_balance = 0;
+          blocked_limit = 0;
+          deferred_sends = 0;
+          acks_generated = 0;
+          limit_warnings = 0;
+        };
+      deferral = Sim.Stats.Summary.create ();
+      audits = [];
+      profiles = None;
+      initial;
+      initial_balance_of;
+    }
+  in
+  Array.iteri
+    (fun i kernel ->
+      match kernel with
+      | Some kernel ->
+          Smtp.Mta.set_inbound_filter t.mtas.(i) (inbound_filter t ~isp_index:i kernel)
+      | None -> ())
+    kernels;
+  (* Daily resets at midnight boundaries. *)
+  ignore
+    (Sim.Engine.every engine ~period:Sim.Engine.day (fun () ->
+         Array.iteri
+           (fun i kernel ->
+             match kernel with
+             | Some kernel ->
+                 Isp.end_of_day kernel;
+                 drain_warnings t i
+             | None -> ())
+           t.kernels));
+  (* §4.3 pool maintenance. *)
+  ignore
+    (Sim.Engine.every engine ~period:cfg.pool_check_period (fun () ->
+         Array.iteri
+           (fun i kernel ->
+             match kernel with
+             | Some kernel -> (
+                 match Isp.pool_action kernel with
+                 | Some sealed -> to_bank t i sealed
+                 | None -> ())
+             | None -> ())
+           t.kernels));
+  (* Periodic audits. *)
+  (match cfg.audit_period with
+  | Some period ->
+      ignore
+        (Sim.Engine.every engine ~period (fun () ->
+             if not (Bank.audit_in_progress t.the_bank) then
+               List.iter
+                 (fun (i, signed) ->
+                   ignore
+                     (Sim.Engine.schedule_after engine ~delay:cfg.bank_link_latency
+                        (fun () -> bank_message_to_isp t i signed)))
+                 (Bank.start_audit t.the_bank)))
+  | None -> ());
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Mailing lists                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let host_list t ~isp:i ~user ~list_id =
+  let addr = address t ~isp:i ~user in
+  if Hashtbl.mem t.lists addr then invalid_arg "World.host_list: address already hosts a list";
+  let ls = Listserv.create ~list_id ~address:addr in
+  Hashtbl.replace t.lists addr ls;
+  ls
+
+let post_to_list t ls ~body =
+  let distributor = Listserv.address ls in
+  match locate t distributor with
+  | None -> invalid_arg "World.post_to_list: distributor is not a world user"
+  | Some from ->
+      let submitted = ref 0 in
+      List.iter
+        (fun (subscriber, message) ->
+          match
+            submit_message t ~from ~to_addr:subscriber ~build_msg:(fun () -> message)
+          with
+          | Submitted _ | Deferred_snapshot -> incr submitted
+          | Rejected _ -> ())
+        (Listserv.distribute ls ~body ~date:(Sim.Engine.now t.engine) ());
+      !submitted
+
+(* ------------------------------------------------------------------ *)
+(* Protocol operations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let trigger_audit t =
+  List.iter
+    (fun (i, signed) ->
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.bank_link_latency (fun () ->
+             bank_message_to_isp t i signed)))
+    (Bank.start_audit t.the_bank)
+
+let run_days t days =
+  Sim.Engine.run t.engine ~until:(Sim.Engine.now t.engine +. (days *. Sim.Engine.day))
+
+let run_until_quiet t = Sim.Engine.run t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let global_index t (i, u) = (i * t.cfg.users_per_isp) + u
+let of_global t g = (g / t.cfg.users_per_isp, g mod t.cfg.users_per_isp)
+
+let profile_of t ~isp:i ~user =
+  match t.profiles with
+  | None -> None
+  | Some profiles -> Some profiles.(global_index t (i, user))
+
+let attach_user_traffic t ?(mix = Econ.User_model.standard_mix) () =
+  let universe = t.cfg.n_isps * t.cfg.users_per_isp in
+  let profiles = Econ.User_model.assign t.rng mix universe in
+  t.profiles <- Some profiles;
+  let rec schedule_user g =
+    let profile = profiles.(g) in
+    let delay = Econ.User_model.inter_send_delay t.rng profile in
+    if delay < infinity then
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay (fun () ->
+             let target = Econ.User_model.pick_correspondent t.rng ~self:g ~universe profile in
+             ignore
+               (send_email t ~from:(of_global t g) ~to_:(of_global t target)
+                  ~subject:"note" ());
+             schedule_user g))
+  in
+  for g = 0 to universe - 1 do
+    schedule_user g
+  done;
+  (* Replies: each delivered ham message is answered with the
+     recipient's profile probability, after a think-time delay.  The
+     geometric decay (p < 1) keeps threads finite. *)
+  Array.iteri
+    (fun i mta ->
+      Smtp.Mta.set_on_delivered mta (fun ~rcpt message ->
+          match (locate t rcpt, Smtp.Message.from message) with
+          | Some (_, u), Some original_sender
+            when Smtp.Message.header message "X-Sim-Label" = Some "ham"
+                 && Smtp.Message.ack_of message = None -> (
+              match locate t original_sender with
+              | Some sender_loc ->
+                  let profile = profiles.(global_index t (i, u)) in
+                  if Sim.Dist.bernoulli t.rng profile.Econ.User_model.reply_probability
+                  then begin
+                    let think = Sim.Dist.exponential t.rng ~rate:(1. /. 3600.) in
+                    let in_reply_to = Smtp.Message.message_id message in
+                    ignore
+                      (Sim.Engine.schedule_after t.engine ~delay:think (fun () ->
+                           ignore
+                             (send_email t ~from:(i, u) ~to_:sender_loc
+                                ~subject:"re: note" ?in_reply_to ())))
+                  end
+              | None -> ())
+          | _, _ -> ()))
+    t.mtas
+
+let attach_bulk_sender t ~isp:i ~user ~per_day () =
+  if per_day <= 0. then invalid_arg "World.attach_bulk_sender: rate must be positive";
+  let universe = t.cfg.n_isps * t.cfg.users_per_isp in
+  let self = global_index t (i, user) in
+  let rec schedule_blast () =
+    let delay = Sim.Dist.exponential t.rng ~rate:(per_day /. Sim.Engine.day) in
+    ignore
+      (Sim.Engine.schedule_after t.engine ~delay (fun () ->
+           let target =
+             let draw = Sim.Rng.int t.rng (universe - 1) in
+             if draw >= self then draw + 1 else draw
+           in
+           ignore
+             (send_email t ~from:(i, user) ~to_:(of_global t target)
+                ~subject:"GREAT OFFER!!!" ~spam:true ());
+           schedule_blast ()))
+  in
+  schedule_blast ()
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let conservation_holds t =
+  let total =
+    Array.fold_left
+      (fun acc k -> match k with Some k -> acc + Isp.total_epennies k | None -> acc)
+      0 t.kernels
+  in
+  total - t.initial = Bank.outstanding_epennies t.the_bank
+
+let balance_drift t ~isp:i ~user =
+  match t.kernels.(i) with
+  | None -> 0
+  | Some kernel ->
+      Ledger.balance (Isp.ledger kernel) ~user - t.initial_balance_of.(i)

@@ -1,0 +1,164 @@
+(** The assembled Zmail Internet: n ISPs × m users on the simulated
+    SMTP network, a central bank on reliable signed/sealed links, and
+    workload generators — the substrate every timed experiment runs on.
+
+    Layering per message: a user send first passes the sender-side
+    kernel ({!Isp.charge_send}); if paid it is stamped with the
+    [X-Zmail-Payment] header and submitted to the ISP's MTA, which runs
+    the full RFC 821 dialogue to the destination MTA; the receiving
+    ISP's inbound filter applies {!Isp.accept_delivery}, intercepts
+    protocol traffic (mailing-list acks), and enforces the configured
+    policy toward unpaid mail from non-compliant ISPs.
+
+    Bank traffic bypasses SMTP — the paper describes the ISP–bank
+    relationship as a direct accounting link — and travels over
+    reliable point-to-point links with configurable latency. *)
+
+(** Fate of unpaid mail (from non-compliant ISPs) at a compliant ISP —
+    §5 lists exactly these choices: accept, "segregate or discard", or
+    "require any email from a non-compliant ISP to pass a spam
+    filter".  Paid mail always bypasses the policy: that is the whole
+    point of the scheme. *)
+type unpaid_policy =
+  | Unpaid_deliver
+  | Unpaid_discard
+  | Unpaid_filter of { score : string list -> float; threshold : float }
+      (** The message's subject and body are lowercased and
+          whitespace-tokenised; it is discarded when
+          [score tokens >= threshold].  Plug in
+          [Baselines.Bayes_filter.spam_probability] as the scorer. *)
+
+type config = {
+  n_isps : int;
+  users_per_isp : int;
+  compliant : bool array;
+  seed : int;
+  audit_period : float option;
+      (** Run a §4.4 audit every this many seconds ([None]: only
+          manual {!trigger_audit}). *)
+  freeze_duration : float;  (** The paper's 10 minutes. *)
+  bank_link_latency : float;
+  pool_check_period : float;
+      (** How often ISPs evaluate §4.3 pool thresholds. *)
+  unpaid_policy : unpaid_policy;
+      (** Fate of mail from non-compliant ISPs at compliant ones. *)
+  auto_ack : bool;  (** Generate §5 mailing-list acknowledgments. *)
+  auto_topup : Epenny.amount option;
+      (** §1.2's balance buffering: when a send is blocked for lack of
+          e-pennies, buy this many from the ISP pool (against the
+          user's real-money account) and retry once.  [None] disables.
+          This is what keeps the §4.3 pool/bank loop active under
+          sustained traffic. *)
+  customize_isp : int -> Isp.config -> Isp.config;
+      (** Per-ISP overrides (cheats, limits, pool bounds). *)
+}
+
+val default_config : n_isps:int -> users_per_isp:int -> config
+(** All ISPs compliant, hourly pool checks, no automatic audits,
+    10-minute freezes, 100 ms bank links, deliver unpaid mail,
+    auto-ack on. *)
+
+type t
+
+val create : config -> t
+val engine : t -> Sim.Engine.t
+val config : t -> config
+val isp : t -> int -> Isp.t
+(** @raise Invalid_argument for a non-compliant index (they have no
+    kernel). *)
+
+val bank : t -> Bank.t
+val mta : t -> int -> Smtp.Mta.t
+val address : t -> isp:int -> user:int -> Smtp.Address.t
+val locate : t -> Smtp.Address.t -> (int * int) option
+(** Inverse of {!address}. *)
+
+(** {1 Sending mail} *)
+
+type send_result =
+  | Submitted of [ `Paid | `Free ]
+  | Deferred_snapshot  (** Buffered; will be submitted at thaw. *)
+  | Rejected of Ledger.block
+
+val send_email :
+  t -> from:int * int -> to_:int * int -> ?subject:string ->
+  ?spam:bool -> ?in_reply_to:string -> ?body:string -> unit -> send_result
+(** Send one message from user [from] to user [to_].  [spam] tags the
+    message with a ground-truth label header for measurement only —
+    the protocol itself never inspects it (§1.2: "Zmail requires no
+    definition of what is and is not spam").  [in_reply_to] threads the
+    message under an earlier [Message-Id]. *)
+
+(** {1 Mailing lists (§5)} *)
+
+val host_list : t -> isp:int -> user:int -> list_id:string -> Listserv.t
+(** Declare user [(isp, user)] a list distributor; the ISP will
+    intercept acknowledgments addressed to it. *)
+
+val post_to_list : t -> Listserv.t -> body:string -> int
+(** Distribute a post to every subscriber (one paid send each).
+    Returns the number of expansions actually submitted (those not
+    blocked by balance/limit). *)
+
+(** {1 Protocol operations} *)
+
+val trigger_audit : t -> unit
+(** Start a §4.4 audit now.
+    @raise Invalid_argument if one is already running. *)
+
+val audit_results : t -> Bank.audit_result list
+(** Completed audits, oldest first. *)
+
+val audit_results_timed : t -> (float * Bank.audit_result) list
+(** As {!audit_results}, with the simulated completion time. *)
+
+val run_days : t -> float -> unit
+(** Advance simulated time by [days] days (daily resets fire at
+    midnight boundaries). *)
+
+val run_until_quiet : t -> unit
+(** Drain every pending event (workloads must be finite). *)
+
+(** {1 Workloads} *)
+
+val profile_of : t -> isp:int -> user:int -> Econ.User_model.profile option
+(** The behavioural profile assigned by {!attach_user_traffic}; [None]
+    before traffic is attached. *)
+
+val attach_user_traffic : t -> ?mix:Econ.User_model.profile list -> unit -> unit
+(** Give every user at every ISP a behavioural profile from [mix]
+    (default {!Econ.User_model.standard_mix}) and start their Poisson
+    send processes (fresh mail plus probabilistic replies). *)
+
+val attach_bulk_sender :
+  t -> isp:int -> user:int -> per_day:float -> unit -> unit
+(** A bulk mailer at [(isp, user)]: Poisson sends at [per_day] to
+    uniformly random users across the world, tagged as spam. *)
+
+(** {1 Measurement} *)
+
+type counters = {
+  mutable ham_delivered : int;
+  mutable spam_delivered : int;
+  mutable unpaid_discarded : int;
+  mutable blocked_balance : int;
+  mutable blocked_limit : int;
+  mutable deferred_sends : int;
+  mutable acks_generated : int;
+  mutable limit_warnings : int;
+}
+
+val counters : t -> counters
+
+val deferral_delay : t -> Sim.Stats.Summary.t
+(** Seconds each snapshot-deferred message waited before submission. *)
+
+val initial_epennies : t -> Epenny.amount
+val conservation_holds : t -> bool
+(** Σ compliant-ISP e-pennies − initial issue = bank outstanding —
+    false only if the implementation leaked or minted money.  Note:
+    transiently false while paid mail or bank replies are in flight;
+    check at quiescence or between bursts. *)
+
+val balance_drift : t -> isp:int -> user:int -> int
+(** Current balance minus initial balance for one user. *)

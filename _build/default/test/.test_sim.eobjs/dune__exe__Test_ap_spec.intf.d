@@ -1,0 +1,1 @@
+test/test_ap_spec.mli:

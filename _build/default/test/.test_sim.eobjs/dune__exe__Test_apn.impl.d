@@ -1,0 +1,1 @@
+test/test_apn.ml: Alcotest Apn Array List Printf QCheck QCheck_alcotest

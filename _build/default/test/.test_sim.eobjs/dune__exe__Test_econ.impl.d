@@ -1,0 +1,1 @@
+test/test_econ.ml: Alcotest Array Econ Float Hashtbl List Option Sim

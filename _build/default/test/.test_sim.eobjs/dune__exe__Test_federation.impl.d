@@ -1,0 +1,1 @@
+test/test_federation.ml: Alcotest Array List Printf Sim Toycrypto Zmail

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Apn Array Bytes Char Gen List Printf QCheck QCheck_alcotest Sim Smtp String Toycrypto Zmail

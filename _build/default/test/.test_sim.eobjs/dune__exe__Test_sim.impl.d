@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Format List QCheck QCheck_alcotest Sim String Summary

@@ -1,0 +1,1 @@
+test/test_smtp.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Sim Smtp String

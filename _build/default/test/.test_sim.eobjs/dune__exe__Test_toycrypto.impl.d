@@ -1,0 +1,1 @@
+test/test_toycrypto.ml: Alcotest Bytes Char Hashtbl Int64 List Printf QCheck QCheck_alcotest Sim String Toycrypto

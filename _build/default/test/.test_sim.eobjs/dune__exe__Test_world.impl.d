@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest Array Baselines Econ List Sim Smtp Zmail

@@ -1,0 +1,1 @@
+test/test_zmail.ml: Alcotest Array Gen List QCheck QCheck_alcotest Result Sim Smtp Toycrypto Zmail

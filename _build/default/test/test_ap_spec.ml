@@ -1,0 +1,214 @@
+(* Exhaustive verification of the §4 Abstract Protocol transcription:
+   every invariant is checked in every reachable interleaving of small
+   configurations. *)
+
+let exhaust ?(max_states = 200_000) cfg invariant =
+  Apn.Explore.run ~max_states ~invariant (Zmail.Ap_spec.build cfg)
+
+let expect_exhausted name outcome =
+  match outcome with
+  | Apn.Explore.Exhausted { visited } ->
+      Alcotest.(check bool) (name ^ ": non-trivial space") true (visited > 10);
+      visited
+  | Apn.Explore.Bounded { visited } ->
+      Alcotest.failf "%s: truncated after %d states" name visited
+  | Apn.Explore.Violation { detail; trace; _ } ->
+      Alcotest.failf "%s: %s via [%s]" name detail (String.concat "; " trace)
+
+let test_default_all_invariants () =
+  let cfg = Zmail.Ap_spec.default_config in
+  ignore (expect_exhausted "all invariants" (exhaust cfg (Zmail.Ap_spec.all_invariants cfg)))
+
+let test_conservation_three_isps () =
+  let cfg =
+    {
+      Zmail.Ap_spec.default_config with
+      Zmail.Ap_spec.n_isps = 3;
+      compliant = [| true; true; true |];
+      workload = [ (0, 0, 1, 0); (1, 1, 2, 1); (2, 0, 0, 0) ];
+      audits = 0;
+    }
+  in
+  ignore (expect_exhausted "conservation" (exhaust cfg (Zmail.Ap_spec.conservation cfg)))
+
+let test_limit_never_bypassed () =
+  (* Workload longer than the limit allows. *)
+  let cfg =
+    {
+      Zmail.Ap_spec.default_config with
+      Zmail.Ap_spec.daily_limit = 1;
+      workload = [ (0, 0, 1, 0); (0, 0, 1, 1); (0, 0, 1, 0); (1, 0, 0, 0) ];
+      audits = 0;
+    }
+  in
+  ignore (expect_exhausted "limit" (exhaust cfg (Zmail.Ap_spec.limit_respected cfg)))
+
+let test_audit_clean_under_concurrency () =
+  (* The crucial §4.4 theorem: even with the audit racing live email
+     traffic, the snapshot protocol never reports a violation for
+     honest ISPs, in any interleaving. *)
+  let cfg =
+    {
+      Zmail.Ap_spec.default_config with
+      Zmail.Ap_spec.workload =
+        [ (0, 0, 1, 0); (1, 0, 0, 1); (0, 1, 1, 1); (1, 1, 0, 0) ];
+      audits = 1;
+    }
+  in
+  ignore (expect_exhausted "audit clean" (exhaust cfg Zmail.Ap_spec.audit_clean))
+
+let test_freeze_consistency () =
+  let cfg = Zmail.Ap_spec.default_config in
+  ignore
+    (expect_exhausted "freeze consistency"
+       (exhaust cfg (Zmail.Ap_spec.freeze_consistent cfg)))
+
+let test_noncompliant_mix () =
+  (* One non-compliant ISP in the mix: free mail flows, paid mail only
+     between the compliant pair, invariants still hold. *)
+  let cfg =
+    {
+      Zmail.Ap_spec.default_config with
+      Zmail.Ap_spec.n_isps = 3;
+      compliant = [| true; true; false |];
+      workload =
+        [ (0, 0, 2, 0) (* free *); (2, 0, 0, 0) (* unpaid in *); (0, 1, 1, 1) (* paid *) ];
+      audits = 1;
+    }
+  in
+  ignore
+    (expect_exhausted "non-compliant mix"
+       (exhaust cfg (Zmail.Ap_spec.all_invariants cfg)))
+
+let test_two_audits () =
+  let cfg =
+    {
+      Zmail.Ap_spec.default_config with
+      Zmail.Ap_spec.workload = [ (0, 0, 1, 0); (1, 0, 0, 1) ];
+      audits = 2;
+    }
+  in
+  ignore (expect_exhausted "two audit rounds" (exhaust cfg (Zmail.Ap_spec.all_invariants cfg)))
+
+let test_paper_literal_snapshot_race () =
+  (* The headline negative result: under the paper's literal §4.4 rule
+     ("report once my own outgoing channels are empty") the explorer
+     finds an interleaving in which a receiver reports before a
+     sender's in-flight email arrives, so two honest ISPs are accused.
+     The timed simulation never hits this because delivery latency is
+     tiny next to the 10-minute window — the rule is sound only under
+     that timing assumption. *)
+  let cfg =
+    { Zmail.Ap_spec.default_config with Zmail.Ap_spec.snapshot = Zmail.Ap_spec.Paper_literal }
+  in
+  match exhaust cfg Zmail.Ap_spec.audit_clean with
+  | Apn.Explore.Violation { detail; trace; _ } ->
+      Alcotest.(check string) "false accusation"
+        "audit reported a violation among honest ISPs" detail;
+      Alcotest.(check bool) "short witness" true (List.length trace <= 12)
+  | Apn.Explore.Exhausted _ | Apn.Explore.Bounded _ ->
+      Alcotest.fail "expected the literal rule to exhibit the race"
+
+let test_explorer_catches_seeded_bug () =
+  (* Sanity for the method: a deliberately wrong invariant (balances
+     never change) must be refuted. *)
+  let cfg = Zmail.Ap_spec.default_config in
+  let bogus (g : (Zmail.Ap_spec.state, Zmail.Ap_spec.msg) Apn.Explore.global) =
+    let ok =
+      Array.for_all
+        (fun st ->
+          match st with
+          | Zmail.Ap_spec.Isp_node s ->
+              List.for_all (fun b -> b = cfg.Zmail.Ap_spec.initial_balance) s.Zmail.Ap_spec.balance
+          | Zmail.Ap_spec.Bank_node _ -> true)
+        g.Apn.Explore.states
+    in
+    if ok then Ok () else Error "balance moved"
+  in
+  match Apn.Explore.run ~invariant:bogus (Zmail.Ap_spec.build cfg) with
+  | Apn.Explore.Violation { detail; _ } ->
+      Alcotest.(check string) "refuted" "balance moved" detail
+  | Apn.Explore.Exhausted _ | Apn.Explore.Bounded _ ->
+      Alcotest.fail "the seeded bug went undetected"
+
+let test_three_isps_with_audit_bounded () =
+  (* Three ISPs with live traffic racing a full audit: the state space
+     is large, so explore a bounded prefix — no violation may appear
+     anywhere within the budget. *)
+  let cfg =
+    {
+      Zmail.Ap_spec.default_config with
+      Zmail.Ap_spec.n_isps = 3;
+      compliant = [| true; true; true |];
+      workload = [ (0, 0, 1, 0); (1, 0, 2, 1); (2, 1, 0, 0) ];
+      audits = 1;
+    }
+  in
+  match
+    Apn.Explore.run ~max_states:300_000 ~invariant:(Zmail.Ap_spec.all_invariants cfg)
+      (Zmail.Ap_spec.build cfg)
+  with
+  | Apn.Explore.Exhausted { visited } | Apn.Explore.Bounded { visited } ->
+      Alcotest.(check bool) "explored a non-trivial space" true (visited > 1_000)
+  | Apn.Explore.Violation { detail; trace; _ } ->
+      Alcotest.failf "%s via [%s]" detail (String.concat "; " trace)
+
+let test_randomized_runs_quiesce () =
+  (* The randomized runtime also drives the spec to quiescence with all
+     mail delivered, for several seeds. *)
+  let cfg =
+    {
+      Zmail.Ap_spec.default_config with
+      Zmail.Ap_spec.workload = [ (0, 0, 1, 0); (1, 0, 0, 1); (0, 1, 1, 1) ];
+    }
+  in
+  List.iter
+    (fun seed ->
+      let rt = Apn.Runtime.create ~seed (Zmail.Ap_spec.build cfg) in
+      let _, quiescent = Apn.Runtime.run rt in
+      Alcotest.(check bool) "quiescent" true quiescent;
+      (* After quiescence the audit has completed cleanly. *)
+      match Apn.Runtime.state rt cfg.Zmail.Ap_spec.n_isps with
+      | Zmail.Ap_spec.Bank_node b ->
+          Alcotest.(check bool) "no violation" false b.Zmail.Ap_spec.violation_found;
+          Alcotest.(check bool) "audit ran" true (b.Zmail.Ap_spec.bank_seq = 1)
+      | Zmail.Ap_spec.Isp_node _ -> Alcotest.fail "bank expected")
+    [ 1; 2; 3; 4; 5 ]
+
+let test_workload_validation () =
+  let cfg =
+    { Zmail.Ap_spec.default_config with Zmail.Ap_spec.workload = [ (9, 0, 0, 0) ] }
+  in
+  Alcotest.(check bool) "out-of-range workload rejected" true
+    (try
+       ignore (Zmail.Ap_spec.build cfg);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "ap_spec"
+    [
+      ( "exhaustive",
+        [
+          Alcotest.test_case "default config, all invariants" `Quick
+            test_default_all_invariants;
+          Alcotest.test_case "conservation, 3 ISPs" `Quick test_conservation_three_isps;
+          Alcotest.test_case "limit never bypassed" `Quick test_limit_never_bypassed;
+          Alcotest.test_case "audit clean under concurrency" `Slow
+            test_audit_clean_under_concurrency;
+          Alcotest.test_case "freeze consistency" `Quick test_freeze_consistency;
+          Alcotest.test_case "non-compliant mix" `Quick test_noncompliant_mix;
+          Alcotest.test_case "two audit rounds" `Quick test_two_audits;
+          Alcotest.test_case "paper-literal snapshot race" `Quick
+            test_paper_literal_snapshot_race;
+          Alcotest.test_case "three ISPs with audit (bounded)" `Slow
+            test_three_isps_with_audit_bounded;
+          Alcotest.test_case "explorer catches seeded bug" `Quick
+            test_explorer_catches_seeded_bug;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "runs quiesce cleanly" `Quick test_randomized_runs_quiesce;
+          Alcotest.test_case "workload validation" `Quick test_workload_validation;
+        ] );
+    ]

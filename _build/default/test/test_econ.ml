@@ -1,0 +1,325 @@
+(* Tests for the economic / workload models. *)
+
+let rng () = Sim.Rng.create 7
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign ?(response_rate = 3e-4) ?(value = 20.) ?(infra = 1e-4) () =
+  Econ.Campaign.v ~id:0 ~list_size:10_000 ~blasts_per_month:4
+    ~response_rate ~value_per_response:value ~infra_cost_per_message:infra
+
+let test_campaign_profit () =
+  let c = campaign () in
+  (* 3e-4 * 20 = 6e-3 revenue per message. *)
+  Alcotest.(check (float 1e-9)) "free email profit" (6e-3 -. 1e-4)
+    (Econ.Campaign.profit_per_message c ~price:0.);
+  Alcotest.(check bool) "viable at zero price" true (Econ.Campaign.viable c ~price:0.);
+  Alcotest.(check bool) "dead at one e-penny" false
+    (Econ.Campaign.viable c ~price:0.01);
+  Alcotest.(check int) "monthly volume" 40_000 (Econ.Campaign.monthly_volume c)
+
+let test_campaign_break_even () =
+  (* At $0.01/message and $20/response the spammer needs r = 0.01005/20
+     ~ 5e-4 ... with infra included. *)
+  let r =
+    Econ.Campaign.break_even_response_rate ~value_per_response:20. ~infra:1e-4
+      ~price:0.01
+  in
+  Alcotest.(check (float 1e-9)) "break-even" (0.0101 /. 20.) r;
+  (* The paper's two-orders-of-magnitude claim: break-even rises by
+     ~100x when price goes from 0 to one e-penny. *)
+  let r0 =
+    Econ.Campaign.break_even_response_rate ~value_per_response:20. ~infra:1e-4
+      ~price:0.
+  in
+  Alcotest.(check bool) "~100x increase" true (r /. r0 > 90. && r /. r0 < 150.)
+
+let test_campaign_validation () =
+  Alcotest.(check bool) "bad response rate" true
+    (try
+       ignore (campaign ~response_rate:1.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_population () =
+  let pop = Econ.Campaign.population (rng ()) Econ.Campaign.default_population in
+  Alcotest.(check int) "size" 200 (List.length pop);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "rate in range" true
+        (c.Econ.Campaign.response_rate >= 0. && c.Econ.Campaign.response_rate <= 1.);
+      Alcotest.(check bool) "positive list" true (c.Econ.Campaign.list_size >= 1))
+    pop
+
+(* ------------------------------------------------------------------ *)
+(* Market                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_market_median () =
+  Alcotest.(check (float 1e-9)) "odd" 2. (Econ.Market.median [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Econ.Market.median [ 4.; 1.; 2.; 3. ])
+
+let test_market_monotone () =
+  let pop = Econ.Campaign.population (rng ()) Econ.Campaign.default_population in
+  let points =
+    Econ.Market.sweep pop ~prices:[ 0.; 0.001; 0.01; 0.05 ]
+  in
+  let volumes = List.map (fun p -> p.Econ.Market.monthly_volume) points in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "volume falls with price" true (non_increasing volumes);
+  let at_zero = List.hd points and at_penny = List.nth points 2 in
+  Alcotest.(check (float 1e-9)) "baseline fraction" 1. at_zero.Econ.Market.volume_fraction;
+  Alcotest.(check bool) "e-penny kills most spam" true
+    (at_penny.Econ.Market.volume_fraction < 0.2);
+  Alcotest.(check bool) "cost multiplier ~ 100x" true
+    (at_penny.Econ.Market.spammer_cost_multiplier > 90.)
+
+let test_market_all_fields () =
+  let pop = [ campaign () ] in
+  let p = Econ.Market.evaluate pop ~price:0. in
+  Alcotest.(check int) "viable" 1 p.Econ.Market.viable_campaigns;
+  Alcotest.(check int) "total" 1 p.Econ.Market.total_campaigns;
+  Alcotest.(check int) "volume" 40_000 p.Econ.Market.monthly_volume
+
+(* ------------------------------------------------------------------ *)
+(* User model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_user_mix_assignment () =
+  let profiles = Econ.User_model.assign (rng ()) Econ.User_model.standard_mix 1000 in
+  Alcotest.(check int) "all assigned" 1000 (Array.length profiles);
+  let count name =
+    Array.fold_left
+      (fun acc p -> if p.Econ.User_model.name = name then acc + 1 else acc)
+      0 profiles
+  in
+  Alcotest.(check bool) "light ~40%" true (abs (count "light" - 400) < 80);
+  Alcotest.(check bool) "broadcaster ~5%" true (abs (count "broadcaster" - 50) < 40)
+
+let test_user_send_delay () =
+  let r = rng () in
+  let s = Sim.Stats.Summary.create () in
+  for _ = 1 to 5_000 do
+    Sim.Stats.Summary.add s
+      (Econ.User_model.inter_send_delay r Econ.User_model.average)
+  done;
+  (* 8 sends/day -> mean gap of 10800 s. *)
+  let mean = Sim.Stats.Summary.mean s in
+  Alcotest.(check bool) "mean near 10800" true (abs_float (mean -. 10800.) < 500.)
+
+let test_user_correspondent () =
+  let r = rng () in
+  for _ = 1 to 500 do
+    let c =
+      Econ.User_model.pick_correspondent r ~self:5 ~universe:50
+        Econ.User_model.average
+    in
+    Alcotest.(check bool) "in range, not self" true (c >= 0 && c < 50 && c <> 5)
+  done
+
+let test_user_correspondent_concentrated () =
+  (* Zipf weighting: the most common correspondent gets far more than
+     1/contacts of the traffic. *)
+  let r = rng () in
+  let counts = Hashtbl.create 64 in
+  let n = 2_000 in
+  for _ = 1 to n do
+    let c =
+      Econ.User_model.pick_correspondent r ~self:0 ~universe:1000
+        Econ.User_model.average
+    in
+    Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c))
+  done;
+  let top = Hashtbl.fold (fun _ v acc -> max v acc) counts 0 in
+  Alcotest.(check bool) "top contact concentrated" true
+    (float_of_int top /. float_of_int n > 2. /. 40.)
+
+(* ------------------------------------------------------------------ *)
+(* Adoption                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_adoption_bootstrap () =
+  let p = Econ.Adoption.default_params in
+  let series = Econ.Adoption.simulate (rng ()) p in
+  Alcotest.(check int) "one point per day plus day 0" (p.Econ.Adoption.days + 1)
+    (List.length series);
+  let first = List.hd series in
+  Alcotest.(check int) "starts with 2 compliant" 2 first.Econ.Adoption.compliant_isps;
+  let last = List.nth series p.Econ.Adoption.days in
+  Alcotest.(check bool) "positive feedback spreads adoption" true
+    (last.Econ.Adoption.compliant_isps > p.Econ.Adoption.n_isps / 2)
+
+let test_adoption_monotone () =
+  let series = Econ.Adoption.simulate (rng ()) Econ.Adoption.default_params in
+  let rec check_nondecreasing = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "compliance never regresses" true
+          (b.Econ.Adoption.compliant_isps >= a.Econ.Adoption.compliant_isps);
+        check_nondecreasing rest
+    | [ _ ] | [] -> ()
+  in
+  check_nondecreasing series
+
+let test_adoption_majority () =
+  let p = Econ.Adoption.default_params in
+  let series = Econ.Adoption.simulate (rng ()) p in
+  match Econ.Adoption.days_to_majority ~total_isps:p.Econ.Adoption.n_isps series with
+  | Some day -> Alcotest.(check bool) "majority reached eventually" true (day > 0)
+  | None -> Alcotest.fail "expected majority adoption"
+
+let test_adoption_no_seed_no_growth () =
+  (* With suppression = 0 there is no benefit, so pressure comes only
+     from peer share; a tiny seed with high thresholds should stall. *)
+  let p =
+    { Econ.Adoption.default_params with
+      Econ.Adoption.compliant_spam_suppression = 0.;
+      threshold_mean = 0.9;
+      threshold_sigma = 0.01;
+      days = 50;
+    }
+  in
+  let series = Econ.Adoption.simulate (rng ()) p in
+  let last = List.nth series p.Econ.Adoption.days in
+  Alcotest.(check int) "no spread without benefit" 2 last.Econ.Adoption.compliant_isps
+
+(* ------------------------------------------------------------------ *)
+(* Zombie                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_zombie_limit_bounds_liability () =
+  let p = { Econ.Zombie.default_params with Econ.Zombie.daily_limit = 50 } in
+  let o = Econ.Zombie.simulate (rng ()) p in
+  Alcotest.(check bool) "liability bounded by limit" true
+    (o.Econ.Zombie.max_user_liability_epennies <= 50);
+  Alcotest.(check bool) "zombies detected" true
+    (not (Float.is_nan o.Econ.Zombie.mean_detection_day))
+
+let test_zombie_no_limit_no_detection () =
+  let p = { Econ.Zombie.default_params with Econ.Zombie.daily_limit = max_int } in
+  let o = Econ.Zombie.simulate (rng ()) p in
+  Alcotest.(check bool) "no warnings without a limit" true
+    (Float.is_nan o.Econ.Zombie.mean_detection_day);
+  Alcotest.(check bool) "much more virus mail" true
+    (o.Econ.Zombie.total_virus_delivered
+    > 10 * (let p' = { p with Econ.Zombie.daily_limit = 50 } in
+            (Econ.Zombie.simulate (rng ()) p').Econ.Zombie.total_virus_delivered))
+
+let test_zombie_tight_limit_contains_outbreak () =
+  let loose = { Econ.Zombie.default_params with Econ.Zombie.daily_limit = 1000 } in
+  let tight = { Econ.Zombie.default_params with Econ.Zombie.daily_limit = 20 } in
+  let o_loose = Econ.Zombie.simulate (rng ()) loose in
+  let o_tight = Econ.Zombie.simulate (rng ()) tight in
+  Alcotest.(check bool) "tight limit, smaller outbreak" true
+    (o_tight.Econ.Zombie.peak_infected <= o_loose.Econ.Zombie.peak_infected)
+
+let test_zombie_series_shape () =
+  let p = Econ.Zombie.default_params in
+  let o = Econ.Zombie.simulate (rng ()) p in
+  Alcotest.(check int) "one point per day" p.Econ.Zombie.days
+    (List.length o.Econ.Zombie.series);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "counts non-negative" true
+        (d.Econ.Zombie.infected >= 0 && d.Econ.Zombie.virus_sent >= 0
+        && d.Econ.Zombie.virus_blocked >= 0))
+    o.Econ.Zombie.series
+
+(* ------------------------------------------------------------------ *)
+(* Corpus                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_corpus_generation () =
+  let p = { Econ.Corpus.default_params with Econ.Corpus.n = 2000 } in
+  let docs = Econ.Corpus.generate (rng ()) p in
+  Alcotest.(check int) "count" 2000 (List.length docs);
+  let spam =
+    List.length (List.filter (fun d -> d.Econ.Corpus.label = Econ.Corpus.Spam) docs)
+  in
+  Alcotest.(check bool) "spam fraction ~60%" true (abs (spam - 1200) < 120);
+  List.iter
+    (fun d ->
+      Alcotest.(check int) "tokens per message" p.Econ.Corpus.tokens_per_message
+        (List.length d.Econ.Corpus.tokens))
+    docs
+
+let test_corpus_misspell () =
+  let r = rng () in
+  Alcotest.(check string) "leet substitution changes token" "v1agra"
+    (Econ.Corpus.misspell r "viagra");
+  let t = Econ.Corpus.misspell r "xyz" in
+  Alcotest.(check bool) "fallback changes token" true (t <> "xyz");
+  Alcotest.(check string) "short token unchanged" "a" (Econ.Corpus.misspell r "a")
+
+let test_corpus_adversarial_changes_tokens () =
+  let clean =
+    Econ.Corpus.generate (rng ())
+      { Econ.Corpus.default_params with Econ.Corpus.n = 500; misspell_probability = 0. }
+  in
+  let dirty =
+    Econ.Corpus.generate (rng ())
+      { Econ.Corpus.default_params with Econ.Corpus.n = 500; misspell_probability = 1. }
+  in
+  let has_token tok docs =
+    List.exists
+      (fun d -> d.Econ.Corpus.label = Econ.Corpus.Spam && List.mem tok d.Econ.Corpus.tokens)
+      docs
+  in
+  Alcotest.(check bool) "clean spam has 'viagra'" true (has_token "viagra" clean);
+  Alcotest.(check bool) "adversarial spam hides 'viagra'" false
+    (has_token "viagra" dirty)
+
+let () =
+  Alcotest.run "econ"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "profit" `Quick test_campaign_profit;
+          Alcotest.test_case "break-even" `Quick test_campaign_break_even;
+          Alcotest.test_case "validation" `Quick test_campaign_validation;
+          Alcotest.test_case "population" `Quick test_population;
+        ] );
+      ( "market",
+        [
+          Alcotest.test_case "median" `Quick test_market_median;
+          Alcotest.test_case "volume monotone" `Quick test_market_monotone;
+          Alcotest.test_case "fields" `Quick test_market_all_fields;
+        ] );
+      ( "users",
+        [
+          Alcotest.test_case "mix assignment" `Quick test_user_mix_assignment;
+          Alcotest.test_case "send delay" `Quick test_user_send_delay;
+          Alcotest.test_case "correspondent range" `Quick test_user_correspondent;
+          Alcotest.test_case "correspondent concentration" `Quick
+            test_user_correspondent_concentrated;
+        ] );
+      ( "adoption",
+        [
+          Alcotest.test_case "bootstrap with 2" `Quick test_adoption_bootstrap;
+          Alcotest.test_case "monotone" `Quick test_adoption_monotone;
+          Alcotest.test_case "majority" `Quick test_adoption_majority;
+          Alcotest.test_case "stalls without benefit" `Quick
+            test_adoption_no_seed_no_growth;
+        ] );
+      ( "zombie",
+        [
+          Alcotest.test_case "limit bounds liability" `Quick
+            test_zombie_limit_bounds_liability;
+          Alcotest.test_case "no limit, no detection" `Quick
+            test_zombie_no_limit_no_detection;
+          Alcotest.test_case "tight limit contains" `Quick
+            test_zombie_tight_limit_contains_outbreak;
+          Alcotest.test_case "series shape" `Quick test_zombie_series_shape;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "generation" `Quick test_corpus_generation;
+          Alcotest.test_case "misspell" `Quick test_corpus_misspell;
+          Alcotest.test_case "adversarial tokens" `Quick
+            test_corpus_adversarial_changes_tokens;
+        ] );
+    ]

@@ -1,0 +1,198 @@
+(* Smoke and shape tests for the experiment harness: every experiment
+   must run, produce its tables, and exhibit the qualitative shape the
+   paper claims (the precise numbers live in EXPERIMENTS.md). *)
+
+let rows table = Sim.Table.rows table
+
+let float_cell row i = float_of_string (List.nth row i)
+
+(* E1: volume fraction strictly decreases along the price sweep and the
+   multiplier at 1c is ~100x. *)
+let test_e1_shape () =
+  match Harness.E1_market.run ~seed:1 () with
+  | [ table ] ->
+      let volumes =
+        List.map (fun row -> float_of_string (List.nth row 2)) (rows table)
+      in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | [ _ ] | [] -> true
+      in
+      Alcotest.(check bool) "volume falls" true (non_increasing volumes);
+      let at_penny = List.find (fun row -> List.hd row = "1") (rows table) in
+      Alcotest.(check string) "100x multiplier" "101x" (List.nth at_penny 5)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_e3_shape () =
+  match Harness.E3_detection.run ~seed:3 () with
+  | [ table ] ->
+      Alcotest.(check int) "five scenarios" 5 (List.length (rows table));
+      List.iter
+        (fun row ->
+          Alcotest.(check string) "perfect precision" "100.00%" (List.nth row 5);
+          Alcotest.(check string) "perfect recall" "100.00%" (List.nth row 6))
+        (rows table)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_e5_shape () =
+  match Harness.E5_adoption.run ~seed:5 () with
+  | [ _baseline; _weak; summary ] -> (
+      match rows summary with
+      | [ [ "baseline"; baseline_days ]; [ "weak network effect"; weak ] ] ->
+          Alcotest.(check bool) "baseline reaches majority" true
+            (int_of_string_opt baseline_days <> None);
+          Alcotest.(check string) "weak effect stalls" "never (within 365d)" weak
+      | _ -> Alcotest.fail "unexpected summary rows")
+  | _ -> Alcotest.fail "expected three tables"
+
+let test_e6_shape () =
+  match Harness.E6_zombies.run ~seed:6 () with
+  | [ table ] ->
+      let body = rows table in
+      Alcotest.(check int) "six limits" 6 (List.length body);
+      (* Liability grows with the limit; unlimited never detects. *)
+      let last = List.nth body (List.length body - 1) in
+      Alcotest.(check string) "unlimited row" "unlimited" (List.hd last);
+      Alcotest.(check string) "never detected" "never" (List.nth last 4);
+      let first = List.hd body in
+      Alcotest.(check bool) "tight limit detects fast" true
+        (float_cell first 4 <= 2.)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_e9_shape () =
+  match Harness.E9_sender_cost.run ~seed:9 () with
+  | [ table ] ->
+      let body = rows table in
+      Alcotest.(check int) "four hashcash rows + zmail" 5 (List.length body);
+      let zmail = List.nth body 4 in
+      Alcotest.(check string) "zmail deters" "yes" (List.nth zmail 4)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_e11_shape () =
+  match Harness.E11_replay.run ~seed:11 () with
+  | [ table ] ->
+      List.iter
+        (fun row ->
+          Alcotest.(check string)
+            (List.hd row ^ ": hardened kernels move no money")
+            "0" (List.nth row 1))
+        (rows table);
+      (* The two replay rows leak money in the ablated column. *)
+      let ablated_leaks =
+        List.filter (fun row -> List.nth row 2 <> "0") (rows table)
+      in
+      Alcotest.(check int) "two ablated leaks" 2 (List.length ablated_leaks)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_e13_shape () =
+  match Harness.E13_audit_period.run ~seed:13 () with
+  | [ table ] ->
+      let body = rows table in
+      Alcotest.(check int) "four periods" 4 (List.length body);
+      (* Settlement messages fall, exposure rises, along the sweep. *)
+      let messages = List.map (fun r -> float_cell r 2) body in
+      let stolen = List.map (fun r -> float_cell r 5) body in
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+        | [ _ ] | [] -> true
+      in
+      let rec non_decreasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+        | [ _ ] | [] -> true
+      in
+      Alcotest.(check bool) "messages fall" true (non_increasing messages);
+      Alcotest.(check bool) "exposure grows" true (non_decreasing stolen)
+  | _ -> Alcotest.fail "expected one table"
+
+let test_e14_shape () =
+  match Harness.E14_policies.run ~seed:14 () with
+  | [ table ] -> (
+      match rows table with
+      | [ deliver; filter; discard ] ->
+          let spam r = float_cell r 1 and ham r = float_cell r 2 in
+          Alcotest.(check bool) "deliver: all spam through" true (spam deliver > 0.);
+          Alcotest.(check bool) "filter: less spam than deliver" true
+            (spam filter < spam deliver);
+          Alcotest.(check bool) "filter keeps ham" true (ham filter > 0.);
+          Alcotest.(check (float 0.)) "discard: no spam" 0. (spam discard);
+          Alcotest.(check (float 0.)) "discard: no unpaid ham either" 0. (ham discard)
+      | _ -> Alcotest.fail "expected three policies")
+  | _ -> Alcotest.fail "expected one table"
+
+let test_e15_shape () =
+  match Harness.E15_federation.run ~seed:15 () with
+  | [ positions; clearing; audit ] ->
+      Alcotest.(check int) "two banks" 2 (List.length (rows positions));
+      (* Positions sum to zero before settlement. *)
+      let total =
+        List.fold_left (fun acc row -> acc +. float_cell row 2) 0. (rows positions)
+      in
+      Alcotest.(check (float 0.001)) "positions sum to zero" 0. total;
+      Alcotest.(check bool) "settlement happened or not needed" true
+        (rows clearing <> []);
+      (match rows audit with
+      | [ [ violations; suspects ] ] ->
+          Alcotest.(check string) "clean audit" "0" violations;
+          Alcotest.(check string) "no suspects" "-" suspects
+      | _ -> Alcotest.fail "unexpected audit rows")
+  | _ -> Alcotest.fail "expected three tables"
+
+let test_registry () =
+  Alcotest.(check int) "fourteen experiments" 14 (List.length Harness.Experiments.all);
+  Alcotest.(check bool) "find e7" true (Harness.Experiments.find "E7" <> None);
+  Alcotest.(check bool) "unknown id" true (Harness.Experiments.find "e99" = None);
+  (* Ids are unique and well-formed. *)
+  let ids = List.map (fun e -> e.Harness.Experiments.id) Harness.Experiments.all in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (e.Harness.Experiments.id ^ " has a claim")
+        true
+        (String.length e.Harness.Experiments.claim > 10))
+    Harness.Experiments.all
+
+(* The slower world-backed experiments, marked Slow so `dune runtest`
+   stays fast in the default alcotest quick mode. *)
+let test_e2_runs () =
+  match Harness.E2_zero_sum.run ~seed:2 ~days:3. ~isps:2 ~users_per_isp:30 () with
+  | [ drift; totals ] ->
+      Alcotest.(check bool) "profiles reported" true (rows drift <> []);
+      Alcotest.(check int) "one totals row" 1 (List.length (rows totals))
+  | _ -> Alcotest.fail "expected two tables"
+
+let test_e7_runs () =
+  match Harness.E7_listserv.run ~seed:7 () with
+  | [ table ] ->
+      (match rows table with
+      | all_live :: _ ->
+          Alcotest.(check string) "net zero with acks and live roster" "0"
+            (List.nth all_live 4)
+      | [] -> Alcotest.fail "no rows");
+      Alcotest.(check int) "four scenarios" 4 (List.length (rows table))
+  | _ -> Alcotest.fail "expected one table"
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "e1 market" `Quick test_e1_shape;
+          Alcotest.test_case "e3 detection" `Slow test_e3_shape;
+          Alcotest.test_case "e5 adoption" `Quick test_e5_shape;
+          Alcotest.test_case "e6 zombies" `Quick test_e6_shape;
+          Alcotest.test_case "e9 sender cost" `Slow test_e9_shape;
+          Alcotest.test_case "e11 replay" `Quick test_e11_shape;
+          Alcotest.test_case "e13 audit period" `Slow test_e13_shape;
+          Alcotest.test_case "e14 policies" `Slow test_e14_shape;
+          Alcotest.test_case "e15 federation" `Quick test_e15_shape;
+        ] );
+      ( "registry",
+        [ Alcotest.test_case "contents" `Quick test_registry ] );
+      ( "world-backed",
+        [
+          Alcotest.test_case "e2 runs" `Slow test_e2_runs;
+          Alcotest.test_case "e7 runs" `Slow test_e7_runs;
+        ] );
+    ]

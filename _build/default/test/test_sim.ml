@@ -1,0 +1,496 @@
+(* Tests for the discrete-event simulation kernel. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 42 and b = Sim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.int64 a) (Sim.Rng.int64 b)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Sim.Rng.int64 a <> Sim.Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_copy_independent () =
+  let a = Sim.Rng.create 7 in
+  let b = Sim.Rng.copy a in
+  let xa = Sim.Rng.int64 a in
+  let xb = Sim.Rng.int64 b in
+  Alcotest.(check int64) "copy continues same stream" xa xb;
+  ignore (Sim.Rng.int64 a);
+  let xa' = Sim.Rng.int64 a and xb' = Sim.Rng.int64 b in
+  Alcotest.(check bool) "desynchronised after unequal draws" true (xa' <> xb')
+
+let test_rng_int_bounds () =
+  let rng = Sim.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Sim.Rng.create 0 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Sim.Rng.int rng 0))
+
+let test_rng_unit_float_range () =
+  let rng = Sim.Rng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Sim.Rng.unit_float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_mean () =
+  let rng = Sim.Rng.create 5 in
+  let s = Sim.Stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Sim.Stats.Summary.add s (Sim.Rng.unit_float rng)
+  done;
+  let mean = Sim.Stats.Summary.mean s in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.01)
+
+let test_rng_shuffle_permutation () =
+  let rng = Sim.Rng.create 9 in
+  let a = Array.init 50 (fun i -> i) in
+  Sim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_pick_empty () =
+  let rng = Sim.Rng.create 0 in
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Sim.Rng.pick rng [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Dist                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_summary n f =
+  let s = Sim.Stats.Summary.create () in
+  for _ = 1 to n do
+    Sim.Stats.Summary.add s (f ())
+  done;
+  s
+
+let test_dist_bernoulli_extremes () =
+  let rng = Sim.Rng.create 1 in
+  Alcotest.(check bool) "p=0" false (Sim.Dist.bernoulli rng 0.);
+  Alcotest.(check bool) "p=1" true (Sim.Dist.bernoulli rng 1.)
+
+let test_dist_bernoulli_rate () =
+  let rng = Sim.Rng.create 2 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Sim.Dist.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_dist_exponential_mean () =
+  let rng = Sim.Rng.create 3 in
+  let s = sample_summary 20_000 (fun () -> Sim.Dist.exponential rng ~rate:2.) in
+  Alcotest.(check bool) "mean ~ 1/rate" true
+    (abs_float (Sim.Stats.Summary.mean s -. 0.5) < 0.02);
+  Alcotest.(check bool) "all positive" true (Sim.Stats.Summary.min s >= 0.)
+
+let test_dist_normal_moments () =
+  let rng = Sim.Rng.create 4 in
+  let s =
+    sample_summary 20_000 (fun () -> Sim.Dist.normal rng ~mean:10. ~stddev:3.)
+  in
+  Alcotest.(check bool) "mean" true
+    (abs_float (Sim.Stats.Summary.mean s -. 10.) < 0.1);
+  Alcotest.(check bool) "stddev" true
+    (abs_float (Sim.Stats.Summary.stddev s -. 3.) < 0.1)
+
+let test_dist_poisson_mean () =
+  let rng = Sim.Rng.create 5 in
+  let s =
+    sample_summary 20_000 (fun () -> float_of_int (Sim.Dist.poisson rng ~mean:4.))
+  in
+  Alcotest.(check bool) "mean ~ 4" true
+    (abs_float (Sim.Stats.Summary.mean s -. 4.) < 0.1)
+
+let test_dist_poisson_large_mean () =
+  let rng = Sim.Rng.create 6 in
+  let s =
+    sample_summary 5_000 (fun () -> float_of_int (Sim.Dist.poisson rng ~mean:200.))
+  in
+  Alcotest.(check bool) "mean ~ 200" true
+    (abs_float (Sim.Stats.Summary.mean s -. 200.) < 2.);
+  Alcotest.(check bool) "non-negative" true (Sim.Stats.Summary.min s >= 0.)
+
+let test_dist_poisson_zero () =
+  let rng = Sim.Rng.create 7 in
+  Alcotest.(check int) "mean 0" 0 (Sim.Dist.poisson rng ~mean:0.)
+
+let test_dist_pareto_support () =
+  let rng = Sim.Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Sim.Dist.pareto rng ~scale:2. ~shape:1.5 in
+    Alcotest.(check bool) ">= scale" true (x >= 2.)
+  done
+
+let test_dist_lognormal_positive () =
+  let rng = Sim.Rng.create 9 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true
+      (Sim.Dist.lognormal rng ~mu:0. ~sigma:1. > 0.)
+  done
+
+let test_dist_zipf_ranks () =
+  let rng = Sim.Rng.create 10 in
+  let sample = Sim.Dist.zipf ~n:10 ~s:1.2 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 20_000 do
+    let k = sample rng in
+    Alcotest.(check bool) "rank in 1..10" true (k >= 1 && k <= 10);
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most frequent" true (counts.(1) > counts.(2));
+  Alcotest.(check bool) "rank 2 beats rank 9" true (counts.(2) > counts.(9))
+
+let test_dist_categorical () =
+  let rng = Sim.Rng.create 11 in
+  let sample = Sim.Dist.categorical ~weights:[| 0.; 1.; 3. |] in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 10_000 do
+    let i = sample rng in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero weight never drawn" 0 counts.(0);
+  Alcotest.(check bool) "3x weight ~ 3x draws" true
+    (float_of_int counts.(2) /. float_of_int counts.(1) > 2.5)
+
+let test_dist_geometric () =
+  let rng = Sim.Rng.create 12 in
+  Alcotest.(check int) "p=1 always 0" 0 (Sim.Dist.geometric rng ~p:1.);
+  let s =
+    sample_summary 20_000 (fun () ->
+        float_of_int (Sim.Dist.geometric rng ~p:0.25))
+  in
+  (* mean of failures-before-success is (1-p)/p = 3 *)
+  Alcotest.(check bool) "mean ~ 3" true
+    (abs_float (Sim.Stats.Summary.mean s -. 3.) < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let h = Sim.Heap.create () in
+  List.iter (fun p -> Sim.Heap.push h ~priority:p p) [ 5.; 1.; 3.; 2.; 4. ];
+  let rec drain acc =
+    match Sim.Heap.pop h with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.; 2.; 3.; 4.; 5. ] (drain [])
+
+let test_heap_fifo_ties () =
+  let h = Sim.Heap.create () in
+  List.iter (fun v -> Sim.Heap.push h ~priority:1. v) [ "a"; "b"; "c" ];
+  let next () = match Sim.Heap.pop h with Some (_, v) -> v | None -> "?" in
+  let first = next () in
+  let second = next () in
+  let third = next () in
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_random_sorted =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun priorities ->
+      let h = Sim.Heap.create () in
+      List.iter (fun p -> Sim.Heap.push h ~priority:p p) priorities;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare priorities)
+
+let test_heap_peek () =
+  let h = Sim.Heap.create () in
+  Alcotest.(check bool) "peek empty" true (Sim.Heap.peek h = None);
+  Sim.Heap.push h ~priority:2. "x";
+  Sim.Heap.push h ~priority:1. "y";
+  (match Sim.Heap.peek h with
+  | Some (p, v) ->
+      check_float "peek priority" 1. p;
+      Alcotest.(check string) "peek value" "y" v
+  | None -> Alcotest.fail "expected Some");
+  Alcotest.(check int) "peek does not remove" 2 (Sim.Heap.length h)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_runs_in_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.Engine.schedule e ~at:3. (note "c"));
+  ignore (Sim.Engine.schedule e ~at:1. (note "a"));
+  ignore (Sim.Engine.schedule e ~at:2. (note "b"));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_float "clock at last event" 3. (Sim.Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~at:1. (fun () -> log := "first" :: !log));
+  ignore (Sim.Engine.schedule e ~at:1. (fun () -> log := "second" :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "fifo" [ "first"; "second" ] (List.rev !log)
+
+let test_engine_schedule_past_rejected () =
+  let e = Sim.Engine.create () in
+  ignore (Sim.Engine.schedule e ~at:5. (fun () -> ()));
+  Sim.Engine.run e;
+  Alcotest.check_raises "past"
+    (Invalid_argument "Engine.schedule: time is in the past") (fun () ->
+      ignore (Sim.Engine.schedule e ~at:1. (fun () -> ())))
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let h = Sim.Engine.schedule e ~at:1. (fun () -> fired := true) in
+  Sim.Engine.cancel e h;
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancelled event does not fire" false !fired
+
+let test_engine_until () =
+  let e = Sim.Engine.create () in
+  let count = ref 0 in
+  ignore (Sim.Engine.schedule e ~at:1. (fun () -> incr count));
+  ignore (Sim.Engine.schedule e ~at:10. (fun () -> incr count));
+  Sim.Engine.run ~until:5. e;
+  Alcotest.(check int) "only first fired" 1 !count;
+  check_float "clock advanced to horizon" 5. (Sim.Engine.now e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "second fires later" 2 !count
+
+let test_engine_every () =
+  let e = Sim.Engine.create () in
+  let times = ref [] in
+  let h =
+    Sim.Engine.every e ~period:2. (fun () -> times := Sim.Engine.now e :: !times)
+  in
+  Sim.Engine.run ~until:7. e;
+  Alcotest.(check (list (float 1e-9))) "periodic times" [ 2.; 4.; 6. ]
+    (List.rev !times);
+  Sim.Engine.cancel e h;
+  Sim.Engine.run ~until:20. e;
+  Alcotest.(check int) "no more after cancel" 3 (List.length !times)
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Engine.schedule e ~at:1. (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Sim.Engine.schedule_after e ~delay:1. (fun () ->
+                log := "inner" :: !log))));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_float "final clock" 2. (Sim.Engine.now e)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_summary_basic () =
+  let s = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add s) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (Sim.Stats.Summary.count s);
+  check_float "mean" 2.5 (Sim.Stats.Summary.mean s);
+  check_float "total" 10. (Sim.Stats.Summary.total s);
+  check_float "min" 1. (Sim.Stats.Summary.min s);
+  check_float "max" 4. (Sim.Stats.Summary.max s);
+  (* sample variance of 1..4 is 5/3 *)
+  check_float "variance" (5. /. 3.) (Sim.Stats.Summary.variance s)
+
+let test_summary_empty () =
+  let s = Sim.Stats.Summary.create () in
+  check_float "mean of empty" 0. (Sim.Stats.Summary.mean s);
+  check_float "variance of empty" 0. (Sim.Stats.Summary.variance s)
+
+let test_summary_merge =
+  QCheck.Test.make ~name:"summary merge equals concatenation" ~count:200
+    QCheck.(
+      pair (list (float_bound_inclusive 100.)) (list (float_bound_inclusive 100.)))
+    (fun (xs, ys) ->
+      let open Sim.Stats in
+      let a = Summary.create ()
+      and b = Summary.create ()
+      and c = Summary.create () in
+      List.iter (Summary.add a) xs;
+      List.iter (Summary.add b) ys;
+      List.iter (Summary.add c) (xs @ ys);
+      let m = Summary.merge a b in
+      let close x y = abs_float (x -. y) < 1e-6 *. (1. +. abs_float x) in
+      Summary.count m = Summary.count c
+      && close (Summary.mean m) (Summary.mean c)
+      && close (Summary.variance m) (Summary.variance c))
+
+let test_histogram_buckets () =
+  let h = Sim.Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Sim.Stats.Histogram.add h) [ -1.; 0.; 0.5; 5.; 9.99; 10.; 42. ];
+  Alcotest.(check int) "underflow" 1 (Sim.Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Sim.Stats.Histogram.overflow h);
+  Alcotest.(check int) "bucket 0" 2 (Sim.Stats.Histogram.bucket h 0);
+  Alcotest.(check int) "bucket 5" 1 (Sim.Stats.Histogram.bucket h 5);
+  Alcotest.(check int) "bucket 9" 1 (Sim.Stats.Histogram.bucket h 9);
+  Alcotest.(check int) "count" 7 (Sim.Stats.Histogram.count h)
+
+let test_histogram_quantile () =
+  let h = Sim.Stats.Histogram.create ~lo:0. ~hi:100. ~bins:100 in
+  for i = 0 to 99 do
+    Sim.Stats.Histogram.add h (float_of_int i +. 0.5)
+  done;
+  let p50 = Sim.Stats.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "median near 50" true (abs_float (p50 -. 50.) < 2.)
+
+let test_histogram_quantile_empty () =
+  let h = Sim.Stats.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Alcotest.(check bool) "nan when empty" true
+    (Float.is_nan (Sim.Stats.Histogram.quantile h 0.5))
+
+let test_series () =
+  let s = Sim.Stats.Series.create "balance" in
+  Sim.Stats.Series.record s ~time:1. 10.;
+  Sim.Stats.Series.record s ~time:2. 20.;
+  Alcotest.(check string) "name" "balance" (Sim.Stats.Series.name s);
+  Alcotest.(check int) "length" 2 (Sim.Stats.Series.length s);
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "order"
+    [ (1., 10.); (2., 20.) ]
+    (Sim.Stats.Series.to_list s);
+  match Sim.Stats.Series.last s with
+  | Some (t, v) ->
+      check_float "last time" 2. t;
+      check_float "last value" 20. v
+  | None -> Alcotest.fail "expected last sample"
+
+let test_counter () =
+  let c = Sim.Stats.Counter.create "emails" in
+  Sim.Stats.Counter.incr c;
+  Sim.Stats.Counter.incr ~by:5 c;
+  Alcotest.(check int) "value" 6 (Sim.Stats.Counter.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_rows () =
+  let t = Sim.Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Sim.Table.add_row t [ "1"; "2" ];
+  Sim.Table.add_row t [ "3"; "4" ];
+  Alcotest.(check (list (list string)))
+    "rows in order"
+    [ [ "1"; "2" ]; [ "3"; "4" ] ]
+    (Sim.Table.rows t)
+
+let test_table_arity () =
+  let t = Sim.Table.create ~title:"t" ~columns:[ "a"; "b" ] in
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       Sim.Table.add_row t [ "1" ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_cells () =
+  Alcotest.(check string) "pct" "12.50%" (Sim.Table.cell_pct 0.125);
+  Alcotest.(check string) "money" "$3.50" (Sim.Table.cell_money 3.5);
+  Alcotest.(check string) "int" "42" (Sim.Table.cell_int 42)
+
+let contains_line s line = List.mem line (String.split_on_char '\n' s)
+
+let test_table_render () =
+  let t = Sim.Table.create ~title:"demo" ~columns:[ "col"; "x" ] in
+  Sim.Table.add_row t [ "row"; "1" ];
+  let s = Format.asprintf "%a" Sim.Table.pp t in
+  Alcotest.(check bool) "title present" true (contains_line s "== demo ==");
+  Alcotest.(check bool) "contains row" true (contains_line s "row  1")
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed changes stream" `Quick test_rng_seed_changes_stream;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid bound" `Quick test_rng_int_invalid;
+          Alcotest.test_case "unit_float range" `Quick test_rng_unit_float_range;
+          Alcotest.test_case "uniform mean" `Quick test_rng_mean;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick empty" `Quick test_rng_pick_empty;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "bernoulli extremes" `Quick test_dist_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_dist_bernoulli_rate;
+          Alcotest.test_case "exponential mean" `Quick test_dist_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_dist_normal_moments;
+          Alcotest.test_case "poisson mean" `Quick test_dist_poisson_mean;
+          Alcotest.test_case "poisson large mean" `Quick test_dist_poisson_large_mean;
+          Alcotest.test_case "poisson zero" `Quick test_dist_poisson_zero;
+          Alcotest.test_case "pareto support" `Quick test_dist_pareto_support;
+          Alcotest.test_case "lognormal positive" `Quick test_dist_lognormal_positive;
+          Alcotest.test_case "zipf ranks" `Quick test_dist_zipf_ranks;
+          Alcotest.test_case "categorical" `Quick test_dist_categorical;
+          Alcotest.test_case "geometric" `Quick test_dist_geometric;
+        ] );
+      ( "heap",
+        Alcotest.test_case "ordering" `Quick test_heap_ordering
+        :: Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties
+        :: Alcotest.test_case "peek" `Quick test_heap_peek
+        :: qcheck [ test_heap_random_sorted ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "past rejected" `Quick test_engine_schedule_past_rejected;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "periodic" `Quick test_engine_every;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+        ] );
+      ( "stats",
+        Alcotest.test_case "summary basic" `Quick test_summary_basic
+        :: Alcotest.test_case "summary empty" `Quick test_summary_empty
+        :: Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets
+        :: Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile
+        :: Alcotest.test_case "histogram quantile empty" `Quick
+             test_histogram_quantile_empty
+        :: Alcotest.test_case "series" `Quick test_series
+        :: Alcotest.test_case "counter" `Quick test_counter
+        :: qcheck [ test_summary_merge ] );
+      ( "table",
+        [
+          Alcotest.test_case "rows" `Quick test_table_rows;
+          Alcotest.test_case "arity" `Quick test_table_arity;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+          Alcotest.test_case "render" `Quick test_table_render;
+        ] );
+    ]

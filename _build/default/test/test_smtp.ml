@@ -1,0 +1,639 @@
+(* Tests for the SMTP substrate. *)
+
+let addr s = Smtp.Address.of_string_exn s
+
+(* ------------------------------------------------------------------ *)
+(* Address                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_address_parse () =
+  let a = addr "alice@Example.COM" in
+  Alcotest.(check string) "local" "alice" (Smtp.Address.local a);
+  Alcotest.(check string) "domain lowercased" "example.com" (Smtp.Address.domain a);
+  Alcotest.(check string) "to_string" "alice@example.com" (Smtp.Address.to_string a)
+
+let test_address_invalid () =
+  let bad = [ "noat"; "a@"; "@b"; "a@b@c"; "sp ace@x.com"; "a@dom ain" ] in
+  List.iter
+    (fun s ->
+      match Smtp.Address.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    bad
+
+let test_address_equal () =
+  Alcotest.(check bool) "domain case-insensitive" true
+    (Smtp.Address.equal (addr "a@X.com") (addr "a@x.COM"));
+  Alcotest.(check bool) "local case-sensitive" false
+    (Smtp.Address.equal (addr "A@x.com") (addr "a@x.com"))
+
+let address_roundtrip =
+  QCheck.Test.make ~name:"address to_string/of_string roundtrip" ~count:200
+    QCheck.(
+      pair
+        (string_gen_of_size (Gen.int_range 1 10) (Gen.oneofl [ 'a'; 'b'; 'z'; '0'; '.'; '_'; '+'; '-' ]))
+        (string_gen_of_size (Gen.int_range 1 10) (Gen.oneofl [ 'x'; 'y'; '3'; '-'; '.' ])))
+    (fun (local, domain) ->
+      let a = Smtp.Address.v ~local ~domain in
+      match Smtp.Address.of_string (Smtp.Address.to_string a) with
+      | Ok b -> Smtp.Address.equal a b
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Message                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_message () =
+  Smtp.Message.make ~from:(addr "alice@a.com")
+    ~to_:[ addr "bob@b.com"; addr "carol@c.com" ]
+    ~subject:"Greetings" ~date:90061. ~body:"Hello\nWorld" ()
+
+let test_message_headers () =
+  let m = sample_message () in
+  Alcotest.(check (option string)) "subject" (Some "Greetings") (Smtp.Message.subject m);
+  Alcotest.(check (option string)) "case-insensitive" (Some "Greetings")
+    (Smtp.Message.header m "SUBJECT");
+  Alcotest.(check (option string)) "date rendered" (Some "Day 1 01:01:01 +0000")
+    (Smtp.Message.header m "Date");
+  (match Smtp.Message.from m with
+  | Some a -> Alcotest.(check string) "from" "alice@a.com" (Smtp.Address.to_string a)
+  | None -> Alcotest.fail "missing from");
+  Alcotest.(check int) "two recipients" 2 (List.length (Smtp.Message.recipients m))
+
+let test_message_roundtrip () =
+  let m = sample_message () in
+  match Smtp.Message.of_string (Smtp.Message.to_string m) with
+  | Ok m' ->
+      Alcotest.(check string) "body" (Smtp.Message.body m) (Smtp.Message.body m');
+      Alcotest.(check (option string)) "subject" (Smtp.Message.subject m)
+        (Smtp.Message.subject m')
+  | Error e -> Alcotest.fail e
+
+let test_message_empty_body () =
+  let m = Smtp.Message.make ~from:(addr "a@a.com") ~to_:[ addr "b@b.com" ] ~body:"" () in
+  match Smtp.Message.of_string (Smtp.Message.to_string m) with
+  | Ok m' -> Alcotest.(check string) "empty body" "" (Smtp.Message.body m')
+  | Error e -> Alcotest.fail e
+
+let test_message_malformed () =
+  match Smtp.Message.of_lines [ "no colon here"; ""; "body" ] with
+  | Ok _ -> Alcotest.fail "accepted malformed header"
+  | Error _ -> ()
+
+let test_message_zmail_headers () =
+  let m = sample_message () in
+  Alcotest.(check (option int)) "no payment" None (Smtp.Message.payment m);
+  let m = Smtp.Message.mark_payment m ~epennies:3 in
+  Alcotest.(check (option int)) "payment" (Some 3) (Smtp.Message.payment m);
+  Alcotest.(check (option string)) "no ack" None (Smtp.Message.ack_of m);
+  let m = Smtp.Message.mark_ack m ~of_id:"list-123" in
+  Alcotest.(check (option string)) "ack id" (Some "list-123") (Smtp.Message.ack_of m);
+  (* Round-trips through the wire form. *)
+  match Smtp.Message.of_string (Smtp.Message.to_string m) with
+  | Ok m' ->
+      Alcotest.(check (option int)) "payment survives" (Some 3) (Smtp.Message.payment m');
+      Alcotest.(check (option string)) "ack survives" (Some "list-123")
+        (Smtp.Message.ack_of m')
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Command / Reply codecs                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_command_roundtrip () =
+  let cases =
+    [
+      Smtp.Command.Helo "mx.a.com";
+      Smtp.Command.Mail_from (addr "alice@a.com");
+      Smtp.Command.Rcpt_to (addr "bob@b.com");
+      Smtp.Command.Data;
+      Smtp.Command.Rset;
+      Smtp.Command.Noop;
+      Smtp.Command.Quit;
+      Smtp.Command.Vrfy "bob";
+    ]
+  in
+  List.iter
+    (fun c ->
+      match Smtp.Command.of_line (Smtp.Command.to_line c) with
+      | Ok c' -> Alcotest.(check bool) (Smtp.Command.to_line c) true (Smtp.Command.equal c c')
+      | Error e -> Alcotest.fail e)
+    cases
+
+let test_command_case_insensitive () =
+  (match Smtp.Command.of_line "mail from:<a@b.com>" with
+  | Ok (Smtp.Command.Mail_from a) ->
+      Alcotest.(check string) "parsed" "a@b.com" (Smtp.Address.to_string a)
+  | Ok _ | Error _ -> Alcotest.fail "expected MAIL FROM");
+  match Smtp.Command.of_line "ehlo client.example" with
+  | Ok (Smtp.Command.Helo h) -> Alcotest.(check string) "ehlo as helo" "client.example" h
+  | Ok _ | Error _ -> Alcotest.fail "expected HELO"
+
+let test_command_bare_path () =
+  match Smtp.Command.of_line "RCPT TO:bob@b.com" with
+  | Ok (Smtp.Command.Rcpt_to a) ->
+      Alcotest.(check string) "bare path accepted" "bob@b.com" (Smtp.Address.to_string a)
+  | Ok _ | Error _ -> Alcotest.fail "expected RCPT TO"
+
+let test_command_invalid () =
+  List.iter
+    (fun line ->
+      match Smtp.Command.of_line line with
+      | Ok _ -> Alcotest.failf "accepted %S" line
+      | Error _ -> ())
+    [ "FOO"; "HELO"; "MAIL FROM:<not-an-address>"; "" ]
+
+let test_reply_roundtrip () =
+  let r = Smtp.Reply.mailbox_unavailable "bob@b.com" in
+  match Smtp.Reply.of_line (Smtp.Reply.to_line r) with
+  | Ok r' -> Alcotest.(check bool) "roundtrip" true (Smtp.Reply.equal r r')
+  | Error e -> Alcotest.fail e
+
+let test_reply_classes () =
+  Alcotest.(check bool) "250 positive" true (Smtp.Reply.is_positive Smtp.Reply.completed);
+  Alcotest.(check bool) "354 positive" true
+    (Smtp.Reply.is_positive Smtp.Reply.start_mail_input);
+  Alcotest.(check bool) "421 transient" true
+    (Smtp.Reply.is_transient_failure Smtp.Reply.service_unavailable);
+  Alcotest.(check bool) "550 permanent" true
+    (Smtp.Reply.is_permanent_failure (Smtp.Reply.mailbox_unavailable "x"));
+  Alcotest.(check bool) "bad code rejected" true
+    (try
+       ignore (Smtp.Reply.v 199 "nope");
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Server state machine                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_server () =
+  Smtp.Server.create ~hostname:"mx.b.com"
+    ~policy:(Smtp.Server.default_policy ~local_domains:[ "b.com" ])
+
+let feed server line =
+  match Smtp.Server.on_line server line with
+  | Some r -> r
+  | None -> Alcotest.fail (Printf.sprintf "expected a reply to %S" line)
+
+let code server line = (feed server line).Smtp.Reply.code
+
+let test_server_happy_path () =
+  let s = make_server () in
+  Alcotest.(check int) "banner" 220 (Smtp.Server.greeting s).Smtp.Reply.code;
+  Alcotest.(check int) "helo" 250 (code s "HELO mx.a.com");
+  Alcotest.(check int) "mail" 250 (code s "MAIL FROM:<alice@a.com>");
+  Alcotest.(check int) "rcpt" 250 (code s "RCPT TO:<bob@b.com>");
+  Alcotest.(check int) "data" 354 (code s "DATA");
+  Alcotest.(check bool) "header line no reply" true
+    (Smtp.Server.on_line s "Subject: hi" = None);
+  Alcotest.(check bool) "blank line no reply" true (Smtp.Server.on_line s "" = None);
+  Alcotest.(check bool) "body line no reply" true
+    (Smtp.Server.on_line s "hello bob" = None);
+  Alcotest.(check int) "terminator" 250 (code s ".");
+  match Smtp.Server.take_received s with
+  | [ (env, msg) ] ->
+      Alcotest.(check string) "sender" "alice@a.com"
+        (Smtp.Address.to_string (Smtp.Envelope.sender env));
+      Alcotest.(check (option string)) "subject parsed" (Some "hi")
+        (Smtp.Message.subject msg);
+      Alcotest.(check string) "body" "hello bob" (Smtp.Message.body msg)
+  | l -> Alcotest.failf "expected one message, got %d" (List.length l)
+
+let test_server_bad_sequences () =
+  let s = make_server () in
+  Alcotest.(check int) "rcpt before helo" 503 (code s "RCPT TO:<bob@b.com>");
+  Alcotest.(check int) "data before helo" 503 (code s "DATA");
+  Alcotest.(check int) "helo" 250 (code s "HELO x");
+  Alcotest.(check int) "rcpt before mail" 503 (code s "RCPT TO:<bob@b.com>");
+  Alcotest.(check int) "data before rcpt path" 250 (code s "MAIL FROM:<a@a.com>");
+  Alcotest.(check int) "data with no rcpt" 503 (code s "DATA");
+  Alcotest.(check int) "double mail" 503 (code s "MAIL FROM:<a@a.com>")
+
+let test_server_rejects_foreign_domain () =
+  let s = make_server () in
+  ignore (code s "HELO x");
+  ignore (code s "MAIL FROM:<a@a.com>");
+  Alcotest.(check int) "foreign rcpt refused" 550 (code s "RCPT TO:<eve@evil.com>");
+  (* One good recipient still allows the transaction. *)
+  Alcotest.(check int) "local rcpt ok" 250 (code s "RCPT TO:<bob@b.com>");
+  Alcotest.(check int) "data ok" 354 (code s "DATA")
+
+let test_server_rset () =
+  let s = make_server () in
+  ignore (code s "HELO x");
+  ignore (code s "MAIL FROM:<a@a.com>");
+  ignore (code s "RCPT TO:<bob@b.com>");
+  Alcotest.(check int) "rset" 250 (code s "RSET");
+  Alcotest.(check int) "data after rset" 503 (code s "DATA");
+  Alcotest.(check int) "fresh transaction" 250 (code s "MAIL FROM:<a@a.com>")
+
+let test_server_quit () =
+  let s = make_server () in
+  Alcotest.(check int) "quit" 221 (code s "QUIT");
+  Alcotest.(check bool) "closed" true (Smtp.Server.closed s);
+  Alcotest.(check int) "after quit" 421 (code s "NOOP")
+
+let test_server_syntax_error () =
+  let s = make_server () in
+  Alcotest.(check int) "garbage" 500 (code s "MAKE ME A SANDWICH")
+
+let test_server_dot_stuffing () =
+  let s = make_server () in
+  ignore (code s "HELO x");
+  ignore (code s "MAIL FROM:<a@a.com>");
+  ignore (code s "RCPT TO:<bob@b.com>");
+  ignore (code s "DATA");
+  ignore (Smtp.Server.on_line s "From: a@a.com");
+  ignore (Smtp.Server.on_line s "");
+  ignore (Smtp.Server.on_line s "..leading dot line");
+  ignore (code s ".");
+  match Smtp.Server.take_received s with
+  | [ (_, msg) ] ->
+      Alcotest.(check string) "unstuffed" ".leading dot line" (Smtp.Message.body msg)
+  | _ -> Alcotest.fail "expected one message"
+
+let test_server_duplicate_rcpt_idempotent () =
+  let s = make_server () in
+  ignore (code s "HELO x");
+  ignore (code s "MAIL FROM:<a@a.com>");
+  ignore (code s "RCPT TO:<bob@b.com>");
+  Alcotest.(check int) "dup accepted" 250 (code s "RCPT TO:<bob@b.com>");
+  ignore (code s "DATA");
+  ignore (code s ".");
+  match Smtp.Server.take_received s with
+  | [ (env, _) ] ->
+      Alcotest.(check int) "one recipient" 1
+        (List.length (Smtp.Envelope.recipients env))
+  | _ -> Alcotest.fail "expected one message"
+
+let test_server_max_message_size () =
+  let policy =
+    { (Smtp.Server.default_policy ~local_domains:[ "b.com" ]) with
+      Smtp.Server.max_message_bytes = 50 }
+  in
+  let s = Smtp.Server.create ~hostname:"mx.b.com" ~policy in
+  ignore (code s "HELO x");
+  ignore (code s "MAIL FROM:<a@a.com>");
+  ignore (code s "RCPT TO:<bob@b.com>");
+  ignore (code s "DATA");
+  ignore (Smtp.Server.on_line s "Subject: short");
+  ignore (Smtp.Server.on_line s "");
+  ignore (Smtp.Server.on_line s (String.make 100 'x'));
+  Alcotest.(check int) "oversized refused" 552 (code s ".");
+  Alcotest.(check int) "nothing stored" 0 (List.length (Smtp.Server.take_received s));
+  (* The session recovers: a small message goes through. *)
+  ignore (code s "MAIL FROM:<a@a.com>");
+  ignore (code s "RCPT TO:<bob@b.com>");
+  ignore (code s "DATA");
+  ignore (Smtp.Server.on_line s "tiny");
+  Alcotest.(check int) "small accepted" 250 (code s ".");
+  Alcotest.(check int) "stored" 1 (List.length (Smtp.Server.take_received s))
+
+let test_server_max_recipients () =
+  let policy =
+    { (Smtp.Server.default_policy ~local_domains:[ "b.com" ]) with
+      Smtp.Server.max_recipients = 2 }
+  in
+  let s = Smtp.Server.create ~hostname:"mx.b.com" ~policy in
+  ignore (code s "HELO x");
+  ignore (code s "MAIL FROM:<a@a.com>");
+  ignore (code s "RCPT TO:<u1@b.com>");
+  ignore (code s "RCPT TO:<u2@b.com>");
+  Alcotest.(check int) "third refused" 554 (code s "RCPT TO:<u3@b.com>")
+
+(* ------------------------------------------------------------------ *)
+(* Client against server                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_delivery () =
+  let s = make_server () in
+  let transport = Smtp.Client.of_server s in
+  let envelope =
+    Smtp.Envelope.v ~sender:(addr "alice@a.com")
+      ~recipients:[ addr "bob@b.com"; addr "eve@evil.com" ]
+  in
+  let message =
+    Smtp.Message.make ~from:(addr "alice@a.com") ~to_:[ addr "bob@b.com" ]
+      ~subject:"x" ~body:".dotted\nplain" ()
+  in
+  match Smtp.Client.deliver transport ~hostname:"mx.a.com" envelope message with
+  | Ok { accepted; rejected } ->
+      Alcotest.(check int) "one accepted" 1 (List.length accepted);
+      Alcotest.(check int) "one rejected" 1 (List.length rejected);
+      (match Smtp.Server.take_received s with
+      | [ (env, msg) ] ->
+          Alcotest.(check int) "delivered to accepted only" 1
+            (List.length (Smtp.Envelope.recipients env));
+          Alcotest.(check string) "dot-stuffing round-trips" ".dotted\nplain"
+            (Smtp.Message.body msg)
+      | _ -> Alcotest.fail "expected one received message")
+  | Error f -> Alcotest.fail (Smtp.Client.failure_to_string f)
+
+let test_client_all_rejected () =
+  let s = make_server () in
+  let transport = Smtp.Client.of_server s in
+  let envelope =
+    Smtp.Envelope.v ~sender:(addr "alice@a.com") ~recipients:[ addr "eve@evil.com" ]
+  in
+  let message =
+    Smtp.Message.make ~from:(addr "alice@a.com") ~to_:[ addr "eve@evil.com" ] ~body:"x" ()
+  in
+  match Smtp.Client.deliver transport ~hostname:"mx.a.com" envelope message with
+  | Error (Smtp.Client.All_recipients_rejected [ (_, reply) ]) ->
+      Alcotest.(check int) "550" 550 reply.Smtp.Reply.code
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error f -> Alcotest.fail (Smtp.Client.failure_to_string f)
+
+(* ------------------------------------------------------------------ *)
+(* Dns                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_dns () =
+  let d = Smtp.Dns.create () in
+  Smtp.Dns.register d ~domain:"A.com" 1;
+  Smtp.Dns.register d ~domain:"b.com" 2;
+  Smtp.Dns.register d ~domain:"c.com" 1;
+  Alcotest.(check (option int)) "case-insensitive" (Some 1)
+    (Smtp.Dns.lookup d ~domain:"a.COM");
+  Alcotest.(check (option int)) "missing" None (Smtp.Dns.lookup d ~domain:"nope.com");
+  Alcotest.(check (list string)) "domains_of" [ "a.com"; "c.com" ]
+    (Smtp.Dns.domains_of d 1);
+  Alcotest.(check int) "size" 3 (Smtp.Dns.size d)
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox () =
+  let mb = Smtp.Mailbox.create () in
+  let bob = addr "bob@b.com" in
+  let m1 = Smtp.Message.make ~from:(addr "a@a.com") ~to_:[ bob ] ~body:"1" () in
+  let m2 = Smtp.Message.make ~from:(addr "a@a.com") ~to_:[ bob ] ~body:"2" () in
+  Smtp.Mailbox.deliver mb bob ~time:1. m1;
+  Smtp.Mailbox.deliver mb bob ~time:2. m2;
+  Alcotest.(check int) "count" 2 (Smtp.Mailbox.count mb bob);
+  Alcotest.(check (list string)) "order" [ "1"; "2" ]
+    (List.map Smtp.Message.body (Smtp.Mailbox.messages mb bob));
+  Alcotest.(check int) "total" 2 (Smtp.Mailbox.total mb);
+  Alcotest.(check int) "unknown user" 0 (Smtp.Mailbox.count mb (addr "x@b.com"));
+  Smtp.Mailbox.clear mb bob;
+  Alcotest.(check int) "cleared" 0 (Smtp.Mailbox.count mb bob)
+
+(* ------------------------------------------------------------------ *)
+(* MTA end-to-end on the simulated network                             *)
+(* ------------------------------------------------------------------ *)
+
+let make_world () =
+  let engine = Sim.Engine.create ~seed:11 () in
+  let net = Smtp.Mta.network engine in
+  let mta_a = Smtp.Mta.create net ~hostname:"mx.a.com" ~domains:[ "a.com" ] in
+  let mta_b = Smtp.Mta.create net ~hostname:"mx.b.com" ~domains:[ "b.com" ] in
+  (engine, mta_a, mta_b)
+
+let send_simple mta ~from ~to_ ~body =
+  let envelope = Smtp.Envelope.v ~sender:from ~recipients:[ to_ ] in
+  let message = Smtp.Message.make ~from ~to_:[ to_ ] ~body () in
+  Smtp.Mta.submit mta envelope message
+
+let test_mta_remote_delivery () =
+  let engine, mta_a, mta_b = make_world () in
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"hi bob";
+  Sim.Engine.run engine;
+  let inbox = Smtp.Mailbox.messages (Smtp.Mta.mailboxes mta_b) (addr "bob@b.com") in
+  Alcotest.(check int) "delivered" 1 (List.length inbox);
+  (match inbox with
+  | [ m ] ->
+      Alcotest.(check string) "body" "hi bob" (Smtp.Message.body m);
+      Alcotest.(check bool) "received header stamped" true
+        (Smtp.Message.header m "Received" <> None)
+  | _ -> assert false);
+  let sa = Smtp.Mta.stats mta_a and sb = Smtp.Mta.stats mta_b in
+  Alcotest.(check int) "submitted" 1 sa.Smtp.Mta.submitted;
+  Alcotest.(check int) "one session" 1 sa.Smtp.Mta.sessions;
+  Alcotest.(check bool) "bytes counted" true (sa.Smtp.Mta.bytes_sent > 0);
+  Alcotest.(check int) "delivered at b" 1 sb.Smtp.Mta.delivered
+
+let test_mta_local_delivery () =
+  let engine, mta_a, _ = make_world () in
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "amy@a.com") ~body:"local";
+  Sim.Engine.run engine;
+  Alcotest.(check int) "delivered locally" 1
+    (Smtp.Mailbox.count (Smtp.Mta.mailboxes mta_a) (addr "amy@a.com"));
+  Alcotest.(check int) "no remote session" 0 (Smtp.Mta.stats mta_a).Smtp.Mta.sessions
+
+let test_mta_multi_domain_split () =
+  let engine, mta_a, mta_b = make_world () in
+  let from = addr "alice@a.com" in
+  let recipients = [ addr "amy@a.com"; addr "bob@b.com"; addr "bill@b.com" ] in
+  let envelope = Smtp.Envelope.v ~sender:from ~recipients in
+  let message = Smtp.Message.make ~from ~to_:recipients ~body:"fanout" () in
+  Smtp.Mta.submit mta_a envelope message;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "local copy" 1
+    (Smtp.Mailbox.count (Smtp.Mta.mailboxes mta_a) (addr "amy@a.com"));
+  Alcotest.(check int) "bob copy" 1
+    (Smtp.Mailbox.count (Smtp.Mta.mailboxes mta_b) (addr "bob@b.com"));
+  Alcotest.(check int) "bill copy" 1
+    (Smtp.Mailbox.count (Smtp.Mta.mailboxes mta_b) (addr "bill@b.com"));
+  (* Both b.com recipients travel in one SMTP session. *)
+  Alcotest.(check int) "single remote session" 1 (Smtp.Mta.stats mta_a).Smtp.Mta.sessions
+
+let test_mta_no_mx_bounces () =
+  let engine, mta_a, _ = make_world () in
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@nowhere.com") ~body:"x";
+  Sim.Engine.run engine;
+  let s = Smtp.Mta.stats mta_a in
+  Alcotest.(check int) "bounced" 1 s.Smtp.Mta.bounced;
+  match Smtp.Mta.dead_letters mta_a with
+  | [ (_, reason) ] ->
+      Alcotest.(check bool) "reason mentions MX" true
+        (String.length reason > 0)
+  | l -> Alcotest.failf "expected 1 dead letter, got %d" (List.length l)
+
+let test_mta_down_host_retries_then_bounces () =
+  let engine, mta_a, mta_b = make_world () in
+  Smtp.Mta.set_down mta_b true;
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"x";
+  Sim.Engine.run engine;
+  let s = Smtp.Mta.stats mta_a in
+  Alcotest.(check int) "three attempts" 3 s.Smtp.Mta.sessions;
+  Alcotest.(check int) "bounced after retries" 1 s.Smtp.Mta.bounced;
+  Alcotest.(check int) "nothing delivered" 0 (Smtp.Mta.stats mta_b).Smtp.Mta.delivered
+
+let test_mta_down_host_recovers () =
+  let engine, mta_a, mta_b = make_world () in
+  Smtp.Mta.set_down mta_b true;
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"x";
+  (* Bring the host back before the first retry fires (60 s backoff). *)
+  ignore (Sim.Engine.schedule_after engine ~delay:30. (fun () -> Smtp.Mta.set_down mta_b false));
+  Sim.Engine.run engine;
+  Alcotest.(check int) "delivered on retry" 1
+    (Smtp.Mailbox.count (Smtp.Mta.mailboxes mta_b) (addr "bob@b.com"));
+  Alcotest.(check int) "no bounce" 0 (Smtp.Mta.stats mta_a).Smtp.Mta.bounced
+
+let test_mta_inbound_filter () =
+  let engine, mta_a, mta_b = make_world () in
+  Smtp.Mta.set_inbound_filter mta_b (fun ~sender ~rcpt:_ m ->
+      if Smtp.Address.local sender = "spammer" then Smtp.Mta.Discard "spam"
+      else if Smtp.Message.header m "X-Protocol" <> None then Smtp.Mta.Intercept
+      else Smtp.Mta.Deliver);
+  send_simple mta_a ~from:(addr "spammer@a.com") ~to_:(addr "bob@b.com") ~body:"buy!";
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"hi";
+  let proto =
+    Smtp.Message.add_header
+      (Smtp.Message.make ~from:(addr "alice@a.com") ~to_:[ addr "bob@b.com" ] ~body:"" ())
+      "X-Protocol" "ack"
+  in
+  Smtp.Mta.submit mta_a
+    (Smtp.Envelope.v ~sender:(addr "alice@a.com") ~recipients:[ addr "bob@b.com" ])
+    proto;
+  Sim.Engine.run engine;
+  let s = Smtp.Mta.stats mta_b in
+  Alcotest.(check int) "one delivered" 1 s.Smtp.Mta.delivered;
+  Alcotest.(check int) "one discarded" 1 s.Smtp.Mta.discarded;
+  Alcotest.(check int) "one intercepted" 1 s.Smtp.Mta.intercepted;
+  Alcotest.(check int) "inbox has only legit mail" 1
+    (Smtp.Mailbox.count (Smtp.Mta.mailboxes mta_b) (addr "bob@b.com"))
+
+let test_mta_outbound_stamp () =
+  let engine, mta_a, mta_b = make_world () in
+  Smtp.Mta.set_outbound_stamp mta_a (fun _env m -> Smtp.Message.mark_payment m ~epennies:1);
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"paid";
+  Sim.Engine.run engine;
+  match Smtp.Mailbox.messages (Smtp.Mta.mailboxes mta_b) (addr "bob@b.com") with
+  | [ m ] ->
+      Alcotest.(check (option int)) "payment header survived the wire" (Some 1)
+        (Smtp.Message.payment m)
+  | _ -> Alcotest.fail "expected delivery"
+
+let test_mta_on_delivered_hook () =
+  let engine, mta_a, mta_b = make_world () in
+  let seen = ref [] in
+  Smtp.Mta.set_on_delivered mta_b (fun ~rcpt _m ->
+      seen := Smtp.Address.to_string rcpt :: !seen);
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"x";
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "hook fired" [ "bob@b.com" ] !seen
+
+let test_mta_duplicate_domain_rejected () =
+  let engine = Sim.Engine.create () in
+  let net = Smtp.Mta.network engine in
+  ignore (Smtp.Mta.create net ~hostname:"mx1" ~domains:[ "a.com" ]);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Smtp.Mta.create net ~hostname:"mx2" ~domains:[ "a.com" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mta_stamps_message_id () =
+  let engine, mta_a, mta_b = make_world () in
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"one";
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"two";
+  Sim.Engine.run engine;
+  match Smtp.Mailbox.messages (Smtp.Mta.mailboxes mta_b) (addr "bob@b.com") with
+  | [ m1; m2 ] ->
+      let id m =
+        match Smtp.Message.message_id m with Some id -> id | None -> Alcotest.fail "no id"
+      in
+      Alcotest.(check bool) "distinct ids" true (id m1 <> id m2);
+      Alcotest.(check bool) "id names the origin host" true
+        (String.length (id m1) > 0
+        && String.sub (id m1) (String.length (id m1) - String.length "mx.a.com>")
+             (String.length "mx.a.com>")
+           = "mx.a.com>")
+  | _ -> Alcotest.fail "expected two messages"
+
+let test_mta_preserves_existing_message_id () =
+  let engine, mta_a, mta_b = make_world () in
+  let from = addr "alice@a.com" and to_ = addr "bob@b.com" in
+  let message =
+    Smtp.Message.add_header
+      (Smtp.Message.make ~from ~to_:[ to_ ] ~body:"x" ())
+      "Message-Id" "<custom@elsewhere>"
+  in
+  Smtp.Mta.submit mta_a (Smtp.Envelope.v ~sender:from ~recipients:[ to_ ]) message;
+  Sim.Engine.run engine;
+  match Smtp.Mailbox.messages (Smtp.Mta.mailboxes mta_b) to_ with
+  | [ m ] ->
+      Alcotest.(check (option string)) "kept" (Some "<custom@elsewhere>")
+        (Smtp.Message.message_id m)
+  | _ -> Alcotest.fail "expected one message"
+
+let test_mta_latency_orders_delivery () =
+  (* Local delivery (1 ms) completes before remote (>= 10 ms). *)
+  let engine, mta_a, mta_b = make_world () in
+  let order = ref [] in
+  Smtp.Mta.set_on_delivered mta_a (fun ~rcpt:_ _ -> order := "local" :: !order);
+  Smtp.Mta.set_on_delivered mta_b (fun ~rcpt:_ _ -> order := "remote" :: !order);
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"r";
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "amy@a.com") ~body:"l";
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "local first" [ "local"; "remote" ] (List.rev !order)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "smtp"
+    [
+      ( "address",
+        Alcotest.test_case "parse" `Quick test_address_parse
+        :: Alcotest.test_case "invalid" `Quick test_address_invalid
+        :: Alcotest.test_case "equal" `Quick test_address_equal
+        :: qcheck [ address_roundtrip ] );
+      ( "message",
+        [
+          Alcotest.test_case "headers" `Quick test_message_headers;
+          Alcotest.test_case "roundtrip" `Quick test_message_roundtrip;
+          Alcotest.test_case "empty body" `Quick test_message_empty_body;
+          Alcotest.test_case "malformed" `Quick test_message_malformed;
+          Alcotest.test_case "zmail headers" `Quick test_message_zmail_headers;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "command roundtrip" `Quick test_command_roundtrip;
+          Alcotest.test_case "case-insensitive" `Quick test_command_case_insensitive;
+          Alcotest.test_case "bare path" `Quick test_command_bare_path;
+          Alcotest.test_case "invalid commands" `Quick test_command_invalid;
+          Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "reply classes" `Quick test_reply_classes;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "happy path" `Quick test_server_happy_path;
+          Alcotest.test_case "bad sequences" `Quick test_server_bad_sequences;
+          Alcotest.test_case "foreign domain" `Quick test_server_rejects_foreign_domain;
+          Alcotest.test_case "rset" `Quick test_server_rset;
+          Alcotest.test_case "quit" `Quick test_server_quit;
+          Alcotest.test_case "syntax error" `Quick test_server_syntax_error;
+          Alcotest.test_case "dot stuffing" `Quick test_server_dot_stuffing;
+          Alcotest.test_case "duplicate rcpt" `Quick test_server_duplicate_rcpt_idempotent;
+          Alcotest.test_case "max recipients" `Quick test_server_max_recipients;
+          Alcotest.test_case "max message size" `Quick test_server_max_message_size;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "delivery" `Quick test_client_delivery;
+          Alcotest.test_case "all rejected" `Quick test_client_all_rejected;
+        ] );
+      ("dns", [ Alcotest.test_case "registry" `Quick test_dns ]);
+      ("mailbox", [ Alcotest.test_case "store" `Quick test_mailbox ]);
+      ( "mta",
+        [
+          Alcotest.test_case "remote delivery" `Quick test_mta_remote_delivery;
+          Alcotest.test_case "local delivery" `Quick test_mta_local_delivery;
+          Alcotest.test_case "multi-domain split" `Quick test_mta_multi_domain_split;
+          Alcotest.test_case "no MX bounces" `Quick test_mta_no_mx_bounces;
+          Alcotest.test_case "down host bounces" `Quick
+            test_mta_down_host_retries_then_bounces;
+          Alcotest.test_case "down host recovers" `Quick test_mta_down_host_recovers;
+          Alcotest.test_case "inbound filter" `Quick test_mta_inbound_filter;
+          Alcotest.test_case "outbound stamp" `Quick test_mta_outbound_stamp;
+          Alcotest.test_case "on_delivered hook" `Quick test_mta_on_delivered_hook;
+          Alcotest.test_case "duplicate domain" `Quick test_mta_duplicate_domain_rejected;
+          Alcotest.test_case "latency ordering" `Quick test_mta_latency_orders_delivery;
+          Alcotest.test_case "message-id stamping" `Quick test_mta_stamps_message_id;
+          Alcotest.test_case "message-id preserved" `Quick
+            test_mta_preserves_existing_message_id;
+        ] );
+    ]

@@ -1,0 +1,463 @@
+(* Integration tests: the assembled Zmail world — ISP kernels over real
+   SMTP sessions, bank links, audits, mailing lists, workloads. *)
+
+let make ?(n_isps = 2) ?(users = 4) ?(f = fun c -> c) () =
+  Zmail.World.create (f (Zmail.World.default_config ~n_isps ~users_per_isp:users))
+
+let balance w ~isp ~user =
+  Zmail.Ledger.balance (Zmail.Isp.ledger (Zmail.World.isp w isp)) ~user
+
+let test_paid_delivery_end_to_end () =
+  let w = make () in
+  (match Zmail.World.send_email w ~from:(0, 0) ~to_:(1, 1) ~subject:"hi" () with
+  | Zmail.World.Submitted `Paid -> ()
+  | _ -> Alcotest.fail "expected a paid submission");
+  Zmail.World.run_until_quiet w;
+  (* Sender paid one e-penny; recipient earned it. *)
+  Alcotest.(check int) "sender debited" 99 (balance w ~isp:0 ~user:0);
+  Alcotest.(check int) "recipient credited" 101 (balance w ~isp:1 ~user:1);
+  (* The message really crossed an SMTP session and sits in the inbox
+     with the payment header. *)
+  let inbox =
+    Smtp.Mailbox.messages
+      (Smtp.Mta.mailboxes (Zmail.World.mta w 1))
+      (Zmail.World.address w ~isp:1 ~user:1)
+  in
+  (match inbox with
+  | [ m ] ->
+      Alcotest.(check (option int)) "payment header" (Some 1) (Smtp.Message.payment m);
+      Alcotest.(check bool) "received header from the MTA" true
+        (Smtp.Message.header m "Received" <> None)
+  | l -> Alcotest.failf "expected 1 message, got %d" (List.length l));
+  Alcotest.(check bool) "conservation" true (Zmail.World.conservation_holds w);
+  Alcotest.(check int) "credit antisymmetry" 0
+    ((Zmail.Isp.credit_vector (Zmail.World.isp w 0)).(1)
+    + (Zmail.Isp.credit_vector (Zmail.World.isp w 1)).(0))
+
+let test_local_delivery_accounting () =
+  let w = make () in
+  ignore (Zmail.World.send_email w ~from:(0, 0) ~to_:(0, 1) ());
+  Zmail.World.run_until_quiet w;
+  Alcotest.(check int) "sender debited" 99 (balance w ~isp:0 ~user:0);
+  Alcotest.(check int) "recipient credited" 101 (balance w ~isp:0 ~user:1);
+  Alcotest.(check int) "no inter-ISP credit" 0
+    (Array.fold_left ( + ) 0 (Zmail.Isp.credit_vector (Zmail.World.isp w 0)))
+
+let noncompliant_world ?(f = fun c -> c) () =
+  make ~n_isps:3
+    ~f:(fun c -> f { c with Zmail.World.compliant = [| true; true; false |] })
+    ()
+
+let test_noncompliant_mail_free () =
+  let w = noncompliant_world () in
+  (match Zmail.World.send_email w ~from:(0, 0) ~to_:(2, 0) () with
+  | Zmail.World.Submitted `Free -> ()
+  | _ -> Alcotest.fail "expected free submission to non-compliant");
+  Zmail.World.run_until_quiet w;
+  Alcotest.(check int) "no charge" 100 (balance w ~isp:0 ~user:0);
+  Alcotest.(check int) "delivered at non-compliant MTA" 1
+    (Smtp.Mailbox.count
+       (Smtp.Mta.mailboxes (Zmail.World.mta w 2))
+       (Zmail.World.address w ~isp:2 ~user:0))
+
+let test_unpaid_policy_discard () =
+  let w = noncompliant_world ~f:(fun c -> { c with Zmail.World.unpaid_policy = Zmail.World.Unpaid_discard }) () in
+  (* Mail from the non-compliant ISP 2 into compliant ISP 0. *)
+  ignore (Zmail.World.send_email w ~from:(2, 0) ~to_:(0, 0) ~spam:true ());
+  Zmail.World.run_until_quiet w;
+  Alcotest.(check int) "discarded" 1 (Zmail.World.counters w).Zmail.World.unpaid_discarded;
+  Alcotest.(check int) "inbox empty" 0
+    (Smtp.Mailbox.count
+       (Smtp.Mta.mailboxes (Zmail.World.mta w 0))
+       (Zmail.World.address w ~isp:0 ~user:0));
+  Alcotest.(check int) "no payment to recipient" 100 (balance w ~isp:0 ~user:0)
+
+let test_unpaid_policy_deliver () =
+  let w = noncompliant_world () in
+  ignore (Zmail.World.send_email w ~from:(2, 0) ~to_:(0, 0) ~spam:true ());
+  Zmail.World.run_until_quiet w;
+  Alcotest.(check int) "delivered but unpaid" 1
+    (Zmail.World.counters w).Zmail.World.spam_delivered;
+  Alcotest.(check int) "recipient not paid" 100 (balance w ~isp:0 ~user:0)
+
+let test_unpaid_policy_filter () =
+  (* §5: unpaid mail must pass a spam filter; paid mail bypasses it.
+     Train a Bayes filter and wire it in as the policy. *)
+  let filter = Baselines.Bayes_filter.create () in
+  Baselines.Bayes_filter.train_all filter
+    (Econ.Corpus.generate (Sim.Rng.create 17)
+       { Econ.Corpus.default_params with Econ.Corpus.n = 1500 });
+  let policy =
+    Zmail.World.Unpaid_filter
+      { score = Baselines.Bayes_filter.spam_probability filter; threshold = 0.9 }
+  in
+  let w = noncompliant_world ~f:(fun c -> { c with Zmail.World.unpaid_policy = policy }) () in
+  (* Spammy unpaid mail from the non-compliant ISP: filtered out. *)
+  ignore
+    (Zmail.World.send_email w ~from:(2, 0) ~to_:(0, 0) ~subject:"free viagra winner"
+       ~body:"free pills lottery winner casino prize offer cash bonus" ~spam:true ());
+  (* Hammy unpaid mail: passes the filter. *)
+  ignore
+    (Zmail.World.send_email w ~from:(2, 1) ~to_:(0, 0) ~subject:"meeting agenda"
+       ~body:"please review the attached project report before the deadline" ());
+  (* Spammy but PAID mail from a compliant ISP: never filtered. *)
+  ignore
+    (Zmail.World.send_email w ~from:(1, 0) ~to_:(0, 0) ~subject:"free viagra winner"
+       ~body:"free pills lottery winner casino prize offer cash bonus" ~spam:true ());
+  Zmail.World.run_until_quiet w;
+  let c = Zmail.World.counters w in
+  Alcotest.(check int) "spammy unpaid filtered" 1 c.Zmail.World.unpaid_discarded;
+  Alcotest.(check int) "hammy unpaid delivered" 1 c.Zmail.World.ham_delivered;
+  Alcotest.(check int) "paid spam bypasses the filter" 1 c.Zmail.World.spam_delivered;
+  Alcotest.(check int) "inbox has the two delivered messages" 2
+    (Smtp.Mailbox.count
+       (Smtp.Mta.mailboxes (Zmail.World.mta w 0))
+       (Zmail.World.address w ~isp:0 ~user:0))
+
+let test_balance_exhaustion_and_topup () =
+  (* Tiny balances, no topup: the second send is blocked. *)
+  let w =
+    make
+      ~f:(fun c ->
+        {
+          c with
+          Zmail.World.auto_topup = None;
+          customize_isp = (fun _ k -> { k with Zmail.Isp.initial_balance = 1 });
+        })
+      ()
+  in
+  ignore (Zmail.World.send_email w ~from:(0, 0) ~to_:(1, 0) ());
+  (match Zmail.World.send_email w ~from:(0, 0) ~to_:(1, 0) () with
+  | Zmail.World.Rejected Zmail.Ledger.Insufficient_balance -> ()
+  | _ -> Alcotest.fail "expected a balance rejection");
+  Alcotest.(check int) "counted" 1 (Zmail.World.counters w).Zmail.World.blocked_balance;
+  (* Same setup with topup: the user buys from the pool and sends. *)
+  let w2 =
+    make
+      ~f:(fun c ->
+        {
+          c with
+          Zmail.World.auto_topup = Some 10;
+          customize_isp = (fun _ k -> { k with Zmail.Isp.initial_balance = 1 });
+        })
+      ()
+  in
+  ignore (Zmail.World.send_email w2 ~from:(0, 0) ~to_:(1, 0) ());
+  (match Zmail.World.send_email w2 ~from:(0, 0) ~to_:(1, 0) () with
+  | Zmail.World.Submitted `Paid -> ()
+  | _ -> Alcotest.fail "expected topup then paid send");
+  Zmail.World.run_until_quiet w2;
+  Alcotest.(check bool) "conservation with topup" true
+    (Zmail.World.conservation_holds w2)
+
+let test_audit_clean_under_traffic () =
+  let w = make ~n_isps:3 ~users:3 () in
+  (* A burst of cross traffic, fully delivered. *)
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      if i <> j then
+        for u = 0 to 2 do
+          ignore (Zmail.World.send_email w ~from:(i, u) ~to_:(j, u) ())
+        done
+    done
+  done;
+  Zmail.World.run_until_quiet w;
+  Zmail.World.trigger_audit w;
+  Zmail.World.run_until_quiet w;
+  match Zmail.World.audit_results w with
+  | [ result ] ->
+      Alcotest.(check int) "no violations" 0 (List.length result.Zmail.Bank.violations);
+      Alcotest.(check (list int)) "no suspects" [] result.Zmail.Bank.suspects;
+      Alcotest.(check bool) "credits reset" true
+        (Array.for_all (fun v -> v = 0) (Zmail.Isp.credit_vector (Zmail.World.isp w 0)))
+  | l -> Alcotest.failf "expected 1 audit, got %d" (List.length l)
+
+let test_audit_detects_fake_receives () =
+  let w =
+    make ~n_isps:3 ~users:3
+      ~f:(fun c ->
+        {
+          c with
+          Zmail.World.compliant = [| true; true; true |];
+          customize_isp =
+            (fun i k ->
+              if i = 1 then { k with Zmail.Isp.cheat = Zmail.Isp.Fake_receives 5 } else k);
+        })
+      ()
+  in
+  (* Honest traffic plus the daily cheat. *)
+  ignore (Zmail.World.send_email w ~from:(0, 0) ~to_:(1, 0) ());
+  ignore (Zmail.World.send_email w ~from:(2, 0) ~to_:(1, 1) ());
+  Zmail.World.run_days w 1.5;
+  Zmail.World.trigger_audit w;
+  Zmail.World.run_until_quiet w;
+  match Zmail.World.audit_results w with
+  | [ result ] ->
+      Alcotest.(check bool) "violations found" true
+        (List.length result.Zmail.Bank.violations >= 2);
+      Alcotest.(check (list int)) "cheater fingered" [ 1 ] result.Zmail.Bank.suspects
+  | l -> Alcotest.failf "expected 1 audit, got %d" (List.length l)
+
+let test_snapshot_defers_and_flushes () =
+  let w = make () in
+  Zmail.World.trigger_audit w;
+  (* Let the request arrive (100 ms link) but stay inside the freeze. *)
+  Sim.Engine.run ~until:1. (Zmail.World.engine w);
+  Alcotest.(check bool) "frozen" true (Zmail.Isp.frozen (Zmail.World.isp w 0));
+  (match Zmail.World.send_email w ~from:(0, 0) ~to_:(1, 0) () with
+  | Zmail.World.Deferred_snapshot -> ()
+  | _ -> Alcotest.fail "expected a deferred send");
+  Zmail.World.run_until_quiet w;
+  (* The deferred message was flushed at thaw and delivered. *)
+  Alcotest.(check int) "delivered after thaw" 99 (balance w ~isp:0 ~user:0);
+  Alcotest.(check int) "deferred counted" 1
+    (Zmail.World.counters w).Zmail.World.deferred_sends;
+  let delay = Zmail.World.deferral_delay w in
+  Alcotest.(check int) "one deferral measured" 1 (Sim.Stats.Summary.count delay);
+  (* Waited out the remainder of the 10-minute freeze. *)
+  Alcotest.(check bool) "delay below freeze duration" true
+    (Sim.Stats.Summary.max delay <= 600.);
+  Alcotest.(check bool) "delay positive" true (Sim.Stats.Summary.max delay > 0.);
+  match Zmail.World.audit_results w with
+  | [ result ] ->
+      Alcotest.(check int) "audit still clean" 0
+        (List.length result.Zmail.Bank.violations)
+  | _ -> Alcotest.fail "audit should have completed"
+
+let test_periodic_audits () =
+  let w =
+    make ~f:(fun c -> { c with Zmail.World.audit_period = Some (6. *. Sim.Engine.hour) }) ()
+  in
+  Zmail.World.run_days w 1.01;
+  (* 4 audit rounds per day. *)
+  Alcotest.(check int) "four audits" 4 (List.length (Zmail.World.audit_results w));
+  List.iter
+    (fun (r : Zmail.Bank.audit_result) ->
+      Alcotest.(check int) "clean" 0 (List.length r.Zmail.Bank.violations))
+    (Zmail.World.audit_results w)
+
+let test_mailing_list_round_trip () =
+  let w = make ~n_isps:2 ~users:6 () in
+  let ls = Zmail.World.host_list w ~isp:0 ~user:0 ~list_id:"dev-list" in
+  List.iter
+    (fun (i, u) -> Zmail.Listserv.subscribe ls (Zmail.World.address w ~isp:i ~user:u))
+    [ (0, 1); (0, 2); (1, 1); (1, 2); (1, 3) ];
+  let submitted = Zmail.World.post_to_list w ls ~body:"release announcement" in
+  Alcotest.(check int) "all expansions submitted" 5 submitted;
+  Zmail.World.run_until_quiet w;
+  (* Every subscriber got the post... *)
+  Alcotest.(check int) "subscriber inbox" 1
+    (Smtp.Mailbox.count
+       (Smtp.Mta.mailboxes (Zmail.World.mta w 1))
+       (Zmail.World.address w ~isp:1 ~user:2));
+  (* ...and every ack came back: the distributor is net flat. *)
+  Alcotest.(check int) "acks generated" 5 (Zmail.World.counters w).Zmail.World.acks_generated;
+  Alcotest.(check int) "all refunds" 5 (Zmail.Listserv.epennies_refunded ls);
+  Alcotest.(check int) "distributor net zero" 0 (Zmail.Listserv.net_cost ls);
+  Alcotest.(check int) "distributor balance restored" 100 (balance w ~isp:0 ~user:0);
+  (* Acks were intercepted, not delivered to the distributor's inbox. *)
+  Alcotest.(check int) "inbox holds no acks" 0
+    (Smtp.Mailbox.count
+       (Smtp.Mta.mailboxes (Zmail.World.mta w 0))
+       (Zmail.World.address w ~isp:0 ~user:0));
+  Alcotest.(check bool) "conservation" true (Zmail.World.conservation_holds w)
+
+let test_mailing_list_dead_subscribers () =
+  (* Subscribers at a non-compliant ISP never ack (no compliant ISP to
+     generate the acknowledgment): the distributor eats the cost and
+     pruning cleans the roster — §5's database hygiene. *)
+  let w = noncompliant_world ~f:(fun c -> { c with Zmail.World.users_per_isp = 6 }) () in
+  let ls = Zmail.World.host_list w ~isp:0 ~user:0 ~list_id:"mixed" in
+  List.iter
+    (fun (i, u) -> Zmail.Listserv.subscribe ls (Zmail.World.address w ~isp:i ~user:u))
+    [ (0, 1); (1, 1); (2, 1); (2, 2) ];
+  for _ = 1 to 2 do
+    ignore (Zmail.World.post_to_list w ls ~body:"post");
+    Zmail.World.run_until_quiet w;
+    Zmail.Listserv.note_post_complete ls
+  done;
+  Alcotest.(check int) "only live subscribers acked" 4
+    (Zmail.Listserv.epennies_refunded ls);
+  Alcotest.(check int) "net cost from dead addresses" 4 (Zmail.Listserv.net_cost ls);
+  let removed = Zmail.Listserv.prune ls ~max_missed:2 in
+  Alcotest.(check int) "dead addresses pruned" 2 (List.length removed);
+  Alcotest.(check int) "live roster remains" 2 (Zmail.Listserv.subscriber_count ls)
+
+let test_user_traffic_roughly_balances () =
+  let w = make ~n_isps:2 ~users:30 ~f:(fun c -> { c with Zmail.World.seed = 5 }) () in
+  Zmail.World.attach_user_traffic w ();
+  Zmail.World.run_days w 5.;
+  let c = Zmail.World.counters w in
+  Alcotest.(check bool) "traffic flowed" true (c.Zmail.World.ham_delivered > 200);
+  Alcotest.(check int) "no spam in this world" 0 c.Zmail.World.spam_delivered;
+  (* Zero-sum: whatever the ISPs hold beyond the initial issue must be
+     exactly what the bank sold them, plus paid mail in flight at this
+     instant (a handful of messages given millisecond latencies). *)
+  let total =
+    Zmail.Isp.total_epennies (Zmail.World.isp w 0)
+    + Zmail.Isp.total_epennies (Zmail.World.isp w 1)
+  in
+  let residue =
+    total - Zmail.World.initial_epennies w
+    - Zmail.Bank.outstanding_epennies (Zmail.World.bank w)
+  in
+  Alcotest.(check bool) "in-flight residue non-negative" true (residue >= 0);
+  Alcotest.(check bool) "in-flight residue small" true (residue < 50)
+
+let test_bulk_sender_drains () =
+  let w =
+    make ~n_isps:2 ~users:10
+      ~f:(fun c ->
+        {
+          c with
+          Zmail.World.auto_topup = None;
+          customize_isp = (fun _ k -> { k with Zmail.Isp.initial_balance = 20; daily_limit = 10_000 });
+        })
+      ()
+  in
+  Zmail.World.attach_bulk_sender w ~isp:0 ~user:0 ~per_day:5000. ();
+  Zmail.World.run_days w 1.;
+  (* The spammer ran out of e-pennies after 20 messages. *)
+  Alcotest.(check int) "balance exhausted" 0 (balance w ~isp:0 ~user:0);
+  let c = Zmail.World.counters w in
+  Alcotest.(check bool) "most sends blocked" true (c.Zmail.World.blocked_balance > 1000);
+  Alcotest.(check bool) "only the funded spam got through" true
+    (c.Zmail.World.spam_delivered <= 20)
+
+let test_limit_warning_surfaces () =
+  let w =
+    make
+      ~f:(fun c ->
+        { c with Zmail.World.customize_isp = (fun _ k -> { k with Zmail.Isp.daily_limit = 3 }) })
+      ()
+  in
+  for _ = 1 to 5 do
+    ignore (Zmail.World.send_email w ~from:(0, 0) ~to_:(1, 0) ())
+  done;
+  Alcotest.(check int) "one warning" 1 (Zmail.World.counters w).Zmail.World.limit_warnings;
+  Alcotest.(check int) "blocked at limit" 2
+    (Zmail.World.counters w).Zmail.World.blocked_limit
+
+let test_threading_headers () =
+  let w = make () in
+  ignore
+    (Zmail.World.send_email w ~from:(0, 0) ~to_:(1, 0)
+       ~in_reply_to:"<42@mx.isp1.example>" ());
+  Zmail.World.run_until_quiet w;
+  match
+    Smtp.Mailbox.messages
+      (Smtp.Mta.mailboxes (Zmail.World.mta w 1))
+      (Zmail.World.address w ~isp:1 ~user:0)
+  with
+  | [ m ] ->
+      Alcotest.(check (option string)) "threaded" (Some "<42@mx.isp1.example>")
+        (Smtp.Message.header m "In-Reply-To");
+      Alcotest.(check bool) "has its own id" true (Smtp.Message.message_id m <> None)
+  | _ -> Alcotest.fail "expected one message"
+
+let test_soak_week_with_audits () =
+  (* A week of mixed life: 6 ISPs (one non-compliant), organic traffic
+     with replies, a bulk sender, audits twice a day.  Everything must
+     stay consistent. *)
+  let w =
+    make ~n_isps:6 ~users:40
+      ~f:(fun c ->
+        {
+          c with
+          Zmail.World.seed = 77;
+          compliant = [| true; true; true; true; true; false |];
+          audit_period = Some (12. *. Sim.Engine.hour);
+        })
+      ()
+  in
+  Zmail.World.attach_user_traffic w ();
+  Zmail.World.attach_bulk_sender w ~isp:0 ~user:0 ~per_day:1500. ();
+  Zmail.World.run_days w 7.;
+  let c = Zmail.World.counters w in
+  Alcotest.(check bool) "substantial traffic" true (c.Zmail.World.ham_delivered > 5_000);
+  let audits = Zmail.World.audit_results w in
+  Alcotest.(check bool) "about 14 audits" true
+    (List.length audits >= 12 && List.length audits <= 15);
+  List.iter
+    (fun (r : Zmail.Bank.audit_result) ->
+      Alcotest.(check int) "every audit clean" 0 (List.length r.Zmail.Bank.violations))
+    audits;
+  (* The conservation residue is only paid mail in flight right now. *)
+  let total = ref 0 in
+  for i = 0 to 4 do
+    total := !total + Zmail.Isp.total_epennies (Zmail.World.isp w i)
+  done;
+  let residue =
+    !total - Zmail.World.initial_epennies w
+    - Zmail.Bank.outstanding_epennies (Zmail.World.bank w)
+  in
+  Alcotest.(check bool) "residue is a few in-flight messages" true
+    (residue >= 0 && residue < 100);
+  (* The bulk sender was throttled by the daily limit. *)
+  Alcotest.(check bool) "bulk sender throttled" true (c.Zmail.World.blocked_limit > 1_000)
+
+let test_world_validation () =
+  Alcotest.(check bool) "bad compliance map" true
+    (try
+       ignore
+         (Zmail.World.create
+            { (Zmail.World.default_config ~n_isps:2 ~users_per_isp:1) with
+              Zmail.World.compliant = [| true |] });
+       false
+     with Invalid_argument _ -> true);
+  let w = noncompliant_world () in
+  Alcotest.(check bool) "kernel of non-compliant raises" true
+    (try
+       ignore (Zmail.World.isp w 2);
+       false
+     with Invalid_argument _ -> true);
+  (match Zmail.World.locate w (Zmail.World.address w ~isp:1 ~user:2) with
+  | Some (1, 2) -> ()
+  | _ -> Alcotest.fail "locate failed");
+  Alcotest.(check bool) "foreign address not located" true
+    (Zmail.World.locate w (Smtp.Address.of_string_exn "x@nowhere.com") = None)
+
+let () =
+  Alcotest.run "world"
+    [
+      ( "mail",
+        [
+          Alcotest.test_case "paid delivery end to end" `Quick
+            test_paid_delivery_end_to_end;
+          Alcotest.test_case "local accounting" `Quick test_local_delivery_accounting;
+          Alcotest.test_case "non-compliant free" `Quick test_noncompliant_mail_free;
+          Alcotest.test_case "unpaid discard" `Quick test_unpaid_policy_discard;
+          Alcotest.test_case "unpaid deliver" `Quick test_unpaid_policy_deliver;
+          Alcotest.test_case "unpaid filter" `Quick test_unpaid_policy_filter;
+          Alcotest.test_case "exhaustion and topup" `Quick
+            test_balance_exhaustion_and_topup;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "clean under traffic" `Quick test_audit_clean_under_traffic;
+          Alcotest.test_case "detects fake receives" `Quick
+            test_audit_detects_fake_receives;
+          Alcotest.test_case "snapshot defers and flushes" `Quick
+            test_snapshot_defers_and_flushes;
+          Alcotest.test_case "periodic audits" `Quick test_periodic_audits;
+        ] );
+      ( "listserv",
+        [
+          Alcotest.test_case "round trip with acks" `Quick test_mailing_list_round_trip;
+          Alcotest.test_case "dead subscribers" `Quick test_mailing_list_dead_subscribers;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "user traffic balances" `Slow
+            test_user_traffic_roughly_balances;
+          Alcotest.test_case "bulk sender drains" `Quick test_bulk_sender_drains;
+          Alcotest.test_case "limit warnings" `Quick test_limit_warning_surfaces;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "validation and lookup" `Quick test_world_validation;
+          Alcotest.test_case "threading headers" `Quick test_threading_headers;
+        ] );
+      ( "soak",
+        [ Alcotest.test_case "a week with audits" `Slow test_soak_week_with_audits ] );
+    ]

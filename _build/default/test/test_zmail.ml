@@ -1,0 +1,774 @@
+(* Tests for the Zmail core: ledgers, credit, wire, ISP and bank
+   kernels, and the mailing-list distributor. *)
+
+let rng () = Sim.Rng.create 31
+
+(* ------------------------------------------------------------------ *)
+(* Epenny                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_epenny () =
+  Alcotest.(check (float 1e-12)) "to_dollars" 0.05 (Zmail.Epenny.to_dollars 5);
+  Alcotest.(check int) "of_dollars_floor" 123 (Zmail.Epenny.of_dollars_floor 1.239);
+  Alcotest.(check int) "negative clamps" 0 (Zmail.Epenny.of_dollars_floor (-1.));
+  Alcotest.(check int) "check passes" 7 (Zmail.Epenny.check 7);
+  Alcotest.(check bool) "check rejects negatives" true
+    (try
+       ignore (Zmail.Epenny.check (-1));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Credit                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_credit_vector () =
+  let c = Zmail.Credit.create ~n:3 in
+  Zmail.Credit.record_send c ~peer:1;
+  Zmail.Credit.record_send c ~peer:1;
+  Zmail.Credit.record_receive c ~peer:2;
+  Alcotest.(check int) "peer 1" 2 (Zmail.Credit.get c 1);
+  Alcotest.(check int) "peer 2" (-1) (Zmail.Credit.get c 2);
+  Alcotest.(check int) "net flow" 1 (Zmail.Credit.net_flow c);
+  let snap = Zmail.Credit.snapshot c in
+  Zmail.Credit.reset c;
+  Alcotest.(check int) "reset" 0 (Zmail.Credit.get c 1);
+  Alcotest.(check int) "snapshot unaffected" 2 snap.(1)
+
+let test_audit_consistent () =
+  let reported =
+    [| [| 0; 3; -1 |]; [| -3; 0; 2 |]; [| 1; -2; 0 |] |]
+  in
+  let compliant = [| true; true; true |] in
+  Alcotest.(check int) "no violations" 0
+    (List.length (Zmail.Credit.Audit.verify ~reported ~compliant))
+
+let test_audit_detects_mismatch () =
+  let reported =
+    [| [| 0; 3; -1 |]; [| -2; 0; 2 |]; [| 1; -2; 0 |] |]
+  in
+  let compliant = [| true; true; true |] in
+  match Zmail.Credit.Audit.verify ~reported ~compliant with
+  | [ v ] ->
+      Alcotest.(check int) "pair a" 0 v.Zmail.Credit.Audit.isp_a;
+      Alcotest.(check int) "pair b" 1 v.Zmail.Credit.Audit.isp_b;
+      Alcotest.(check int) "discrepancy" 1 v.Zmail.Credit.Audit.discrepancy;
+      Alcotest.(check (list int)) "implicated" [ 0; 1 ]
+        (Zmail.Credit.Audit.implicated [ v ])
+  | l -> Alcotest.failf "expected 1 violation, got %d" (List.length l)
+
+let test_audit_ignores_noncompliant () =
+  let reported = [| [| 0; 5 |]; [| 9; 0 |] |] in
+  let compliant = [| true; false |] in
+  Alcotest.(check int) "non-compliant rows skipped" 0
+    (List.length (Zmail.Credit.Audit.verify ~reported ~compliant))
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let all_payloads =
+  [
+    Zmail.Wire.Buy { amount = 500; nonce = 42L };
+    Zmail.Wire.Buy_reply { nonce = 42L; accepted = true };
+    Zmail.Wire.Buy_reply { nonce = 7L; accepted = false };
+    Zmail.Wire.Sell { amount = 100; nonce = 1L };
+    Zmail.Wire.Sell_reply { nonce = 1L };
+    Zmail.Wire.Audit_request { seq = 3 };
+    Zmail.Wire.Audit_reply { isp = 2; seq = 3; credit = [| 1; -2; 0 |] };
+  ]
+
+let test_wire_roundtrip () =
+  List.iter
+    (fun p ->
+      match Zmail.Wire.decode (Zmail.Wire.encode p) with
+      | Ok p' ->
+          Alcotest.(check bool) (Zmail.Wire.encode p) true
+            (Zmail.Wire.equal_payload p p')
+      | Error e -> Alcotest.fail e)
+    all_payloads
+
+let test_wire_decode_garbage () =
+  List.iter
+    (fun s ->
+      match Zmail.Wire.decode s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "buy"; "buy x 1"; "buy -5 1"; "reply 1 2 1,x,3"; "withdraw 5 1" ]
+
+let test_wire_seal_roundtrip () =
+  let r = rng () in
+  let pk, sk = Toycrypto.Rsa.generate r in
+  List.iter
+    (fun p ->
+      let sealed = Zmail.Wire.seal_for_bank r pk p in
+      match Zmail.Wire.open_at_bank sk sealed with
+      | Some p' ->
+          Alcotest.(check bool) "roundtrip" true (Zmail.Wire.equal_payload p p')
+      | None -> Alcotest.fail "unseal failed")
+    all_payloads
+
+let test_wire_seal_tamper () =
+  let r = rng () in
+  let pk, sk = Toycrypto.Rsa.generate r in
+  let sealed = Zmail.Wire.seal_for_bank r pk (Zmail.Wire.Buy { amount = 1; nonce = 1L }) in
+  Alcotest.(check bool) "tampered envelope rejected" true
+    (Zmail.Wire.open_at_bank sk (Toycrypto.Seal.flip_bit sealed) = None)
+
+let test_wire_signature () =
+  let r = rng () in
+  let pk, sk = Toycrypto.Rsa.generate r in
+  let signed = Zmail.Wire.sign_by_bank sk (Zmail.Wire.Audit_request { seq = 1 }) in
+  (match Zmail.Wire.verify_from_bank pk signed with
+  | Some (Zmail.Wire.Audit_request { seq }) -> Alcotest.(check int) "payload" 1 seq
+  | Some _ | None -> Alcotest.fail "verification failed");
+  (* Forging a different payload under the same signature fails. *)
+  let forged = { signed with Zmail.Wire.payload = Zmail.Wire.Audit_request { seq = 2 } } in
+  Alcotest.(check bool) "forgery rejected" true
+    (Zmail.Wire.verify_from_bank pk forged = None);
+  (* A different keypair cannot have produced it. *)
+  let pk2, _ = Toycrypto.Rsa.generate r in
+  Alcotest.(check bool) "wrong key rejected" true
+    (Zmail.Wire.verify_from_bank pk2 signed = None)
+
+let wire_roundtrip_prop =
+  QCheck.Test.make ~name:"wire encode/decode roundtrip" ~count:200
+    QCheck.(quad (int_bound 100000) int64 (int_bound 50) (list_of_size (Gen.int_range 1 6) (int_range (-100) 100)))
+    (fun (amount, nonce, seq, credit) ->
+      let payloads =
+        [
+          Zmail.Wire.Buy { amount; nonce };
+          Zmail.Wire.Sell { amount; nonce };
+          Zmail.Wire.Audit_request { seq };
+          Zmail.Wire.Audit_reply { isp = 0; seq; credit = Array.of_list credit };
+        ]
+      in
+      List.for_all
+        (fun p ->
+          match Zmail.Wire.decode (Zmail.Wire.encode p) with
+          | Ok p' -> Zmail.Wire.equal_payload p p'
+          | Error _ -> false)
+        payloads)
+
+(* ------------------------------------------------------------------ *)
+(* Ledger                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ledger () =
+  Zmail.Ledger.create ~n_users:3 ~initial_balance:2 ~initial_account:10
+    ~daily_limit:2 ~initial_avail:100
+
+let test_ledger_send_receive () =
+  let l = ledger () in
+  Alcotest.(check bool) "send ok" true (Zmail.Ledger.debit_send l ~user:0 = Ok ());
+  Alcotest.(check int) "debited" 1 (Zmail.Ledger.balance l ~user:0);
+  Alcotest.(check int) "sent counted" 1 (Zmail.Ledger.sent_today l ~user:0);
+  Zmail.Ledger.credit_receive l ~user:1;
+  Alcotest.(check int) "credited" 3 (Zmail.Ledger.balance l ~user:1);
+  Alcotest.(check int) "conservation (avail fixed)" 100 (Zmail.Ledger.avail l);
+  Alcotest.(check int) "total moved not created" (2 + 2 + 2 + 100)
+    (Zmail.Ledger.total_epennies l)
+
+let test_ledger_blocks () =
+  let l =
+    Zmail.Ledger.create ~n_users:1 ~initial_balance:3 ~initial_account:0
+      ~daily_limit:2 ~initial_avail:0
+  in
+  Alcotest.(check bool) "1st" true (Zmail.Ledger.debit_send l ~user:0 = Ok ());
+  Alcotest.(check bool) "2nd" true (Zmail.Ledger.debit_send l ~user:0 = Ok ());
+  Alcotest.(check bool) "3rd hits limit" true
+    (Zmail.Ledger.debit_send l ~user:0 = Error Zmail.Ledger.Daily_limit_reached);
+  Zmail.Ledger.reset_daily l;
+  Alcotest.(check bool) "new day, last penny spendable" true
+    (Zmail.Ledger.debit_send l ~user:0 = Ok ());
+  (* Balance is 0 now: blocked for the other reason. *)
+  Alcotest.(check bool) "balance exhausted" true
+    (Zmail.Ledger.debit_send l ~user:0 = Error Zmail.Ledger.Insufficient_balance)
+
+let test_ledger_local_transfer () =
+  let l = ledger () in
+  Alcotest.(check bool) "transfer" true (Zmail.Ledger.transfer_local l ~sender:0 ~rcpt:2 = Ok ());
+  Alcotest.(check int) "sender" 1 (Zmail.Ledger.balance l ~user:0);
+  Alcotest.(check int) "rcpt" 3 (Zmail.Ledger.balance l ~user:2)
+
+let test_ledger_user_buy_sell () =
+  let l = ledger () in
+  Alcotest.(check bool) "buy 5" true (Zmail.Ledger.user_buy l ~user:0 ~amount:5 = Ok ());
+  Alcotest.(check int) "balance" 7 (Zmail.Ledger.balance l ~user:0);
+  Alcotest.(check int) "account" 5 (Zmail.Ledger.account l ~user:0);
+  Alcotest.(check int) "avail" 95 (Zmail.Ledger.avail l);
+  Alcotest.(check bool) "buy too much" true
+    (Result.is_error (Zmail.Ledger.user_buy l ~user:0 ~amount:6));
+  Alcotest.(check bool) "sell 3" true (Zmail.Ledger.user_sell l ~user:0 ~amount:3 = Ok ());
+  Alcotest.(check int) "balance after sell" 4 (Zmail.Ledger.balance l ~user:0);
+  Alcotest.(check int) "avail restored" 98 (Zmail.Ledger.avail l);
+  Alcotest.(check bool) "sell too much" true
+    (Result.is_error (Zmail.Ledger.user_sell l ~user:0 ~amount:100))
+
+let test_ledger_pool_bounds () =
+  let l = ledger () in
+  Zmail.Ledger.add_pool l 10;
+  Alcotest.(check int) "pool grew" 110 (Zmail.Ledger.avail l);
+  Alcotest.(check bool) "take ok" true (Zmail.Ledger.take_pool l 110 = Ok ());
+  Alcotest.(check bool) "take too much" true (Result.is_error (Zmail.Ledger.take_pool l 1))
+
+let test_ledger_per_user_limit () =
+  let l = ledger () in
+  Zmail.Ledger.set_limit l ~user:1 0;
+  Alcotest.(check bool) "zero limit blocks" true
+    (Zmail.Ledger.debit_send l ~user:1 = Error Zmail.Ledger.Daily_limit_reached);
+  Alcotest.(check bool) "others unaffected" true (Zmail.Ledger.debit_send l ~user:0 = Ok ())
+
+let ledger_conservation_prop =
+  QCheck.Test.make ~name:"ledger conserves e-pennies under random ops" ~count:100
+    QCheck.(pair small_nat (list (int_bound 5)))
+    (fun (seed, ops) ->
+      let r = Sim.Rng.create seed in
+      let l =
+        Zmail.Ledger.create ~n_users:4 ~initial_balance:10 ~initial_account:50
+          ~daily_limit:1000 ~initial_avail:100
+      in
+      let initial = Zmail.Ledger.total_epennies l in
+      List.iter
+        (fun op ->
+          let user = Sim.Rng.int r 4 in
+          match op with
+          | 0 -> ignore (Zmail.Ledger.debit_send l ~user)
+          | 1 -> Zmail.Ledger.credit_receive l ~user
+          | 2 -> ignore (Zmail.Ledger.user_buy l ~user ~amount:(Sim.Rng.int r 5))
+          | 3 -> ignore (Zmail.Ledger.user_sell l ~user ~amount:(Sim.Rng.int r 5))
+          | 4 -> ignore (Zmail.Ledger.transfer_local l ~sender:user ~rcpt:((user + 1) mod 4))
+          | _ -> Zmail.Ledger.reset_daily l)
+        ops;
+      (* debit_send removes a penny (it rides in the message); credit
+         adds one.  Count them to check nothing else leaks. *)
+      let sent =
+        List.fold_left (fun acc u -> acc + Zmail.Ledger.sent_today l ~user:u) 0 [0;1;2;3]
+      in
+      ignore sent;
+      (* buys/sells/transfers are internal moves; only debit/credit
+         change the total, by exactly +-1 each. *)
+      let total = Zmail.Ledger.total_epennies l in
+      let debits = ref 0 and credits = ref 0 in
+      ignore debits; ignore credits;
+      (* Replay the op list to count the boundary crossings. *)
+      let r2 = Sim.Rng.create seed in
+      let l2 =
+        Zmail.Ledger.create ~n_users:4 ~initial_balance:10 ~initial_account:50
+          ~daily_limit:1000 ~initial_avail:100
+      in
+      let delta = ref 0 in
+      List.iter
+        (fun op ->
+          let user = Sim.Rng.int r2 4 in
+          match op with
+          | 0 -> if Zmail.Ledger.debit_send l2 ~user = Ok () then decr delta
+          | 1 -> Zmail.Ledger.credit_receive l2 ~user; incr delta
+          | 2 -> ignore (Zmail.Ledger.user_buy l2 ~user ~amount:(Sim.Rng.int r2 5))
+          | 3 -> ignore (Zmail.Ledger.user_sell l2 ~user ~amount:(Sim.Rng.int r2 5))
+          | 4 -> ignore (Zmail.Ledger.transfer_local l2 ~sender:user ~rcpt:((user + 1) mod 4))
+          | _ -> Zmail.Ledger.reset_daily l2)
+        ops;
+      total = initial + !delta)
+
+(* ------------------------------------------------------------------ *)
+(* ISP kernel                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let make_bank_and_isp ?(n_isps = 3) ?(compliant = [| true; true; false |])
+    ?(customize = fun c -> c) () =
+  let r = rng () in
+  let bank =
+    Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps ~compliant)
+  in
+  let cfg =
+    Zmail.Isp.default_config ~index:0 ~n_isps ~n_users:4 ~compliant
+      ~bank_public:(Zmail.Bank.public_key bank)
+  in
+  (r, bank, Zmail.Isp.create r (customize cfg))
+
+let test_isp_send_paid_remote () =
+  let _, _, isp = make_bank_and_isp () in
+  Alcotest.(check bool) "paid send" true
+    (Zmail.Isp.charge_send isp ~sender:0 ~dest_isp:1 = Zmail.Isp.Sent_paid);
+  Alcotest.(check int) "balance debited" 99
+    (Zmail.Ledger.balance (Zmail.Isp.ledger isp) ~user:0);
+  Alcotest.(check int) "credit bumped" 1 (Zmail.Isp.credit_vector isp).(1)
+
+let test_isp_send_local_no_credit () =
+  let _, _, isp = make_bank_and_isp () in
+  Alcotest.(check bool) "paid local" true
+    (Zmail.Isp.charge_send isp ~sender:0 ~dest_isp:0 = Zmail.Isp.Sent_paid);
+  Alcotest.(check int) "no credit for self" 0 (Zmail.Isp.credit_vector isp).(0)
+
+let test_isp_send_noncompliant_free () =
+  let _, _, isp = make_bank_and_isp () in
+  Alcotest.(check bool) "free send" true
+    (Zmail.Isp.charge_send isp ~sender:0 ~dest_isp:2 = Zmail.Isp.Sent_free);
+  Alcotest.(check int) "no debit" 100 (Zmail.Ledger.balance (Zmail.Isp.ledger isp) ~user:0);
+  Alcotest.(check int) "free counted" 1 (Zmail.Isp.stats_sent_free isp)
+
+let test_isp_receive () =
+  let _, _, isp = make_bank_and_isp () in
+  Alcotest.(check bool) "paid receive" true
+    (Zmail.Isp.accept_delivery isp ~from_isp:1 ~rcpt:2 = `Paid);
+  Alcotest.(check int) "credited" 101 (Zmail.Ledger.balance (Zmail.Isp.ledger isp) ~user:2);
+  Alcotest.(check int) "credit decremented" (-1) (Zmail.Isp.credit_vector isp).(1);
+  Alcotest.(check bool) "unpaid from non-compliant" true
+    (Zmail.Isp.accept_delivery isp ~from_isp:2 ~rcpt:2 = `Unpaid);
+  Alcotest.(check int) "no credit for unpaid" 101
+    (Zmail.Ledger.balance (Zmail.Isp.ledger isp) ~user:2)
+
+let test_isp_blocked_by_balance () =
+  let _, _, isp =
+    make_bank_and_isp ~customize:(fun c -> { c with Zmail.Isp.initial_balance = 1 }) ()
+  in
+  Alcotest.(check bool) "first ok" true
+    (Zmail.Isp.charge_send isp ~sender:0 ~dest_isp:1 = Zmail.Isp.Sent_paid);
+  Alcotest.(check bool) "second blocked" true
+    (Zmail.Isp.charge_send isp ~sender:0 ~dest_isp:1
+    = Zmail.Isp.Blocked Zmail.Ledger.Insufficient_balance)
+
+let test_isp_limit_and_warning () =
+  let _, _, isp =
+    make_bank_and_isp ~customize:(fun c -> { c with Zmail.Isp.daily_limit = 2 }) ()
+  in
+  ignore (Zmail.Isp.charge_send isp ~sender:3 ~dest_isp:1);
+  Alcotest.(check (list int)) "no warning yet" [] (Zmail.Isp.limit_warnings isp);
+  ignore (Zmail.Isp.charge_send isp ~sender:3 ~dest_isp:1);
+  Alcotest.(check (list int)) "warned at limit" [ 3 ] (Zmail.Isp.limit_warnings isp);
+  Alcotest.(check bool) "third blocked" true
+    (Zmail.Isp.charge_send isp ~sender:3 ~dest_isp:1
+    = Zmail.Isp.Blocked Zmail.Ledger.Daily_limit_reached);
+  Alcotest.(check (list int)) "warning not repeated" [] (Zmail.Isp.limit_warnings isp);
+  Zmail.Isp.end_of_day isp;
+  ignore (Zmail.Isp.charge_send isp ~sender:3 ~dest_isp:1);
+  Alcotest.(check bool) "fresh day, can send" true
+    (Zmail.Ledger.sent_today (Zmail.Isp.ledger isp) ~user:3 = 1)
+
+let run_buy_cycle bank isp =
+  match Zmail.Isp.pool_action isp with
+  | None -> None
+  | Some sealed -> (
+      match Zmail.Bank.on_isp_message bank ~from_isp:(Zmail.Isp.index isp) sealed with
+      | Zmail.Bank.Reply signed ->
+          ignore (Zmail.Isp.on_bank_message isp signed);
+          Some signed
+      | _ -> None)
+
+let test_isp_pool_buy_cycle () =
+  let _, bank, isp =
+    make_bank_and_isp
+      ~customize:(fun c -> { c with Zmail.Isp.initial_avail = 100; minavail = 200; maxavail = 5000 })
+      ()
+  in
+  (* avail 100 < minavail 200: the ISP should buy. *)
+  (match run_buy_cycle bank isp with
+  | Some _ ->
+      Alcotest.(check int) "pool topped up" 1100
+        (Zmail.Ledger.avail (Zmail.Isp.ledger isp))
+  | None -> Alcotest.fail "expected a buy");
+  Alcotest.(check int) "bank outstanding" 1000 (Zmail.Bank.outstanding_epennies bank);
+  Alcotest.(check int) "bank debited the ISP" (1_000_000 - 1000)
+    (Zmail.Bank.account_balance bank ~isp:0);
+  (* In range now: no action. *)
+  Alcotest.(check bool) "no further action" true (Zmail.Isp.pool_action isp = None)
+
+let test_isp_pool_sell_cycle () =
+  let _, bank, isp =
+    make_bank_and_isp
+      ~customize:(fun c ->
+        { c with Zmail.Isp.initial_avail = 9000; minavail = 200; maxavail = 5000 })
+      ()
+  in
+  (match run_buy_cycle bank isp with
+  | Some _ ->
+      (* Sold down to the band midpoint (2600). *)
+      Alcotest.(check int) "pool skimmed" 2600 (Zmail.Ledger.avail (Zmail.Isp.ledger isp))
+  | None -> Alcotest.fail "expected a sell");
+  Alcotest.(check int) "bank outstanding reflects buy-back" (-6400)
+    (Zmail.Bank.outstanding_epennies bank)
+
+let test_isp_buy_reply_replay_hardened () =
+  let _, bank, isp =
+    make_bank_and_isp ~customize:(fun c -> { c with Zmail.Isp.initial_avail = 100 }) ()
+  in
+  match run_buy_cycle bank isp with
+  | None -> Alcotest.fail "expected a buy"
+  | Some signed ->
+      let before = Zmail.Ledger.avail (Zmail.Isp.ledger isp) in
+      (* Replay the same signed reply: hardened kernel ignores it. *)
+      ignore (Zmail.Isp.on_bank_message isp signed);
+      Alcotest.(check int) "replayed reply ignored" before
+        (Zmail.Ledger.avail (Zmail.Isp.ledger isp))
+
+let test_isp_buy_reply_replay_paper_literal () =
+  let _, bank, isp =
+    make_bank_and_isp
+      ~customize:(fun c ->
+        { c with Zmail.Isp.initial_avail = 100; replay_hardening = false })
+      ()
+  in
+  match run_buy_cycle bank isp with
+  | None -> Alcotest.fail "expected a buy"
+  | Some signed ->
+      let before = Zmail.Ledger.avail (Zmail.Isp.ledger isp) in
+      ignore (Zmail.Isp.on_bank_message isp signed);
+      (* The paper's literal rule re-applies the duplicated reply: the
+         pool inflates.  E11 quantifies this. *)
+      Alcotest.(check int) "paper-literal rule double-applies" (before + 1000)
+        (Zmail.Ledger.avail (Zmail.Isp.ledger isp))
+
+let test_isp_snapshot_flow () =
+  let r = rng () in
+  let compliant = [| true; true |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:2 ~compliant) in
+  let mk i =
+    Zmail.Isp.create r
+      (Zmail.Isp.default_config ~index:i ~n_isps:2 ~n_users:2 ~compliant
+         ~bank_public:(Zmail.Bank.public_key bank))
+  in
+  let isp0 = mk 0 and isp1 = mk 1 in
+  (* Cross traffic: 0 sends 3 to 1; 1 sends 1 to 0. *)
+  for _ = 1 to 3 do
+    ignore (Zmail.Isp.charge_send isp0 ~sender:0 ~dest_isp:1);
+    ignore (Zmail.Isp.accept_delivery isp1 ~from_isp:0 ~rcpt:0)
+  done;
+  ignore (Zmail.Isp.charge_send isp1 ~sender:1 ~dest_isp:0);
+  ignore (Zmail.Isp.accept_delivery isp0 ~from_isp:1 ~rcpt:1);
+  (* Audit. *)
+  let requests = Zmail.Bank.start_audit bank in
+  Alcotest.(check int) "two requests" 2 (List.length requests);
+  let isps = [| isp0; isp1 |] in
+  List.iter
+    (fun (i, signed) ->
+      Alcotest.(check bool) "freeze starts" true
+        (Zmail.Isp.on_bank_message isps.(i) signed = Zmail.Isp.Start_snapshot_timer);
+      Alcotest.(check bool) "frozen" true (Zmail.Isp.frozen isps.(i));
+      Alcotest.(check bool) "sends deferred during freeze" true
+        (Zmail.Isp.charge_send isps.(i) ~sender:0 ~dest_isp:(1 - i) = Zmail.Isp.Deferred))
+    requests;
+  (* Thaw and reply. *)
+  let complete = ref None in
+  List.iter
+    (fun (i, _) ->
+      let reply = Zmail.Isp.thaw isps.(i) in
+      Alcotest.(check bool) "unfrozen" false (Zmail.Isp.frozen isps.(i));
+      Alcotest.(check int) "credit reset" 0
+        (Array.fold_left ( + ) 0 (Zmail.Isp.credit_vector isps.(i)));
+      match Zmail.Bank.on_isp_message bank ~from_isp:i reply with
+      | Zmail.Bank.Audit_complete result -> complete := Some result
+      | Zmail.Bank.Audit_progress -> ()
+      | Zmail.Bank.Reply _ | Zmail.Bank.Rejected _ -> Alcotest.fail "unexpected response")
+    requests;
+  match !complete with
+  | Some result ->
+      Alcotest.(check int) "honest: no violations" 0
+        (List.length result.Zmail.Bank.violations);
+      Alcotest.(check (list int)) "no suspects" [] result.Zmail.Bank.suspects
+  | None -> Alcotest.fail "audit did not complete"
+
+let test_isp_audit_request_replay_ignored () =
+  let r = rng () in
+  let compliant = [| true |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:1 ~compliant) in
+  let isp =
+    Zmail.Isp.create r
+      (Zmail.Isp.default_config ~index:0 ~n_isps:1 ~n_users:2 ~compliant
+         ~bank_public:(Zmail.Bank.public_key bank))
+  in
+  match Zmail.Bank.start_audit bank with
+  | [ (0, signed) ] ->
+      Alcotest.(check bool) "first accepted" true
+        (Zmail.Isp.on_bank_message isp signed = Zmail.Isp.Start_snapshot_timer);
+      (* Replaying the request during the freeze does nothing. *)
+      Alcotest.(check bool) "replay ignored (frozen)" true
+        (Zmail.Isp.on_bank_message isp signed = Zmail.Isp.No_reaction);
+      ignore (Zmail.Isp.thaw isp);
+      (* And after the freeze, the seq has advanced. *)
+      Alcotest.(check bool) "replay ignored (stale seq)" true
+        (Zmail.Isp.on_bank_message isp signed = Zmail.Isp.No_reaction)
+  | _ -> Alcotest.fail "expected one request"
+
+let test_isp_thaw_without_freeze () =
+  let _, _, isp = make_bank_and_isp () in
+  Alcotest.(check bool) "thaw without freeze raises" true
+    (try
+       ignore (Zmail.Isp.thaw isp);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Bank                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bank_rejects_forgery () =
+  let r = rng () in
+  let compliant = [| true; true |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:2 ~compliant) in
+  (* Seal to the wrong key: generate an unrelated keypair. *)
+  let other_pk, _ = Toycrypto.Rsa.generate r in
+  let sealed = Zmail.Wire.seal_for_bank r other_pk (Zmail.Wire.Buy { amount = 1; nonce = 1L }) in
+  (match Zmail.Bank.on_isp_message bank ~from_isp:0 sealed with
+  | Zmail.Bank.Rejected _ -> ()
+  | _ -> Alcotest.fail "forged envelope must be rejected");
+  Alcotest.(check int) "no account change" 1_000_000
+    (Zmail.Bank.account_balance bank ~isp:0)
+
+let test_bank_rejects_noncompliant_and_unknown () =
+  let r = rng () in
+  let compliant = [| true; false |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:2 ~compliant) in
+  let sealed =
+    Zmail.Wire.seal_for_bank r (Zmail.Bank.public_key bank)
+      (Zmail.Wire.Buy { amount = 1; nonce = 1L })
+  in
+  (match Zmail.Bank.on_isp_message bank ~from_isp:1 sealed with
+  | Zmail.Bank.Rejected _ -> ()
+  | _ -> Alcotest.fail "non-compliant ISP must be rejected");
+  match Zmail.Bank.on_isp_message bank ~from_isp:7 sealed with
+  | Zmail.Bank.Rejected _ -> ()
+  | _ -> Alcotest.fail "unknown ISP must be rejected"
+
+let test_bank_buy_insufficient_account () =
+  let r = rng () in
+  let compliant = [| true |] in
+  let bank =
+    Zmail.Bank.create r
+      { (Zmail.Bank.default_config ~n_isps:1 ~compliant) with
+        Zmail.Bank.initial_account = 50 }
+  in
+  let sealed =
+    Zmail.Wire.seal_for_bank r (Zmail.Bank.public_key bank)
+      (Zmail.Wire.Buy { amount = 100; nonce = 5L })
+  in
+  match Zmail.Bank.on_isp_message bank ~from_isp:0 sealed with
+  | Zmail.Bank.Reply signed -> (
+      match Zmail.Wire.verify_from_bank (Zmail.Bank.public_key bank) signed with
+      | Some (Zmail.Wire.Buy_reply { accepted; nonce }) ->
+          Alcotest.(check bool) "rejected" false accepted;
+          Alcotest.(check int64) "nonce echoed" 5L nonce;
+          Alcotest.(check int) "account untouched" 50
+            (Zmail.Bank.account_balance bank ~isp:0)
+      | Some _ | None -> Alcotest.fail "bad reply")
+  | _ -> Alcotest.fail "expected a reply"
+
+let test_bank_replay_detection () =
+  let r = rng () in
+  let compliant = [| true |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:1 ~compliant) in
+  let sealed =
+    Zmail.Wire.seal_for_bank r (Zmail.Bank.public_key bank)
+      (Zmail.Wire.Buy { amount = 100; nonce = 9L })
+  in
+  (match Zmail.Bank.on_isp_message bank ~from_isp:0 sealed with
+  | Zmail.Bank.Reply _ -> ()
+  | _ -> Alcotest.fail "first buy should succeed");
+  (match Zmail.Bank.on_isp_message bank ~from_isp:0 sealed with
+  | Zmail.Bank.Rejected _ -> ()
+  | _ -> Alcotest.fail "duplicate buy must be dropped");
+  Alcotest.(check int) "debited once only" (1_000_000 - 100)
+    (Zmail.Bank.account_balance bank ~isp:0);
+  Alcotest.(check int) "replay counted" 1 (Zmail.Bank.stats bank).Zmail.Bank.replays_dropped
+
+let test_bank_replay_ablated () =
+  let r = rng () in
+  let compliant = [| true |] in
+  let bank =
+    Zmail.Bank.create r
+      { (Zmail.Bank.default_config ~n_isps:1 ~compliant) with
+        Zmail.Bank.replay_hardening = false }
+  in
+  let sealed =
+    Zmail.Wire.seal_for_bank r (Zmail.Bank.public_key bank)
+      (Zmail.Wire.Buy { amount = 100; nonce = 9L })
+  in
+  ignore (Zmail.Bank.on_isp_message bank ~from_isp:0 sealed);
+  ignore (Zmail.Bank.on_isp_message bank ~from_isp:0 sealed);
+  Alcotest.(check int) "double debit without hardening" (1_000_000 - 200)
+    (Zmail.Bank.account_balance bank ~isp:0)
+
+let test_bank_audit_detects_cheater () =
+  let r = rng () in
+  let compliant = [| true; true; true |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:3 ~compliant) in
+  let requests = Zmail.Bank.start_audit bank in
+  Alcotest.(check int) "three requests" 3 (List.length requests);
+  Alcotest.(check bool) "in progress" true (Zmail.Bank.audit_in_progress bank);
+  (* Honest rows for 0 and 1; ISP 2 overstates receives from both. *)
+  let send isp credit =
+    Zmail.Bank.on_isp_message bank ~from_isp:isp
+      (Zmail.Wire.seal_for_bank r (Zmail.Bank.public_key bank)
+         (Zmail.Wire.Audit_reply { isp; seq = 0; credit }))
+  in
+  (match send 0 [| 0; 2; 1 |] with
+  | Zmail.Bank.Audit_progress -> ()
+  | _ -> Alcotest.fail "expected progress");
+  (match send 1 [| -2; 0; 1 |] with
+  | Zmail.Bank.Audit_progress -> ()
+  | _ -> Alcotest.fail "expected progress");
+  match send 2 [| -3; -4; 0 |] with
+  | Zmail.Bank.Audit_complete result ->
+      Alcotest.(check int) "two violating pairs" 2
+        (List.length result.Zmail.Bank.violations);
+      Alcotest.(check (list int)) "cheater identified" [ 2 ] result.Zmail.Bank.suspects;
+      Alcotest.(check bool) "audit closed" false (Zmail.Bank.audit_in_progress bank)
+  | _ -> Alcotest.fail "expected completion"
+
+let test_bank_stale_audit_reply () =
+  let r = rng () in
+  let compliant = [| true |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:1 ~compliant) in
+  let stale =
+    Zmail.Wire.seal_for_bank r (Zmail.Bank.public_key bank)
+      (Zmail.Wire.Audit_reply { isp = 0; seq = 99; credit = [| 0 |] })
+  in
+  match Zmail.Bank.on_isp_message bank ~from_isp:0 stale with
+  | Zmail.Bank.Rejected _ -> ()
+  | _ -> Alcotest.fail "stale reply must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Listserv                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let addr s = Smtp.Address.of_string_exn s
+
+let make_list () =
+  let ls =
+    Zmail.Listserv.create ~list_id:"ocaml-weekly" ~address:(addr "list@lists.example")
+  in
+  List.iter (fun a -> Zmail.Listserv.subscribe ls (addr a))
+    [ "alice@a.com"; "bob@b.com"; "carol@c.com" ];
+  ls
+
+let test_listserv_distribute () =
+  let ls = make_list () in
+  Alcotest.(check int) "subscribers" 3 (Zmail.Listserv.subscriber_count ls);
+  let expansions = Zmail.Listserv.distribute ls ~body:"issue 1" () in
+  Alcotest.(check int) "one per subscriber" 3 (List.length expansions);
+  List.iter
+    (fun (_, msg) ->
+      Alcotest.(check (option string)) "list id stamped" (Some "ocaml-weekly")
+        (Smtp.Message.header msg "List-Id"))
+    expansions;
+  Alcotest.(check int) "spent 3" 3 (Zmail.Listserv.epennies_spent ls)
+
+let test_listserv_acks_refund () =
+  let ls = make_list () in
+  ignore (Zmail.Listserv.distribute ls ~body:"post" ());
+  Alcotest.(check bool) "alice ack" true
+    (Zmail.Listserv.on_ack ls ~from:(addr "alice@a.com") ~list_id:"ocaml-weekly");
+  Alcotest.(check bool) "duplicate ack refused" false
+    (Zmail.Listserv.on_ack ls ~from:(addr "alice@a.com") ~list_id:"ocaml-weekly");
+  Alcotest.(check bool) "wrong list refused" false
+    (Zmail.Listserv.on_ack ls ~from:(addr "bob@b.com") ~list_id:"other-list");
+  Alcotest.(check bool) "non-subscriber refused" false
+    (Zmail.Listserv.on_ack ls ~from:(addr "mallory@m.com") ~list_id:"ocaml-weekly");
+  Alcotest.(check int) "one refund" 1 (Zmail.Listserv.epennies_refunded ls);
+  Alcotest.(check int) "net cost 2" 2 (Zmail.Listserv.net_cost ls)
+
+let test_listserv_prune () =
+  let ls = make_list () in
+  (* Two posts; only alice acks. *)
+  for _ = 1 to 2 do
+    ignore (Zmail.Listserv.distribute ls ~body:"post" ());
+    ignore (Zmail.Listserv.on_ack ls ~from:(addr "alice@a.com") ~list_id:"ocaml-weekly");
+    Zmail.Listserv.note_post_complete ls
+  done;
+  let removed = Zmail.Listserv.prune ls ~max_missed:2 in
+  Alcotest.(check (list string)) "dead subscribers pruned" [ "bob@b.com"; "carol@c.com" ]
+    (List.map Smtp.Address.to_string removed);
+  Alcotest.(check int) "alice stays" 1 (Zmail.Listserv.subscriber_count ls);
+  Alcotest.(check bool) "alice subscribed" true
+    (Zmail.Listserv.is_subscribed ls (addr "alice@a.com"))
+
+let test_listserv_ack_resets_missed () =
+  let ls = make_list () in
+  (* bob misses one, then acks one: never pruned at max_missed 2. *)
+  ignore (Zmail.Listserv.distribute ls ~body:"p1" ());
+  Zmail.Listserv.note_post_complete ls;
+  ignore (Zmail.Listserv.distribute ls ~body:"p2" ());
+  ignore (Zmail.Listserv.on_ack ls ~from:(addr "bob@b.com") ~list_id:"ocaml-weekly");
+  Zmail.Listserv.note_post_complete ls;
+  ignore (Zmail.Listserv.distribute ls ~body:"p3" ());
+  Zmail.Listserv.note_post_complete ls;
+  let removed = Zmail.Listserv.prune ls ~max_missed:2 in
+  Alcotest.(check bool) "bob survived" false
+    (List.exists (fun a -> Smtp.Address.to_string a = "bob@b.com") removed)
+
+let test_listserv_unsubscribe () =
+  let ls = make_list () in
+  Zmail.Listserv.unsubscribe ls (addr "bob@b.com");
+  Alcotest.(check int) "two left" 2 (Zmail.Listserv.subscriber_count ls);
+  Alcotest.(check int) "distribution shrinks" 2
+    (List.length (Zmail.Listserv.distribute ls ~body:"x" ()))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "zmail"
+    [
+      ("epenny", [ Alcotest.test_case "conversions" `Quick test_epenny ]);
+      ( "credit",
+        [
+          Alcotest.test_case "vector ops" `Quick test_credit_vector;
+          Alcotest.test_case "audit consistent" `Quick test_audit_consistent;
+          Alcotest.test_case "audit mismatch" `Quick test_audit_detects_mismatch;
+          Alcotest.test_case "audit ignores non-compliant" `Quick
+            test_audit_ignores_noncompliant;
+        ] );
+      ( "wire",
+        Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip
+        :: Alcotest.test_case "garbage" `Quick test_wire_decode_garbage
+        :: Alcotest.test_case "seal roundtrip" `Quick test_wire_seal_roundtrip
+        :: Alcotest.test_case "seal tamper" `Quick test_wire_seal_tamper
+        :: Alcotest.test_case "signature" `Quick test_wire_signature
+        :: qcheck [ wire_roundtrip_prop ] );
+      ( "ledger",
+        Alcotest.test_case "send/receive" `Quick test_ledger_send_receive
+        :: Alcotest.test_case "blocks" `Quick test_ledger_blocks
+        :: Alcotest.test_case "local transfer" `Quick test_ledger_local_transfer
+        :: Alcotest.test_case "user buy/sell" `Quick test_ledger_user_buy_sell
+        :: Alcotest.test_case "pool bounds" `Quick test_ledger_pool_bounds
+        :: Alcotest.test_case "per-user limit" `Quick test_ledger_per_user_limit
+        :: qcheck [ ledger_conservation_prop ] );
+      ( "isp",
+        [
+          Alcotest.test_case "paid remote send" `Quick test_isp_send_paid_remote;
+          Alcotest.test_case "local send no credit" `Quick test_isp_send_local_no_credit;
+          Alcotest.test_case "non-compliant free" `Quick test_isp_send_noncompliant_free;
+          Alcotest.test_case "receive" `Quick test_isp_receive;
+          Alcotest.test_case "blocked by balance" `Quick test_isp_blocked_by_balance;
+          Alcotest.test_case "limit warning" `Quick test_isp_limit_and_warning;
+          Alcotest.test_case "pool buy cycle" `Quick test_isp_pool_buy_cycle;
+          Alcotest.test_case "pool sell cycle" `Quick test_isp_pool_sell_cycle;
+          Alcotest.test_case "reply replay (hardened)" `Quick
+            test_isp_buy_reply_replay_hardened;
+          Alcotest.test_case "reply replay (paper literal)" `Quick
+            test_isp_buy_reply_replay_paper_literal;
+          Alcotest.test_case "snapshot flow" `Quick test_isp_snapshot_flow;
+          Alcotest.test_case "request replay ignored" `Quick
+            test_isp_audit_request_replay_ignored;
+          Alcotest.test_case "thaw without freeze" `Quick test_isp_thaw_without_freeze;
+        ] );
+      ( "bank",
+        [
+          Alcotest.test_case "rejects forgery" `Quick test_bank_rejects_forgery;
+          Alcotest.test_case "rejects non-compliant" `Quick
+            test_bank_rejects_noncompliant_and_unknown;
+          Alcotest.test_case "insufficient account" `Quick
+            test_bank_buy_insufficient_account;
+          Alcotest.test_case "replay detection" `Quick test_bank_replay_detection;
+          Alcotest.test_case "replay ablated" `Quick test_bank_replay_ablated;
+          Alcotest.test_case "audit detects cheater" `Quick test_bank_audit_detects_cheater;
+          Alcotest.test_case "stale audit reply" `Quick test_bank_stale_audit_reply;
+        ] );
+      ( "listserv",
+        [
+          Alcotest.test_case "distribute" `Quick test_listserv_distribute;
+          Alcotest.test_case "acks refund" `Quick test_listserv_acks_refund;
+          Alcotest.test_case "prune" `Quick test_listserv_prune;
+          Alcotest.test_case "ack resets missed" `Quick test_listserv_ack_resets_missed;
+          Alcotest.test_case "unsubscribe" `Quick test_listserv_unsubscribe;
+        ] );
+    ]
