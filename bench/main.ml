@@ -1,7 +1,7 @@
 (* Benchmark and experiment harness.
 
    Usage:
-     main.exe            run every experiment table (E1-E11) then the
+     main.exe            run every experiment table (E1-E16) then the
                          E12 micro-benchmarks
      main.exe e7         run one experiment
      main.exe micro      run only the micro-benchmarks
@@ -206,5 +206,5 @@ let () =
           prerr_endline message;
           exit 1)
   | _ ->
-      prerr_endline "usage: main.exe [e1..e11|micro|list]";
+      prerr_endline "usage: main.exe [e1..e16|micro|list]";
       exit 1

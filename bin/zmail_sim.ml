@@ -35,7 +35,7 @@ let setup_logs level =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id: e1..e11, or 'all'." in
+    let doc = "Experiment id: e1..e16, or 'all'." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
   let run id seed =

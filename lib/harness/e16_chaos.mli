@@ -1,0 +1,12 @@
+(** E16 (robustness) — chaos on the ISP↔bank channel.
+
+    Sweeps the {!Sim.Fault} plan on the bank link from a reliable
+    baseline to 20% drop/duplicate rates with corruption, delays, an
+    outage window and two ISP crash/recovery cycles, all over a world
+    that also hosts a cheating ISP.  Two tables come out: goodput with
+    every per-fault counter, and the protocol invariants — the E2
+    zero-sum residue equals exactly what the cheat minted, the §4.4
+    audit still flags the cheater (and nobody else), whatever the link
+    did. *)
+
+val run : ?seed:int -> unit -> Sim.Table.t list

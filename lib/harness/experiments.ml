@@ -116,6 +116,15 @@ let all =
          distributed banks\"; this builds two and clears their imbalance.";
       run = (fun ~seed -> E15_federation.run ~seed ());
     };
+    {
+      id = "e16";
+      title = "Robustness: chaos on the ISP-bank channel";
+      claim =
+        "Implied by §4.3–§4.4: the nonce/audit protocol never depends on a \
+         perfect bank link — under drops, duplicates, corruption, outages \
+         and ISP crashes, money stays zero-sum and cheaters stay caught.";
+      run = (fun ~seed -> E16_chaos.run ~seed ());
+    };
   ]
 
 let find id =
@@ -134,4 +143,4 @@ let run_one ?(seed = 0) id =
   | Some e ->
       print_experiment ~seed e;
       Ok ()
-  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e15)" id)
+  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e16)" id)

@@ -6,7 +6,7 @@
     deterministic for a given seed. *)
 
 type t = {
-  id : string;  (** ["e1"] … ["e11"]. *)
+  id : string;  (** ["e1"] … ["e16"]. *)
   title : string;
   claim : string;  (** The paper sentence being reproduced. *)
   run : seed:int -> Sim.Table.t list;

@@ -1,0 +1,153 @@
+type plan = {
+  drop : float;
+  duplicate : float;
+  delay_prob : float;
+  delay_max : float;
+  corrupt : float;
+  outages : (float * float) list;
+}
+
+let reliable =
+  {
+    drop = 0.;
+    duplicate = 0.;
+    delay_prob = 0.;
+    delay_max = 0.;
+    corrupt = 0.;
+    outages = [];
+  }
+
+let validate p =
+  let prob name v =
+    if not (v >= 0. && v <= 1.) then
+      invalid_arg (Printf.sprintf "Fault: %s must be a probability, got %g" name v)
+  in
+  prob "drop" p.drop;
+  prob "duplicate" p.duplicate;
+  prob "delay_prob" p.delay_prob;
+  prob "corrupt" p.corrupt;
+  if p.delay_max < 0. then invalid_arg "Fault: delay_max must be non-negative";
+  List.iter
+    (fun (start, stop) ->
+      if stop < start then
+        invalid_arg (Printf.sprintf "Fault: outage [%g, %g) ends before it starts" start stop))
+    p.outages
+
+let plan ?(drop = 0.) ?(duplicate = 0.) ?(delay_prob = 0.) ?(delay_max = 0.)
+    ?(corrupt = 0.) ?(outages = []) () =
+  let p = { drop; duplicate; delay_prob; delay_max; corrupt; outages } in
+  validate p;
+  p
+
+type t = {
+  plan : plan;
+  engine : Engine.t;
+  rng : Rng.t;
+  sent : Stats.Counter.t;
+  delivered : Stats.Counter.t;
+  dropped : Stats.Counter.t;
+  duplicated : Stats.Counter.t;
+  delayed : Stats.Counter.t;
+  corrupted : Stats.Counter.t;
+  outage_dropped : Stats.Counter.t;
+}
+
+let create ?(plan = reliable) engine rng =
+  validate plan;
+  {
+    plan;
+    engine;
+    rng = Rng.split rng;
+    sent = Stats.Counter.create "sent";
+    delivered = Stats.Counter.create "delivered";
+    dropped = Stats.Counter.create "dropped";
+    duplicated = Stats.Counter.create "duplicated";
+    delayed = Stats.Counter.create "delayed";
+    corrupted = Stats.Counter.create "corrupted";
+    outage_dropped = Stats.Counter.create "outage_dropped";
+  }
+
+let active_plan t = t.plan
+
+let in_outage t =
+  let now = Engine.now t.engine in
+  List.exists (fun (start, stop) -> now >= start && now < stop) t.plan.outages
+
+(* Each probability draw is guarded by [prob > 0.], so a reliable plan
+   consumes no randomness: wrapping an existing link in a no-fault
+   layer leaves every downstream stream bit-identical. *)
+let draw t prob = prob > 0. && Rng.unit_float t.rng < prob
+
+let route_copy t ~corrupt deliver msg =
+  if draw t t.plan.drop then Stats.Counter.incr t.dropped
+  else begin
+    let msg =
+      if draw t t.plan.corrupt then begin
+        Stats.Counter.incr t.corrupted;
+        match corrupt with Some f -> Some (f msg) | None -> None
+      end
+      else Some msg
+    in
+    match msg with
+    | None -> ()  (* no corruptor: the elected copy is lost instead *)
+    | Some msg ->
+        if draw t t.plan.delay_prob then begin
+          Stats.Counter.incr t.delayed;
+          let hold = Rng.float t.rng (max t.plan.delay_max epsilon_float) in
+          ignore
+            (Engine.schedule_after t.engine ~delay:hold (fun () ->
+                 Stats.Counter.incr t.delivered;
+                 deliver msg))
+        end
+        else begin
+          Stats.Counter.incr t.delivered;
+          deliver msg
+        end
+  end
+
+let route t ?corrupt deliver msg =
+  Stats.Counter.incr t.sent;
+  if in_outage t then Stats.Counter.incr t.outage_dropped
+  else begin
+    let copies =
+      if draw t t.plan.duplicate then begin
+        Stats.Counter.incr t.duplicated;
+        2
+      end
+      else 1
+    in
+    for _ = 1 to copies do
+      route_copy t ~corrupt deliver msg
+    done
+  end
+
+let flip_byte rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Rng.int rng (Bytes.length b) in
+    let bit = 1 lsl Rng.int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit land 0xff));
+    Bytes.to_string b
+  end
+
+let wrap t deliver msg = route t ~corrupt:(flip_byte t.rng) deliver msg
+
+let sent t = Stats.Counter.value t.sent
+let delivered t = Stats.Counter.value t.delivered
+let dropped t = Stats.Counter.value t.dropped
+let duplicated t = Stats.Counter.value t.duplicated
+let delayed t = Stats.Counter.value t.delayed
+let corrupted t = Stats.Counter.value t.corrupted
+let outage_dropped t = Stats.Counter.value t.outage_dropped
+
+let counters t =
+  [
+    t.sent;
+    t.delivered;
+    t.dropped;
+    t.duplicated;
+    t.delayed;
+    t.corrupted;
+    t.outage_dropped;
+  ]

@@ -1,0 +1,86 @@
+(** Composable link-fault injection for simulated transports.
+
+    A {!plan} describes how a point-to-point link misbehaves:
+    per-message probabilities of dropping, duplicating, delaying or
+    corrupting a message, plus scheduled outage windows during which
+    nothing gets through.  A {!t} binds a plan to an engine (for the
+    clock and delayed redelivery) and a private {!Rng.t} stream, so
+    fault decisions are deterministic per seed and independent of every
+    other random stream in the simulation.
+
+    The injector is transport-agnostic: {!route} decorates any
+    [message -> unit] delivery function.  {!wrap} is the [string]
+    specialization with a built-in random byte-flip corruptor.  All
+    fault decisions are counted in {!Stats.Counter} values so
+    experiments can report exactly what the link did. *)
+
+type plan = {
+  drop : float;  (** P(a copy is silently lost). *)
+  duplicate : float;  (** P(the message is sent twice). *)
+  delay_prob : float;  (** P(a copy is held back before delivery). *)
+  delay_max : float;  (** Held copies wait U[0, delay_max) seconds. *)
+  corrupt : float;  (** P(a copy is altered in transit). *)
+  outages : (float * float) list;
+      (** Absolute [\[start, stop)] windows during which every message
+          is lost. *)
+}
+
+val reliable : plan
+(** All probabilities zero, no outages: a perfect link.  Routing
+    through a reliable plan consumes no randomness at all, so adding a
+    fault layer to an existing simulation does not shift its streams. *)
+
+val plan :
+  ?drop:float -> ?duplicate:float -> ?delay_prob:float -> ?delay_max:float ->
+  ?corrupt:float -> ?outages:(float * float) list -> unit -> plan
+(** {!reliable} with the given overrides.
+    @raise Invalid_argument on a probability outside [\[0,1\]], a
+    negative [delay_max], or an outage window with [stop < start]. *)
+
+type t
+
+val create : ?plan:plan -> Engine.t -> Rng.t -> t
+(** [create ~plan engine rng] validates [plan] (default {!reliable})
+    and splits a private stream off [rng]. *)
+
+val active_plan : t -> plan
+
+val route : t -> ?corrupt:('a -> 'a) -> ('a -> unit) -> 'a -> unit
+(** [route t ~corrupt deliver msg] pushes [msg] through the fault
+    model: during an outage it is lost; otherwise it may be duplicated,
+    and each copy may be dropped, corrupted (via [corrupt]; without a
+    corruptor an elected copy is dropped instead, still counted as
+    corrupted) or delivered late.  Surviving copies reach [deliver] —
+    immediately, or via the engine when delayed.  Never raises. *)
+
+val wrap : t -> (string -> unit) -> string -> unit
+(** {!route} for string transports: corruption flips one random bit of
+    one random byte (empty strings pass through unaltered). *)
+
+(** {1 Counters}
+
+    All monotone, starting at zero. *)
+
+val sent : t -> int
+(** Messages offered to the link. *)
+
+val delivered : t -> int
+(** Copies actually handed to the delivery function. *)
+
+val dropped : t -> int
+(** Copies lost to the [drop] probability. *)
+
+val duplicated : t -> int
+(** Messages sent as two copies. *)
+
+val delayed : t -> int
+(** Copies held back before delivery. *)
+
+val corrupted : t -> int
+(** Copies altered (or lost for want of a corruptor). *)
+
+val outage_dropped : t -> int
+(** Messages lost to an outage window. *)
+
+val counters : t -> Stats.Counter.t list
+(** Every counter above, for bulk reporting. *)

@@ -2,6 +2,7 @@ type t = { fields : (string * string) list; body : string }
 
 let zmail_payment_header = "X-Zmail-Payment"
 let zmail_ack_header = "X-Zmail-Ack"
+let zmail_epoch_header = "X-Zmail-Epoch"
 
 let canonical name = String.lowercase_ascii name
 
@@ -58,6 +59,10 @@ let mark_payment t ~epennies =
   add_header t zmail_payment_header (string_of_int epennies)
 
 let payment t = Option.bind (header t zmail_payment_header) int_of_string_opt
+
+let mark_epoch t ~seq = add_header t zmail_epoch_header (string_of_int seq)
+
+let epoch t = Option.bind (header t zmail_epoch_header) int_of_string_opt
 
 let mark_ack t ~of_id = add_header t zmail_ack_header of_id
 

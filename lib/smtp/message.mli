@@ -54,10 +54,19 @@ val zmail_ack_header : string
     (§5); such messages are processed by the ISP and never delivered to
     a human inbox. *)
 
+val zmail_epoch_header : string
+(** ["X-Zmail-Epoch"] — the sending ISP's audit sequence number at the
+    moment the message was charged.  The receiving ISP uses it to book
+    the receive into the matching billing period when its own snapshot
+    lags (e.g. after a crash), so the §4.4 audit never blames honest
+    ISPs for mail that crossed an epoch boundary. *)
+
 val mark_payment : t -> epennies:int -> t
 val payment : t -> int option
 val mark_ack : t -> of_id:string -> t
 val ack_of : t -> string option
+val mark_epoch : t -> seq:int -> t
+val epoch : t -> int option
 
 val message_id : t -> string option
 

@@ -23,6 +23,7 @@ type t = {
   mutable outbound_stamp : Envelope.t -> Message.t -> Message.t;
   mutable inbound_filter : sender:Address.t -> rcpt:Address.t -> Message.t -> decision;
   mutable on_delivered : rcpt:Address.t -> Message.t -> unit;
+  mutable on_bounce : Envelope.t -> Message.t -> string -> unit;
   mutable down : bool;
   mutable submitted : int;
   mutable sessions : int;
@@ -78,6 +79,7 @@ let create net ~hostname ~domains =
       outbound_stamp = (fun _ m -> m);
       inbound_filter = (fun ~sender:_ ~rcpt:_ _ -> Deliver);
       on_delivered = (fun ~rcpt:_ _ -> ());
+      on_bounce = (fun _ _ _ -> ());
       down = false;
       submitted = 0;
       sessions = 0;
@@ -103,7 +105,9 @@ let mailboxes t = t.mailboxes
 let set_outbound_stamp t f = t.outbound_stamp <- f
 let set_inbound_filter t f = t.inbound_filter <- f
 let set_on_delivered t f = t.on_delivered <- f
+let set_on_bounce t f = t.on_bounce <- f
 let set_down t b = t.down <- b
+let is_down t = t.down
 
 let find_host net id = List.find (fun h -> h.host = id) net.hosts
 
@@ -131,11 +135,12 @@ let accept_locally t envelope message =
       | Discard _ -> t.discarded <- t.discarded + 1)
     (Envelope.recipients envelope)
 
-let bounce t envelope reason =
+let bounce t envelope message reason =
   Log.warn (fun m ->
       m "%s: bouncing %a: %s" t.hostname Envelope.pp envelope reason);
   t.bounced <- t.bounced + List.length (Envelope.recipients envelope);
-  t.dead <- (envelope, reason) :: t.dead
+  t.dead <- (envelope, reason) :: t.dead;
+  t.on_bounce envelope message reason
 
 let max_attempts = 3
 
@@ -169,9 +174,9 @@ let rec transmit t ~dest_host envelope message ~attempt =
   let dest = find_host t.net dest_host in
   match run_session t dest envelope message with
   | Ok () -> ()
-  | Error (`Permanent reason) -> bounce t envelope reason
+  | Error (`Permanent reason) -> bounce t envelope message reason
   | Error (`Transient reason) ->
-      if attempt + 1 >= max_attempts then bounce t envelope reason
+      if attempt + 1 >= max_attempts then bounce t envelope message reason
       else begin
         Log.debug (fun m ->
             m "%s: transient failure to host %d (attempt %d): %s" t.hostname
@@ -203,7 +208,7 @@ let submit t envelope message =
     (fun (domain, recipients) ->
       let sub_envelope = Envelope.v ~sender:(Envelope.sender envelope) ~recipients in
       match Dns.lookup t.net.registry ~domain with
-      | None -> bounce t sub_envelope (Printf.sprintf "no MX for %s" domain)
+      | None -> bounce t sub_envelope message (Printf.sprintf "no MX for %s" domain)
       | Some dest_host when dest_host = t.host ->
           ignore
             (Sim.Engine.schedule_after t.net.engine ~delay:t.net.local_latency

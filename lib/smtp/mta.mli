@@ -44,8 +44,16 @@ val mailboxes : t -> Mailbox.t
 val set_outbound_stamp : t -> (Envelope.t -> Message.t -> Message.t) -> unit
 val set_inbound_filter : t -> (sender:Address.t -> rcpt:Address.t -> Message.t -> decision) -> unit
 val set_on_delivered : t -> (rcpt:Address.t -> Message.t -> unit) -> unit
+
+val set_on_bounce : t -> (Envelope.t -> Message.t -> string -> unit) -> unit
+(** Observe every bounce on this (sending) MTA with the abandoned
+    envelope, the full message and the failure reason — the hook a
+    Zmail ISP uses to refund the e-penny riding in a dead letter. *)
+
 val set_down : t -> bool -> unit
 (** A down MTA answers sessions with 421; senders retry with backoff. *)
+
+val is_down : t -> bool
 
 val submit : t -> Envelope.t -> Message.t -> unit
 (** Hand a message from a local user to this MTA for delivery

@@ -19,7 +19,12 @@ type t = {
   public : Toycrypto.Rsa.public;
   secret : Toycrypto.Rsa.secret;
   account : int array;
-  seen_nonces : (int * int64, unit) Hashtbl.t;
+  (* Reply cache keyed by (isp, request nonce).  Under replay
+     hardening a duplicated buy/sell — whether replayed by an attacker
+     or retransmitted by an ISP that lost our reply — is answered with
+     the original reply instead of being re-applied: exactly-once
+     effect over an at-least-once link. *)
+  reply_cache : (int * int64, Wire.payload) Hashtbl.t;
   mutable outstanding : int;
   mutable seq : int;
   mutable audit : audit_state option;
@@ -41,7 +46,7 @@ let create rng config =
     public;
     secret;
     account = Array.make config.n_isps config.initial_account;
-    seen_nonces = Hashtbl.create 256;
+    reply_cache = Hashtbl.create 256;
     outstanding = 0;
     seq = 0;
     audit = None;
@@ -70,13 +75,13 @@ type response =
   | Audit_complete of audit_result
   | Rejected of string
 
-let fresh_nonce t ~from_isp nonce =
-  if not t.config.replay_hardening then true
-  else if Hashtbl.mem t.seen_nonces (from_isp, nonce) then false
-  else begin
-    Hashtbl.replace t.seen_nonces (from_isp, nonce) ();
-    true
-  end
+let cached_reply t ~from_isp nonce =
+  if not t.config.replay_hardening then None
+  else Hashtbl.find_opt t.reply_cache (from_isp, nonce)
+
+let cache_reply t ~from_isp nonce payload =
+  if t.config.replay_hardening then
+    Hashtbl.replace t.reply_cache (from_isp, nonce) payload
 
 let reply t payload =
   t.messages_out <- t.messages_out + 1;
@@ -97,32 +102,38 @@ let finish_audit t (audit : audit_state) =
 
 let on_payload t ~from_isp payload =
   match (payload : Wire.payload) with
-  | Wire.Buy { amount; nonce } ->
-      if not (fresh_nonce t ~from_isp nonce) then begin
-        t.replays_dropped <- t.replays_dropped + 1;
-        Rejected "replayed buy"
-      end
-      else if t.account.(from_isp) >= amount then begin
-        t.account.(from_isp) <- t.account.(from_isp) - amount;
-        t.outstanding <- t.outstanding + amount;
-        t.buys <- t.buys + 1;
-        reply t (Wire.Buy_reply { nonce; accepted = true })
-      end
-      else begin
-        t.buys_rejected <- t.buys_rejected + 1;
-        reply t (Wire.Buy_reply { nonce; accepted = false })
-      end
-  | Wire.Sell { amount; nonce } ->
-      if not (fresh_nonce t ~from_isp nonce) then begin
-        t.replays_dropped <- t.replays_dropped + 1;
-        Rejected "replayed sell"
-      end
-      else begin
-        t.account.(from_isp) <- t.account.(from_isp) + amount;
-        t.outstanding <- t.outstanding - amount;
-        t.sells <- t.sells + 1;
-        reply t (Wire.Sell_reply { nonce })
-      end
+  | Wire.Buy { amount; nonce } -> (
+      match cached_reply t ~from_isp nonce with
+      | Some payload ->
+          t.replays_dropped <- t.replays_dropped + 1;
+          reply t payload
+      | None ->
+          let payload =
+            if t.account.(from_isp) >= amount then begin
+              t.account.(from_isp) <- t.account.(from_isp) - amount;
+              t.outstanding <- t.outstanding + amount;
+              t.buys <- t.buys + 1;
+              Wire.Buy_reply { nonce; accepted = true }
+            end
+            else begin
+              t.buys_rejected <- t.buys_rejected + 1;
+              Wire.Buy_reply { nonce; accepted = false }
+            end
+          in
+          cache_reply t ~from_isp nonce payload;
+          reply t payload)
+  | Wire.Sell { amount; nonce } -> (
+      match cached_reply t ~from_isp nonce with
+      | Some payload ->
+          t.replays_dropped <- t.replays_dropped + 1;
+          reply t payload
+      | None ->
+          t.account.(from_isp) <- t.account.(from_isp) + amount;
+          t.outstanding <- t.outstanding - amount;
+          t.sells <- t.sells + 1;
+          let payload = Wire.Sell_reply { nonce } in
+          cache_reply t ~from_isp nonce payload;
+          reply t payload)
   | Wire.Audit_reply { isp; seq; credit } -> (
       match t.audit with
       | Some audit
@@ -165,6 +176,23 @@ let start_audit t =
     compliant_isps
 
 let audit_in_progress t = t.audit <> None
+
+(* Re-issue the current round's request for one straggler — the
+   recovery handshake: an ISP restarting after a crash asks the bank
+   for pending protocol state before reopening for business, so its
+   snapshot happens before any post-recovery mail can straddle the
+   epoch boundary. *)
+let resend_audit_request t ~isp =
+  match t.audit with
+  | Some audit when List.mem isp audit.waiting ->
+      t.messages_out <- t.messages_out + 1;
+      Some (Wire.sign_by_bank t.secret (Wire.Audit_request { seq = audit.audit_seq }))
+  | Some _ | None -> None
+
+let audit_waiting t =
+  match t.audit with
+  | None -> None
+  | Some audit -> Some (audit.audit_seq, audit.waiting)
 
 type stats = {
   buys : int;

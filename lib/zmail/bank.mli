@@ -10,8 +10,11 @@
     check.  The credit audit exists purely to {e detect} ISPs that
     mint e-pennies fraudulently.
 
-    The bank also tracks seen request nonces so that a {e duplicated}
-    [buy] cannot debit an ISP twice ([replay_hardening], on by
+    The bank also keeps a per-(ISP, nonce) reply cache so that a
+    {e duplicated} [buy]/[sell] — an attacker's replay or an honest
+    retransmission over a lossy link — cannot debit an ISP twice: the
+    duplicate is answered with the original reply, giving exactly-once
+    effect over an at-least-once transport ([replay_hardening], on by
     default; E11 ablates it). *)
 
 type config = {
@@ -60,11 +63,27 @@ val start_audit : t -> (int * Wire.signed) list
 
 val audit_in_progress : t -> bool
 
+val audit_waiting : t -> (int * int list) option
+(** [(seq, isps)] of the in-progress audit: its sequence number and
+    the ISPs whose reply is still outstanding.  [None] when no audit is
+    running — the predicate a retransmission layer polls to decide
+    whether an audit request or reply still needs resending. *)
+
+val resend_audit_request : t -> isp:int -> Wire.signed option
+(** Re-issue the in-progress round's signed request iff [isp]'s reply
+    is still outstanding.  The crash-recovery handshake: a restarting
+    ISP fetches pending protocol state from the bank before reopening,
+    so it freezes for the still-open round immediately instead of
+    sending mail its already-thawed peers would book one audit epoch
+    ahead. *)
+
 type stats = {
   buys : int;  (** Accepted buy transactions. *)
   buys_rejected : int;  (** Insufficient account. *)
   sells : int;
   replays_dropped : int;
+      (** Duplicate buy/sell requests answered from the reply cache
+          instead of being re-applied. *)
   audits_completed : int;
   messages_in : int;
   messages_out : int;

@@ -1,22 +1,36 @@
-type t = int array
+(* [now] is the current billing period.  [early] buffers receives from
+   peers that have already snapshotted and reset for the next period
+   (their payment stamp carries a newer audit epoch): booking those
+   into [now] would make this ISP's row claim receives its peer's row
+   no longer shows, and the §4.4 antisymmetry check would falsely
+   implicate both.  [reset] promotes the buffer into the fresh period
+   — the Chandy-Lamport marker rule for in-flight messages. *)
+type t = { now : int array; early : int array }
 
 let create ~n =
   if n <= 0 then invalid_arg "Credit.create: n must be positive";
-  Array.make n 0
+  { now = Array.make n 0; early = Array.make n 0 }
 
-let n t = Array.length t
+let n t = Array.length t.now
 
-let get t peer = t.(peer)
+let get t peer = t.now.(peer)
 
-let record_send t ~peer = t.(peer) <- t.(peer) + 1
+let record_send t ~peer = t.now.(peer) <- t.now.(peer) + 1
 
-let record_receive t ~peer = t.(peer) <- t.(peer) - 1
+let record_receive t ~peer = t.now.(peer) <- t.now.(peer) - 1
 
-let snapshot t = Array.copy t
+let record_receive_early t ~peer = t.early.(peer) <- t.early.(peer) - 1
 
-let reset t = Array.fill t 0 (Array.length t) 0
+let early_pending t = -Array.fold_left ( + ) 0 t.early
 
-let net_flow t = Array.fold_left ( + ) 0 t
+let snapshot t = Array.copy t.now
+
+let reset t =
+  let len = Array.length t.now in
+  Array.blit t.early 0 t.now 0 len;
+  Array.fill t.early 0 len 0
+
+let net_flow t = Array.fold_left ( + ) 0 t.now
 
 module Audit = struct
   type violation = { isp_a : int; isp_b : int; discrepancy : int }

@@ -18,11 +18,26 @@ val record_send : t -> peer:int -> unit
 val record_receive : t -> peer:int -> unit
 (** [credit.(peer) <- credit.(peer) - 1]. *)
 
+val record_receive_early : t -> peer:int -> unit
+(** Book a receive into the {e next} billing period: the message's
+    payment stamp carries an audit epoch newer than ours, i.e. the
+    sender already snapshotted and reset while we have not (possible
+    when a crash delays our snapshot past our peers').  Counting it in
+    the current period would break antisymmetry against the sender's
+    already-reported row; buffering it keeps both periods consistent
+    (the Chandy-Lamport rule for messages crossing the marker). *)
+
+val early_pending : t -> int
+(** Number of receives currently buffered for the next period. *)
+
 val snapshot : t -> int array
-(** Copy of the vector. *)
+(** Copy of the current-period vector (buffered early receives are
+    excluded — they belong to the next snapshot). *)
 
 val reset : t -> unit
-(** Zero the vector (a new billing period, §4.4). *)
+(** Start a new billing period (§4.4): the current vector is replaced
+    by the buffered early receives, which belong to exactly this new
+    period. *)
 
 val net_flow : t -> int
 (** Sum of the vector: messages sent minus received against all

@@ -60,6 +60,9 @@ type t = {
   mutable sent_paid : int;
   mutable sent_free : int;
   mutable received_paid : int;
+  mutable cheat_minted : Epenny.amount;
+  mutable refunds : int;
+  mutable crashes : int;
 }
 
 let create rng config =
@@ -92,13 +95,30 @@ let create rng config =
     sent_paid = 0;
     sent_free = 0;
     received_paid = 0;
+    cheat_minted = 0;
+    refunds = 0;
+    crashes = 0;
   }
 
 let index t = t.config.index
 let compliant_peer t j = t.config.compliant.(j)
 let ledger t = t.ledger
 let credit_vector t = Credit.snapshot t.credit
+let early_receives t = Credit.early_pending t.credit
 let frozen t = not t.cansend
+let pending_buy_nonce t = Option.map (fun p -> p.nonce) t.pending_buy
+let pending_sell_nonce t = Option.map (fun p -> p.nonce) t.pending_sell
+let audit_seq t = t.seq
+
+(* Crash recovery: the ledger, credit vector, audit sequence and the
+   pending buy/sell records (the request WAL) are durable; only the
+   snapshot-freeze flag is volatile.  Losing an in-progress freeze is
+   safe — the bank retransmits the audit request and the freeze simply
+   restarts — whereas losing a pending buy would desynchronize the
+   money supply (the bank may have debited us already). *)
+let recover t =
+  t.crashes <- t.crashes + 1;
+  t.cansend <- true
 
 type send_outcome =
   | Sent_paid
@@ -142,14 +162,43 @@ let charge_send t ~sender ~dest_isp =
         note_limit_warning t sender;
         Sent_paid
 
-let accept_delivery t ~from_isp ~rcpt =
+(* Undo one paid send whose message bounced before delivery: the
+   e-penny was riding in the message and would otherwise be destroyed.
+   Restore the sender's balance and cancel the [credit+1] recorded
+   toward the destination (so a clean audit stays clean).  The daily
+   [sent] count is deliberately not undone: the attempt happened. *)
+let refund_send t ~sender ~dest_isp =
+  Ledger.credit_receive t.ledger ~user:sender;
+  if
+    dest_isp >= 0
+    && dest_isp < t.config.n_isps
+    && dest_isp <> t.config.index
+    && t.config.compliant.(dest_isp)
+  then Credit.record_receive t.credit ~peer:dest_isp;
+  t.refunds <- t.refunds + 1
+
+(* [sender_epoch] is the audit sequence number stamped on the message
+   when the sender charged it.  A newer epoch than ours means the
+   sender already snapshotted for an audit round we have yet to answer
+   (our snapshot can lag after a crash): the receive then belongs to
+   the next billing period, not the one we are still accumulating.
+   The e-penny itself moves immediately either way — epochs only
+   affect audit bookkeeping, never money. *)
+let accept_delivery_stamped t ~sender_epoch ~from_isp ~rcpt =
   if not t.config.compliant.(from_isp) then `Unpaid
   else begin
     Ledger.credit_receive t.ledger ~user:rcpt;
-    if from_isp <> t.config.index then Credit.record_receive t.credit ~peer:from_isp;
+    if from_isp <> t.config.index then begin
+      match sender_epoch with
+      | Some e when e > t.seq -> Credit.record_receive_early t.credit ~peer:from_isp
+      | Some _ | None -> Credit.record_receive t.credit ~peer:from_isp
+    end;
     t.received_paid <- t.received_paid + 1;
     `Paid
   end
+
+let accept_delivery t ~from_isp ~rcpt =
+  accept_delivery_stamped t ~sender_epoch:None ~from_isp ~rcpt
 
 let pool_action t =
   let avail = Ledger.avail t.ledger in
@@ -254,7 +303,8 @@ let apply_daily_cheat t =
           for _ = 1 to k do
             Credit.record_receive t.credit ~peer;
             (* The stolen e-penny lands on some user's balance. *)
-            Ledger.credit_receive t.ledger ~user:(Sim.Rng.int t.rng t.config.n_users)
+            Ledger.credit_receive t.ledger ~user:(Sim.Rng.int t.rng t.config.n_users);
+            t.cheat_minted <- t.cheat_minted + 1
           done
       done
   | Honest | Unreported_sends _ -> ()
@@ -274,3 +324,6 @@ let total_epennies t = Ledger.total_epennies t.ledger
 let stats_sent_paid t = t.sent_paid
 let stats_sent_free t = t.sent_free
 let stats_received_paid t = t.received_paid
+let stats_cheat_minted t = t.cheat_minted
+let stats_refunds t = t.refunds
+let stats_crashes t = t.crashes

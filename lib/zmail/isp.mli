@@ -62,6 +62,22 @@ val frozen : t -> bool
 (** [true] while a §4.4 snapshot freeze is in force ([cansend =
     false]). *)
 
+val pending_buy_nonce : t -> int64 option
+(** Nonce of the outstanding §4.3 buy request, if any — the handle a
+    retransmission layer polls to know when to stop resending. *)
+
+val pending_sell_nonce : t -> int64 option
+val audit_seq : t -> int
+(** The next audit sequence number this kernel will accept. *)
+
+val recover : t -> unit
+(** Restart the kernel after a crash.  The ledger, credit vector,
+    audit sequence and pending buy/sell records are durable state and
+    survive; the snapshot-freeze flag is volatile and is cleared (the
+    bank's audit-request retransmission restarts the freeze if one was
+    in progress).  Callers must separately retransmit any pending bank
+    requests to reconverge the pool. *)
+
 (** {1 Mail path (§4.1)} *)
 
 type send_outcome =
@@ -78,7 +94,29 @@ val accept_delivery : t -> from_isp:int -> rcpt:int -> [ `Paid | `Unpaid ]
 (** Apply the receiver-side action: from a compliant ISP the recipient
     earns one e-penny (and the credit vector records it when remote);
     from a non-compliant ISP nothing is recorded and the caller's
-    delivery policy decides the message's fate. *)
+    delivery policy decides the message's fate.  Equivalent to
+    {!accept_delivery_stamped} with no epoch stamp. *)
+
+val accept_delivery_stamped :
+  t -> sender_epoch:int option -> from_isp:int -> rcpt:int -> [ `Paid | `Unpaid ]
+(** Like {!accept_delivery}, but [sender_epoch] is the audit sequence
+    number the message was stamped with when the sender charged it.
+    When it is newer than this kernel's own [seq] — the sender already
+    snapshotted for an audit round this kernel has yet to answer,
+    which happens when a crash delays its snapshot past its peers' —
+    the receive is buffered for the {e next} billing period
+    ({!Credit.record_receive_early}), keeping both periods' §4.4
+    antisymmetry intact.  Money moves immediately regardless. *)
+
+val early_receives : t -> int
+(** Receives currently buffered for the next billing period. *)
+
+val refund_send : t -> sender:int -> dest_isp:int -> unit
+(** Undo one {!charge_send} whose message bounced before delivery:
+    restore the sender's e-penny and cancel the credit recorded toward
+    [dest_isp] (when remote and compliant), so the e-penny in the dead
+    letter is not destroyed and audits stay clean.  The daily [sent]
+    count is not undone. *)
 
 (** {1 Bank path (§4.3)} *)
 
@@ -119,3 +157,15 @@ val total_epennies : t -> Epenny.amount
 val stats_sent_paid : t -> int
 val stats_sent_free : t -> int
 val stats_received_paid : t -> int
+
+val stats_cheat_minted : t -> Epenny.amount
+(** Unbacked e-pennies created by a {!Fake_receives} cheat so far —
+    exactly the amount by which this kernel breaks the global zero-sum
+    invariant (experiments subtract it to verify conservation in
+    cheater worlds). *)
+
+val stats_refunds : t -> int
+(** Bounced paid sends refunded via {!refund_send}. *)
+
+val stats_crashes : t -> int
+(** Times {!recover} has run. *)

@@ -20,6 +20,10 @@ type config = {
   auto_ack : bool;
   auto_topup : Epenny.amount option;
   customize_isp : int -> Isp.config -> Isp.config;
+  bank_fault : Sim.Fault.plan;
+  retry_timeout : float;
+  retry_backoff : float;
+  retry_cap : float;
 }
 
 let default_config ~n_isps ~users_per_isp =
@@ -36,6 +40,10 @@ let default_config ~n_isps ~users_per_isp =
     auto_ack = true;
     auto_topup = Some 50;
     customize_isp = (fun _ c -> c);
+    bank_fault = Sim.Fault.reliable;
+    retry_timeout = 5.;
+    retry_backoff = 2.;
+    retry_cap = 900.;
   }
 
 type counters = {
@@ -47,6 +55,18 @@ type counters = {
   mutable deferred_sends : int;
   mutable acks_generated : int;
   mutable limit_warnings : int;
+}
+
+(* Everything the unreliable bank link and the crash machinery did,
+   beyond the per-fault counters kept by [Sim.Fault] itself. *)
+type link_stats = {
+  retransmits : Sim.Stats.Counter.t;
+  bank_rejects : Sim.Stats.Counter.t;
+  lost_isp_down : Sim.Stats.Counter.t;
+  sends_failed_down : Sim.Stats.Counter.t;
+  crashes : Sim.Stats.Counter.t;
+  recoveries : Sim.Stats.Counter.t;
+  bounce_refunds : Sim.Stats.Counter.t;
 }
 
 type t = {
@@ -65,6 +85,10 @@ type t = {
   mutable profiles : Econ.User_model.profile array option;
   initial : Epenny.amount;
   initial_balance_of : int array;  (* per ISP, after customization *)
+  fault : Sim.Fault.t;  (* the ISP<->bank link fault model *)
+  up : bool array;  (* false while an ISP is crashed *)
+  crash_gen : int array;  (* bumped per crash; invalidates stale timers *)
+  link : link_stats;
 }
 
 let engine t = t.engine
@@ -72,6 +96,9 @@ let config t = t.cfg
 let bank t = t.the_bank
 let mta t i = t.mtas.(i)
 let counters t = t.stats
+let fault t = t.fault
+let link_stats t = t.link
+let isp_up t i = t.up.(i)
 let deferral_delay t = t.deferral
 let initial_epennies t = t.initial
 let audit_results_timed t = List.rev t.audits
@@ -112,23 +139,67 @@ let drain_warnings t i =
 (* Bank links                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* All ISP<->bank traffic flows through [t.fault] (drop / duplicate /
+   delay / corrupt / outages) and then the configured link latency.
+   Reliability on top is at-least-once: [retry_loop] resends a message
+   until its [still] predicate reports the exchange settled, with
+   capped exponential backoff; idempotence comes from the nonce scheme
+   (the bank's reply cache, the kernel's outstanding-request checks),
+   so duplicates — injected or retransmitted — are absorbed. *)
+
+(* A corrupted bank->ISP message: the signature no longer matches, so
+   [Wire.verify_from_bank] rejects it at the kernel (never raises). *)
+let corrupt_signed (s : Wire.signed) =
+  { s with Wire.signature = s.Wire.signature + 1 }
+
+let rec retry_loop t ~send ~still ~timeout =
+  if still () then begin
+    send ();
+    ignore
+      (Sim.Engine.schedule_after t.engine ~delay:timeout (fun () ->
+           if still () then begin
+             Sim.Stats.Counter.incr t.link.retransmits;
+             retry_loop t ~send ~still
+               ~timeout:(min (timeout *. t.cfg.retry_backoff) t.cfg.retry_cap)
+           end))
+  end
+
 let rec to_bank t i sealed =
-  ignore
-    (Sim.Engine.schedule_after t.engine ~delay:t.cfg.bank_link_latency (fun () ->
-         match Bank.on_isp_message t.the_bank ~from_isp:i sealed with
-         | Bank.Reply signed ->
-             ignore
-               (Sim.Engine.schedule_after t.engine ~delay:t.cfg.bank_link_latency
-                  (fun () -> bank_message_to_isp t i signed))
-         | Bank.Audit_complete result ->
-             Log.info (fun m ->
-                 m "t=%.0f audit %d complete: %d violations, suspects [%s]"
-                   (Sim.Engine.now t.engine) result.Bank.seq
-                   (List.length result.Bank.violations)
-                   (String.concat ","
-                      (List.map string_of_int result.Bank.suspects)));
-             t.audits <- (Sim.Engine.now t.engine, result) :: t.audits
-         | Bank.Audit_progress | Bank.Rejected _ -> ()))
+  Sim.Fault.route t.fault ~corrupt:Toycrypto.Seal.flip_bit
+    (fun sealed ->
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.bank_link_latency
+           (fun () ->
+             match Bank.on_isp_message t.the_bank ~from_isp:i sealed with
+             | Bank.Reply signed -> send_to_isp t i signed
+             | Bank.Audit_complete result ->
+                 Log.info (fun m ->
+                     m "t=%.0f audit %d complete: %d violations, suspects [%s]"
+                       (Sim.Engine.now t.engine) result.Bank.seq
+                       (List.length result.Bank.violations)
+                       (String.concat ","
+                          (List.map string_of_int result.Bank.suspects)));
+                 t.audits <- (Sim.Engine.now t.engine, result) :: t.audits
+             | Bank.Audit_progress -> ()
+             | Bank.Rejected reason ->
+                 (* Corruption, forgery or an out-of-protocol duplicate:
+                    counted, never raised.  Retransmission recovers the
+                    exchange if it mattered. *)
+                 Log.debug (fun m ->
+                     m "t=%.0f bank rejected message from isp %d: %s"
+                       (Sim.Engine.now t.engine) i reason);
+                 Sim.Stats.Counter.incr t.link.bank_rejects)))
+    sealed
+
+and send_to_isp t i signed =
+  Sim.Fault.route t.fault ~corrupt:corrupt_signed
+    (fun signed ->
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.bank_link_latency
+           (fun () ->
+             if t.up.(i) then bank_message_to_isp t i signed
+             else Sim.Stats.Counter.incr t.link.lost_isp_down)))
+    signed
 
 and bank_message_to_isp t i signed =
   match t.kernels.(i) with
@@ -139,14 +210,28 @@ and bank_message_to_isp t i signed =
       | Isp.Start_snapshot_timer ->
           Log.debug (fun m ->
               m "t=%.0f isp %d frozen for snapshot" (Sim.Engine.now t.engine) i);
+          let gen = t.crash_gen.(i) in
           ignore
             (Sim.Engine.schedule_after t.engine ~delay:t.cfg.freeze_duration
                (fun () ->
-                 let reply = Isp.thaw kernel in
-                 Log.debug (fun m ->
-                     m "t=%.0f isp %d thawed, reporting" (Sim.Engine.now t.engine) i);
-                 to_bank t i reply;
-                 flush_deferred t i)))
+                 (* A crash during the freeze invalidates this timer:
+                    the kernel recovered thawed, and the bank's
+                    audit-request retransmission restarts the freeze. *)
+                 if t.crash_gen.(i) = gen && Isp.frozen kernel then begin
+                   let seq = Isp.audit_seq kernel in
+                   let reply = Isp.thaw kernel in
+                   Log.debug (fun m ->
+                       m "t=%.0f isp %d thawed, reporting" (Sim.Engine.now t.engine) i);
+                   let still () =
+                     match Bank.audit_waiting t.the_bank with
+                     | Some (s, waiting) -> s = seq && List.mem i waiting
+                     | None -> false
+                   in
+                   retry_loop t
+                     ~send:(fun () -> if t.up.(i) then to_bank t i reply)
+                     ~still ~timeout:t.cfg.retry_timeout;
+                   flush_deferred t i
+                 end)))
 
 and flush_deferred t i =
   let queue = t.deferred.(i) in
@@ -157,6 +242,98 @@ and flush_deferred t i =
     retry ()
   done
 
+(* Evaluate §4.3 pool thresholds for one ISP and, if a buy/sell came
+   out, send it with retransmission until the matching reply lands
+   (the pending nonce is the acknowledgment state). *)
+let pool_tick t i kernel =
+  let buy_before = Isp.pending_buy_nonce kernel in
+  let sell_before = Isp.pending_sell_nonce kernel in
+  match Isp.pool_action kernel with
+  | None -> ()
+  | Some sealed ->
+      let still =
+        match (Isp.pending_buy_nonce kernel, Isp.pending_sell_nonce kernel) with
+        | Some nonce, _ when Isp.pending_buy_nonce kernel <> buy_before ->
+            fun () -> Isp.pending_buy_nonce kernel = Some nonce
+        | _, Some nonce when Isp.pending_sell_nonce kernel <> sell_before ->
+            fun () -> Isp.pending_sell_nonce kernel = Some nonce
+        | _ -> fun () -> false
+      in
+      retry_loop t
+        ~send:(fun () -> if t.up.(i) then to_bank t i sealed)
+        ~still ~timeout:t.cfg.retry_timeout
+
+(* Start a §4.4 audit round, retransmitting each request until the
+   ISP's reply is recorded.  The first retry waits out a full freeze:
+   a request that did arrive is only ever acknowledged by the audit
+   reply sent at thaw, so probing earlier proves nothing. *)
+let start_audit_round t =
+  let requests = Bank.start_audit t.the_bank in
+  let seq =
+    match Bank.audit_waiting t.the_bank with
+    | Some (seq, _) -> seq
+    | None -> assert false
+  in
+  List.iter
+    (fun (i, signed) ->
+      let still () =
+        match Bank.audit_waiting t.the_bank with
+        | Some (s, waiting) -> s = seq && List.mem i waiting
+        | None -> false
+      in
+      retry_loop t
+        ~send:(fun () -> send_to_isp t i signed)
+        ~still
+        ~timeout:(t.cfg.freeze_duration +. t.cfg.retry_timeout))
+    requests
+
+(* ------------------------------------------------------------------ *)
+(* Crash and recovery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let crash_isp t ~isp:i ~downtime =
+  if i < 0 || i >= t.cfg.n_isps then invalid_arg "World.crash_isp: index out of range";
+  if downtime <= 0. then invalid_arg "World.crash_isp: downtime must be positive";
+  match t.kernels.(i) with
+  | None -> invalid_arg "World.crash_isp: non-compliant ISPs have no kernel to crash"
+  | Some kernel ->
+      if not t.up.(i) then invalid_arg "World.crash_isp: ISP is already down";
+      Log.info (fun m ->
+          m "t=%.0f isp %d CRASH (down for %.0fs)" (Sim.Engine.now t.engine) i downtime);
+      t.up.(i) <- false;
+      t.crash_gen.(i) <- t.crash_gen.(i) + 1;
+      Sim.Stats.Counter.incr t.link.crashes;
+      (* The MTA answers 421 while down; peers retry with backoff and
+         eventually bounce (refunded via the bounce hook). *)
+      Smtp.Mta.set_down t.mtas.(i) true;
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:downtime (fun () ->
+             Log.info (fun m ->
+                 m "t=%.0f isp %d recovered" (Sim.Engine.now t.engine) i);
+             t.up.(i) <- true;
+             Smtp.Mta.set_down t.mtas.(i) false;
+             (* Restart from durable state (ledger, credit, pending
+                requests); the freeze flag is volatile and clears. *)
+             Isp.recover kernel;
+             Sim.Stats.Counter.incr t.link.recoveries;
+             (* Recovery handshake: before reopening for business the
+                ISP fetches pending protocol state from the bank.  If
+                an audit round is still waiting on us, the re-issued
+                request freezes the kernel right now — otherwise the
+                first post-recovery sends would land one audit epoch
+                behind the already-thawed peers.  Modeled synchronous:
+                a fresh connection the recovering ISP initiates, not
+                regular (faulty) link traffic; the request retransmit
+                chain still covers it regardless. *)
+             (match Bank.resend_audit_request t.the_bank ~isp:i with
+             | Some signed -> bank_message_to_isp t i signed
+             | None -> ());
+             if not (Isp.frozen kernel) then flush_deferred t i;
+             (* Any buy/sell outstanding across the crash is
+                re-driven from the recovered request records; the
+                bank's reply cache absorbs duplicates. *)
+             pool_tick t i kernel))
+
 (* ------------------------------------------------------------------ *)
 (* Send path                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -164,15 +341,24 @@ and flush_deferred t i =
 type send_result =
   | Submitted of [ `Paid | `Free ]
   | Deferred_snapshot
+  | Failed_down
   | Rejected of Ledger.block
 
 (* [build_msg ~paid] constructs the message (payment stamp applied by
    the caller of the MTA, i.e. here). *)
 let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
   let from_addr = address t ~isp:i ~user:u in
-  let submit paid =
+  let submit ?epoch paid =
     let msg = build_msg () in
     let msg = if paid then Smtp.Message.mark_payment msg ~epennies:1 else msg in
+    (* Paid mail carries the sender's audit epoch so a receiver whose
+       snapshot lags (crash recovery) can book it into the matching
+       billing period. *)
+    let msg =
+      match epoch with
+      | Some seq -> Smtp.Message.mark_epoch msg ~seq
+      | None -> msg
+    in
     let envelope = Smtp.Envelope.v ~sender:from_addr ~recipients:[ to_addr ] in
     Smtp.Mta.submit t.mtas.(i) envelope msg
   in
@@ -181,6 +367,13 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
     | Some j -> j
     | None -> -1  (* outside world: treated as non-compliant *)
   in
+  if not t.up.(i) then begin
+    (* The user's own ISP is down: the submission MSA is unreachable,
+       the message never enters the system (no charge, no queue). *)
+    Sim.Stats.Counter.incr t.link.sends_failed_down;
+    Failed_down
+  end
+  else
   match t.kernels.(i) with
   | None ->
       (* Non-compliant sender: plain SMTP, no accounting. *)
@@ -208,7 +401,7 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
       drain_warnings t i;
       match outcome with
       | Isp.Sent_paid ->
-          submit true;
+          submit ~epoch:(Isp.audit_seq kernel) true;
           Submitted `Paid
       | Isp.Sent_free ->
           submit false;
@@ -280,7 +473,9 @@ let inbound_filter t ~isp_index kernel ~sender ~rcpt message =
   in
   let settle () =
     match (from_isp, rcpt_user) with
-    | Some fi, Some u -> Isp.accept_delivery kernel ~from_isp:fi ~rcpt:u
+    | Some fi, Some u ->
+        Isp.accept_delivery_stamped kernel
+          ~sender_epoch:(Smtp.Message.epoch message) ~from_isp:fi ~rcpt:u
     | _, _ -> `Unpaid
   in
   (* Mailing-list acknowledgments are protocol traffic: settle the
@@ -400,13 +595,53 @@ let create cfg =
       profiles = None;
       initial;
       initial_balance_of;
+      (* The fault model draws from its own root-seeded stream so that
+         enabling faults does not perturb workload randomness: the same
+         seed generates the same traffic under any plan. *)
+      fault =
+        Sim.Fault.create ~plan:cfg.bank_fault engine
+          (Sim.Rng.create (cfg.seed lxor 0x6fa17));
+      up = Array.make cfg.n_isps true;
+      crash_gen = Array.make cfg.n_isps 0;
+      link =
+        {
+          retransmits = Sim.Stats.Counter.create "retransmits";
+          bank_rejects = Sim.Stats.Counter.create "bank_rejects";
+          lost_isp_down = Sim.Stats.Counter.create "lost_isp_down";
+          sends_failed_down = Sim.Stats.Counter.create "sends_failed_down";
+          crashes = Sim.Stats.Counter.create "crashes";
+          recoveries = Sim.Stats.Counter.create "recoveries";
+          bounce_refunds = Sim.Stats.Counter.create "bounce_refunds";
+        };
     }
   in
   Array.iteri
     (fun i kernel ->
       match kernel with
       | Some kernel ->
-          Smtp.Mta.set_inbound_filter t.mtas.(i) (inbound_filter t ~isp_index:i kernel)
+          Smtp.Mta.set_inbound_filter t.mtas.(i) (inbound_filter t ~isp_index:i kernel);
+          (* A paid message abandoned by the MTA (receiver down through
+             every retry, no MX, permanent 5xx) would destroy its
+             e-penny; refund the sender instead, reversing both ledger
+             and credit-record legs of the charge. *)
+          Smtp.Mta.set_on_bounce t.mtas.(i) (fun envelope message _reason ->
+              if Smtp.Message.payment message <> None then
+                match locate t (Smtp.Envelope.sender envelope) with
+                | Some (si, u) when si = i ->
+                    List.iter
+                      (fun rcpt ->
+                        let dest_isp =
+                          match
+                            Hashtbl.find_opt t.isp_of_domain
+                              (Smtp.Address.domain rcpt)
+                          with
+                          | Some j -> j
+                          | None -> -1
+                        in
+                        Isp.refund_send kernel ~sender:u ~dest_isp;
+                        Sim.Stats.Counter.incr t.link.bounce_refunds)
+                      (Smtp.Envelope.recipients envelope)
+                | Some _ | None -> ())
       | None -> ())
     kernels;
   (* Daily resets at midnight boundaries. *)
@@ -415,10 +650,10 @@ let create cfg =
          Array.iteri
            (fun i kernel ->
              match kernel with
-             | Some kernel ->
+             | Some kernel when t.up.(i) ->
                  Isp.end_of_day kernel;
                  drain_warnings t i
-             | None -> ())
+             | Some _ | None -> ())
            t.kernels));
   (* §4.3 pool maintenance. *)
   ignore
@@ -426,24 +661,15 @@ let create cfg =
          Array.iteri
            (fun i kernel ->
              match kernel with
-             | Some kernel -> (
-                 match Isp.pool_action kernel with
-                 | Some sealed -> to_bank t i sealed
-                 | None -> ())
-             | None -> ())
+             | Some kernel when t.up.(i) -> pool_tick t i kernel
+             | Some _ | None -> ())
            t.kernels));
   (* Periodic audits. *)
   (match cfg.audit_period with
   | Some period ->
       ignore
         (Sim.Engine.every engine ~period (fun () ->
-             if not (Bank.audit_in_progress t.the_bank) then
-               List.iter
-                 (fun (i, signed) ->
-                   ignore
-                     (Sim.Engine.schedule_after engine ~delay:cfg.bank_link_latency
-                        (fun () -> bank_message_to_isp t i signed)))
-                 (Bank.start_audit t.the_bank)))
+             if not (Bank.audit_in_progress t.the_bank) then start_audit_round t))
   | None -> ());
   t
 
@@ -470,7 +696,7 @@ let post_to_list t ls ~body =
             submit_message t ~from ~to_addr:subscriber ~build_msg:(fun () -> message)
           with
           | Submitted _ | Deferred_snapshot -> incr submitted
-          | Rejected _ -> ())
+          | Failed_down | Rejected _ -> ())
         (Listserv.distribute ls ~body ~date:(Sim.Engine.now t.engine) ());
       !submitted
 
@@ -478,13 +704,7 @@ let post_to_list t ls ~body =
 (* Protocol operations                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let trigger_audit t =
-  List.iter
-    (fun (i, signed) ->
-      ignore
-        (Sim.Engine.schedule_after t.engine ~delay:t.cfg.bank_link_latency (fun () ->
-             bank_message_to_isp t i signed)))
-    (Bank.start_audit t.the_bank)
+let trigger_audit t = start_audit_round t
 
 let run_days t days =
   Sim.Engine.run t.engine ~until:(Sim.Engine.now t.engine +. (days *. Sim.Engine.day))
@@ -572,13 +792,22 @@ let attach_bulk_sender t ~isp:i ~user ~per_day () =
 (* Measurement                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let total_epennies t =
+  Array.fold_left
+    (fun acc k -> match k with Some k -> acc + Isp.total_epennies k | None -> acc)
+    0 t.kernels
+
 let conservation_holds t =
-  let total =
-    Array.fold_left
-      (fun acc k -> match k with Some k -> acc + Isp.total_epennies k | None -> acc)
-      0 t.kernels
-  in
-  total - t.initial = Bank.outstanding_epennies t.the_bank
+  total_epennies t - t.initial = Bank.outstanding_epennies t.the_bank
+
+let epenny_residue t =
+  total_epennies t - t.initial - Bank.outstanding_epennies t.the_bank
+
+let cheat_minted t =
+  Array.fold_left
+    (fun acc k ->
+      match k with Some k -> acc + Isp.stats_cheat_minted k | None -> acc)
+    0 t.kernels
 
 let balance_drift t ~isp:i ~user =
   match t.kernels.(i) with

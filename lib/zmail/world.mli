@@ -12,7 +12,16 @@
 
     Bank traffic bypasses SMTP — the paper describes the ISP–bank
     relationship as a direct accounting link — and travels over
-    reliable point-to-point links with configurable latency. *)
+    point-to-point links with configurable latency.  Those links are
+    reliable by default but can be degraded through a {!Sim.Fault.plan}
+    ([bank_fault]): dropped, duplicated, delayed, corrupted or cut by
+    outage windows.  The world compensates with at-least-once delivery
+    — every buy/sell/audit exchange is retransmitted under capped
+    exponential backoff until acknowledged — and the protocol's nonces
+    make the retries idempotent (the bank's reply cache absorbs
+    duplicates, corrupt messages fail crypto verification and are
+    counted, never raised).  ISPs can also {!crash_isp} and recover
+    from their durable ledger state mid-run. *)
 
 (** Fate of unpaid mail (from non-compliant ISPs) at a compliant ISP —
     §5 lists exactly these choices: accept, "segregate or discard", or
@@ -51,12 +60,23 @@ type config = {
           sustained traffic. *)
   customize_isp : int -> Isp.config -> Isp.config;
       (** Per-ISP overrides (cheats, limits, pool bounds). *)
+  bank_fault : Sim.Fault.plan;
+      (** Fault model applied to every ISP↔bank message in both
+          directions (default {!Sim.Fault.reliable}). *)
+  retry_timeout : float;
+      (** Initial retransmission timeout for bank exchanges (seconds).
+          Audit requests instead wait [freeze_duration + retry_timeout]
+          before the first retry — the acknowledgment (the audit reply)
+          can only arrive after a full freeze. *)
+  retry_backoff : float;  (** Timeout multiplier per retry. *)
+  retry_cap : float;  (** Upper bound on the backed-off timeout. *)
 }
 
 val default_config : n_isps:int -> users_per_isp:int -> config
 (** All ISPs compliant, hourly pool checks, no automatic audits,
     10-minute freezes, 100 ms bank links, deliver unpaid mail,
-    auto-ack on. *)
+    auto-ack on; reliable bank links, 5 s initial retry timeout
+    doubling up to a 900 s cap. *)
 
 type t
 
@@ -78,6 +98,7 @@ val locate : t -> Smtp.Address.t -> (int * int) option
 type send_result =
   | Submitted of [ `Paid | `Free ]
   | Deferred_snapshot  (** Buffered; will be submitted at thaw. *)
+  | Failed_down  (** The sender's own ISP is crashed; nothing queued. *)
   | Rejected of Ledger.block
 
 val send_email :
@@ -103,8 +124,23 @@ val post_to_list : t -> Listserv.t -> body:string -> int
 (** {1 Protocol operations} *)
 
 val trigger_audit : t -> unit
-(** Start a §4.4 audit now.
+(** Start a §4.4 audit now (requests go over the faulty link with
+    retransmission, like periodic audits).
     @raise Invalid_argument if one is already running. *)
+
+val crash_isp : t -> isp:int -> downtime:float -> unit
+(** Halt ISP [isp] now and restart it after [downtime] seconds.  While
+    down: its MTA answers 421 (peers retry, then bounce — bounced paid
+    mail is refunded), bank messages addressed to it are lost, local
+    submissions return {!Failed_down}, and any snapshot freeze is
+    abandoned.  Recovery restarts the kernel from durable state
+    ({!Isp.recover}): ledger, credit records and pending bank requests
+    survive; outstanding exchanges re-converge by retransmission.
+    @raise Invalid_argument for a non-compliant index, a non-positive
+    [downtime], or an ISP that is already down. *)
+
+val isp_up : t -> int -> bool
+(** False between {!crash_isp} and the scheduled recovery. *)
 
 val audit_results : t -> Bank.audit_result list
 (** Completed audits, oldest first. *)
@@ -150,6 +186,29 @@ type counters = {
 
 val counters : t -> counters
 
+(** Bank-link reliability and crash bookkeeping, complementing the
+    per-fault counters of {!Sim.Fault.counters}. *)
+type link_stats = {
+  retransmits : Sim.Stats.Counter.t;
+      (** Bank exchanges resent after a timeout. *)
+  bank_rejects : Sim.Stats.Counter.t;
+      (** ISP-origin messages the bank refused (corruption, forgery,
+          out-of-protocol duplicates). *)
+  lost_isp_down : Sim.Stats.Counter.t;
+      (** Bank-origin messages that arrived at a crashed ISP. *)
+  sends_failed_down : Sim.Stats.Counter.t;
+      (** User submissions refused because their ISP was down. *)
+  crashes : Sim.Stats.Counter.t;
+  recoveries : Sim.Stats.Counter.t;
+  bounce_refunds : Sim.Stats.Counter.t;
+      (** E-pennies refunded out of bounced paid mail. *)
+}
+
+val link_stats : t -> link_stats
+
+val fault : t -> Sim.Fault.t
+(** The bank-link fault injector (for its counters). *)
+
 val deferral_delay : t -> Sim.Stats.Summary.t
 (** Seconds each snapshot-deferred message waited before submission. *)
 
@@ -159,6 +218,15 @@ val conservation_holds : t -> bool
     false only if the implementation leaked or minted money.  Note:
     transiently false while paid mail or bank replies are in flight;
     check at quiescence or between bursts. *)
+
+val epenny_residue : t -> Epenny.amount
+(** Σ compliant-ISP e-pennies − initial issue − bank outstanding.
+    Zero when {!conservation_holds}; at quiescence it equals
+    {!cheat_minted} exactly — cheat-minted pennies are the only
+    un-backed money in the system, whatever the link did. *)
+
+val cheat_minted : t -> Epenny.amount
+(** Total e-pennies minted by [Fake_receives] cheats across all ISPs. *)
 
 val balance_drift : t -> isp:int -> user:int -> int
 (** Current balance minus initial balance for one user. *)

@@ -184,6 +184,59 @@ let wire_decode_total =
     (fun s ->
       match Zmail.Wire.decode s with Ok _ | Error _ -> true)
 
+let wire_payload_gen =
+  QCheck.Gen.(
+    let nonce = map Int64.of_int small_nat in
+    oneof
+      [
+        map2 (fun amount nonce -> Zmail.Wire.Buy { amount; nonce }) small_nat nonce;
+        map2 (fun nonce accepted -> Zmail.Wire.Buy_reply { nonce; accepted }) nonce bool;
+        map2 (fun amount nonce -> Zmail.Wire.Sell { amount; nonce }) small_nat nonce;
+        map (fun nonce -> Zmail.Wire.Sell_reply { nonce }) nonce;
+        map (fun seq -> Zmail.Wire.Audit_request { seq }) small_nat;
+        map3
+          (fun isp seq credit ->
+            Zmail.Wire.Audit_reply { isp; seq; credit = Array.of_list credit })
+          small_nat small_nat
+          (* Always ≥ 1 cell: an audit reply carries one per ISP. *)
+          (list_size (int_range 1 8) int);
+      ])
+
+let wire_round_trip =
+  QCheck.Test.make ~name:"wire: encode |> decode is the identity" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Zmail.Wire.pp_payload) wire_payload_gen)
+    (fun payload ->
+      match Zmail.Wire.decode (Zmail.Wire.encode payload) with
+      | Ok decoded -> Zmail.Wire.equal_payload payload decoded
+      | Error _ -> false)
+
+let wire_byte_flip_never_raises =
+  (* The link's corruptor flips one byte of an encoded payload.  The
+     codec must stay total: whatever comes back is Ok or Error, never
+     an exception — the fault layer relies on this. *)
+  QCheck.Test.make ~name:"wire: single byte flips never raise" ~count:500
+    (QCheck.make
+       QCheck.Gen.(triple wire_payload_gen small_nat (int_range 1 255)))
+    (fun (payload, pos, mask) ->
+      let encoded = Bytes.of_string (Zmail.Wire.encode payload) in
+      let pos = pos mod Bytes.length encoded in
+      Bytes.set encoded pos
+        (Char.chr (Char.code (Bytes.get encoded pos) lxor mask));
+      match Zmail.Wire.decode (Bytes.to_string encoded) with
+      | Ok _ | Error _ -> true)
+
+let wire_tag_corruption_detected =
+  (* Corrupting the leading tag token cannot decode successfully: the
+     tag set is closed, so a flipped tag is a parse error. *)
+  QCheck.Test.make ~name:"wire: corrupted tag token is rejected" ~count:500
+    (QCheck.make QCheck.Gen.(pair wire_payload_gen (int_range 1 255)))
+    (fun (payload, mask) ->
+      let encoded = Bytes.of_string (Zmail.Wire.encode payload) in
+      Bytes.set encoded 0 (Char.chr (Char.code (Bytes.get encoded 0) lxor mask));
+      match Zmail.Wire.decode (Bytes.to_string encoded) with
+      | Ok decoded -> Zmail.Wire.equal_payload payload decoded = false
+      | Error _ -> true)
+
 let command_decode_total =
   QCheck.Test.make ~name:"smtp command decode: total on arbitrary strings"
     ~count:500 QCheck.string
@@ -338,7 +391,13 @@ let () =
           qtest reply_decode_total;
           qtest message_parse_total;
         ] );
-      ("wire", [ qtest wire_decode_total ]);
+      ( "wire",
+        [
+          qtest wire_decode_total;
+          qtest wire_round_trip;
+          qtest wire_byte_flip_never_raises;
+          qtest wire_tag_corruption_detected;
+        ] );
       ("seal", [ qtest seal_corruption_detected ]);
       ("engine", [ qtest engine_ordering ]);
       ("exploration", [ qtest ap_spec_random_configs ]);

@@ -396,6 +396,220 @@ let test_soak_week_with_audits () =
   (* The bulk sender was throttled by the daily limit. *)
   Alcotest.(check bool) "bulk sender throttled" true (c.Zmail.World.blocked_limit > 1_000)
 
+(* ------------------------------------------------------------------ *)
+(* Unreliable bank links, crashes, recovery                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Force §4.3 pool activity: start below [minavail] so the first pool
+   check emits a Buy over the (faulty) bank link. *)
+let pool_hungry k =
+  { k with Zmail.Isp.initial_avail = 100; minavail = 200; maxavail = 100_000 }
+
+let test_faulty_link_converges () =
+  let plan =
+    Sim.Fault.plan ~drop:0.2 ~duplicate:0.2 ~delay_prob:0.2 ~delay_max:3.
+      ~corrupt:0.1 ()
+  in
+  let w =
+    make
+      ~f:(fun c ->
+        {
+          c with
+          Zmail.World.bank_fault = plan;
+          audit_period = Some (6. *. Sim.Engine.hour);
+          customize_isp = (fun _ k -> pool_hungry k);
+        })
+      ()
+  in
+  for u = 0 to 3 do
+    ignore (Zmail.World.send_email w ~from:(0, u) ~to_:(1, u) ());
+    ignore (Zmail.World.send_email w ~from:(1, u) ~to_:(0, u) ())
+  done;
+  Zmail.World.run_days w 1.01;
+  Zmail.World.run_until_quiet w;
+  (* The link really misbehaved... *)
+  let f = Zmail.World.fault w in
+  Alcotest.(check bool) "faults injected" true
+    (Sim.Fault.dropped f + Sim.Fault.duplicated f + Sim.Fault.corrupted f > 0);
+  (* ...yet retransmission converged every exchange: no money leaked,
+     every audit round ran to completion with nobody falsely accused. *)
+  Alcotest.(check bool) "conservation" true (Zmail.World.conservation_holds w);
+  Alcotest.(check bool) "audits completed" true
+    (List.length (Zmail.World.audit_results w) >= 3);
+  List.iter
+    (fun (r : Zmail.Bank.audit_result) ->
+      Alcotest.(check (list int)) "no false accusations" [] r.Zmail.Bank.suspects)
+    (Zmail.World.audit_results w)
+
+let test_duplicated_buy_reply_pins_e11 () =
+  (* Every bank message is duplicated in transit.  The hardened kernel
+     absorbs the second Buy_reply; the paper-literal kernel re-applies
+     it and mints pool e-pennies out of thin air — the E11 deviation,
+     pinned here through the fault layer. *)
+  let run hardened =
+    let w =
+      make
+        ~f:(fun c ->
+          {
+            c with
+            Zmail.World.bank_fault = Sim.Fault.plan ~duplicate:1.0 ();
+            customize_isp =
+              (fun _ k ->
+                { (pool_hungry k) with Zmail.Isp.replay_hardening = hardened });
+          })
+        ()
+    in
+    Zmail.World.run_days w 0.2;
+    Zmail.World.run_until_quiet w;
+    (Zmail.World.epenny_residue w, Sim.Fault.duplicated (Zmail.World.fault w))
+  in
+  let residue_hard, dups_hard = run true in
+  let residue_ablated, dups_ablated = run false in
+  Alcotest.(check bool) "duplicates flowed" true (dups_hard > 0 && dups_ablated > 0);
+  Alcotest.(check int) "hardened kernel absorbs duplicates" 0 residue_hard;
+  Alcotest.(check bool) "ablated kernel double-applies" true (residue_ablated > 0)
+
+let test_crash_and_recovery () =
+  let w = make () in
+  Zmail.World.crash_isp w ~isp:1 ~downtime:600.;
+  Alcotest.(check bool) "down" false (Zmail.World.isp_up w 1);
+  (match Zmail.World.send_email w ~from:(1, 0) ~to_:(0, 0) () with
+  | Zmail.World.Failed_down -> ()
+  | _ -> Alcotest.fail "expected Failed_down from a crashed ISP");
+  (* Paid mail INTO the crashed ISP: the origin MTA retries (60 s then
+     120 s), exhausts its attempts before the 600 s recovery and
+     bounces — and the bounce hook refunds the sender's e-penny. *)
+  (match Zmail.World.send_email w ~from:(0, 0) ~to_:(1, 0) () with
+  | Zmail.World.Submitted `Paid -> ()
+  | _ -> Alcotest.fail "expected a paid submission");
+  Zmail.World.run_until_quiet w;
+  Alcotest.(check bool) "recovered" true (Zmail.World.isp_up w 1);
+  let link = Zmail.World.link_stats w in
+  let v c = Sim.Stats.Counter.value c in
+  Alcotest.(check int) "one crash" 1 (v link.Zmail.World.crashes);
+  Alcotest.(check int) "one recovery" 1 (v link.Zmail.World.recoveries);
+  Alcotest.(check int) "down submission counted" 1 (v link.Zmail.World.sends_failed_down);
+  Alcotest.(check int) "bounced payment refunded" 1 (v link.Zmail.World.bounce_refunds);
+  Alcotest.(check int) "sender made whole" 100 (balance w ~isp:0 ~user:0);
+  Alcotest.(check bool) "conservation" true (Zmail.World.conservation_holds w);
+  (* The recovered ISP sends and receives again. *)
+  (match Zmail.World.send_email w ~from:(1, 0) ~to_:(0, 1) () with
+  | Zmail.World.Submitted `Paid -> ()
+  | _ -> Alcotest.fail "expected a paid send after recovery");
+  Zmail.World.run_until_quiet w;
+  Alcotest.(check int) "delivered after recovery" 101 (balance w ~isp:0 ~user:1);
+  Alcotest.(check bool) "conservation after recovery" true
+    (Zmail.World.conservation_holds w)
+
+let test_crash_mid_freeze_audit_completes () =
+  (* Crash an ISP inside its snapshot freeze: the thaw timer is
+     abandoned, the bank retransmits the audit request after the
+     timeout, the recovered ISP re-freezes, and the audit completes. *)
+  let w = make () in
+  Zmail.World.trigger_audit w;
+  Sim.Engine.run ~until:1. (Zmail.World.engine w);
+  Alcotest.(check bool) "frozen" true (Zmail.Isp.frozen (Zmail.World.isp w 0));
+  Zmail.World.crash_isp w ~isp:0 ~downtime:120.;
+  Zmail.World.run_until_quiet w;
+  Alcotest.(check bool) "thawed" false (Zmail.Isp.frozen (Zmail.World.isp w 0));
+  Alcotest.(check bool) "request retransmitted" true
+    (Sim.Stats.Counter.value (Zmail.World.link_stats w).Zmail.World.retransmits > 0);
+  match Zmail.World.audit_results w with
+  | [ r ] ->
+      Alcotest.(check int) "audit completed clean" 0
+        (List.length r.Zmail.Bank.violations)
+  | l -> Alcotest.failf "expected 1 audit, got %d" (List.length l)
+
+let test_crash_spanning_audit_epochs () =
+  (* The distributed-snapshot hazard: an ISP that is down when an audit
+     round starts snapshots later than its peers, so mail its
+     already-thawed peers send meanwhile crosses the epoch boundary.
+     The recovery handshake (re-issued audit request before the ISP
+     reopens) plus the epoch stamp on paid mail (early receives are
+     buffered for the next billing period) must keep every round clean
+     — without them the §4.4 check falsely accuses the crashed ISP. *)
+  let w = make () in
+  let engine = Zmail.World.engine w in
+  Zmail.World.crash_isp w ~isp:0 ~downtime:1200.;
+  Zmail.World.trigger_audit w;
+  Sim.Engine.run ~until:1150. engine;
+  Alcotest.(check int) "peer thawed into epoch 1" 1
+    (Zmail.Isp.audit_seq (Zmail.World.isp w 1));
+  (* Paid mail from the thawed peer toward the still-down ISP: the MTA
+     retry lands it just after recovery, while ISP 0 is re-frozen for
+     the still-open round and still in epoch 0. *)
+  (match Zmail.World.send_email w ~from:(1, 0) ~to_:(0, 0) () with
+  | Zmail.World.Submitted `Paid -> ()
+  | _ -> Alcotest.fail "expected a paid send");
+  Sim.Engine.run ~until:1300. engine;
+  Alcotest.(check bool) "handshake re-froze the recovered ISP" true
+    (Zmail.Isp.frozen (Zmail.World.isp w 0));
+  Alcotest.(check int) "cross-epoch receive buffered" 1
+    (Zmail.Isp.early_receives (Zmail.World.isp w 0));
+  Zmail.World.run_until_quiet w;
+  Alcotest.(check int) "delivered" 101 (balance w ~isp:0 ~user:0);
+  (* The buffered receive surfaces in the next period, matching the
+     sender's epoch-1 record: both rounds verify clean. *)
+  Zmail.World.trigger_audit w;
+  Zmail.World.run_until_quiet w;
+  let audits = Zmail.World.audit_results w in
+  Alcotest.(check int) "both audits completed" 2 (List.length audits);
+  List.iter
+    (fun (r : Zmail.Bank.audit_result) ->
+      Alcotest.(check (list int)) "no false accusations" [] r.Zmail.Bank.suspects)
+    audits;
+  Alcotest.(check bool) "conservation" true (Zmail.World.conservation_holds w)
+
+let test_determinism_under_faults () =
+  (* Same seed + same fault plan ⇒ byte-identical metric summaries,
+     including the fault and retransmission counters: faults draw from
+     their own seeded stream, so chaos is replayable. *)
+  let summary w =
+    let c = Zmail.World.counters w in
+    let f = Zmail.World.fault w in
+    let link = Zmail.World.link_stats w in
+    let v x = Sim.Stats.Counter.value x in
+    Printf.sprintf
+      "ham=%d spam=%d blocked=%d/%d deferred=%d acks=%d \
+       faults:s=%d,del=%d,dr=%d,dup=%d,lat=%d,cor=%d,out=%d \
+       link:retx=%d,rej=%d epennies:total=%d,out=%d b00=%d b17=%d"
+      c.Zmail.World.ham_delivered c.Zmail.World.spam_delivered
+      c.Zmail.World.blocked_balance c.Zmail.World.blocked_limit
+      c.Zmail.World.deferred_sends c.Zmail.World.acks_generated
+      (Sim.Fault.sent f) (Sim.Fault.delivered f) (Sim.Fault.dropped f)
+      (Sim.Fault.duplicated f) (Sim.Fault.delayed f) (Sim.Fault.corrupted f)
+      (Sim.Fault.outage_dropped f)
+      (v link.Zmail.World.retransmits) (v link.Zmail.World.bank_rejects)
+      (Zmail.Isp.total_epennies (Zmail.World.isp w 0)
+      + Zmail.Isp.total_epennies (Zmail.World.isp w 1))
+      (Zmail.Bank.outstanding_epennies (Zmail.World.bank w))
+      (balance w ~isp:0 ~user:0) (balance w ~isp:1 ~user:7)
+  in
+  let run () =
+    let w =
+      make ~n_isps:2 ~users:10
+        ~f:(fun c ->
+          {
+            c with
+            Zmail.World.seed = 42;
+            audit_period = Some (6. *. Sim.Engine.hour);
+            customize_isp = (fun _ k -> pool_hungry k);
+            bank_fault =
+              Sim.Fault.plan ~drop:0.1 ~duplicate:0.1 ~delay_prob:0.1
+                ~delay_max:2. ~corrupt:0.05
+                ~outages:[ (10. *. Sim.Engine.hour, 11. *. Sim.Engine.hour) ]
+                ();
+          })
+        ()
+    in
+    Zmail.World.attach_user_traffic w ();
+    Zmail.World.run_days w 2.;
+    summary w
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check string) "identical summaries" a b
+
 let test_world_validation () =
   Alcotest.(check bool) "bad compliance map" true
     (try
@@ -457,6 +671,19 @@ let () =
         [
           Alcotest.test_case "validation and lookup" `Quick test_world_validation;
           Alcotest.test_case "threading headers" `Quick test_threading_headers;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "faulty link converges" `Slow test_faulty_link_converges;
+          Alcotest.test_case "duplicated buy reply pins e11" `Quick
+            test_duplicated_buy_reply_pins_e11;
+          Alcotest.test_case "crash and recovery" `Quick test_crash_and_recovery;
+          Alcotest.test_case "crash mid-freeze" `Quick
+            test_crash_mid_freeze_audit_completes;
+          Alcotest.test_case "crash spanning audit epochs" `Quick
+            test_crash_spanning_audit_epochs;
+          Alcotest.test_case "determinism under faults" `Slow
+            test_determinism_under_faults;
         ] );
       ( "soak",
         [ Alcotest.test_case "a week with audits" `Slow test_soak_week_with_audits ] );
