@@ -5,7 +5,11 @@
                          E12 micro-benchmarks
      main.exe e7         run one experiment
      main.exe micro      run only the micro-benchmarks
-     main.exe list       list experiments *)
+     main.exe list       list experiments
+
+   Flags (experiment runs): --metrics appends each instrumented
+   experiment's metric-registry table; --trace FILE records the event
+   trace and writes it out (--trace-format jsonl|chrome). *)
 
 (* ------------------------------------------------------------------ *)
 (* E12: micro-benchmarks of the protocol plumbing                      *)
@@ -192,19 +196,61 @@ let list_experiments () =
     Harness.Experiments.all;
   print_endline "micro (E12: protocol micro-benchmarks)"
 
+let usage =
+  "usage: main.exe [e1..e16|micro|list] [--metrics] [--trace FILE] \
+   [--trace-format jsonl|chrome]"
+
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] ->
-      Harness.Experiments.run_all ();
-      run_micro ()
-  | [ _; "micro" ] -> run_micro ()
-  | [ _; "list" ] -> list_experiments ()
-  | [ _; id ] -> (
-      match Harness.Experiments.run_one id with
-      | Ok () -> ()
+  let trace = ref None in
+  let trace_format = ref `Jsonl in
+  let metrics = ref false in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--trace" :: path :: rest ->
+        trace := Some path;
+        parse rest
+    | "--trace-format" :: fmt :: rest ->
+        (match fmt with
+        | "jsonl" -> trace_format := `Jsonl
+        | "chrome" -> trace_format := `Chrome
+        | _ ->
+            prerr_endline usage;
+            exit 1);
+        parse rest
+    | "--metrics" :: rest ->
+        metrics := true;
+        parse rest
+    | arg :: rest ->
+        positional := arg :: !positional;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let tracer =
+    match !trace with
+    | Some _ -> Some (Obs.Trace.create ~capacity:262_144 ())
+    | None -> None
+  in
+  let obs = { Obs.Run.tracer; metrics = !metrics } in
+  let export () =
+    match (!trace, tracer) with
+    | Some path, Some tr ->
+        Obs.Export.write_file ~path ~format:!trace_format (Obs.Trace.events tr)
+    | _ -> ()
+  in
+  match List.rev !positional with
+  | [] ->
+      Harness.Experiments.run_all ~obs ();
+      run_micro ();
+      export ()
+  | [ "micro" ] -> run_micro ()
+  | [ "list" ] -> list_experiments ()
+  | [ id ] -> (
+      match Harness.Experiments.run_one ~obs id with
+      | Ok () -> export ()
       | Error message ->
           prerr_endline message;
           exit 1)
   | _ ->
-      prerr_endline "usage: main.exe [e1..e16|micro|list]";
+      prerr_endline usage;
       exit 1

@@ -4,13 +4,63 @@
      experiment   run one reproduction experiment (or all of them)
      demo         simulate a small Zmail world and print a summary
      explore      exhaustively check the Section-4 protocol spec
-     claims       list the paper claims each experiment reproduces *)
+     claims       list the paper claims each experiment reproduces
+
+   An experiment id can also be given directly (`zmail-sim e16`), which
+   is shorthand for `zmail-sim experiment e16`. *)
 
 open Cmdliner
 
 let seed_arg =
   let doc = "Seed for all randomness (experiments are deterministic per seed)." in
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record the experiment's event trace and write it to $(docv) at exit."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace file format: $(b,jsonl) (one JSON object per event) or \
+     $(b,chrome) (Chrome trace_event JSON, loadable in Perfetto / \
+     chrome://tracing)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let metrics_arg =
+  let doc = "Append the metric-registry table to the experiment output." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Shared by the `experiment` subcommand and the default command. *)
+let run_experiments id seed trace trace_format metrics =
+  let tracer =
+    match trace with
+    (* A generous ring: full traces for every experiment here; a long
+       organic run keeps its most recent window (dropped count shown). *)
+    | Some _ -> Some (Obs.Trace.create ~capacity:262_144 ())
+    | None -> None
+  in
+  let obs = { Obs.Run.tracer; metrics } in
+  let result =
+    if String.lowercase_ascii id = "all" then begin
+      Harness.Experiments.run_all ~seed ~obs ();
+      Ok ()
+    end
+    else Harness.Experiments.run_one ~seed ~obs id
+  in
+  (match (result, trace, tracer) with
+  | Ok (), Some path, Some tr ->
+      let events = Obs.Trace.events tr in
+      Obs.Export.write_file ~path ~format:trace_format events;
+      Format.printf "trace: %d events written to %s (%d emitted, %d evicted)@."
+        (List.length events) path (Obs.Trace.emitted tr) (Obs.Trace.dropped tr)
+  | _ -> ());
+  result
 
 let verbosity_arg =
   let doc = "Log protocol events ($(docv) = info or debug)." in
@@ -38,14 +88,12 @@ let experiment_cmd =
     let doc = "Experiment id: e1..e16, or 'all'." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
-  let run id seed =
-    if String.lowercase_ascii id = "all" then begin
-      Harness.Experiments.run_all ~seed ();
-      Ok ()
-    end
-    else Harness.Experiments.run_one ~seed id
+  let term =
+    Term.(
+      term_result'
+        (const run_experiments $ id_arg $ seed_arg $ trace_arg
+        $ trace_format_arg $ metrics_arg))
   in
-  let term = Term.(term_result' (const run $ id_arg $ seed_arg)) in
   let doc = "Run a reproduction experiment and print its table(s)" in
   Cmd.v (Cmd.info "experiment" ~doc) term
 
@@ -171,7 +219,26 @@ let claims_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+(* A bare experiment id (`zmail-sim e16 --trace t.json`) is shorthand
+   for `zmail-sim experiment e16 ...`: rewrite argv before cmdliner
+   sees it.  [Cmd.group] treats an unrecognised first positional as an
+   unknown-command error rather than falling through to a default
+   term, so the rewrite has to happen up front. *)
+let argv =
+  let argv = Sys.argv in
+  if Array.length argv > 1 then
+    let first = String.lowercase_ascii argv.(1) in
+    let is_experiment_id =
+      first = "all" || Option.is_some (Harness.Experiments.find first)
+    in
+    if is_experiment_id then
+      Array.concat [ [| argv.(0); "experiment" |]; Array.sub argv 1 (Array.length argv - 1) ]
+    else argv
+  else argv
+
 let () =
   let doc = "Zmail: zero-sum free market control of spam (ICDCS 2005) — reproduction" in
   let info = Cmd.info "zmail-sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiment_cmd; demo_cmd; explore_cmd; claims_cmd ]))
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group info [ experiment_cmd; demo_cmd; explore_cmd; claims_cmd ]))

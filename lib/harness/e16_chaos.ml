@@ -65,7 +65,7 @@ type outcome = {
   residue : int;
 }
 
-let run_scenario ~seed sc =
+let run_scenario ~tracer ~seed sc =
   let world =
     Zmail.World.create
       {
@@ -73,13 +73,32 @@ let run_scenario ~seed sc =
         Zmail.World.seed;
         audit_period = Some (6. *. hour);
         bank_fault = sc.plan;
+        tracer = Some tracer;
         customize_isp =
           (fun i cfg ->
+            (* Lean pools so the §4.3 buy/sell exchanges fire under the
+               chaos: every ISP starts below minavail (first hourly pool
+               check issues a Buy), and ISP 2's tight band makes the
+               post-buy surplus trigger a Sell — live traffic for the
+               exactly-once checker to watch across drops, duplicates
+               and crash-recovery retransmits. *)
+            let cfg =
+              {
+                cfg with
+                Zmail.Isp.initial_avail = 150;
+                minavail = 200;
+                buy_amount = 300;
+                maxavail = (if i = 2 then 400 else cfg.Zmail.Isp.maxavail);
+              }
+            in
             if i = 1 then
               { cfg with Zmail.Isp.cheat = Zmail.Isp.Fake_receives fake_receives_per_day }
             else cfg);
       }
   in
+  (* The online checkers watch the whole run; the honest mask computed
+     by the world already excludes the resident cheater (ISP 1). *)
+  let checkers = Zmail.World.attach_invariants world in
   let engine = Zmail.World.engine world in
   (* A finite, deterministic workload (so the run drains to quiescence
      and the zero-sum check sees no mail in flight): every user sends
@@ -109,8 +128,25 @@ let run_scenario ~seed sc =
         (Sim.Engine.schedule_after engine ~delay:at (fun () ->
              Zmail.World.crash_isp world ~isp ~downtime)))
     sc.crashes;
-  Zmail.World.run_days world (days +. 0.5);
-  Zmail.World.run_until_quiet world;
+  (try
+     Zmail.World.run_days world (days +. 0.5);
+     Zmail.World.run_until_quiet world;
+     (* Drained: every paid message settled or was refunded, so the
+        checkers may also demand zero credits in flight. *)
+     Zmail.World.check_invariants ~quiescent:true world
+   with Obs.Invariant.Violation v ->
+     (* Fail loudly with the ring-buffer context — the whole point of
+        tracing the chaos run — then let the failure propagate. *)
+     Format.eprintf "%a@." Obs.Invariant.pp_violation v;
+     raise (Obs.Invariant.Violation v));
+  List.iter
+    (fun c ->
+      if Obs.Invariant.checks c = 0 then
+        failwith ("E16: checker " ^ Obs.Invariant.name c ^ " never ran");
+      (* Scenarios share the tracer; a checker left attached would see
+         the next scenario's events against this scenario's model. *)
+      Obs.Invariant.detach c)
+    checkers;
   let c = Zmail.World.counters world in
   let fault = Zmail.World.fault world in
   let link = Zmail.World.link_stats world in
@@ -127,7 +163,7 @@ let run_scenario ~seed sc =
         acc + List.length (List.filter (fun s -> s <> 1) r.Zmail.Bank.suspects))
       0 audits
   in
-  {
+  ( {
     attempts = !attempts;
     delivered = c.Zmail.World.ham_delivered;
     refunds = v link.Zmail.World.bounce_refunds;
@@ -145,12 +181,25 @@ let run_scenario ~seed sc =
     false_accusations;
     minted = Zmail.World.cheat_minted world;
     residue = Zmail.World.epenny_residue world;
-  }
+  },
+    Obs.Metrics.to_table (Zmail.World.metrics world) )
 
-let run ?(seed = 16) () =
+let run ?obs ?(seed = 16) () =
+  let obs = Option.value obs ~default:Obs.Run.none in
+  (* Chaos runs always trace: with no front-end tracer the events go
+     into a small private ring whose tail is dumped on violation. *)
+  let tracer = Obs.Run.tracer_or obs ~capacity:512 in
   let outcomes =
-    List.mapi (fun k sc -> (sc, run_scenario ~seed:(seed + k) sc)) scenarios
+    List.mapi
+      (fun k sc -> (sc, run_scenario ~tracer ~seed:(seed + k) sc))
+      scenarios
   in
+  let metrics_table =
+    match List.rev outcomes with
+    | (_, (_, m)) :: _ -> m
+    | [] -> assert false
+  in
+  let outcomes = List.map (fun (sc, (o, _)) -> (sc, o)) outcomes in
   let faults =
     Sim.Table.create
       ~title:
@@ -226,4 +275,5 @@ let run ?(seed = 16) () =
           (if o.residue = o.minted then "yes" else "NO");
         ])
     outcomes;
-  [ faults; invariants ]
+  if obs.Obs.Run.metrics then [ faults; invariants; metrics_table ]
+  else [ faults; invariants ]

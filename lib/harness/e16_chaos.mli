@@ -7,6 +7,13 @@
     every per-fault counter, and the protocol invariants — the E2
     zero-sum residue equals exactly what the cheat minted, the §4.4
     audit still flags the cheater (and nobody else), whatever the link
-    did. *)
+    did.
 
-val run : ?seed:int -> unit -> Sim.Table.t list
+    Every scenario is traced — into [obs]'s shared tracer when the
+    front end supplies one (for [--trace] export), otherwise into a
+    small private ring — and the three online checkers of
+    {!Obs.Invariant} (zero-sum, credit antisymmetry, exactly-once
+    buy/sell) watch the stream; a violation aborts the scenario with
+    the offending event and the last traced events on stderr. *)
+
+val run : ?obs:Obs.Run.t -> ?seed:int -> unit -> Sim.Table.t list

@@ -1,11 +1,23 @@
-let run ?(seed = 2) ?(days = 21.) ?(isps = 4) ?(users_per_isp = 100) () =
+let run ?obs ?(seed = 2) ?(days = 21.) ?(isps = 4) ?(users_per_isp = 100) () =
+  let obs = Option.value obs ~default:Obs.Run.none in
   let world =
     Zmail.World.create
       { (Zmail.World.default_config ~n_isps:isps ~users_per_isp) with
-        Zmail.World.seed }
+        Zmail.World.seed;
+        tracer = obs.Obs.Run.tracer }
   in
+  let checkers = Zmail.World.attach_invariants world in
   Zmail.World.attach_user_traffic world ();
   Zmail.World.run_days world days;
+  (* Final checkpoint (non-quiescent: organic traffic never drains). *)
+  Zmail.World.check_invariants world;
+  List.iter
+    (fun c ->
+      if
+        Obs.Invariant.name c <> "exactly-once"
+        && Obs.Invariant.checks c = 0
+      then failwith ("E2: checker " ^ Obs.Invariant.name c ^ " never ran"))
+    checkers;
   (* Aggregate drift per behavioural profile. *)
   let by_profile = Hashtbl.create 8 in
   for i = 0 to isps - 1 do
@@ -71,4 +83,6 @@ let run ?(seed = 2) ?(days = 21.) ?(isps = 4) ?(users_per_isp = 100) () =
       Sim.Table.cell_int c.Zmail.World.blocked_limit;
       Printf.sprintf "%d (in-flight mail)" residue;
     ];
-  [ table; totals ]
+  if obs.Obs.Run.metrics then
+    [ table; totals; Obs.Metrics.to_table (Zmail.World.metrics world) ]
+  else [ table; totals ]

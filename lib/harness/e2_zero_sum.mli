@@ -6,6 +6,13 @@
 
     Runs a multi-ISP world of profiled users for several simulated
     weeks and reports per-profile balance drift and the buffering the
-    heaviest senders needed. *)
+    heaviest senders needed.
 
-val run : ?seed:int -> ?days:float -> ?isps:int -> ?users_per_isp:int -> unit -> Sim.Table.t list
+    The zero-sum and credit-antisymmetry checkers
+    ({!Obs.Invariant}) observe the whole run through the world's
+    tracer; a conservation break fails the experiment at the offending
+    event rather than skewing the final table. *)
+
+val run :
+  ?obs:Obs.Run.t -> ?seed:int -> ?days:float -> ?isps:int ->
+  ?users_per_isp:int -> unit -> Sim.Table.t list

@@ -39,13 +39,14 @@ let score ~truth ~accused ~n =
   ignore n;
   (tp, fp, precision, recall)
 
-let run_scenario ~seed scenario =
+let run_scenario ~obs ~seed scenario =
   let n_isps = 8 in
   let world =
     Zmail.World.create
       {
         (Zmail.World.default_config ~n_isps ~users_per_isp:10) with
         Zmail.World.seed;
+        tracer = obs.Obs.Run.tracer;
         customize_isp =
           (fun i cfg ->
             match List.assoc_opt i scenario.cheats with
@@ -53,11 +54,24 @@ let run_scenario ~seed scenario =
             | None -> cfg);
       }
   in
+  (* The honest mask excludes this scenario's cheaters, whose books are
+     supposed to disagree — the audit detecting them is the claim. *)
+  let checkers = Zmail.World.attach_invariants world in
   Zmail.World.attach_user_traffic world ();
   Zmail.World.run_days world 3.;
   Zmail.World.trigger_audit world;
   (* Let the audit (requests, 10-minute freezes, replies) finish. *)
   Zmail.World.run_days world 0.1;
+  List.iter
+    (fun c ->
+      if
+        Obs.Invariant.name c <> "exactly-once"
+        && Obs.Invariant.checks c = 0
+      then failwith ("E3: checker " ^ Obs.Invariant.name c ^ " never ran");
+      (* Scenarios may share the front end's tracer; detach so the next
+         scenario's events do not feed this scenario's models. *)
+      Obs.Invariant.detach c)
+    checkers;
   match Zmail.World.audit_results world with
   | [ result ] ->
       let truth = List.map fst scenario.cheats in
@@ -71,7 +85,8 @@ let run_scenario ~seed scenario =
         recall )
   | results -> failwith (Printf.sprintf "expected one audit, got %d" (List.length results))
 
-let run ?(seed = 3) () =
+let run ?obs ?(seed = 3) () =
+  let obs = Option.value obs ~default:Obs.Run.none in
   let table =
     Sim.Table.create
       ~title:
@@ -91,7 +106,7 @@ let run ?(seed = 3) () =
   List.iteri
     (fun k scenario ->
       let violations, accused, tp, fp, precision, recall =
-        run_scenario ~seed:(seed + k) scenario
+        run_scenario ~obs ~seed:(seed + k) scenario
       in
       Sim.Table.add_row table
         [

@@ -7,4 +7,4 @@
     into an otherwise honest world, runs traffic and an audit, and
     scores the bank's accusations against ground truth. *)
 
-val run : ?seed:int -> unit -> Sim.Table.t list
+val run : ?obs:Obs.Run.t -> ?seed:int -> unit -> Sim.Table.t list

@@ -3,21 +3,32 @@
 
 let spam_fraction = 0.6
 
-let zmail_side ~seed =
+let zmail_side ~obs ~seed =
   let world =
     Zmail.World.create
       {
         (Zmail.World.default_config ~n_isps:2 ~users_per_isp:60) with
         Zmail.World.seed;
         audit_period = Some Sim.Engine.day;
+        tracer = obs.Obs.Run.tracer;
         customize_isp = (fun _ c -> { c with Zmail.Isp.daily_limit = 100_000 });
       }
   in
+  let checkers = Zmail.World.attach_invariants world in
   Zmail.World.attach_user_traffic world ();
   (* Bulk senders supply the spam share. *)
   Zmail.World.attach_bulk_sender world ~isp:0 ~user:0 ~per_day:800. ();
   Zmail.World.attach_bulk_sender world ~isp:1 ~user:0 ~per_day:800. ();
   Zmail.World.run_days world 1.05;
+  Zmail.World.check_invariants world;
+  List.iter
+    (fun c ->
+      if
+        Obs.Invariant.name c <> "exactly-once"
+        && Obs.Invariant.checks c = 0
+      then failwith ("E4: checker " ^ Obs.Invariant.name c ^ " never ran");
+      Obs.Invariant.detach c)
+    checkers;
   let c = Zmail.World.counters world in
   let delivered = c.Zmail.World.ham_delivered + c.Zmail.World.spam_delivered in
   let bank_stats = Zmail.Bank.stats (Zmail.World.bank world) in
@@ -35,7 +46,8 @@ let zmail_side ~seed =
       (Zmail.Wire.Audit_reply { isp = 0; seq = 0; credit = Array.make 2 0 })
   in
   let settlement_bytes = settlement_msgs * Toycrypto.Seal.size_bytes sample in
-  (delivered, ledger_ops, settlement_msgs, settlement_bytes, 0., 0.)
+  ( (delivered, ledger_ops, settlement_msgs, settlement_bytes, 0., 0.),
+    Obs.Metrics.to_table (Zmail.World.metrics world) )
 
 let shred_side ~seed ~messages =
   let rng = Sim.Rng.create seed in
@@ -58,8 +70,11 @@ let shred_side ~seed ~messages =
     t.Baselines.Shred.human_seconds,
     t.Baselines.Shred.isp_processing_cost_cents /. 100. )
 
-let run ?(seed = 4) () =
-  let delivered, z_ops, z_msgs, z_bytes, z_human, z_cost = zmail_side ~seed in
+let run ?obs ?(seed = 4) () =
+  let obs = Option.value obs ~default:Obs.Run.none in
+  let (delivered, z_ops, z_msgs, z_bytes, z_human, z_cost), metrics_table =
+    zmail_side ~obs ~seed
+  in
   let _, s_ops, s_msgs, s_bytes, s_human, s_cost =
     shred_side ~seed ~messages:delivered
   in
@@ -95,4 +110,4 @@ let run ?(seed = 4) () =
   in
   row "Zmail" z_ops z_msgs z_bytes z_human z_cost;
   row "SHRED" s_ops s_msgs s_bytes s_human s_cost;
-  [ table ]
+  if obs.Obs.Run.metrics then [ table; metrics_table ] else [ table ]

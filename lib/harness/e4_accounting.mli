@@ -9,4 +9,4 @@
     Runs the same mail volume through both schemes and compares ledger
     operations, settlement messages and bytes, and human effort. *)
 
-val run : ?seed:int -> unit -> Sim.Table.t list
+val run : ?obs:Obs.Run.t -> ?seed:int -> unit -> Sim.Table.t list

@@ -9,7 +9,12 @@ type t = {
   id : string;  (** ["e1"] … ["e16"]. *)
   title : string;
   claim : string;  (** The paper sentence being reproduced. *)
-  run : seed:int -> Sim.Table.t list;
+  run : seed:int -> obs:Obs.Run.t -> Sim.Table.t list;
+      (** [obs] is the front end's observability context: a shared
+          tracer to record into (exported afterwards by the caller)
+          and whether to append the metric-registry table.  The
+          world-backed experiments honour it; the rest ignore it.
+          Pass {!Obs.Run.none} when not tracing. *)
 }
 
 val all : t list
@@ -18,8 +23,8 @@ val all : t list
 val find : string -> t option
 (** Case-insensitive lookup by id. *)
 
-val run_all : ?seed:int -> unit -> unit
+val run_all : ?seed:int -> ?obs:Obs.Run.t -> unit -> unit
 (** Run every experiment, printing each table to stdout. *)
 
-val run_one : ?seed:int -> string -> (unit, string) result
+val run_one : ?seed:int -> ?obs:Obs.Run.t -> string -> (unit, string) result
 (** Run and print a single experiment by id. *)

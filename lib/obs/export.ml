@@ -1,0 +1,407 @@
+(* JSON encoding is hand-rolled: the repo avoids external dependencies,
+   and the subset needed (flat objects of ints/floats/bools/strings) is
+   small enough to print and parse exactly. *)
+
+let needs_escape c = c = '"' || c = '\\' || Char.code c < 0x20
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  (* Fast path: most strings are clean identifiers. *)
+  if not (String.exists needs_escape s) then Buffer.add_string buf s
+  else
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+  Buffer.add_char buf '"'
+
+(* The C primitive behind [string_of_float]: a single snprintf, without
+   the [Printf] format-interpretation overhead.  Exporting a trace
+   prints one float per event, so this is on the hot path. *)
+external format_float : string -> float -> string = "caml_format_float"
+
+(* Print a float so [float_of_string] recovers it exactly.  Prefer the
+   short form when it round-trips; force a marker so the JSON number
+   re-parses as a float, not an int. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then
+    string_of_int (int_of_float f) ^ ".0"
+  else
+    let short = format_float "%.12g" f in
+    if float_of_string short = f then short
+    else
+      let s = format_float "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+let add_value buf = function
+  | Trace.Int i -> Buffer.add_string buf (string_of_int i)
+  | Trace.Float f -> Buffer.add_string buf (float_repr f)
+  | Trace.Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Trace.Str s -> escape_string buf s
+
+let phase_code = function
+  | Trace.Instant -> "I"
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+
+let add_fields buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      escape_string buf k;
+      Buffer.add_char buf ':';
+      add_value buf v)
+    fields;
+  Buffer.add_char buf '}'
+
+(* Serializers append into a shared document buffer: a 30k-event trace
+   goes through here per event, so no intermediate strings. *)
+let add_event_json buf (ev : Trace.event) =
+  Buffer.add_string buf "{\"seq\":";
+  Buffer.add_string buf (string_of_int ev.seq);
+  Buffer.add_string buf ",\"t\":";
+  Buffer.add_string buf (float_repr ev.time);
+  Buffer.add_string buf ",\"comp\":";
+  escape_string buf ev.comp;
+  Buffer.add_string buf ",\"actor\":";
+  Buffer.add_string buf (string_of_int ev.actor);
+  Buffer.add_string buf ",\"ph\":\"";
+  Buffer.add_string buf (phase_code ev.phase);
+  Buffer.add_string buf "\",\"name\":";
+  escape_string buf ev.name;
+  Buffer.add_string buf ",\"span\":";
+  Buffer.add_string buf (string_of_int ev.span);
+  Buffer.add_string buf ",\"fields\":";
+  add_fields buf ev.fields;
+  Buffer.add_char buf '}'
+
+let event_to_json ev =
+  let buf = Buffer.create 128 in
+  add_event_json buf ev;
+  Buffer.contents buf
+
+let to_jsonl events =
+  let buf = Buffer.create 65536 in
+  List.iter
+    (fun ev ->
+      add_event_json buf ev;
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+(* --- Minimal JSON parser (objects, strings, numbers, booleans) --- *)
+
+exception Parse_error of string
+
+type token =
+  | Lbrace
+  | Rbrace
+  | Colon
+  | Comma
+  | Tstring of string
+  | Tint of int
+  | Tfloat of float
+  | Tbool of bool
+
+type lexer = { src : string; mutable pos : int }
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let fail msg = raise (Parse_error msg)
+
+let lex_string lx =
+  (* lx.pos is on the opening quote *)
+  lx.pos <- lx.pos + 1;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if lx.pos >= String.length lx.src then fail "unterminated string";
+    let c = lx.src.[lx.pos] in
+    lx.pos <- lx.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        if lx.pos >= String.length lx.src then fail "dangling escape";
+        let e = lx.src.[lx.pos] in
+        lx.pos <- lx.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+            if lx.pos + 4 > String.length lx.src then fail "short \\u escape";
+            let hex = String.sub lx.src lx.pos 4 in
+            lx.pos <- lx.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+            in
+            if code > 0xff then fail "non-latin \\u escape unsupported";
+            Buffer.add_char buf (Char.chr code)
+        | _ -> fail "unknown escape");
+        go ()
+    | c -> Buffer.add_char buf c; go ()
+  in
+  go ()
+
+let lex_number lx =
+  let start = lx.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while lx.pos < String.length lx.src && is_num_char lx.src.[lx.pos] do
+    lx.pos <- lx.pos + 1
+  done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then
+    try Tfloat (float_of_string s) with _ -> fail ("bad number " ^ s)
+  else try Tint (int_of_string s) with _ -> fail ("bad number " ^ s)
+
+let next_token lx =
+  let rec skip () =
+    match peek lx with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        lx.pos <- lx.pos + 1;
+        skip ()
+    | _ -> ()
+  in
+  skip ();
+  match peek lx with
+  | None -> fail "unexpected end of input"
+  | Some '{' -> lx.pos <- lx.pos + 1; Lbrace
+  | Some '}' -> lx.pos <- lx.pos + 1; Rbrace
+  | Some ':' -> lx.pos <- lx.pos + 1; Colon
+  | Some ',' -> lx.pos <- lx.pos + 1; Comma
+  | Some '"' -> Tstring (lex_string lx)
+  | Some 't' ->
+      if lx.pos + 4 <= String.length lx.src
+         && String.sub lx.src lx.pos 4 = "true"
+      then (lx.pos <- lx.pos + 4; Tbool true)
+      else fail "bad literal"
+  | Some 'f' ->
+      if lx.pos + 5 <= String.length lx.src
+         && String.sub lx.src lx.pos 5 = "false"
+      then (lx.pos <- lx.pos + 5; Tbool false)
+      else fail "bad literal"
+  | Some ('-' | '0' .. '9') -> lex_number lx
+  | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+
+type json_value = Jint of int | Jfloat of float | Jbool of bool | Jstr of string
+
+(* Parse a flat object of scalar values; [nested] allows one level of
+   sub-object (for "fields"). *)
+let rec parse_object lx : (string * [ `Scalar of json_value | `Obj of (string * json_value) list ]) list =
+  (match next_token lx with Lbrace -> () | _ -> fail "expected '{'");
+  let rec members acc =
+    match next_token lx with
+    | Rbrace -> List.rev acc
+    | Tstring key -> (
+        (match next_token lx with Colon -> () | _ -> fail "expected ':'");
+        let value =
+          match peek_nonspace lx with
+          | Some '{' -> `Obj (parse_flat lx)
+          | _ -> (
+              match next_token lx with
+              | Tstring s -> `Scalar (Jstr s)
+              | Tint i -> `Scalar (Jint i)
+              | Tfloat f -> `Scalar (Jfloat f)
+              | Tbool b -> `Scalar (Jbool b)
+              | _ -> fail "expected scalar value")
+        in
+        match next_token lx with
+        | Comma -> members ((key, value) :: acc)
+        | Rbrace -> List.rev ((key, value) :: acc)
+        | _ -> fail "expected ',' or '}'")
+    | _ -> fail "expected member key"
+  in
+  members []
+
+and peek_nonspace lx =
+  let save = lx.pos in
+  let rec skip () =
+    match peek lx with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        lx.pos <- lx.pos + 1;
+        skip ()
+    | c -> c
+  in
+  let c = skip () in
+  lx.pos <- save;
+  c
+
+and parse_flat lx =
+  List.map
+    (fun (k, v) ->
+      match v with
+      | `Scalar s -> (k, s)
+      | `Obj _ -> fail "unexpected nested object")
+    (parse_object lx)
+
+let value_of_json = function
+  | Jint i -> Trace.Int i
+  | Jfloat f -> Trace.Float f
+  | Jbool b -> Trace.Bool b
+  | Jstr s -> Trace.Str s
+
+let event_of_json line =
+  try
+    let lx = { src = line; pos = 0 } in
+    let members = parse_object lx in
+    let scalar key =
+      match List.assoc_opt key members with
+      | Some (`Scalar v) -> v
+      | Some (`Obj _) -> fail (key ^ ": expected scalar")
+      | None -> fail ("missing key " ^ key)
+    in
+    let int key =
+      match scalar key with Jint i -> i | _ -> fail (key ^ ": expected int")
+    in
+    let str key =
+      match scalar key with Jstr s -> s | _ -> fail (key ^ ": expected string")
+    in
+    let time =
+      match scalar "t" with
+      | Jfloat f -> f
+      | Jint i -> float_of_int i
+      | _ -> fail "t: expected number"
+    in
+    let phase =
+      match str "ph" with
+      | "I" -> Trace.Instant
+      | "B" -> Trace.Begin
+      | "E" -> Trace.End
+      | p -> fail ("unknown phase " ^ p)
+    in
+    let fields =
+      match List.assoc_opt "fields" members with
+      | Some (`Obj kvs) -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
+      | Some (`Scalar _) -> fail "fields: expected object"
+      | None -> []
+    in
+    Ok
+      {
+        Trace.seq = int "seq";
+        time;
+        comp = str "comp";
+        actor = int "actor";
+        phase;
+        name = str "name";
+        span = int "span";
+        fields;
+      }
+  with Parse_error msg -> Error msg
+
+let of_jsonl doc =
+  let lines = String.split_on_char '\n' doc in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go acc rest
+        else (
+          match event_of_json line with
+          | Ok ev -> go (ev :: acc) rest
+          | Error e -> Error e)
+  in
+  go [] lines
+
+(* --- Chrome trace_event format --- *)
+
+let chrome_tid actor = if actor < 0 then 0 else actor + 1
+
+let add_chrome_fields buf fields =
+  Buffer.add_string buf "\"args\":";
+  add_fields buf fields
+
+let add_chrome_event buf (ev : Trace.event) =
+  let ts = ev.time *. 1e6 in
+  let common ph =
+    Buffer.add_string buf "{\"name\":";
+    escape_string buf ev.name;
+    Buffer.add_string buf ",\"cat\":";
+    escape_string buf ev.comp;
+    Buffer.add_string buf ",\"ph\":\"";
+    Buffer.add_string buf ph;
+    Buffer.add_string buf "\",\"ts\":";
+    Buffer.add_string buf (float_repr ts);
+    Buffer.add_string buf ",\"pid\":0,\"tid\":";
+    Buffer.add_string buf (string_of_int (chrome_tid ev.actor));
+    Buffer.add_char buf ','
+  in
+  let span_id () =
+    Buffer.add_string buf "\"id\":";
+    Buffer.add_string buf (string_of_int ev.span);
+    Buffer.add_char buf ','
+  in
+  (match ev.phase with
+  | Trace.Instant ->
+      common "i";
+      Buffer.add_string buf "\"s\":\"t\","
+  | Trace.Begin ->
+      common "b";
+      span_id ()
+  | Trace.End ->
+      common "e";
+      span_id ());
+  add_chrome_fields buf ev.fields;
+  Buffer.add_char buf '}'
+
+let to_chrome events =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_char buf '\n'
+  in
+  (* Name the process and each actor's pseudo-thread. *)
+  sep ();
+  Buffer.add_string buf
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"zmail-sim\"}}";
+  let tids =
+    List.sort_uniq compare (List.map (fun ev -> ev.Trace.actor) events)
+  in
+  List.iter
+    (fun actor ->
+      let label = if actor < 0 then "bank+world" else Printf.sprintf "isp %d" actor in
+      sep ();
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":%s}}"
+           (chrome_tid actor)
+           (let b = Buffer.create 16 in
+            escape_string b label;
+            Buffer.contents b)))
+    tids;
+  List.iter
+    (fun ev ->
+      sep ();
+      add_chrome_event buf ev)
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_file ~path ~format events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      match format with
+      | `Jsonl -> output_string oc (to_jsonl events)
+      | `Chrome -> output_string oc (to_chrome events))
+
+let pp_events ppf events =
+  List.iter (fun ev -> Format.fprintf ppf "%a@." Trace.pp_event ev) events

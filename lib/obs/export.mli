@@ -1,0 +1,43 @@
+(** Trace exporters: JSONL, Chrome [trace_event], human-readable.
+
+    The JSONL form is one self-describing object per line:
+
+    {v
+    {"seq":3,"t":864.5,"comp":"isp","actor":2,"ph":"I","name":"charge",
+     "span":0,"fields":{"user":17,"dest":0}}
+    v}
+
+    [ph] is ["I"] (instant), ["B"] or ["E"] (span begin/end).  Numbers
+    are printed so they re-parse exactly — {!event_of_json} inverts
+    {!event_to_json} (the round trip is property-tested).
+
+    The Chrome form is a single JSON object [{"traceEvents":[...]}] in
+    the Trace Event Format, loadable by [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}.  Simulated seconds map to
+    trace microseconds ([ts = time * 1e6]); instants use phase ["i"]
+    with thread scope, spans use async phases ["b"]/["e"] keyed by the
+    span id; the actor becomes the [tid] (shifted by one so actor [-1]
+    — bank/world scope — lands on tid [0], which is name-tagged by
+    metadata events). *)
+
+val event_to_json : Trace.event -> string
+(** One-line JSON encoding (no trailing newline). *)
+
+val event_of_json : string -> (Trace.event, string) result
+(** Parse a line produced by {!event_to_json}. *)
+
+val to_jsonl : Trace.event list -> string
+(** Newline-terminated concatenation of {!event_to_json} lines. *)
+
+val of_jsonl : string -> (Trace.event list, string) result
+(** Parse a JSONL document (blank lines ignored). *)
+
+val to_chrome : Trace.event list -> string
+(** Chrome [trace_event] JSON document. *)
+
+val write_file :
+  path:string -> format:[ `Jsonl | `Chrome ] -> Trace.event list -> unit
+(** Write the events to [path] in the given format. *)
+
+val pp_events : Format.formatter -> Trace.event list -> unit
+(** Human-readable dump, one event per line (via {!Trace.pp_event}). *)

@@ -1,0 +1,201 @@
+type violation = {
+  time : float;
+  check : string;
+  detail : string;
+  event : Trace.event;
+  context : Trace.event list;
+}
+
+exception Violation of violation
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<v>invariant %S violated at t=%.3fs: %s@,offending event:@,  %a@]"
+    v.check v.time v.detail Trace.pp_event v.event;
+  match v.context with
+  | [] -> ()
+  | ctx ->
+      Format.fprintf ppf "@,last %d traced events:" (List.length ctx);
+      List.iter (fun ev -> Format.fprintf ppf "@,  %a" Trace.pp_event ev) ctx
+
+type t = {
+  name : string;
+  mutable checks : int;
+  mutable detach : unit -> unit;
+}
+
+let name t = t.name
+let checks t = t.checks
+let detach t = t.detach ()
+
+let fresh name = { name; checks = 0; detach = (fun () -> ()) }
+
+let attach trace t sink =
+  Trace.subscribe trace sink;
+  t.detach <- (fun () -> Trace.unsubscribe trace sink);
+  t
+
+let violate ~trace ~context t (ev : Trace.event) fmt =
+  Format.kasprintf
+    (fun detail ->
+      raise
+        (Violation
+           {
+             time = ev.Trace.time;
+             check = t.name;
+             detail;
+             event = ev;
+             context = Trace.recent trace context;
+           }))
+    fmt
+
+let int_field (ev : Trace.event) key =
+  match List.assoc_opt key ev.Trace.fields with
+  | Some (Trace.Int i) -> Some i
+  | _ -> None
+
+let bool_field (ev : Trace.event) key =
+  match List.assoc_opt key ev.Trace.fields with
+  | Some (Trace.Bool b) -> Some b
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Zero-sum conservation (§1.2)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let attach_zero_sum ?(context = 32) trace ~initial =
+  let t = fresh "zero-sum" in
+  let expected = ref initial in
+  let in_flight = ref 0 in
+  let sink (ev : Trace.event) =
+    match (ev.Trace.comp, ev.Trace.name) with
+    | "isp", "charge" ->
+        decr expected;
+        incr in_flight
+    | "isp", "settle" ->
+        incr expected;
+        decr in_flight
+    | "isp", "refund" ->
+        incr expected;
+        decr in_flight
+    | "isp", "mint" -> incr expected
+    | "isp", "buy_apply" ->
+        if bool_field ev "accepted" = Some true then
+          expected := !expected + Option.value ~default:0 (int_field ev "amount")
+    | "isp", "sell_apply" ->
+        expected := !expected - Option.value ~default:0 (int_field ev "taken")
+    | "obs", "checkpoint" -> (
+        t.checks <- t.checks + 1;
+        (match int_field ev "total" with
+        | Some total when total <> !expected ->
+            violate ~trace ~context t ev
+              "system holds %d e-pennies but the event stream accounts for %d \
+               (delta %+d)"
+              total !expected (total - !expected)
+        | Some _ | None -> ());
+        if bool_field ev "quiescent" = Some true && !in_flight <> 0 then
+          violate ~trace ~context t ev
+            "%d paid messages still in flight at quiescence" !in_flight)
+    | _ -> ()
+  in
+  attach trace t sink
+
+(* ------------------------------------------------------------------ *)
+(* Credit antisymmetry (§4.4)                                          *)
+(* ------------------------------------------------------------------ *)
+
+type pair_flow = { mutable sends : int; mutable recvs : int; mutable flying : int }
+
+let attach_antisymmetry ?(context = 32) trace ~honest =
+  let t = fresh "credit-antisymmetry" in
+  let pairs : (int * int, pair_flow) Hashtbl.t = Hashtbl.create 16 in
+  let flow a b =
+    match Hashtbl.find_opt pairs (a, b) with
+    | Some f -> f
+    | None ->
+        let f = { sends = 0; recvs = 0; flying = 0 } in
+        Hashtbl.replace pairs (a, b) f;
+        f
+  in
+  let is_honest i = i >= 0 && i < Array.length honest && honest.(i) in
+  let sink (ev : Trace.event) =
+    match (ev.Trace.comp, ev.Trace.name) with
+    | "credit", ("send" | "recv" | "cancel") -> (
+        match int_field ev "peer" with
+        | None -> ()
+        | Some peer ->
+            let owner = ev.Trace.actor in
+            if is_honest owner && is_honest peer then begin
+              t.checks <- t.checks + 1;
+              (match ev.Trace.name with
+              | "send" ->
+                  let f = flow owner peer in
+                  f.sends <- f.sends + 1;
+                  f.flying <- f.flying + 1
+              | "recv" ->
+                  (* Receiver [owner] books a message from [peer]: the
+                     flow direction is peer -> owner. *)
+                  let f = flow peer owner in
+                  f.recvs <- f.recvs + 1;
+                  f.flying <- f.flying - 1;
+                  if f.flying < 0 then
+                    violate ~trace ~context t ev
+                      "isp %d booked %d receives from isp %d against only %d \
+                       sends — a double credit breaks credit_%d[%d] + \
+                       credit_%d[%d] = 0"
+                      owner f.recvs peer f.sends owner peer peer owner
+              | "cancel" ->
+                  let f = flow owner peer in
+                  f.sends <- f.sends - 1;
+                  f.flying <- f.flying - 1;
+                  if f.flying < 0 || f.sends < 0 then
+                    violate ~trace ~context t ev
+                      "isp %d cancelled a send toward isp %d that the stream \
+                       never recorded"
+                      owner peer
+              | _ -> ())
+            end)
+    | "obs", "checkpoint" ->
+        if bool_field ev "quiescent" = Some true then begin
+          t.checks <- t.checks + 1;
+          Hashtbl.iter
+            (fun (a, b) f ->
+              if f.flying <> 0 then
+                violate ~trace ~context t ev
+                  "pair (%d,%d) has %d credits in flight at quiescence" a b
+                  f.flying)
+            pairs
+        end
+    | _ -> ()
+  in
+  attach trace t sink
+
+(* ------------------------------------------------------------------ *)
+(* Exactly-once buy/sell settlement (E16)                              *)
+(* ------------------------------------------------------------------ *)
+
+let attach_exactly_once ?(context = 32) trace =
+  let t = fresh "exactly-once" in
+  let applied : (string * int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let once side ~isp ~nonce ev =
+    t.checks <- t.checks + 1;
+    let key = (side, isp, nonce) in
+    if Hashtbl.mem applied key then
+      violate ~trace ~context t ev
+        "%s applied twice for isp %d nonce %#x — a duplicate slipped past the \
+         reply cache / nonce checks"
+        side isp nonce;
+    Hashtbl.replace applied key ()
+  in
+  let sink (ev : Trace.event) =
+    match (ev.Trace.comp, ev.Trace.name) with
+    | "bank", (("buy" | "sell") as op) -> (
+        match (int_field ev "isp", int_field ev "nonce", bool_field ev "replay") with
+        | Some isp, Some nonce, Some false -> once ("bank " ^ op) ~isp ~nonce ev
+        | _ -> ())
+    | "isp", (("buy_apply" | "sell_apply") as op) -> (
+        match int_field ev "nonce" with
+        | Some nonce -> once ("isp " ^ op) ~isp:ev.Trace.actor ~nonce ev
+        | None -> ())
+    | _ -> ()
+  in
+  attach trace t sink

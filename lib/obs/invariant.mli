@@ -1,0 +1,71 @@
+(** Online invariant checkers.
+
+    Each checker subscribes to a {!Trace.t} and maintains a small
+    incremental model of the protocol from the event stream; the moment
+    an event contradicts an invariant the checker raises {!Violation}
+    carrying the offending event and the most recent ring-buffer
+    context, so a chaos run fails at the first inconsistent action
+    instead of producing a wrong number at the end.
+
+    The checkers consume the event taxonomy documented in DESIGN.md
+    §Observability (emitted by [Zmail.Isp], [Zmail.Bank],
+    [Zmail.Credit] and [Zmail.World]):
+
+    - {b zero-sum} (§1.2, E2): replays every money movement
+      ([isp/charge], [isp/settle], [isp/refund], [isp/buy_apply],
+      [isp/sell_apply], [isp/mint]) into an expected system total and
+      compares it against the measured total carried by each
+      [obs/checkpoint] event.  At a quiescent checkpoint it also
+      requires zero e-pennies in flight.
+    - {b credit antisymmetry} (§4.4, E3/E4): tracks cumulative
+      sends/receives per ordered pair of {e honest} ISPs from
+      [credit/send], [credit/recv] and [credit/cancel]; a receive or
+      cancellation without a matching send — a double credit — trips
+      immediately.  Pairs involving a cheating ISP are excluded: their
+      books are {e supposed} to disagree (that is what the audit
+      detects).
+    - {b exactly-once} (E16): every non-replay [bank/buy]/[bank/sell]
+      and every [isp/buy_apply]/[isp/sell_apply] must occur at most
+      once per (ISP, nonce) despite duplication and retransmission on
+      the bank link. *)
+
+type violation = {
+  time : float;  (** simulated time of the offending event *)
+  check : string;  (** which checker fired *)
+  detail : string;
+  event : Trace.event;  (** the event that violated the invariant *)
+  context : Trace.event list;
+      (** most recent ring-buffer events, oldest first (empty when the
+          tracer records nothing) *)
+}
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+(** Multi-line report: the verdict, then the context dump. *)
+
+type t
+(** A live checker handle. *)
+
+val name : t -> string
+
+val checks : t -> int
+(** Number of invariant evaluations performed so far — evidence the
+    checker actually ran. *)
+
+val detach : t -> unit
+(** Unsubscribe the checker from its tracer.  Needed when sequential
+    scenarios share one tracer: a checker left attached would observe
+    the next scenario's events against a stale model. *)
+
+val attach_zero_sum : ?context:int -> Trace.t -> initial:int -> t
+(** [attach_zero_sum tr ~initial] starts the conservation checker with
+    the system's initial e-penny total.  [context] bounds the events
+    quoted in a violation (default 32). *)
+
+val attach_antisymmetry : ?context:int -> Trace.t -> honest:bool array -> t
+(** [honest.(i)] marks ISPs whose books must stay consistent —
+    compliant, non-cheating kernels.  Out-of-range actors are treated
+    as dishonest. *)
+
+val attach_exactly_once : ?context:int -> Trace.t -> t

@@ -1,0 +1,6 @@
+type t = { tracer : Trace.t option; metrics : bool }
+
+let none = { tracer = None; metrics = false }
+
+let tracer_or run ~capacity =
+  match run.tracer with Some tr -> tr | None -> Trace.create ~capacity ()

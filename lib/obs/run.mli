@@ -1,0 +1,16 @@
+(** Per-run observability context handed from a front end (CLI, bench)
+    to an experiment: an optional shared tracer (the front end exports
+    its contents afterwards) and whether to print the metric registry. *)
+
+type t = {
+  tracer : Trace.t option;
+      (** [None]: the experiment uses its own private tracer (checkers
+          still run); [Some tr]: record into [tr] for export. *)
+  metrics : bool;  (** append the metric-registry table to the output *)
+}
+
+val none : t
+
+val tracer_or : t -> capacity:int -> Trace.t
+(** The shared tracer, or a fresh private one with the given ring
+    capacity. *)

@@ -1,0 +1,136 @@
+type value = Int of int | Float of float | Bool of bool | Str of string
+
+type phase = Instant | Begin | End
+
+type event = {
+  seq : int;
+  time : float;
+  comp : string;
+  actor : int;
+  phase : phase;
+  name : string;
+  span : int;
+  fields : (string * value) list;
+}
+
+type t = {
+  capacity : int;
+  ring : event option array;  (* length = max capacity 1; indexed seq-modulo *)
+  mutable sinks : (event -> unit) list;
+  mutable clock : unit -> float;
+  mutable next_seq : int;
+  mutable stored : int;  (* events ever stored in the ring *)
+  mutable next_span : int;
+  inert : bool;  (* the shared [none] tracer: never activatable *)
+}
+
+let make ~capacity ~inert =
+  if capacity < 0 then invalid_arg "Trace.create: negative capacity";
+  {
+    capacity;
+    ring = Array.make (Stdlib.max capacity 1) None;
+    sinks = [];
+    clock = (fun () -> 0.);
+    next_seq = 0;
+    stored = 0;
+    next_span = 0;
+    inert;
+  }
+
+let create ?(capacity = 4096) () = make ~capacity ~inert:false
+
+let none = make ~capacity:0 ~inert:true
+
+let active t = (not t.inert) && (t.capacity > 0 || t.sinks <> [])
+
+let set_clock t clock = t.clock <- clock
+
+let subscribe t sink =
+  if t.inert then invalid_arg "Trace.subscribe: cannot subscribe to Trace.none";
+  t.sinks <- t.sinks @ [ sink ]
+
+let unsubscribe t sink = t.sinks <- List.filter (fun s -> s != sink) t.sinks
+
+let record t ev =
+  if t.capacity > 0 then begin
+    t.ring.(t.stored mod t.capacity) <- Some ev;
+    t.stored <- t.stored + 1
+  end;
+  List.iter (fun sink -> sink ev) t.sinks
+
+let push t ~actor ~fields ~comp ~phase ~span name =
+  let ev =
+    {
+      seq = t.next_seq;
+      time = t.clock ();
+      comp;
+      actor;
+      phase;
+      name;
+      span;
+      fields;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  record t ev
+
+let emit t ?(actor = -1) ?(fields = []) ~comp name =
+  if active t then push t ~actor ~fields ~comp ~phase:Instant ~span:0 name
+
+let span_begin t ?(actor = -1) ?(fields = []) ~comp name =
+  if active t then begin
+    t.next_span <- t.next_span + 1;
+    let span = t.next_span in
+    push t ~actor ~fields ~comp ~phase:Begin ~span name;
+    span
+  end
+  else 0
+
+let span_end t ?(actor = -1) ?(fields = []) ~span ~comp name =
+  if active t then push t ~actor ~fields ~comp ~phase:End ~span name
+
+let events t =
+  if t.capacity = 0 then []
+  else begin
+    let n = Stdlib.min t.stored t.capacity in
+    let first = t.stored - n in
+    List.init n (fun i ->
+        match t.ring.((first + i) mod t.capacity) with
+        | Some ev -> ev
+        | None -> assert false)
+  end
+
+let recent t n =
+  let all = events t in
+  let len = List.length all in
+  if len <= n then all else List.filteri (fun i _ -> i >= len - n) all
+
+let emitted t = t.next_seq
+
+let dropped t =
+  if t.capacity = 0 then 0 else Stdlib.max 0 (t.stored - t.capacity)
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.stored <- 0
+
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Bool b -> Format.pp_print_bool ppf b
+  | Str s -> Format.fprintf ppf "%S" s
+
+let pp_event ppf ev =
+  let phase =
+    match ev.phase with
+    | Instant -> ""
+    | Begin -> Format.sprintf "[>%d] " ev.span
+    | End -> Format.sprintf "[<%d] " ev.span
+  in
+  let actor =
+    if ev.actor < 0 then ev.comp else Format.sprintf "%s/%d" ev.comp ev.actor
+  in
+  Format.fprintf ppf "[%12.3fs] %-10s %s%s" ev.time actor phase ev.name;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v)
+    ev.fields

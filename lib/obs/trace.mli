@@ -1,0 +1,111 @@
+(** Structured trace stream.
+
+    A tracer collects typed events stamped with simulated time.  Events
+    carry a component label (["isp"], ["bank"], ["credit"], ...), an
+    actor (the ISP index, or [-1] for global/bank-side actions), a name,
+    and a small list of typed fields.  Multi-step protocol actions
+    (Buy→Buy_reply, an audit epoch) are bracketed by {e spans}: a
+    [span_begin] returns an id that the matching [span_end] quotes, so
+    exporters can reconstruct durations.
+
+    Recording is a bounded ring buffer: the most recent [capacity]
+    events are retained, older ones are evicted (and counted in
+    {!dropped}).  Independent of recording, {e sinks} subscribed with
+    {!subscribe} see every event as it is emitted — this is what the
+    online invariant checkers build on.
+
+    Emission consumes no randomness and, for a deterministic
+    simulation, produces a byte-for-byte deterministic stream.  All hot
+    call sites should guard with {!active} so an unused tracer costs a
+    single load and branch. *)
+
+type value = Int of int | Float of float | Bool of bool | Str of string
+(** A typed field value. *)
+
+type phase = Instant | Begin | End
+(** Event phase: a point event, or one end of a span. *)
+
+type event = {
+  seq : int;  (** emission order, 0-based *)
+  time : float;  (** simulated time, seconds *)
+  comp : string;  (** component label *)
+  actor : int;  (** ISP index, or [-1] for bank/world scope *)
+  phase : phase;
+  name : string;
+  span : int;  (** span id for [Begin]/[End]; [0] for instants *)
+  fields : (string * value) list;
+}
+
+type t
+(** A tracer. *)
+
+val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] returns a tracer whose ring buffer retains
+    the last [capacity] events (default [4096]).  [~capacity:0] records
+    nothing; such a tracer stays inert until a sink subscribes. *)
+
+val none : t
+(** A shared, permanently-inert tracer: {!active} is [false], {!emit}
+    is a no-op.  Used as the default before instrumented components are
+    wired to a real tracer.  Subscribing to it raises
+    [Invalid_argument]. *)
+
+val active : t -> bool
+(** [true] when events are recorded or observed, i.e. the capacity is
+    positive or at least one sink is subscribed.  Instrumented code
+    guards event construction with this so disabled tracing is free. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Set the simulated-time source (typically [fun () -> Engine.now e]).
+    Defaults to a constant [0.]. *)
+
+val subscribe : t -> (event -> unit) -> unit
+(** Add a sink called synchronously with every subsequent event.  A
+    sink that raises aborts the emitting operation — invariant checkers
+    rely on this to fail fast. *)
+
+val unsubscribe : t -> (event -> unit) -> unit
+(** Remove a sink added with {!subscribe} (compared physically;
+    removing an unknown sink is a no-op).  Lets sequential scenarios
+    share one tracer without stale checkers observing each other. *)
+
+val emit :
+  t -> ?actor:int -> ?fields:(string * value) list -> comp:string -> string -> unit
+(** [emit t ~actor ~fields ~comp name] records an instant event.
+    [actor] defaults to [-1], [fields] to [[]]. *)
+
+val span_begin :
+  t -> ?actor:int -> ?fields:(string * value) list -> comp:string -> string -> int
+(** Like {!emit} with phase [Begin]; returns a fresh span id to pass to
+    {!span_end}.  Returns [0] when the tracer is inactive. *)
+
+val span_end :
+  t ->
+  ?actor:int ->
+  ?fields:(string * value) list ->
+  span:int ->
+  comp:string ->
+  string ->
+  unit
+(** Close the span opened by the {!span_begin} that returned [span]. *)
+
+val events : t -> event list
+(** Ring-buffer contents, oldest first. *)
+
+val recent : t -> int -> event list
+(** [recent t n] is the last [n] recorded events, oldest first. *)
+
+val emitted : t -> int
+(** Total events emitted while active (recorded or not). *)
+
+val dropped : t -> int
+(** Events evicted from the ring buffer. *)
+
+val clear : t -> unit
+(** Empty the ring buffer (sinks and counters are untouched). *)
+
+val pp_value : Format.formatter -> value -> unit
+
+val pp_event : Format.formatter -> event -> unit
+(** One-line human-readable rendering, e.g.
+    ["[   864.000s] isp/2      charge user=17 dest=0"]. *)

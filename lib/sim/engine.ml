@@ -6,8 +6,12 @@ type t = {
   mutable clock : float;
   queue : event Heap.t;
   cancelled : (int, unit) Hashtbl.t;
+  queued : (int, unit) Hashtbl.t;  (* ids currently in the heap *)
+  mutable stubs : int;  (* queued entries whose id is cancelled *)
   mutable next_id : int;
   mutable foreground_pending : int;
+  mutable fired : int;
+  mutable monitor : (id:int -> at:float -> wall:float -> unit) option;
   root_rng : Rng.t;
 }
 
@@ -20,8 +24,12 @@ let create ?(seed = 0) () =
     clock = 0.;
     queue = Heap.create ();
     cancelled = Hashtbl.create 64;
+    queued = Hashtbl.create 64;
+    stubs = 0;
     next_id = 0;
     foreground_pending = 0;
+    fired = 0;
+    monitor = None;
     root_rng = Rng.create seed;
   }
 
@@ -34,10 +42,14 @@ let fresh_id t =
   t.next_id <- id + 1;
   id
 
+let enqueue t ~priority ev =
+  Heap.push t.queue ~priority ev;
+  Hashtbl.replace t.queued ev.id ()
+
 let schedule t ~at f =
   if at < t.clock then invalid_arg "Engine.schedule: time is in the past";
   let id = fresh_id t in
-  Heap.push t.queue ~priority:at { id; run = f; foreground = true };
+  enqueue t ~priority:at { id; run = f; foreground = true };
   t.foreground_pending <- t.foreground_pending + 1;
   id
 
@@ -57,17 +69,27 @@ let every t ?start ~period f =
     if not (Hashtbl.mem t.cancelled id) then begin
       f ();
       if not (Hashtbl.mem t.cancelled id) then
-        Heap.push t.queue ~priority:(at +. period)
+        enqueue t ~priority:(at +. period)
           { id; run = occurrence (at +. period); foreground = false }
     end
   in
   if first < t.clock then invalid_arg "Engine.every: start is in the past";
-  Heap.push t.queue ~priority:first { id; run = occurrence first; foreground = false };
+  enqueue t ~priority:first { id; run = occurrence first; foreground = false };
   id
 
-let cancel t handle = Hashtbl.replace t.cancelled handle ()
+let cancel t handle =
+  if not (Hashtbl.mem t.cancelled handle) then begin
+    Hashtbl.replace t.cancelled handle ();
+    if Hashtbl.mem t.queued handle then t.stubs <- t.stubs + 1
+  end
 
 let pending t = Heap.length t.queue
+
+let live t = Heap.length t.queue - t.stubs
+
+let events_fired t = t.fired
+
+let set_monitor t monitor = t.monitor <- monitor
 
 let step t =
   match Heap.pop t.queue with
@@ -75,8 +97,22 @@ let step t =
   | Some (at, ev) ->
       t.clock <- Stdlib.max t.clock at;
       if ev.foreground then t.foreground_pending <- t.foreground_pending - 1;
-      if Hashtbl.mem t.cancelled ev.id then ()
-      else ev.run ();
+      Hashtbl.remove t.queued ev.id;
+      if Hashtbl.mem t.cancelled ev.id then begin
+        (* A cancelled stub drains without running; its id is dead (a
+           cancelled recurrence never re-queues), so drop the mark too. *)
+        t.stubs <- t.stubs - 1;
+        Hashtbl.remove t.cancelled ev.id
+      end
+      else begin
+        (match t.monitor with
+        | None -> ev.run ()
+        | Some monitor ->
+            let t0 = Sys.time () in
+            ev.run ();
+            monitor ~id:ev.id ~at ~wall:(Sys.time () -. t0));
+        t.fired <- t.fired + 1
+      end;
       true
 
 let run ?until t =

@@ -44,8 +44,23 @@ val cancel : t -> handle -> unit
     event is a no-op. *)
 
 val pending : t -> int
-(** Number of events still queued (including cancelled stubs not yet
-    drained). *)
+(** Number of heap entries still queued.  Cancellation is lazy: a
+    cancelled event stays in the heap as a {e stub} until its time
+    comes and it is discarded, so [pending] over-counts by the number
+    of undrained stubs.  Use {!live} for the number of events that
+    will actually run. *)
+
+val live : t -> int
+(** [pending t] minus the cancelled stubs — the events that will still
+    execute.  This is what a queue-depth gauge should report. *)
+
+val events_fired : t -> int
+(** Number of callbacks executed so far (cancelled stubs excluded). *)
+
+val set_monitor : t -> (id:int -> at:float -> wall:float -> unit) option -> unit
+(** Install (or clear) an event-loop hook called after every executed
+    callback with its scheduled time and wall-clock duration in seconds
+    ([Sys.time]-based).  Costs nothing when [None]. *)
 
 val step : t -> bool
 (** Run the single next event.  Returns [false] when the queue is

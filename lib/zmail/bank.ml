@@ -12,6 +12,7 @@ type audit_state = {
   audit_seq : int;
   mutable waiting : int list;
   reported : int array array;
+  span : int;  (* trace span opened at start_audit *)
 }
 
 type t = {
@@ -35,6 +36,7 @@ type t = {
   mutable audits_completed : int;
   mutable messages_in : int;
   mutable messages_out : int;
+  mutable tracer : Obs.Trace.t;
 }
 
 let create rng config =
@@ -57,7 +59,14 @@ let create rng config =
     audits_completed = 0;
     messages_in = 0;
     messages_out = 0;
+    tracer = Obs.Trace.none;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let ev t name fields =
+  if Obs.Trace.active t.tracer then
+    Obs.Trace.emit t.tracer ~fields ~comp:"bank" name
 
 let public_key t = t.public
 let account_balance t ~isp = t.account.(isp)
@@ -97,8 +106,14 @@ let finish_audit t (audit : audit_state) =
   t.audit <- None;
   t.seq <- t.seq + 1;
   t.audits_completed <- t.audits_completed + 1;
-  Audit_complete
-    { seq = audit.audit_seq; violations; suspects = suspects_of t violations }
+  let suspects = suspects_of t violations in
+  if Obs.Trace.active t.tracer then
+    Obs.Trace.span_end t.tracer ~span:audit.span ~comp:"bank" "audit"
+      ~fields:
+        [ ("seq", Obs.Trace.Int audit.audit_seq);
+          ("violations", Obs.Trace.Int (List.length violations));
+          ("suspects", Obs.Trace.Int (List.length suspects)) ];
+  Audit_complete { seq = audit.audit_seq; violations; suspects }
 
 let on_payload t ~from_isp payload =
   match (payload : Wire.payload) with
@@ -106,10 +121,16 @@ let on_payload t ~from_isp payload =
       match cached_reply t ~from_isp nonce with
       | Some payload ->
           t.replays_dropped <- t.replays_dropped + 1;
+          ev t "buy"
+            [ ("isp", Obs.Trace.Int from_isp);
+              ("nonce", Obs.Trace.Int (Int64.to_int nonce));
+              ("amount", Obs.Trace.Int amount);
+              ("replay", Obs.Trace.Bool true) ];
           reply t payload
       | None ->
+          let accepted = t.account.(from_isp) >= amount in
           let payload =
-            if t.account.(from_isp) >= amount then begin
+            if accepted then begin
               t.account.(from_isp) <- t.account.(from_isp) - amount;
               t.outstanding <- t.outstanding + amount;
               t.buys <- t.buys + 1;
@@ -120,17 +141,33 @@ let on_payload t ~from_isp payload =
               Wire.Buy_reply { nonce; accepted = false }
             end
           in
+          ev t "buy"
+            [ ("isp", Obs.Trace.Int from_isp);
+              ("nonce", Obs.Trace.Int (Int64.to_int nonce));
+              ("amount", Obs.Trace.Int amount);
+              ("accepted", Obs.Trace.Bool accepted);
+              ("replay", Obs.Trace.Bool false) ];
           cache_reply t ~from_isp nonce payload;
           reply t payload)
   | Wire.Sell { amount; nonce } -> (
       match cached_reply t ~from_isp nonce with
       | Some payload ->
           t.replays_dropped <- t.replays_dropped + 1;
+          ev t "sell"
+            [ ("isp", Obs.Trace.Int from_isp);
+              ("nonce", Obs.Trace.Int (Int64.to_int nonce));
+              ("amount", Obs.Trace.Int amount);
+              ("replay", Obs.Trace.Bool true) ];
           reply t payload
       | None ->
           t.account.(from_isp) <- t.account.(from_isp) + amount;
           t.outstanding <- t.outstanding - amount;
           t.sells <- t.sells + 1;
+          ev t "sell"
+            [ ("isp", Obs.Trace.Int from_isp);
+              ("nonce", Obs.Trace.Int (Int64.to_int nonce));
+              ("amount", Obs.Trace.Int amount);
+              ("replay", Obs.Trace.Bool false) ];
           let payload = Wire.Sell_reply { nonce } in
           cache_reply t ~from_isp nonce payload;
           reply t payload)
@@ -140,6 +177,8 @@ let on_payload t ~from_isp payload =
         when audit.audit_seq = seq && isp = from_isp && List.mem isp audit.waiting ->
           audit.reported.(isp) <- credit;
           audit.waiting <- List.filter (fun i -> i <> isp) audit.waiting;
+          ev t "audit_reply"
+            [ ("isp", Obs.Trace.Int isp); ("seq", Obs.Trace.Int seq) ];
           if audit.waiting = [] then finish_audit t audit else Audit_progress
       | Some _ -> Rejected "unexpected audit reply"
       | None -> Rejected "no audit in progress")
@@ -148,12 +187,20 @@ let on_payload t ~from_isp payload =
 
 let on_isp_message t ~from_isp sealed =
   t.messages_in <- t.messages_in + 1;
-  if from_isp < 0 || from_isp >= t.config.n_isps then Rejected "unknown ISP"
-  else if not t.config.compliant.(from_isp) then Rejected "non-compliant ISP"
-  else
-    match Wire.open_at_bank t.secret sealed with
-    | None -> Rejected "unreadable (forged or corrupted) message"
-    | Some payload -> on_payload t ~from_isp payload
+  let result =
+    if from_isp < 0 || from_isp >= t.config.n_isps then Rejected "unknown ISP"
+    else if not t.config.compliant.(from_isp) then Rejected "non-compliant ISP"
+    else
+      match Wire.open_at_bank t.secret sealed with
+      | None -> Rejected "unreadable (forged or corrupted) message"
+      | Some payload -> on_payload t ~from_isp payload
+  in
+  (match result with
+  | Rejected reason ->
+      ev t "reject"
+        [ ("isp", Obs.Trace.Int from_isp); ("reason", Obs.Trace.Str reason) ]
+  | Reply _ | Audit_progress | Audit_complete _ -> ());
+  result
 
 let start_audit t =
   if t.audit <> None then invalid_arg "Bank.start_audit: audit already in progress";
@@ -162,12 +209,17 @@ let start_audit t =
       (fun i -> t.config.compliant.(i))
       (List.init t.config.n_isps (fun i -> i))
   in
+  let span =
+    Obs.Trace.span_begin t.tracer ~comp:"bank" "audit"
+      ~fields:[ ("seq", Obs.Trace.Int t.seq) ]
+  in
   t.audit <-
     Some
       {
         audit_seq = t.seq;
         waiting = compliant_isps;
         reported = Array.make_matrix t.config.n_isps t.config.n_isps 0;
+        span;
       };
   List.map
     (fun isp ->

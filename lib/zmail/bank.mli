@@ -32,6 +32,10 @@ type t
 val create : Sim.Rng.t -> config -> t
 (** Generates the bank keypair from [rng]. *)
 
+val set_tracer : t -> Obs.Trace.t -> unit
+(** Emit [bank/...] trace events (buy/sell with a replay flag, audit
+    spans and replies, rejects).  Default: {!Obs.Trace.none}. *)
+
 val public_key : t -> Toycrypto.Rsa.public
 val account_balance : t -> isp:int -> int
 val outstanding_epennies : t -> Epenny.amount

@@ -5,27 +5,51 @@
    no longer shows, and the §4.4 antisymmetry check would falsely
    implicate both.  [reset] promotes the buffer into the fresh period
    — the Chandy-Lamport marker rule for in-flight messages. *)
-type t = { now : int array; early : int array }
+type t = {
+  now : int array;
+  early : int array;
+  mutable tracer : Obs.Trace.t;
+  mutable owner : int;  (* this vector's ISP index, for trace events *)
+}
 
 let create ~n =
   if n <= 0 then invalid_arg "Credit.create: n must be positive";
-  { now = Array.make n 0; early = Array.make n 0 }
+  { now = Array.make n 0; early = Array.make n 0; tracer = Obs.Trace.none; owner = -1 }
+
+let set_tracer t ~owner tracer =
+  t.tracer <- tracer;
+  t.owner <- owner
+
+let ev t name fields =
+  if Obs.Trace.active t.tracer then
+    Obs.Trace.emit t.tracer ~actor:t.owner ~fields ~comp:"credit" name
 
 let n t = Array.length t.now
 
 let get t peer = t.now.(peer)
 
-let record_send t ~peer = t.now.(peer) <- t.now.(peer) + 1
+let record_send t ~peer =
+  t.now.(peer) <- t.now.(peer) + 1;
+  ev t "send" [ ("peer", Obs.Trace.Int peer) ]
 
-let record_receive t ~peer = t.now.(peer) <- t.now.(peer) - 1
+let record_receive t ~peer =
+  t.now.(peer) <- t.now.(peer) - 1;
+  ev t "recv" [ ("peer", Obs.Trace.Int peer); ("early", Obs.Trace.Bool false) ]
 
-let record_receive_early t ~peer = t.early.(peer) <- t.early.(peer) - 1
+let record_receive_early t ~peer =
+  t.early.(peer) <- t.early.(peer) - 1;
+  ev t "recv" [ ("peer", Obs.Trace.Int peer); ("early", Obs.Trace.Bool true) ]
+
+let cancel_send t ~peer =
+  t.now.(peer) <- t.now.(peer) - 1;
+  ev t "cancel" [ ("peer", Obs.Trace.Int peer) ]
 
 let early_pending t = -Array.fold_left ( + ) 0 t.early
 
 let snapshot t = Array.copy t.now
 
 let reset t =
+  ev t "reset" [ ("promoted", Obs.Trace.Int (early_pending t)) ];
   let len = Array.length t.now in
   Array.blit t.early 0 t.now 0 len;
   Array.fill t.early 0 len 0

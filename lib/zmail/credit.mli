@@ -12,11 +12,24 @@ type t
 val create : n:int -> t
 val n : t -> int
 val get : t -> int -> int
+
+val set_tracer : t -> owner:int -> Obs.Trace.t -> unit
+(** Emit every vector update as a [credit/...] trace event, with
+    [owner] (this vector's ISP index) as the actor.  The default is
+    {!Obs.Trace.none} (no emission). *)
+
 val record_send : t -> peer:int -> unit
 (** [credit.(peer) <- credit.(peer) + 1]. *)
 
 val record_receive : t -> peer:int -> unit
 (** [credit.(peer) <- credit.(peer) - 1]. *)
+
+val cancel_send : t -> peer:int -> unit
+(** Undo one {!record_send} whose message bounced before delivery.
+    Arithmetically identical to {!record_receive} but traced as a
+    [credit/cancel] event: a refund is the retraction of a send, not a
+    delivery, and the online antisymmetry checker accounts for the two
+    differently. *)
 
 val record_receive_early : t -> peer:int -> unit
 (** Book a receive into the {e next} billing period: the message's

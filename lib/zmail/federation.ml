@@ -37,6 +37,7 @@ type t = {
   account : int array;  (* per ISP, at its home bank *)
   mutable seq : int;
   mutable audit : audit_state option;
+  mutable tracer : Obs.Trace.t;
 }
 
 let create rng config =
@@ -65,7 +66,14 @@ let create rng config =
     account = Array.make config.n_isps config.initial_account;
     seq = 0;
     audit = None;
+    tracer = Obs.Trace.none;
   }
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let ev t name fields =
+  if Obs.Trace.active t.tracer then
+    Obs.Trace.emit t.tracer ~fields ~comp:"fed" name
 
 let n_banks t = t.config.n_banks
 let home_of t ~isp = t.config.home.(isp)
@@ -95,20 +103,30 @@ let on_isp_message t ~from_isp sealed =
     | None -> Rejected "unreadable (wrong bank, forged or corrupted)"
     | Some (Wire.Buy { amount; nonce }) ->
         if not (fresh_nonce bank ~from_isp nonce) then Rejected "replayed buy"
-        else if t.account.(from_isp) >= amount then begin
-          t.account.(from_isp) <- t.account.(from_isp) - amount;
-          bank.issued <- bank.issued + amount;
-          bank.cash <- bank.cash + amount;
-          Reply (Wire.sign_by_bank bank.secret (Wire.Buy_reply { nonce; accepted = true }))
+        else begin
+          let accepted = t.account.(from_isp) >= amount in
+          if accepted then begin
+            t.account.(from_isp) <- t.account.(from_isp) - amount;
+            bank.issued <- bank.issued + amount;
+            bank.cash <- bank.cash + amount
+          end;
+          ev t "buy"
+            [ ("bank", Obs.Trace.Int t.config.home.(from_isp));
+              ("isp", Obs.Trace.Int from_isp);
+              ("amount", Obs.Trace.Int amount);
+              ("accepted", Obs.Trace.Bool accepted) ];
+          Reply (Wire.sign_by_bank bank.secret (Wire.Buy_reply { nonce; accepted }))
         end
-        else
-          Reply (Wire.sign_by_bank bank.secret (Wire.Buy_reply { nonce; accepted = false }))
     | Some (Wire.Sell { amount; nonce }) ->
         if not (fresh_nonce bank ~from_isp nonce) then Rejected "replayed sell"
         else begin
           t.account.(from_isp) <- t.account.(from_isp) + amount;
           bank.redeemed <- bank.redeemed + amount;
           bank.cash <- bank.cash - amount;
+          ev t "sell"
+            [ ("bank", Obs.Trace.Int t.config.home.(from_isp));
+              ("isp", Obs.Trace.Int from_isp);
+              ("amount", Obs.Trace.Int amount) ];
           Reply (Wire.sign_by_bank bank.secret (Wire.Sell_reply { nonce }))
         end
     | Some (Wire.Audit_reply _) ->
@@ -163,6 +181,9 @@ let on_audit_reply t ~from_isp sealed =
               in
               t.audit <- None;
               t.seq <- t.seq + 1;
+              ev t "audit_complete"
+                [ ("seq", Obs.Trace.Int audit.audit_seq);
+                  ("violations", Obs.Trace.Int (List.length violations)) ];
               Ok
                 (Some
                    {
@@ -220,6 +241,10 @@ let settle t =
         | [] -> remaining := 0
         | (to_bank, need) :: rest ->
             let amount = min !remaining need in
+            ev t "settle_transfer"
+              [ ("from", Obs.Trace.Int from_bank);
+                ("to", Obs.Trace.Int to_bank);
+                ("amount", Obs.Trace.Int amount) ];
             transfers := (from_bank, to_bank, amount) :: !transfers;
             t.banks.(from_bank).cash <- t.banks.(from_bank).cash - amount;
             t.banks.(to_bank).cash <- t.banks.(to_bank).cash + amount;

@@ -36,6 +36,11 @@ val default_config : n_banks:int -> n_isps:int -> config
 type t
 
 val create : Sim.Rng.t -> config -> t
+
+val set_tracer : t -> Obs.Trace.t -> unit
+(** Emit [fed/...] trace events (member-bank buy/sell, global audit
+    completion, clearing transfers).  Default: {!Obs.Trace.none}. *)
+
 val n_banks : t -> int
 val home_of : t -> isp:int -> int
 val public_key : t -> bank:int -> Toycrypto.Rsa.public

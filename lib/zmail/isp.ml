@@ -37,8 +37,9 @@ let default_config ~index ~n_isps ~n_users ~compliant ~bank_public =
     cheat = Honest;
   }
 
-(* Outstanding-request state for the §4.3 buy/sell exchanges. *)
-type pending = { nonce : int64; amount : Epenny.amount }
+(* Outstanding-request state for the §4.3 buy/sell exchanges.  [span]
+   is the trace span opened at the request, closed by the reply. *)
+type pending = { nonce : int64; amount : Epenny.amount; span : int }
 
 type t = {
   config : config;
@@ -63,6 +64,7 @@ type t = {
   mutable cheat_minted : Epenny.amount;
   mutable refunds : int;
   mutable crashes : int;
+  mutable tracer : Obs.Trace.t;
 }
 
 let create rng config =
@@ -98,7 +100,16 @@ let create rng config =
     cheat_minted = 0;
     refunds = 0;
     crashes = 0;
+    tracer = Obs.Trace.none;
   }
+
+let set_tracer t tracer =
+  t.tracer <- tracer;
+  Credit.set_tracer t.credit ~owner:t.config.index tracer
+
+let ev t name fields =
+  if Obs.Trace.active t.tracer then
+    Obs.Trace.emit t.tracer ~actor:t.config.index ~fields ~comp:"isp" name
 
 let index t = t.config.index
 let compliant_peer t j = t.config.compliant.(j)
@@ -159,6 +170,8 @@ let charge_send t ~sender ~dest_isp =
         if dest_isp <> t.config.index && not (skip_credit_increment t) then
           Credit.record_send t.credit ~peer:dest_isp;
         t.sent_paid <- t.sent_paid + 1;
+        ev t "charge"
+          [ ("user", Obs.Trace.Int sender); ("dest", Obs.Trace.Int dest_isp) ];
         note_limit_warning t sender;
         Sent_paid
 
@@ -174,8 +187,9 @@ let refund_send t ~sender ~dest_isp =
     && dest_isp < t.config.n_isps
     && dest_isp <> t.config.index
     && t.config.compliant.(dest_isp)
-  then Credit.record_receive t.credit ~peer:dest_isp;
-  t.refunds <- t.refunds + 1
+  then Credit.cancel_send t.credit ~peer:dest_isp;
+  t.refunds <- t.refunds + 1;
+  ev t "refund" [ ("user", Obs.Trace.Int sender); ("dest", Obs.Trace.Int dest_isp) ]
 
 (* [sender_epoch] is the audit sequence number stamped on the message
    when the sender charged it.  A newer epoch than ours means the
@@ -194,17 +208,25 @@ let accept_delivery_stamped t ~sender_epoch ~from_isp ~rcpt =
       | Some _ | None -> Credit.record_receive t.credit ~peer:from_isp
     end;
     t.received_paid <- t.received_paid + 1;
+    ev t "settle" [ ("from", Obs.Trace.Int from_isp); ("rcpt", Obs.Trace.Int rcpt) ];
     `Paid
   end
 
 let accept_delivery t ~from_isp ~rcpt =
   accept_delivery_stamped t ~sender_epoch:None ~from_isp ~rcpt
 
+let request_span t name ~nonce ~amount =
+  Obs.Trace.span_begin t.tracer ~actor:t.config.index ~comp:"isp" name
+    ~fields:
+      [ ("nonce", Obs.Trace.Int (Int64.to_int nonce));
+        ("amount", Obs.Trace.Int amount) ]
+
 let pool_action t =
   let avail = Ledger.avail t.ledger in
   if avail < t.config.minavail && t.pending_buy = None then begin
     let nonce = Toycrypto.Nonce.next t.nonces in
-    t.pending_buy <- Some { nonce; amount = t.config.buy_amount };
+    let span = request_span t "buy" ~nonce ~amount:t.config.buy_amount in
+    t.pending_buy <- Some { nonce; amount = t.config.buy_amount; span };
     Some
       (Wire.seal_for_bank t.rng t.config.bank_public
          (Wire.Buy { amount = t.config.buy_amount; nonce }))
@@ -214,30 +236,50 @@ let pool_action t =
     (* Sell down to the midpoint of the band. *)
     let target = (t.config.minavail + t.config.maxavail) / 2 in
     let amount = max 1 (min avail (avail - target)) in
-    t.pending_sell <- Some { nonce; amount };
+    let span = request_span t "sell" ~nonce ~amount in
+    t.pending_sell <- Some { nonce; amount; span };
     Some (Wire.seal_for_bank t.rng t.config.bank_public (Wire.Sell { amount; nonce }))
   end
   else None
 
 type reaction = No_reaction | Start_snapshot_timer
 
-let apply_buy t amount accepted = if accepted then Ledger.add_pool t.ledger amount
+let apply_buy t ~nonce amount accepted =
+  if accepted then Ledger.add_pool t.ledger amount;
+  ev t "buy_apply"
+    [ ("nonce", Obs.Trace.Int (Int64.to_int nonce));
+      ("amount", Obs.Trace.Int amount);
+      ("accepted", Obs.Trace.Bool accepted) ]
 
-let apply_sell t amount =
-  match Ledger.take_pool t.ledger amount with
-  | Ok () -> ()
-  | Error _ ->
-      (* The pool shrank below the promised amount between request and
-         reply; sell what remains. *)
-      let avail = Ledger.avail t.ledger in
-      (match Ledger.take_pool t.ledger avail with Ok () -> () | Error _ -> ())
+let apply_sell t ~nonce amount =
+  let taken =
+    match Ledger.take_pool t.ledger amount with
+    | Ok () -> amount
+    | Error _ ->
+        (* The pool shrank below the promised amount between request and
+           reply; sell what remains. *)
+        let avail = Ledger.avail t.ledger in
+        (match Ledger.take_pool t.ledger avail with
+        | Ok () -> avail
+        | Error _ -> 0)
+  in
+  ev t "sell_apply"
+    [ ("nonce", Obs.Trace.Int (Int64.to_int nonce));
+      ("amount", Obs.Trace.Int amount);
+      ("taken", Obs.Trace.Int taken) ]
+
+let close_span t span name ~accepted =
+  if span <> 0 then
+    Obs.Trace.span_end t.tracer ~actor:t.config.index ~span ~comp:"isp" name
+      ~fields:[ ("accepted", Obs.Trace.Bool accepted) ]
 
 let on_buy_reply t ~nonce ~accepted =
   match t.pending_buy with
-  | Some ({ nonce = expected; amount } as p) when Int64.equal nonce expected ->
+  | Some ({ nonce = expected; amount; span } as p) when Int64.equal nonce expected ->
       t.pending_buy <- None;
       t.last_buy <- Some p;
-      apply_buy t amount accepted
+      apply_buy t ~nonce amount accepted;
+      close_span t span "buy" ~accepted
   | Some _ -> ()  (* nonce mismatch: stale or forged reply *)
   | None -> (
       (* No outstanding buy.  The paper's literal rule only compares
@@ -245,21 +287,22 @@ let on_buy_reply t ~nonce ~accepted =
          a duplicated reply is applied twice; the hardened kernel
          drops it. *)
       match t.last_buy with
-      | Some { nonce = last; amount } when (not t.config.replay_hardening) && Int64.equal nonce last ->
-          apply_buy t amount accepted
+      | Some { nonce = last; amount; _ } when (not t.config.replay_hardening) && Int64.equal nonce last ->
+          apply_buy t ~nonce amount accepted
       | Some _ | None -> ())
 
 let on_sell_reply t ~nonce =
   match t.pending_sell with
-  | Some ({ nonce = expected; amount } as p) when Int64.equal nonce expected ->
+  | Some ({ nonce = expected; amount; span } as p) when Int64.equal nonce expected ->
       t.pending_sell <- None;
       t.last_sell <- Some p;
-      apply_sell t amount
+      apply_sell t ~nonce amount;
+      close_span t span "sell" ~accepted:true
   | Some _ -> ()
   | None -> (
       match t.last_sell with
-      | Some { nonce = last; amount } when (not t.config.replay_hardening) && Int64.equal nonce last ->
-          apply_sell t amount
+      | Some { nonce = last; amount; _ } when (not t.config.replay_hardening) && Int64.equal nonce last ->
+          apply_sell t ~nonce amount
       | Some _ | None -> ())
 
 let on_bank_message t signed =
@@ -276,6 +319,7 @@ let on_bank_message t signed =
       | Wire.Audit_request { seq } ->
           if seq = t.seq && t.cansend then begin
             t.cansend <- false;
+            ev t "freeze" [ ("seq", Obs.Trace.Int seq) ];
             Start_snapshot_timer
           end
           else No_reaction
@@ -290,6 +334,7 @@ let thaw t =
       (Wire.Audit_reply
          { isp = t.config.index; seq = t.seq; credit = Credit.snapshot t.credit })
   in
+  ev t "thaw" [ ("seq", Obs.Trace.Int t.seq) ];
   Credit.reset t.credit;
   t.seq <- t.seq + 1;
   t.cansend <- true;
@@ -303,8 +348,10 @@ let apply_daily_cheat t =
           for _ = 1 to k do
             Credit.record_receive t.credit ~peer;
             (* The stolen e-penny lands on some user's balance. *)
-            Ledger.credit_receive t.ledger ~user:(Sim.Rng.int t.rng t.config.n_users);
-            t.cheat_minted <- t.cheat_minted + 1
+            let user = Sim.Rng.int t.rng t.config.n_users in
+            Ledger.credit_receive t.ledger ~user;
+            t.cheat_minted <- t.cheat_minted + 1;
+            ev t "mint" [ ("peer", Obs.Trace.Int peer); ("user", Obs.Trace.Int user) ]
           done
       done
   | Honest | Unreported_sends _ -> ()

@@ -52,6 +52,13 @@ val default_config :
 type t
 
 val create : Sim.Rng.t -> config -> t
+
+val set_tracer : t -> Obs.Trace.t -> unit
+(** Emit [isp/...] protocol events (charge/settle/refund, buy/sell
+    spans and applies, freeze/thaw, cheat mints) into the tracer, and
+    wire the kernel's credit vector to it too.  Default:
+    {!Obs.Trace.none}. *)
+
 val index : t -> int
 val compliant_peer : t -> int -> bool
 val ledger : t -> Ledger.t

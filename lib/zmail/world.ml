@@ -24,6 +24,10 @@ type config = {
   retry_timeout : float;
   retry_backoff : float;
   retry_cap : float;
+  tracer : Obs.Trace.t option;
+      (** Record protocol events here (and enable the engine monitor).
+          [None]: the world keeps a private, initially-inert tracer
+          that only wakes up if checkers subscribe to it. *)
 }
 
 let default_config ~n_isps ~users_per_isp =
@@ -44,6 +48,7 @@ let default_config ~n_isps ~users_per_isp =
     retry_timeout = 5.;
     retry_backoff = 2.;
     retry_cap = 900.;
+    tracer = None;
   }
 
 type counters = {
@@ -89,11 +94,16 @@ type t = {
   up : bool array;  (* false while an ISP is crashed *)
   crash_gen : int array;  (* bumped per crash; invalidates stale timers *)
   link : link_stats;
+  tracer : Obs.Trace.t;
+  metrics : Obs.Metrics.t;
+  honest : bool array;  (* compliant AND not configured to cheat *)
 }
 
 let engine t = t.engine
 let config t = t.cfg
 let bank t = t.the_bank
+let tracer t = t.tracer
+let metrics t = t.metrics
 let mta t i = t.mtas.(i)
 let counters t = t.stats
 let fault t = t.fault
@@ -136,6 +146,46 @@ let drain_warnings t i =
       t.stats.limit_warnings <- t.stats.limit_warnings + List.length warned
 
 (* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let wev t ?actor name fields =
+  if Obs.Trace.active t.tracer then
+    Obs.Trace.emit t.tracer ?actor ~fields ~comp:"world" name
+
+let fold_kernels t f =
+  Array.fold_left
+    (fun acc k -> match k with Some k -> acc + f k | None -> acc)
+    0 t.kernels
+
+(* Emit an [obs/checkpoint] event carrying independently-measured
+   system totals; the online invariant checkers compare the models
+   they derived from the event stream against these at every
+   checkpoint.  [quiescent] asserts no paid mail is in flight. *)
+let check_invariants ?(quiescent = false) t =
+  if Obs.Trace.active t.tracer then
+    Obs.Trace.emit t.tracer ~comp:"obs" "checkpoint"
+      ~fields:
+        [ ("total", Obs.Trace.Int (fold_kernels t Isp.total_epennies));
+          ( "outstanding",
+            Obs.Trace.Int (Bank.outstanding_epennies t.the_bank) );
+          ("minted", Obs.Trace.Int (fold_kernels t Isp.stats_cheat_minted));
+          ("quiescent", Obs.Trace.Bool quiescent) ]
+
+let attach_invariants ?honest t =
+  let honest = match honest with Some h -> h | None -> t.honest in
+  let zero_sum = Obs.Invariant.attach_zero_sum t.tracer ~initial:t.initial in
+  let antisymmetry = Obs.Invariant.attach_antisymmetry t.tracer ~honest in
+  let exactly_once = Obs.Invariant.attach_exactly_once t.tracer in
+  (* A background heartbeat so conservation is compared while the run
+     is in progress, not only at audit rounds and the final
+     checkpoint.  Background events never keep the run alive. *)
+  ignore
+    (Sim.Engine.every t.engine ~period:Sim.Engine.hour (fun () ->
+         check_invariants t));
+  [ zero_sum; antisymmetry; exactly_once ]
+
+(* ------------------------------------------------------------------ *)
 (* Bank links                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -159,6 +209,7 @@ let rec retry_loop t ~send ~still ~timeout =
       (Sim.Engine.schedule_after t.engine ~delay:timeout (fun () ->
            if still () then begin
              Sim.Stats.Counter.incr t.link.retransmits;
+             wev t "retransmit" [ ("timeout", Obs.Trace.Float timeout) ];
              retry_loop t ~send ~still
                ~timeout:(min (timeout *. t.cfg.retry_backoff) t.cfg.retry_cap)
            end))
@@ -179,7 +230,10 @@ let rec to_bank t i sealed =
                        (List.length result.Bank.violations)
                        (String.concat ","
                           (List.map string_of_int result.Bank.suspects)));
-                 t.audits <- (Sim.Engine.now t.engine, result) :: t.audits
+                 t.audits <- (Sim.Engine.now t.engine, result) :: t.audits;
+                 (* An audit round just closed every book: a natural
+                    instant to cross-check the money supply. *)
+                 check_invariants t
              | Bank.Audit_progress -> ()
              | Bank.Rejected reason ->
                  (* Corruption, forgery or an out-of-protocol duplicate:
@@ -303,6 +357,7 @@ let crash_isp t ~isp:i ~downtime =
       t.up.(i) <- false;
       t.crash_gen.(i) <- t.crash_gen.(i) + 1;
       Sim.Stats.Counter.incr t.link.crashes;
+      wev t ~actor:i "crash" [ ("downtime", Obs.Trace.Float downtime) ];
       (* The MTA answers 421 while down; peers retry with backoff and
          eventually bounce (refunded via the bounce hook). *)
       Smtp.Mta.set_down t.mtas.(i) true;
@@ -316,6 +371,7 @@ let crash_isp t ~isp:i ~downtime =
                 requests); the freeze flag is volatile and clears. *)
              Isp.recover kernel;
              Sim.Stats.Counter.incr t.link.recoveries;
+             wev t ~actor:i "recover" [];
              (* Recovery handshake: before reopening for business the
                 ISP fetches pending protocol state from the bank.  If
                 an audit round is still waiting on us, the re-issued
@@ -371,6 +427,7 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
     (* The user's own ISP is down: the submission MSA is unreachable,
        the message never enters the system (no charge, no queue). *)
     Sim.Stats.Counter.incr t.link.sends_failed_down;
+    wev t ~actor:i "refused_down" [];
     Failed_down
   end
   else
@@ -408,6 +465,7 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
           Submitted `Free
       | Isp.Deferred ->
           t.stats.deferred_sends <- t.stats.deferred_sends + 1;
+          wev t ~actor:i "deferred" [];
           Queue.push
             ( Sim.Engine.now t.engine,
               fun () -> ignore (submit_message t ~from:(i, u) ~to_addr ~build_msg) )
@@ -535,6 +593,17 @@ let create cfg =
   if cfg.n_isps <= 0 || cfg.users_per_isp <= 0 then
     invalid_arg "World.create: need at least one ISP and one user";
   let engine = Sim.Engine.create ~seed:cfg.seed () in
+  (* The tracer never draws randomness and is clocked off the engine,
+     so tracing cannot perturb a seeded run: the trace is a pure
+     function of the seed. *)
+  let tracer =
+    match cfg.tracer with
+    | Some tr -> tr
+    | None -> Obs.Trace.create ~capacity:0 ()
+  in
+  Obs.Trace.set_clock tracer (fun () -> Sim.Engine.now engine);
+  let metrics = Obs.Metrics.create () in
+  let honest = Array.make cfg.n_isps false in
   let rng = Sim.Rng.split (Sim.Engine.rng engine) in
   let net = Smtp.Mta.network engine in
   let the_bank =
@@ -557,6 +626,7 @@ let create cfg =
           in
           let final = cfg.customize_isp i base in
           initial_balance_of.(i) <- final.Isp.initial_balance;
+          honest.(i) <- final.Isp.cheat = Isp.Honest;
           Some (Isp.create rng final)
         end
         else None)
@@ -590,7 +660,7 @@ let create cfg =
           acks_generated = 0;
           limit_warnings = 0;
         };
-      deferral = Sim.Stats.Summary.create ();
+      deferral = Obs.Metrics.summary metrics "world.deferral_delay";
       audits = [];
       profiles = None;
       initial;
@@ -605,16 +675,72 @@ let create cfg =
       crash_gen = Array.make cfg.n_isps 0;
       link =
         {
-          retransmits = Sim.Stats.Counter.create "retransmits";
-          bank_rejects = Sim.Stats.Counter.create "bank_rejects";
-          lost_isp_down = Sim.Stats.Counter.create "lost_isp_down";
-          sends_failed_down = Sim.Stats.Counter.create "sends_failed_down";
-          crashes = Sim.Stats.Counter.create "crashes";
-          recoveries = Sim.Stats.Counter.create "recoveries";
-          bounce_refunds = Sim.Stats.Counter.create "bounce_refunds";
+          retransmits = Obs.Metrics.counter metrics "link.retransmits";
+          bank_rejects = Obs.Metrics.counter metrics "link.bank_rejects";
+          lost_isp_down = Obs.Metrics.counter metrics "link.lost_isp_down";
+          sends_failed_down =
+            Obs.Metrics.counter metrics "link.sends_failed_down";
+          crashes = Obs.Metrics.counter metrics "link.crashes";
+          recoveries = Obs.Metrics.counter metrics "link.recoveries";
+          bounce_refunds = Obs.Metrics.counter metrics "link.bounce_refunds";
         };
+      tracer;
+      metrics;
+      honest;
     }
   in
+  (* Route every component's events into the shared tracer and gather
+     the scattered counters under one registry. *)
+  Bank.set_tracer t.the_bank tracer;
+  Array.iter
+    (function Some kernel -> Isp.set_tracer kernel tracer | None -> ())
+    t.kernels;
+  List.iter
+    (fun c ->
+      Obs.Metrics.adopt_counter metrics
+        ~name:("fault." ^ Sim.Stats.Counter.name c)
+        c)
+    (Sim.Fault.counters t.fault);
+  Obs.Metrics.gauge metrics "engine.pending" (fun () ->
+      float_of_int (Sim.Engine.pending engine));
+  Obs.Metrics.gauge metrics "engine.live" (fun () ->
+      float_of_int (Sim.Engine.live engine));
+  Obs.Metrics.gauge metrics "engine.fired" (fun () ->
+      float_of_int (Sim.Engine.events_fired engine));
+  Obs.Metrics.gauge metrics "bank.outstanding" (fun () ->
+      float_of_int (Bank.outstanding_epennies t.the_bank));
+  Obs.Metrics.gauge metrics "world.total_epennies" (fun () ->
+      float_of_int (fold_kernels t Isp.total_epennies));
+  Obs.Metrics.gauge metrics "world.cheat_minted" (fun () ->
+      float_of_int (fold_kernels t Isp.stats_cheat_minted));
+  Obs.Metrics.gauge metrics "mail.ham_delivered" (fun () ->
+      float_of_int t.stats.ham_delivered);
+  Obs.Metrics.gauge metrics "mail.spam_delivered" (fun () ->
+      float_of_int t.stats.spam_delivered);
+  Obs.Metrics.gauge metrics "mail.unpaid_discarded" (fun () ->
+      float_of_int t.stats.unpaid_discarded);
+  Obs.Metrics.gauge metrics "mail.blocked_balance" (fun () ->
+      float_of_int t.stats.blocked_balance);
+  Obs.Metrics.gauge metrics "mail.blocked_limit" (fun () ->
+      float_of_int t.stats.blocked_limit);
+  Obs.Metrics.gauge metrics "mail.deferred_sends" (fun () ->
+      float_of_int t.stats.deferred_sends);
+  Obs.Metrics.gauge metrics "mail.acks_generated" (fun () ->
+      float_of_int t.stats.acks_generated);
+  (* The engine monitor costs a [Sys.time] per callback, so it is only
+     armed when the caller explicitly asked for tracing. *)
+  (match cfg.tracer with
+  | Some _ ->
+      let wall = Obs.Metrics.summary metrics "engine.callback_wall" in
+      let depth = Obs.Metrics.series metrics "engine.queue_live" in
+      Sim.Engine.set_monitor engine
+        (Some
+           (fun ~id:_ ~at ~wall:w ->
+             Sim.Stats.Summary.add wall w;
+             if Sim.Engine.events_fired engine mod 64 = 0 then
+               Sim.Stats.Series.record depth ~time:at
+                 (float_of_int (Sim.Engine.live engine))))
+  | None -> ());
   Array.iteri
     (fun i kernel ->
       match kernel with

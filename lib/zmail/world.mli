@@ -70,6 +70,12 @@ type config = {
           can only arrive after a full freeze. *)
   retry_backoff : float;  (** Timeout multiplier per retry. *)
   retry_cap : float;  (** Upper bound on the backed-off timeout. *)
+  tracer : Obs.Trace.t option;
+      (** Record protocol events into this tracer and arm the engine
+          monitor (callback wall-clock summary, queue-depth series).
+          [None] (the default): the world keeps a private, initially
+          inert tracer that only starts emitting if invariant checkers
+          subscribe to it — zero overhead otherwise. *)
 }
 
 val default_config : n_isps:int -> users_per_isp:int -> config
@@ -89,6 +95,35 @@ val isp : t -> int -> Isp.t
 
 val bank : t -> Bank.t
 val mta : t -> int -> Smtp.Mta.t
+
+(** {1 Observability} *)
+
+val tracer : t -> Obs.Trace.t
+(** The tracer every component emits into: [cfg.tracer] when supplied,
+    otherwise the world's private one. *)
+
+val metrics : t -> Obs.Metrics.t
+(** The registry holding the link/fault counters, mail gauges, engine
+    instruments and deferral summary; dump with
+    {!Obs.Metrics.to_table}. *)
+
+val check_invariants : ?quiescent:bool -> t -> unit
+(** Emit an [obs/checkpoint] event carrying independently-measured
+    system totals (Σ ISP e-pennies, bank outstanding, cheat-minted) for
+    the online checkers to compare their event-derived models against.
+    [quiescent] (default false) additionally asserts that no paid mail
+    is in flight.  Also fired automatically after every completed audit
+    and hourly once {!attach_invariants} has run.  No-op while the
+    tracer is inert. *)
+
+val attach_invariants : ?honest:bool array -> t -> Obs.Invariant.t list
+(** Subscribe the zero-sum, credit-antisymmetry and exactly-once
+    checkers (in that order) to the world's tracer and start the hourly
+    checkpoint heartbeat.  [honest] overrides the computed mask
+    (compliant and not configured to cheat) used to scope the
+    antisymmetry checker.  Raises {!Obs.Invariant.Violation} from
+    inside the run at the first inconsistent event. *)
+
 val address : t -> isp:int -> user:int -> Smtp.Address.t
 val locate : t -> Smtp.Address.t -> (int * int) option
 (** Inverse of {!address}. *)

@@ -298,6 +298,34 @@ let test_engine_every () =
   Sim.Engine.run ~until:20. e;
   Alcotest.(check int) "no more after cancel" 3 (List.length !times)
 
+let test_engine_pending_vs_live () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  let h1 = Sim.Engine.schedule e ~at:1. (fun () -> incr fired) in
+  ignore (Sim.Engine.schedule e ~at:2. (fun () -> incr fired));
+  ignore (Sim.Engine.schedule e ~at:3. (fun () -> incr fired));
+  Alcotest.(check int) "pending counts all" 3 (Sim.Engine.pending e);
+  Alcotest.(check int) "live counts all" 3 (Sim.Engine.live e);
+  Sim.Engine.cancel e h1;
+  (* Cancellation is lazy: the stub stays queued but is no longer live. *)
+  Alcotest.(check int) "stub still queued" 3 (Sim.Engine.pending e);
+  Alcotest.(check int) "live excludes stub" 2 (Sim.Engine.live e);
+  Sim.Engine.cancel e h1;
+  Alcotest.(check int) "double cancel is a no-op" 2 (Sim.Engine.live e);
+  (* The first step drains the stub without running a callback. *)
+  Alcotest.(check bool) "step drains stub" true (Sim.Engine.step e);
+  Alcotest.(check int) "no callback ran" 0 !fired;
+  Alcotest.(check int) "nothing fired" 0 (Sim.Engine.events_fired e);
+  Alcotest.(check int) "stub gone" 2 (Sim.Engine.pending e);
+  Alcotest.(check int) "live agrees once drained" 2 (Sim.Engine.live e);
+  Alcotest.(check bool) "step runs live event" true (Sim.Engine.step e);
+  Alcotest.(check int) "one callback ran" 1 !fired;
+  Alcotest.(check int) "fired count" 1 (Sim.Engine.events_fired e);
+  Sim.Engine.run e;
+  Alcotest.(check int) "rest fired" 2 !fired;
+  Alcotest.(check int) "queue empty" 0 (Sim.Engine.pending e);
+  Alcotest.(check int) "no live events left" 0 (Sim.Engine.live e)
+
 let test_engine_nested_scheduling () =
   let e = Sim.Engine.create () in
   let log = ref [] in
@@ -348,6 +376,61 @@ let test_summary_merge =
       Summary.count m = Summary.count c
       && close (Summary.mean m) (Summary.mean c)
       && close (Summary.variance m) (Summary.variance c))
+
+let test_summary_merge_empty () =
+  let open Sim.Stats in
+  let empty () = Summary.create () in
+  let m = Summary.merge (empty ()) (empty ()) in
+  Alcotest.(check int) "empty+empty count" 0 (Summary.count m);
+  check_float "empty+empty mean" 0. (Summary.mean m);
+  check_float "empty+empty variance" 0. (Summary.variance m);
+  let s = empty () in
+  List.iter (Summary.add s) [ 2.; 4.; 6. ];
+  let l = Summary.merge (empty ()) s in
+  let r = Summary.merge s (empty ()) in
+  List.iter
+    (fun m ->
+      Alcotest.(check int) "count preserved" 3 (Summary.count m);
+      check_float "mean preserved" 4. (Summary.mean m);
+      check_float "variance preserved" 4. (Summary.variance m);
+      check_float "min preserved" 2. (Summary.min m);
+      check_float "max preserved" 6. (Summary.max m))
+    [ l; r ]
+
+let test_summary_single_element () =
+  let open Sim.Stats in
+  let s = Summary.create () in
+  Summary.add s 5.;
+  check_float "single mean" 5. (Summary.mean s);
+  check_float "single variance" 0. (Summary.variance s);
+  check_float "single stddev" 0. (Summary.stddev s);
+  check_float "single min" 5. (Summary.min s);
+  check_float "single max" 5. (Summary.max s);
+  (* Merging two singletons must produce the exact two-sample moments:
+     the n=1 branch of the merge is where naive pooling formulas
+     divide by zero. *)
+  let t = Summary.create () in
+  Summary.add t 9.;
+  let m = Summary.merge s t in
+  Alcotest.(check int) "merged count" 2 (Summary.count m);
+  check_float "merged mean" 7. (Summary.mean m);
+  check_float "merged variance" 8. (Summary.variance m)
+
+let test_histogram_quantile_saturated () =
+  (* Every observation below the range: all quantiles clamp to lo. *)
+  let h = Sim.Stats.Histogram.create ~lo:10. ~hi:20. ~bins:5 in
+  List.iter (Sim.Stats.Histogram.add h) [ 0.; 1.; 2. ];
+  Alcotest.(check int) "all underflow" 3 (Sim.Stats.Histogram.underflow h);
+  List.iter
+    (fun q -> check_float "underflow clamps to lo" 10. (Sim.Stats.Histogram.quantile h q))
+    [ 0.; 0.5; 0.99; 1. ];
+  (* Every observation above the range: positive quantiles clamp to hi. *)
+  let h = Sim.Stats.Histogram.create ~lo:10. ~hi:20. ~bins:5 in
+  List.iter (Sim.Stats.Histogram.add h) [ 30.; 40.; 50. ];
+  Alcotest.(check int) "all overflow" 3 (Sim.Stats.Histogram.overflow h);
+  List.iter
+    (fun q -> check_float "overflow clamps to hi" 20. (Sim.Stats.Histogram.quantile h q))
+    [ 0.25; 0.5; 1. ]
 
 let test_histogram_buckets () =
   let h = Sim.Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
@@ -474,11 +557,16 @@ let () =
           Alcotest.test_case "cancel" `Quick test_engine_cancel;
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "periodic" `Quick test_engine_every;
+          Alcotest.test_case "pending vs live" `Quick test_engine_pending_vs_live;
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
         ] );
       ( "stats",
         Alcotest.test_case "summary basic" `Quick test_summary_basic
         :: Alcotest.test_case "summary empty" `Quick test_summary_empty
+        :: Alcotest.test_case "summary merge empty" `Quick test_summary_merge_empty
+        :: Alcotest.test_case "summary single element" `Quick test_summary_single_element
+        :: Alcotest.test_case "histogram quantile saturated" `Quick
+             test_histogram_quantile_saturated
         :: Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets
         :: Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile
         :: Alcotest.test_case "histogram quantile empty" `Quick
