@@ -9,7 +9,11 @@
 
    Flags (experiment runs): --metrics appends each instrumented
    experiment's metric-registry table; --trace FILE records the event
-   trace and writes it out (--trace-format jsonl|chrome). *)
+   trace and writes it out (--trace-format jsonl|chrome); --json FILE
+   times every experiment (plus engine throughput and snapshot I/O)
+   and writes a machine-readable report.  Single-experiment runs also
+   accept the checkpoint/resume flags of bin/zmail_sim:
+   --checkpoint-every T, --snapshot FILE, --resume FILE, --stop-at T. *)
 
 (* ------------------------------------------------------------------ *)
 (* E12: micro-benchmarks of the protocol plumbing                      *)
@@ -186,6 +190,131 @@ let run_micro () =
   Sim.Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* --json: machine-readable performance report                         *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Engine event throughput over a busy demo world (traffic, a bulk
+   sender, periodic audits): wall-clock events/second through the
+   whole stack, not a micro-benchmark. *)
+let engine_throughput () =
+  let world =
+    Zmail.World.create
+      {
+        (Zmail.World.default_config ~n_isps:3 ~users_per_isp:50) with
+        Zmail.World.seed = 12;
+        audit_period = Some (12. *. Sim.Engine.hour);
+      }
+  in
+  Zmail.World.attach_user_traffic world ();
+  Zmail.World.attach_bulk_sender world ~isp:0 ~user:0 ~per_day:2000. ();
+  let (), seconds = wall (fun () -> Zmail.World.run_days world 2.) in
+  let events = Sim.Engine.events_fired (Zmail.World.engine world) in
+  (events, seconds)
+
+(* Snapshot write/read bandwidth over a populated world image. *)
+let snapshot_io () =
+  let world =
+    Zmail.World.create
+      {
+        (Zmail.World.default_config ~n_isps:4 ~users_per_isp:100) with
+        Zmail.World.seed = 12;
+        audit_period = Some (12. *. Sim.Engine.hour);
+      }
+  in
+  Zmail.World.attach_user_traffic world ();
+  Zmail.World.run_days world 2.;
+  let snap =
+    Persist.Snapshot.v ~experiment:"bench" ~label:"" ~seed:12
+      ~time:(Sim.Engine.now (Zmail.World.engine world))
+      (Zmail.World.capture world)
+  in
+  let bytes = String.length (Persist.Snapshot.to_string snap) in
+  let path = Filename.temp_file "zmail_bench" ".snap" in
+  let iters = 200 in
+  let (), write_s =
+    wall (fun () ->
+        for _ = 1 to iters do
+          Persist.Snapshot.write_file ~path snap
+        done)
+  in
+  let (), read_s =
+    wall (fun () ->
+        for _ = 1 to iters do
+          match Persist.Snapshot.read_file ~path with
+          | Ok _ -> ()
+          | Error e -> failwith ("bench: snapshot read failed: " ^ e)
+        done)
+  in
+  Sys.remove path;
+  let mb_s seconds =
+    float_of_int (bytes * iters) /. (1024. *. 1024.) /. seconds
+  in
+  (bytes, mb_s write_s, mb_s read_s)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let run_json ~path ~obs =
+  (* Experiment tables still go to stdout; the timings go to [path]. *)
+  let experiments =
+    List.map
+      (fun e ->
+        let id = e.Harness.Experiments.id in
+        let (), seconds =
+          wall (fun () ->
+              match Harness.Experiments.run_one ~obs id with
+              | Ok () -> ()
+              | Error m -> failwith ("bench: " ^ id ^ ": " ^ m))
+        in
+        (id, seconds))
+      Harness.Experiments.all
+  in
+  let events, engine_s = engine_throughput () in
+  let snap_bytes, write_mb_s, read_mb_s = snapshot_io () in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"schema\": 1,\n  \"experiments\": [\n";
+  List.iteri
+    (fun k (id, seconds) ->
+      Buffer.add_string b
+        (Printf.sprintf "    { \"id\": \"%s\", \"wall_s\": %.6f }%s\n"
+           (json_escape id) seconds
+           (if k = List.length experiments - 1 then "" else ",")))
+    experiments;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"engine\": { \"events\": %d, \"wall_s\": %.6f, \
+        \"events_per_sec\": %.0f },\n"
+       events engine_s
+       (float_of_int events /. engine_s));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"snapshot\": { \"bytes\": %d, \"write_mb_per_s\": %.2f, \
+        \"read_mb_per_s\": %.2f }\n"
+       snap_bytes write_mb_s read_mb_s);
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.eprintf "bench: wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -198,13 +327,26 @@ let list_experiments () =
 
 let usage =
   "usage: main.exe [e1..e16|micro|list] [--metrics] [--trace FILE] \
-   [--trace-format jsonl|chrome]"
+   [--trace-format jsonl|chrome] [--json FILE] [--checkpoint-every T] \
+   [--snapshot FILE] [--resume FILE] [--stop-at T]"
 
 let () =
   let trace = ref None in
   let trace_format = ref `Jsonl in
   let metrics = ref false in
+  let json = ref None in
+  let checkpoint_every = ref None in
+  let snapshot = ref None in
+  let resume = ref None in
+  let stop_at = ref None in
   let positional = ref [] in
+  let float_arg name v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None ->
+        Printf.eprintf "%s: not a number: %s\n%s\n" name v usage;
+        exit 1
+  in
   let rec parse = function
     | [] -> ()
     | "--trace" :: path :: rest ->
@@ -220,6 +362,21 @@ let () =
         parse rest
     | "--metrics" :: rest ->
         metrics := true;
+        parse rest
+    | "--json" :: path :: rest ->
+        json := Some path;
+        parse rest
+    | "--checkpoint-every" :: v :: rest ->
+        checkpoint_every := Some (float_arg "--checkpoint-every" v);
+        parse rest
+    | "--snapshot" :: path :: rest ->
+        snapshot := Some path;
+        parse rest
+    | "--resume" :: path :: rest ->
+        resume := Some path;
+        parse rest
+    | "--stop-at" :: v :: rest ->
+        stop_at := Some (float_arg "--stop-at" v);
         parse rest
     | arg :: rest ->
         positional := arg :: !positional;
@@ -238,17 +395,52 @@ let () =
         Obs.Export.write_file ~path ~format:!trace_format (Obs.Trace.events tr)
     | _ -> ()
   in
+  let persist_requested =
+    !checkpoint_every <> None || !snapshot <> None || !resume <> None
+    || !stop_at <> None
+  in
   match List.rev !positional with
-  | [] ->
-      Harness.Experiments.run_all ~obs ();
-      run_micro ();
-      export ()
+  | [] when persist_requested ->
+      prerr_endline
+        "checkpoint/resume flags need a single experiment id";
+      exit 1
+  | [] -> (
+      match !json with
+      | Some path -> run_json ~path ~obs
+      | None ->
+          Harness.Experiments.run_all ~obs ();
+          run_micro ();
+          export ())
   | [ "micro" ] -> run_micro ()
   | [ "list" ] -> list_experiments ()
   | [ id ] -> (
-      match Harness.Experiments.run_one ~obs id with
-      | Ok () -> export ()
-      | Error message ->
+      let outcome =
+        try
+          let persist =
+            if persist_requested then
+              Harness.Checkpoint.create ?checkpoint_every:!checkpoint_every
+                ?snapshot:!snapshot ?resume:!resume ?stop_at:!stop_at
+                ~experiment:(String.lowercase_ascii id) ()
+            else Harness.Checkpoint.none
+          in
+          match Harness.Experiments.run_one ~obs ~persist id with
+          | Ok () -> (
+              match Harness.Checkpoint.finished persist with
+              | Ok () -> `Done
+              | Error m -> `Err ("checkpoint: " ^ m))
+          | Error m -> `Err m
+        with
+        | Harness.Checkpoint.Stopped { time; file } -> `Stopped (time, file)
+        | Invalid_argument m -> `Err m
+      in
+      match outcome with
+      | `Done -> export ()
+      | `Stopped (time, file) ->
+          Printf.eprintf "checkpoint: run stopped at t=%.0f%s\n%!" time
+            (match file with
+            | Some f -> Printf.sprintf "; resume with --resume %s" f
+            | None -> "")
+      | `Err message ->
           prerr_endline message;
           exit 1)
   | _ ->

@@ -36,8 +36,35 @@ let metrics_arg =
   let doc = "Append the metric-registry table to the experiment output." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let checkpoint_every_arg =
+  let doc =
+    "Write a world snapshot to the $(b,--snapshot) file every $(docv) \
+     simulated seconds (E2, E3 and E16 only)."
+  in
+  Arg.(value & opt (some float) None & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
+
+let snapshot_arg =
+  let doc = "Snapshot file written by --checkpoint-every / --stop-at." in
+  Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from a snapshot file: the run replays deterministically to the \
+     snapshot's capture time, byte-verifies the replayed world against it, \
+     then continues.  Output is identical to an uninterrupted run."
+  in
+  Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+
+let stop_at_arg =
+  let doc =
+    "Stop once simulated time reaches $(docv) seconds, after writing the \
+     $(b,--snapshot) file; exits 0."
+  in
+  Arg.(value & opt (some float) None & info [ "stop-at" ] ~docv:"SECONDS" ~doc)
+
 (* Shared by the `experiment` subcommand and the default command. *)
-let run_experiments id seed trace trace_format metrics =
+let run_experiments id seed trace trace_format metrics checkpoint_every snapshot
+    resume stop_at =
   let tracer =
     match trace with
     (* A generous ring: full traces for every experiment here; a long
@@ -46,21 +73,62 @@ let run_experiments id seed trace trace_format metrics =
     | None -> None
   in
   let obs = { Obs.Run.tracer; metrics } in
-  let result =
-    if String.lowercase_ascii id = "all" then begin
-      Harness.Experiments.run_all ~seed ~obs ();
-      Ok ()
-    end
-    else Harness.Experiments.run_one ~seed ~obs id
+  let id = String.lowercase_ascii id in
+  let persist_requested =
+    checkpoint_every <> None || snapshot <> None || resume <> None
+    || stop_at <> None
   in
-  (match (result, trace, tracer) with
-  | Ok (), Some path, Some tr ->
-      let events = Obs.Trace.events tr in
-      Obs.Export.write_file ~path ~format:trace_format events;
-      Format.printf "trace: %d events written to %s (%d emitted, %d evicted)@."
-        (List.length events) path (Obs.Trace.emitted tr) (Obs.Trace.dropped tr)
-  | _ -> ());
-  result
+  if persist_requested && id = "all" then
+    Error
+      "--checkpoint-every/--snapshot/--resume/--stop-at need a single \
+       experiment id"
+  else
+    let outcome =
+      try
+        let persist =
+          if persist_requested then
+            Harness.Checkpoint.create ?checkpoint_every ?snapshot ?resume
+              ?stop_at ~experiment:id ()
+          else Harness.Checkpoint.none
+        in
+        let result =
+          if id = "all" then begin
+            Harness.Experiments.run_all ~seed ~obs ();
+            Ok ()
+          end
+          else Harness.Experiments.run_one ~seed ~obs ~persist id
+        in
+        match result with
+        | Ok () -> (
+            match Harness.Checkpoint.finished persist with
+            | Ok () -> `Done
+            | Error msg -> `Err ("checkpoint: " ^ msg))
+        | Error msg -> `Err msg
+      with
+      | Harness.Checkpoint.Stopped { time; file } -> `Stopped (time, file)
+      | Invalid_argument msg -> `Err msg
+    in
+    match outcome with
+    | `Done ->
+        (match (trace, tracer) with
+        | Some path, Some tr ->
+            let events = Obs.Trace.events tr in
+            Obs.Export.write_file ~path ~format:trace_format events;
+            Format.printf
+              "trace: %d events written to %s (%d emitted, %d evicted)@."
+              (List.length events) path (Obs.Trace.emitted tr)
+              (Obs.Trace.dropped tr)
+        | _ -> ());
+        Ok ()
+    | `Stopped (time, file) ->
+        (* Partial run: no trace export (the resumed run produces the
+           complete, byte-identical one). *)
+        Printf.eprintf "checkpoint: run stopped at t=%.0f%s\n%!" time
+          (match file with
+          | Some f -> Printf.sprintf "; resume with --resume %s" f
+          | None -> "");
+        Ok ()
+    | `Err msg -> Error msg
 
 let verbosity_arg =
   let doc = "Log protocol events ($(docv) = info or debug)." in
@@ -92,7 +160,8 @@ let experiment_cmd =
     Term.(
       term_result'
         (const run_experiments $ id_arg $ seed_arg $ trace_arg
-        $ trace_format_arg $ metrics_arg))
+        $ trace_format_arg $ metrics_arg $ checkpoint_every_arg $ snapshot_arg
+        $ resume_arg $ stop_at_arg))
   in
   let doc = "Run a reproduction experiment and print its table(s)" in
   Cmd.v (Cmd.info "experiment" ~doc) term

@@ -65,7 +65,7 @@ type outcome = {
   residue : int;
 }
 
-let run_scenario ~tracer ~seed sc =
+let run_scenario ~tracer ~persist ~seed sc =
   let world =
     Zmail.World.create
       {
@@ -129,7 +129,7 @@ let run_scenario ~tracer ~seed sc =
              Zmail.World.crash_isp world ~isp ~downtime)))
     sc.crashes;
   (try
-     Zmail.World.run_days world (days +. 0.5);
+     Checkpoint.drive persist ~label:sc.label ~world ~days:(days +. 0.5) ();
      Zmail.World.run_until_quiet world;
      (* Drained: every paid message settled or was refunded, so the
         checkers may also demand zero credits in flight. *)
@@ -184,14 +184,15 @@ let run_scenario ~tracer ~seed sc =
   },
     Obs.Metrics.to_table (Zmail.World.metrics world) )
 
-let run ?obs ?(seed = 16) () =
+let run ?obs ?persist ?(seed = 16) () =
   let obs = Option.value obs ~default:Obs.Run.none in
+  let persist = Option.value persist ~default:Checkpoint.none in
   (* Chaos runs always trace: with no front-end tracer the events go
      into a small private ring whose tail is dumped on violation. *)
   let tracer = Obs.Run.tracer_or obs ~capacity:512 in
   let outcomes =
     List.mapi
-      (fun k sc -> (sc, run_scenario ~tracer ~seed:(seed + k) sc))
+      (fun k sc -> (sc, run_scenario ~tracer ~persist ~seed:(seed + k) sc))
       scenarios
   in
   let metrics_table =

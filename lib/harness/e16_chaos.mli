@@ -16,4 +16,9 @@
     buy/sell) watch the stream; a violation aborts the scenario with
     the offending event and the last traced events on stderr. *)
 
-val run : ?obs:Obs.Run.t -> ?seed:int -> unit -> Sim.Table.t list
+val run :
+  ?obs:Obs.Run.t -> ?persist:Checkpoint.t -> ?seed:int -> unit ->
+  Sim.Table.t list
+(** [persist] (default {!Checkpoint.none}) drives every chaos scenario
+    through the checkpoint/resume layer (snapshots record the scenario
+    label). *)

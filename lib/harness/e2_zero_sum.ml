@@ -1,5 +1,6 @@
-let run ?obs ?(seed = 2) ?(days = 21.) ?(isps = 4) ?(users_per_isp = 100) () =
+let run ?obs ?persist ?(seed = 2) ?(days = 21.) ?(isps = 4) ?(users_per_isp = 100) () =
   let obs = Option.value obs ~default:Obs.Run.none in
+  let persist = Option.value persist ~default:Checkpoint.none in
   let world =
     Zmail.World.create
       { (Zmail.World.default_config ~n_isps:isps ~users_per_isp) with
@@ -8,7 +9,7 @@ let run ?obs ?(seed = 2) ?(days = 21.) ?(isps = 4) ?(users_per_isp = 100) () =
   in
   let checkers = Zmail.World.attach_invariants world in
   Zmail.World.attach_user_traffic world ();
-  Zmail.World.run_days world days;
+  Checkpoint.drive persist ~world ~days ();
   (* Final checkpoint (non-quiescent: organic traffic never drains). *)
   Zmail.World.check_invariants world;
   List.iter

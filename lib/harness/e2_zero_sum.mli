@@ -14,5 +14,7 @@
     event rather than skewing the final table. *)
 
 val run :
-  ?obs:Obs.Run.t -> ?seed:int -> ?days:float -> ?isps:int ->
-  ?users_per_isp:int -> unit -> Sim.Table.t list
+  ?obs:Obs.Run.t -> ?persist:Checkpoint.t -> ?seed:int -> ?days:float ->
+  ?isps:int -> ?users_per_isp:int -> unit -> Sim.Table.t list
+(** [persist] (default {!Checkpoint.none}) drives the run through the
+    checkpoint/resume layer. *)

@@ -39,7 +39,7 @@ let score ~truth ~accused ~n =
   ignore n;
   (tp, fp, precision, recall)
 
-let run_scenario ~obs ~seed scenario =
+let run_scenario ~obs ~persist ~seed scenario =
   let n_isps = 8 in
   let world =
     Zmail.World.create
@@ -58,10 +58,10 @@ let run_scenario ~obs ~seed scenario =
      supposed to disagree — the audit detecting them is the claim. *)
   let checkers = Zmail.World.attach_invariants world in
   Zmail.World.attach_user_traffic world ();
-  Zmail.World.run_days world 3.;
+  Checkpoint.drive persist ~label:scenario.label ~world ~days:3. ();
   Zmail.World.trigger_audit world;
   (* Let the audit (requests, 10-minute freezes, replies) finish. *)
-  Zmail.World.run_days world 0.1;
+  Checkpoint.drive persist ~label:scenario.label ~world ~days:0.1 ();
   List.iter
     (fun c ->
       if
@@ -85,8 +85,9 @@ let run_scenario ~obs ~seed scenario =
         recall )
   | results -> failwith (Printf.sprintf "expected one audit, got %d" (List.length results))
 
-let run ?obs ?(seed = 3) () =
+let run ?obs ?persist ?(seed = 3) () =
   let obs = Option.value obs ~default:Obs.Run.none in
+  let persist = Option.value persist ~default:Checkpoint.none in
   let table =
     Sim.Table.create
       ~title:
@@ -106,7 +107,7 @@ let run ?obs ?(seed = 3) () =
   List.iteri
     (fun k scenario ->
       let violations, accused, tp, fp, precision, recall =
-        run_scenario ~obs ~seed:(seed + k) scenario
+        run_scenario ~obs ~persist ~seed:(seed + k) scenario
       in
       Sim.Table.add_row table
         [

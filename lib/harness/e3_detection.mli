@@ -7,4 +7,10 @@
     into an otherwise honest world, runs traffic and an audit, and
     scores the bank's accusations against ground truth. *)
 
-val run : ?obs:Obs.Run.t -> ?seed:int -> unit -> Sim.Table.t list
+val run :
+  ?obs:Obs.Run.t -> ?persist:Checkpoint.t -> ?seed:int -> unit ->
+  Sim.Table.t list
+(** [persist] (default {!Checkpoint.none}) drives every scenario
+    through the checkpoint/resume layer; snapshots record the scenario
+    label, and a resume replays the earlier scenarios before verifying
+    inside the matching one. *)

@@ -9,12 +9,14 @@ type t = {
   id : string;  (** ["e1"] … ["e16"]. *)
   title : string;
   claim : string;  (** The paper sentence being reproduced. *)
-  run : seed:int -> obs:Obs.Run.t -> Sim.Table.t list;
+  run : seed:int -> obs:Obs.Run.t -> persist:Checkpoint.t -> Sim.Table.t list;
       (** [obs] is the front end's observability context: a shared
           tracer to record into (exported afterwards by the caller)
           and whether to append the metric-registry table.  The
           world-backed experiments honour it; the rest ignore it.
-          Pass {!Obs.Run.none} when not tracing. *)
+          Pass {!Obs.Run.none} when not tracing.  [persist] is the
+          checkpoint/resume driver (E2, E3 and E16 honour it; pass
+          {!Checkpoint.none} otherwise). *)
 }
 
 val all : t list
@@ -26,5 +28,8 @@ val find : string -> t option
 val run_all : ?seed:int -> ?obs:Obs.Run.t -> unit -> unit
 (** Run every experiment, printing each table to stdout. *)
 
-val run_one : ?seed:int -> ?obs:Obs.Run.t -> string -> (unit, string) result
-(** Run and print a single experiment by id. *)
+val run_one :
+  ?seed:int -> ?obs:Obs.Run.t -> ?persist:Checkpoint.t -> string ->
+  (unit, string) result
+(** Run and print a single experiment by id.
+    @raise Checkpoint.Stopped when [persist] hits its stop point. *)

@@ -114,6 +114,20 @@ let clear t =
   Array.fill t.ring 0 (Array.length t.ring) None;
   t.stored <- 0
 
+(* Only the monotone emission counters are captured: ring contents and
+   capacity are a front-end presentation choice (the same run traced
+   into a 512-slot ring and a 256k-slot ring is still the same run),
+   but [next_seq]/[next_span] must line up for the exported JSONL of a
+   resumed run to continue the straight-through run's numbering. *)
+let encode_state w t =
+  Persist.Codec.W.int w t.next_seq;
+  Persist.Codec.W.int w t.next_span
+
+let restore_state r t =
+  if t.inert then Persist.Codec.R.corrupt r "cannot restore into Trace.none";
+  t.next_seq <- Persist.Codec.R.int r;
+  t.next_span <- Persist.Codec.R.int r
+
 let pp_value ppf = function
   | Int i -> Format.pp_print_int ppf i
   | Float f -> Format.fprintf ppf "%g" f

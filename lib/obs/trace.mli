@@ -104,6 +104,13 @@ val dropped : t -> int
 val clear : t -> unit
 (** Empty the ring buffer (sinks and counters are untouched). *)
 
+val encode_state : Persist.Codec.W.t -> t -> unit
+val restore_state : Persist.Codec.R.t -> t -> unit
+(** Snapshot capture and in-place restore of the monotone emission
+    counters (sequence and span ids).  Ring contents and capacity are a
+    presentation choice and are not captured; restoring into
+    {!none} raises [Persist.Codec.Corrupt]. *)
+
 val pp_value : Format.formatter -> value -> unit
 
 val pp_event : Format.formatter -> event -> unit

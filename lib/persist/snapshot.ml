@@ -1,0 +1,144 @@
+type t = {
+  version : int;
+  experiment : string;
+  label : string;
+  seed : int;
+  time : float;
+  sections : (string * string) list;
+}
+
+let current_version = 1
+let magic = "ZMSNAP01"
+
+let v ~experiment ~label ~seed ~time sections =
+  { version = current_version; experiment; label; seed; time; sections }
+
+let section t name = List.assoc_opt name t.sections
+
+let migrations : (int, (string * string) list -> (string * string) list) Hashtbl.t =
+  Hashtbl.create 4
+
+let register_migration ~from_version f = Hashtbl.replace migrations from_version f
+
+let crc_as_u32 s = Int32.to_int (Codec.Crc32.string s) land 0xFFFFFFFF
+
+let to_string t =
+  (* Layout: magic bytes, u32 version, header fields, u32 section
+     count, then each section as (name, crc32(body), body), and
+     finally a u32 CRC-32 over every preceding byte.  Every byte of
+     the file is covered by at least one checksum. *)
+  let w = Codec.W.create () in
+  Codec.W.str w magic;
+  Codec.W.u32 w t.version;
+  Codec.W.str w t.experiment;
+  Codec.W.str w t.label;
+  Codec.W.int w t.seed;
+  Codec.W.float w t.time;
+  Codec.W.u32 w (List.length t.sections);
+  List.iter
+    (fun (name, body) ->
+      Codec.W.str w name;
+      Codec.W.u32 w (crc_as_u32 body);
+      Codec.W.str w body)
+    t.sections;
+  let prefix = Codec.W.contents w in
+  let trailer = Codec.W.create () in
+  Codec.W.u32 trailer (crc_as_u32 prefix);
+  prefix ^ Codec.W.contents trailer
+
+let parse r =
+  let open Codec.R in
+  let m = str r in
+  if m <> magic then corrupt r "bad magic: not a Zmail snapshot";
+  let version = u32 r in
+  let experiment = str r in
+  let label = str r in
+  let seed = int r in
+  let time = float r in
+  let n = u32 r in
+  let sections =
+    List.init n (fun _ ->
+        let name = str r in
+        let crc = u32 r in
+        let body = str r in
+        if crc_as_u32 body <> crc then
+          corrupt r (Printf.sprintf "section %S fails its CRC" name);
+        (name, body))
+  in
+  { version; experiment; label; seed; time; sections }
+
+let migrate t =
+  let rec go version sections =
+    if version = current_version then Ok { t with version; sections }
+    else
+      match Hashtbl.find_opt migrations version with
+      | Some f -> go (version + 1) (f sections)
+      | None ->
+          Error
+            (Printf.sprintf
+               "snapshot version %d is not readable (current is %d, no migration)"
+               version current_version)
+  in
+  if t.version > current_version then
+    Error
+      (Printf.sprintf "snapshot version %d is newer than this build's %d"
+         t.version current_version)
+  else go t.version t.sections
+
+let of_string s =
+  (* Whole-file CRC first: a flipped bit anywhere (including inside
+     lengths) is caught before any field is interpreted. *)
+  if String.length s < 4 then Error "snapshot truncated: shorter than its trailer"
+  else begin
+    let prefix = String.sub s 0 (String.length s - 4) in
+    let trailer = String.sub s (String.length s - 4) 4 in
+    let stated =
+      let b i = Char.code trailer.[i] in
+      b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+    in
+    if crc_as_u32 prefix <> stated then Error "snapshot fails its file CRC"
+    else
+      match Codec.decode parse prefix with
+      | Error _ as e -> e
+      | Ok t -> migrate t
+  end
+
+let write_file ~path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let read_file ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+
+let diff a b =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if a.version <> b.version then fail "version: %d vs %d" a.version b.version
+  else if a.experiment <> b.experiment then
+    fail "experiment: %S vs %S" a.experiment b.experiment
+  else if a.label <> b.label then fail "label: %S vs %S" a.label b.label
+  else if a.seed <> b.seed then fail "seed: %d vs %d" a.seed b.seed
+  else if a.time <> b.time then fail "time: %g vs %g" a.time b.time
+  else begin
+    let names t = List.map fst t.sections in
+    if names a <> names b then
+      fail "section lists differ: [%s] vs [%s]"
+        (String.concat ";" (names a))
+        (String.concat ";" (names b))
+    else
+      let rec scan = function
+        | [] -> Ok ()
+        | ((name, ba), (_, bb)) :: rest ->
+            if String.equal ba bb then scan rest
+            else fail "section %S differs (%d vs %d bytes)" name (String.length ba) (String.length bb)
+      in
+      scan (List.combine a.sections b.sections)
+  end

@@ -115,6 +115,55 @@ let step t =
       end;
       true
 
+(* Snapshot capture.  Closures cannot be serialized, so pending events
+   are captured as metadata only — (at, seq, id, foreground) in pop
+   order plus the cancellation marks — which is exactly enough to
+   byte-compare two engines that are supposed to be in the same state
+   (the resume-determinism check).  [restore_state] rehydrates the
+   scalar state; the queue itself is rebuilt by whoever re-creates the
+   world (deterministic replay, see lib/harness Checkpoint). *)
+let encode_state w t =
+  let open Persist.Codec.W in
+  float w t.clock;
+  int w t.next_id;
+  int w t.fired;
+  int w t.stubs;
+  int w t.foreground_pending;
+  int w (Heap.next_seq t.queue);
+  Rng.encode_state w t.root_rng;
+  list
+    (fun w (at, seq, ev) ->
+      float w at;
+      int w seq;
+      int w ev.id;
+      bool w ev.foreground)
+    w (Heap.entries t.queue);
+  list int w
+    (List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) t.cancelled []))
+
+let restore_state r t =
+  let open Persist.Codec.R in
+  t.clock <- float r;
+  t.next_id <- int r;
+  t.fired <- int r;
+  t.stubs <- int r;
+  t.foreground_pending <- int r;
+  let _heap_seq = int r in
+  Rng.restore_state r t.root_rng;
+  let pending =
+    list
+      (fun r ->
+        let at = float r in
+        let seq = int r in
+        let id = int r in
+        let fg = bool r in
+        (at, seq, id, fg))
+      r
+  in
+  let _cancelled = list int r in
+  if Heap.length t.queue <> List.length pending then
+    corrupt r "engine queue does not match the snapshot's pending events"
+
 let run ?until t =
   match until with
   | None ->

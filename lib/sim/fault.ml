@@ -141,6 +141,18 @@ let delayed t = Stats.Counter.value t.delayed
 let corrupted t = Stats.Counter.value t.corrupted
 let outage_dropped t = Stats.Counter.value t.outage_dropped
 
+let encode_state w t =
+  Rng.encode_state w t.rng;
+  List.iter (Stats.Counter.encode_state w)
+    [ t.sent; t.delivered; t.dropped; t.duplicated; t.delayed; t.corrupted;
+      t.outage_dropped ]
+
+let restore_state r t =
+  Rng.restore_state r t.rng;
+  List.iter (Stats.Counter.restore_state r)
+    [ t.sent; t.delivered; t.dropped; t.duplicated; t.delayed; t.corrupted;
+      t.outage_dropped ]
+
 let counters t =
   [
     t.sent;

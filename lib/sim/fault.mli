@@ -84,3 +84,9 @@ val outage_dropped : t -> int
 
 val counters : t -> Stats.Counter.t list
 (** Every counter above, for bulk reporting. *)
+
+val encode_state : Persist.Codec.W.t -> t -> unit
+val restore_state : Persist.Codec.R.t -> t -> unit
+(** Snapshot capture and in-place restore of the fault model's own RNG
+    stream and counters.  Delayed copies already scheduled on the
+    engine are not captured; deterministic replay re-creates them. *)

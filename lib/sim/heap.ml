@@ -72,3 +72,12 @@ let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).valu
 let clear t =
   t.data <- [||];
   t.size <- 0
+
+let entries t =
+  let live = Array.to_list (Array.sub t.data 0 t.size) in
+  List.sort
+    (fun a b -> if less a b then -1 else if less b a then 1 else 0)
+    live
+  |> List.map (fun e -> (e.prio, e.seq, e.value))
+
+let next_seq t = t.next_seq

@@ -26,3 +26,13 @@ val peek : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit
 (** Drop all entries. *)
+
+val entries : 'a t -> (float * int * 'a) list
+(** Every queued [(priority, sequence, value)] in pop order — i.e.
+    sorted by [(priority, sequence)] — without disturbing the heap.
+    This is how a snapshot captures pending-event metadata. *)
+
+val next_seq : 'a t -> int
+(** The sequence number the next {!push} will be assigned.  Monotone
+    over the heap's lifetime (it is never reused), so it is part of the
+    deterministic tie-break state a snapshot must record. *)

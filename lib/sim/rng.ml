@@ -12,6 +12,13 @@ let create seed = { state = mix64 (Int64.of_int seed) }
 
 let copy t = { state = t.state }
 
+let state t = t.state
+let set_state t s = t.state <- s
+let of_state s = { state = s }
+
+let encode_state w t = Persist.Codec.W.i64 w t.state
+let restore_state r t = t.state <- Persist.Codec.R.i64 r
+
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

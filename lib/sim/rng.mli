@@ -22,6 +22,19 @@ val split : t -> t
 (** [split t] derives a new generator from [t]'s stream, advancing [t].
     Streams of the parent and child are statistically independent. *)
 
+val state : t -> int64
+(** The raw SplitMix64 state word.  [of_state (state t)] continues
+    [t]'s stream exactly. *)
+
+val set_state : t -> int64 -> unit
+val of_state : int64 -> t
+
+val encode_state : Persist.Codec.W.t -> t -> unit
+val restore_state : Persist.Codec.R.t -> t -> unit
+(** Snapshot capture/restore of the single state word (see
+    [lib/persist]); [restore_state] overwrites [t] in place so every
+    component already holding this generator keeps its reference. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -26,6 +26,12 @@ module Summary : sig
   (** Summary of the union of both observation streams. *)
 
   val pp : Format.formatter -> t -> unit
+
+  val encode_state : Persist.Codec.W.t -> t -> unit
+  val restore_state : Persist.Codec.R.t -> t -> unit
+  (** Snapshot capture and in-place restore (see [lib/persist]).
+      [restore_state] rejects input whose shape or label contradicts
+      the live instrument. *)
 end
 
 (** Fixed-range linear histogram with under/overflow buckets. *)
@@ -49,6 +55,12 @@ module Histogram : sig
       observations clamp to the range ends. [nan] when empty. *)
 
   val pp : Format.formatter -> t -> unit
+
+  val encode_state : Persist.Codec.W.t -> t -> unit
+  val restore_state : Persist.Codec.R.t -> t -> unit
+  (** Snapshot capture and in-place restore (see [lib/persist]).
+      [restore_state] rejects input whose shape or label contradicts
+      the live instrument. *)
 end
 
 (** Time-stamped series of samples, recorded in increasing time order. *)
@@ -63,6 +75,12 @@ module Series : sig
   (** Samples in recording order. *)
 
   val last : t -> (float * float) option
+
+  val encode_state : Persist.Codec.W.t -> t -> unit
+  val restore_state : Persist.Codec.R.t -> t -> unit
+  (** Snapshot capture and in-place restore (see [lib/persist]).
+      [restore_state] rejects input whose shape or label contradicts
+      the live instrument. *)
 end
 
 (** Named monotone counters. *)
@@ -73,4 +91,10 @@ module Counter : sig
   val name : t -> string
   val incr : ?by:int -> t -> unit
   val value : t -> int
+
+  val encode_state : Persist.Codec.W.t -> t -> unit
+  val restore_state : Persist.Codec.R.t -> t -> unit
+  (** Snapshot capture and in-place restore (see [lib/persist]).
+      [restore_state] rejects input whose shape or label contradicts
+      the live instrument. *)
 end

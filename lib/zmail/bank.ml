@@ -246,6 +246,81 @@ let audit_waiting t =
   | None -> None
   | Some audit -> Some (audit.audit_seq, audit.waiting)
 
+(* The keypair is not captured: it is derived deterministically from
+   the creation RNG, so the world-rebuild that precedes a restore
+   regenerates the identical keys.  The reply cache is sorted by
+   (isp, nonce) so equal banks encode identically regardless of
+   Hashtbl internals. *)
+let encode_state w t =
+  let open Persist.Codec.W in
+  int_array w t.account;
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.reply_cache []
+    |> List.sort (fun ((i1, n1), _) ((i2, n2), _) ->
+           match Int.compare i1 i2 with 0 -> Int64.compare n1 n2 | c -> c)
+  in
+  list
+    (fun w ((isp, nonce), payload) ->
+      int w isp;
+      i64 w nonce;
+      Wire.encode_bin w payload)
+    w entries;
+  int w t.outstanding;
+  int w t.seq;
+  opt
+    (fun w (a : audit_state) ->
+      int w a.audit_seq;
+      list int w a.waiting;
+      array int_array w a.reported;
+      int w a.span)
+    w t.audit;
+  int w t.buys;
+  int w t.buys_rejected;
+  int w t.sells;
+  int w t.replays_dropped;
+  int w t.audits_completed;
+  int w t.messages_in;
+  int w t.messages_out
+
+let restore_state r t =
+  let open Persist.Codec.R in
+  let account = int_array r in
+  if Array.length account <> Array.length t.account then
+    corrupt r "Bank: account array size mismatch";
+  Array.blit account 0 t.account 0 (Array.length account);
+  Hashtbl.reset t.reply_cache;
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.reply_cache k v)
+    (list
+       (fun r ->
+         let isp = int r in
+         let nonce = i64 r in
+         let payload = Wire.decode_bin r in
+         ((isp, nonce), payload))
+       r);
+  t.outstanding <- int r;
+  t.seq <- int r;
+  (* [audit_state] is rebuilt wholesale: nothing outside the bank holds
+     a reference to it (callers poll {!audit_waiting} instead). *)
+  t.audit <-
+    opt
+      (fun r ->
+        let audit_seq = int r in
+        let waiting = list int r in
+        let reported = array int_array r in
+        let span = int r in
+        if Array.length reported <> t.config.n_isps then
+          corrupt r "Bank: audit matrix size mismatch";
+        { audit_seq; waiting; reported; span })
+      r;
+  t.buys <- int r;
+  t.buys_rejected <- int r;
+  t.sells <- int r;
+  t.replays_dropped <- int r;
+  t.audits_completed <- int r;
+  t.messages_in <- int r;
+  t.messages_out <- int r
+
 type stats = {
   buys : int;
   buys_rejected : int;

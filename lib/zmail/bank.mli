@@ -81,6 +81,16 @@ val resend_audit_request : t -> isp:int -> Wire.signed option
     sending mail its already-thawed peers would book one audit epoch
     ahead. *)
 
+val encode_state : Persist.Codec.W.t -> t -> unit
+val restore_state : Persist.Codec.R.t -> t -> unit
+(** Snapshot capture and in-place restore of accounts, the reply cache
+    (sorted by (isp, nonce) so equal banks encode identically), the
+    audit state and all counters.  The RSA keypair is {e not} captured:
+    it is derived deterministically from the creation RNG, so the
+    world-rebuild preceding a restore regenerates identical keys.
+    Restore raises [Persist.Codec.Corrupt] on malformed input or a
+    shape mismatch. *)
+
 type stats = {
   buys : int;  (** Accepted buy transactions. *)
   buys_rejected : int;  (** Insufficient account. *)

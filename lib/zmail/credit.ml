@@ -56,6 +56,24 @@ let reset t =
 
 let net_flow t = Array.fold_left ( + ) 0 t.now
 
+(* The tracer binding and owner index are wiring, not state: the
+   restored vector keeps whatever tracer the live world attached. *)
+let encode_state w t =
+  Persist.Codec.W.int_array w t.now;
+  Persist.Codec.W.int_array w t.early
+
+let restore_state r t =
+  let blit name dst =
+    let src = Persist.Codec.R.int_array r in
+    if Array.length src <> Array.length dst then
+      Persist.Codec.R.corrupt r
+        (Printf.sprintf "Credit: %s has %d peers, snapshot has %d" name
+           (Array.length dst) (Array.length src));
+    Array.blit src 0 dst 0 (Array.length dst)
+  in
+  blit "now" t.now;
+  blit "early" t.early
+
 module Audit = struct
   type violation = { isp_a : int; isp_b : int; discrepancy : int }
 

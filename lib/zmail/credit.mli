@@ -56,6 +56,13 @@ val net_flow : t -> int
 (** Sum of the vector: messages sent minus received against all
     compliant peers this period. *)
 
+val encode_state : Persist.Codec.W.t -> t -> unit
+val restore_state : Persist.Codec.R.t -> t -> unit
+(** Snapshot capture and in-place restore of the current-period and
+    early-receive vectors.  The tracer binding is wiring, not state,
+    and is untouched.  Restore raises [Persist.Codec.Corrupt] on a
+    peer-count mismatch. *)
+
 (** The bank's verification matrix. *)
 module Audit : sig
   type violation = {

@@ -121,13 +121,107 @@ let pending_buy_nonce t = Option.map (fun p -> p.nonce) t.pending_buy
 let pending_sell_nonce t = Option.map (fun p -> p.nonce) t.pending_sell
 let audit_seq t = t.seq
 
+(* ------------------------------------------------------------------ *)
+(* State capture                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode_pending w (p : pending) =
+  let open Persist.Codec.W in
+  i64 w p.nonce;
+  int w p.amount;
+  int w p.span
+
+let decode_pending r =
+  let open Persist.Codec.R in
+  let nonce = i64 r in
+  let amount = int r in
+  let span = int r in
+  { nonce; amount; span }
+
+(* The tracer binding is wiring, not state; the config is identity and
+   is re-created by whoever rebuilds the world.  Everything else —
+   including the RNG and nonce streams, which must continue bit-for-bit
+   for a resumed run to match the straight-through one — is here. *)
+let encode_state w t =
+  let open Persist.Codec.W in
+  Sim.Rng.encode_state w t.rng;
+  Toycrypto.Nonce.encode_state w t.nonces;
+  Ledger.encode_state w t.ledger;
+  Credit.encode_state w t.credit;
+  bool w t.cansend;
+  opt encode_pending w t.pending_buy;
+  opt encode_pending w t.pending_sell;
+  opt encode_pending w t.last_buy;
+  opt encode_pending w t.last_sell;
+  int w t.seq;
+  list int w t.pending_warnings;
+  array bool w t.warned_today;
+  int w t.sent_paid;
+  int w t.sent_free;
+  int w t.received_paid;
+  int w t.cheat_minted;
+  int w t.refunds;
+  int w t.crashes
+
+let restore_state r t =
+  let open Persist.Codec.R in
+  Sim.Rng.restore_state r t.rng;
+  Toycrypto.Nonce.restore_state r t.nonces;
+  Ledger.restore_state r t.ledger;
+  Credit.restore_state r t.credit;
+  t.cansend <- bool r;
+  t.pending_buy <- opt decode_pending r;
+  t.pending_sell <- opt decode_pending r;
+  t.last_buy <- opt decode_pending r;
+  t.last_sell <- opt decode_pending r;
+  t.seq <- int r;
+  t.pending_warnings <- list int r;
+  let warned = array bool r in
+  if Array.length warned <> Array.length t.warned_today then
+    corrupt r "Isp: warned_today size mismatch";
+  Array.blit warned 0 t.warned_today 0 (Array.length warned);
+  t.sent_paid <- int r;
+  t.sent_free <- int r;
+  t.received_paid <- int r;
+  t.cheat_minted <- int r;
+  t.refunds <- int r;
+  t.crashes <- int r
+
 (* Crash recovery: the ledger, credit vector, audit sequence and the
    pending buy/sell records (the request WAL) are durable; only the
    snapshot-freeze flag is volatile.  Losing an in-progress freeze is
    safe — the bank retransmits the audit request and the freeze simply
    restarts — whereas losing a pending buy would desynchronize the
-   money supply (the bank may have debited us already). *)
-let recover t =
+   money supply (the bank may have debited us already).
+
+   The durable state travels as an explicit {!Persist.Codec} image:
+   {!durable_image} is the write-ahead record taken at crash time, and
+   {!recover} restores from it rather than trusting whatever happens to
+   still sit in memory. *)
+(* The image carries its own CRC-32 trailer (like a snapshot section)
+   so a flipped bit anywhere in it — including inside a plain integer
+   field the codec could otherwise decode — aborts recovery instead of
+   restoring a subtly wrong kernel. *)
+let durable_image t =
+  let body = Persist.Codec.to_string encode_state t in
+  let w = Persist.Codec.W.create () in
+  Persist.Codec.W.str w body;
+  Persist.Codec.W.u32 w (Int32.to_int (Persist.Codec.Crc32.string body) land 0xFFFFFFFF);
+  Persist.Codec.W.contents w
+
+let recover t ~image =
+  let restore r =
+    let body = Persist.Codec.R.str r in
+    let crc = Persist.Codec.R.u32 r in
+    if Int32.to_int (Persist.Codec.Crc32.string body) land 0xFFFFFFFF <> crc
+    then Persist.Codec.R.corrupt r "durable image CRC mismatch";
+    match Persist.Codec.decode (fun r -> restore_state r t) body with
+    | Ok () -> ()
+    | Error msg -> Persist.Codec.R.corrupt r msg
+  in
+  (match Persist.Codec.decode restore image with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Isp.recover: corrupt durable image: " ^ msg));
   t.crashes <- t.crashes + 1;
   t.cansend <- true
 

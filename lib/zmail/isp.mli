@@ -77,13 +77,30 @@ val pending_sell_nonce : t -> int64 option
 val audit_seq : t -> int
 (** The next audit sequence number this kernel will accept. *)
 
-val recover : t -> unit
-(** Restart the kernel after a crash.  The ledger, credit vector,
-    audit sequence and pending buy/sell records are durable state and
-    survive; the snapshot-freeze flag is volatile and is cleared (the
-    bank's audit-request retransmission restarts the freeze if one was
-    in progress).  Callers must separately retransmit any pending bank
-    requests to reconverge the pool. *)
+val durable_image : t -> string
+(** The kernel's write-through durable record: its complete protocol
+    state (ledger, credit vectors, audit sequence, pending buy/sell
+    records, RNG/nonce streams, counters) as one [Persist.Codec]
+    string.  The model treats every kernel mutation as landing on
+    stable storage, so the image read at recovery reflects all
+    bookkeeping up to that instant; it is fed back to {!recover}. *)
+
+val recover : t -> image:string -> unit
+(** Restart the kernel after a crash from [image] (a {!durable_image}).
+    The ledger, credit vector, audit sequence and pending buy/sell
+    records are durable state and are restored from the image; the
+    snapshot-freeze flag is volatile and is cleared (the bank's
+    audit-request retransmission restarts the freeze if one was in
+    progress).  Callers must separately retransmit any pending bank
+    requests to reconverge the pool.
+    @raise Invalid_argument if [image] does not decode. *)
+
+val encode_state : Persist.Codec.W.t -> t -> unit
+val restore_state : Persist.Codec.R.t -> t -> unit
+(** Snapshot capture and in-place restore of the full kernel state
+    (the tracer binding and the identity-bearing [config] excepted).
+    Restore raises [Persist.Codec.Corrupt] on malformed input or a
+    shape mismatch against the live kernel. *)
 
 (** {1 Mail path (§4.1)} *)
 

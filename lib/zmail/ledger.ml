@@ -90,6 +90,30 @@ let take_pool t amount =
 
 let reset_daily t = Array.fill t.sent 0 (Array.length t.sent) 0
 
+let encode_state w t =
+  let open Persist.Codec.W in
+  int_array w t.account;
+  int_array w t.balance;
+  int_array w t.sent;
+  int_array w t.limit;
+  int w t.avail
+
+let restore_state r t =
+  let open Persist.Codec.R in
+  let blit name dst =
+    let src = int_array r in
+    if Array.length src <> Array.length dst then
+      corrupt r
+        (Printf.sprintf "Ledger: %s has %d users, snapshot has %d" name
+           (Array.length dst) (Array.length src));
+    Array.blit src 0 dst 0 (Array.length dst)
+  in
+  blit "account" t.account;
+  blit "balance" t.balance;
+  blit "sent" t.sent;
+  blit "limit" t.limit;
+  t.avail <- int r
+
 let total_user_epennies t = Array.fold_left ( + ) 0 t.balance
 
 let total_epennies t = total_user_epennies t + t.avail

@@ -57,3 +57,9 @@ val reset_daily : t -> unit
 val total_user_epennies : t -> Epenny.amount
 val total_epennies : t -> Epenny.amount
 (** [total_user_epennies + avail]. *)
+
+val encode_state : Persist.Codec.W.t -> t -> unit
+val restore_state : Persist.Codec.R.t -> t -> unit
+(** Snapshot capture and in-place restore of every per-user array and
+    the pool.  Restore raises [Persist.Codec.Corrupt] if the snapshot
+    was taken over a different number of users. *)

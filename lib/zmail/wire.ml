@@ -51,6 +51,63 @@ let decode s =
       | _ -> fail ())
   | _ -> fail ()
 
+(* Binary codec for snapshots and durable ISP images.  The textual
+   [encode]/[decode] pair stays the wire format (sealed/signed bytes
+   depend on it); this one is length-prefixed and self-delimiting, so
+   payloads can sit inside larger Persist.Codec streams. *)
+let encode_bin w p =
+  let open Persist.Codec.W in
+  match p with
+  | Buy { amount; nonce } ->
+      u8 w 0;
+      int w amount;
+      i64 w nonce
+  | Buy_reply { nonce; accepted } ->
+      u8 w 1;
+      i64 w nonce;
+      bool w accepted
+  | Sell { amount; nonce } ->
+      u8 w 2;
+      int w amount;
+      i64 w nonce
+  | Sell_reply { nonce } ->
+      u8 w 3;
+      i64 w nonce
+  | Audit_request { seq } ->
+      u8 w 4;
+      int w seq
+  | Audit_reply { isp; seq; credit } ->
+      u8 w 5;
+      int w isp;
+      int w seq;
+      int_array w credit
+
+let decode_bin r =
+  let open Persist.Codec.R in
+  match u8 r with
+  | 0 ->
+      let amount = int r in
+      let nonce = i64 r in
+      if amount < 0 then corrupt r "Wire: negative buy amount";
+      Buy { amount; nonce }
+  | 1 ->
+      let nonce = i64 r in
+      let accepted = bool r in
+      Buy_reply { nonce; accepted }
+  | 2 ->
+      let amount = int r in
+      let nonce = i64 r in
+      if amount < 0 then corrupt r "Wire: negative sell amount";
+      Sell { amount; nonce }
+  | 3 -> Sell_reply { nonce = i64 r }
+  | 4 -> Audit_request { seq = int r }
+  | 5 ->
+      let isp = int r in
+      let seq = int r in
+      let credit = int_array r in
+      Audit_reply { isp; seq; credit }
+  | tag -> corrupt r (Printf.sprintf "Wire: unknown payload tag %d" tag)
+
 type signed = { payload : payload; signature : int }
 
 let seal_for_bank rng bank_pk payload =

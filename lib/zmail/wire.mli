@@ -22,6 +22,14 @@ type payload =
 val encode : payload -> string
 val decode : string -> (payload, string) result
 
+val encode_bin : Persist.Codec.W.t -> payload -> unit
+val decode_bin : Persist.Codec.R.t -> payload
+(** Binary codec for snapshots and durable ISP images (tagged,
+    self-delimiting, composable inside larger [Persist.Codec] streams).
+    The textual {!encode}/{!decode} pair remains the sealed/signed wire
+    format.  [decode_bin] raises [Persist.Codec.Corrupt] on a bad tag
+    or field. *)
+
 type signed = { payload : payload; signature : int }
 (** A bank-origin message: payload in clear, RSA signature over the
     encoding. *)

@@ -368,8 +368,15 @@ let crash_isp t ~isp:i ~downtime =
              t.up.(i) <- true;
              Smtp.Mta.set_down t.mtas.(i) false;
              (* Restart from durable state (ledger, credit, pending
-                requests); the freeze flag is volatile and clears. *)
-             Isp.recover kernel;
+                requests); the freeze flag is volatile and clears.
+                The kernel's billing state is write-through durable —
+                every mutation (including bounce refunds booked while
+                the MTA is unreachable) lands on stable storage — so
+                recovery reloads the latest durable image: a full
+                Persist.Codec round-trip of the kernel.  A crash loses
+                only volatile state: the snapshot-freeze flag and
+                whatever was in flight on the link. *)
+             Isp.recover kernel ~image:(Isp.durable_image kernel);
              Sim.Stats.Counter.incr t.link.recoveries;
              wev t ~actor:i "recover" [];
              (* Recovery handshake: before reopening for business the
@@ -940,3 +947,71 @@ let balance_drift t ~isp:i ~user =
   | None -> 0
   | Some kernel ->
       Ledger.balance (Isp.ledger kernel) ~user - t.initial_balance_of.(i)
+
+(* ------------------------------------------------------------------ *)
+(* State capture                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let encode_audit_result w (ar : Bank.audit_result) =
+  let open Persist.Codec.W in
+  int w ar.Bank.seq;
+  list
+    (fun w (v : Credit.Audit.violation) ->
+      int w v.Credit.Audit.isp_a;
+      int w v.Credit.Audit.isp_b;
+      int w v.Credit.Audit.discrepancy)
+    w ar.Bank.violations;
+  list int w ar.Bank.suspects
+
+(* The world's own bookkeeping: mail counters, audit history, link
+   counters, crash state and the deferred-send queues (times only —
+   the queued retries are closures, re-created by replay like every
+   other pending event). *)
+let encode_world w t =
+  let open Persist.Codec.W in
+  int w t.stats.ham_delivered;
+  int w t.stats.spam_delivered;
+  int w t.stats.unpaid_discarded;
+  int w t.stats.blocked_balance;
+  int w t.stats.blocked_limit;
+  int w t.stats.deferred_sends;
+  int w t.stats.acks_generated;
+  int w t.stats.limit_warnings;
+  Sim.Stats.Summary.encode_state w t.deferral;
+  list
+    (fun w (time, ar) ->
+      float w time;
+      encode_audit_result w ar)
+    w t.audits;
+  bool w (t.profiles <> None);
+  int w (match t.profiles with Some p -> Array.length p | None -> 0);
+  int w t.initial;
+  int_array w t.initial_balance_of;
+  array bool w t.up;
+  int_array w t.crash_gen;
+  List.iter
+    (Sim.Stats.Counter.encode_state w)
+    [ t.link.retransmits; t.link.bank_rejects; t.link.lost_isp_down;
+      t.link.sends_failed_down; t.link.crashes; t.link.recoveries;
+      t.link.bounce_refunds ];
+  array
+    (fun w q -> list (fun w (time, _) -> float w time) w (List.of_seq (Queue.to_seq q)))
+    w t.deferred;
+  int w (Hashtbl.length t.lists)
+
+let capture t =
+  let sec name encode = (name, Persist.Codec.to_string encode ()) in
+  [ sec "engine" (fun w () -> Sim.Engine.encode_state w t.engine);
+    sec "rng" (fun w () -> Sim.Rng.encode_state w t.rng);
+    sec "fault" (fun w () -> Sim.Fault.encode_state w t.fault);
+    sec "bank" (fun w () -> Bank.encode_state w t.the_bank) ]
+  @ (Array.to_list t.kernels
+    |> List.mapi (fun i k -> (i, k))
+    |> List.filter_map (fun (i, k) ->
+           Option.map
+             (fun kernel ->
+               sec (Printf.sprintf "isp/%d" i) (fun w () ->
+                   Isp.encode_state w kernel))
+             k))
+  @ [ sec "world" (fun w () -> encode_world w t);
+      sec "trace" (fun w () -> Obs.Trace.encode_state w t.tracer) ]

@@ -265,3 +265,21 @@ val cheat_minted : t -> Epenny.amount
 
 val balance_drift : t -> isp:int -> user:int -> int
 (** Current balance minus initial balance for one user. *)
+
+(** {1 State capture} *)
+
+val capture : t -> (string * string) list
+(** The whole simulated world as named {!Persist.Codec} sections —
+    ["engine"] (clock, counters, pending-event metadata, root RNG),
+    ["rng"] (the world's own stream), ["fault"], ["bank"], one
+    ["isp/<i>"] per compliant kernel, ["world"] (mail counters, audit
+    history, crash state, link counters, deferred-send queue times) and
+    ["trace"] (emission counters).  Feed to {!Persist.Snapshot.v}.
+
+    Event callbacks are closures and are deliberately not serialized:
+    a snapshot is {e verified} against a world rebuilt by deterministic
+    replay ({!Harness.Checkpoint}), not deserialized into one.  Two
+    worlds built from the same seed and driven to the same time
+    capture byte-identically — that equality is the resume-determinism
+    guarantee, and any mismatch is reported per section by
+    {!Persist.Snapshot.diff}. *)
