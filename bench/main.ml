@@ -200,21 +200,60 @@ let wall f =
 
 (* Engine event throughput over a busy demo world (traffic, a bulk
    sender, periodic audits): wall-clock events/second through the
-   whole stack, not a micro-benchmark. *)
+   whole stack, not a micro-benchmark.  Best of three runs — the
+   workload finishes in tens of milliseconds, so a single sample is
+   at the mercy of scheduler noise, and the fastest run is the best
+   estimate of the code's actual cost. *)
 let engine_throughput () =
-  let world =
-    Zmail.World.create
-      {
-        (Zmail.World.default_config ~n_isps:3 ~users_per_isp:50) with
-        Zmail.World.seed = 12;
-        audit_period = Some (12. *. Sim.Engine.hour);
-      }
+  let once () =
+    let world =
+      Zmail.World.create
+        {
+          (Zmail.World.default_config ~n_isps:3 ~users_per_isp:50) with
+          Zmail.World.seed = 12;
+          audit_period = Some (12. *. Sim.Engine.hour);
+        }
+    in
+    Zmail.World.attach_user_traffic world ();
+    Zmail.World.attach_bulk_sender world ~isp:0 ~user:0 ~per_day:2000. ();
+    let (), seconds = wall (fun () -> Zmail.World.run_days world 2.) in
+    let events = Sim.Engine.events_fired (Zmail.World.engine world) in
+    (events, seconds)
   in
-  Zmail.World.attach_user_traffic world ();
-  Zmail.World.attach_bulk_sender world ~isp:0 ~user:0 ~per_day:2000. ();
-  let (), seconds = wall (fun () -> Zmail.World.run_days world 2.) in
-  let events = Sim.Engine.events_fired (Zmail.World.engine world) in
-  (events, seconds)
+  let best = ref (once ()) in
+  for _ = 2 to 3 do
+    let events, seconds = once () in
+    if seconds < snd !best then best := (events, seconds)
+  done;
+  !best
+
+(* E17 at bench scale: a 10^4-user world (20 ISPs x 500 users) driven
+   through the same Zipf workload, invariant checkers and audits as
+   the real experiment, timed end to end.  One run, not best-of — at
+   ~10^5 events the sample is long enough that scheduler noise is
+   small, and CI compares it with a generous tolerance.  Heap figures
+   ride along: [top_heap_words] is the process-lifetime peak (a
+   retention leak at scale shows up here as a step change), and the
+   allocation rate is the GC-counter delta over the run. *)
+let scale_throughput () =
+  let stat0 = Gc.quick_stat () in
+  let outcome, seconds =
+    wall (fun () ->
+        Harness.E17_scale.run_scale ~seed:17 ~n_isps:20 ~users_per_isp:500 ())
+  in
+  let stat1 = Gc.quick_stat () in
+  let allocated =
+    stat1.Gc.minor_words -. stat0.Gc.minor_words
+    +. (stat1.Gc.major_words -. stat0.Gc.major_words)
+    -. (stat1.Gc.promoted_words -. stat0.Gc.promoted_words)
+  in
+  let events = outcome.Harness.E17_scale.events in
+  ( outcome.Harness.E17_scale.users,
+    outcome.Harness.E17_scale.isps,
+    events,
+    seconds,
+    allocated /. float_of_int events,
+    (Gc.stat ()).Gc.top_heap_words )
 
 (* Snapshot write/read bandwidth over a populated world image. *)
 let snapshot_io () =
@@ -286,6 +325,9 @@ let run_json ~path ~obs =
       Harness.Experiments.all
   in
   let events, engine_s = engine_throughput () in
+  let scale_users, scale_isps, scale_events, scale_s, scale_alloc, peak_words =
+    scale_throughput ()
+  in
   let snap_bytes, write_mb_s, read_mb_s = snapshot_io () in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n  \"schema\": 1,\n  \"experiments\": [\n";
@@ -303,6 +345,14 @@ let run_json ~path ~obs =
         \"events_per_sec\": %.0f },\n"
        events engine_s
        (float_of_int events /. engine_s));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"e17_scale\": { \"users\": %d, \"isps\": %d, \"events\": %d, \
+        \"wall_s\": %.6f, \"events_per_sec\": %.0f, \
+        \"alloc_words_per_event\": %.1f, \"peak_heap_words\": %d },\n"
+       scale_users scale_isps scale_events scale_s
+       (float_of_int scale_events /. scale_s)
+       scale_alloc peak_words);
   Buffer.add_string b
     (Printf.sprintf
        "  \"snapshot\": { \"bytes\": %d, \"write_mb_per_s\": %.2f, \
@@ -326,7 +376,7 @@ let list_experiments () =
   print_endline "micro (E12: protocol micro-benchmarks)"
 
 let usage =
-  "usage: main.exe [e1..e16|micro|list] [--metrics] [--trace FILE] \
+  "usage: main.exe [e1..e17|micro|list] [--metrics] [--trace FILE] \
    [--trace-format jsonl|chrome] [--json FILE] [--checkpoint-every T] \
    [--snapshot FILE] [--resume FILE] [--stop-at T]"
 

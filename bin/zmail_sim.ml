@@ -39,7 +39,7 @@ let metrics_arg =
 let checkpoint_every_arg =
   let doc =
     "Write a world snapshot to the $(b,--snapshot) file every $(docv) \
-     simulated seconds (E2, E3 and E16 only)."
+     simulated seconds (E2, E3, E16 and E17 only)."
   in
   Arg.(value & opt (some float) None & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
 

@@ -125,6 +125,16 @@ let all =
          and ISP crashes, money stays zero-sum and cheaters stay caught.";
       run = (fun ~seed ~obs ~persist -> E16_chaos.run ~obs ~persist ~seed ());
     };
+    {
+      id = "e17";
+      title = "Scale: zero-sum and detection at 10^4-10^5 users";
+      claim =
+        "§1.2/§4.4 at population scale: with Zipf-distributed senders across \
+         100+ ISPs, money stays zero-sum (residue = cheat-minted), the audit \
+         still flags the cheater and nobody else, and the run stays flat in \
+         memory with retain_mail=false.";
+      run = (fun ~seed ~obs ~persist -> E17_scale.run ~obs ~persist ~seed ());
+    };
   ]
 
 let find id =
@@ -145,4 +155,4 @@ let run_one ?(seed = 0) ?obs ?persist id =
   | Some e ->
       print_experiment ~seed ?obs ?persist e;
       Ok ()
-  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e16)" id)
+  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e17)" id)

@@ -13,9 +13,16 @@ type event = {
   fields : (string * value) list;
 }
 
+(* Placeholder for unwritten ring slots, so the ring is a plain
+   [event array] and storing a record is one array write with no
+   [Some] box.  Never returned: reads are bounded by [stored]. *)
+let sentinel =
+  { seq = -1; time = 0.; comp = ""; actor = -1; phase = Instant; name = "";
+    span = 0; fields = [] }
+
 type t = {
   capacity : int;
-  ring : event option array;  (* length = max capacity 1; indexed seq-modulo *)
+  ring : event array;  (* length = max capacity 1; indexed seq-modulo *)
   mutable sinks : (event -> unit) list;
   mutable clock : unit -> float;
   mutable next_seq : int;
@@ -28,7 +35,7 @@ let make ~capacity ~inert =
   if capacity < 0 then invalid_arg "Trace.create: negative capacity";
   {
     capacity;
-    ring = Array.make (Stdlib.max capacity 1) None;
+    ring = Array.make (Stdlib.max capacity 1) sentinel;
     sinks = [];
     clock = (fun () -> 0.);
     next_seq = 0;
@@ -53,7 +60,7 @@ let unsubscribe t sink = t.sinks <- List.filter (fun s -> s != sink) t.sinks
 
 let record t ev =
   if t.capacity > 0 then begin
-    t.ring.(t.stored mod t.capacity) <- Some ev;
+    t.ring.(t.stored mod t.capacity) <- ev;
     t.stored <- t.stored + 1
   end;
   List.iter (fun sink -> sink ev) t.sinks
@@ -94,10 +101,7 @@ let events t =
   else begin
     let n = Stdlib.min t.stored t.capacity in
     let first = t.stored - n in
-    List.init n (fun i ->
-        match t.ring.((first + i) mod t.capacity) with
-        | Some ev -> ev
-        | None -> assert false)
+    List.init n (fun i -> t.ring.((first + i) mod t.capacity))
   end
 
 let recent t n =
@@ -111,7 +115,7 @@ let dropped t =
   if t.capacity = 0 then 0 else Stdlib.max 0 (t.stored - t.capacity)
 
 let clear t =
-  Array.fill t.ring 0 (Array.length t.ring) None;
+  Array.fill t.ring 0 (Array.length t.ring) sentinel;
   t.stored <- 0
 
 (* Only the monotone emission counters are captured: ring contents and

@@ -1,0 +1,63 @@
+type t = { mutable words : int array }
+
+let bits_per_word = Sys.int_size
+
+let create ?(capacity = 0) () =
+  { words = Array.make ((capacity / bits_per_word) + 1) 0 }
+
+let ensure t word_idx =
+  let n = Array.length t.words in
+  if word_idx >= n then begin
+    let n' = Stdlib.max (word_idx + 1) (2 * n) in
+    let words = Array.make n' 0 in
+    Array.blit t.words 0 words 0 n;
+    t.words <- words
+  end
+
+let set t i =
+  if i < 0 then invalid_arg "Bitset.set: negative index";
+  let w = i / bits_per_word in
+  ensure t w;
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let unset t i =
+  if i >= 0 then begin
+    let w = i / bits_per_word in
+    if w < Array.length t.words then
+      t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+  end
+
+let mem t i =
+  i >= 0
+  &&
+  let w = i / bits_per_word in
+  w < Array.length t.words
+  && t.words.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let cardinal t =
+  let count = ref 0 in
+  Array.iter
+    (fun word ->
+      let w = ref word in
+      while !w <> 0 do
+        w := !w land (!w - 1);
+        incr count
+      done)
+    t.words;
+  !count
+
+let iter f t =
+  Array.iteri
+    (fun wi word ->
+      if word <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if word land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
+        done)
+    t.words
+
+let elements t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,35 @@
+(** Growable bitset over dense non-negative integer IDs.
+
+    The engine allocates event IDs densely from zero, so membership
+    ("is this id cancelled?", "is this id queued?") is a single word
+    load and mask instead of a [Hashtbl] probe — and, unlike a
+    hashtable, the per-membership cost allocates nothing.  Capacity
+    grows automatically by doubling on {!set}. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Empty set, preallocated for ids in [0 .. capacity-1] (default 0;
+    the set grows on demand regardless). *)
+
+val set : t -> int -> unit
+(** Add an id.  Grows the backing store if needed.
+    @raise Invalid_argument on a negative id. *)
+
+val unset : t -> int -> unit
+(** Remove an id.  Removing an absent or negative id is a no-op. *)
+
+val mem : t -> int -> bool
+(** Membership test.  Negative and out-of-range ids are absent. *)
+
+val clear : t -> unit
+(** Remove every element (keeps the allocated capacity). *)
+
+val cardinal : t -> int
+(** Number of elements, by popcount over the backing words. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Apply to every element in ascending order. *)
+
+val elements : t -> int list
+(** Elements in ascending order. *)

@@ -51,6 +51,23 @@ let geometric rng ~p =
     let u = 1. -. Rng.unit_float rng in
     int_of_float (floor (log u /. log1p (-.p)))
 
+(* The one tie-break rule shared by every table-based sampler here:
+   select the first index whose cumulative weight STRICTLY exceeds [u].
+   With [u] drawn uniformly from [0, total), a [u] landing exactly on a
+   bucket edge [cdf.(i)] therefore selects bucket [i+1] — the half-open
+   interval convention [ [cdf.(i-1), cdf.(i)) -> i ] — and a
+   zero-weight bucket (whose cdf value equals its predecessor's) can
+   never be selected.  The search clamps to the last index, so the
+   result is in range even if rounding pushes [u] up to [total]. *)
+let first_over cdf u =
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length cdf - 1)
+
 let zipf ~n ~s =
   if n <= 0 then invalid_arg "Dist.zipf: n must be positive";
   let cdf = Array.make n 0. in
@@ -62,14 +79,7 @@ let zipf ~n ~s =
   let total = !total in
   fun rng ->
     let u = Rng.unit_float rng *. total in
-    (* Binary search for the first index with cdf >= u. *)
-    let rec search lo hi =
-      if lo >= hi then lo + 1
-      else
-        let mid = (lo + hi) / 2 in
-        if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
-    in
-    search 0 (n - 1)
+    first_over cdf u + 1
 
 let categorical ~weights =
   let n = Array.length weights in
@@ -85,10 +95,8 @@ let categorical ~weights =
   let total = !total in
   fun rng ->
     let u = Rng.unit_float rng *. total in
-    let rec search lo hi =
-      if lo >= hi then lo
-      else
-        let mid = (lo + hi) / 2 in
-        if cdf.(mid) > u then search lo mid else search (mid + 1) hi
-    in
-    search 0 (n - 1)
+    first_over cdf u
+
+module Internal = struct
+  let first_over = first_over
+end

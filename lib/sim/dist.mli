@@ -37,9 +37,26 @@ val geometric : Rng.t -> p:float -> int
 val zipf : n:int -> s:float -> Rng.t -> int
 (** [zipf ~n ~s] builds a sampler over ranks [1..n] with exponent [s]
     (probability of rank [k] proportional to [1 /. k ** s]).  The table
-    is computed once; apply the result to a generator per draw. *)
+    is computed once; apply the result to a generator per draw.
+    Bucket selection follows the shared tie-break rule documented at
+    {!module-Internal.val-first_over}. *)
 
 val categorical : weights:float array -> Rng.t -> int
 (** [categorical ~weights] builds a sampler returning index [i] with
     probability proportional to [weights.(i)].  Weights must be
-    non-negative with a positive sum. *)
+    non-negative with a positive sum.  Bucket selection follows the
+    shared tie-break rule documented at
+    {!module-Internal.val-first_over}. *)
+
+(** Internals exposed for property tests only — not a stable API. *)
+module Internal : sig
+  val first_over : float array -> float -> int
+  (** [first_over cdf u] is the index of the first bucket whose
+      cumulative weight {e strictly} exceeds [u], clamped to the last
+      index.  This is the single tie-break rule for every table-based
+      sampler in this module: a [u] exactly on a bucket edge
+      [cdf.(i)] selects bucket [i + 1] (half-open intervals
+      [\[cdf.(i-1), cdf.(i))]), and zero-weight buckets — whose cdf
+      entry equals their predecessor's — are never selected.
+      Requires a non-empty, non-decreasing [cdf]. *)
+end

@@ -5,8 +5,8 @@ type handle = int
 type t = {
   mutable clock : float;
   queue : event Heap.t;
-  cancelled : (int, unit) Hashtbl.t;
-  queued : (int, unit) Hashtbl.t;  (* ids currently in the heap *)
+  cancelled : Bitset.t;
+  queued : Bitset.t;  (* ids currently in the heap *)
   mutable stubs : int;  (* queued entries whose id is cancelled *)
   mutable next_id : int;
   mutable foreground_pending : int;
@@ -23,8 +23,8 @@ let create ?(seed = 0) () =
   {
     clock = 0.;
     queue = Heap.create ();
-    cancelled = Hashtbl.create 64;
-    queued = Hashtbl.create 64;
+    cancelled = Bitset.create ~capacity:1024 ();
+    queued = Bitset.create ~capacity:1024 ();
     stubs = 0;
     next_id = 0;
     foreground_pending = 0;
@@ -44,7 +44,7 @@ let fresh_id t =
 
 let enqueue t ~priority ev =
   Heap.push t.queue ~priority ev;
-  Hashtbl.replace t.queued ev.id ()
+  Bitset.set t.queued ev.id
 
 let schedule t ~at f =
   if at < t.clock then invalid_arg "Engine.schedule: time is in the past";
@@ -66,9 +66,9 @@ let every t ?start ~period f =
      them (they never drain), only [run ~until] executes them. *)
   let id = fresh_id t in
   let rec occurrence at () =
-    if not (Hashtbl.mem t.cancelled id) then begin
+    if not (Bitset.mem t.cancelled id) then begin
       f ();
-      if not (Hashtbl.mem t.cancelled id) then
+      if not (Bitset.mem t.cancelled id) then
         enqueue t ~priority:(at +. period)
           { id; run = occurrence (at +. period); foreground = false }
     end
@@ -78,9 +78,9 @@ let every t ?start ~period f =
   id
 
 let cancel t handle =
-  if not (Hashtbl.mem t.cancelled handle) then begin
-    Hashtbl.replace t.cancelled handle ();
-    if Hashtbl.mem t.queued handle then t.stubs <- t.stubs + 1
+  if not (Bitset.mem t.cancelled handle) then begin
+    Bitset.set t.cancelled handle;
+    if Bitset.mem t.queued handle then t.stubs <- t.stubs + 1
   end
 
 let pending t = Heap.length t.queue
@@ -92,17 +92,18 @@ let events_fired t = t.fired
 let set_monitor t monitor = t.monitor <- monitor
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (at, ev) ->
+  if Heap.is_empty t.queue then false
+  else begin
+      let at = Heap.min_prio t.queue in
+      let ev = Heap.pop_exn t.queue in
       t.clock <- Stdlib.max t.clock at;
       if ev.foreground then t.foreground_pending <- t.foreground_pending - 1;
-      Hashtbl.remove t.queued ev.id;
-      if Hashtbl.mem t.cancelled ev.id then begin
+      Bitset.unset t.queued ev.id;
+      if Bitset.mem t.cancelled ev.id then begin
         (* A cancelled stub drains without running; its id is dead (a
            cancelled recurrence never re-queues), so drop the mark too. *)
         t.stubs <- t.stubs - 1;
-        Hashtbl.remove t.cancelled ev.id
+        Bitset.unset t.cancelled ev.id
       end
       else begin
         (match t.monitor with
@@ -114,6 +115,7 @@ let step t =
         t.fired <- t.fired + 1
       end;
       true
+  end
 
 (* Snapshot capture.  Closures cannot be serialized, so pending events
    are captured as metadata only — (at, seq, id, foreground) in pop
@@ -138,8 +140,9 @@ let encode_state w t =
       int w ev.id;
       bool w ev.foreground)
     w (Heap.entries t.queue);
-  list int w
-    (List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) t.cancelled []))
+  (* Bitset.elements is already ascending, matching the sorted order the
+     snapshot format has always used. *)
+  list int w (Bitset.elements t.cancelled)
 
 let restore_state r t =
   let open Persist.Codec.R in
@@ -173,8 +176,8 @@ let run ?until t =
   | Some horizon ->
       let continue = ref true in
       while !continue do
-        match Heap.peek t.queue with
-        | Some (at, _) when at <= horizon -> ignore (step t)
-        | Some _ | None -> continue := false
+        if (not (Heap.is_empty t.queue)) && Heap.min_prio t.queue <= horizon
+        then ignore (step t)
+        else continue := false
       done;
       t.clock <- Stdlib.max t.clock horizon

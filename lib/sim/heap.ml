@@ -1,35 +1,76 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Binary min-heap over parallel arrays.
+
+   Entries live in three parallel arrays — priority (an unboxed float
+   array), sequence number and value — instead of one array of
+   [(prio, seq, value)] records: a push writes three slots and
+   allocates nothing, and growing preallocates slots for the next
+   capacity doubling.
+
+   Vacated slots are cleared: [pop] overwrites the value cell freed at
+   [t.size] with a sentinel, and [grow] fills the fresh capacity with
+   the sentinel rather than a copy of the pushed value.  Without this
+   the heap retains every popped value — in the engine those values
+   are event callbacks closing over world state, so an unclosed slot
+   keeps arbitrarily large object graphs GC-reachable long after the
+   event fired (fatal at million-user scale; see the drained-heap
+   retention regression test in test_sim.ml). *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable prio : float array;
+  mutable seq : int array;
+  mutable value : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+(* One shared sentinel for the value array.  It is never returned:
+   every read of [value] is guarded by [size].  [Obj.magic] on an
+   immediate is safe here because ['a value] slots are only read back
+   at indices [< size], which always hold a real ['a]. *)
+let sentinel : 'a. unit -> 'a = fun () -> Obj.magic 0
+
+let create () =
+  { prio = [||]; seq = [||]; value = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let less t i j =
+  t.prio.(i) < t.prio.(j)
+  || (t.prio.(i) = t.prio.(j) && t.seq.(i) < t.seq.(j))
 
-let grow t entry =
-  let capacity = Array.length t.data in
+let swap t i j =
+  let p = t.prio.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.prio.(j) <- p;
+  let s = t.seq.(i) in
+  t.seq.(i) <- t.seq.(j);
+  t.seq.(j) <- s;
+  let v = t.value.(i) in
+  t.value.(i) <- t.value.(j);
+  t.value.(j) <- v
+
+let grow t =
+  let capacity = Array.length t.prio in
   if t.size = capacity then begin
     let new_capacity = Stdlib.max 16 (2 * capacity) in
-    let data = Array.make new_capacity entry in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
+    let prio = Array.make new_capacity 0. in
+    let seq = Array.make new_capacity 0 in
+    let value = Array.make new_capacity (sentinel ()) in
+    Array.blit t.prio 0 prio 0 t.size;
+    Array.blit t.seq 0 seq 0 t.size;
+    Array.blit t.value 0 value 0 t.size;
+    t.prio <- prio;
+    t.seq <- seq;
+    t.value <- value
   end
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
+    if less t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -38,46 +79,68 @@ let rec sift_down t i =
   let left = (2 * i) + 1 in
   let right = left + 1 in
   let smallest = ref i in
-  if left < t.size && less t.data.(left) t.data.(!smallest) then smallest := left;
-  if right < t.size && less t.data.(right) t.data.(!smallest) then smallest := right;
+  if left < t.size && less t left !smallest then smallest := left;
+  if right < t.size && less t right !smallest then smallest := right;
   if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t ~priority value =
-  let entry = { prio = priority; seq = t.next_seq; value } in
+  grow t;
+  let i = t.size in
+  t.prio.(i) <- priority;
+  t.seq.(i) <- t.next_seq;
+  t.value.(i) <- value;
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
-  t.data.(t.size) <- entry;
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  sift_up t i
+
+(* Allocation-free accessors for the engine's step loop: [pop]/[peek]
+   box an option and a tuple per event, which is pure garbage on the
+   hottest path in the simulator. *)
+
+let min_prio t =
+  if t.size = 0 then invalid_arg "Heap.min_prio: empty heap";
+  t.prio.(0)
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Heap.pop_exn: empty heap";
+  let value = t.value.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.prio.(0) <- t.prio.(t.size);
+    t.seq.(0) <- t.seq.(t.size);
+    t.value.(0) <- t.value.(t.size);
+    t.value.(t.size) <- sentinel ();
+    sift_down t 0
+  end
+  else t.value.(0) <- sentinel ();
+  value
 
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.prio, top.value)
-  end
+  else
+    let prio = t.prio.(0) in
+    Some (prio, pop_exn t)
 
-let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+let peek t = if t.size = 0 then None else Some (t.prio.(0), t.value.(0))
 
 let clear t =
-  t.data <- [||];
+  t.prio <- [||];
+  t.seq <- [||];
+  t.value <- [||];
   t.size <- 0
 
 let entries t =
-  let live = Array.to_list (Array.sub t.data 0 t.size) in
+  let live = List.init t.size (fun i -> (t.prio.(i), t.seq.(i), t.value.(i))) in
   List.sort
-    (fun a b -> if less a b then -1 else if less b a then 1 else 0)
+    (fun (pa, sa, _) (pb, sb, _) ->
+      if pa < pb || (pa = pb && sa < sb) then -1
+      else if pb < pa || (pa = pb && sb < sa) then 1
+      else 0)
     live
-  |> List.map (fun e -> (e.prio, e.seq, e.value))
 
 let next_seq t = t.next_seq
+
+let capacity t = Array.length t.prio

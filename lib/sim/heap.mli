@@ -2,7 +2,12 @@
 
     Entries with equal priority pop in insertion order, which gives the
     event queue of {!Engine} deterministic FIFO behaviour for
-    simultaneous events. *)
+    simultaneous events.
+
+    Storage is three parallel preallocated arrays (unboxed priorities,
+    sequence numbers, values), so a push in steady state allocates
+    nothing.  Popped value slots are overwritten with a sentinel so the
+    heap never retains a fired callback (or anything it closes over). *)
 
 type 'a t
 
@@ -24,6 +29,15 @@ val pop : 'a t -> (float * 'a) option
 val peek : 'a t -> (float * 'a) option
 (** Like {!pop} without removing. *)
 
+val min_prio : 'a t -> float
+(** Priority of the entry {!pop} would return, without allocating.
+    @raise Invalid_argument when empty. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop} but returns the bare value, allocating nothing (read
+    the priority first via {!min_prio} if needed).
+    @raise Invalid_argument when empty. *)
+
 val clear : 'a t -> unit
 (** Drop all entries. *)
 
@@ -36,3 +50,7 @@ val next_seq : 'a t -> int
 (** The sequence number the next {!push} will be assigned.  Monotone
     over the heap's lifetime (it is never reused), so it is part of the
     deterministic tie-break state a snapshot must record. *)
+
+val capacity : 'a t -> int
+(** Allocated slots (>= {!length}).  Exposed for the heap-retention
+    regression test; not part of the logical heap state. *)

@@ -31,8 +31,12 @@ module Summary = struct
   let mean t = if t.n = 0 then 0. else t.mean
   let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
-  let min t = t.minimum
-  let max t = t.maximum
+  (* Internally an empty summary's extrema are [nan] (and serialize as
+     such — the snapshot byte format predates this guard), but the
+     accessors return [0.] like [mean] so an empty or merged-with-empty
+     summary never leaks [nan] into reports or derived metrics. *)
+  let min t = if t.n = 0 then 0. else t.minimum
+  let max t = if t.n = 0 then 0. else t.maximum
 
   let merge a b =
     if a.n = 0 then { b with n = b.n }
@@ -60,7 +64,7 @@ module Summary = struct
 
   let pp ppf t =
     Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t)
-      (stddev t) t.minimum t.maximum
+      (stddev t) (min t) (max t)
 
   let encode_state w t =
     let open Persist.Codec.W in

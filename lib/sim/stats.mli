@@ -17,13 +17,17 @@ module Summary : sig
 
   val stddev : t -> float
   val min : t -> float
-  (** Smallest observation; [nan] when empty. *)
+  (** Smallest observation; [0.] when empty (like {!mean}), never
+      [nan]. *)
 
   val max : t -> float
-  (** Largest observation; [nan] when empty. *)
+  (** Largest observation; [0.] when empty (like {!mean}), never
+      [nan]. *)
 
   val merge : t -> t -> t
-  (** Summary of the union of both observation streams. *)
+  (** Summary of the union of both observation streams.  Merging with
+      an empty summary is the identity: the other side's extrema are
+      preserved and no [nan] is introduced. *)
 
   val pp : Format.formatter -> t -> unit
 
@@ -52,7 +56,13 @@ module Histogram : sig
   val quantile : t -> float -> float
   (** [quantile t q] estimates the [q]-quantile ([0 <= q <= 1]) by
       linear interpolation within buckets; underflow and overflow
-      observations clamp to the range ends. [nan] when empty. *)
+      observations clamp to the range ends. [nan] when empty.
+
+      Contract for out-of-range mass: if the target rank falls within
+      the underflow count the result is exactly [lo], and if it falls
+      beyond the in-range mass (i.e. in the overflow region, when
+      [overflow t > 0]) the result is exactly [hi].  No extrapolation
+      beyond [\[lo, hi\]] is ever performed. *)
 
   val pp : Format.formatter -> t -> unit
 

@@ -4,43 +4,72 @@ let zmail_payment_header = "X-Zmail-Payment"
 let zmail_ack_header = "X-Zmail-Ack"
 let zmail_epoch_header = "X-Zmail-Epoch"
 
-let canonical name = String.lowercase_ascii name
+(* Header names compare case-insensitively.  The comparison runs once
+   per stored field per lookup on the delivery hot path, so it works
+   character-by-character instead of lowercasing (= copying) both
+   strings each time. *)
+let lower_char c =
+  if c >= 'A' && c <= 'Z' then Char.unsafe_chr (Char.code c + 32) else c
+
+let ci_equal a b =
+  String.length a = String.length b
+  &&
+  let n = String.length a in
+  let rec go i =
+    i >= n
+    || (lower_char (String.unsafe_get a i) = lower_char (String.unsafe_get b i)
+        && go (i + 1))
+  in
+  go 0
 
 let header t name =
-  let key = canonical name in
-  List.find_map
-    (fun (n, v) -> if canonical n = key then Some v else None)
-    t.fields
+  List.find_map (fun (n, v) -> if ci_equal n name then Some v else None) t.fields
 
 let headers t = t.fields
 
 let add_header t name value = { t with fields = t.fields @ [ (name, value) ] }
 
 (* Simulated-time date rendering: day counter plus time of day, which
-   keeps headers readable without a real calendar. *)
+   keeps headers readable without a real calendar.  Rendered by hand —
+   byte-identical to [Printf.sprintf "Day %d %02d:%02d:%02d +0000"] —
+   because a Date header is stamped on every generated message and
+   format interpretation dominated its cost. *)
+let add_02d b n =
+  if n < 10 then Buffer.add_char b '0';
+  Buffer.add_string b (string_of_int n)
+
 let render_date seconds =
   let day = int_of_float (seconds /. 86400.) in
   let rem = seconds -. (float_of_int day *. 86400.) in
   let h = int_of_float (rem /. 3600.) in
   let m = int_of_float ((rem -. (float_of_int h *. 3600.)) /. 60.) in
   let s = int_of_float (rem -. (float_of_int h *. 3600.) -. (float_of_int m *. 60.)) in
-  Printf.sprintf "Day %d %02d:%02d:%02d +0000" day h m s
+  let b = Buffer.create 24 in
+  Buffer.add_string b "Day ";
+  Buffer.add_string b (string_of_int day);
+  Buffer.add_char b ' ';
+  add_02d b h;
+  Buffer.add_char b ':';
+  add_02d b m;
+  Buffer.add_char b ':';
+  add_02d b s;
+  Buffer.add_string b " +0000";
+  Buffer.contents b
 
 let make ~from ~to_ ?subject ?(headers = []) ?date ~body () =
-  let base =
-    [ ("From", Address.to_string from);
-      ("To", String.concat ", " (List.map Address.to_string to_));
-    ]
+  (* Field order: From, To, Subject?, Date?, extra headers.  Built
+     back-to-front onto [headers] so nothing is copied. *)
+  let to_line =
+    match to_ with
+    | [ a ] -> Address.to_string a
+    | _ -> String.concat ", " (List.map Address.to_string to_)
   in
-  let with_subject =
-    match subject with None -> base | Some s -> base @ [ ("Subject", s) ]
+  let tl = headers in
+  let tl =
+    match date with None -> tl | Some d -> ("Date", render_date d) :: tl
   in
-  let with_date =
-    match date with
-    | None -> with_subject
-    | Some d -> with_subject @ [ ("Date", render_date d) ]
-  in
-  { fields = with_date @ headers; body }
+  let tl = match subject with None -> tl | Some s -> ("Subject", s) :: tl in
+  { fields = ("From", Address.to_string from) :: ("To", to_line) :: tl; body }
 
 let from t = Option.bind (header t "From") (fun v -> Result.to_option (Address.of_string v))
 
@@ -55,8 +84,13 @@ let recipients t =
 let subject t = header t "Subject"
 let body t = t.body
 
-let mark_payment t ~epennies =
-  add_header t zmail_payment_header (string_of_int epennies)
+let mark_payment ?epoch t ~epennies =
+  let tl =
+    match epoch with
+    | None -> []
+    | Some seq -> [ (zmail_epoch_header, string_of_int seq) ]
+  in
+  { t with fields = t.fields @ (zmail_payment_header, string_of_int epennies) :: tl }
 
 let payment t = Option.bind (header t zmail_payment_header) int_of_string_opt
 
@@ -99,6 +133,17 @@ let to_string t = String.concat "\n" (to_lines t)
 
 let of_string s = of_lines (String.split_on_char '\n' s)
 
-let size_bytes t = String.length (to_string t)
+(* Arithmetically equal to [String.length (to_string t)] — each field
+   renders as ["name: value\n"], the blank separator adds one byte, and
+   a non-empty body follows the separator verbatim — without building
+   the rendering.  A qcheck property in test_smtp pins the
+   equivalence. *)
+let size_bytes t =
+  let fields =
+    List.fold_left
+      (fun acc (n, v) -> acc + String.length n + String.length v + 3)
+      0 t.fields
+  in
+  fields + if t.body = "" then 0 else String.length t.body + 1
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

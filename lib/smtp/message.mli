@@ -61,7 +61,11 @@ val zmail_epoch_header : string
     lags (e.g. after a crash), so the §4.4 audit never blames honest
     ISPs for mail that crossed an epoch boundary. *)
 
-val mark_payment : t -> epennies:int -> t
+val mark_payment : ?epoch:int -> t -> epennies:int -> t
+(** Append the payment header, and — when [epoch] is given — the epoch
+    header after it, in one pass over the field list (both are stamped
+    on every paid send). *)
+
 val payment : t -> int option
 val mark_ack : t -> of_id:string -> t
 val ack_of : t -> string option

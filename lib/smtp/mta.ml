@@ -19,12 +19,14 @@ type t = {
   host : Dns.host;
   hostname : string;
   domains : string list;
+  policy : Server.policy;  (* one instance per MTA, shared by sessions *)
   mailboxes : Mailbox.t;
   mutable outbound_stamp : Envelope.t -> Message.t -> Message.t;
   mutable inbound_filter : sender:Address.t -> rcpt:Address.t -> Message.t -> decision;
   mutable on_delivered : rcpt:Address.t -> Message.t -> unit;
   mutable on_bounce : Envelope.t -> Message.t -> string -> unit;
   mutable down : bool;
+  mutable retain_mail : bool;
   mutable submitted : int;
   mutable sessions : int;
   mutable delivered : int;
@@ -43,6 +45,7 @@ and network = {
   local_latency : float;
   rng : Sim.Rng.t;
   mutable hosts : t list;  (* reversed; host id = index at creation *)
+  mutable host_arr : t array;  (* hosts by id, for O(1) routing *)
   mutable host_count : int;
 }
 
@@ -56,6 +59,7 @@ let network ?(latency = default_latency) ?(local_latency = 0.001) engine =
     local_latency;
     rng = Sim.Rng.split (Sim.Engine.rng engine);
     hosts = [];
+    host_arr = [||];
     host_count = 0;
   }
 
@@ -69,18 +73,34 @@ let create net ~hostname ~domains =
       | Some _ -> invalid_arg (Printf.sprintf "Mta.create: domain %s already registered" d)
       | None -> ())
     domains;
+  let domains = List.map String.lowercase_ascii domains in
+  (* Same acceptance rule as [Server.default_policy ~local_domains] but
+     matching on interned domain IDs instead of comparing strings. *)
+  let domain_ids = List.map Address.intern_domain domains in
+  let policy =
+    {
+      Server.accept_recipient =
+        (fun a ->
+          if List.mem (Address.domain_id a) domain_ids then Ok ()
+          else Error (Address.to_string a));
+      max_recipients = 100;
+      max_message_bytes = 1024 * 1024;
+    }
+  in
   let t =
     {
       net;
       host = net.host_count;
       hostname;
-      domains = List.map String.lowercase_ascii domains;
+      domains;
+      policy;
       mailboxes = Mailbox.create ();
       outbound_stamp = (fun _ m -> m);
       inbound_filter = (fun ~sender:_ ~rcpt:_ _ -> Deliver);
       on_delivered = (fun ~rcpt:_ _ -> ());
       on_bounce = (fun _ _ _ -> ());
       down = false;
+      retain_mail = true;
       submitted = 0;
       sessions = 0;
       delivered = 0;
@@ -94,6 +114,7 @@ let create net ~hostname ~domains =
   in
   net.host_count <- net.host_count + 1;
   net.hosts <- t :: net.hosts;
+  net.host_arr <- Array.of_list (List.rev net.hosts);
   List.iter (fun d -> Dns.register net.registry ~domain:d t.host) domains;
   t
 
@@ -108,13 +129,55 @@ let set_on_delivered t f = t.on_delivered <- f
 let set_on_bounce t f = t.on_bounce <- f
 let set_down t b = t.down <- b
 let is_down t = t.down
+let set_retain_mail t b = t.retain_mail <- b
 
-let find_host net id = List.find (fun h -> h.host = id) net.hosts
+let find_host net id =
+  if id < 0 || id >= Array.length net.host_arr then raise Not_found;
+  net.host_arr.(id)
 
 (* Accept every mailbox within our domains; actual per-message policy
    runs in the inbound filter after DATA completes, like real ISPs
    filtering after acceptance. *)
-let session_policy t = Server.default_policy ~local_domains:t.domains
+let session_policy t = t.policy
+
+(* Byte-identical to [Printf.sprintf "%.3f" x] for finite [x >= 0].
+   Scaled-integer rounding is exact except within a few ulp of a
+   half-millisecond tie (where decimal rounding of the binary value
+   could go either way), so those — and out-of-range magnitudes — defer
+   to [sprintf].  A qcheck property in test_smtp pins the
+   equivalence. *)
+let add_t3 b x =
+  let scaled = x *. 1000. in
+  if not (Float.is_finite scaled) || scaled >= 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.3f" x)
+  else
+    let frac = scaled -. Float.of_int (int_of_float scaled) in
+    let ulp = Float.succ scaled -. scaled in
+    if Float.abs (frac -. 0.5) <= 8. *. Float.max ulp epsilon_float then
+      Buffer.add_string b (Printf.sprintf "%.3f" x)
+    else begin
+      let ms = int_of_float (Float.round scaled) in
+      Buffer.add_string b (string_of_int (ms / 1000));
+      Buffer.add_char b '.';
+      let f = ms mod 1000 in
+      if f < 100 then Buffer.add_char b '0';
+      if f < 10 then Buffer.add_char b '0';
+      Buffer.add_string b (string_of_int f)
+    end
+
+(* Byte-identical to
+   [Printf.sprintf "from %s by %s; t=%.3f" from_domain by now]; stamped
+   on every delivery, so rendered without interpreting a format
+   string. *)
+let received_stamp ~from_domain ~by now =
+  let b = Buffer.create 48 in
+  Buffer.add_string b "from ";
+  Buffer.add_string b from_domain;
+  Buffer.add_string b " by ";
+  Buffer.add_string b by;
+  Buffer.add_string b "; t=";
+  add_t3 b now;
+  Buffer.contents b
 
 (* Deliver a message that has fully arrived at this (receiving) MTA. *)
 let accept_locally t envelope message =
@@ -122,13 +185,13 @@ let accept_locally t envelope message =
   let sender = Envelope.sender envelope in
   let stamped =
     Message.add_header message "Received"
-      (Printf.sprintf "from %s by %s; t=%.3f" (Address.domain sender) t.hostname now)
+      (received_stamp ~from_domain:(Address.domain sender) ~by:t.hostname now)
   in
   List.iter
     (fun rcpt ->
       match t.inbound_filter ~sender ~rcpt stamped with
       | Deliver ->
-          Mailbox.deliver t.mailboxes rcpt ~time:now stamped;
+          if t.retain_mail then Mailbox.deliver t.mailboxes rcpt ~time:now stamped;
           t.delivered <- t.delivered + 1;
           t.on_delivered ~rcpt stamped
       | Intercept -> t.intercepted <- t.intercepted + 1
@@ -145,10 +208,36 @@ let bounce t envelope message reason =
 let max_attempts = 3
 
 (* Run one SMTP session from [t] to [dest] for [envelope]/[message];
-   returns [Ok ()] or a retryable/permanent failure. *)
+   returns [Ok ()] or a retryable/permanent failure.
+
+   Messages that round-trip the wire cleanly (every message the
+   simulator generates does) take [Server.deliver_direct], which
+   computes the dialogue's outcome structurally; the full line-by-line
+   RFC 821 exchange remains for messages the fast path cannot prove
+   equivalent, and as the reference the fast path is property-tested
+   against. *)
 let run_session t dest envelope message =
   t.sessions <- t.sessions + 1;
   if dest.down then Error (`Transient "host down (421)")
+  else if Server.message_round_trips message then begin
+    match Server.deliver_direct ~policy:(session_policy dest) envelope message with
+    | `Delivered (env, msg, _rejected) ->
+        t.bytes_sent <- t.bytes_sent + Message.size_bytes message;
+        accept_locally dest env msg;
+        Ok ()
+    | `All_rejected rejected ->
+        Error
+          (`Permanent
+             (Client.failure_to_string (Client.All_recipients_rejected rejected)))
+    | `Size_exceeded ->
+        (* The dialogue's 552 at end of DATA, as the client reports it. *)
+        let reply =
+          Reply.v 552 "Requested mail action aborted: exceeded storage allocation"
+        in
+        Error
+          (`Permanent
+             (Client.failure_to_string (Client.Protocol_error { at = "."; reply })))
+  end
   else begin
     let server = Server.create ~hostname:dest.hostname ~policy:(session_policy dest) in
     let transport = Client.of_server server in
@@ -196,29 +285,45 @@ let submit t envelope message =
     | None ->
         t.next_message_id <- t.next_message_id + 1;
         Message.add_header message "Message-Id"
-          (Printf.sprintf "<%d@%s>" t.next_message_id t.hostname)
+          ("<" ^ string_of_int t.next_message_id ^ "@" ^ t.hostname ^ ">")
   in
   let message = t.outbound_stamp envelope message in
-  let by_domain =
-    List.map
-      (fun d -> (d, Envelope.recipients_in envelope ~domain:d))
-      (Envelope.domains envelope)
+  let route sub_envelope ~domain ~dest message =
+    match dest with
+    | None -> bounce t sub_envelope message (Printf.sprintf "no MX for %s" domain)
+    | Some dest_host when dest_host = t.host ->
+        ignore
+          (Sim.Engine.schedule_after t.net.engine ~delay:t.net.local_latency
+             (fun () -> accept_locally t sub_envelope message))
+    | Some dest_host ->
+        let delay = t.net.latency t.net.rng in
+        ignore
+          (Sim.Engine.schedule_after t.net.engine ~delay (fun () ->
+               transmit t ~dest_host sub_envelope message ~attempt:0))
   in
-  List.iter
-    (fun (domain, recipients) ->
-      let sub_envelope = Envelope.v ~sender:(Envelope.sender envelope) ~recipients in
-      match Dns.lookup t.net.registry ~domain with
-      | None -> bounce t sub_envelope message (Printf.sprintf "no MX for %s" domain)
-      | Some dest_host when dest_host = t.host ->
-          ignore
-            (Sim.Engine.schedule_after t.net.engine ~delay:t.net.local_latency
-               (fun () -> accept_locally t sub_envelope message))
-      | Some dest_host ->
-          let delay = t.net.latency t.net.rng in
-          ignore
-            (Sim.Engine.schedule_after t.net.engine ~delay (fun () ->
-                 transmit t ~dest_host sub_envelope message ~attempt:0)))
-    by_domain
+  match Envelope.recipients envelope with
+  | [ rcpt ] ->
+      (* Dominant case: one recipient means one destination domain, so
+         skip the group-by-domain allocation and resolve by interned
+         domain ID. *)
+      route envelope ~domain:(Address.domain rcpt)
+        ~dest:(Dns.lookup_addr t.net.registry rcpt)
+        message
+  | _ ->
+      let by_domain =
+        List.map
+          (fun d -> (d, Envelope.recipients_in envelope ~domain:d))
+          (Envelope.domains envelope)
+      in
+      List.iter
+        (fun (domain, recipients) ->
+          let sub_envelope =
+            Envelope.v ~sender:(Envelope.sender envelope) ~recipients
+          in
+          route sub_envelope ~domain
+            ~dest:(Dns.lookup t.net.registry ~domain)
+            message)
+        by_domain
 
 let stats t =
   {
@@ -232,3 +337,7 @@ let stats t =
   }
 
 let dead_letters t = List.rev t.dead
+
+module Internal = struct
+  let received_stamp = received_stamp
+end

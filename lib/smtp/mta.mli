@@ -1,9 +1,11 @@
 (** Mail transfer agents on a simulated network.
 
     A {!network} ties MTAs to one {!Sim.Engine.t}, an MX registry and a
-    latency model.  Every remote delivery runs the full RFC 821
-    dialogue through {!Client} and {!Server} — the codec and the session
-    state machines are on the hot path, not just in tests.
+    latency model.  A remote delivery whose message round-trips the
+    wire cleanly takes {!Server.deliver_direct} — a structural fast
+    path property-tested equivalent to the full RFC 821 dialogue — and
+    any other message runs the real line-by-line exchange through
+    {!Client} and {!Server}.
 
     Hooks let higher layers participate in the mail flow:
     - [outbound_stamp] rewrites a message as it leaves (a compliant
@@ -55,6 +57,12 @@ val set_down : t -> bool -> unit
 
 val is_down : t -> bool
 
+val set_retain_mail : t -> bool -> unit
+(** When [false], delivered messages are counted and fed to the
+    [on_delivered] hook but {e not} stored in {!mailboxes} — the memory
+    valve for million-user runs, where retaining every delivery forever
+    would dominate the heap.  Default [true]. *)
+
 val submit : t -> Envelope.t -> Message.t -> unit
 (** Hand a message from a local user to this MTA for delivery
     (local and remote recipients are routed automatically).  A
@@ -74,3 +82,15 @@ val stats : t -> stats
 
 val dead_letters : t -> (Envelope.t * string) list
 (** Abandoned sends with the failure reason, oldest first. *)
+
+(**/**)
+
+module Internal : sig
+  val received_stamp : from_domain:string -> by:string -> float -> string
+  (** The hand-rendered [Received] header value; byte-identical to
+      [Printf.sprintf "from %s by %s; t=%.3f" from_domain by now] for
+      the simulator's non-negative times.  Exposed only so the test
+      suite can pin that equivalence; not a stable API. *)
+end
+
+(**/**)

@@ -150,3 +150,68 @@ let take_received t =
   let all = List.rev t.inbox in
   t.inbox <- [];
   all
+
+(* ---- Structural fast path ------------------------------------------- *)
+
+(* A message round-trips the wire cleanly when re-parsing its rendered
+   lines ([Message.of_lines (Message.to_lines m)]) yields a message
+   structurally equal to [m]: header names survive the [':'] split and
+   values survive the parser's [String.trim].  Bodies always
+   round-trip (dot-stuffing is undone symmetrically, and
+   split/concat on ['\n'] is the identity). *)
+let header_round_trips (n, v) =
+  n <> ""
+  && (not (String.contains n ' '))
+  && (not (String.contains n ':'))
+  && (not (String.contains v '\n'))
+  && String.equal (String.trim v) v
+
+let message_round_trips m = List.for_all header_round_trips (Message.headers m)
+
+let deliver_direct ~policy envelope message =
+  (* Mirrors the RCPT/DATA decision sequence of the session state
+     machine in [on_command]/[finish_data], recipient by recipient in
+     envelope order, without rendering the message to lines and
+     re-parsing it.  Only valid when [message_round_trips message]
+     holds — then the re-parsed message the dialogue would deliver is
+     structurally equal to [message] itself.  A qcheck property in
+     test_smtp pins this equivalence against the real dialogue. *)
+  let accepted_rev, rejected_rev =
+    List.fold_left
+      (fun (acc, rej) rcpt ->
+        if acc = [] then
+          match policy.accept_recipient rcpt with
+          | Ok () -> ([ rcpt ], rej)
+          | Error who -> (acc, (rcpt, Reply.mailbox_unavailable who) :: rej)
+        else if List.length acc >= policy.max_recipients then
+          (acc, (rcpt, Reply.transaction_failed "too many recipients") :: rej)
+        else if List.exists (Address.equal rcpt) acc then
+          (* Idempotent repeat: accepted on the wire, not re-added. *)
+          (acc, rej)
+        else
+          match policy.accept_recipient rcpt with
+          | Ok () -> (rcpt :: acc, rej)
+          | Error who -> (acc, (rcpt, Reply.mailbox_unavailable who) :: rej))
+      ([], [])
+      (Envelope.recipients envelope)
+  in
+  let rejected = List.rev rejected_rev in
+  if accepted_rev = [] then `All_rejected rejected
+  else begin
+    (* The dialogue's size check in [finish_data] sums (line + 1) over
+       the rendered lines, which is [Message.size_bytes] plus one. *)
+    let wire_size = Message.size_bytes message + 1 in
+    if wire_size > policy.max_message_bytes then `Size_exceeded
+    else
+      let envelope' =
+        (* Nothing rejected means every recipient was accepted in
+           order ([Envelope.v] already forbids duplicates), so the
+           rebuilt envelope would equal the original — reuse it. *)
+        if rejected = [] then envelope
+        else
+          Envelope.v
+            ~sender:(Envelope.sender envelope)
+            ~recipients:(List.rev accepted_rev)
+      in
+      `Delivered (envelope', message, rejected)
+  end

@@ -20,6 +20,11 @@ let set_tracer t ~owner tracer =
   t.tracer <- tracer;
   t.owner <- owner
 
+(* Per-message call sites must guard on [tracing] themselves so the
+   fields list (an argument, so built eagerly) is not allocated when
+   no tracer is attached. *)
+let tracing t = Obs.Trace.active t.tracer
+
 let ev t name fields =
   if Obs.Trace.active t.tracer then
     Obs.Trace.emit t.tracer ~actor:t.owner ~fields ~comp:"credit" name
@@ -30,19 +35,21 @@ let get t peer = t.now.(peer)
 
 let record_send t ~peer =
   t.now.(peer) <- t.now.(peer) + 1;
-  ev t "send" [ ("peer", Obs.Trace.Int peer) ]
+  if tracing t then ev t "send" [ ("peer", Obs.Trace.Int peer) ]
 
 let record_receive t ~peer =
   t.now.(peer) <- t.now.(peer) - 1;
-  ev t "recv" [ ("peer", Obs.Trace.Int peer); ("early", Obs.Trace.Bool false) ]
+  if tracing t then
+    ev t "recv" [ ("peer", Obs.Trace.Int peer); ("early", Obs.Trace.Bool false) ]
 
 let record_receive_early t ~peer =
   t.early.(peer) <- t.early.(peer) - 1;
-  ev t "recv" [ ("peer", Obs.Trace.Int peer); ("early", Obs.Trace.Bool true) ]
+  if tracing t then
+    ev t "recv" [ ("peer", Obs.Trace.Int peer); ("early", Obs.Trace.Bool true) ]
 
 let cancel_send t ~peer =
   t.now.(peer) <- t.now.(peer) - 1;
-  ev t "cancel" [ ("peer", Obs.Trace.Int peer) ]
+  if tracing t then ev t "cancel" [ ("peer", Obs.Trace.Int peer) ]
 
 let early_pending t = -Array.fold_left ( + ) 0 t.early
 

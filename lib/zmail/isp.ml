@@ -107,6 +107,11 @@ let set_tracer t tracer =
   t.tracer <- tracer;
   Credit.set_tracer t.credit ~owner:t.config.index tracer
 
+(* Per-message call sites must guard on [tracing] themselves so the
+   fields list (an argument, so built eagerly) is not allocated when
+   no tracer is attached. *)
+let tracing t = Obs.Trace.active t.tracer
+
 let ev t name fields =
   if Obs.Trace.active t.tracer then
     Obs.Trace.emit t.tracer ~actor:t.config.index ~fields ~comp:"isp" name
@@ -264,8 +269,9 @@ let charge_send t ~sender ~dest_isp =
         if dest_isp <> t.config.index && not (skip_credit_increment t) then
           Credit.record_send t.credit ~peer:dest_isp;
         t.sent_paid <- t.sent_paid + 1;
-        ev t "charge"
-          [ ("user", Obs.Trace.Int sender); ("dest", Obs.Trace.Int dest_isp) ];
+        if tracing t then
+          ev t "charge"
+            [ ("user", Obs.Trace.Int sender); ("dest", Obs.Trace.Int dest_isp) ];
         note_limit_warning t sender;
         Sent_paid
 
@@ -302,7 +308,9 @@ let accept_delivery_stamped t ~sender_epoch ~from_isp ~rcpt =
       | Some _ | None -> Credit.record_receive t.credit ~peer:from_isp
     end;
     t.received_paid <- t.received_paid + 1;
-    ev t "settle" [ ("from", Obs.Trace.Int from_isp); ("rcpt", Obs.Trace.Int rcpt) ];
+    if tracing t then
+      ev t "settle"
+        [ ("from", Obs.Trace.Int from_isp); ("rcpt", Obs.Trace.Int rcpt) ];
     `Paid
   end
 

@@ -24,6 +24,7 @@ type config = {
   retry_timeout : float;
   retry_backoff : float;
   retry_cap : float;
+  retain_mail : bool;
   tracer : Obs.Trace.t option;
       (** Record protocol events here (and enable the engine monitor).
           [None]: the world keeps a private, initially-inert tracer
@@ -48,6 +49,7 @@ let default_config ~n_isps ~users_per_isp =
     retry_timeout = 5.;
     retry_backoff = 2.;
     retry_cap = 900.;
+    retain_mail = true;
     tracer = None;
   }
 
@@ -81,7 +83,15 @@ type t = {
   mtas : Smtp.Mta.t array;
   kernels : Isp.t option array;
   the_bank : Bank.t;
-  isp_of_domain : (string, int) Hashtbl.t;
+  (* Per-delivery routing: ISP index by interned domain ID (see
+     Smtp.Address).  IDs beyond the array (domains interned by other
+     worlds or tests after this one was built) and [-1] slots are
+     "outside world".  This replaces the string-keyed hashtable that
+     every submit/inbound/bounce used to probe per message. *)
+  isp_of_did : int array;
+  domains : string array;  (* per-ISP domain string, precomputed *)
+  domain_ids : int array;  (* per-ISP interned domain ID *)
+  locals : string array;  (* "u0".."uN-1", shared across ISPs *)
   lists : (Smtp.Address.t, Listserv.t) Hashtbl.t;
   deferred : (float * (unit -> unit)) Queue.t array;
   stats : counters;
@@ -125,18 +135,40 @@ let domain_of_isp i = Printf.sprintf "isp%d.example" i
 let address t ~isp:i ~user =
   if i < 0 || i >= t.cfg.n_isps || user < 0 || user >= t.cfg.users_per_isp then
     invalid_arg "World.address: index out of range";
-  Smtp.Address.v ~local:(Printf.sprintf "u%d" user) ~domain:(domain_of_isp i)
+  Smtp.Address.unsafe_of_parts ~local:t.locals.(user) ~domain:t.domains.(i)
+    ~domain_id:t.domain_ids.(i)
+
+(* ISP index of an address's domain, [-1] for the outside world. *)
+let isp_of_addr t addr =
+  let did = Smtp.Address.domain_id addr in
+  if did < Array.length t.isp_of_did then t.isp_of_did.(did) else -1
 
 let locate t addr =
-  match Hashtbl.find_opt t.isp_of_domain (Smtp.Address.domain addr) with
-  | None -> None
-  | Some i -> (
-      let local = Smtp.Address.local addr in
-      if String.length local >= 2 && local.[0] = 'u' then
-        match int_of_string_opt (String.sub local 1 (String.length local - 1)) with
-        | Some u when u >= 0 && u < t.cfg.users_per_isp -> Some (i, u)
-        | Some _ | None -> None
-      else None)
+  let i = isp_of_addr t addr in
+  if i < 0 then None
+  else
+    (* Locals are "u" followed by plain decimal digits; parse without
+       allocating a substring.  (Deliberately stricter than
+       [int_of_string_opt], which would also admit "u0x1f" or "u1_0" —
+       no generated address uses those forms.) *)
+    let local = Smtp.Address.local addr in
+    let n = String.length local in
+    if n >= 2 && local.[0] = 'u' then begin
+      let u = ref 0 in
+      let ok = ref true in
+      (try
+         for k = 1 to n - 1 do
+           let c = local.[k] in
+           if c >= '0' && c <= '9' then u := (!u * 10) + (Char.code c - 48)
+           else begin
+             ok := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !ok && !u < t.cfg.users_per_isp then Some (i, !u) else None
+    end
+    else None
 
 let drain_warnings t i =
   match t.kernels.(i) with
@@ -413,23 +445,16 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
   let from_addr = address t ~isp:i ~user:u in
   let submit ?epoch paid =
     let msg = build_msg () in
-    let msg = if paid then Smtp.Message.mark_payment msg ~epennies:1 else msg in
     (* Paid mail carries the sender's audit epoch so a receiver whose
        snapshot lags (crash recovery) can book it into the matching
        billing period. *)
     let msg =
-      match epoch with
-      | Some seq -> Smtp.Message.mark_epoch msg ~seq
-      | None -> msg
+      if paid then Smtp.Message.mark_payment ?epoch msg ~epennies:1 else msg
     in
     let envelope = Smtp.Envelope.v ~sender:from_addr ~recipients:[ to_addr ] in
     Smtp.Mta.submit t.mtas.(i) envelope msg
   in
-  let dest_isp =
-    match Hashtbl.find_opt t.isp_of_domain (Smtp.Address.domain to_addr) with
-    | Some j -> j
-    | None -> -1  (* outside world: treated as non-compliant *)
-  in
+  let dest_isp = isp_of_addr t to_addr (* -1: outside world *) in
   if not t.up.(i) then begin
     (* The user's own ISP is down: the submission MSA is unreachable,
        the message never enters the system (no charge, no queue). *)
@@ -529,9 +554,9 @@ let maybe_generate_ack t ~isp_index ~rcpt_user message =
 
 let inbound_filter t ~isp_index kernel ~sender ~rcpt message =
   let from_isp =
-    match Hashtbl.find_opt t.isp_of_domain (Smtp.Address.domain sender) with
-    | Some i when t.cfg.compliant.(i) -> Some i
-    | Some _ | None -> None
+    match isp_of_addr t sender with
+    | i when i >= 0 && t.cfg.compliant.(i) -> Some i
+    | _ -> None
   in
   let rcpt_user =
     match locate t rcpt with Some (_, u) -> Some u | None -> None
@@ -638,8 +663,16 @@ let create cfg =
         end
         else None)
   in
-  let isp_of_domain = Hashtbl.create 16 in
-  Array.iteri (fun i _ -> Hashtbl.replace isp_of_domain (domain_of_isp i) i) mtas;
+  if not cfg.retain_mail then
+    Array.iter (fun m -> Smtp.Mta.set_retain_mail m false) mtas;
+  let domains = Array.init cfg.n_isps domain_of_isp in
+  let domain_ids = Array.map Smtp.Address.intern_domain domains in
+  (* The intern table is process-global and append-only, so sizing the
+     routing array to the current intern count covers every domain this
+     world can ever see as "inside". *)
+  let isp_of_did = Array.make (Smtp.Address.interned_domains ()) (-1) in
+  Array.iteri (fun i did -> isp_of_did.(did) <- i) domain_ids;
+  let locals = Array.init cfg.users_per_isp (Printf.sprintf "u%d") in
   let initial =
     Array.fold_left
       (fun acc k -> match k with Some k -> acc + Isp.total_epennies k | None -> acc)
@@ -653,7 +686,10 @@ let create cfg =
       mtas;
       kernels;
       the_bank;
-      isp_of_domain;
+      isp_of_did;
+      domains;
+      domain_ids;
+      locals;
       lists = Hashtbl.create 8;
       deferred = Array.init cfg.n_isps (fun _ -> Queue.create ());
       stats =
@@ -763,14 +799,7 @@ let create cfg =
                 | Some (si, u) when si = i ->
                     List.iter
                       (fun rcpt ->
-                        let dest_isp =
-                          match
-                            Hashtbl.find_opt t.isp_of_domain
-                              (Smtp.Address.domain rcpt)
-                          with
-                          | Some j -> j
-                          | None -> -1
-                        in
+                        let dest_isp = isp_of_addr t rcpt in
                         Isp.refund_send kernel ~sender:u ~dest_isp;
                         Sim.Stats.Counter.incr t.link.bounce_refunds)
                       (Smtp.Envelope.recipients envelope)
@@ -881,25 +910,38 @@ let attach_user_traffic t ?(mix = Econ.User_model.standard_mix) () =
   Array.iteri
     (fun i mta ->
       Smtp.Mta.set_on_delivered mta (fun ~rcpt message ->
-          match (locate t rcpt, Smtp.Message.from message) with
-          | Some (_, u), Some original_sender
-            when Smtp.Message.header message "X-Sim-Label" = Some "ham"
-                 && Smtp.Message.ack_of message = None -> (
-              match locate t original_sender with
-              | Some sender_loc ->
-                  let profile = profiles.(global_index t (i, u)) in
-                  if Sim.Dist.bernoulli t.rng profile.Econ.User_model.reply_probability
-                  then begin
-                    let think = Sim.Dist.exponential t.rng ~rate:(1. /. 3600.) in
-                    let in_reply_to = Smtp.Message.message_id message in
-                    ignore
-                      (Sim.Engine.schedule_after t.engine ~delay:think (fun () ->
-                           ignore
-                             (send_email t ~from:(i, u) ~to_:sender_loc
-                                ~subject:"re: note" ?in_reply_to ())))
-                  end
-              | None -> ())
-          | _, _ -> ()))
+          (* Cheap header checks first: the [From] re-parse (a full
+             address validation) only runs for ham, never for the far
+             more numerous spam deliveries. *)
+          if
+            Smtp.Message.header message "X-Sim-Label" = Some "ham"
+            && Smtp.Message.ack_of message = None
+          then
+            match locate t rcpt with
+            | None -> ()
+            | Some (_, u) -> (
+                match Smtp.Message.from message with
+                | None -> ()
+                | Some original_sender -> (
+                    match locate t original_sender with
+                    | Some sender_loc ->
+                        let profile = profiles.(global_index t (i, u)) in
+                        if
+                          Sim.Dist.bernoulli t.rng
+                            profile.Econ.User_model.reply_probability
+                        then begin
+                          let think =
+                            Sim.Dist.exponential t.rng ~rate:(1. /. 3600.)
+                          in
+                          let in_reply_to = Smtp.Message.message_id message in
+                          ignore
+                            (Sim.Engine.schedule_after t.engine ~delay:think
+                               (fun () ->
+                                 ignore
+                                   (send_email t ~from:(i, u) ~to_:sender_loc
+                                      ~subject:"re: note" ?in_reply_to ())))
+                        end
+                    | None -> ()))))
     t.mtas
 
 let attach_bulk_sender t ~isp:i ~user ~per_day () =

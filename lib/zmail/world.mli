@@ -70,6 +70,11 @@ type config = {
           can only arrive after a full freeze. *)
   retry_backoff : float;  (** Timeout multiplier per retry. *)
   retry_cap : float;  (** Upper bound on the backed-off timeout. *)
+  retain_mail : bool;
+      (** Store delivered messages in MTA mailboxes (default [true]).
+          Million-user runs set [false]: deliveries are still counted,
+          filtered and fed to hooks, but not retained — see
+          {!Smtp.Mta.set_retain_mail}. *)
   tracer : Obs.Trace.t option;
       (** Record protocol events into this tracer and arm the engine
           monitor (callback wall-clock summary, queue-depth series).

@@ -138,7 +138,7 @@ let test_e15_shape () =
   | _ -> Alcotest.fail "expected three tables"
 
 let test_registry () =
-  Alcotest.(check int) "fifteen experiments" 15 (List.length Harness.Experiments.all);
+  Alcotest.(check int) "sixteen experiments" 16 (List.length Harness.Experiments.all);
   Alcotest.(check bool) "find e7" true (Harness.Experiments.find "E7" <> None);
   Alcotest.(check bool) "unknown id" true (Harness.Experiments.find "e99" = None);
   (* Ids are unique and well-formed. *)
@@ -173,6 +173,31 @@ let test_e7_runs () =
       Alcotest.(check int) "four scenarios" 4 (List.length (rows table))
   | _ -> Alcotest.fail "expected one table"
 
+let test_e17_scale_runs () =
+  (* A miniature scale row through the full E17 machinery: Zipf
+     workload, scaled pools, online checkers, quiescent drain.  The
+     real scales live in the experiment itself (and CI's perf-smoke);
+     this pins the wiring and the zero-sum/detection outcome. *)
+  (* 30 sends/user: enough traffic that the Zipf head exhausts its
+     balance and drives auto-topups through the ISP pool, so the
+     buy/sell loop (and its exactly-once checker) engages even at this
+     miniature population. *)
+  let o =
+    Harness.E17_scale.run_scale ~seed:17 ~n_isps:4 ~users_per_isp:50
+      ~sends_per_user:30 ()
+  in
+  Alcotest.(check int) "all sends accounted" o.Harness.E17_scale.attempts
+    (o.Harness.E17_scale.paid + o.Harness.E17_scale.free
+    + o.Harness.E17_scale.deferred + o.Harness.E17_scale.blocked
+    + o.Harness.E17_scale.failed);
+  Alcotest.(check bool) "mail delivered" true (o.Harness.E17_scale.delivered > 0);
+  Alcotest.(check bool) "audits completed" true (o.Harness.E17_scale.audits >= 4);
+  Alcotest.(check bool) "cheat minted" true (o.Harness.E17_scale.minted > 0);
+  Alcotest.(check int) "residue equals minted" o.Harness.E17_scale.minted
+    o.Harness.E17_scale.residue;
+  Alcotest.(check int) "no false accusations" 0
+    o.Harness.E17_scale.false_accusations
+
 let () =
   Alcotest.run "harness"
     [
@@ -194,5 +219,6 @@ let () =
         [
           Alcotest.test_case "e2 runs" `Slow test_e2_runs;
           Alcotest.test_case "e7 runs" `Slow test_e7_runs;
+          Alcotest.test_case "e17 scale runs" `Slow test_e17_scale_runs;
         ] );
     ]

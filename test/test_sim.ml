@@ -174,6 +174,73 @@ let test_dist_categorical () =
   Alcotest.(check bool) "3x weight ~ 3x draws" true
     (float_of_int counts.(2) /. float_of_int counts.(1) > 2.5)
 
+(* The shared tie-break rule for CDF-walking samplers ([zipf] and
+   [categorical]): select the first bucket whose cumulative weight
+   STRICTLY exceeds u.  Intervals are half-open, so a u landing exactly
+   on a bucket edge belongs to the next bucket, zero-weight buckets
+   (whose edge equals their predecessor's) are never selected, and
+   u >= total clamps to the last index. *)
+let test_dist_first_over_boundaries () =
+  let fo = Sim.Dist.Internal.first_over in
+  let cdf = [| 0.2; 0.2; 0.7; 1.0 |] in
+  (* bucket 1 has zero weight *)
+  Alcotest.(check int) "u=0 picks first positive bucket" 0 (fo cdf 0.);
+  Alcotest.(check int) "interior of bucket 0" 0 (fo cdf 0.1);
+  Alcotest.(check int) "exact edge goes to the next bucket" 2 (fo cdf 0.2);
+  Alcotest.(check int) "zero-weight bucket never selected" 2 (fo cdf 0.3);
+  Alcotest.(check int) "edge of bucket 2" 3 (fo cdf 0.7);
+  Alcotest.(check int) "just below total" 3 (fo cdf 0.999);
+  Alcotest.(check int) "u = total clamps to last" 3 (fo cdf 1.0);
+  Alcotest.(check int) "u > total clamps to last" 3 (fo cdf 2.0);
+  (* A leading zero-weight bucket is skipped even at u = 0. *)
+  Alcotest.(check int) "leading zero bucket skipped" 1 (fo [| 0.; 1. |] 0.)
+
+let test_dist_first_over_prop =
+  QCheck.Test.make ~name:"first_over: first bucket strictly exceeding u"
+    ~count:500
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 8) (float_bound_inclusive 10.))
+        (float_bound_inclusive 1.))
+    (fun (ws, uf) ->
+      QCheck.assume (ws <> []);
+      let arr = Array.of_list (List.map abs_float ws) in
+      let n = Array.length arr in
+      let cdf = Array.make n 0. in
+      let acc = ref 0. in
+      Array.iteri
+        (fun i w ->
+          acc := !acc +. w;
+          cdf.(i) <- !acc)
+        arr;
+      let u = uf *. !acc in
+      let i = Sim.Dist.Internal.first_over cdf u in
+      0 <= i && i < n
+      && (cdf.(i) > u || cdf.(n - 1) <= u)
+      && (i = 0 || cdf.(i - 1) <= u))
+
+(* The samplers built on first_over stay in range even at boundary
+   draws (the rule above guarantees it; this pins the composition). *)
+let test_dist_samplers_in_range =
+  QCheck.Test.make ~name:"zipf/categorical stay in range" ~count:300
+    QCheck.(pair small_int (int_bound 10_000))
+    (fun (seed, n_raw) ->
+      let n = 1 + (n_raw mod 20) in
+      let rng = Sim.Rng.create seed in
+      let zipf = Sim.Dist.zipf ~n ~s:1.2 in
+      let weights = Array.init n (fun i -> if i mod 3 = 0 then 0. else 1.) in
+      let weights = if n = 1 then [| 1. |] else weights in
+      let cat = Sim.Dist.categorical ~weights in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let r = zipf rng in
+        if r < 1 || r > n then ok := false;
+        let c = cat rng in
+        if c < 0 || c >= n then ok := false;
+        if weights.(c) = 0. then ok := false
+      done;
+      !ok)
+
 let test_dist_geometric () =
   let rng = Sim.Rng.create 12 in
   Alcotest.(check int) "p=1 always 0" 0 (Sim.Dist.geometric rng ~p:1.);
@@ -234,6 +301,96 @@ let test_heap_peek () =
       Alcotest.(check string) "peek value" "y" v
   | None -> Alcotest.fail "expected Some");
   Alcotest.(check int) "peek does not remove" 2 (Sim.Heap.length h)
+
+let test_heap_unboxed_accessors () =
+  let h = Sim.Heap.create () in
+  Alcotest.check_raises "min_prio on empty"
+    (Invalid_argument "Heap.min_prio: empty heap") (fun () ->
+      ignore (Sim.Heap.min_prio h));
+  Alcotest.check_raises "pop_exn on empty"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Sim.Heap.pop_exn h));
+  Sim.Heap.push h ~priority:2. "x";
+  Sim.Heap.push h ~priority:1. "y";
+  check_float "min_prio" 1. (Sim.Heap.min_prio h);
+  Alcotest.(check string) "pop_exn order" "y" (Sim.Heap.pop_exn h);
+  check_float "min_prio after pop" 2. (Sim.Heap.min_prio h);
+  Alcotest.(check string) "pop_exn drains" "x" (Sim.Heap.pop_exn h);
+  Alcotest.(check int) "empty" 0 (Sim.Heap.length h)
+
+(* Regression for the event-heap space leak: popped value slots must be
+   cleared, or a drained heap pins every callback it ever held (each of
+   which can close over megabytes of world state).  The original [pop]
+   left the vacated slot in place and [grow] filled fresh capacity with
+   copies of the pushed entry. *)
+let test_heap_releases_popped_values () =
+  let h = Sim.Heap.create () in
+  Gc.full_major ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  (* 64 pushes force several capacity doublings, exercising [grow]'s
+     slot initialisation as well as [pop]'s clearing. *)
+  for i = 0 to 63 do
+    let big = Array.make 10_000 i in
+    Sim.Heap.push h ~priority:(float_of_int i) (fun () -> ignore big.(0))
+  done;
+  while Sim.Heap.pop h <> None do () done;
+  Gc.full_major ();
+  let retained = (Gc.stat ()).Gc.live_words - live0 in
+  (* A leak would retain 64 x ~10_001 words (~640k); the drained heap
+     itself (three arrays of capacity 64) is well under 10k. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "drained heap retains nothing (%d words)" retained)
+    true
+    (retained < 100_000);
+  Alcotest.(check bool) "capacity kept for reuse" true (Sim.Heap.capacity h >= 64)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let b = Sim.Bitset.create () in
+  Alcotest.(check bool) "fresh set empty" false (Sim.Bitset.mem b 0);
+  Alcotest.(check int) "fresh cardinal" 0 (Sim.Bitset.cardinal b);
+  (* Straddle word boundaries (Sys.int_size = 63 on 64-bit). *)
+  let ids = [ 0; 1; 62; 63; 64; 126; 127; 1000 ] in
+  List.iter (Sim.Bitset.set b) ids;
+  List.iter
+    (fun i -> Alcotest.(check bool) (string_of_int i) true (Sim.Bitset.mem b i))
+    ids;
+  Alcotest.(check bool) "absent id" false (Sim.Bitset.mem b 500);
+  Alcotest.(check bool) "beyond capacity" false (Sim.Bitset.mem b 1_000_000);
+  Alcotest.(check bool) "negative absent" false (Sim.Bitset.mem b (-1));
+  Alcotest.(check int) "cardinal" (List.length ids) (Sim.Bitset.cardinal b);
+  Alcotest.(check (list int)) "elements ascending" ids (Sim.Bitset.elements b);
+  Sim.Bitset.unset b 63;
+  Alcotest.(check bool) "unset removes" false (Sim.Bitset.mem b 63);
+  Sim.Bitset.unset b 2_000_000;
+  (* out of range: no-op *)
+  Sim.Bitset.unset b (-5);
+  (* negative: no-op *)
+  Alcotest.(check int) "cardinal after unset" (List.length ids - 1)
+    (Sim.Bitset.cardinal b);
+  Alcotest.check_raises "negative set rejected"
+    (Invalid_argument "Bitset.set: negative index") (fun () ->
+      Sim.Bitset.set b (-1));
+  Sim.Bitset.clear b;
+  Alcotest.(check int) "clear empties" 0 (Sim.Bitset.cardinal b);
+  Alcotest.(check (list int)) "clear leaves no elements" [] (Sim.Bitset.elements b)
+
+let test_bitset_iter_matches_elements =
+  QCheck.Test.make ~name:"bitset iter/elements agree and ascend" ~count:200
+    QCheck.(list (int_bound 300))
+    (fun ids ->
+      let b = Sim.Bitset.create () in
+      List.iter (Sim.Bitset.set b) ids;
+      let seen = ref [] in
+      Sim.Bitset.iter (fun i -> seen := i :: !seen) b;
+      let via_iter = List.rev !seen in
+      let expected = List.sort_uniq compare ids in
+      via_iter = expected
+      && Sim.Bitset.elements b = expected
+      && Sim.Bitset.cardinal b = List.length expected)
 
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
@@ -357,7 +514,11 @@ let test_summary_basic () =
 let test_summary_empty () =
   let s = Sim.Stats.Summary.create () in
   check_float "mean of empty" 0. (Sim.Stats.Summary.mean s);
-  check_float "variance of empty" 0. (Sim.Stats.Summary.variance s)
+  check_float "variance of empty" 0. (Sim.Stats.Summary.variance s);
+  (* min/max of an empty summary are documented as 0., never nan (a
+     nan would poison any table arithmetic built on them). *)
+  check_float "min of empty" 0. (Sim.Stats.Summary.min s);
+  check_float "max of empty" 0. (Sim.Stats.Summary.max s)
 
 let test_summary_merge =
   QCheck.Test.make ~name:"summary merge equals concatenation" ~count:200
@@ -543,12 +704,21 @@ let () =
           Alcotest.test_case "zipf ranks" `Quick test_dist_zipf_ranks;
           Alcotest.test_case "categorical" `Quick test_dist_categorical;
           Alcotest.test_case "geometric" `Quick test_dist_geometric;
-        ] );
+          Alcotest.test_case "first_over boundaries" `Quick
+            test_dist_first_over_boundaries;
+        ]
+        @ qcheck [ test_dist_first_over_prop; test_dist_samplers_in_range ] );
       ( "heap",
         Alcotest.test_case "ordering" `Quick test_heap_ordering
         :: Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties
         :: Alcotest.test_case "peek" `Quick test_heap_peek
+        :: Alcotest.test_case "unboxed accessors" `Quick test_heap_unboxed_accessors
+        :: Alcotest.test_case "releases popped values" `Quick
+             test_heap_releases_popped_values
         :: qcheck [ test_heap_random_sorted ] );
+      ( "bitset",
+        Alcotest.test_case "basic" `Quick test_bitset_basic
+        :: qcheck [ test_bitset_iter_matches_elements ] );
       ( "engine",
         [
           Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;

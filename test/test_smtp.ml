@@ -571,6 +571,157 @@ let test_mta_latency_orders_delivery () =
   Sim.Engine.run engine;
   Alcotest.(check (list string)) "local first" [ "local"; "remote" ] (List.rev !order)
 
+(* ------------------------------------------------------------------ *)
+(* Hand-rendered formatting and the structural delivery fast path      *)
+(*                                                                     *)
+(* Several hot-path functions replace [Printf.sprintf] (or the full    *)
+(* RFC 821 dialogue) with hand-written equivalents.  The properties    *)
+(* below pin each replacement to the original, byte for byte, so a     *)
+(* future edit cannot silently diverge from the reference rendering.   *)
+(* ------------------------------------------------------------------ *)
+
+let test_size_bytes_is_rendered_length =
+  QCheck.Test.make ~name:"size_bytes equals rendered length" ~count:300
+    QCheck.(
+      pair
+        (small_list (pair small_printable_string small_printable_string))
+        small_printable_string)
+    (fun (extra, body) ->
+      (* [size_bytes] is computed arithmetically from the field list;
+         it must match the length of the actual rendering for any
+         fields, including ones that would not round-trip the wire. *)
+      let m =
+        List.fold_left
+          (fun m (n, v) -> Smtp.Message.add_header m n v)
+          (Smtp.Message.make ~from:(addr "alice@a.com")
+             ~to_:[ addr "bob@b.com"; addr "carol@c.com" ]
+             ~subject:"hi" ~date:3661.25 ~body ())
+          extra
+      in
+      Smtp.Message.size_bytes m = String.length (Smtp.Message.to_string m))
+
+let stamp_times =
+  (* Mix a uniform spread with values engineered to sit on or next to a
+     half-millisecond rounding tie, where a naive %.3f replica would
+     round the wrong way. *)
+  QCheck.Gen.(
+    oneof
+      [
+        float_bound_inclusive 2e9;
+        map (fun ms -> float_of_int ms /. 1000.) (int_bound 2_000_000);
+        map (fun k -> float_of_int k *. 0.0625) (int_bound 100_000);
+        map (fun k -> (float_of_int k +. 0.5) /. 1000.) (int_bound 2_000_000);
+        oneofl
+          [ 0.; 0.0005; 0.0015; 0.0625; 0.9995; 1.0005; 86399.9995; 1e15; 1e16; infinity ];
+      ])
+
+let test_received_stamp_matches_sprintf =
+  QCheck.Test.make ~name:"received_stamp matches sprintf" ~count:1000
+    (QCheck.make ~print:(Printf.sprintf "%.20g") stamp_times)
+    (fun t ->
+      Smtp.Mta.Internal.received_stamp ~from_domain:"a.com" ~by:"mx.b.com" t
+      = Printf.sprintf "from %s by %s; t=%.3f" "a.com" "mx.b.com" t)
+
+let test_date_header_matches_sprintf =
+  QCheck.Test.make ~name:"Date header matches sprintf" ~count:500
+    QCheck.(float_bound_inclusive (200. *. 86400.))
+    (fun seconds ->
+      let m =
+        Smtp.Message.make ~from:(addr "a@a.com") ~to_:[ addr "b@b.com" ]
+          ~date:seconds ~body:"" ()
+      in
+      let day = int_of_float (seconds /. 86400.) in
+      let rem = seconds -. (float_of_int day *. 86400.) in
+      let h = int_of_float (rem /. 3600.) in
+      let mi = int_of_float ((rem -. (float_of_int h *. 3600.)) /. 60.) in
+      let s =
+        int_of_float (rem -. (float_of_int h *. 3600.) -. (float_of_int mi *. 60.))
+      in
+      Smtp.Message.header m "Date"
+      = Some (Printf.sprintf "Day %d %02d:%02d:%02d +0000" day h mi s))
+
+(* deliver_direct vs the real dialogue.  The pool mixes two local
+   domains with a foreign one so generated envelopes exercise accepts,
+   550 rejections, the all-rejected abort and (with a tight cap) the
+   554 too-many-recipients path; small [max_message_bytes] values hit
+   the 552 size check. *)
+let fastpath_pool =
+  [|
+    "a@one.example"; "bee@one.example"; "c@two.example"; "d@two.example";
+    "x@off.example"; "y@off.example";
+  |]
+
+let fastpath_gen =
+  QCheck.Gen.(
+    let idx = int_bound (Array.length fastpath_pool - 1) in
+    let body = string_size ~gen:(oneofl [ 'a'; 'Q'; '.'; '\n'; ' ' ]) (int_bound 60) in
+    let cap = oneofl [ 30; 120; 1_000_000 ] in
+    map
+      (fun ((si, ris), (body, cap)) -> (si, ris, body, cap))
+      (pair (pair idx (list_size (int_range 1 5) idx)) (pair body cap)))
+
+let fastpath_print (si, ris, body, cap) =
+  Printf.sprintf "sender=%s rcpts=[%s] cap=%d body=%S" fastpath_pool.(si)
+    (String.concat "; " (List.map (fun i -> fastpath_pool.(i)) ris))
+    cap body
+
+let same_rejections a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ra, pa) (rb, pb) -> Smtp.Address.equal ra rb && Smtp.Reply.equal pa pb)
+       a b
+
+let test_deliver_direct_matches_dialogue =
+  QCheck.Test.make ~name:"deliver_direct matches the full dialogue" ~count:500
+    (QCheck.make ~print:fastpath_print fastpath_gen)
+    (fun (si, ris, body, cap) ->
+      let sender = addr fastpath_pool.(si) in
+      (* Envelope.v forbids duplicate recipients. *)
+      let rcpts =
+        List.map (fun i -> addr fastpath_pool.(i)) (List.sort_uniq compare ris)
+      in
+      let envelope = Smtp.Envelope.v ~sender ~recipients:rcpts in
+      let message =
+        Smtp.Message.make ~from:sender ~to_:rcpts ~subject:"probe" ~date:42.5
+          ~body ()
+      in
+      let policy =
+        {
+          (Smtp.Server.default_policy
+             ~local_domains:[ "one.example"; "two.example" ])
+          with
+          Smtp.Server.max_recipients = 2;
+          max_message_bytes = cap;
+        }
+      in
+      let fast = Smtp.Server.deliver_direct ~policy envelope message in
+      let server = Smtp.Server.create ~hostname:"mx.test" ~policy in
+      let dialogue =
+        Smtp.Client.deliver
+          (Smtp.Client.of_server server)
+          ~hostname:"client.test" envelope message
+      in
+      Smtp.Server.message_round_trips message
+      &&
+      match (fast, dialogue) with
+      | `Delivered (env, msg, rejected), Ok outcome -> (
+          match Smtp.Server.take_received server with
+          | [ (env', msg') ] ->
+              Smtp.Envelope.equal env env'
+              && Smtp.Message.to_string msg = Smtp.Message.to_string msg'
+              && List.length outcome.Smtp.Client.accepted
+                 = List.length (Smtp.Envelope.recipients env)
+              && List.for_all2 Smtp.Address.equal outcome.Smtp.Client.accepted
+                   (Smtp.Envelope.recipients env)
+              && same_rejections outcome.Smtp.Client.rejected rejected
+          | _ -> false)
+      | `All_rejected rejected, Error (Smtp.Client.All_recipients_rejected rejected')
+        ->
+          same_rejections rejected rejected'
+      | `Size_exceeded, Error (Smtp.Client.Protocol_error { at = "."; reply }) ->
+          reply.Smtp.Reply.code = 552
+      | _ -> false)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -616,6 +767,14 @@ let () =
           Alcotest.test_case "delivery" `Quick test_client_delivery;
           Alcotest.test_case "all rejected" `Quick test_client_all_rejected;
         ] );
+      ( "fastpath",
+        qcheck
+          [
+            test_size_bytes_is_rendered_length;
+            test_received_stamp_matches_sprintf;
+            test_date_header_matches_sprintf;
+            test_deliver_direct_matches_dialogue;
+          ] );
       ("dns", [ Alcotest.test_case "registry" `Quick test_dns ]);
       ("mailbox", [ Alcotest.test_case "store" `Quick test_mailbox ]);
       ( "mta",
