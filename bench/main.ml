@@ -1,7 +1,7 @@
 (* Benchmark and experiment harness.
 
    Usage:
-     main.exe            run every experiment table (E1-E16) then the
+     main.exe            run every experiment table (E1-E18) then the
                          E12 micro-benchmarks
      main.exe e7         run one experiment
      main.exe micro      run only the micro-benchmarks
@@ -10,10 +10,13 @@
    Flags (experiment runs): --metrics appends each instrumented
    experiment's metric-registry table; --trace FILE records the event
    trace and writes it out (--trace-format jsonl|chrome); --json FILE
-   times every experiment (plus engine throughput and snapshot I/O)
-   and writes a machine-readable report.  Single-experiment runs also
-   accept the checkpoint/resume flags of bin/zmail_sim:
-   --checkpoint-every T, --snapshot FILE, --resume FILE, --stop-at T. *)
+   times every experiment (plus engine throughput, §4.4 audit-verify
+   cost at 100 and 1000 ISPs, and snapshot I/O) and writes a
+   machine-readable report; --json with --full additionally runs the
+   nightly-scale rows (E17 at a million users, the E18 grid at 100
+   ISPs x 1000 users).  Single-experiment runs also accept the
+   checkpoint/resume flags of bin/zmail_sim: --checkpoint-every T,
+   --snapshot FILE, --resume FILE, --stop-at T. *)
 
 (* ------------------------------------------------------------------ *)
 (* E12: micro-benchmarks of the protocol plumbing                      *)
@@ -255,6 +258,35 @@ let scale_throughput () =
     allocated /. float_of_int events,
     (Gc.stat ()).Gc.top_heap_words )
 
+(* §4.4 cross-check cost at federation scale: one full antisymmetry
+   verify over an n x n reported matrix, the exact scan the bank runs
+   per audit round.  Measured at n=100 and n=1000 so the committed
+   baselines document how the per-round cost grows with the federation
+   (the scan is O(n^2) pairs; the interesting number is the absolute
+   per-round wall cost at the sizes E18/E17 actually audit). *)
+let audit_verify_cost n =
+  let rng = Sim.Rng.create 3 in
+  let reported =
+    Array.init n (fun i ->
+        Array.init n (fun j -> if i = j then 0 else Sim.Rng.int rng 100))
+  in
+  let () =
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        reported.(j).(i) <- -reported.(i).(j)
+      done
+    done
+  in
+  let compliant = Array.make n true in
+  let iters = max 5 (2_000_000 / (n * n)) in
+  let (), seconds =
+    wall (fun () ->
+        for _ = 1 to iters do
+          ignore (Zmail.Credit.Audit.verify ~reported ~compliant)
+        done)
+  in
+  seconds /. float_of_int iters *. 1e6
+
 (* Snapshot write/read bandwidth over a populated world image. *)
 let snapshot_io () =
   let world =
@@ -309,7 +341,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let run_json ~path ~obs =
+let run_json ~path ~obs ~full =
   (* Experiment tables still go to stdout; the timings go to [path]. *)
   let experiments =
     List.map
@@ -329,8 +361,27 @@ let run_json ~path ~obs =
     scale_throughput ()
   in
   let snap_bytes, write_mb_s, read_mb_s = snapshot_io () in
+  let verify_100_us = audit_verify_cost 100 in
+  let verify_1000_us = audit_verify_cost 1000 in
+  (* Nightly-only long rows: the E17 million-user world and the E18
+     adversary grid at 100 ISPs x 1000 users.  Minutes of wall-clock,
+     so they only run under --full. *)
+  let full_rows =
+    if not full then None
+    else begin
+      let o17, e17_s =
+        wall (fun () ->
+            Harness.E17_scale.run_scale ~seed:17 ~n_isps:1000
+              ~users_per_isp:1000 ())
+      in
+      let (), e18_s =
+        wall (fun () -> ignore (Harness.E18_adversary.run ~seed:18 ~full:true ()))
+      in
+      Some (o17.Harness.E17_scale.events, e17_s, e18_s)
+    end
+  in
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": 1,\n  \"experiments\": [\n";
+  Buffer.add_string b "{\n  \"schema\": 2,\n  \"experiments\": [\n";
   List.iteri
     (fun k (id, seconds) ->
       Buffer.add_string b
@@ -355,9 +406,26 @@ let run_json ~path ~obs =
        scale_alloc peak_words);
   Buffer.add_string b
     (Printf.sprintf
+       "  \"audit_verify\": { \"n100_us_per_round\": %.2f, \
+        \"n1000_us_per_round\": %.2f },\n"
+       verify_100_us verify_1000_us);
+  Buffer.add_string b
+    (Printf.sprintf
        "  \"snapshot\": { \"bytes\": %d, \"write_mb_per_s\": %.2f, \
-        \"read_mb_per_s\": %.2f }\n"
-       snap_bytes write_mb_s read_mb_s);
+        \"read_mb_per_s\": %.2f }%s\n"
+       snap_bytes write_mb_s read_mb_s
+       (if full_rows = None then "" else ","));
+  (match full_rows with
+  | None -> ()
+  | Some (e17_events, e17_s, e18_s) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  \"full\": { \"e17_million\": { \"events\": %d, \"wall_s\": \
+            %.2f, \"events_per_sec\": %.0f }, \"e18_full_grid\": { \
+            \"wall_s\": %.2f } }\n"
+           e17_events e17_s
+           (float_of_int e17_events /. e17_s)
+           e18_s));
   Buffer.add_string b "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -376,15 +444,16 @@ let list_experiments () =
   print_endline "micro (E12: protocol micro-benchmarks)"
 
 let usage =
-  "usage: main.exe [e1..e17|micro|list] [--metrics] [--trace FILE] \
-   [--trace-format jsonl|chrome] [--json FILE] [--checkpoint-every T] \
-   [--snapshot FILE] [--resume FILE] [--stop-at T]"
+  "usage: main.exe [e1..e18|micro|list] [--metrics] [--trace FILE] \
+   [--trace-format jsonl|chrome] [--json FILE] [--full] \
+   [--checkpoint-every T] [--snapshot FILE] [--resume FILE] [--stop-at T]"
 
 let () =
   let trace = ref None in
   let trace_format = ref `Jsonl in
   let metrics = ref false in
   let json = ref None in
+  let full = ref false in
   let checkpoint_every = ref None in
   let snapshot = ref None in
   let resume = ref None in
@@ -415,6 +484,9 @@ let () =
         parse rest
     | "--json" :: path :: rest ->
         json := Some path;
+        parse rest
+    | "--full" :: rest ->
+        full := true;
         parse rest
     | "--checkpoint-every" :: v :: rest ->
         checkpoint_every := Some (float_arg "--checkpoint-every" v);
@@ -456,7 +528,7 @@ let () =
       exit 1
   | [] -> (
       match !json with
-      | Some path -> run_json ~path ~obs
+      | Some path -> run_json ~path ~obs ~full:!full
       | None ->
           Harness.Experiments.run_all ~obs ();
           run_micro ();

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Trend report over the committed benchmark baselines.
+
+Reads every bench/BENCH_*.json (sorted by filename, which embeds the
+date), plus any extra report paths given on the command line, and
+prints one trend table: the headline series (engine and e17_scale
+events/sec, allocation per event, peak heap, snapshot bandwidth,
+audit-verify cost) as columns, one row per baseline, with the percent
+delta from the previous row in parentheses.
+
+Pure stdlib, no matplotlib: the output is a table, not a picture, so
+it works in CI logs and terminals.  Keys absent from older schemas
+(audit_verify appeared in schema 2) render as "-" rather than
+failing, so the tool can always read the whole history.
+
+Usage:
+    python3 bench/plot_bench.py [extra_report.json ...]
+"""
+
+import glob
+import json
+import os
+import sys
+
+
+def get(report, *path):
+    """Walk nested dicts; None when any key is missing."""
+    node = report
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+SERIES = [
+    # (column header, formatter, path into the report)
+    ("engine ev/s", "{:,.0f}", ("engine", "events_per_sec")),
+    ("e17 ev/s", "{:,.0f}", ("e17_scale", "events_per_sec")),
+    ("alloc w/ev", "{:.1f}", ("e17_scale", "alloc_words_per_event")),
+    ("peak heap Mw", "{:.1f}", ("e17_scale", "peak_heap_words")),
+    ("snap write MB/s", "{:.1f}", ("snapshot", "write_mb_per_s")),
+    ("snap read MB/s", "{:.1f}", ("snapshot", "read_mb_per_s")),
+    ("verify(100) us", "{:.1f}", ("audit_verify", "n100_us_per_round")),
+    ("verify(1000) us", "{:.1f}", ("audit_verify", "n1000_us_per_round")),
+]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"warning: skipping {path}: {e}", file=sys.stderr)
+        return None
+
+
+def cell(fmt, value, previous):
+    if value is None:
+        return "-"
+    text = fmt.format(value)
+    if previous not in (None, 0):
+        text += " ({:+.1f}%)".format(100.0 * (value - previous) / previous)
+    return text
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    paths = sorted(glob.glob(os.path.join(here, "BENCH_*.json")))
+    paths += sys.argv[1:]
+    rows = []
+    for path in paths:
+        report = load(path)
+        if report is None:
+            continue
+        label = os.path.basename(path)
+        if label.startswith("BENCH_"):
+            label = label[len("BENCH_"):]
+        if label.endswith(".json"):
+            label = label[: -len(".json")]
+        values = []
+        for _, _, series_path in SERIES:
+            v = get(report, *series_path)
+            if v is not None and series_path == ("e17_scale", "peak_heap_words"):
+                v = v / 1e6  # report megawords, not words
+            values.append(v)
+        rows.append((label, values))
+    if not rows:
+        print("no bench/BENCH_*.json baselines found", file=sys.stderr)
+        return 1
+
+    headers = ["baseline"] + [name for name, _, _ in SERIES]
+    table = [headers]
+    previous = [None] * len(SERIES)
+    for label, values in rows:
+        rendered = [label]
+        for k, ((_, fmt, _), v) in enumerate(zip(SERIES, values)):
+            rendered.append(cell(fmt, v, previous[k]))
+            if v is not None:
+                previous[k] = v
+        table.append(rendered)
+
+    widths = [max(len(row[c]) for row in table) for c in range(len(headers))]
+    for i, row in enumerate(table):
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if i == 0:
+            print("  ".join("-" * w for w in widths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

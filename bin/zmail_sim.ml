@@ -36,6 +36,15 @@ let metrics_arg =
   let doc = "Append the metric-registry table to the experiment output." in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let full_arg =
+  let doc =
+    "Run the nightly-scale variant where one exists: E17 adds its \
+     million-user row, E18 raises its adversary grid to 100 ISPs x 1000 \
+     users per cell (both take minutes).  Experiments without a larger \
+     variant ignore the flag."
+  in
+  Arg.(value & flag & info [ "full"; "million" ] ~doc)
+
 let checkpoint_every_arg =
   let doc =
     "Write a world snapshot to the $(b,--snapshot) file every $(docv) \
@@ -63,8 +72,8 @@ let stop_at_arg =
   Arg.(value & opt (some float) None & info [ "stop-at" ] ~docv:"SECONDS" ~doc)
 
 (* Shared by the `experiment` subcommand and the default command. *)
-let run_experiments id seed trace trace_format metrics checkpoint_every snapshot
-    resume stop_at =
+let run_experiments id seed full trace trace_format metrics checkpoint_every
+    snapshot resume stop_at =
   let tracer =
     match trace with
     (* A generous ring: full traces for every experiment here; a long
@@ -93,10 +102,10 @@ let run_experiments id seed trace trace_format metrics checkpoint_every snapshot
         in
         let result =
           if id = "all" then begin
-            Harness.Experiments.run_all ~seed ~obs ();
+            Harness.Experiments.run_all ~seed ~full ~obs ();
             Ok ()
           end
-          else Harness.Experiments.run_one ~seed ~obs ~persist id
+          else Harness.Experiments.run_one ~seed ~full ~obs ~persist id
         in
         match result with
         | Ok () -> (
@@ -153,13 +162,13 @@ let setup_logs level =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id: e1..e16, or 'all'." in
+    let doc = "Experiment id: e1..e18, or 'all'." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
   let term =
     Term.(
       term_result'
-        (const run_experiments $ id_arg $ seed_arg $ trace_arg
+        (const run_experiments $ id_arg $ seed_arg $ full_arg $ trace_arg
         $ trace_format_arg $ metrics_arg $ checkpoint_every_arg $ snapshot_arg
         $ resume_arg $ stop_at_arg))
   in

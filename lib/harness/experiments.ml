@@ -2,7 +2,12 @@ type t = {
   id : string;
   title : string;
   claim : string;
-  run : seed:int -> obs:Obs.Run.t -> persist:Checkpoint.t -> Sim.Table.t list;
+  run :
+    full:bool ->
+    seed:int ->
+    obs:Obs.Run.t ->
+    persist:Checkpoint.t ->
+    Sim.Table.t list;
 }
 
 let all =
@@ -14,7 +19,7 @@ let all =
         "§1.2: spam cost rises by at least two orders of magnitude; the \
          break-even response rate rises similarly; spam volume decreases \
          substantially.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E1_market.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E1_market.run ~seed ());
     };
     {
       id = "e2";
@@ -22,13 +27,13 @@ let all =
       claim =
         "§1.2: users who receive about as much as they send neither pay nor \
          profit, given an initial buffering balance.";
-      run = (fun ~seed ~obs ~persist -> E2_zero_sum.run ~obs ~persist ~seed ());
+      run = (fun ~full:_ ~seed ~obs ~persist -> E2_zero_sum.run ~obs ~persist ~seed ());
     };
     {
       id = "e3";
       title = "Misbehaving-ISP detection through the credit audit";
       claim = "§4.4: the bank can detect misbehaved ISPs from the credit arrays.";
-      run = (fun ~seed ~obs ~persist -> E3_detection.run ~obs ~persist ~seed ());
+      run = (fun ~full:_ ~seed ~obs ~persist -> E3_detection.run ~obs ~persist ~seed ());
     };
     {
       id = "e4";
@@ -36,7 +41,7 @@ let all =
       claim =
         "§2.3: Zmail handles payments in bulk so handling cost is small; \
          SHRED's per-payment cost can exceed the penny collected.";
-      run = (fun ~seed ~obs ~persist:_ -> E4_accounting.run ~obs ~seed ());
+      run = (fun ~full:_ ~seed ~obs ~persist:_ -> E4_accounting.run ~obs ~seed ());
     };
     {
       id = "e5";
@@ -44,7 +49,7 @@ let all =
       claim =
         "§1.3/§5: bootstrap with two compliant ISPs; positive feedback spreads \
          compliance.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E5_adoption.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E5_adoption.run ~seed ());
     };
     {
       id = "e6";
@@ -52,7 +57,7 @@ let all =
       claim =
         "§5: a per-day spending limit bounds virus liability, blocks the \
          flood, and detects zombies via the warning.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E6_zombies.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E6_zombies.run ~seed ());
     };
     {
       id = "e7";
@@ -60,7 +65,7 @@ let all =
       claim =
         "§5: the automatic acknowledgment returns the e-penny to the \
          distributor and keeps the subscriber database clean.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E7_listserv.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E7_listserv.run ~seed ());
     };
     {
       id = "e8";
@@ -68,7 +73,7 @@ let all =
       claim =
         "§1.2/§2.2: filters suffer false positives and misspelling evasion; \
          Zmail needs no spam definition at all.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E8_filters.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E8_filters.run ~seed ());
     };
     {
       id = "e9";
@@ -76,7 +81,7 @@ let all =
       claim =
         "§2.3: computational schemes make everyone slower; Zmail is free for \
          balanced users and expensive for bulk senders.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E9_sender_cost.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E9_sender_cost.run ~seed ());
     };
     {
       id = "e10";
@@ -84,13 +89,13 @@ let all =
       claim =
         "§4.4: the 10-minute freeze buffers user mail briefly and yields \
          consistent snapshots.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E10_snapshot.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E10_snapshot.run ~seed ());
     };
     {
       id = "e11";
       title = "Replay and forgery attacks on the bank channel";
       claim = "§4.3: nonces prevent message replay attacks.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E11_replay.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E11_replay.run ~seed ());
     };
     {
       id = "e13";
@@ -98,7 +103,7 @@ let all =
       claim =
         "§4.4 leaves the frequency open (\"once a week or once a month, for \
          example\"); this sweeps the trade-off.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E13_audit_period.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E13_audit_period.run ~seed ());
     };
     {
       id = "e14";
@@ -106,7 +111,7 @@ let all =
       claim =
         "§5: accept, segregate/discard, or filter mail from non-compliant \
          ISPs — measured side by side.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E14_policies.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E14_policies.run ~seed ());
     };
     {
       id = "e15";
@@ -114,7 +119,7 @@ let all =
       claim =
         "§5 (Bank Setup): the bank \"can be implemented as a set of \
          distributed banks\"; this builds two and clears their imbalance.";
-      run = (fun ~seed ~obs:_ ~persist:_ -> E15_federation.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E15_federation.run ~seed ());
     };
     {
       id = "e16";
@@ -123,7 +128,7 @@ let all =
         "Implied by §4.3–§4.4: the nonce/audit protocol never depends on a \
          perfect bank link — under drops, duplicates, corruption, outages \
          and ISP crashes, money stays zero-sum and cheaters stay caught.";
-      run = (fun ~seed ~obs ~persist -> E16_chaos.run ~obs ~persist ~seed ());
+      run = (fun ~full:_ ~seed ~obs ~persist -> E16_chaos.run ~obs ~persist ~seed ());
     };
     {
       id = "e17";
@@ -133,7 +138,22 @@ let all =
          100+ ISPs, money stays zero-sum (residue = cheat-minted), the audit \
          still flags the cheater and nobody else, and the run stays flat in \
          memory with retain_mail=false.";
-      run = (fun ~seed ~obs ~persist -> E17_scale.run ~obs ~persist ~seed ());
+      run =
+        (fun ~full ~seed ~obs ~persist ->
+          E17_scale.run ~obs ~persist ~seed ~million:full ());
+    };
+    {
+      id = "e18";
+      title = "Adversarial robustness: Byzantine ISPs under mesh chaos";
+      claim =
+        "§4.4 under adversity: ISPs that tamper with their audit reports \
+         (understating debts, replaying stale arrays, dropping a peer's \
+         cross-check) are implicated or convicted within two audit rounds \
+         of a heal, honest ISPs are never convicted, and money stays \
+         zero-sum even when partitions bounce and refund paid mail.";
+      run =
+        (fun ~full ~seed ~obs ~persist ->
+          E18_adversary.run ~obs ~persist ~seed ~full ());
     };
   ]
 
@@ -141,18 +161,19 @@ let find id =
   let id = String.lowercase_ascii id in
   List.find_opt (fun e -> e.id = id) all
 
-let print_experiment ~seed ?obs ?persist e =
+let print_experiment ~full ~seed ?obs ?persist e =
   let obs = Option.value obs ~default:Obs.Run.none in
   let persist = Option.value persist ~default:Checkpoint.none in
   Format.printf "---- %s: %s ----@." (String.uppercase_ascii e.id) e.title;
   Format.printf "claim: %s@.@." e.claim;
-  List.iter Sim.Table.print (e.run ~seed ~obs ~persist)
+  List.iter Sim.Table.print (e.run ~full ~seed ~obs ~persist)
 
-let run_all ?(seed = 0) ?obs () = List.iter (print_experiment ~seed ?obs) all
+let run_all ?(seed = 0) ?(full = false) ?obs () =
+  List.iter (print_experiment ~full ~seed ?obs) all
 
-let run_one ?(seed = 0) ?obs ?persist id =
+let run_one ?(seed = 0) ?(full = false) ?obs ?persist id =
   match find id with
   | Some e ->
-      print_experiment ~seed ?obs ?persist e;
+      print_experiment ~full ~seed ?obs ?persist e;
       Ok ()
-  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e17)" id)
+  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e18)" id)

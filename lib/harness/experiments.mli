@@ -6,17 +6,25 @@
     deterministic for a given seed. *)
 
 type t = {
-  id : string;  (** ["e1"] … ["e16"]. *)
+  id : string;  (** ["e1"] … ["e18"]. *)
   title : string;
   claim : string;  (** The paper sentence being reproduced. *)
-  run : seed:int -> obs:Obs.Run.t -> persist:Checkpoint.t -> Sim.Table.t list;
-      (** [obs] is the front end's observability context: a shared
-          tracer to record into (exported afterwards by the caller)
-          and whether to append the metric-registry table.  The
-          world-backed experiments honour it; the rest ignore it.
-          Pass {!Obs.Run.none} when not tracing.  [persist] is the
-          checkpoint/resume driver (E2, E3 and E16 honour it; pass
-          {!Checkpoint.none} otherwise). *)
+  run :
+    full:bool ->
+    seed:int ->
+    obs:Obs.Run.t ->
+    persist:Checkpoint.t ->
+    Sim.Table.t list;
+      (** [full] asks for the experiment's nightly-scale variant (E17's
+          million-user row, E18's 100-ISP grid); most experiments have
+          no such variant and ignore it.  [obs] is the front end's
+          observability context: a shared tracer to record into
+          (exported afterwards by the caller) and whether to append the
+          metric-registry table.  The world-backed experiments honour
+          it; the rest ignore it.  Pass {!Obs.Run.none} when not
+          tracing.  [persist] is the checkpoint/resume driver (E2, E3,
+          E16, E17 and E18 honour it; pass {!Checkpoint.none}
+          otherwise). *)
 }
 
 val all : t list
@@ -25,11 +33,11 @@ val all : t list
 val find : string -> t option
 (** Case-insensitive lookup by id. *)
 
-val run_all : ?seed:int -> ?obs:Obs.Run.t -> unit -> unit
+val run_all : ?seed:int -> ?full:bool -> ?obs:Obs.Run.t -> unit -> unit
 (** Run every experiment, printing each table to stdout. *)
 
 val run_one :
-  ?seed:int -> ?obs:Obs.Run.t -> ?persist:Checkpoint.t -> string ->
-  (unit, string) result
+  ?seed:int -> ?full:bool -> ?obs:Obs.Run.t -> ?persist:Checkpoint.t ->
+  string -> (unit, string) result
 (** Run and print a single experiment by id.
     @raise Checkpoint.Stopped when [persist] hits its stop point. *)

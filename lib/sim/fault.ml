@@ -163,3 +163,152 @@ let counters t =
     t.corrupted;
     t.outage_dropped;
   ]
+
+module Mesh = struct
+  type partition = { p_start : float; p_stop : float; groups : int array }
+
+  let partition ~start ~stop ~groups =
+    if stop < start then
+      invalid_arg
+        (Printf.sprintf "Fault.Mesh: partition [%g, %g) ends before it starts"
+           start stop);
+    if Array.length groups = 0 then
+      invalid_arg "Fault.Mesh: partition needs a non-empty group assignment";
+    { p_start = start; p_stop = stop; groups }
+
+  type t = {
+    n_nodes : int;
+    default : plan;
+    links : (int * int, plan) Hashtbl.t;
+    partitions : partition list;
+    engine : Engine.t;
+    rng : Rng.t;
+    trivial : bool;
+    attempts : Stats.Counter.t;
+    delivered : Stats.Counter.t;
+    link_dropped : Stats.Counter.t;
+    link_delayed : Stats.Counter.t;
+    outage_dropped : Stats.Counter.t;
+    partition_dropped : Stats.Counter.t;
+  }
+
+  let create ?(default = reliable) ?(links = []) ?(partitions = []) ~n_nodes
+      engine rng =
+    if n_nodes <= 0 then invalid_arg "Fault.Mesh: n_nodes must be positive";
+    validate default;
+    let tbl = Hashtbl.create (List.length links * 2) in
+    List.iter
+      (fun ((src, dst), p) ->
+        if src < 0 || src >= n_nodes || dst < 0 || dst >= n_nodes then
+          invalid_arg
+            (Printf.sprintf "Fault.Mesh: link (%d, %d) outside 0..%d" src dst
+               (n_nodes - 1));
+        validate p;
+        Hashtbl.replace tbl (src, dst) p)
+      links;
+    List.iter
+      (fun pt ->
+        if Array.length pt.groups <> n_nodes then
+          invalid_arg
+            (Printf.sprintf
+               "Fault.Mesh: partition groups has %d entries for %d nodes"
+               (Array.length pt.groups) n_nodes))
+      partitions;
+    {
+      n_nodes;
+      default;
+      links = tbl;
+      partitions;
+      engine;
+      rng = Rng.split rng;
+      trivial = default = reliable && links = [] && partitions = [];
+      attempts = Stats.Counter.create "attempts";
+      delivered = Stats.Counter.create "delivered";
+      link_dropped = Stats.Counter.create "link_dropped";
+      link_delayed = Stats.Counter.create "link_delayed";
+      outage_dropped = Stats.Counter.create "outage_dropped";
+      partition_dropped = Stats.Counter.create "partition_dropped";
+    }
+
+  let n_nodes t = t.n_nodes
+  let trivial t = t.trivial
+
+  (* Pure reachability query: no counters, no randomness.  Used both by
+     [attempt] and by audit scheduling to ask "is this node cut off
+     right now?" without perturbing the fault stream. *)
+  let severed t ~a ~b =
+    a <> b
+    && (let now = Engine.now t.engine in
+        List.exists
+          (fun p ->
+            now >= p.p_start && now < p.p_stop && p.groups.(a) <> p.groups.(b))
+          t.partitions)
+
+  let plan_for t ~src ~dst =
+    match Hashtbl.find_opt t.links (src, dst) with
+    | Some p -> p
+    | None -> t.default
+
+  let draw t prob = prob > 0. && Rng.unit_float t.rng < prob
+
+  let in_outage t plan =
+    let now = Engine.now t.engine in
+    List.exists (fun (start, stop) -> now >= start && now < stop) plan.outages
+
+  (* The [trivial] fast path returns before touching any counter or the
+     RNG: a default mesh is free on the per-message hot path and leaves
+     every downstream random stream bit-identical. *)
+  let attempt t ~src ~dst =
+    if t.trivial then `Deliver
+    else begin
+      Stats.Counter.incr t.attempts;
+      if severed t ~a:src ~b:dst then begin
+        Stats.Counter.incr t.partition_dropped;
+        `Lost
+      end
+      else begin
+        let plan = plan_for t ~src ~dst in
+        if in_outage t plan then begin
+          Stats.Counter.incr t.outage_dropped;
+          `Lost
+        end
+        else if draw t plan.drop then begin
+          Stats.Counter.incr t.link_dropped;
+          `Lost
+        end
+        else if draw t plan.delay_prob then begin
+          Stats.Counter.incr t.link_delayed;
+          `Delayed (Rng.float t.rng (max plan.delay_max epsilon_float))
+        end
+        else begin
+          Stats.Counter.incr t.delivered;
+          `Deliver
+        end
+      end
+    end
+
+  let attempts t = Stats.Counter.value t.attempts
+  let delivered t = Stats.Counter.value t.delivered
+  let link_dropped t = Stats.Counter.value t.link_dropped
+  let link_delayed t = Stats.Counter.value t.link_delayed
+  let outage_dropped t = Stats.Counter.value t.outage_dropped
+  let partition_dropped t = Stats.Counter.value t.partition_dropped
+
+  let counters t =
+    [
+      t.attempts;
+      t.delivered;
+      t.link_dropped;
+      t.link_delayed;
+      t.outage_dropped;
+      t.partition_dropped;
+    ]
+
+  let encode_state w t =
+    Rng.encode_state w t.rng;
+    List.iter (Stats.Counter.encode_state w) (counters t)
+
+  let restore_state r t =
+    Rng.restore_state r t.rng;
+    List.iter (Stats.Counter.restore_state r) (counters t)
+end

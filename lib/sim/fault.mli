@@ -90,3 +90,91 @@ val restore_state : Persist.Codec.R.t -> t -> unit
 (** Snapshot capture and in-place restore of the fault model's own RNG
     stream and counters.  Delayed copies already scheduled on the
     engine are not captured; deterministic replay re-creates them. *)
+
+(** A fault model for a whole mesh of point-to-point links.
+
+    Where {!t} decorates one link, a {!Mesh.t} answers fault verdicts
+    for any ordered [(src, dst)] node pair: a default {!plan} applies
+    everywhere, individual directed links can override it, and
+    scheduled {!Mesh.partition} windows split the node set into groups
+    whose cross-group traffic is severed outright.  All decisions come
+    from one private RNG stream split at creation, so runs stay
+    byte-deterministic per seed; a mesh left at its defaults (reliable
+    plan, no overrides, no partitions) is {!Mesh.trivial} and answers
+    [`Deliver] without touching the RNG or any counter — the layer
+    costs nothing unless faults are configured.
+
+    [Mesh.attempt] models a connection attempt (a session, not a
+    datagram), so only the [drop], [delay_prob]/[delay_max] and
+    [outages] fields of a plan apply; [duplicate] and [corrupt] are
+    ignored — a stream transport does not duplicate or bit-flip whole
+    sessions. *)
+module Mesh : sig
+  type partition
+  (** A time window during which the node set is split into groups and
+      every cross-group attempt is reported [`Lost]. *)
+
+  val partition : start:float -> stop:float -> groups:int array -> partition
+  (** [partition ~start ~stop ~groups] severs cross-group links during
+      [\[start, stop)].  [groups.(node)] is the node's group id; the
+      array length must equal the mesh's [n_nodes] (checked at
+      {!create}).
+      @raise Invalid_argument if [stop < start] or [groups] is empty. *)
+
+  type t
+
+  val create :
+    ?default:plan ->
+    ?links:((int * int) * plan) list ->
+    ?partitions:partition list ->
+    n_nodes:int ->
+    Engine.t ->
+    Rng.t ->
+    t
+  (** [create ~default ~links ~partitions ~n_nodes engine rng] builds a
+      mesh over nodes [0 .. n_nodes-1].  [links] lists directed
+      [(src, dst)] overrides of the [default] plan (default
+      {!reliable}).  A private RNG stream is split off [rng].
+      @raise Invalid_argument on an invalid plan, a link endpoint
+      outside the node range, or a partition whose group array length
+      differs from [n_nodes]. *)
+
+  val n_nodes : t -> int
+
+  val trivial : t -> bool
+  (** [true] iff the mesh was created with the reliable default, no
+      link overrides and no partitions — {!attempt} is then a constant
+      [`Deliver] with zero RNG and counter cost. *)
+
+  val severed : t -> a:int -> b:int -> bool
+  (** [severed t ~a ~b] is [true] iff some partition window active at
+      the engine's current time places [a] and [b] in different groups.
+      Pure: consumes no randomness and counts nothing, so schedulers
+      can probe reachability without perturbing the fault stream. *)
+
+  val attempt : t -> src:int -> dst:int -> [ `Deliver | `Delayed of float | `Lost ]
+  (** Verdict for one connection attempt from [src] to [dst] now:
+      [`Lost] if the pair is partition-severed, the link plan is in an
+      outage window, or the drop probability fires; [`Delayed d] if the
+      delay probability fires (the caller should retry the attempt
+      after [d] seconds, without consuming a retry); [`Deliver]
+      otherwise. *)
+
+  (** {1 Counters}  All monotone, zero on a trivial mesh. *)
+
+  val attempts : t -> int
+  val delivered : t -> int
+  val link_dropped : t -> int
+  val link_delayed : t -> int
+  val outage_dropped : t -> int
+
+  val partition_dropped : t -> int
+  (** Attempts severed by an active partition window. *)
+
+  val counters : t -> Stats.Counter.t list
+
+  val encode_state : Persist.Codec.W.t -> t -> unit
+  val restore_state : Persist.Codec.R.t -> t -> unit
+  (** Capture/restore of the mesh RNG stream and counters (the static
+      plan/partition configuration is rebuilt by replay, not stored). *)
+end

@@ -47,7 +47,32 @@ and network = {
   mutable hosts : t list;  (* reversed; host id = index at creation *)
   mutable host_arr : t array;  (* hosts by id, for O(1) routing *)
   mutable host_count : int;
+  mutable link_fault :
+    (src:int -> dst:int -> [ `Deliver | `Delayed of float | `Lost ]) option;
+  mutable retry : retry_policy;
+  mutable retrying : int;  (* envelopes currently parked in backoff *)
+  mutable retry_overflows : int;
 }
+
+and retry_policy = {
+  max_attempts : int;
+  base_backoff : float;
+  backoff_factor : float;
+  backoff_cap : float;
+  queue_cap : int;
+}
+
+(* Reproduces the historical hard-wired behavior exactly: 3 attempts,
+   60 * 2^attempt seconds between them (worst case 240 s, far below the
+   cap), an effectively unbounded queue. *)
+let default_retry =
+  {
+    max_attempts = 3;
+    base_backoff = 60.;
+    backoff_factor = 2.;
+    backoff_cap = 3600.;
+    queue_cap = max_int;
+  }
 
 let default_latency rng = 0.010 +. Sim.Dist.exponential rng ~rate:20.
 
@@ -61,7 +86,24 @@ let network ?(latency = default_latency) ?(local_latency = 0.001) engine =
     hosts = [];
     host_arr = [||];
     host_count = 0;
+    link_fault = None;
+    retry = default_retry;
+    retrying = 0;
+    retry_overflows = 0;
   }
+
+let set_link_fault net f = net.link_fault <- f
+
+let set_retry_policy net p =
+  if p.max_attempts < 1 then invalid_arg "Mta: max_attempts must be >= 1";
+  if p.base_backoff < 0. || p.backoff_cap < 0. then
+    invalid_arg "Mta: backoff must be non-negative";
+  if p.queue_cap < 0 then invalid_arg "Mta: queue_cap must be non-negative";
+  net.retry <- p
+
+let retry_policy net = net.retry
+let retry_queue_length net = net.retrying
+let retry_overflows net = net.retry_overflows
 
 let engine net = net.engine
 let dns net = net.registry
@@ -205,8 +247,6 @@ let bounce t envelope message reason =
   t.dead <- (envelope, reason) :: t.dead;
   t.on_bounce envelope message reason
 
-let max_attempts = 3
-
 (* Run one SMTP session from [t] to [dest] for [envelope]/[message];
    returns [Ok ()] or a retryable/permanent failure.
 
@@ -259,22 +299,56 @@ let run_session t dest envelope message =
         else Error (`Permanent (Client.failure_to_string f))
   end
 
+(* [transmit] asks the link-fault layer (if any) for a verdict before
+   opening the session: [`Lost] burns a retry like any 4xx tempfail,
+   [`Delayed d] re-runs the same attempt after [d] without consuming
+   one.  Transient failures park the envelope in a bounded backoff
+   queue; exhausting the attempts or overflowing the queue bounces the
+   message, which (via [on_bounce]) is what refunds the postage. *)
 let rec transmit t ~dest_host envelope message ~attempt =
+  match t.net.link_fault with
+  | None -> attempt_session t ~dest_host envelope message ~attempt
+  | Some verdict -> (
+      match verdict ~src:t.host ~dst:dest_host with
+      | `Deliver -> attempt_session t ~dest_host envelope message ~attempt
+      | `Delayed d ->
+          ignore
+            (Sim.Engine.schedule_after t.net.engine ~delay:d (fun () ->
+                 attempt_session t ~dest_host envelope message ~attempt))
+      | `Lost ->
+          retry_transient t ~dest_host envelope message ~attempt
+            "connection lost (link fault)")
+
+and attempt_session t ~dest_host envelope message ~attempt =
   let dest = find_host t.net dest_host in
   match run_session t dest envelope message with
   | Ok () -> ()
   | Error (`Permanent reason) -> bounce t envelope message reason
   | Error (`Transient reason) ->
-      if attempt + 1 >= max_attempts then bounce t envelope message reason
-      else begin
-        Log.debug (fun m ->
-            m "%s: transient failure to host %d (attempt %d): %s" t.hostname
-              dest_host (attempt + 1) reason);
-        let backoff = 60. *. (2. ** float_of_int attempt) in
-        ignore
-          (Sim.Engine.schedule_after t.net.engine ~delay:backoff (fun () ->
-               transmit t ~dest_host envelope message ~attempt:(attempt + 1)))
-      end
+      retry_transient t ~dest_host envelope message ~attempt reason
+
+and retry_transient t ~dest_host envelope message ~attempt reason =
+  let p = t.net.retry in
+  if attempt + 1 >= p.max_attempts then bounce t envelope message reason
+  else if t.net.retrying >= p.queue_cap then begin
+    t.net.retry_overflows <- t.net.retry_overflows + 1;
+    bounce t envelope message (reason ^ " (retry queue full)")
+  end
+  else begin
+    Log.debug (fun m ->
+        m "%s: transient failure to host %d (attempt %d): %s" t.hostname
+          dest_host (attempt + 1) reason);
+    let backoff =
+      Float.min
+        (p.base_backoff *. (p.backoff_factor ** float_of_int attempt))
+        p.backoff_cap
+    in
+    t.net.retrying <- t.net.retrying + 1;
+    ignore
+      (Sim.Engine.schedule_after t.net.engine ~delay:backoff (fun () ->
+           t.net.retrying <- t.net.retrying - 1;
+           transmit t ~dest_host envelope message ~attempt:(attempt + 1)))
+  end
 
 let submit t envelope message =
   t.submitted <- t.submitted + 1;

@@ -26,6 +26,46 @@ val network :
 val engine : network -> Sim.Engine.t
 val dns : network -> Dns.t
 
+val set_link_fault :
+  network ->
+  (src:int -> dst:int -> [ `Deliver | `Delayed of float | `Lost ]) option ->
+  unit
+(** Install (or clear) a per-link fault oracle consulted before each
+    outbound SMTP session, keyed by the {!host} ids of the sending and
+    receiving MTAs (a {!Sim.Fault.Mesh.attempt} closure fits directly).
+    [`Lost] counts as a transient failure and burns a retry attempt;
+    [`Delayed d] re-runs the same attempt after [d] seconds without
+    consuming one.  [None] (the default) costs nothing on the delivery
+    path. *)
+
+type retry_policy = {
+  max_attempts : int;  (** Session attempts before the message bounces. *)
+  base_backoff : float;  (** Seconds before the first retry. *)
+  backoff_factor : float;  (** Backoff multiplier per attempt. *)
+  backoff_cap : float;  (** Upper bound on any single backoff. *)
+  queue_cap : int;
+      (** Max envelopes parked in backoff network-wide; an arriving
+          retry beyond this bounces immediately (counted in
+          {!retry_overflows}). *)
+}
+
+val default_retry : retry_policy
+(** 3 attempts, 60 s base doubling per attempt, 1 h cap, unbounded
+    queue — exactly the behavior the MTA had before the policy became
+    configurable. *)
+
+val set_retry_policy : network -> retry_policy -> unit
+(** @raise Invalid_argument on [max_attempts < 1], a negative backoff,
+    or a negative [queue_cap]. *)
+
+val retry_policy : network -> retry_policy
+
+val retry_queue_length : network -> int
+(** Envelopes currently parked in backoff across the whole network. *)
+
+val retry_overflows : network -> int
+(** Messages bounced because the retry queue was full. *)
+
 type t
 
 type decision =

@@ -1,0 +1,104 @@
+(* Byzantine ISPs for the §4.4 robustness argument.  Every behavior
+   here is a *report* tamper installed through [Isp.set_audit_tamper]:
+   it rewrites the credit row the ISP hands the bank at thaw and
+   touches nothing else.  That makes each one balance-neutral by
+   construction — no e-penny moves differently, user balances and the
+   bank's outstanding liability are exactly what an honest run
+   produces — so the only question an experiment has to answer is
+   whether the audit *detects* the lie.  (An adversary that also moved
+   money would just be E3's minting cheater, which the audit already
+   convicts.)  *)
+
+type behavior =
+  | Understate_owed of int
+  | Replay_stale
+  | Drop_crosscheck of int
+
+type t = {
+  behavior : behavior;
+  mutable last : int array option;  (* Replay_stale: previous true row *)
+  mutable tampered : int;  (* reports actually altered *)
+  mutable rounds : int;  (* thaws seen *)
+}
+
+let create behavior =
+  (match behavior with
+  | Understate_owed k when k <= 0 ->
+      invalid_arg "Adversary: Understate_owed needs a positive amount"
+  | Drop_crosscheck p when p < 0 ->
+      invalid_arg "Adversary: Drop_crosscheck needs a valid peer"
+  | _ -> ());
+  { behavior; last = None; tampered = 0; rounds = 0 }
+
+let behavior t = t.behavior
+let tampered t = t.tampered
+let rounds t = t.rounds
+
+let name = function
+  | Understate_owed k -> Printf.sprintf "understate(%d)" k
+  | Replay_stale -> "replay-stale"
+  | Drop_crosscheck p -> Printf.sprintf "drop-crosscheck(%d)" p
+
+let describe = function
+  | Understate_owed _ ->
+      "shrinks every negative (owed) entry of the reported row; caught: \
+       each shrunk pair's antisymmetry check is non-zero, implicating the \
+       adversary against every creditor peer"
+  | Replay_stale ->
+      "reports the previous round's row instead of the current one; \
+       caught: the stale row disagrees with every peer whose pair flow \
+       changed between rounds"
+  | Drop_crosscheck _ ->
+      "zeroes the row entry for one chosen peer; implicated: the single \
+       broken pair flags adversary and victim for investigation, and \
+       never convicts the victim under the strict-majority rule"
+
+(* The tamper never mutates [row] in place: the kernel owns it. *)
+let tamper t ~seq:_ row =
+  t.rounds <- t.rounds + 1;
+  match t.behavior with
+  | Understate_owed k ->
+      let out = Array.copy row in
+      let changed = ref false in
+      Array.iteri
+        (fun i v ->
+          if v < 0 then begin
+            out.(i) <- v + min k (-v);
+            if out.(i) <> v then changed := true
+          end)
+        row;
+      if !changed then t.tampered <- t.tampered + 1;
+      out
+  | Replay_stale -> (
+      let truth = Array.copy row in
+      match t.last with
+      | None ->
+          t.last <- Some truth;
+          row
+      | Some prev ->
+          t.last <- Some truth;
+          if prev <> truth then t.tampered <- t.tampered + 1;
+          prev)
+  | Drop_crosscheck peer ->
+      if peer < Array.length row && row.(peer) <> 0 then begin
+        let out = Array.copy row in
+        out.(peer) <- 0;
+        t.tampered <- t.tampered + 1;
+        out
+      end
+      else row
+
+(* [last] is real protocol state for Replay_stale (the next round's lie
+   depends on it), so it must ride in world captures for resume
+   determinism; the counters come along for table stability. *)
+let encode_state w t =
+  let open Persist.Codec.W in
+  opt int_array w t.last;
+  int w t.tampered;
+  int w t.rounds
+
+let restore_state r t =
+  let open Persist.Codec.R in
+  t.last <- opt int_array r;
+  t.tampered <- int r;
+  t.rounds <- int r

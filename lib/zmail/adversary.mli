@@ -1,0 +1,65 @@
+(** Byzantine ISP behaviors for the §4.4 robustness argument.
+
+    An adversary is a {e report} tamper: installed via
+    {!Isp.set_audit_tamper}, it rewrites the credit row the ISP hands
+    the bank at thaw and touches nothing else.  Money, user balances
+    and the bank's outstanding liability are exactly those of an honest
+    run — every behavior is balance-neutral by construction — so the
+    question an experiment answers is purely whether the audit
+    {e detects} the lie:
+
+    - {!Understate_owed}: every pair the adversary owes fails its
+      antisymmetry check, implicating the adversary against each
+      creditor peer (and convicting it outright when creditors form a
+      strict majority).
+    - {!Replay_stale}: the stale row disagrees with every peer whose
+      pair flow changed between rounds — detected at the first audit
+      after the tamper begins.
+    - {!Drop_crosscheck}: a single broken pair.  Inherently ambiguous
+      under §4.4 — adversary and victim are both implicated for
+      investigation — but the strict-majority rule never convicts the
+      victim, and the behavior gains the adversary nothing.
+
+    E18 measures all three across the mesh-fault grid. *)
+
+type behavior =
+  | Understate_owed of int
+      (** Raise every strictly negative (owed) entry of the reported
+          row by up to this many credits, capping at zero. *)
+  | Replay_stale
+      (** Report the previous round's true row instead of the current
+          one (the first round, with nothing to replay, is honest). *)
+  | Drop_crosscheck of int
+      (** Zero the reported entry for this one peer. *)
+
+type t
+
+val create : behavior -> t
+(** @raise Invalid_argument on a non-positive understatement or a
+    negative peer index. *)
+
+val behavior : t -> behavior
+
+val tamper : t -> seq:int -> int array -> int array
+(** The function to install with {!Isp.set_audit_tamper}.  Never
+    mutates its input row. *)
+
+val tampered : t -> int
+(** Reports actually altered so far (a tamper that happens to be the
+    identity — nothing owed, first replay round, entry already zero —
+    does not count). *)
+
+val rounds : t -> int
+(** Thaws this adversary has seen. *)
+
+val name : behavior -> string
+(** Short label for tables, e.g. ["understate(3)"]. *)
+
+val describe : behavior -> string
+(** One-sentence caught-or-harmless argument, for docs and reports. *)
+
+val encode_state : Persist.Codec.W.t -> t -> unit
+val restore_state : Persist.Codec.R.t -> t -> unit
+(** [Replay_stale]'s remembered row is real protocol state (the next
+    lie depends on it), so adversaries ride in world captures; the
+    counters come along so resumed tables match byte-for-byte. *)

@@ -11,6 +11,7 @@ let default_config ~n_isps ~compliant =
 type audit_state = {
   audit_seq : int;
   mutable waiting : int list;
+  absent : int list;  (* excluded at round start: unreachable, not guilty *)
   reported : int array array;
   span : int;  (* trace span opened at start_audit *)
 }
@@ -26,6 +27,14 @@ type t = {
      the original reply instead of being re-applied: exactly-once
      effect over an at-least-once link. *)
   reply_cache : (int * int64, Wire.payload) Hashtbl.t;
+  (* [carry.(x).(y)]: what reporter [y] has claimed against ISP [x]
+     across the rounds [x] was absent for and has not answered yet.
+     When [x] finally reports, its cumulative row covers all its missed
+     periods at once, so the pair check compares it against its peers'
+     earlier reports via this carry instead of falsely accusing both
+     sides of the partition.  Rows are cleared when their ISP reports
+     (the carry is consumed by that round's check). *)
+  carry : int array array;
   mutable outstanding : int;
   mutable seq : int;
   mutable audit : audit_state option;
@@ -49,6 +58,7 @@ let create rng config =
     secret;
     account = Array.make config.n_isps config.initial_account;
     reply_cache = Hashtbl.create 256;
+    carry = Array.make_matrix config.n_isps config.n_isps 0;
     outstanding = 0;
     seq = 0;
     audit = None;
@@ -76,6 +86,10 @@ type audit_result = {
   seq : int;
   violations : Credit.Audit.violation list;
   suspects : int list;
+  absent : int list;
+      (** ISPs the round proceeded without (unreachable at round start).
+          Never suspects by virtue of absence: unreachable is not
+          guilty. *)
 }
 
 type response =
@@ -96,24 +110,59 @@ let reply t payload =
   t.messages_out <- t.messages_out + 1;
   Reply (Wire.sign_by_bank t.secret payload)
 
-let suspects_of t violations =
-  Credit.Audit.suspects ~compliant:t.config.compliant violations
-
+(* Close the round.  The pair check runs over the ISPs that actually
+   reported: each reporter's row is adjusted by the carry of what its
+   absent-round peers' earlier reports claimed against it, so a row
+   that is cumulative over missed rounds reconciles to zero instead of
+   implicating both sides of a healed partition.  Then the carry is
+   rolled forward: reporters' rows are consumed, and what they just
+   claimed against this round's absentees is accumulated for the round
+   those absentees eventually answer. *)
 let finish_audit t (audit : audit_state) =
-  let violations =
-    Credit.Audit.verify ~reported:audit.reported ~compliant:t.config.compliant
+  let n = t.config.n_isps in
+  let present = Array.make n false in
+  for i = 0 to n - 1 do
+    present.(i) <- t.config.compliant.(i) && not (List.mem i audit.absent)
+  done;
+  (* The carry matters both when this round has absentees and when a
+     previous round's absentee is finally reporting now — so the fast
+     path keys on the carry being empty, not on this round's list. *)
+  let carry_live =
+    Array.exists (Array.exists (fun v -> v <> 0)) t.carry
   in
+  let adjusted =
+    if audit.absent = [] && not carry_live then audit.reported
+    else
+      Array.init n (fun a ->
+          if not present.(a) then audit.reported.(a)
+          else
+            Array.init n (fun b -> audit.reported.(a).(b) + t.carry.(b).(a)))
+  in
+  let violations = Credit.Audit.verify ~reported:adjusted ~compliant:present in
+  for x = 0 to n - 1 do
+    if present.(x) then Array.fill t.carry.(x) 0 n 0
+  done;
+  List.iter
+    (fun x ->
+      if t.config.compliant.(x) then
+        for y = 0 to n - 1 do
+          if present.(y) then
+            t.carry.(x).(y) <- t.carry.(x).(y) + audit.reported.(y).(x)
+        done)
+    audit.absent;
   t.audit <- None;
   t.seq <- t.seq + 1;
   t.audits_completed <- t.audits_completed + 1;
-  let suspects = suspects_of t violations in
+  let suspects = Credit.Audit.suspects ~compliant:present violations in
   if Obs.Trace.active t.tracer then
     Obs.Trace.span_end t.tracer ~span:audit.span ~comp:"bank" "audit"
       ~fields:
         [ ("seq", Obs.Trace.Int audit.audit_seq);
           ("violations", Obs.Trace.Int (List.length violations));
-          ("suspects", Obs.Trace.Int (List.length suspects)) ];
-  Audit_complete { seq = audit.audit_seq; violations; suspects }
+          ("suspects", Obs.Trace.Int (List.length suspects));
+          ("absent", Obs.Trace.Int (List.length audit.absent)) ];
+  Audit_complete
+    { seq = audit.audit_seq; violations; suspects; absent = audit.absent }
 
 let on_payload t ~from_isp payload =
   match (payload : Wire.payload) with
@@ -202,22 +251,29 @@ let on_isp_message t ~from_isp sealed =
   | Reply _ | Audit_progress | Audit_complete _ -> ());
   result
 
-let start_audit t =
+let start_audit ?(except = []) t =
   if t.audit <> None then invalid_arg "Bank.start_audit: audit already in progress";
   let compliant_isps =
     List.filter
       (fun i -> t.config.compliant.(i))
       (List.init t.config.n_isps (fun i -> i))
   in
+  let absent = List.filter (fun i -> List.mem i except) compliant_isps in
+  let waiting = List.filter (fun i -> not (List.mem i except)) compliant_isps in
+  if waiting = [] then
+    invalid_arg "Bank.start_audit: every compliant ISP excluded";
   let span =
     Obs.Trace.span_begin t.tracer ~comp:"bank" "audit"
-      ~fields:[ ("seq", Obs.Trace.Int t.seq) ]
+      ~fields:
+        [ ("seq", Obs.Trace.Int t.seq);
+          ("absent", Obs.Trace.Int (List.length absent)) ]
   in
   t.audit <-
     Some
       {
         audit_seq = t.seq;
-        waiting = compliant_isps;
+        waiting;
+        absent;
         reported = Array.make_matrix t.config.n_isps t.config.n_isps 0;
         span;
       };
@@ -225,7 +281,7 @@ let start_audit t =
     (fun isp ->
       t.messages_out <- t.messages_out + 1;
       (isp, Wire.sign_by_bank t.secret (Wire.Audit_request { seq = t.seq })))
-    compliant_isps
+    waiting
 
 let audit_in_progress t = t.audit <> None
 
@@ -265,12 +321,14 @@ let encode_state w t =
       i64 w nonce;
       Wire.encode_bin w payload)
     w entries;
+  array int_array w t.carry;
   int w t.outstanding;
   int w t.seq;
   opt
     (fun w (a : audit_state) ->
       int w a.audit_seq;
       list int w a.waiting;
+      list int w a.absent;
       array int_array w a.reported;
       int w a.span)
     w t.audit;
@@ -298,6 +356,15 @@ let restore_state r t =
          let payload = Wire.decode_bin r in
          ((isp, nonce), payload))
        r);
+  let carry = array int_array r in
+  if Array.length carry <> t.config.n_isps then
+    corrupt r "Bank: carry matrix size mismatch";
+  Array.iteri
+    (fun x row ->
+      if Array.length row <> t.config.n_isps then
+        corrupt r "Bank: carry row size mismatch";
+      Array.blit row 0 t.carry.(x) 0 (Array.length row))
+    carry;
   t.outstanding <- int r;
   t.seq <- int r;
   (* [audit_state] is rebuilt wholesale: nothing outside the bank holds
@@ -307,11 +374,12 @@ let restore_state r t =
       (fun r ->
         let audit_seq = int r in
         let waiting = list int r in
+        let absent = list int r in
         let reported = array int_array r in
         let span = int r in
         if Array.length reported <> t.config.n_isps then
           corrupt r "Bank: audit matrix size mismatch";
-        { audit_seq; waiting; reported; span })
+        { audit_seq; waiting; absent; reported; span })
       r;
   t.buys <- int r;
   t.buys_rejected <- int r;

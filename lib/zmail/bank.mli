@@ -49,6 +49,14 @@ type audit_result = {
           ISPs only with the cheaters.  When no ISP crosses the
           majority threshold, everyone implicated is reported for
           further investigation (§4.4). *)
+  absent : int list;
+      (** Compliant ISPs the round ran without because they were
+          unreachable at round start.  Unreachable is not guilty: they
+          are never suspects, their rows are zero, and the pair checks
+          involving them are skipped this round.  What their reporting
+          peers claimed against them is carried forward and reconciled
+          against the cumulative row they report after the partition
+          heals. *)
 }
 
 type response =
@@ -60,10 +68,15 @@ type response =
 val on_isp_message : t -> from_isp:int -> Toycrypto.Seal.sealed -> response
 (** Handle a sealed ISP-origin message. *)
 
-val start_audit : t -> (int * Wire.signed) list
+val start_audit : ?except:int list -> t -> (int * Wire.signed) list
 (** Begin a §4.4 audit: returns the signed request for every compliant
-    ISP.
-    @raise Invalid_argument if an audit is already in progress. *)
+    ISP not listed in [except] (default none).  Excluded ISPs are
+    recorded as the round's [absent] set — the quorum path for
+    partition-severed ISPs: the round completes without them and the
+    bank's carry matrix reconciles their later cumulative report
+    against what the reporters claimed this round.
+    @raise Invalid_argument if an audit is already in progress, or if
+    [except] covers every compliant ISP (defer the round instead). *)
 
 val audit_in_progress : t -> bool
 
@@ -85,7 +98,7 @@ val encode_state : Persist.Codec.W.t -> t -> unit
 val restore_state : Persist.Codec.R.t -> t -> unit
 (** Snapshot capture and in-place restore of accounts, the reply cache
     (sorted by (isp, nonce) so equal banks encode identically), the
-    audit state and all counters.  The RSA keypair is {e not} captured:
+    partition carry matrix, the audit state and all counters.  The RSA keypair is {e not} captured:
     it is derived deterministically from the creation RNG, so the
     world-rebuild preceding a restore regenerates identical keys.
     Restore raises [Persist.Codec.Corrupt] on malformed input or a

@@ -1,20 +1,26 @@
 (* [now] is the current billing period.  [early] buffers receives from
-   peers that have already snapshotted and reset for the next period
+   peers that have already snapshotted and reset for a later period
    (their payment stamp carries a newer audit epoch): booking those
    into [now] would make this ISP's row claim receives its peer's row
    no longer shows, and the §4.4 antisymmetry check would falsely
-   implicate both.  [reset] promotes the buffer into the fresh period
-   — the Chandy-Lamport marker rule for in-flight messages. *)
+   implicate both.  Buffers are keyed by the stamp's epoch — under a
+   network partition a lagging ISP can be several audit rounds behind
+   its peers, so "early" is not a single period ahead but a small
+   ladder of future periods.  [reset_upto ~seq] closes the period(s)
+   answering audit round [seq]: buffered receives stamped [<= seq] were
+   folded into the reported row, epoch [seq+1] becomes the fresh
+   period, later epochs stay buffered — the Chandy-Lamport marker rule
+   for in-flight messages, generalized to multi-round lag. *)
 type t = {
   now : int array;
-  early : int array;
+  mutable early : (int * int array) list;  (* epoch -> counts, ascending *)
   mutable tracer : Obs.Trace.t;
   mutable owner : int;  (* this vector's ISP index, for trace events *)
 }
 
 let create ~n =
   if n <= 0 then invalid_arg "Credit.create: n must be positive";
-  { now = Array.make n 0; early = Array.make n 0; tracer = Obs.Trace.none; owner = -1 }
+  { now = Array.make n 0; early = []; tracer = Obs.Trace.none; owner = -1 }
 
 let set_tracer t ~owner tracer =
   t.tracer <- tracer;
@@ -42,24 +48,68 @@ let record_receive t ~peer =
   if tracing t then
     ev t "recv" [ ("peer", Obs.Trace.Int peer); ("early", Obs.Trace.Bool false) ]
 
-let record_receive_early t ~peer =
-  t.early.(peer) <- t.early.(peer) - 1;
+let bucket t ~epoch =
+  match List.assoc_opt epoch t.early with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.make (Array.length t.now) 0 in
+      t.early <-
+        List.merge (fun (a, _) (b, _) -> compare a b) t.early [ (epoch, arr) ];
+      arr
+
+let record_receive_early t ~epoch ~peer =
+  let arr = bucket t ~epoch in
+  arr.(peer) <- arr.(peer) - 1;
   if tracing t then
-    ev t "recv" [ ("peer", Obs.Trace.Int peer); ("early", Obs.Trace.Bool true) ]
+    ev t "recv"
+      [
+        ("peer", Obs.Trace.Int peer);
+        ("early", Obs.Trace.Bool true);
+        ("epoch", Obs.Trace.Int epoch);
+      ]
 
 let cancel_send t ~peer =
   t.now.(peer) <- t.now.(peer) - 1;
   if tracing t then ev t "cancel" [ ("peer", Obs.Trace.Int peer) ]
 
-let early_pending t = -Array.fold_left ( + ) 0 t.early
+let sum arr = Array.fold_left ( + ) 0 arr
+
+let early_pending t =
+  -List.fold_left (fun acc (_, arr) -> acc + sum arr) 0 t.early
 
 let snapshot t = Array.copy t.now
 
-let reset t =
-  ev t "reset" [ ("promoted", Obs.Trace.Int (early_pending t)) ];
-  let len = Array.length t.now in
-  Array.blit t.early 0 t.now 0 len;
-  Array.fill t.early 0 len 0
+(* The cumulative row answering audit round [seq]: everything booked in
+   the open period(s), plus buffered receives already stamped with an
+   epoch the round covers.  Pure — [reset_upto] is the mutating half. *)
+let snapshot_upto t ~seq =
+  let snap = Array.copy t.now in
+  List.iter
+    (fun (e, arr) ->
+      if e <= seq then
+        Array.iteri (fun i v -> snap.(i) <- snap.(i) + v) arr)
+    t.early;
+  snap
+
+let reset_upto t ~seq =
+  let folded =
+    -List.fold_left
+       (fun acc (e, arr) -> if e <= seq then acc + sum arr else acc)
+       0 t.early
+  in
+  if folded > 0 then
+    ev t "fold" [ ("upto", Obs.Trace.Int seq); ("count", Obs.Trace.Int folded) ];
+  let promoted =
+    match List.assoc_opt (seq + 1) t.early with
+    | Some arr -> -sum arr
+    | None -> 0
+  in
+  ev t "reset" [ ("promoted", Obs.Trace.Int promoted) ];
+  Array.fill t.now 0 (Array.length t.now) 0;
+  (match List.assoc_opt (seq + 1) t.early with
+  | Some arr -> Array.blit arr 0 t.now 0 (Array.length t.now)
+  | None -> ());
+  t.early <- List.filter (fun (e, _) -> e > seq + 1) t.early
 
 let net_flow t = Array.fold_left ( + ) 0 t.now
 
@@ -67,19 +117,27 @@ let net_flow t = Array.fold_left ( + ) 0 t.now
    restored vector keeps whatever tracer the live world attached. *)
 let encode_state w t =
   Persist.Codec.W.int_array w t.now;
-  Persist.Codec.W.int_array w t.early
+  Persist.Codec.W.list
+    (Persist.Codec.W.pair Persist.Codec.W.int Persist.Codec.W.int_array)
+    w t.early
 
 let restore_state r t =
-  let blit name dst =
-    let src = Persist.Codec.R.int_array r in
-    if Array.length src <> Array.length dst then
+  let check name src =
+    if Array.length src <> Array.length t.now then
       Persist.Codec.R.corrupt r
         (Printf.sprintf "Credit: %s has %d peers, snapshot has %d" name
-           (Array.length dst) (Array.length src));
-    Array.blit src 0 dst 0 (Array.length dst)
+           (Array.length t.now) (Array.length src))
   in
-  blit "now" t.now;
-  blit "early" t.early
+  let src = Persist.Codec.R.int_array r in
+  check "now" src;
+  Array.blit src 0 t.now 0 (Array.length t.now);
+  let early =
+    Persist.Codec.R.list
+      (Persist.Codec.R.pair Persist.Codec.R.int Persist.Codec.R.int_array)
+      r
+  in
+  List.iter (fun (_, arr) -> check "early" arr) early;
+  t.early <- early
 
 module Audit = struct
   type violation = { isp_a : int; isp_b : int; discrepancy : int }

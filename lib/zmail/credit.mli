@@ -31,26 +31,37 @@ val cancel_send : t -> peer:int -> unit
     delivery, and the online antisymmetry checker accounts for the two
     differently. *)
 
-val record_receive_early : t -> peer:int -> unit
-(** Book a receive into the {e next} billing period: the message's
-    payment stamp carries an audit epoch newer than ours, i.e. the
-    sender already snapshotted and reset while we have not (possible
-    when a crash delays our snapshot past our peers').  Counting it in
-    the current period would break antisymmetry against the sender's
-    already-reported row; buffering it keeps both periods consistent
-    (the Chandy-Lamport rule for messages crossing the marker). *)
+val record_receive_early : t -> epoch:int -> peer:int -> unit
+(** Book a receive into the {e future} billing period [epoch]: the
+    message's payment stamp carries an audit epoch newer than ours,
+    i.e. the sender already snapshotted and reset while we have not
+    (possible when a crash or partition delays our snapshot past our
+    peers' — by one round, or by several).  Counting it in the current
+    period would break antisymmetry against the sender's
+    already-reported row; buffering it under the stamp's epoch keeps
+    every period consistent (the Chandy-Lamport rule for messages
+    crossing the marker, generalized to multi-round lag). *)
 
 val early_pending : t -> int
-(** Number of receives currently buffered for the next period. *)
+(** Number of receives currently buffered for future periods. *)
 
 val snapshot : t -> int array
 (** Copy of the current-period vector (buffered early receives are
-    excluded — they belong to the next snapshot). *)
+    excluded — they belong to later snapshots). *)
 
-val reset : t -> unit
-(** Start a new billing period (§4.4): the current vector is replaced
-    by the buffered early receives, which belong to exactly this new
-    period. *)
+val snapshot_upto : t -> seq:int -> int array
+(** The cumulative row answering audit round [seq]: the current-period
+    vector plus every buffered receive stamped with epoch [<= seq].
+    When the ISP has not missed a round this is exactly {!snapshot};
+    after missing rounds it is the row covering all of them at once,
+    which the bank reconciles against its carry of the peers' earlier
+    reports.  Pure — pair with {!reset_upto}. *)
+
+val reset_upto : t -> seq:int -> unit
+(** Close the period(s) answering audit round [seq] (§4.4): buffered
+    receives stamped [<= seq] are discarded (the {!snapshot_upto} row
+    reported them), epoch [seq+1] becomes the fresh current period, and
+    later epochs stay buffered. *)
 
 val net_flow : t -> int
 (** Sum of the vector: messages sent minus received against all

@@ -191,6 +191,9 @@ let on_audit_reply t ~from_isp sealed =
                      violations;
                      suspects =
                        Credit.Audit.suspects ~compliant:t.config.compliant violations;
+                     (* A federation round addresses every member
+                        synchronously; there is no quorum path here. *)
+                     absent = [];
                    })
             end
             else Ok None

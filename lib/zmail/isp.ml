@@ -56,6 +56,13 @@ type t = {
           [replay_hardening] is off. *)
   mutable last_sell : pending option;
   mutable seq : int;  (** Next expected audit sequence number. *)
+  mutable freeze_for : int;
+      (** The audit round a current freeze answers; meaningful only
+          while [not cansend].  Usually [seq], but larger after the
+          bank skipped us in rounds we were unreachable for. *)
+  mutable audit_tamper : (seq:int -> int array -> int array) option;
+      (** Byzantine hook: rewrites the credit row reported at {!thaw}.
+          Reports only — the real vector and the money are untouched. *)
   mutable pending_warnings : int list;  (** Users newly at their limit. *)
   mutable warned_today : bool array;
   mutable sent_paid : int;
@@ -92,6 +99,8 @@ let create rng config =
     last_buy = None;
     last_sell = None;
     seq = 0;
+    freeze_for = 0;
+    audit_tamper = None;
     pending_warnings = [];
     warned_today = Array.make config.n_users false;
     sent_paid = 0;
@@ -122,9 +131,11 @@ let ledger t = t.ledger
 let credit_vector t = Credit.snapshot t.credit
 let early_receives t = Credit.early_pending t.credit
 let frozen t = not t.cansend
+let frozen_for t = if t.cansend then None else Some t.freeze_for
 let pending_buy_nonce t = Option.map (fun p -> p.nonce) t.pending_buy
 let pending_sell_nonce t = Option.map (fun p -> p.nonce) t.pending_sell
 let audit_seq t = t.seq
+let set_audit_tamper t f = t.audit_tamper <- f
 
 (* ------------------------------------------------------------------ *)
 (* State capture                                                       *)
@@ -159,6 +170,7 @@ let encode_state w t =
   opt encode_pending w t.last_buy;
   opt encode_pending w t.last_sell;
   int w t.seq;
+  int w t.freeze_for;
   list int w t.pending_warnings;
   array bool w t.warned_today;
   int w t.sent_paid;
@@ -180,6 +192,7 @@ let restore_state r t =
   t.last_buy <- opt decode_pending r;
   t.last_sell <- opt decode_pending r;
   t.seq <- int r;
+  t.freeze_for <- int r;
   t.pending_warnings <- list int r;
   let warned = array bool r in
   if Array.length warned <> Array.length t.warned_today then
@@ -304,7 +317,8 @@ let accept_delivery_stamped t ~sender_epoch ~from_isp ~rcpt =
     Ledger.credit_receive t.ledger ~user:rcpt;
     if from_isp <> t.config.index then begin
       match sender_epoch with
-      | Some e when e > t.seq -> Credit.record_receive_early t.credit ~peer:from_isp
+      | Some e when e > t.seq ->
+          Credit.record_receive_early t.credit ~epoch:e ~peer:from_isp
       | Some _ | None -> Credit.record_receive t.credit ~peer:from_isp
     end;
     t.received_paid <- t.received_paid + 1;
@@ -419,8 +433,14 @@ let on_bank_message t signed =
           on_sell_reply t ~nonce;
           No_reaction
       | Wire.Audit_request { seq } ->
-          if seq = t.seq && t.cansend then begin
+          (* [seq > t.seq] means the bank ran rounds without us (we
+             were partition-severed): jump forward and answer round
+             [seq] with the cumulative row covering every round we
+             missed — the bank's carry matrix reconciles it against
+             what our peers already reported. *)
+          if seq >= t.seq && t.cansend then begin
             t.cansend <- false;
+            t.freeze_for <- seq;
             ev t "freeze" [ ("seq", Obs.Trace.Int seq) ];
             Start_snapshot_timer
           end
@@ -431,14 +451,18 @@ let on_bank_message t signed =
 
 let thaw t =
   if t.cansend then invalid_arg "Isp.thaw: no snapshot freeze in force";
+  let seq = t.freeze_for in
+  let credit = Credit.snapshot_upto t.credit ~seq in
+  let credit =
+    match t.audit_tamper with None -> credit | Some f -> f ~seq credit
+  in
   let reply =
     Wire.seal_for_bank t.rng t.config.bank_public
-      (Wire.Audit_reply
-         { isp = t.config.index; seq = t.seq; credit = Credit.snapshot t.credit })
+      (Wire.Audit_reply { isp = t.config.index; seq; credit })
   in
-  ev t "thaw" [ ("seq", Obs.Trace.Int t.seq) ];
-  Credit.reset t.credit;
-  t.seq <- t.seq + 1;
+  ev t "thaw" [ ("seq", Obs.Trace.Int seq) ];
+  Credit.reset_upto t.credit ~seq;
+  t.seq <- seq + 1;
   t.cansend <- true;
   reply
 

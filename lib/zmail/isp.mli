@@ -69,6 +69,12 @@ val frozen : t -> bool
 (** [true] while a §4.4 snapshot freeze is in force ([cansend =
     false]). *)
 
+val frozen_for : t -> int option
+(** The audit round the current freeze answers, or [None] when not
+    frozen.  Usually equal to {!audit_seq}, but larger when the bank
+    ran rounds without this ISP (it was partition-severed) and the
+    next request made the kernel jump forward. *)
+
 val pending_buy_nonce : t -> int64 option
 (** Nonce of the outstanding §4.3 buy request, if any — the handle a
     retransmission layer polls to know when to stop resending. *)
@@ -128,12 +134,12 @@ val accept_delivery_stamped :
     When it is newer than this kernel's own [seq] — the sender already
     snapshotted for an audit round this kernel has yet to answer,
     which happens when a crash delays its snapshot past its peers' —
-    the receive is buffered for the {e next} billing period
-    ({!Credit.record_receive_early}), keeping both periods' §4.4
+    the receive is buffered under the stamp's epoch
+    ({!Credit.record_receive_early}), keeping every period's §4.4
     antisymmetry intact.  Money moves immediately regardless. *)
 
 val early_receives : t -> int
-(** Receives currently buffered for the next billing period. *)
+(** Receives currently buffered for future billing periods. *)
 
 val refund_send : t -> sender:int -> dest_isp:int -> unit
 (** Undo one {!charge_send} whose message bounced before delivery:
@@ -157,13 +163,27 @@ type reaction =
 val on_bank_message : t -> Wire.signed -> reaction
 (** Handle a bank-origin message: verify the signature, then apply
     [buyreply]/[sellreply]/[request] semantics.  Invalid signatures and
-    replays are ignored. *)
+    replays are ignored.  An audit request for a round [>= audit_seq]
+    freezes the kernel; a request newer than [audit_seq] additionally
+    jumps the kernel forward over the rounds it missed while
+    unreachable, so the next {!thaw} answers the requested round with
+    the cumulative credit row covering the gap. *)
 
 val thaw : t -> Toycrypto.Seal.sealed
 (** End the snapshot freeze: emit the sealed [Audit_reply] carrying the
-    credit snapshot, reset the credit array for the new billing period,
-    advance [seq], and lift [cansend].
+    credit snapshot for the frozen-for round ({!Credit.snapshot_upto}),
+    close the answered period(s) ({!Credit.reset_upto}), advance [seq]
+    past the answered round, and lift [cansend].
     @raise Invalid_argument if no freeze is in force. *)
+
+val set_audit_tamper : t -> (seq:int -> int array -> int array) option -> unit
+(** Install a Byzantine report rewriter: the function receives the
+    audit round and the true credit row at {!thaw} and returns the row
+    actually reported to the bank.  Only the {e report} is altered —
+    the kernel's real credit state, balances and e-penny flows are
+    untouched, which is what makes every such behavior balance-neutral
+    by construction ({!Adversary}).  Wiring, not state: not captured in
+    snapshots; whoever rebuilds the world reinstalls it. *)
 
 (** {1 Housekeeping} *)
 

@@ -21,6 +21,10 @@ type config = {
   auto_topup : Epenny.amount option;
   customize_isp : int -> Isp.config -> Isp.config;
   bank_fault : Sim.Fault.plan;
+  mesh_default : Sim.Fault.plan;
+  mesh_links : ((int * int) * Sim.Fault.plan) list;
+  partitions : Sim.Fault.Mesh.partition list;
+  audit_unreachable : [ `Defer | `Quorum of float ];
   retry_timeout : float;
   retry_backoff : float;
   retry_cap : float;
@@ -46,6 +50,10 @@ let default_config ~n_isps ~users_per_isp =
     auto_topup = Some 50;
     customize_isp = (fun _ c -> c);
     bank_fault = Sim.Fault.reliable;
+    mesh_default = Sim.Fault.reliable;
+    mesh_links = [];
+    partitions = [];
+    audit_unreachable = `Quorum 0.5;
     retry_timeout = 5.;
     retry_backoff = 2.;
     retry_cap = 900.;
@@ -74,6 +82,7 @@ type link_stats = {
   crashes : Sim.Stats.Counter.t;
   recoveries : Sim.Stats.Counter.t;
   bounce_refunds : Sim.Stats.Counter.t;
+  audits_deferred : Sim.Stats.Counter.t;
 }
 
 type t = {
@@ -101,6 +110,8 @@ type t = {
   initial : Epenny.amount;
   initial_balance_of : int array;  (* per ISP, after customization *)
   fault : Sim.Fault.t;  (* the ISP<->bank link fault model *)
+  mesh : Sim.Fault.Mesh.t;  (* per-link faults + partitions; bank = node n_isps *)
+  mutable adversaries : (int * Adversary.t) list;  (* by ISP, registration order *)
   up : bool array;  (* false while an ISP is crashed *)
   crash_gen : int array;  (* bumped per crash; invalidates stale timers *)
   link : link_stats;
@@ -117,6 +128,8 @@ let metrics t = t.metrics
 let mta t i = t.mtas.(i)
 let counters t = t.stats
 let fault t = t.fault
+let mesh t = t.mesh
+let adversaries t = t.adversaries
 let link_stats t = t.link
 let isp_up t i = t.up.(i)
 let deferral_delay t = t.deferral
@@ -234,6 +247,19 @@ let attach_invariants ?honest t =
 let corrupt_signed (s : Wire.signed) =
   { s with Wire.signature = s.Wire.signature + 1 }
 
+(* The bank hangs off the same physical mesh as the ISPs, as node
+   [n_isps]: a scheduled partition that severs an ISP's group from the
+   bank's silences its audit traffic exactly as it silences its mail.
+   The mesh verdict applies before the single-link [t.fault] plan —
+   the mesh is the wire, the plan is the bank's access link. *)
+let bank_node t = t.cfg.n_isps
+
+let via_mesh t ~src ~dst k =
+  match Sim.Fault.Mesh.attempt t.mesh ~src ~dst with
+  | `Deliver -> k ()
+  | `Delayed d -> ignore (Sim.Engine.schedule_after t.engine ~delay:d k)
+  | `Lost -> ()
+
 let rec retry_loop t ~send ~still ~timeout =
   if still () then begin
     send ();
@@ -248,6 +274,7 @@ let rec retry_loop t ~send ~still ~timeout =
   end
 
 let rec to_bank t i sealed =
+  via_mesh t ~src:i ~dst:(bank_node t) @@ fun () ->
   Sim.Fault.route t.fault ~corrupt:Toycrypto.Seal.flip_bit
     (fun sealed ->
       ignore
@@ -278,6 +305,7 @@ let rec to_bank t i sealed =
     sealed
 
 and send_to_isp t i signed =
+  via_mesh t ~src:(bank_node t) ~dst:i @@ fun () ->
   Sim.Fault.route t.fault ~corrupt:corrupt_signed
     (fun signed ->
       ignore
@@ -304,7 +332,11 @@ and bank_message_to_isp t i signed =
                     the kernel recovered thawed, and the bank's
                     audit-request retransmission restarts the freeze. *)
                  if t.crash_gen.(i) = gen && Isp.frozen kernel then begin
-                   let seq = Isp.audit_seq kernel in
+                   let seq =
+                     match Isp.frozen_for kernel with
+                     | Some s -> s
+                     | None -> assert false (* frozen implies a round *)
+                   in
                    let reply = Isp.thaw kernel in
                    Log.debug (fun m ->
                        m "t=%.0f isp %d thawed, reporting" (Sim.Engine.now t.engine) i);
@@ -352,26 +384,64 @@ let pool_tick t i kernel =
 (* Start a §4.4 audit round, retransmitting each request until the
    ISP's reply is recorded.  The first retry waits out a full freeze:
    a request that did arrive is only ever acknowledged by the audit
-   reply sent at thaw, so probing earlier proves nothing. *)
+   reply sent at thaw, so probing earlier proves nothing.
+
+   Partition tolerance: ISPs whose group a partition window currently
+   severs from the bank's cannot answer no matter how often the
+   request is resent, so the round either runs without them (the bank
+   carries their peers' claims forward for reconciliation at heal) or
+   is deferred entirely, per [audit_unreachable].  Only
+   partition-severed ISPs are excluded — a merely {e crashed} ISP
+   keeps its request retransmitted until recovery, preserving the E16
+   behavior. *)
 let start_audit_round t =
-  let requests = Bank.start_audit t.the_bank in
-  let seq =
-    match Bank.audit_waiting t.the_bank with
-    | Some (seq, _) -> seq
-    | None -> assert false
+  let severed =
+    if Sim.Fault.Mesh.trivial t.mesh then []
+    else
+      List.filter
+        (fun i ->
+          t.cfg.compliant.(i)
+          && Sim.Fault.Mesh.severed t.mesh ~a:i ~b:(bank_node t))
+        (List.init t.cfg.n_isps (fun i -> i))
   in
-  List.iter
-    (fun (i, signed) ->
-      let still () =
-        match Bank.audit_waiting t.the_bank with
-        | Some (s, waiting) -> s = seq && List.mem i waiting
-        | None -> false
-      in
-      retry_loop t
-        ~send:(fun () -> send_to_isp t i signed)
-        ~still
-        ~timeout:(t.cfg.freeze_duration +. t.cfg.retry_timeout))
-    requests
+  let compliant_count =
+    Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 t.cfg.compliant
+  in
+  let reachable = compliant_count - List.length severed in
+  let proceed =
+    severed = []
+    ||
+    match t.cfg.audit_unreachable with
+    | `Defer -> false
+    | `Quorum q ->
+        reachable > 0
+        && float_of_int reachable >= q *. float_of_int compliant_count
+  in
+  if not proceed then begin
+    Sim.Stats.Counter.incr t.link.audits_deferred;
+    wev t "audit_deferred"
+      [ ("unreachable", Obs.Trace.Int (List.length severed)) ]
+  end
+  else begin
+    let requests = Bank.start_audit ~except:severed t.the_bank in
+    let seq =
+      match Bank.audit_waiting t.the_bank with
+      | Some (seq, _) -> seq
+      | None -> assert false
+    in
+    List.iter
+      (fun (i, signed) ->
+        let still () =
+          match Bank.audit_waiting t.the_bank with
+          | Some (s, waiting) -> s = seq && List.mem i waiting
+          | None -> false
+        in
+        retry_loop t
+          ~send:(fun () -> send_to_isp t i signed)
+          ~still
+          ~timeout:(t.cfg.freeze_duration +. t.cfg.retry_timeout))
+      requests
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Crash and recovery                                                  *)
@@ -714,6 +784,14 @@ let create cfg =
       fault =
         Sim.Fault.create ~plan:cfg.bank_fault engine
           (Sim.Rng.create (cfg.seed lxor 0x6fa17));
+      (* Same isolation for the mesh: its own root-seeded stream, so
+         link chaos never perturbs workload or bank-fault randomness.
+         Node n_isps is the bank. *)
+      mesh =
+        Sim.Fault.Mesh.create ~default:cfg.mesh_default ~links:cfg.mesh_links
+          ~partitions:cfg.partitions ~n_nodes:(cfg.n_isps + 1) engine
+          (Sim.Rng.create (cfg.seed lxor 0x3a7e5));
+      adversaries = [];
       up = Array.make cfg.n_isps true;
       crash_gen = Array.make cfg.n_isps 0;
       link =
@@ -726,6 +804,7 @@ let create cfg =
           crashes = Obs.Metrics.counter metrics "link.crashes";
           recoveries = Obs.Metrics.counter metrics "link.recoveries";
           bounce_refunds = Obs.Metrics.counter metrics "link.bounce_refunds";
+          audits_deferred = Obs.Metrics.counter metrics "link.audits_deferred";
         };
       tracer;
       metrics;
@@ -744,6 +823,17 @@ let create cfg =
         ~name:("fault." ^ Sim.Stats.Counter.name c)
         c)
     (Sim.Fault.counters t.fault);
+  List.iter
+    (fun c ->
+      Obs.Metrics.adopt_counter metrics
+        ~name:("mesh." ^ Sim.Stats.Counter.name c)
+        c)
+    (Sim.Fault.Mesh.counters t.mesh);
+  (* MTA sessions consult the mesh only when there is anything to
+     consult: a trivial mesh keeps the delivery hot path oracle-free. *)
+  if not (Sim.Fault.Mesh.trivial t.mesh) then
+    Smtp.Mta.set_link_fault net
+      (Some (fun ~src ~dst -> Sim.Fault.Mesh.attempt t.mesh ~src ~dst));
   Obs.Metrics.gauge metrics "engine.pending" (fun () ->
       float_of_int (Sim.Engine.pending engine));
   Obs.Metrics.gauge metrics "engine.live" (fun () ->
@@ -867,6 +957,25 @@ let post_to_list t ls ~body =
 (* ------------------------------------------------------------------ *)
 
 let trigger_audit t = start_audit_round t
+
+(* A registered adversary tampers only with the credit row its ISP
+   reports at thaw (see [Adversary]): money keeps moving honestly, so
+   every behavior is balance-neutral and the only question is whether
+   the audit catches the lie.  The ISP leaves the antisymmetry
+   checker's honest mask — its *reports* are no longer trustworthy
+   even though its books are. *)
+let register_adversary t ~isp:i adv =
+  if i < 0 || i >= t.cfg.n_isps then
+    invalid_arg "World.register_adversary: index out of range";
+  match t.kernels.(i) with
+  | None ->
+      invalid_arg "World.register_adversary: non-compliant ISPs have no kernel"
+  | Some kernel ->
+      if List.mem_assoc i t.adversaries then
+        invalid_arg "World.register_adversary: ISP already has an adversary";
+      Isp.set_audit_tamper kernel (Some (Adversary.tamper adv));
+      t.honest.(i) <- false;
+      t.adversaries <- t.adversaries @ [ (i, adv) ]
 
 let run_days t days =
   Sim.Engine.run t.engine ~until:(Sim.Engine.now t.engine +. (days *. Sim.Engine.day))
@@ -1003,7 +1112,8 @@ let encode_audit_result w (ar : Bank.audit_result) =
       int w v.Credit.Audit.isp_b;
       int w v.Credit.Audit.discrepancy)
     w ar.Bank.violations;
-  list int w ar.Bank.suspects
+  list int w ar.Bank.suspects;
+  list int w ar.Bank.absent
 
 (* The world's own bookkeeping: mail counters, audit history, link
    counters, crash state and the deferred-send queues (times only —
@@ -1035,7 +1145,12 @@ let encode_world w t =
     (Sim.Stats.Counter.encode_state w)
     [ t.link.retransmits; t.link.bank_rejects; t.link.lost_isp_down;
       t.link.sends_failed_down; t.link.crashes; t.link.recoveries;
-      t.link.bounce_refunds ];
+      t.link.bounce_refunds; t.link.audits_deferred ];
+  list
+    (fun w (i, adv) ->
+      int w i;
+      Adversary.encode_state w adv)
+    w t.adversaries;
   array
     (fun w q -> list (fun w (time, _) -> float w time) w (List.of_seq (Queue.to_seq q)))
     w t.deferred;
@@ -1046,6 +1161,7 @@ let capture t =
   [ sec "engine" (fun w () -> Sim.Engine.encode_state w t.engine);
     sec "rng" (fun w () -> Sim.Rng.encode_state w t.rng);
     sec "fault" (fun w () -> Sim.Fault.encode_state w t.fault);
+    sec "mesh" (fun w () -> Sim.Fault.Mesh.encode_state w t.mesh);
     sec "bank" (fun w () -> Bank.encode_state w t.the_bank) ]
   @ (Array.to_list t.kernels
     |> List.mapi (fun i k -> (i, k))

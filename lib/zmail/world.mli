@@ -10,18 +10,34 @@
     protocol traffic (mailing-list acks), and enforces the configured
     policy toward unpaid mail from non-compliant ISPs.
 
+    Every link in the world can misbehave.  The inter-ISP SMTP mesh is
+    reliable only under the default configuration: per-link
+    {!Sim.Fault.plan}s ([mesh_default], [mesh_links]) and scheduled
+    {!Sim.Fault.Mesh.partition} windows ([partitions]) can drop, delay
+    or sever any session, and the MTAs respond with bounded retry
+    queues, capped exponential backoff and bounce-with-refund when a
+    message dies on a dead link ({!Smtp.Mta.set_retry_policy}).
+
     Bank traffic bypasses SMTP — the paper describes the ISP–bank
     relationship as a direct accounting link — and travels over
-    point-to-point links with configurable latency.  Those links are
-    reliable by default but can be degraded through a {!Sim.Fault.plan}
-    ([bank_fault]): dropped, duplicated, delayed, corrupted or cut by
+    point-to-point links with configurable latency, but it crosses the
+    same physical mesh (the bank is mesh node [n_isps]), so a
+    partition that severs an ISP from the bank's group silences its
+    audit traffic exactly as it silences its mail.  On top of the
+    mesh, the bank's own access link can be degraded through
+    [bank_fault]: dropped, duplicated, delayed, corrupted or cut by
     outage windows.  The world compensates with at-least-once delivery
     — every buy/sell/audit exchange is retransmitted under capped
     exponential backoff until acknowledged — and the protocol's nonces
     make the retries idempotent (the bank's reply cache absorbs
     duplicates, corrupt messages fail crypto verification and are
     counted, never raised).  ISPs can also {!crash_isp} and recover
-    from their durable ledger state mid-run. *)
+    from their durable ledger state mid-run.  Audit rounds are
+    partition-tolerant: per [audit_unreachable], a round facing
+    severed ISPs is deferred or runs on the reachable quorum, with the
+    bank reconciling late cumulative reports after heal
+    ({!Bank.start_audit}).  Byzantine report tampering is modeled by
+    {!register_adversary}. *)
 
 (** Fate of unpaid mail (from non-compliant ISPs) at a compliant ISP —
     §5 lists exactly these choices: accept, "segregate or discard", or
@@ -63,6 +79,27 @@ type config = {
   bank_fault : Sim.Fault.plan;
       (** Fault model applied to every ISP↔bank message in both
           directions (default {!Sim.Fault.reliable}). *)
+  mesh_default : Sim.Fault.plan;
+      (** Per-session fault plan for every directed link of the
+          physical mesh — inter-ISP SMTP sessions and ISP↔bank
+          accounting messages alike (default {!Sim.Fault.reliable};
+          only the plan's drop/delay/outage components apply to
+          sessions). *)
+  mesh_links : ((int * int) * Sim.Fault.plan) list;
+      (** Directed [(src, dst)] overrides of [mesh_default]; node
+          [n_isps] is the bank. *)
+  partitions : Sim.Fault.Mesh.partition list;
+      (** Scheduled partition windows: while active, every cross-group
+          attempt — mail or bank traffic — is lost. *)
+  audit_unreachable : [ `Defer | `Quorum of float ];
+      (** Policy when an audit round starts while partition windows
+          sever some compliant ISPs from the bank.  [`Defer] skips the
+          round (counted in [audits_deferred]); [`Quorum q] (default
+          [`Quorum 0.5]) runs it without the severed ISPs iff at least
+          [q] of the compliant population is reachable — their peers'
+          claims are carried forward and reconciled after heal.  Only
+          partition-severed ISPs count as unreachable; crashed ISPs
+          keep the established retransmit-until-recovery behavior. *)
   retry_timeout : float;
       (** Initial retransmission timeout for bank exchanges (seconds).
           Audit requests instead wait [freeze_duration + retry_timeout]
@@ -86,8 +123,9 @@ type config = {
 val default_config : n_isps:int -> users_per_isp:int -> config
 (** All ISPs compliant, hourly pool checks, no automatic audits,
     10-minute freezes, 100 ms bank links, deliver unpaid mail,
-    auto-ack on; reliable bank links, 5 s initial retry timeout
-    doubling up to a 900 s cap. *)
+    auto-ack on; reliable bank links and mesh, no partitions, audits
+    on a 50% quorum, 5 s initial retry timeout doubling up to a 900 s
+    cap. *)
 
 type t
 
@@ -165,8 +203,23 @@ val post_to_list : t -> Listserv.t -> body:string -> int
 
 val trigger_audit : t -> unit
 (** Start a §4.4 audit now (requests go over the faulty link with
-    retransmission, like periodic audits).
+    retransmission, like periodic audits).  Subject to the
+    [audit_unreachable] policy: the round may run without
+    partition-severed ISPs or be deferred outright.
     @raise Invalid_argument if one is already running. *)
+
+val register_adversary : t -> isp:int -> Adversary.t -> unit
+(** Make compliant ISP [isp] Byzantine: install [adv]'s report tamper
+    ({!Isp.set_audit_tamper}) and remove the ISP from the computed
+    honest mask (its {e reports} are untrustworthy; its money still
+    moves honestly — every {!Adversary.behavior} is balance-neutral).
+    Call before {!attach_invariants} so the antisymmetry checker
+    scopes correctly.
+    @raise Invalid_argument for an out-of-range or non-compliant index
+    or a doubly-registered ISP. *)
+
+val adversaries : t -> (int * Adversary.t) list
+(** Registered adversaries in registration order. *)
 
 val crash_isp : t -> isp:int -> downtime:float -> unit
 (** Halt ISP [isp] now and restart it after [downtime] seconds.  While
@@ -242,12 +295,19 @@ type link_stats = {
   recoveries : Sim.Stats.Counter.t;
   bounce_refunds : Sim.Stats.Counter.t;
       (** E-pennies refunded out of bounced paid mail. *)
+  audits_deferred : Sim.Stats.Counter.t;
+      (** Audit rounds skipped because partition-severed ISPs broke
+          the [audit_unreachable] policy. *)
 }
 
 val link_stats : t -> link_stats
 
 val fault : t -> Sim.Fault.t
 (** The bank-link fault injector (for its counters). *)
+
+val mesh : t -> Sim.Fault.Mesh.t
+(** The physical mesh fault layer (for its counters and
+    {!Sim.Fault.Mesh.severed} probes); node [n_isps] is the bank. *)
 
 val deferral_delay : t -> Sim.Stats.Summary.t
 (** Seconds each snapshot-deferred message waited before submission. *)
@@ -276,10 +336,11 @@ val balance_drift : t -> isp:int -> user:int -> int
 val capture : t -> (string * string) list
 (** The whole simulated world as named {!Persist.Codec} sections —
     ["engine"] (clock, counters, pending-event metadata, root RNG),
-    ["rng"] (the world's own stream), ["fault"], ["bank"], one
-    ["isp/<i>"] per compliant kernel, ["world"] (mail counters, audit
-    history, crash state, link counters, deferred-send queue times) and
-    ["trace"] (emission counters).  Feed to {!Persist.Snapshot.v}.
+    ["rng"] (the world's own stream), ["fault"], ["mesh"], ["bank"],
+    one ["isp/<i>"] per compliant kernel, ["world"] (mail counters,
+    audit history, crash state, link counters, adversary state,
+    deferred-send queue times) and ["trace"] (emission counters).
+    Feed to {!Persist.Snapshot.v}.
 
     Event callbacks are closures and are deliberately not serialized:
     a snapshot is {e verified} against a world rebuilt by deterministic

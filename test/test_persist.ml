@@ -271,7 +271,8 @@ let credit_roundtrip () =
   Zmail.Credit.record_send c ~peer:1;
   Zmail.Credit.record_send c ~peer:1;
   Zmail.Credit.record_receive c ~peer:2;
-  Zmail.Credit.record_receive_early c ~peer:3;
+  Zmail.Credit.record_receive_early c ~epoch:1 ~peer:3;
+  Zmail.Credit.record_receive_early c ~epoch:4 ~peer:0;
   let c' = Zmail.Credit.create ~n:4 in
   restore_into
     (fun r -> Zmail.Credit.restore_state r c')

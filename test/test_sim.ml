@@ -673,6 +673,88 @@ let test_table_render () =
   Alcotest.(check bool) "title present" true (contains_line s "== demo ==");
   Alcotest.(check bool) "contains row" true (contains_line s "row  1")
 
+(* ------------------------------------------------------------------ *)
+(* Fault mesh                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_mesh_trivial_is_free () =
+  let engine = Sim.Engine.create ~seed:1 () in
+  let mesh = Sim.Fault.Mesh.create ~n_nodes:3 engine (Sim.Rng.create 2) in
+  Alcotest.(check bool) "trivial" true (Sim.Fault.Mesh.trivial mesh);
+  (match Sim.Fault.Mesh.attempt mesh ~src:0 ~dst:1 with
+  | `Deliver -> ()
+  | `Delayed _ | `Lost -> Alcotest.fail "trivial mesh must deliver");
+  (* The fast path returns before touching any counter. *)
+  Alcotest.(check int) "no attempts counted" 0 (Sim.Fault.Mesh.attempts mesh)
+
+let test_mesh_link_override () =
+  let engine = Sim.Engine.create ~seed:1 () in
+  let mesh =
+    Sim.Fault.Mesh.create
+      ~links:[ ((0, 2), Sim.Fault.plan ~drop:1.0 ()) ]
+      ~n_nodes:3 engine (Sim.Rng.create 2)
+  in
+  Alcotest.(check bool) "not trivial" false (Sim.Fault.Mesh.trivial mesh);
+  (match Sim.Fault.Mesh.attempt mesh ~src:0 ~dst:2 with
+  | `Lost -> ()
+  | `Deliver | `Delayed _ -> Alcotest.fail "overridden link must drop");
+  (* The override is directed and scoped to its pair. *)
+  (match Sim.Fault.Mesh.attempt mesh ~src:2 ~dst:0 with
+  | `Deliver -> ()
+  | `Lost | `Delayed _ -> Alcotest.fail "reverse link must deliver");
+  (match Sim.Fault.Mesh.attempt mesh ~src:0 ~dst:1 with
+  | `Deliver -> ()
+  | `Lost | `Delayed _ -> Alcotest.fail "other links must deliver");
+  Alcotest.(check int) "one link drop" 1 (Sim.Fault.Mesh.link_dropped mesh);
+  Alcotest.(check int) "two delivered" 2 (Sim.Fault.Mesh.delivered mesh)
+
+(* The partition contract, exactly: over an otherwise reliable mesh, an
+   attempt is lost iff it crosses groups inside the window — never a
+   same-group pair, never outside the window — and the counters account
+   for every probe. *)
+let mesh_partition_exact =
+  QCheck.Test.make ~name:"fault mesh: partitions sever exactly cross-group pairs"
+    ~count:100
+    QCheck.(
+      triple (int_range 2 6)
+        (pair (float_bound_inclusive 500.) (float_bound_inclusive 500.))
+        (small_list (triple (float_bound_inclusive 1000.) small_nat small_nat)))
+    (fun (n_nodes, (w1, w2), probes) ->
+      let start = Float.min w1 w2 and stop = Float.max w1 w2 in
+      let groups = Array.init n_nodes (fun i -> i mod 2) in
+      let engine = Sim.Engine.create ~seed:7 () in
+      let mesh =
+        Sim.Fault.Mesh.create
+          ~partitions:[ Sim.Fault.Mesh.partition ~start ~stop ~groups ]
+          ~n_nodes engine (Sim.Rng.create 11)
+      in
+      let expected_lost = ref 0 in
+      let probed = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (time, a, b) ->
+          let src = a mod n_nodes and dst = b mod n_nodes in
+          if src <> dst then begin
+            incr probed;
+            ignore
+              (Sim.Engine.schedule_after engine ~delay:time (fun () ->
+                   let cross =
+                     groups.(src) <> groups.(dst) && time >= start && time < stop
+                   in
+                   if cross then incr expected_lost;
+                   match Sim.Fault.Mesh.attempt mesh ~src ~dst with
+                   | `Lost -> if not cross then ok := false
+                   | `Deliver -> if cross then ok := false
+                   | `Delayed _ -> ok := false))
+          end)
+        probes;
+      Sim.Engine.run engine;
+      !ok
+      && Sim.Fault.Mesh.attempts mesh = !probed
+      && Sim.Fault.Mesh.partition_dropped mesh = !expected_lost
+      && Sim.Fault.Mesh.link_dropped mesh = 0
+      && Sim.Fault.Mesh.delivered mesh = !probed - !expected_lost)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -751,4 +833,8 @@ let () =
           Alcotest.test_case "cells" `Quick test_table_cells;
           Alcotest.test_case "render" `Quick test_table_render;
         ] );
+      ( "fault mesh",
+        Alcotest.test_case "trivial is free" `Quick test_mesh_trivial_is_free
+        :: Alcotest.test_case "link override" `Quick test_mesh_link_override
+        :: qcheck [ mesh_partition_exact ] );
     ]

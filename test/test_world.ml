@@ -610,6 +610,202 @@ let test_determinism_under_faults () =
   let b = run () in
   Alcotest.(check string) "identical summaries" a b
 
+(* ------------------------------------------------------------------ *)
+(* Mesh partitions                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A partition severing ISP 2 (group 1) from everyone else: cross-group
+   paid mail sent inside the window dies on the dead link and is
+   refunded, same-group mail is untouched, and after the heal money is
+   conserved with nothing minted or leaked. *)
+let test_partition_bounces_and_refunds () =
+  let day = Sim.Engine.day in
+  let groups = [| 0; 0; 1; 0 |] in  (* 3 ISPs + the bank (node 3) *)
+  let w =
+    make ~n_isps:3 ~users:2
+      ~f:(fun c ->
+        {
+          c with
+          Zmail.World.partitions =
+            [ Sim.Fault.Mesh.partition ~start:(0.1 *. day) ~stop:(0.5 *. day)
+                ~groups ];
+        })
+      ()
+  in
+  let engine = Zmail.World.engine w in
+  ignore
+    (Sim.Engine.schedule_after engine ~delay:(0.2 *. day) (fun () ->
+         (* Cross-group: must bounce and refund.  Same-group: must land. *)
+         ignore (Zmail.World.send_email w ~from:(0, 0) ~to_:(2, 0) ());
+         ignore (Zmail.World.send_email w ~from:(0, 1) ~to_:(1, 1) ())));
+  Zmail.World.run_until_quiet w;
+  let link = Zmail.World.link_stats w in
+  let mesh = Zmail.World.mesh w in
+  Alcotest.(check int) "same-group mail delivered" 1
+    (Zmail.World.counters w).Zmail.World.ham_delivered;
+  Alcotest.(check bool) "partition dropped attempts" true
+    (Sim.Fault.Mesh.partition_dropped mesh > 0);
+  Alcotest.(check int) "cross-group send refunded" 1
+    (Sim.Stats.Counter.value link.Zmail.World.bounce_refunds);
+  (* The refund reversed both ledger and credit legs: conservation
+     holds and the sender is whole. *)
+  Alcotest.(check bool) "conservation" true (Zmail.World.conservation_holds w);
+  Alcotest.(check int) "sender refunded" 100 (balance w ~isp:0 ~user:0)
+
+(* Audit rounds across a partition: the severed ISP is recorded absent
+   under the quorum policy (never suspected), the deferred policy skips
+   the round entirely, and after the heal the late cumulative report
+   reconciles with zero violations. *)
+let test_partition_quorum_audit () =
+  let hour = Sim.Engine.hour in
+  let day = Sim.Engine.day in
+  let groups = [| 0; 0; 1; 0 |] in
+  let run policy =
+    let w =
+      make ~n_isps:3 ~users:2
+        ~f:(fun c ->
+          {
+            c with
+            Zmail.World.audit_period = Some (6. *. hour);
+            audit_unreachable = policy;
+            partitions =
+              [ Sim.Fault.Mesh.partition ~start:(0.3 *. day) ~stop:(0.9 *. day)
+                  ~groups ];
+          })
+        ()
+    in
+    (* Cross traffic before the cut so every ISP has credit flows to
+       report (including claims against the soon-severed ISP 2). *)
+    for u = 0 to 1 do
+      ignore (Zmail.World.send_email w ~from:(0, u) ~to_:(2, u) ());
+      ignore (Zmail.World.send_email w ~from:(2, u) ~to_:(1, u) ());
+      ignore (Zmail.World.send_email w ~from:(1, u) ~to_:(0, u) ())
+    done;
+    Zmail.World.run_days w 1.5;
+    Zmail.World.run_until_quiet w;
+    w
+  in
+  let w = run (`Quorum 0.5) in
+  let audits = Zmail.World.audit_results w in
+  let absences =
+    List.fold_left (fun acc r -> acc + List.length r.Zmail.Bank.absent) 0 audits
+  in
+  Alcotest.(check bool) "some quorum rounds ran without ISP 2" true (absences > 0);
+  List.iter
+    (fun (r : Zmail.Bank.audit_result) ->
+      Alcotest.(check (list int)) "no violations, no suspects, ever" []
+        r.Zmail.Bank.suspects;
+      Alcotest.(check int) "honest books reconcile across the heal" 0
+        (List.length r.Zmail.Bank.violations);
+      List.iter
+        (fun a -> Alcotest.(check int) "only ISP 2 ever absent" 2 a)
+        r.Zmail.Bank.absent)
+    audits;
+  Alcotest.(check int) "no rounds deferred under quorum" 0
+    (Sim.Stats.Counter.value
+       (Zmail.World.link_stats w).Zmail.World.audits_deferred);
+  Alcotest.(check bool) "conservation" true (Zmail.World.conservation_holds w);
+  (* Same world under `Defer: severed rounds are skipped instead. *)
+  let w = run `Defer in
+  Alcotest.(check bool) "deferred rounds counted" true
+    (Sim.Stats.Counter.value
+       (Zmail.World.link_stats w).Zmail.World.audits_deferred
+    > 0);
+  List.iter
+    (fun (r : Zmail.Bank.audit_result) ->
+      Alcotest.(check (list int)) "completed rounds ran full-strength" []
+        r.Zmail.Bank.absent)
+    (Zmail.World.audit_results w);
+  Alcotest.(check bool) "conservation under defer" true
+    (Zmail.World.conservation_holds w)
+
+let test_partition_determinism () =
+  (* Same seed + same partition schedule + lossy mesh ⇒ byte-identical
+     outcomes including the mesh counters: chaos stays replayable with
+     the mesh layer enabled (its stream is root-seeded, split from
+     nothing the workload uses). *)
+  let day = Sim.Engine.day in
+  let summary w =
+    let c = Zmail.World.counters w in
+    let m = Zmail.World.mesh w in
+    let link = Zmail.World.link_stats w in
+    Printf.sprintf
+      "ham=%d deferred=%d mesh:a=%d,d=%d,dr=%d,lat=%d,part=%d refunds=%d \
+       audits=%d epennies=%d out=%d"
+      c.Zmail.World.ham_delivered c.Zmail.World.deferred_sends
+      (Sim.Fault.Mesh.attempts m) (Sim.Fault.Mesh.delivered m)
+      (Sim.Fault.Mesh.link_dropped m) (Sim.Fault.Mesh.link_delayed m)
+      (Sim.Fault.Mesh.partition_dropped m)
+      (Sim.Stats.Counter.value link.Zmail.World.bounce_refunds)
+      (List.length (Zmail.World.audit_results w))
+      (Zmail.Isp.total_epennies (Zmail.World.isp w 0)
+      + Zmail.Isp.total_epennies (Zmail.World.isp w 1)
+      + Zmail.Isp.total_epennies (Zmail.World.isp w 2))
+      (Zmail.Bank.outstanding_epennies (Zmail.World.bank w))
+  in
+  let run () =
+    let w =
+      make ~n_isps:3 ~users:6
+        ~f:(fun c ->
+          {
+            c with
+            Zmail.World.seed = 77;
+            audit_period = Some (6. *. Sim.Engine.hour);
+            mesh_default =
+              Sim.Fault.plan ~drop:0.05 ~delay_prob:0.1 ~delay_max:2. ();
+            partitions =
+              [ Sim.Fault.Mesh.partition ~start:(0.3 *. day)
+                  ~stop:(0.7 *. day) ~groups:[| 0; 0; 1; 0 |] ];
+          })
+        ()
+    in
+    Zmail.World.attach_user_traffic w ();
+    Zmail.World.run_days w 1.5;
+    summary w
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check string) "identical summaries with partitions" a b
+
+(* End-to-end Byzantine detection: an adversary understating its debts
+   is implicated at the first audit whose row it altered, and no honest
+   ISP is ever convicted by the strict-majority rule. *)
+let test_adversary_detected_in_world () =
+  let hour = Sim.Engine.hour in
+  let adv = Zmail.Adversary.create (Zmail.Adversary.Understate_owed 5) in
+  let w =
+    make ~n_isps:3 ~users:3
+      ~f:(fun c -> { c with Zmail.World.audit_period = Some (6. *. hour) })
+      ()
+  in
+  Zmail.World.register_adversary w ~isp:2 adv;
+  (* Heavy one-way flow into ISP 2: it owes both peers, so understating
+     breaks antisymmetry against a strict majority (2 of 2 peers). *)
+  for u = 0 to 2 do
+    for _ = 1 to 3 do
+      ignore (Zmail.World.send_email w ~from:(0, u) ~to_:(2, u) ());
+      ignore (Zmail.World.send_email w ~from:(1, u) ~to_:(2, u) ())
+    done
+  done;
+  Zmail.World.run_days w 0.6;
+  Zmail.World.run_until_quiet w;
+  Alcotest.(check bool) "reports were tampered" true
+    (Zmail.Adversary.tampered adv > 0);
+  let audits = Zmail.World.audit_results w in
+  Alcotest.(check bool) "audits ran" true (audits <> []);
+  let flagged =
+    List.exists (fun r -> List.mem 2 r.Zmail.Bank.suspects) audits
+  in
+  Alcotest.(check bool) "adversary convicted" true flagged;
+  List.iter
+    (fun (r : Zmail.Bank.audit_result) ->
+      List.iter
+        (fun s -> Alcotest.(check int) "only the adversary suspected" 2 s)
+        r.Zmail.Bank.suspects)
+    audits;
+  (* Balance-neutral by construction: the tamper never moved money. *)
+  Alcotest.(check int) "zero residue" 0 (Zmail.World.epenny_residue w)
+
 let test_world_validation () =
   Alcotest.(check bool) "bad compliance map" true
     (try
@@ -684,6 +880,14 @@ let () =
             test_crash_spanning_audit_epochs;
           Alcotest.test_case "determinism under faults" `Slow
             test_determinism_under_faults;
+          Alcotest.test_case "partition bounces and refunds" `Quick
+            test_partition_bounces_and_refunds;
+          Alcotest.test_case "partition quorum audit" `Quick
+            test_partition_quorum_audit;
+          Alcotest.test_case "partition determinism" `Slow
+            test_partition_determinism;
+          Alcotest.test_case "adversary detected end to end" `Quick
+            test_adversary_detected_in_world;
         ] );
       ( "soak",
         [ Alcotest.test_case "a week with audits" `Slow test_soak_week_with_audits ] );

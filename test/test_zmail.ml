@@ -31,18 +31,52 @@ let test_credit_vector () =
   Alcotest.(check int) "peer 2" (-1) (Zmail.Credit.get c 2);
   Alcotest.(check int) "net flow" 1 (Zmail.Credit.net_flow c);
   let snap = Zmail.Credit.snapshot c in
-  Zmail.Credit.reset c;
+  Zmail.Credit.reset_upto c ~seq:0;
   Alcotest.(check int) "reset" 0 (Zmail.Credit.get c 1);
   Alcotest.(check int) "snapshot unaffected" 2 snap.(1);
   (* A receive from a peer already one audit epoch ahead is buffered
-     for the next billing period, invisible until the next reset. *)
-  Zmail.Credit.record_receive_early c ~peer:0;
+     for the matching billing period, invisible until its reset. *)
+  Zmail.Credit.record_receive_early c ~epoch:1 ~peer:0;
   Alcotest.(check int) "early receive not visible" 0 (Zmail.Credit.get c 0);
   Alcotest.(check int) "early pending" 1 (Zmail.Credit.early_pending c);
   Alcotest.(check int) "snapshot excludes early" 0 (Zmail.Credit.snapshot c).(0);
-  Zmail.Credit.reset c;
+  Zmail.Credit.reset_upto c ~seq:0;
   Alcotest.(check int) "early folded into new period" (-1) (Zmail.Credit.get c 0);
   Alcotest.(check int) "buffer cleared" 0 (Zmail.Credit.early_pending c)
+
+(* The epoch ladder behind partition-tolerant audits: receives may
+   arrive several audit epochs ahead (the sender healed from a long
+   partition), [snapshot_upto ~seq] reports the cumulative row through
+   epoch [seq], and [reset_upto ~seq] promotes exactly epoch [seq+1]
+   while keeping later buckets buffered. *)
+let test_credit_epoch_ladder () =
+  let c = Zmail.Credit.create ~n:3 in
+  Zmail.Credit.record_send c ~peer:1;
+  Zmail.Credit.record_receive_early c ~epoch:1 ~peer:2;
+  Zmail.Credit.record_receive_early c ~epoch:3 ~peer:2;
+  Zmail.Credit.record_receive_early c ~epoch:1 ~peer:0;
+  (* Cumulative row through seq 0 sees only the current period... *)
+  Alcotest.(check (array int)) "upto 0" [| 0; 1; 0 |]
+    (Zmail.Credit.snapshot_upto c ~seq:0);
+  (* ...through seq 1 adds the epoch-1 bucket... *)
+  Alcotest.(check (array int)) "upto 1" [| -1; 1; -1 |]
+    (Zmail.Credit.snapshot_upto c ~seq:1);
+  (* ...and through seq 3 everything (epoch 2 is an empty rung). *)
+  Alcotest.(check (array int)) "upto 3" [| -1; 1; -2 |]
+    (Zmail.Credit.snapshot_upto c ~seq:3);
+  Alcotest.(check int) "pending counts all buckets" 3
+    (Zmail.Credit.early_pending c);
+  (* A multi-epoch reset (the healed ISP reported the cumulative row
+     for seqs 0..1) drops the covered buckets and promotes epoch 2 —
+     empty here — so epoch 3 stays buffered. *)
+  Zmail.Credit.reset_upto c ~seq:1;
+  Alcotest.(check (array int)) "post-reset current" [| 0; 0; 0 |]
+    (Zmail.Credit.snapshot c);
+  Alcotest.(check int) "epoch 3 still pending" 1 (Zmail.Credit.early_pending c);
+  Zmail.Credit.reset_upto c ~seq:2;
+  Alcotest.(check (array int)) "epoch 3 promoted" [| 0; 0; -1 |]
+    (Zmail.Credit.snapshot c);
+  Alcotest.(check int) "ladder drained" 0 (Zmail.Credit.early_pending c)
 
 let test_audit_consistent () =
   let reported =
@@ -644,6 +678,114 @@ let test_bank_stale_audit_reply () =
   | Zmail.Bank.Rejected _ -> ()
   | _ -> Alcotest.fail "stale reply must be rejected"
 
+(* Partition tolerance: a quorum round excludes an unreachable ISP and
+   carries what its peers claimed against it forward; the cumulative
+   row it reports after the heal reconciles those claims — honest ISPs
+   produce zero violations across the lagged rounds, and the absentee
+   is recorded as absent, never as a suspect. *)
+let test_bank_quorum_carry_reconciles () =
+  let r = rng () in
+  let compliant = [| true; true; true |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:3 ~compliant) in
+  let send isp seq credit =
+    Zmail.Bank.on_isp_message bank ~from_isp:isp
+      (Zmail.Wire.seal_for_bank r (Zmail.Bank.public_key bank)
+         (Zmail.Wire.Audit_reply { isp; seq; credit }))
+  in
+  (* Round 0 runs without ISP 2 (partition-severed).  During the round
+     ISP 0 sent 2 paid messages to the unreachable 2 (they bounced or
+     crossed before the cut — either way 0's books say "2 owes me"). *)
+  let requests = Zmail.Bank.start_audit ~except:[ 2 ] bank in
+  Alcotest.(check (list int)) "requests skip the absentee" [ 0; 1 ]
+    (List.sort compare (List.map fst requests));
+  (match send 0 0 [| 0; 0; 2 |] with
+  | Zmail.Bank.Audit_progress -> ()
+  | _ -> Alcotest.fail "expected progress");
+  (match send 1 0 [| 0; 0; 0 |] with
+  | Zmail.Bank.Audit_complete result ->
+      Alcotest.(check (list int)) "absent recorded" [ 2 ] result.Zmail.Bank.absent;
+      Alcotest.(check int) "no violations in the quorum round" 0
+        (List.length result.Zmail.Bank.violations);
+      Alcotest.(check (list int)) "no suspects" [] result.Zmail.Bank.suspects
+  | _ -> Alcotest.fail "expected completion");
+  (* Round 1, healed: ISP 2 reports the cumulative row for both billing
+     periods (owes 0 the carried 2 plus this round's flow to 1), the
+     others report round 1 alone. *)
+  ignore (Zmail.Bank.start_audit bank);
+  (match send 0 1 [| 0; 0; 0 |] with
+  | Zmail.Bank.Audit_progress -> ()
+  | _ -> Alcotest.fail "expected progress");
+  (match send 1 1 [| 0; 0; 1 |] with
+  | Zmail.Bank.Audit_progress -> ()
+  | _ -> Alcotest.fail "expected progress");
+  match send 2 1 [| -2; -1; 0 |] with
+  | Zmail.Bank.Audit_complete result ->
+      Alcotest.(check (list int)) "nobody absent after heal" []
+        result.Zmail.Bank.absent;
+      Alcotest.(check int) "carried claims reconcile" 0
+        (List.length result.Zmail.Bank.violations);
+      Alcotest.(check (list int)) "no false accusations" []
+        result.Zmail.Bank.suspects
+  | _ -> Alcotest.fail "expected completion"
+
+let test_bank_start_audit_validation () =
+  let r = rng () in
+  let compliant = [| true; false |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:2 ~compliant) in
+  Alcotest.(check bool) "excluding every compliant ISP raises" true
+    (try
+       ignore (Zmail.Bank.start_audit ~except:[ 0 ] bank);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_adversary_understate () =
+  let a = Zmail.Adversary.create (Zmail.Adversary.Understate_owed 3) in
+  let row = [| -5; 2; -1; 0 |] in
+  let out = Zmail.Adversary.tamper a ~seq:0 row in
+  Alcotest.(check (array int)) "owed entries shrink toward zero"
+    [| -2; 2; 0; 0 |] out;
+  Alcotest.(check (array int)) "input row untouched" [| -5; 2; -1; 0 |] row;
+  Alcotest.(check int) "tamper counted" 1 (Zmail.Adversary.tampered a);
+  (* Nothing owed: the tamper is the identity and does not count. *)
+  ignore (Zmail.Adversary.tamper a ~seq:1 [| 0; 4; 0; 0 |]);
+  Alcotest.(check int) "identity tamper not counted" 1 (Zmail.Adversary.tampered a);
+  Alcotest.(check int) "rounds counted" 2 (Zmail.Adversary.rounds a)
+
+let test_adversary_replay_stale () =
+  let a = Zmail.Adversary.create Zmail.Adversary.Replay_stale in
+  (* First round: nothing to replay — the report is honest. *)
+  Alcotest.(check (array int)) "first round honest" [| 0; 3 |]
+    (Zmail.Adversary.tamper a ~seq:0 [| 0; 3 |]);
+  Alcotest.(check int) "no tamper yet" 0 (Zmail.Adversary.tampered a);
+  (* Second round: the previous truth comes out instead. *)
+  Alcotest.(check (array int)) "second round replays round one" [| 0; 3 |]
+    (Zmail.Adversary.tamper a ~seq:1 [| 0; 7 |]);
+  Alcotest.(check int) "tamper counted" 1 (Zmail.Adversary.tampered a);
+  Alcotest.(check (array int)) "third round replays round two" [| 0; 7 |]
+    (Zmail.Adversary.tamper a ~seq:2 [| 0; 9 |])
+
+let test_adversary_drop_crosscheck () =
+  let a = Zmail.Adversary.create (Zmail.Adversary.Drop_crosscheck 1) in
+  Alcotest.(check (array int)) "victim entry zeroed" [| 4; 0; -2 |]
+    (Zmail.Adversary.tamper a ~seq:0 [| 4; 7; -2 |]);
+  Alcotest.(check int) "tamper counted" 1 (Zmail.Adversary.tampered a);
+  (* Already zero: nothing to hide, nothing counted. *)
+  Alcotest.(check (array int)) "zero entry untouched" [| 4; 0; -2 |]
+    (Zmail.Adversary.tamper a ~seq:1 [| 4; 0; -2 |]);
+  Alcotest.(check int) "identity not counted" 1 (Zmail.Adversary.tampered a)
+
+let test_adversary_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "non-positive understatement" true
+    (raises (fun () -> Zmail.Adversary.create (Zmail.Adversary.Understate_owed 0)));
+  Alcotest.(check bool) "negative victim" true
+    (raises (fun () ->
+         Zmail.Adversary.create (Zmail.Adversary.Drop_crosscheck (-1))))
+
 (* ------------------------------------------------------------------ *)
 (* Listserv                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -729,6 +871,7 @@ let () =
       ( "credit",
         [
           Alcotest.test_case "vector ops" `Quick test_credit_vector;
+          Alcotest.test_case "epoch ladder" `Quick test_credit_epoch_ladder;
           Alcotest.test_case "audit consistent" `Quick test_audit_consistent;
           Alcotest.test_case "audit mismatch" `Quick test_audit_detects_mismatch;
           Alcotest.test_case "audit ignores non-compliant" `Quick
@@ -779,6 +922,17 @@ let () =
           Alcotest.test_case "replay ablated" `Quick test_bank_replay_ablated;
           Alcotest.test_case "audit detects cheater" `Quick test_bank_audit_detects_cheater;
           Alcotest.test_case "stale audit reply" `Quick test_bank_stale_audit_reply;
+          Alcotest.test_case "quorum carry reconciles" `Quick
+            test_bank_quorum_carry_reconciles;
+          Alcotest.test_case "start_audit validation" `Quick
+            test_bank_start_audit_validation;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "understate owed" `Quick test_adversary_understate;
+          Alcotest.test_case "replay stale" `Quick test_adversary_replay_stale;
+          Alcotest.test_case "drop cross-check" `Quick test_adversary_drop_crosscheck;
+          Alcotest.test_case "validation" `Quick test_adversary_validation;
         ] );
       ( "listserv",
         [
