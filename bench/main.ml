@@ -1,7 +1,7 @@
 (* Benchmark and experiment harness.
 
    Usage:
-     main.exe            run every experiment table (E1-E18) then the
+     main.exe            run every experiment table (E1-E19) then the
                          E12 micro-benchmarks
      main.exe e7         run one experiment
      main.exe micro      run only the micro-benchmarks
@@ -11,7 +11,8 @@
    experiment's metric-registry table; --trace FILE records the event
    trace and writes it out (--trace-format jsonl|chrome); --json FILE
    times every experiment (plus engine throughput, §4.4 audit-verify
-   cost at 100 and 1000 ISPs, and snapshot I/O) and writes a
+   cost at 100 and 1000 ISPs, inter-bank clearing at 4 and 16 member
+   banks, and snapshot I/O) and writes a
    machine-readable report; --json with --full additionally runs the
    nightly-scale rows (E17 at a million users, the E18 grid at 100
    ISPs x 1000 users).  Single-experiment runs also accept the
@@ -287,6 +288,43 @@ let audit_verify_cost n =
   in
   seconds /. float_of_int iters *. 1e6
 
+(* Inter-bank clearing cost: one full settlement round driven through
+   [Zmail.Clearing] over a lossy mesh (10% drop, 20% delay), timed
+   until the carry drains to zero.  Reported at 4 and 16 member banks
+   so the baselines document how the settle wall cost and the wire
+   message count (retransmissions included) grow with the federation.
+   Wall time is simulation-driver cost, not simulated seconds. *)
+let clearing_cost n_banks =
+  let engine = Sim.Engine.create () in
+  let rng = Sim.Rng.create (1900 + n_banks) in
+  let fed =
+    Zmail.Federation.create rng
+      (Zmail.Federation.default_config ~n_banks ~n_isps:(2 * n_banks))
+  in
+  (* Deterministic drift: a cash ring with growing stakes, so every
+     bank ends displaced from the mean and the plan is dense. *)
+  for b = 0 to n_banks - 1 do
+    Zmail.Federation.apply_transfer fed ~from_bank:b
+      ~to_bank:((b + 1) mod n_banks)
+      ~amount:(1000 * (b + 1))
+  done;
+  let mesh =
+    Sim.Fault.Mesh.create
+      ~default:(Sim.Fault.plan ~drop:0.10 ~delay_prob:0.20 ~delay_max:30. ())
+      ~n_nodes:n_banks engine rng
+  in
+  let clearing =
+    Zmail.Clearing.create ~retry_timeout:60. ~engine ~mesh fed
+  in
+  let (), seconds =
+    wall (fun () ->
+        ignore (Zmail.Clearing.settle_round clearing);
+        Sim.Engine.run engine)
+  in
+  if Zmail.Clearing.pending_amount clearing <> 0 then
+    failwith "bench: clearing carry did not drain";
+  (seconds *. 1e3, Zmail.Clearing.messages clearing)
+
 (* Snapshot write/read bandwidth over a populated world image. *)
 let snapshot_io () =
   let world =
@@ -363,6 +401,8 @@ let run_json ~path ~obs ~full =
   let snap_bytes, write_mb_s, read_mb_s = snapshot_io () in
   let verify_100_us = audit_verify_cost 100 in
   let verify_1000_us = audit_verify_cost 1000 in
+  let clear4_ms, clear4_msgs = clearing_cost 4 in
+  let clear16_ms, clear16_msgs = clearing_cost 16 in
   (* Nightly-only long rows: the E17 million-user world and the E18
      adversary grid at 100 ISPs x 1000 users.  Minutes of wall-clock,
      so they only run under --full. *)
@@ -411,6 +451,11 @@ let run_json ~path ~obs ~full =
        verify_100_us verify_1000_us);
   Buffer.add_string b
     (Printf.sprintf
+       "  \"clearing\": { \"banks4\": { \"settle_ms\": %.3f, \"messages\": \
+        %d }, \"banks16\": { \"settle_ms\": %.3f, \"messages\": %d } },\n"
+       clear4_ms clear4_msgs clear16_ms clear16_msgs);
+  Buffer.add_string b
+    (Printf.sprintf
        "  \"snapshot\": { \"bytes\": %d, \"write_mb_per_s\": %.2f, \
         \"read_mb_per_s\": %.2f }%s\n"
        snap_bytes write_mb_s read_mb_s
@@ -444,7 +489,7 @@ let list_experiments () =
   print_endline "micro (E12: protocol micro-benchmarks)"
 
 let usage =
-  "usage: main.exe [e1..e18|micro|list] [--metrics] [--trace FILE] \
+  "usage: main.exe [e1..e19|micro|list] [--metrics] [--trace FILE] \
    [--trace-format jsonl|chrome] [--json FILE] [--full] \
    [--checkpoint-every T] [--snapshot FILE] [--resume FILE] [--stop-at T]"
 

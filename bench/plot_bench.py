@@ -5,13 +5,15 @@ Reads every bench/BENCH_*.json (sorted by filename, which embeds the
 date), plus any extra report paths given on the command line, and
 prints one trend table: the headline series (engine and e17_scale
 events/sec, allocation per event, peak heap, snapshot bandwidth,
-audit-verify cost) as columns, one row per baseline, with the percent
+audit-verify cost, clearing settle cost and message count) as
+columns, one row per baseline, with the percent
 delta from the previous row in parentheses.
 
 Pure stdlib, no matplotlib: the output is a table, not a picture, so
 it works in CI logs and terminals.  Keys absent from older schemas
-(audit_verify appeared in schema 2) render as "-" rather than
-failing, so the tool can always read the whole history.
+(audit_verify appeared in schema 2, clearing later in schema 2)
+render as "-" rather than failing, so the tool can always read the
+whole history.
 
 Usage:
     python3 bench/plot_bench.py [extra_report.json ...]
@@ -43,6 +45,10 @@ SERIES = [
     ("snap read MB/s", "{:.1f}", ("snapshot", "read_mb_per_s")),
     ("verify(100) us", "{:.1f}", ("audit_verify", "n100_us_per_round")),
     ("verify(1000) us", "{:.1f}", ("audit_verify", "n1000_us_per_round")),
+    ("clear(4) ms", "{:.2f}", ("clearing", "banks4", "settle_ms")),
+    ("clear(4) msgs", "{:d}", ("clearing", "banks4", "messages")),
+    ("clear(16) ms", "{:.2f}", ("clearing", "banks16", "settle_ms")),
+    ("clear(16) msgs", "{:d}", ("clearing", "banks16", "messages")),
 ]
 
 

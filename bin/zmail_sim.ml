@@ -40,15 +40,16 @@ let full_arg =
   let doc =
     "Run the nightly-scale variant where one exists: E17 adds its \
      million-user row, E18 raises its adversary grid to 100 ISPs x 1000 \
-     users per cell (both take minutes).  Experiments without a larger \
-     variant ignore the flag."
+     users per cell, E19 does the same for its bank-wire grid and grows \
+     the federation to 16 member banks (all take minutes).  Experiments \
+     without a larger variant ignore the flag."
   in
   Arg.(value & flag & info [ "full"; "million" ] ~doc)
 
 let checkpoint_every_arg =
   let doc =
     "Write a world snapshot to the $(b,--snapshot) file every $(docv) \
-     simulated seconds (E2, E3, E16 and E17 only)."
+     simulated seconds (E2, E3, E16, E17, E18 and E19's world grid only)."
   in
   Arg.(value & opt (some float) None & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
 
@@ -162,7 +163,7 @@ let setup_logs level =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id: e1..e18, or 'all'." in
+    let doc = "Experiment id: e1..e19, or 'all'." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
   let term =

@@ -155,6 +155,20 @@ let all =
         (fun ~full ~seed ~obs ~persist ->
           E18_adversary.run ~obs ~persist ~seed ~full ());
     };
+    {
+      id = "e19";
+      title = "Byzantine bank wire and chaos-hardened inter-bank clearing";
+      claim =
+        "§4.3/§5 under a hostile wire: an adversary owning an ISP-bank link \
+         (forging, replaying, reordering, dropping) never gets an honest \
+         ISP convicted and never moves money; a federation clearing over a \
+         lossy, partitioned mesh conserves money exactly, drains its carry \
+         after heal, and statement checks plus audit block-attribution \
+         flag exactly the Byzantine member bank.";
+      run =
+        (fun ~full ~seed ~obs ~persist ->
+          E19_bank_wire.run ~obs ~persist ~seed ~full ());
+    };
   ]
 
 let find id =
@@ -176,4 +190,4 @@ let run_one ?(seed = 0) ?(full = false) ?obs ?persist id =
   | Some e ->
       print_experiment ~full ~seed ?obs ?persist e;
       Ok ()
-  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e18)" id)
+  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e19)" id)

@@ -6,7 +6,7 @@
     deterministic for a given seed. *)
 
 type t = {
-  id : string;  (** ["e1"] … ["e18"]. *)
+  id : string;  (** ["e1"] … ["e19"]. *)
   title : string;
   claim : string;  (** The paper sentence being reproduced. *)
   run :
@@ -16,15 +16,17 @@ type t = {
     persist:Checkpoint.t ->
     Sim.Table.t list;
       (** [full] asks for the experiment's nightly-scale variant (E17's
-          million-user row, E18's 100-ISP grid); most experiments have
-          no such variant and ignore it.  [obs] is the front end's
-          observability context: a shared tracer to record into
-          (exported afterwards by the caller) and whether to append the
-          metric-registry table.  The world-backed experiments honour
-          it; the rest ignore it.  Pass {!Obs.Run.none} when not
-          tracing.  [persist] is the checkpoint/resume driver (E2, E3,
-          E16, E17 and E18 honour it; pass {!Checkpoint.none}
-          otherwise). *)
+          million-user row, E18's and E19's 100-ISP grids); most
+          experiments have no such variant and ignore it.  [obs] is the
+          front end's observability context: a shared tracer to record
+          into (exported afterwards by the caller) and whether to
+          append the metric-registry table.  The world-backed
+          experiments honour it; the rest ignore it.  Pass
+          {!Obs.Run.none} when not tracing.  [persist] is the
+          checkpoint/resume driver (E2, E3, E16, E17, E18 and E19's
+          world grid honour it; E19's federation cells are pure
+          functions of their seed and re-execute identically on
+          resume; pass {!Checkpoint.none} otherwise). *)
 }
 
 val all : t list

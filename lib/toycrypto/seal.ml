@@ -81,3 +81,37 @@ let flip_bit sealed =
 let size_bytes sealed =
   (* recipient id + wrapped key chunks (4 bytes each) + iv + mac *)
   4 + (4 * List.length sealed.wrapped_key) + 8 + String.length sealed.ciphertext + 8
+
+(* A forged envelope: structurally valid, addressed to [recipient],
+   but with a random wrapped key, ciphertext and MAC.  The MAC check in
+   [unseal] rejects it (the forger does not know the session key), so
+   this is the adversary's best effort without the recipient's secret. *)
+let forge rng ~recipient ~len =
+  let per_half = (64 + chunk_bits - 1) / chunk_bits in
+  {
+    recipient;
+    wrapped_key =
+      List.init (2 * per_half) (fun _ -> Sim.Rng.int rng (1 lsl chunk_bits));
+    iv = Sim.Rng.int64 rng;
+    ciphertext = String.init (max 1 len) (fun _ -> Char.chr (Sim.Rng.int rng 256));
+    mac = Sim.Rng.int64 rng;
+  }
+
+(* Value codec (Wire-style): adversary replay memories hold captured
+   envelopes, which therefore must ride in world snapshots. *)
+let encode_bin w sealed =
+  let open Persist.Codec.W in
+  int w sealed.recipient;
+  list int w sealed.wrapped_key;
+  i64 w sealed.iv;
+  str w sealed.ciphertext;
+  i64 w sealed.mac
+
+let decode_bin r =
+  let open Persist.Codec.R in
+  let recipient = int r in
+  let wrapped_key = list int r in
+  let iv = i64 r in
+  let ciphertext = str r in
+  let mac = i64 r in
+  { recipient; wrapped_key; iv; ciphertext; mac }

@@ -29,3 +29,16 @@ val flip_bit : sealed -> sealed
 val size_bytes : sealed -> int
 (** Wire-size estimate of the envelope, used by the accounting-cost
     experiment (E4). *)
+
+val forge : Sim.Rng.t -> recipient:int -> len:int -> sealed
+(** A structurally valid envelope with random key material, ciphertext
+    ([len] bytes) and MAC — an adversary's best forgery without the
+    recipient's secret.  {!unseal} rejects it (MAC mismatch).  Used by
+    the bank-wire adversary and the fuzz tests. *)
+
+val encode_bin : Persist.Codec.W.t -> sealed -> unit
+val decode_bin : Persist.Codec.R.t -> sealed
+(** Binary value codec.  Bank-wire adversaries keep captured envelopes
+    as replay ammunition, which is real protocol state and must ride in
+    world snapshots.  [decode_bin] raises [Persist.Codec.Corrupt] on
+    malformed input. *)

@@ -102,3 +102,212 @@ let restore_state r t =
   t.last <- opt int_array r;
   t.tampered <- int r;
   t.rounds <- int r
+
+(* ------------------------------------------------------------------ *)
+(* Bank-wire tampering                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Where the ISP adversaries above lie in their *reports*, a bank-wire
+   adversary owns a *link*: it sees every envelope crossing one
+   ISP-to-bank (or bank-to-bank clearing) hop and may forge, replay,
+   reorder or drop.  It never holds a key, so its forgeries are MAC
+   garbage the bank rejects, its replays are absorbed by the reply
+   cache / nonce dedup, and its reordering and drops are what the
+   retry/backoff layer already tolerates — E19 measures exactly that. *)
+module Bank_wire = struct
+  type kind = Buy_msg | Sell_msg | Audit_reply_msg | Clearing_msg
+
+  let kind_name = function
+    | Buy_msg -> "buy"
+    | Sell_msg -> "sell"
+    | Audit_reply_msg -> "audit-reply"
+    | Clearing_msg -> "clearing"
+
+  type wire_behavior =
+    | Forge_garbage of float
+    | Replay_captured of float
+    | Reorder of float * float
+    | Drop_selective of kind * float
+
+  type t = {
+    behavior : wire_behavior;
+    rng : Sim.Rng.t;
+    (* Replay ammunition: recently captured traffic, newest first. *)
+    mutable captured : Toycrypto.Seal.sealed list;
+    mutable captured_signed : Wire.signed list;
+    mutable forged : int;
+    mutable replayed : int;
+    mutable delayed : int;
+    mutable dropped : int;
+    mutable passed : int;
+  }
+
+  let capture_limit = 8
+
+  let create rng behavior =
+    let check_p p = p < 0. || p > 1. in
+    (match behavior with
+    | Forge_garbage p | Replay_captured p ->
+        if check_p p then invalid_arg "Bank_wire: probability outside [0,1]"
+    | Reorder (p, dmax) ->
+        if check_p p then invalid_arg "Bank_wire: probability outside [0,1]";
+        if dmax <= 0. then invalid_arg "Bank_wire: Reorder needs a positive delay"
+    | Drop_selective (_, p) ->
+        if p < 0. || p >= 1. then
+          invalid_arg
+            "Bank_wire: Drop_selective needs p in [0,1) so retransmission \
+             can recover");
+    { behavior; rng; captured = []; captured_signed = []; forged = 0;
+      replayed = 0; delayed = 0; dropped = 0; passed = 0 }
+
+  let behavior t = t.behavior
+  let forged t = t.forged
+  let replayed t = t.replayed
+  let delayed t = t.delayed
+  let dropped t = t.dropped
+  let passed t = t.passed
+
+  let name = function
+    | Forge_garbage p -> Printf.sprintf "forge(%.2f)" p
+    | Replay_captured p -> Printf.sprintf "replay(%.2f)" p
+    | Reorder (p, dmax) -> Printf.sprintf "reorder(%.2f,%.0fs)" p dmax
+    | Drop_selective (k, p) -> Printf.sprintf "drop-%s(%.2f)" (kind_name k) p
+
+  let describe = function
+    | Forge_garbage _ ->
+        "injects structurally valid envelopes with garbage key material \
+         alongside real traffic; harmless: the MAC check rejects every one \
+         (counted as Unreadable), and the original still arrives"
+    | Replay_captured _ ->
+        "re-delivers previously captured envelopes; harmless: the reply \
+         cache and nonce dedup answer or drop duplicates without re-applying \
+         them (exactly-once effect)"
+    | Reorder _ ->
+        "holds messages back so they arrive late and out of order; harmless: \
+         requests are idempotent under the reply cache and the retry loop \
+         retransmits anything that seems lost"
+    | Drop_selective _ ->
+        "drops a fraction of one message kind; harmless below p = 1: the \
+         sender's capped-exponential retry eventually gets one copy through"
+
+  let bernoulli t p = Sim.Rng.unit_float t.rng < p
+
+  let take n l =
+    let rec go n acc = function
+      | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+      | _ -> List.rev acc
+    in
+    go n [] l
+
+  type verdict =
+    | Pass
+    | Drop
+    | Delay of float
+    | Inject of Toycrypto.Seal.sealed
+
+  let on_sealed t ~kind sealed =
+    match t.behavior with
+    | Drop_selective (k, p) when k = kind && bernoulli t p ->
+        t.dropped <- t.dropped + 1;
+        Drop
+    | Forge_garbage p when bernoulli t p ->
+        t.forged <- t.forged + 1;
+        Inject
+          (Toycrypto.Seal.forge t.rng
+             ~recipient:(Toycrypto.Seal.recipient_id sealed)
+             ~len:24)
+    | Reorder (p, dmax) when bernoulli t p ->
+        t.delayed <- t.delayed + 1;
+        Delay (Sim.Rng.float t.rng dmax)
+    | Replay_captured p ->
+        let v =
+          if t.captured <> [] && bernoulli t p then begin
+            t.replayed <- t.replayed + 1;
+            Inject
+              (List.nth t.captured (Sim.Rng.int t.rng (List.length t.captured)))
+          end
+          else begin
+            t.passed <- t.passed + 1;
+            Pass
+          end
+        in
+        t.captured <- take capture_limit (sealed :: t.captured);
+        v
+    | Forge_garbage _ | Reorder _ | Drop_selective _ ->
+        t.passed <- t.passed + 1;
+        Pass
+
+  type signed_verdict =
+    | S_pass
+    | S_drop
+    | S_delay of float
+    | S_inject of Wire.signed
+
+  (* Clearing traffic is signed, not sealed: the best forgery is a
+     corrupted signature (verification rejects it), and replays are
+     absorbed by the receiver's xfer-id dedup. *)
+  let on_signed t ~kind (msg : Wire.signed) =
+    match t.behavior with
+    | Drop_selective (k, p) when k = kind && bernoulli t p ->
+        t.dropped <- t.dropped + 1;
+        S_drop
+    | Forge_garbage p when bernoulli t p ->
+        t.forged <- t.forged + 1;
+        S_inject { msg with Wire.signature = msg.Wire.signature lxor 1 }
+    | Reorder (p, dmax) when bernoulli t p ->
+        t.delayed <- t.delayed + 1;
+        S_delay (Sim.Rng.float t.rng dmax)
+    | Replay_captured p ->
+        let v =
+          if t.captured_signed <> [] && bernoulli t p then begin
+            t.replayed <- t.replayed + 1;
+            S_inject
+              (List.nth t.captured_signed
+                 (Sim.Rng.int t.rng (List.length t.captured_signed)))
+          end
+          else begin
+            t.passed <- t.passed + 1;
+            S_pass
+          end
+        in
+        t.captured_signed <- take capture_limit (msg :: t.captured_signed);
+        v
+    | Forge_garbage _ | Reorder _ | Drop_selective _ ->
+        t.passed <- t.passed + 1;
+        S_pass
+
+  (* The RNG stream and the capture buffers are live protocol state
+     (the next verdict depends on both), so taps ride in world
+     captures like every other component. *)
+  let encode_state w t =
+    let open Persist.Codec.W in
+    Sim.Rng.encode_state w t.rng;
+    list Toycrypto.Seal.encode_bin w t.captured;
+    list
+      (fun w (s : Wire.signed) ->
+        Wire.encode_bin w s.Wire.payload;
+        int w s.Wire.signature)
+      w t.captured_signed;
+    int w t.forged;
+    int w t.replayed;
+    int w t.delayed;
+    int w t.dropped;
+    int w t.passed
+
+  let restore_state r t =
+    let open Persist.Codec.R in
+    Sim.Rng.restore_state r t.rng;
+    t.captured <- list Toycrypto.Seal.decode_bin r;
+    t.captured_signed <-
+      list
+        (fun r ->
+          let payload = Wire.decode_bin r in
+          let signature = int r in
+          { Wire.payload; signature })
+        r;
+    t.forged <- int r;
+    t.replayed <- int r;
+    t.delayed <- int r;
+    t.dropped <- int r;
+    t.passed <- int r
+end

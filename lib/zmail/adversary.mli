@@ -63,3 +63,82 @@ val restore_state : Persist.Codec.R.t -> t -> unit
 (** [Replay_stale]'s remembered row is real protocol state (the next
     lie depends on it), so adversaries ride in world captures; the
     counters come along so resumed tables match byte-for-byte. *)
+
+(** Bank-{e wire} tampering, as opposed to the report tampering above:
+    a [Bank_wire.t] owns one ISP-to-bank or bank-to-bank link and may
+    forge, replay, reorder or selectively drop the traffic crossing
+    it.  It never holds a key, so every behavior is an argument about
+    the transport hardening: forgeries fail the MAC/signature check,
+    replays are absorbed by the reply cache and nonce/xfer-id dedup,
+    reordering and drops are recovered by retry/backoff.  E19 measures
+    all four across the fault grid. *)
+module Bank_wire : sig
+  type kind = Buy_msg | Sell_msg | Audit_reply_msg | Clearing_msg
+  (** What is crossing the link; [Drop_selective] filters on it. *)
+
+  val kind_name : kind -> string
+
+  type wire_behavior =
+    | Forge_garbage of float
+        (** With this probability, inject a {!Toycrypto.Seal.forge}d
+            envelope (or a signature-corrupted copy, on a signed link)
+            alongside the real message. *)
+    | Replay_captured of float
+        (** Capture passing traffic and, with this probability,
+            re-deliver a previously captured message. *)
+    | Reorder of float * float
+        (** [(p, dmax)]: with probability [p], hold the message back by
+            a uniform delay in [(0, dmax)] seconds so it arrives late
+            and out of order. *)
+    | Drop_selective of kind * float
+        (** Drop messages of one kind with this probability (must be
+            [< 1] so retransmission can recover). *)
+
+  type t
+
+  val create : Sim.Rng.t -> wire_behavior -> t
+  (** The tap draws every coin from [rng] — give each tap its own
+      stream so faults never perturb workload randomness.
+      @raise Invalid_argument on a probability outside [\[0,1\]] (or
+      [\[0,1)] for [Drop_selective]) or a non-positive delay. *)
+
+  val behavior : t -> wire_behavior
+
+  type verdict =
+    | Pass  (** Deliver unchanged. *)
+    | Drop  (** Swallow the message. *)
+    | Delay of float  (** Deliver after this many seconds. *)
+    | Inject of Toycrypto.Seal.sealed
+        (** Deliver the original {e and} this extra envelope. *)
+
+  val on_sealed : t -> kind:kind -> Toycrypto.Seal.sealed -> verdict
+  (** The fate of one sealed (ISP → bank) message crossing the link. *)
+
+  type signed_verdict =
+    | S_pass
+    | S_drop
+    | S_delay of float
+    | S_inject of Wire.signed
+
+  val on_signed : t -> kind:kind -> Wire.signed -> signed_verdict
+  (** Same, for signed traffic (bank → bank clearing): forgery becomes
+      a corrupted signature, replay re-delivers a captured transfer. *)
+
+  val name : wire_behavior -> string
+  (** Short label for tables, e.g. ["drop-buy(0.50)"]. *)
+
+  val describe : wire_behavior -> string
+  (** One-sentence harmlessness argument, for docs and reports. *)
+
+  val forged : t -> int
+  val replayed : t -> int
+  val delayed : t -> int
+  val dropped : t -> int
+  val passed : t -> int
+
+  val encode_state : Persist.Codec.W.t -> t -> unit
+  val restore_state : Persist.Codec.R.t -> t -> unit
+  (** The RNG stream and the capture buffers are live protocol state
+      (the next verdict depends on both), so taps ride in world
+      captures for resume determinism. *)
+end

@@ -8,6 +8,43 @@ type config = {
 let default_config ~n_isps ~compliant =
   { n_isps; compliant; initial_account = 1_000_000; replay_hardening = true }
 
+(* Shared by [Bank] and [Federation]: every reason either front door
+   can turn a message away.  Keeping this one closed variant (rather
+   than free-form strings) makes forgery, replay and wrong-state
+   rejections distinguishable in stats and experiment tables. *)
+type reject =
+  | Unknown_isp
+  | Non_compliant
+  | Unreadable
+  | Foreign_bank
+  | Replayed
+  | Wrong_state
+  | Wrong_direction
+
+let all_rejects =
+  [ Unknown_isp; Non_compliant; Unreadable; Foreign_bank; Replayed;
+    Wrong_state; Wrong_direction ]
+
+let n_reject_reasons = List.length all_rejects
+
+let reject_index = function
+  | Unknown_isp -> 0
+  | Non_compliant -> 1
+  | Unreadable -> 2
+  | Foreign_bank -> 3
+  | Replayed -> 4
+  | Wrong_state -> 5
+  | Wrong_direction -> 6
+
+let reject_to_string = function
+  | Unknown_isp -> "unknown ISP"
+  | Non_compliant -> "non-compliant ISP"
+  | Unreadable -> "unreadable (forged or corrupted)"
+  | Foreign_bank -> "sealed to a foreign bank"
+  | Replayed -> "replayed request"
+  | Wrong_state -> "wrong state for this message"
+  | Wrong_direction -> "bank-origin payload from an ISP"
+
 type audit_state = {
   audit_seq : int;
   mutable waiting : int list;
@@ -45,6 +82,7 @@ type t = {
   mutable audits_completed : int;
   mutable messages_in : int;
   mutable messages_out : int;
+  rejects : int array;  (* indexed by [reject_index] *)
   mutable tracer : Obs.Trace.t;
 }
 
@@ -69,6 +107,7 @@ let create rng config =
     audits_completed = 0;
     messages_in = 0;
     messages_out = 0;
+    rejects = Array.make n_reject_reasons 0;
     tracer = Obs.Trace.none;
   }
 
@@ -96,7 +135,7 @@ type response =
   | Reply of Wire.signed
   | Audit_progress
   | Audit_complete of audit_result
-  | Rejected of string
+  | Rejected of reject
 
 let cached_reply t ~from_isp nonce =
   if not t.config.replay_hardening then None
@@ -229,25 +268,28 @@ let on_payload t ~from_isp payload =
           ev t "audit_reply"
             [ ("isp", Obs.Trace.Int isp); ("seq", Obs.Trace.Int seq) ];
           if audit.waiting = [] then finish_audit t audit else Audit_progress
-      | Some _ -> Rejected "unexpected audit reply"
-      | None -> Rejected "no audit in progress")
-  | Wire.Buy_reply _ | Wire.Sell_reply _ | Wire.Audit_request _ ->
-      Rejected "bank-origin payload from an ISP"
+      | Some _ -> Rejected Wrong_state
+      | None -> Rejected Wrong_state)
+  | Wire.Buy_reply _ | Wire.Sell_reply _ | Wire.Audit_request _
+  | Wire.Transfer _ | Wire.Transfer_ack _ ->
+      Rejected Wrong_direction
 
 let on_isp_message t ~from_isp sealed =
   t.messages_in <- t.messages_in + 1;
   let result =
-    if from_isp < 0 || from_isp >= t.config.n_isps then Rejected "unknown ISP"
-    else if not t.config.compliant.(from_isp) then Rejected "non-compliant ISP"
+    if from_isp < 0 || from_isp >= t.config.n_isps then Rejected Unknown_isp
+    else if not t.config.compliant.(from_isp) then Rejected Non_compliant
     else
       match Wire.open_at_bank t.secret sealed with
-      | None -> Rejected "unreadable (forged or corrupted) message"
+      | None -> Rejected Unreadable
       | Some payload -> on_payload t ~from_isp payload
   in
   (match result with
   | Rejected reason ->
+      t.rejects.(reject_index reason) <- t.rejects.(reject_index reason) + 1;
       ev t "reject"
-        [ ("isp", Obs.Trace.Int from_isp); ("reason", Obs.Trace.Str reason) ]
+        [ ("isp", Obs.Trace.Int from_isp);
+          ("reason", Obs.Trace.Str (reject_to_string reason)) ]
   | Reply _ | Audit_progress | Audit_complete _ -> ());
   result
 
@@ -338,7 +380,8 @@ let encode_state w t =
   int w t.replays_dropped;
   int w t.audits_completed;
   int w t.messages_in;
-  int w t.messages_out
+  int w t.messages_out;
+  int_array w t.rejects
 
 let restore_state r t =
   let open Persist.Codec.R in
@@ -387,7 +430,11 @@ let restore_state r t =
   t.replays_dropped <- int r;
   t.audits_completed <- int r;
   t.messages_in <- int r;
-  t.messages_out <- int r
+  t.messages_out <- int r;
+  let rejects = int_array r in
+  if Array.length rejects <> n_reject_reasons then
+    corrupt r "Bank: reject counter size mismatch";
+  Array.blit rejects 0 t.rejects 0 n_reject_reasons
 
 type stats = {
   buys : int;
@@ -397,7 +444,11 @@ type stats = {
   audits_completed : int;
   messages_in : int;
   messages_out : int;
+  rejects : (reject * int) list;
 }
+
+let reject_counts rejects =
+  List.map (fun reason -> (reason, rejects.(reject_index reason))) all_rejects
 
 let stats (t : t) =
   {
@@ -408,4 +459,5 @@ let stats (t : t) =
     audits_completed = t.audits_completed;
     messages_in = t.messages_in;
     messages_out = t.messages_out;
+    rejects = reject_counts t.rejects;
   }

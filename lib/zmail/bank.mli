@@ -27,6 +27,37 @@ type config = {
 val default_config : n_isps:int -> compliant:bool array -> config
 (** Accounts of 1,000,000 real pennies; hardened. *)
 
+type reject =
+  | Unknown_isp  (** Sender index out of range. *)
+  | Non_compliant  (** Sender is not in the compliant set. *)
+  | Unreadable
+      (** Unseal or decode failed: forged, bit-flipped, cross-signed
+          (sealed to some other key) or garbage bytes. *)
+  | Foreign_bank
+      (** Federation only: sealed to another member bank's key (the
+          recipient id names a real member that is not the sender's
+          home bank). *)
+  | Replayed
+      (** Federation only: a buy/sell nonce already served.  The
+          single bank answers replays from its reply cache instead
+          (counted in [replays_dropped], not here). *)
+  | Wrong_state
+      (** An audit reply when no audit is running, for a stale round,
+          or through the wrong entry point. *)
+  | Wrong_direction
+      (** A bank-origin payload (replies, audit requests, clearing
+          transfers) arriving on the ISP-to-bank path. *)
+
+val all_rejects : reject list
+(** Every reason once, in {!reject_index} order. *)
+
+val n_reject_reasons : int
+
+val reject_index : reject -> int
+(** Stable dense index, for tables and counters. *)
+
+val reject_to_string : reject -> string
+
 type t
 
 val create : Sim.Rng.t -> config -> t
@@ -63,7 +94,10 @@ type response =
   | Reply of Wire.signed  (** Send this back to the originating ISP. *)
   | Audit_progress  (** Audit reply stored; more outstanding. *)
   | Audit_complete of audit_result
-  | Rejected of string  (** Forgery, replay, wrong state, or garbage. *)
+  | Rejected of reject
+      (** Forgery, replay, wrong state, or garbage — see {!reject}.
+          Each rejection increments the matching per-reason counter in
+          {!stats}. *)
 
 val on_isp_message : t -> from_isp:int -> Toycrypto.Seal.sealed -> response
 (** Handle a sealed ISP-origin message. *)
@@ -75,6 +109,14 @@ val start_audit : ?except:int list -> t -> (int * Wire.signed) list
     partition-severed ISPs: the round completes without them and the
     bank's carry matrix reconciles their later cumulative report
     against what the reporters claimed this round.
+
+    The carry matrix is a {e per-bank} device: it reconciles rounds run
+    through this bank's own [start_audit].  A federation-global audit
+    ({!Federation.start_audit}) addresses every member synchronously
+    and verifies the merged matrix directly, so it neither consumes nor
+    feeds any member bank's carry; mixing per-bank quorum rounds with
+    federation-global rounds over the same ISPs would double-count the
+    carried claims and is not supported.
     @raise Invalid_argument if an audit is already in progress, or if
     [except] covers every compliant ISP (defer the round instead). *)
 
@@ -114,6 +156,10 @@ type stats = {
   audits_completed : int;
   messages_in : int;
   messages_out : int;
+  rejects : (reject * int) list;
+      (** Messages turned away, by reason, in {!reject_index} order —
+          forgery ([Unreadable]) is distinguishable from replay and
+          wrong-state traffic. *)
 }
 
 val stats : t -> stats

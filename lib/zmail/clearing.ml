@@ -1,0 +1,165 @@
+(* Mesh-routed inter-bank clearing: the production path behind
+   [Federation.settle].  A settlement round plans its transfers
+   ([Federation.settle_plan]), signs each one and pushes it through a
+   [Sim.Fault.Mesh] link — possibly lossy, delaying, partitioned, or
+   owned by an [Adversary.Bank_wire] tap.  The sender retransmits with
+   capped exponential backoff until the receiving bank's signed ack
+   comes back; the receiver applies each transfer exactly once (xfer-id
+   dedup) and re-acks duplicates.  Money moves atomically at delivery,
+   so federation cash is conserved at every instant; an undelivered
+   transfer is carry ([pending_amount]), drained by retries once the
+   mesh heals. *)
+
+type pending = {
+  xfer_id : int;
+  from_bank : int;
+  to_bank : int;
+  amount : int;
+  msg : Wire.signed;
+  mutable acked : bool;
+}
+
+type t = {
+  fed : Federation.t;
+  engine : Sim.Engine.t;
+  mesh : Sim.Fault.Mesh.t;
+  taps : ((int * int) * Adversary.Bank_wire.t) list;
+  retry_timeout : float;
+  retry_backoff : float;
+  retry_cap : float;
+  mutable pending : pending list;  (* oldest first; acked entries pruned *)
+  mutable messages : int;  (* transfers + acks offered to the wire, retransmits included *)
+  mutable rounds : int;
+}
+
+let create ?(taps = []) ?(retry_timeout = 600.) ?(retry_backoff = 2.)
+    ?(retry_cap = 7200.) ~engine ~mesh fed =
+  let n = Federation.n_banks fed in
+  if Sim.Fault.Mesh.n_nodes mesh < n then
+    invalid_arg "Clearing.create: mesh smaller than the federation";
+  if retry_timeout <= 0. || retry_backoff < 1. || retry_cap < retry_timeout then
+    invalid_arg "Clearing.create: invalid retry parameters";
+  List.iter
+    (fun ((a, b), _) ->
+      if a < 0 || a >= n || b < 0 || b >= n || a = b then
+        invalid_arg "Clearing.create: tap endpoints out of range")
+    taps;
+  { fed; engine; mesh; taps; retry_timeout; retry_backoff; retry_cap;
+    pending = []; messages = 0; rounds = 0 }
+
+let federation t = t.fed
+let messages t = t.messages
+let rounds t = t.rounds
+
+let tap t ~src ~dst = List.assoc_opt (src, dst) t.taps
+
+(* One mesh session from [src] to [dst]; [`Delayed] re-attempts after
+   the wait without consuming a retry (same contract as the ISP-bank
+   path in [World]). *)
+let rec via_mesh t ~src ~dst k =
+  match Sim.Fault.Mesh.attempt t.mesh ~src ~dst with
+  | `Deliver -> k ()
+  | `Delayed d ->
+      ignore
+        (Sim.Engine.schedule_after t.engine ~delay:d (fun () ->
+             via_mesh t ~src ~dst k))
+  | `Lost -> ()
+
+let mark_acked t xfer_id =
+  List.iter (fun p -> if p.xfer_id = xfer_id then p.acked <- true) t.pending
+
+(* Ack path: receiving bank -> originating bank, through its own
+   directed tap and mesh link.  Acks are not themselves retransmitted;
+   a lost ack is recovered by the transfer retransmit, which the
+   receiver answers with a fresh ack. *)
+let send_ack t ~from_bank ~to_bank ack =
+  let deliver msg =
+    via_mesh t ~src:to_bank ~dst:from_bank (fun () ->
+        match Federation.receive_ack t.fed ~to_bank msg with
+        | Ok xfer_id -> mark_acked t xfer_id
+        | Error _ -> ())
+  in
+  t.messages <- t.messages + 1;
+  match tap t ~src:to_bank ~dst:from_bank with
+  | None -> deliver ack
+  | Some adv -> (
+      match
+        Adversary.Bank_wire.on_signed adv ~kind:Adversary.Bank_wire.Clearing_msg ack
+      with
+      | Adversary.Bank_wire.S_pass -> deliver ack
+      | Adversary.Bank_wire.S_drop -> ()
+      | Adversary.Bank_wire.S_delay d ->
+          ignore (Sim.Engine.schedule_after t.engine ~delay:d (fun () -> deliver ack))
+      | Adversary.Bank_wire.S_inject extra ->
+          deliver extra;
+          deliver ack)
+
+(* Forward path: the banks are read from the (signed) payload, so an
+   injected replay of an old transfer is delivered — and deduped — on
+   its own terms, and a forged copy fails signature verification inside
+   [receive_transfer]. *)
+let deliver_transfer t msg =
+  match msg.Wire.payload with
+  | Wire.Transfer { from_bank; to_bank; _ } ->
+      via_mesh t ~src:from_bank ~dst:to_bank (fun () ->
+          match Federation.receive_transfer t.fed msg with
+          | Ok (_, ack) -> send_ack t ~from_bank ~to_bank ack
+          | Error _ -> ())
+  | _ -> ()
+
+let rec transmit t p ~timeout =
+  if not p.acked then begin
+    t.messages <- t.messages + 1;
+    (match tap t ~src:p.from_bank ~dst:p.to_bank with
+    | None -> deliver_transfer t p.msg
+    | Some adv -> (
+        match
+          Adversary.Bank_wire.on_signed adv
+            ~kind:Adversary.Bank_wire.Clearing_msg p.msg
+        with
+        | Adversary.Bank_wire.S_pass -> deliver_transfer t p.msg
+        | Adversary.Bank_wire.S_drop -> ()
+        | Adversary.Bank_wire.S_delay d ->
+            ignore
+              (Sim.Engine.schedule_after t.engine ~delay:d (fun () ->
+                   deliver_transfer t p.msg))
+        | Adversary.Bank_wire.S_inject extra ->
+            deliver_transfer t extra;
+            deliver_transfer t p.msg));
+    ignore
+      (Sim.Engine.schedule_after t.engine ~delay:timeout (fun () ->
+           transmit t p
+             ~timeout:(Float.min (timeout *. t.retry_backoff) t.retry_cap)))
+  end
+
+(* Obligations issued but (as far as the planner can tell) not yet
+   executed: unacked and not recorded at the destination's dedup
+   table. *)
+let in_flight t =
+  List.filter
+    (fun p ->
+      (not p.acked)
+      && not (Federation.transfer_applied t.fed ~to_bank:p.to_bank ~xfer_id:p.xfer_id))
+    t.pending
+
+let pending_count t = List.length (List.filter (fun p -> not p.acked) t.pending)
+let pending_amount t = List.fold_left (fun acc p -> acc + p.amount) 0 (in_flight t)
+
+let settle_round ?(exclude = []) t =
+  t.rounds <- t.rounds + 1;
+  t.pending <- List.filter (fun p -> not p.acked) t.pending;
+  let carried =
+    List.map (fun p -> (p.from_bank, p.to_bank, p.amount)) (in_flight t)
+  in
+  let plan = Federation.settle_plan ~exclude ~in_flight:carried t.fed in
+  List.iter
+    (fun (from_bank, to_bank, amount) ->
+      let xfer_id = Federation.next_xfer_id t.fed in
+      let msg =
+        Federation.sign_transfer t.fed ~from_bank ~to_bank ~amount ~xfer_id
+      in
+      let p = { xfer_id; from_bank; to_bank; amount; msg; acked = false } in
+      t.pending <- t.pending @ [ p ];
+      transmit t p ~timeout:t.retry_timeout)
+    plan;
+  plan

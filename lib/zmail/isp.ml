@@ -445,8 +445,10 @@ let on_bank_message t signed =
             Start_snapshot_timer
           end
           else No_reaction
-      | Wire.Buy _ | Wire.Sell _ | Wire.Audit_reply _ ->
-          (* ISP-origin payloads signed by the bank make no sense. *)
+      | Wire.Buy _ | Wire.Sell _ | Wire.Audit_reply _
+      | Wire.Transfer _ | Wire.Transfer_ack _ ->
+          (* ISP-origin and bank-to-bank payloads signed by the bank
+             make no sense at an ISP. *)
           No_reaction)
 
 let thaw t =

@@ -5,6 +5,8 @@ type payload =
   | Sell_reply of { nonce : int64 }
   | Audit_request of { seq : int }
   | Audit_reply of { isp : int; seq : int; credit : int array }
+  | Transfer of { from_bank : int; to_bank : int; amount : Epenny.amount; xfer_id : int }
+  | Transfer_ack of { xfer_id : int }
 
 let encode = function
   | Buy { amount; nonce } -> Printf.sprintf "buy %d %Ld" amount nonce
@@ -16,6 +18,9 @@ let encode = function
   | Audit_reply { isp; seq; credit } ->
       Printf.sprintf "reply %d %d %s" isp seq
         (String.concat "," (Array.to_list (Array.map string_of_int credit)))
+  | Transfer { from_bank; to_bank; amount; xfer_id } ->
+      Printf.sprintf "transfer %d %d %d %d" from_bank to_bank amount xfer_id
+  | Transfer_ack { xfer_id } -> Printf.sprintf "transferack %d" xfer_id
 
 let decode s =
   let fail () = Error (Printf.sprintf "Wire.decode: cannot parse %S" s) in
@@ -49,6 +54,20 @@ let decode s =
             Ok (Audit_reply { isp; seq; credit = Array.of_list parsed })
           else fail ())
       | _ -> fail ())
+  | [ "transfer"; from_bank; to_bank; amount; xfer_id ] -> (
+      match
+        ( int_of_string_opt from_bank,
+          int_of_string_opt to_bank,
+          int_of_string_opt amount,
+          int_of_string_opt xfer_id )
+      with
+      | Some from_bank, Some to_bank, Some amount, Some xfer_id when amount >= 0 ->
+          Ok (Transfer { from_bank; to_bank; amount; xfer_id })
+      | _ -> fail ())
+  | [ "transferack"; xfer_id ] -> (
+      match int_of_string_opt xfer_id with
+      | Some xfer_id -> Ok (Transfer_ack { xfer_id })
+      | None -> fail ())
   | _ -> fail ()
 
 (* Binary codec for snapshots and durable ISP images.  The textual
@@ -81,6 +100,15 @@ let encode_bin w p =
       int w isp;
       int w seq;
       int_array w credit
+  | Transfer { from_bank; to_bank; amount; xfer_id } ->
+      u8 w 6;
+      int w from_bank;
+      int w to_bank;
+      int w amount;
+      int w xfer_id
+  | Transfer_ack { xfer_id } ->
+      u8 w 7;
+      int w xfer_id
 
 let decode_bin r =
   let open Persist.Codec.R in
@@ -106,6 +134,14 @@ let decode_bin r =
       let seq = int r in
       let credit = int_array r in
       Audit_reply { isp; seq; credit }
+  | 6 ->
+      let from_bank = int r in
+      let to_bank = int r in
+      let amount = int r in
+      let xfer_id = int r in
+      if amount < 0 then corrupt r "Wire: negative transfer amount";
+      Transfer { from_bank; to_bank; amount; xfer_id }
+  | 7 -> Transfer_ack { xfer_id = int r }
   | tag -> corrupt r (Printf.sprintf "Wire: unknown payload tag %d" tag)
 
 type signed = { payload : payload; signature : int }

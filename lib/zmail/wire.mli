@@ -6,7 +6,11 @@
       it;
     - bank → ISP traffic ([buyreply], [sellreply], audit requests) is
       {e signed} with the bank's private key ([NCR(R_p, …)]), so every
-      ISP can check its origin.
+      ISP can check its origin;
+    - bank → bank clearing traffic ([transfer], [transferack]) is
+      {e signed} by the originating member bank and verified with that
+      bank's public key, so a tampered or forged transfer is rejected
+      rather than mis-applied.
 
     Payloads have an explicit textual encoding (no [Marshal]), so a
     tampered byte is a parse failure, not undefined behaviour. *)
@@ -18,6 +22,12 @@ type payload =
   | Sell_reply of { nonce : int64 }
   | Audit_request of { seq : int }
   | Audit_reply of { isp : int; seq : int; credit : int array }
+  | Transfer of { from_bank : int; to_bank : int; amount : Epenny.amount; xfer_id : int }
+      (** Bank → bank clearing transfer (§5): signed by [from_bank],
+          applied exactly once at [to_bank] (dedup on [xfer_id]). *)
+  | Transfer_ack of { xfer_id : int }
+      (** Bank → bank receipt, signed by the receiving bank; the sender
+          retransmits the transfer until acked. *)
 
 val encode : payload -> string
 val decode : string -> (payload, string) result

@@ -24,6 +24,7 @@ type config = {
   mesh_default : Sim.Fault.plan;
   mesh_links : ((int * int) * Sim.Fault.plan) list;
   partitions : Sim.Fault.Mesh.partition list;
+  bank_wire : (int * Adversary.Bank_wire.wire_behavior) list;
   audit_unreachable : [ `Defer | `Quorum of float ];
   retry_timeout : float;
   retry_backoff : float;
@@ -53,6 +54,7 @@ let default_config ~n_isps ~users_per_isp =
     mesh_default = Sim.Fault.reliable;
     mesh_links = [];
     partitions = [];
+    bank_wire = [];
     audit_unreachable = `Quorum 0.5;
     retry_timeout = 5.;
     retry_backoff = 2.;
@@ -112,6 +114,7 @@ type t = {
   fault : Sim.Fault.t;  (* the ISP<->bank link fault model *)
   mesh : Sim.Fault.Mesh.t;  (* per-link faults + partitions; bank = node n_isps *)
   mutable adversaries : (int * Adversary.t) list;  (* by ISP, registration order *)
+  bank_taps : (int * Adversary.Bank_wire.t) list;  (* ISP->bank wire adversaries *)
   up : bool array;  (* false while an ISP is crashed *)
   crash_gen : int array;  (* bumped per crash; invalidates stale timers *)
   link : link_stats;
@@ -130,6 +133,7 @@ let counters t = t.stats
 let fault t = t.fault
 let mesh t = t.mesh
 let adversaries t = t.adversaries
+let bank_wire_taps t = t.bank_taps
 let link_stats t = t.link
 let isp_up t i = t.up.(i)
 let deferral_delay t = t.deferral
@@ -273,7 +277,31 @@ let rec retry_loop t ~send ~still ~timeout =
            end))
   end
 
-let rec to_bank t i sealed =
+(* The ISP->bank hop, from the top: a configured [Bank_wire] tap sees
+   the envelope first (it owns the wire, so it acts before the mesh and
+   fault layers get a say).  A forged or replayed copy travels the same
+   degraded path as the original — injection does not bypass loss. *)
+let rec to_bank t ~kind i sealed =
+  match List.assoc_opt i t.bank_taps with
+  | None -> bank_link t i sealed
+  | Some tap -> (
+      match Adversary.Bank_wire.on_sealed tap ~kind sealed with
+      | Adversary.Bank_wire.Pass -> bank_link t i sealed
+      | Adversary.Bank_wire.Drop ->
+          wev t ~actor:i "bankwire_drop"
+            [ ("kind", Obs.Trace.Str (Adversary.Bank_wire.kind_name kind)) ]
+      | Adversary.Bank_wire.Delay d ->
+          wev t ~actor:i "bankwire_delay" [ ("delay", Obs.Trace.Float d) ];
+          ignore
+            (Sim.Engine.schedule_after t.engine ~delay:d (fun () ->
+                 bank_link t i sealed))
+      | Adversary.Bank_wire.Inject extra ->
+          wev t ~actor:i "bankwire_inject"
+            [ ("kind", Obs.Trace.Str (Adversary.Bank_wire.kind_name kind)) ];
+          bank_link t i extra;
+          bank_link t i sealed)
+
+and bank_link t i sealed =
   via_mesh t ~src:i ~dst:(bank_node t) @@ fun () ->
   Sim.Fault.route t.fault ~corrupt:Toycrypto.Seal.flip_bit
     (fun sealed ->
@@ -300,7 +328,8 @@ let rec to_bank t i sealed =
                     exchange if it mattered. *)
                  Log.debug (fun m ->
                      m "t=%.0f bank rejected message from isp %d: %s"
-                       (Sim.Engine.now t.engine) i reason);
+                       (Sim.Engine.now t.engine) i
+                       (Bank.reject_to_string reason));
                  Sim.Stats.Counter.incr t.link.bank_rejects)))
     sealed
 
@@ -346,7 +375,10 @@ and bank_message_to_isp t i signed =
                      | None -> false
                    in
                    retry_loop t
-                     ~send:(fun () -> if t.up.(i) then to_bank t i reply)
+                     ~send:(fun () ->
+                       if t.up.(i) then
+                         to_bank t ~kind:Adversary.Bank_wire.Audit_reply_msg i
+                           reply)
                      ~still ~timeout:t.cfg.retry_timeout;
                    flush_deferred t i
                  end)))
@@ -369,16 +401,18 @@ let pool_tick t i kernel =
   match Isp.pool_action kernel with
   | None -> ()
   | Some sealed ->
-      let still =
+      let still, kind =
         match (Isp.pending_buy_nonce kernel, Isp.pending_sell_nonce kernel) with
         | Some nonce, _ when Isp.pending_buy_nonce kernel <> buy_before ->
-            fun () -> Isp.pending_buy_nonce kernel = Some nonce
+            ( (fun () -> Isp.pending_buy_nonce kernel = Some nonce),
+              Adversary.Bank_wire.Buy_msg )
         | _, Some nonce when Isp.pending_sell_nonce kernel <> sell_before ->
-            fun () -> Isp.pending_sell_nonce kernel = Some nonce
-        | _ -> fun () -> false
+            ( (fun () -> Isp.pending_sell_nonce kernel = Some nonce),
+              Adversary.Bank_wire.Sell_msg )
+        | _ -> ((fun () -> false), Adversary.Bank_wire.Buy_msg)
       in
       retry_loop t
-        ~send:(fun () -> if t.up.(i) then to_bank t i sealed)
+        ~send:(fun () -> if t.up.(i) then to_bank t ~kind i sealed)
         ~still ~timeout:t.cfg.retry_timeout
 
 (* Start a §4.4 audit round, retransmitting each request until the
@@ -748,6 +782,29 @@ let create cfg =
       (fun acc k -> match k with Some k -> acc + Isp.total_epennies k | None -> acc)
       0 kernels
   in
+  (* Bank-wire taps: one per listed ISP, each on its own root-seeded
+     stream (like the fault and mesh models) so enabling a tap never
+     perturbs workload randomness.  A tapped ISP stays *honest* — the
+     adversary owns the wire, not the books, so its reports remain
+     trustworthy and any conviction of it is a false positive. *)
+  let bank_taps =
+    List.map
+      (fun (i, behavior) ->
+        if i < 0 || i >= cfg.n_isps then
+          invalid_arg "World.create: bank_wire tap index out of range";
+        if not cfg.compliant.(i) then
+          invalid_arg "World.create: bank_wire tap on a non-compliant ISP";
+        ( i,
+          Adversary.Bank_wire.create
+            (Sim.Rng.create (cfg.seed lxor 0x8b1e5 lxor (i * 0x2717)))
+            behavior ))
+      cfg.bank_wire
+  in
+  List.iteri
+    (fun n (i, _) ->
+      if List.exists (fun (j, _) -> i = j) (List.filteri (fun m _ -> m < n) bank_taps)
+      then invalid_arg "World.create: duplicate bank_wire tap")
+    bank_taps;
   let t =
     {
       cfg;
@@ -792,6 +849,7 @@ let create cfg =
           ~partitions:cfg.partitions ~n_nodes:(cfg.n_isps + 1) engine
           (Sim.Rng.create (cfg.seed lxor 0x3a7e5));
       adversaries = [];
+      bank_taps;
       up = Array.make cfg.n_isps true;
       crash_gen = Array.make cfg.n_isps 0;
       link =
@@ -1151,6 +1209,11 @@ let encode_world w t =
       int w i;
       Adversary.encode_state w adv)
     w t.adversaries;
+  list
+    (fun w (i, tap) ->
+      int w i;
+      Adversary.Bank_wire.encode_state w tap)
+    w t.bank_taps;
   array
     (fun w q -> list (fun w (time, _) -> float w time) w (List.of_seq (Queue.to_seq q)))
     w t.deferred;

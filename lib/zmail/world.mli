@@ -91,6 +91,16 @@ type config = {
   partitions : Sim.Fault.Mesh.partition list;
       (** Scheduled partition windows: while active, every cross-group
           attempt — mail or bank traffic — is lost. *)
+  bank_wire : (int * Adversary.Bank_wire.wire_behavior) list;
+      (** Per-ISP adversary taps on the ISP→bank wire (default none).
+          The tap sees every outbound buy/sell/audit-reply envelope
+          before the mesh and fault layers and may forge, replay,
+          reorder or selectively drop it ({!Adversary.Bank_wire}).  The
+          tapped ISP itself stays honest — its books and reports are
+          truthful; the adversary owns the link — so any audit
+          conviction of it is a false positive (E19 asserts zero).
+          Duplicate, out-of-range or non-compliant indices are
+          rejected by {!create}. *)
   audit_unreachable : [ `Defer | `Quorum of float ];
       (** Policy when an audit round starts while partition windows
           sever some compliant ISPs from the bank.  [`Defer] skips the
@@ -221,6 +231,11 @@ val register_adversary : t -> isp:int -> Adversary.t -> unit
 val adversaries : t -> (int * Adversary.t) list
 (** Registered adversaries in registration order. *)
 
+val bank_wire_taps : t -> (int * Adversary.Bank_wire.t) list
+(** The live bank-wire taps built from [cfg.bank_wire], in
+    configuration order — read their tamper counters
+    ({!Adversary.Bank_wire.forged} etc.) after a run. *)
+
 val crash_isp : t -> isp:int -> downtime:float -> unit
 (** Halt ISP [isp] now and restart it after [downtime] seconds.  While
     down: its MTA answers 421 (peers retry, then bounce — bounced paid
@@ -338,8 +353,9 @@ val capture : t -> (string * string) list
     ["engine"] (clock, counters, pending-event metadata, root RNG),
     ["rng"] (the world's own stream), ["fault"], ["mesh"], ["bank"],
     one ["isp/<i>"] per compliant kernel, ["world"] (mail counters,
-    audit history, crash state, link counters, adversary state,
-    deferred-send queue times) and ["trace"] (emission counters).
+    audit history, crash state, link counters, adversary and bank-wire
+    tap state, deferred-send queue times) and ["trace"] (emission
+    counters).
     Feed to {!Persist.Snapshot.v}.
 
     Event callbacks are closures and are deliberately not serialized:

@@ -29,7 +29,7 @@ let test_buy_at_home_bank () =
       with
       | Some (Zmail.Wire.Buy_reply { accepted = true; nonce = 1L }) -> ()
       | _ -> Alcotest.fail "expected an accepted buy reply signed by bank 0")
-  | Zmail.Federation.Rejected r -> Alcotest.fail r);
+  | Zmail.Federation.Rejected r -> Alcotest.fail (Zmail.Bank.reject_to_string r));
   Alcotest.(check int) "account debited" (1_000_000 - 500)
     (Zmail.Federation.account_balance t ~isp:0);
   Alcotest.(check int) "bank 0 outstanding" 500 (Zmail.Federation.outstanding t ~bank:0);
@@ -55,7 +55,7 @@ let test_replay_rejected () =
   let sealed = seal_to t ~isp:1 (Zmail.Wire.Buy { amount = 100; nonce = 3L }) in
   (match Zmail.Federation.on_isp_message t ~from_isp:1 sealed with
   | Zmail.Federation.Reply _ -> ()
-  | Zmail.Federation.Rejected r -> Alcotest.fail r);
+  | Zmail.Federation.Rejected r -> Alcotest.fail (Zmail.Bank.reject_to_string r));
   (match Zmail.Federation.on_isp_message t ~from_isp:1 sealed with
   | Zmail.Federation.Rejected _ -> ()
   | Zmail.Federation.Reply _ -> Alcotest.fail "replay must be rejected");
