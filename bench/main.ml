@@ -1,7 +1,7 @@
 (* Benchmark and experiment harness.
 
    Usage:
-     main.exe            run every experiment table (E1-E19) then the
+     main.exe            run every experiment table (E1-E20) then the
                          E12 micro-benchmarks
      main.exe e7         run one experiment
      main.exe micro      run only the micro-benchmarks
@@ -10,8 +10,9 @@
    Flags (experiment runs): --metrics appends each instrumented
    experiment's metric-registry table; --trace FILE records the event
    trace and writes it out (--trace-format jsonl|chrome); --json FILE
-   times every experiment (plus engine throughput, §4.4 audit-verify
-   cost at 100 and 1000 ISPs, inter-bank clearing at 4 and 16 member
+   times every experiment (plus engine throughput, the reduced E17
+   scale row, a serving-path E20 cell, §4.4 audit-verify cost at 100
+   and 1000 ISPs, inter-bank clearing at 4 and 16 member
    banks, and snapshot I/O) and writes a
    machine-readable report; --json with --full additionally runs the
    nightly-scale rows (E17 at a million users, the E18 grid at 100
@@ -325,6 +326,28 @@ let clearing_cost n_banks =
     failwith "bench: clearing carry did not drain";
   (seconds *. 1e3, Zmail.Clearing.messages clearing)
 
+(* The serving path at bench scale: one E20 cell near the service knee
+   (27 msg/s offered into 2-session lanes, calm mesh), timed end to
+   end — concurrent sessions, admission queues and SLO histograms all
+   on the hot path.  Like the e17_scale row: one run, generous CI
+   tolerance.  The cell's own paid-class p99 (simulated seconds) rides
+   along so baselines document the latency regime the row was timed
+   in, but the CI gate compares only events/sec. *)
+let latency_throughput () =
+  let outcome, seconds =
+    wall (fun () ->
+        Harness.E20_serving.run_cell ~seed:20 ~label:"bench" ~rate:27.
+          ~chaos:false ())
+  in
+  let paid_p99 =
+    match
+      List.assoc_opt Serve.Slo.Paid outcome.Harness.E20_serving.classes
+    with
+    | Some s -> s.Harness.E20_serving.p99
+    | None -> nan
+  in
+  (outcome.Harness.E20_serving.events, seconds, paid_p99)
+
 (* Snapshot write/read bandwidth over a populated world image. *)
 let snapshot_io () =
   let world =
@@ -398,6 +421,7 @@ let run_json ~path ~obs ~full =
   let scale_users, scale_isps, scale_events, scale_s, scale_alloc, peak_words =
     scale_throughput ()
   in
+  let latency_events, latency_s, latency_paid_p99 = latency_throughput () in
   let snap_bytes, write_mb_s, read_mb_s = snapshot_io () in
   let verify_100_us = audit_verify_cost 100 in
   let verify_1000_us = audit_verify_cost 1000 in
@@ -446,6 +470,13 @@ let run_json ~path ~obs ~full =
        scale_alloc peak_words);
   Buffer.add_string b
     (Printf.sprintf
+       "  \"latency\": { \"events\": %d, \"wall_s\": %.6f, \
+        \"events_per_sec\": %.0f, \"paid_p99_s\": %.3f },\n"
+       latency_events latency_s
+       (float_of_int latency_events /. latency_s)
+       latency_paid_p99);
+  Buffer.add_string b
+    (Printf.sprintf
        "  \"audit_verify\": { \"n100_us_per_round\": %.2f, \
         \"n1000_us_per_round\": %.2f },\n"
        verify_100_us verify_1000_us);
@@ -489,7 +520,7 @@ let list_experiments () =
   print_endline "micro (E12: protocol micro-benchmarks)"
 
 let usage =
-  "usage: main.exe [e1..e19|micro|list] [--metrics] [--trace FILE] \
+  "usage: main.exe [e1..e20|micro|list] [--metrics] [--trace FILE] \
    [--trace-format jsonl|chrome] [--json FILE] [--full] \
    [--checkpoint-every T] [--snapshot FILE] [--resume FILE] [--stop-at T]"
 

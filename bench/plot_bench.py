@@ -3,17 +3,23 @@
 
 Reads every bench/BENCH_*.json (sorted by filename, which embeds the
 date), plus any extra report paths given on the command line, and
-prints one trend table: the headline series (engine and e17_scale
-events/sec, allocation per event, peak heap, snapshot bandwidth,
-audit-verify cost, clearing settle cost and message count) as
-columns, one row per baseline, with the percent
-delta from the previous row in parentheses.
+prints one trend table: the headline series (engine, e17_scale and
+serving-path latency events/sec, allocation per event, peak heap,
+the latency cell's paid-class p99, snapshot bandwidth, audit-verify
+cost, clearing settle cost and message count) as columns, one row
+per baseline, with the percent delta from the previous row in
+parentheses.
 
 Pure stdlib, no matplotlib: the output is a table, not a picture, so
 it works in CI logs and terminals.  Keys absent from older schemas
-(audit_verify appeared in schema 2, clearing later in schema 2)
-render as "-" rather than failing, so the tool can always read the
-whole history.
+(audit_verify appeared in schema 2, clearing later in schema 2, the
+latency row later still) render as an em-dash cell rather than
+failing, so the tool can always read the whole history — a baseline
+recorded before a series existed is simply blank in that column, and
+the percent delta resumes from the first baseline that has it.  A
+value a formatter cannot render (e.g. a hand-edited report turning a
+count into a float) falls back to repr instead of aborting the
+report.
 
 Usage:
     python3 bench/plot_bench.py [extra_report.json ...]
@@ -39,6 +45,8 @@ SERIES = [
     # (column header, formatter, path into the report)
     ("engine ev/s", "{:,.0f}", ("engine", "events_per_sec")),
     ("e17 ev/s", "{:,.0f}", ("e17_scale", "events_per_sec")),
+    ("latency ev/s", "{:,.0f}", ("latency", "events_per_sec")),
+    ("paid p99 s", "{:.3f}", ("latency", "paid_p99_s")),
     ("alloc w/ev", "{:.1f}", ("e17_scale", "alloc_words_per_event")),
     ("peak heap Mw", "{:.1f}", ("e17_scale", "peak_heap_words")),
     ("snap write MB/s", "{:.1f}", ("snapshot", "write_mb_per_s")),
@@ -61,12 +69,23 @@ def load(path):
         return None
 
 
+MISSING = "—"  # em dash: "this baseline predates the series"
+
+
 def cell(fmt, value, previous):
     if value is None:
-        return "-"
-    text = fmt.format(value)
+        return MISSING
+    try:
+        text = fmt.format(value)
+    except (ValueError, TypeError):
+        # A report whose value type no longer matches the formatter
+        # (schema drift, hand-edited file) still renders.
+        text = repr(value)
     if previous not in (None, 0):
-        text += " ({:+.1f}%)".format(100.0 * (value - previous) / previous)
+        try:
+            text += " ({:+.1f}%)".format(100.0 * (value - previous) / previous)
+        except TypeError:
+            pass
     return text
 
 

@@ -49,7 +49,8 @@ let full_arg =
 let checkpoint_every_arg =
   let doc =
     "Write a world snapshot to the $(b,--snapshot) file every $(docv) \
-     simulated seconds (E2, E3, E16, E17, E18 and E19's world grid only)."
+     simulated seconds (E2, E3, E16, E17, E18, E19 and E20's world grid \
+     only)."
   in
   Arg.(value & opt (some float) None & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
 
@@ -163,7 +164,7 @@ let setup_logs level =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id: e1..e19, or 'all'." in
+    let doc = "Experiment id: e1..e20, or 'all'." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
   let term =

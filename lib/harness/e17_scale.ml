@@ -113,6 +113,7 @@ let run_scale ?tracer ?(persist = Checkpoint.none) ~seed ~n_isps ~users_per_isp
     | Zmail.World.Submitted `Free -> incr free
     | Zmail.World.Deferred_snapshot -> incr deferred
     | Zmail.World.Failed_down -> incr failed
+    | Zmail.World.Backpressured -> incr failed
     | Zmail.World.Rejected _ -> incr blocked
   in
   (* The workload is a fixed budget of sends spread over [days] by a

@@ -192,7 +192,7 @@ let run_cell ~tracer ~persist ~seed ~n_isps ~users_per_isp ~sends_per_user
     with
     | Zmail.World.Submitted `Paid -> incr paid
     | Zmail.World.Submitted `Free | Zmail.World.Deferred_snapshot
-    | Zmail.World.Failed_down
+    | Zmail.World.Failed_down | Zmail.World.Backpressured
     | Zmail.World.Rejected _ ->
         ()
   in

@@ -1,0 +1,308 @@
+(* E20: serving-path tail latency under offered load — the knee of the
+   admission/session machinery measured, clean and under mesh chaos.
+
+   Every cell is a fresh 4-ISP world with the serving path enabled
+   ([World.config.serving]): remote deliveries flow through bounded
+   per-lane admission queues into at most [max_sessions] concurrent
+   phase-by-phase SMTP sessions, and every completion records its
+   first-admission-to-completion latency into a per-class histogram
+   ({!Serve.Slo}).  A fleet of Poisson generators offers a fixed send
+   budget at a swept aggregate rate: well below the lanes' service
+   capacity, at it, and beyond it.  The chaos variant additionally runs
+   the same sweep over a lossy mesh ([Sim.Fault.Mesh]): lost
+   connections tempfail at session open, re-enter admission through the
+   MTA's capped-backoff retry queue, and pile onto already-full lanes —
+   the retry-storm regime where the tail collapses first.
+
+   What each cell must show:
+   - the knee: p99/p999 grow modestly until offered load crosses the
+     service capacity, then the queue saturates — admissions refuse
+     (backpressure, paid sends refunded) and the Retried/Bounced
+     classes fill;
+   - conservation: backpressure refunds, retry bounces and chaos
+     refunds all unwind exactly — the e-penny residue is zero in every
+     cell (no cheater exists here);
+   - one non-compliant ISP keeps the Unpaid class populated, so the
+     per-class split itself is exercised.
+
+   Wall-clock cost of the serving path is measured separately by
+   bench/main.exe --json (the [latency] row) via {!run_cell}, mirroring
+   how E17 feeds the [e17_scale] row. *)
+
+let day = Sim.Engine.day
+
+let n_isps = 4
+let users_per_isp = 25
+let noncompliant = 3  (* its mail is unpaid: populates the Unpaid class *)
+let generators = 16
+let duration = 300.  (* seconds of offered load per cell *)
+
+(* Slow, high-variance round trips make a session take ~1 s (6 RTTs +
+   body wire time), so two sessions per lane across 12 remote lanes
+   saturate near 30 msg/s aggregate — a knee the sweep can actually
+   cross within a 300 s cell. *)
+let serve_config =
+  {
+    Serve.Config.default with
+    Serve.Config.queue_depth = 16;
+    max_sessions = 2;
+    rtt = (fun rng -> 0.05 +. Sim.Dist.exponential rng ~rate:8.);
+    bytes_per_sec = 20_000.;
+    sample_period = 30.;
+  }
+
+let chaos_plan = Sim.Fault.plan ~drop:0.08 ~delay_prob:0.15 ~delay_max:5.0 ()
+
+(* Offered aggregate send rates (msg/s); ~3/4 of sends are remote and
+   the 12 remote lanes serve ~2 sessions/s each, so the knee sits near
+   the "1.2x" row.  [full] pushes one row deeper into overload. *)
+let loads ~full =
+  [ ("0.3x", 9.); ("0.6x", 18.); ("0.9x", 27.); ("1.2x", 36.) ]
+  @ if full then [ ("1.5x", 45.) ] else []
+
+type class_stat = { count : int; p50 : float; p99 : float; p999 : float }
+
+type outcome = {
+  load : string;
+  rate : float;
+  chaos : bool;
+  attempts : int;
+  paid : int;
+  free : int;
+  backpressured : int;
+  blocked : int;
+  deferred : int;
+  sessions : int;
+  delivered : int;
+  classes : (Serve.Slo.klass * class_stat) list;
+  residue : int;
+  events : int;
+  metrics : Sim.Table.t;
+}
+
+let run_cell ?tracer ?(persist = Checkpoint.none) ~seed ~label ~rate ~chaos () =
+  let compliant = Array.init n_isps (fun i -> i <> noncompliant) in
+  let world =
+    Zmail.World.create
+      {
+        (Zmail.World.default_config ~n_isps ~users_per_isp) with
+        Zmail.World.seed;
+        compliant;
+        serving = Some serve_config;
+        mesh_default = (if chaos then chaos_plan else Sim.Fault.reliable);
+        (* One audit lands mid-cell (short freeze: the cell is 300 s,
+           not a day), so snapshot freezes, deferred sends and the
+           antisymmetry checker all run against the serving path. *)
+        audit_period = Some 150.;
+        freeze_duration = 5.;
+        (* Lean pools checked every minute keep the §4.3 buy/sell loop
+           live inside a 300 s cell — traffic for the exactly-once
+           checker (the E16 idiom at cell scale). *)
+        pool_check_period = 60.;
+        customize_isp =
+          (fun _ cfg ->
+            {
+              cfg with
+              Zmail.Isp.initial_avail = 10;
+              minavail = 20;
+              buy_amount = 100;
+              maxavail = 120;
+            });
+        tracer;
+      }
+  in
+  let checkers = Zmail.World.attach_invariants world in
+  let engine = Zmail.World.engine world in
+  let rng = Sim.Engine.rng engine in
+  let universe = n_isps * users_per_isp in
+  let of_global g = (g / users_per_isp, g mod users_per_isp) in
+  let attempts = ref 0 in
+  let paid = ref 0 in
+  let free = ref 0 in
+  let backpressured = ref 0 in
+  let blocked = ref 0 in
+  let send () =
+    let g = Sim.Dist.uniform_int rng ~lo:0 ~hi:(universe - 1) in
+    let t = Sim.Dist.uniform_int rng ~lo:0 ~hi:(universe - 2) in
+    let t = if t >= g then t + 1 else t in
+    incr attempts;
+    match Zmail.World.send_email world ~from:(of_global g) ~to_:(of_global t) () with
+    | Zmail.World.Submitted `Paid -> incr paid
+    | Zmail.World.Submitted `Free -> incr free
+    | Zmail.World.Backpressured -> incr backpressured
+    | Zmail.World.Rejected _ -> incr blocked
+    | Zmail.World.Deferred_snapshot | Zmail.World.Failed_down -> ()
+  in
+  (* A fixed budget (deterministic cell size) offered over the first
+     90% of [duration] by self-rescheduling Poisson generators — the
+     same heap-flat shape as E17's workload. *)
+  let total_sends = int_of_float (rate *. duration) in
+  let n_gen = Stdlib.min generators total_sends in
+  let per_gen = total_sends / n_gen in
+  let gen_rate = float_of_int per_gen /. (0.9 *. duration) in
+  for i = 0 to n_gen - 1 do
+    let budget = per_gen + (if i < total_sends mod n_gen then 1 else 0) in
+    let rec step remaining () =
+      if remaining > 0 then begin
+        send ();
+        ignore
+          (Sim.Engine.schedule_after engine
+             ~delay:(Sim.Dist.exponential rng ~rate:gen_rate)
+             (step (remaining - 1)))
+      end
+    in
+    ignore
+      (Sim.Engine.schedule_after engine ~delay:(float_of_int i *. 0.37)
+         (step budget))
+  done;
+  (try
+     Checkpoint.drive persist ~label ~world ~days:(duration /. day) ();
+     (* Drain: in-flight sessions, backoff chains and bounce refunds
+        all settle before anything is measured. *)
+     Zmail.World.run_until_quiet world;
+     Zmail.World.check_invariants ~quiescent:true world
+   with Obs.Invariant.Violation v ->
+     Format.eprintf "%a@." Obs.Invariant.pp_violation v;
+     raise (Obs.Invariant.Violation v));
+  List.iter
+    (fun c ->
+      if Obs.Invariant.checks c = 0 then
+        failwith ("E20: checker " ^ Obs.Invariant.name c ^ " never ran");
+      Obs.Invariant.detach c)
+    checkers;
+  let dispatch =
+    match Zmail.World.serve world with
+    | Some d -> d
+    | None -> failwith "E20: serving path not attached"
+  in
+  let slo = Serve.Dispatch.slo dispatch in
+  let residue = Zmail.World.epenny_residue world in
+  if residue <> 0 then
+    failwith
+      (Printf.sprintf "E20: cell %s%s leaked %d e-pennies" label
+         (if chaos then " (chaos)" else "")
+         residue);
+  let c = Zmail.World.counters world in
+  {
+    load = label;
+    rate;
+    chaos;
+    attempts = !attempts;
+    paid = !paid;
+    free = !free;
+    backpressured = !backpressured;
+    blocked = !blocked;
+    deferred = Serve.Dispatch.deferred dispatch;
+    sessions = Serve.Dispatch.sessions_started dispatch;
+    delivered = c.Zmail.World.ham_delivered;
+    classes =
+      List.map
+        (fun k ->
+          ( k,
+            {
+              count = Serve.Slo.count slo k;
+              p50 = Serve.Slo.quantile slo k 0.5;
+              p99 = Serve.Slo.quantile slo k 0.99;
+              p999 = Serve.Slo.quantile slo k 0.999;
+            } ))
+        Serve.Slo.classes;
+    residue;
+    events = Sim.Engine.events_fired engine;
+    metrics = Obs.Metrics.to_table (Zmail.World.metrics world);
+  }
+
+let cell_label ~load ~chaos = load ^ if chaos then "/chaos" else "/calm"
+
+let fmt_q s = if Float.is_nan s then "-" else Printf.sprintf "%.3f" s
+
+let run ?obs ?persist ?(seed = 20) ?(full = false) () =
+  let obs = Option.value obs ~default:Obs.Run.none in
+  let persist = Option.value persist ~default:Checkpoint.none in
+  let tracer = Obs.Run.tracer_or obs ~capacity:512 in
+  let cells =
+    List.concat_map
+      (fun chaos -> List.map (fun l -> (l, chaos)) (loads ~full))
+      [ false; true ]
+  in
+  let outcomes =
+    List.mapi
+      (fun k ((load, rate), chaos) ->
+        run_cell ~tracer ~persist ~seed:(seed + k)
+          ~label:(cell_label ~load ~chaos) ~rate ~chaos ())
+      cells
+  in
+  let summary =
+    Sim.Table.create
+      ~title:
+        (Printf.sprintf
+           "E20 (serving): admission and backpressure per cell (4 ISPs x 25 \
+            users, ISP %d non-compliant, depth %d, %d sessions/lane, %.0f s \
+            of load per cell)"
+           noncompliant serve_config.Serve.Config.queue_depth
+           serve_config.Serve.Config.max_sessions duration)
+      ~columns:
+        [
+          "load";
+          "mesh";
+          "sends";
+          "paid";
+          "free";
+          "backpressured";
+          "blocked";
+          "deferred";
+          "sessions";
+          "delivered";
+          "bounced";
+          "residue";
+        ]
+  in
+  List.iter
+    (fun o ->
+      Sim.Table.add_row summary
+        [
+          o.load;
+          (if o.chaos then "chaos" else "calm");
+          Sim.Table.cell_int o.attempts;
+          Sim.Table.cell_int o.paid;
+          Sim.Table.cell_int o.free;
+          Sim.Table.cell_int o.backpressured;
+          Sim.Table.cell_int o.blocked;
+          Sim.Table.cell_int o.deferred;
+          Sim.Table.cell_int o.sessions;
+          Sim.Table.cell_int o.delivered;
+          Sim.Table.cell_int
+            (match List.assoc_opt Serve.Slo.Bounced o.classes with
+            | Some s -> s.count
+            | None -> 0);
+          Sim.Table.cell_int o.residue;
+        ])
+    outcomes;
+  let latency =
+    Sim.Table.create
+      ~title:
+        "E20 (serving): per-class latency quantiles, seconds from first \
+         admission to completion (log-scale histogram, ~12% relative error)"
+      ~columns:[ "load"; "mesh"; "class"; "count"; "p50"; "p99"; "p999" ]
+  in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun (k, s) ->
+          if s.count > 0 then
+            Sim.Table.add_row latency
+              [
+                o.load;
+                (if o.chaos then "chaos" else "calm");
+                Serve.Slo.klass_name k;
+                Sim.Table.cell_int s.count;
+                fmt_q s.p50;
+                fmt_q s.p99;
+                fmt_q s.p999;
+              ])
+        o.classes)
+    outcomes;
+  if obs.Obs.Run.metrics then
+    match List.rev outcomes with
+    | last :: _ -> [ summary; latency; last.metrics ]
+    | [] -> [ summary; latency ]
+  else [ summary; latency ]

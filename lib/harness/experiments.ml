@@ -169,6 +169,22 @@ let all =
         (fun ~full ~seed ~obs ~persist ->
           E19_bank_wire.run ~obs ~persist ~seed ~full ());
     };
+    {
+      id = "e20";
+      title = "Serving-path tail latency: admission, backpressure, SLOs";
+      claim =
+        "Implied by §2.3/§5 (\"the ISPs can handle payments efficiently\"): \
+         the serving path — bounded admission queues feeding concurrent \
+         SMTP sessions — holds per-class p99/p999 latency until offered \
+         load crosses the service knee, degrades by refusing admissions \
+         (backpressure, paid sends refunded) rather than by unbounded \
+         queueing, keeps money exactly conserved in every cell, and under \
+         mesh chaos the retry storm shows up as a Retried-class tail, not \
+         as lost money.";
+      run =
+        (fun ~full ~seed ~obs ~persist ->
+          E20_serving.run ~obs ~persist ~seed ~full ());
+    };
   ]
 
 let find id =
@@ -190,4 +206,4 @@ let run_one ?(seed = 0) ?(full = false) ?obs ?persist id =
   | Some e ->
       print_experiment ~full ~seed ?obs ?persist e;
       Ok ()
-  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e19)" id)
+  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e20)" id)

@@ -99,9 +99,10 @@ let to_table t =
             if Stats.Histogram.count h = 0 then ("0", "empty")
             else
               ( Sim.Table.cell_int (Stats.Histogram.count h),
-                Printf.sprintf "p50=%s p99=%s"
+                Printf.sprintf "p50=%s p99=%s p999=%s"
                   (Sim.Table.cell (Stats.Histogram.quantile h 0.5))
-                  (Sim.Table.cell (Stats.Histogram.quantile h 0.99)) )
+                  (Sim.Table.cell (Stats.Histogram.quantile h 0.99))
+                  (Sim.Table.cell (Stats.Histogram.quantile h 0.999)) )
         | Series s -> (
             ( Sim.Table.cell_int (Stats.Series.length s),
               match Stats.Series.last s with

@@ -31,6 +31,10 @@ val gauge : t -> string -> (unit -> float) -> unit
 val summary : t -> string -> Sim.Stats.Summary.t
 
 val histogram : t -> string -> lo:float -> hi:float -> bins:int -> Sim.Stats.Histogram.t
+(** Get or create the named histogram over [bins] equal-width bins
+    spanning [lo, hi].  Callers binning a log-transformed value (the
+    serving-path latency histograms record [log10 latency]) get
+    log-spaced buckets in the original unit. *)
 
 val series : t -> string -> Sim.Stats.Series.t
 
@@ -38,8 +42,18 @@ val names : t -> string list
 (** All registered names, sorted. *)
 
 val to_table : t -> Sim.Table.t
-(** One row per metric: name, kind, value, detail (mean/p50/p99 for
-    distributions, last sample for series). *)
+(** One row per metric: name, kind, value, detail (mean for summaries,
+    p50/p99/p999 for histograms, last sample for series).
+
+    Histogram quantiles are estimated by linear interpolation inside
+    the bin holding the target rank, so the error bound is half the
+    bin width: with [bins] buckets over [lo, hi] a quantile is within
+    [(hi -. lo) /. (2. *. float bins)] of the true order statistic (in
+    the binned unit — for a [log10]-binned histogram that is a
+    relative error of [10 ** (width /. 2.) - 1.] in the original
+    unit, e.g. ~6% for the serving path's 0.05-decade bins).  Tail
+    quantiles such as p999 are only as sharp as the population: below
+    ~1000 samples p999 rides the maximum observation's bin. *)
 
 val print : t -> unit
 (** [Sim.Table.print] of {!to_table}. *)

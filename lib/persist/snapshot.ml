@@ -7,7 +7,7 @@ type t = {
   sections : (string * string) list;
 }
 
-let current_version = 3
+let current_version = 4
 let magic = "ZMSNAP01"
 
 let v ~experiment ~label ~seed ~time sections =

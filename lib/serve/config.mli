@@ -1,0 +1,42 @@
+(** Tuning knobs for the serving path (one record shared by
+    {!Dispatch}, {!Session} and {!Slo}). *)
+
+(** What happens to a remote submission when its destination lane's
+    admission queue is full. *)
+type queue_policy =
+  | Drop
+      (** Refuse it (421-style): {!Smtp.Mta.submit} bounces the
+          envelope, {!Smtp.Mta.submit_checked} reports backpressure to
+          the submitter without side effects. *)
+  | Defer
+      (** Accept it but park it in the MTA's bounded retry queue with
+          capped exponential backoff — it burns a session attempt and
+          re-enters admission later.  Nothing is refused, so
+          [submit_checked] never backpressures under this policy. *)
+
+type t = {
+  queue_depth : int;  (** Admission-queue capacity per directed MTA pair. *)
+  queue_policy : queue_policy;
+  max_sessions : int;  (** Concurrent SMTP sessions per directed MTA pair. *)
+  rtt : Sim.Rng.t -> float;
+      (** Round-trip time drawn once per session phase (connect, HELO,
+          MAIL, each RCPT, DATA, body). *)
+  bytes_per_sec : float;
+      (** Wire bandwidth applied to the DATA body on top of its
+          round trip. *)
+  sample_period : float;
+      (** Period of the queue-depth/active-session series sampler
+          ({!Dispatch.register_metrics}). *)
+}
+
+val default_rtt : Sim.Rng.t -> float
+(** 10 ms floor plus exponential with mean 50 ms — the MTA's one-way
+    latency model, paid once per phase. *)
+
+val default : t
+(** Depth 64, [Drop], 4 sessions per lane, {!default_rtt}, 1 MB/s,
+    60 s sampling. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on a non-positive depth, session cap,
+    bandwidth or sample period. *)

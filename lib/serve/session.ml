@@ -1,0 +1,125 @@
+let log_src = Logs.Src.create "serve.session" ~doc:"Concurrent SMTP sessions"
+
+module Log = (val Logs.src_log log_src)
+
+type outcome =
+  [ `Delivered of int | `Transient of string | `Permanent of string ]
+
+(* One session delivers one envelope over an explicit phase sequence —
+   connect (220 banner), HELO, MAIL FROM, one RCPT TO per recipient,
+   DATA, then the body and its terminating dot — with one round trip
+   drawn per phase, so many sessions interleave on the engine while
+   each occupies its dispatch slot for the whole dialogue.
+
+   The dialogue itself is the real one: the same [Client.transport]
+   driving the same [Server.t] state machine as the synchronous
+   [Client.deliver], with [Client.stuff] putting identical bytes on the
+   wire.  Only the clock differs, which is the point.  The destination
+   is probed for [is_down] at every phase boundary, so an MTA crash
+   mid-session tempfails exactly where a TCP reset would. *)
+let start ~engine ~rng ~rtt ~bytes_per_sec ~src ~dest envelope message ~on_close
+    =
+  Smtp.Mta.count_session src;
+  let server = Smtp.Mta.open_server dest in
+  let transport = Smtp.Client.of_server server in
+  let step delay f = ignore (Sim.Engine.schedule_after engine ~delay f) in
+  let next f = step (rtt rng) f in
+  let close outcome =
+    (match outcome with
+    | `Delivered _ -> ()
+    | `Transient reason | `Permanent reason ->
+        Log.debug (fun m ->
+            m "%s -> %s: session failed: %s" (Smtp.Mta.hostname src)
+              (Smtp.Mta.hostname dest) reason));
+    on_close outcome
+  in
+  let fail_reply ~at reply =
+    let text =
+      Smtp.Client.failure_to_string (Smtp.Client.Protocol_error { at; reply })
+    in
+    if Smtp.Reply.is_transient_failure reply then close (`Transient text)
+    else close (`Permanent text)
+  in
+  (* Send one command line and hand the reply to [k]; a missing reply
+     is the dialogue driver's protocol error, like [Client.deliver]. *)
+  let command cmd k =
+    let line = Smtp.Command.to_line cmd in
+    match transport.Smtp.Client.exchange line with
+    | Some reply -> k line reply
+    | None -> fail_reply ~at:line (Smtp.Reply.v 500 "no reply")
+  in
+  let guard k () =
+    if Smtp.Mta.is_down dest then close (`Transient "host down (421)") else k ()
+  in
+  let recipients = Smtp.Envelope.recipients envelope in
+  let rec phase_greeting () =
+    let banner = transport.Smtp.Client.greeting () in
+    if banner.Smtp.Reply.code <> 220 then begin
+      let text =
+        Smtp.Client.failure_to_string (Smtp.Client.Connection_refused banner)
+      in
+      if Smtp.Reply.is_transient_failure banner then close (`Transient text)
+      else close (`Permanent text)
+    end
+    else next (guard phase_helo)
+  and phase_helo () =
+    command (Smtp.Command.Helo (Smtp.Mta.hostname src)) (fun line reply ->
+        if Smtp.Reply.is_positive reply then next (guard phase_mail)
+        else fail_reply ~at:line reply)
+  and phase_mail () =
+    command (Smtp.Command.Mail_from (Smtp.Envelope.sender envelope))
+      (fun line reply ->
+        if Smtp.Reply.is_positive reply then
+          next (guard (phase_rcpt recipients 0 []))
+        else fail_reply ~at:line reply)
+  and phase_rcpt remaining accepted rejected () =
+    match remaining with
+    | [] ->
+        if accepted = 0 then begin
+          (* Close the session politely before reporting, like the
+             synchronous client. *)
+          ignore (transport.Smtp.Client.exchange "QUIT");
+          close
+            (`Permanent
+               (Smtp.Client.failure_to_string
+                  (Smtp.Client.All_recipients_rejected (List.rev rejected))))
+        end
+        else next (guard (phase_data accepted))
+    | rcpt :: rest ->
+        command (Smtp.Command.Rcpt_to rcpt) (fun _line reply ->
+            if Smtp.Reply.is_positive reply then
+              next (guard (phase_rcpt rest (accepted + 1) rejected))
+            else
+              next (guard (phase_rcpt rest accepted ((rcpt, reply) :: rejected))))
+  and phase_data accepted () =
+    command Smtp.Command.Data (fun line reply ->
+        if reply.Smtp.Reply.code = 354 then begin
+          (* The body crosses the wire at [bytes_per_sec] on top of its
+             round trip; +1 is the terminating dot line, the same wire
+             measure as the server's size check. *)
+          let wire =
+            float_of_int (Smtp.Message.size_bytes message + 1) /. bytes_per_sec
+          in
+          step (rtt rng +. wire) (guard (phase_dot accepted))
+        end
+        else fail_reply ~at:line reply)
+  and phase_dot accepted () =
+    List.iter
+      (fun l ->
+        ignore (transport.Smtp.Client.exchange (Smtp.Client.stuff l)))
+      (Smtp.Message.to_lines message);
+    match transport.Smtp.Client.exchange "." with
+    | Some reply when Smtp.Reply.is_positive reply ->
+        Smtp.Mta.note_bytes_sent src (Smtp.Message.size_bytes message);
+        List.iter
+          (fun (env, msg) -> Smtp.Mta.accept_from_remote dest env msg)
+          (Smtp.Server.take_received server);
+        (* QUIT is pipelined with the dot acknowledgment: the sender
+           has nothing further to say, so closing costs no extra round
+           trip of simulated time. *)
+        ignore (transport.Smtp.Client.exchange (Smtp.Command.to_line Smtp.Command.Quit));
+        close (`Delivered accepted)
+    | Some reply -> fail_reply ~at:"." reply
+    | None -> fail_reply ~at:"." (Smtp.Reply.v 500 "no reply")
+  in
+  next (guard phase_greeting)

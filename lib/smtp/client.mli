@@ -30,8 +30,17 @@ type failure =
 val deliver :
   transport -> hostname:string -> Envelope.t -> Message.t ->
   (outcome, failure) result
-(** Run the dialogue.  Message content is dot-stuffed per RFC 821
-    §4.5.2.  Delivery succeeds if at least one recipient is accepted;
-    per-recipient rejections are reported in the outcome. *)
+(** Run the dialogue synchronously.  Message content is dot-stuffed per
+    RFC 821 §4.5.2.  Delivery succeeds if at least one recipient is
+    accepted; per-recipient rejections are reported in the outcome.
+
+    [Serve.Session] runs the same dialogue against the same transport
+    but spreads it over engine events, one round trip per phase;
+    {!stuff} is shared so both paths put identical bytes on the
+    wire. *)
+
+val stuff : string -> string
+(** Dot-stuff one data line (RFC 821 §4.5.2): a leading ['.'] is
+    doubled.  The server's reader undoes it symmetrically. *)
 
 val failure_to_string : failure -> string

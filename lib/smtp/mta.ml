@@ -52,6 +52,19 @@ and network = {
   mutable retry : retry_policy;
   mutable retrying : int;  (* envelopes currently parked in backoff *)
   mutable retry_overflows : int;
+  mutable serving : serving option;
+}
+
+(* The serving-layer plug (lib/serve installs one): remote deliveries
+   are handed to [serve_admit] instead of running [transmit] after a
+   one-way latency draw.  [serve_capacity] is the side-effect-free
+   probe [submit_checked] uses to refuse a whole submission before any
+   counter moves. *)
+and serving = {
+  serve_admit :
+    src:t -> dest_host:Dns.host -> Envelope.t -> Message.t ->
+    [ `Queued | `Refused ];
+  serve_capacity : src:Dns.host -> dest_host:Dns.host -> bool;
 }
 
 and retry_policy = {
@@ -90,9 +103,16 @@ let network ?(latency = default_latency) ?(local_latency = 0.001) engine =
     retry = default_retry;
     retrying = 0;
     retry_overflows = 0;
+    serving = None;
   }
 
 let set_link_fault net f = net.link_fault <- f
+let set_serving net s = net.serving <- s
+
+let link_verdict net ~src ~dst =
+  match net.link_fault with
+  | None -> `Deliver
+  | Some verdict -> verdict ~src ~dst
 
 let set_retry_policy net p =
   if p.max_attempts < 1 then invalid_arg "Mta: max_attempts must be >= 1";
@@ -299,40 +319,22 @@ let run_session t dest envelope message =
         else Error (`Permanent (Client.failure_to_string f))
   end
 
-(* [transmit] asks the link-fault layer (if any) for a verdict before
-   opening the session: [`Lost] burns a retry like any 4xx tempfail,
-   [`Delayed d] re-runs the same attempt after [d] without consuming
-   one.  Transient failures park the envelope in a bounded backoff
-   queue; exhausting the attempts or overflowing the queue bounces the
+(* The retry/backoff/bounce decision, shared verbatim between the
+   direct delivery path below and the serving layer's dispatcher
+   ([resubmit] is the continuation that re-runs the next attempt —
+   [transmit] here, queue re-admission in [Serve.Dispatch]).
+   Exhausting the attempts or overflowing the queue bounces the
    message, which (via [on_bounce]) is what refunds the postage. *)
-let rec transmit t ~dest_host envelope message ~attempt =
-  match t.net.link_fault with
-  | None -> attempt_session t ~dest_host envelope message ~attempt
-  | Some verdict -> (
-      match verdict ~src:t.host ~dst:dest_host with
-      | `Deliver -> attempt_session t ~dest_host envelope message ~attempt
-      | `Delayed d ->
-          ignore
-            (Sim.Engine.schedule_after t.net.engine ~delay:d (fun () ->
-                 attempt_session t ~dest_host envelope message ~attempt))
-      | `Lost ->
-          retry_transient t ~dest_host envelope message ~attempt
-            "connection lost (link fault)")
-
-and attempt_session t ~dest_host envelope message ~attempt =
-  let dest = find_host t.net dest_host in
-  match run_session t dest envelope message with
-  | Ok () -> ()
-  | Error (`Permanent reason) -> bounce t envelope message reason
-  | Error (`Transient reason) ->
-      retry_transient t ~dest_host envelope message ~attempt reason
-
-and retry_transient t ~dest_host envelope message ~attempt reason =
+let retry_transient t ~dest_host envelope message ~attempt ~reason ~resubmit =
   let p = t.net.retry in
-  if attempt + 1 >= p.max_attempts then bounce t envelope message reason
+  if attempt + 1 >= p.max_attempts then begin
+    bounce t envelope message reason;
+    `Bounced
+  end
   else if t.net.retrying >= p.queue_cap then begin
     t.net.retry_overflows <- t.net.retry_overflows + 1;
-    bounce t envelope message (reason ^ " (retry queue full)")
+    bounce t envelope message (reason ^ " (retry queue full)");
+    `Bounced
   end
   else begin
     Log.debug (fun m ->
@@ -347,8 +349,41 @@ and retry_transient t ~dest_host envelope message ~attempt reason =
     ignore
       (Sim.Engine.schedule_after t.net.engine ~delay:backoff (fun () ->
            t.net.retrying <- t.net.retrying - 1;
-           transmit t ~dest_host envelope message ~attempt:(attempt + 1)))
+           resubmit ~attempt:(attempt + 1)));
+    `Parked backoff
   end
+
+(* [transmit] asks the link-fault layer (if any) for a verdict before
+   opening the session: [`Lost] burns a retry like any 4xx tempfail,
+   [`Delayed d] re-runs the same attempt after [d] without consuming
+   one.  Transient failures park the envelope in the bounded backoff
+   queue of [retry_transient]. *)
+let rec transmit t ~dest_host envelope message ~attempt =
+  match t.net.link_fault with
+  | None -> attempt_session t ~dest_host envelope message ~attempt
+  | Some verdict -> (
+      match verdict ~src:t.host ~dst:dest_host with
+      | `Deliver -> attempt_session t ~dest_host envelope message ~attempt
+      | `Delayed d ->
+          ignore
+            (Sim.Engine.schedule_after t.net.engine ~delay:d (fun () ->
+                 attempt_session t ~dest_host envelope message ~attempt))
+      | `Lost ->
+          park t ~dest_host envelope message ~attempt
+            "connection lost (link fault)")
+
+and attempt_session t ~dest_host envelope message ~attempt =
+  let dest = find_host t.net dest_host in
+  match run_session t dest envelope message with
+  | Ok () -> ()
+  | Error (`Permanent reason) -> bounce t envelope message reason
+  | Error (`Transient reason) ->
+      park t ~dest_host envelope message ~attempt reason
+
+and park t ~dest_host envelope message ~attempt reason =
+  ignore
+    (retry_transient t ~dest_host envelope message ~attempt ~reason
+       ~resubmit:(fun ~attempt -> transmit t ~dest_host envelope message ~attempt))
 
 let submit t envelope message =
   t.submitted <- t.submitted + 1;
@@ -369,11 +404,22 @@ let submit t envelope message =
         ignore
           (Sim.Engine.schedule_after t.net.engine ~delay:t.net.local_latency
              (fun () -> accept_locally t sub_envelope message))
-    | Some dest_host ->
-        let delay = t.net.latency t.net.rng in
-        ignore
-          (Sim.Engine.schedule_after t.net.engine ~delay (fun () ->
-               transmit t ~dest_host sub_envelope message ~attempt:0))
+    | Some dest_host -> (
+        match t.net.serving with
+        | Some s -> (
+            (* Admission happens at submission time so that a full
+               queue can push back on the submitter; the session layer
+               models all transmission latency itself. *)
+            match s.serve_admit ~src:t ~dest_host sub_envelope message with
+            | `Queued -> ()
+            | `Refused ->
+                bounce t sub_envelope message
+                  "421 service not available (admission queue full)")
+        | None ->
+            let delay = t.net.latency t.net.rng in
+            ignore
+              (Sim.Engine.schedule_after t.net.engine ~delay (fun () ->
+                   transmit t ~dest_host sub_envelope message ~attempt:0)))
   in
   match Envelope.recipients envelope with
   | [ rcpt ] ->
@@ -398,6 +444,44 @@ let submit t envelope message =
             ~dest:(Dns.lookup t.net.registry ~domain)
             message)
         by_domain
+
+(* Like [submit], but when a serving layer is installed refuse the
+   whole submission — before any counter, stamp or queue moves — if any
+   remote destination's admission queue lacks room.  The caller
+   (e.g. [Zmail.World]) can then undo its side of the transaction
+   (refund the postage) and let the generator re-offer later, which is
+   how backpressure propagates instead of teleporting load into
+   bounces. *)
+let submit_checked t envelope message =
+  let has_capacity =
+    match t.net.serving with
+    | None -> true
+    | Some s -> (
+        let dest_ok dest =
+          match dest with
+          | Some dest_host when dest_host <> t.host ->
+              s.serve_capacity ~src:t.host ~dest_host
+          | Some _ | None -> true (* local, or no MX: bounces, not backpressure *)
+        in
+        match Envelope.recipients envelope with
+        | [ rcpt ] -> dest_ok (Dns.lookup_addr t.net.registry rcpt)
+        | _ ->
+            List.for_all
+              (fun domain -> dest_ok (Dns.lookup t.net.registry ~domain))
+              (Envelope.domains envelope))
+  in
+  if has_capacity then begin
+    submit t envelope message;
+    `Submitted
+  end
+  else `Backpressure
+
+(* ---- Serving-layer SPI (see lib/serve) ---------------------------- *)
+
+let open_server t = Server.create ~hostname:t.hostname ~policy:t.policy
+let accept_from_remote t envelope message = accept_locally t envelope message
+let count_session t = t.sessions <- t.sessions + 1
+let note_bytes_sent t n = t.bytes_sent <- t.bytes_sent + n
 
 let stats t =
   {

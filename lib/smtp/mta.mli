@@ -1,11 +1,19 @@
 (** Mail transfer agents on a simulated network.
 
     A {!network} ties MTAs to one {!Sim.Engine.t}, an MX registry and a
-    latency model.  A remote delivery whose message round-trips the
-    wire cleanly takes {!Server.deliver_direct} — a structural fast
-    path property-tested equivalent to the full RFC 821 dialogue — and
-    any other message runs the real line-by-line exchange through
-    {!Client} and {!Server}.
+    latency model.  Remote delivery has two paths:
+
+    - {e direct} (the default): after a one-way latency draw, a message
+      that round-trips the wire cleanly takes {!Server.deliver_direct}
+      — a structural fast path property-tested equivalent to the full
+      RFC 821 dialogue — and any other message runs the real
+      line-by-line exchange through {!Client} and {!Server}.
+    - {e served}: when a serving layer is installed ({!set_serving},
+      normally by [Serve.Dispatch]), remote submissions enter bounded
+      per-destination admission queues and are delivered by explicit
+      concurrent SMTP sessions ([Serve.Session]) whose phases are
+      individual engine events.  [deliver_direct] remains the fast path
+      for experiments that do not opt in.
 
     Hooks let higher layers participate in the mail flow:
     - [outbound_stamp] rewrites a message as it leaves (a compliant
@@ -19,9 +27,12 @@ type network
 val network :
   ?latency:(Sim.Rng.t -> float) -> ?local_latency:float -> Sim.Engine.t ->
   network
-(** [latency] draws the one-way transmission delay for a remote SMTP
-    session (default: exponential with mean 50 ms plus 10 ms floor);
-    [local_latency] (default 1 ms) applies to same-host delivery. *)
+(** [latency] (default: exponential with mean 50 ms plus 10 ms floor)
+    draws the one-way transmission delay preceding a {e direct} remote
+    delivery; on the served path the session layer draws its own
+    per-phase round-trip times instead ([Serve.Config.rtt]) and this
+    model is not consulted.  [local_latency] (default 1 ms) applies to
+    same-host delivery on both paths. *)
 
 val engine : network -> Sim.Engine.t
 val dns : network -> Dns.t
@@ -37,6 +48,14 @@ val set_link_fault :
     [`Delayed d] re-runs the same attempt after [d] seconds without
     consuming one.  [None] (the default) costs nothing on the delivery
     path. *)
+
+val link_verdict :
+  network -> src:Dns.host -> dst:Dns.host ->
+  [ `Deliver | `Delayed of float | `Lost ]
+(** Consult the installed link-fault oracle for one session attempt
+    ([`Deliver] when none is installed).  The serving layer asks this
+    at session open so queued deliveries cross the same fault surface
+    as direct ones. *)
 
 type retry_policy = {
   max_attempts : int;  (** Session attempts before the message bounces. *)
@@ -106,7 +125,19 @@ val set_retain_mail : t -> bool -> unit
 val submit : t -> Envelope.t -> Message.t -> unit
 (** Hand a message from a local user to this MTA for delivery
     (local and remote recipients are routed automatically).  A
-    [Message-Id] header is stamped if the message lacks one. *)
+    [Message-Id] header is stamped if the message lacks one.  With a
+    serving layer installed, a remote submission refused at admission
+    (queue full under the [`Drop] policy) bounces — the [on_bounce]
+    hook still fires, so paid mail is still refunded. *)
+
+val submit_checked : t -> Envelope.t -> Message.t -> [ `Submitted | `Backpressure ]
+(** As {!submit}, but when a serving layer is installed and any remote
+    destination's admission queue lacks room, return [`Backpressure]
+    {e without any side effect} — no counter moves, nothing is stamped
+    or queued — so the caller can undo its own side of the transaction
+    (e.g. refund the e-penny) and re-offer the message later.  Without
+    a serving layer (or for purely local recipients) this is exactly
+    [submit], returning [`Submitted]. *)
 
 type stats = {
   submitted : int;  (** Messages accepted from local users. *)
@@ -122,6 +153,64 @@ val stats : t -> stats
 
 val dead_letters : t -> (Envelope.t * string) list
 (** Abandoned sends with the failure reason, oldest first. *)
+
+(** {1 Serving-layer SPI}
+
+    The hooks [Serve.Dispatch] uses to route remote delivery through
+    explicit sessions while reusing this module's accounting, retry
+    and bounce machinery.  Ordinary callers never need these. *)
+
+type serving = {
+  serve_admit :
+    src:t -> dest_host:Dns.host -> Envelope.t -> Message.t ->
+    [ `Queued | `Refused ];
+      (** Take ownership of one remote delivery at submission time.
+          [`Queued] means the serving layer will eventually deliver,
+          retry or bounce it; [`Refused] makes {!submit} bounce the
+          envelope (421-style). *)
+  serve_capacity : src:Dns.host -> dest_host:Dns.host -> bool;
+      (** Side-effect-free admission probe backing {!submit_checked}. *)
+}
+
+val set_serving : network -> serving option -> unit
+(** Install (or remove) the serving layer.  [None] (the default)
+    restores the direct path. *)
+
+val find_host : network -> Dns.host -> t
+(** The MTA with the given {!host} id.
+    @raise Not_found for an unknown id. *)
+
+val open_server : t -> Server.t
+(** A fresh RFC 821 server session bound to this (receiving) MTA's
+    recipient policy, for a {!Client.transport} to drive. *)
+
+val accept_from_remote : t -> Envelope.t -> Message.t -> unit
+(** Complete a remote delivery on this (receiving) MTA: stamp the
+    [Received] header, run the inbound filter per recipient and
+    deliver/intercept/discard — exactly what the direct path does when
+    a session succeeds. *)
+
+val count_session : t -> unit
+(** Count one outbound SMTP session opened by this (sending) MTA. *)
+
+val note_bytes_sent : t -> int -> unit
+(** Add to this (sending) MTA's [bytes_sent] counter. *)
+
+val bounce : t -> Envelope.t -> Message.t -> string -> unit
+(** Abandon an envelope on this (sending) MTA: count it, append the
+    dead letter and fire the [on_bounce] hook (which is what refunds
+    paid mail). *)
+
+val retry_transient :
+  t -> dest_host:Dns.host -> Envelope.t -> Message.t -> attempt:int ->
+  reason:string -> resubmit:(attempt:int -> unit) ->
+  [ `Parked of float | `Bounced ]
+(** The shared tempfail decision: park the envelope in the network's
+    bounded backoff queue and schedule [resubmit ~attempt:(attempt+1)]
+    after the capped exponential backoff ([`Parked backoff]), or — on
+    the final attempt, or when the queue is at [queue_cap] — {!bounce}
+    it ([`Bounced]).  The direct path passes its own transmit as
+    [resubmit]; the serving layer passes queue re-admission. *)
 
 (**/**)
 

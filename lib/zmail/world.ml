@@ -30,6 +30,11 @@ type config = {
   retry_backoff : float;
   retry_cap : float;
   retain_mail : bool;
+  serving : Serve.Config.t option;
+      (** Route remote SMTP delivery through the serving path
+          ([Serve.Dispatch]): bounded admission queues, concurrent
+          sessions, per-class latency SLOs.  [None] (the default)
+          keeps the direct fast path. *)
   tracer : Obs.Trace.t option;
       (** Record protocol events here (and enable the engine monitor).
           [None]: the world keeps a private, initially-inert tracer
@@ -60,6 +65,7 @@ let default_config ~n_isps ~users_per_isp =
     retry_backoff = 2.;
     retry_cap = 900.;
     retain_mail = true;
+    serving = None;
     tracer = None;
   }
 
@@ -70,6 +76,7 @@ type counters = {
   mutable blocked_balance : int;
   mutable blocked_limit : int;
   mutable deferred_sends : int;
+  mutable backpressured_sends : int;
   mutable acks_generated : int;
   mutable limit_warnings : int;
 }
@@ -121,6 +128,7 @@ type t = {
   tracer : Obs.Trace.t;
   metrics : Obs.Metrics.t;
   honest : bool array;  (* compliant AND not configured to cheat *)
+  serve : Serve.Dispatch.t option;  (* serving path, when configured *)
 }
 
 let engine t = t.engine
@@ -136,6 +144,7 @@ let adversaries t = t.adversaries
 let bank_wire_taps t = t.bank_taps
 let link_stats t = t.link
 let isp_up t i = t.up.(i)
+let serve t = t.serve
 let deferral_delay t = t.deferral
 let initial_epennies t = t.initial
 let audit_results_timed t = List.rev t.audits
@@ -541,6 +550,7 @@ type send_result =
   | Submitted of [ `Paid | `Free ]
   | Deferred_snapshot
   | Failed_down
+  | Backpressured
   | Rejected of Ledger.block
 
 (* [build_msg ~paid] constructs the message (payment stamp applied by
@@ -556,7 +566,16 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
       if paid then Smtp.Message.mark_payment ?epoch msg ~epennies:1 else msg
     in
     let envelope = Smtp.Envelope.v ~sender:from_addr ~recipients:[ to_addr ] in
-    Smtp.Mta.submit t.mtas.(i) envelope msg
+    (* [submit_checked] probes the serving layer's admission capacity
+       before any side effect, so a 421 here leaves no trace in the MTA
+       and the caller can unwind cleanly (refund below).  Without a
+       serving layer it is exactly [submit]. *)
+    Smtp.Mta.submit_checked t.mtas.(i) envelope msg
+  in
+  let backpressured () =
+    t.stats.backpressured_sends <- t.stats.backpressured_sends + 1;
+    wev t ~actor:i "backpressured" [];
+    Backpressured
   in
   let dest_isp = isp_of_addr t to_addr (* -1: outside world *) in
   if not t.up.(i) then begin
@@ -568,10 +587,11 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
   end
   else
   match t.kernels.(i) with
-  | None ->
+  | None -> (
       (* Non-compliant sender: plain SMTP, no accounting. *)
-      submit false;
-      Submitted `Free
+      match submit false with
+      | `Submitted -> Submitted `Free
+      | `Backpressure -> backpressured ())
   | Some kernel -> (
       let charge () =
         if dest_isp >= 0 then Isp.charge_send kernel ~sender:u ~dest_isp
@@ -593,12 +613,20 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
       in
       drain_warnings t i;
       match outcome with
-      | Isp.Sent_paid ->
-          submit ~epoch:(Isp.audit_seq kernel) true;
-          Submitted `Paid
-      | Isp.Sent_free ->
-          submit false;
-          Submitted `Free
+      | Isp.Sent_paid -> (
+          match submit ~epoch:(Isp.audit_seq kernel) true with
+          | `Submitted -> Submitted `Paid
+          | `Backpressure ->
+              (* The serving layer refused admission after the charge
+                 landed; the message never entered the system, so the
+                 charge is unwound like a bounce refund — both ledger
+                 and credit-record legs. *)
+              Isp.refund_send kernel ~sender:u ~dest_isp;
+              backpressured ())
+      | Isp.Sent_free -> (
+          match submit false with
+          | `Submitted -> Submitted `Free
+          | `Backpressure -> backpressured ())
       | Isp.Deferred ->
           t.stats.deferred_sends <- t.stats.deferred_sends + 1;
           wev t ~actor:i "deferred" [];
@@ -805,6 +833,18 @@ let create cfg =
       if List.exists (fun (j, _) -> i = j) (List.filteri (fun m _ -> m < n) bank_taps)
       then invalid_arg "World.create: duplicate bank_wire tap")
     bank_taps;
+  (* The serving path, when configured, draws its per-phase RTTs from
+     its own root-seeded stream (like the fault, mesh and bank-wire
+     models) so enabling it never perturbs workload randomness. *)
+  let serve =
+    match cfg.serving with
+    | None -> None
+    | Some sc ->
+        Some
+          (Serve.Dispatch.attach ~config:sc
+             ~rng:(Sim.Rng.create (cfg.seed lxor 0x5e17e))
+             net)
+  in
   let t =
     {
       cfg;
@@ -827,6 +867,7 @@ let create cfg =
           blocked_balance = 0;
           blocked_limit = 0;
           deferred_sends = 0;
+          backpressured_sends = 0;
           acks_generated = 0;
           limit_warnings = 0;
         };
@@ -867,6 +908,7 @@ let create cfg =
       tracer;
       metrics;
       honest;
+      serve;
     }
   in
   (* Route every component's events into the shared tracer and gather
@@ -916,8 +958,13 @@ let create cfg =
       float_of_int t.stats.blocked_limit);
   Obs.Metrics.gauge metrics "mail.deferred_sends" (fun () ->
       float_of_int t.stats.deferred_sends);
+  Obs.Metrics.gauge metrics "mail.backpressured_sends" (fun () ->
+      float_of_int t.stats.backpressured_sends);
   Obs.Metrics.gauge metrics "mail.acks_generated" (fun () ->
       float_of_int t.stats.acks_generated);
+  (match t.serve with
+  | Some d -> Serve.Dispatch.register_metrics d metrics
+  | None -> ());
   (* The engine monitor costs a [Sys.time] per callback, so it is only
      armed when the caller explicitly asked for tracing. *)
   (match cfg.tracer with
@@ -1006,7 +1053,7 @@ let post_to_list t ls ~body =
             submit_message t ~from ~to_addr:subscriber ~build_msg:(fun () -> message)
           with
           | Submitted _ | Deferred_snapshot -> incr submitted
-          | Failed_down | Rejected _ -> ())
+          | Failed_down | Backpressured | Rejected _ -> ())
         (Listserv.distribute ls ~body ~date:(Sim.Engine.now t.engine) ());
       !submitted
 
@@ -1185,6 +1232,7 @@ let encode_world w t =
   int w t.stats.blocked_balance;
   int w t.stats.blocked_limit;
   int w t.stats.deferred_sends;
+  int w t.stats.backpressured_sends;
   int w t.stats.acks_generated;
   int w t.stats.limit_warnings;
   Sim.Stats.Summary.encode_state w t.deferral;
@@ -1234,5 +1282,8 @@ let capture t =
                sec (Printf.sprintf "isp/%d" i) (fun w () ->
                    Isp.encode_state w kernel))
              k))
-  @ [ sec "world" (fun w () -> encode_world w t);
-      sec "trace" (fun w () -> Obs.Trace.encode_state w t.tracer) ]
+  @ [ sec "world" (fun w () -> encode_world w t) ]
+  @ (match t.serve with
+    | Some d -> [ sec "serve" (fun w () -> Serve.Dispatch.encode_state w d) ]
+    | None -> [])
+  @ [ sec "trace" (fun w () -> Obs.Trace.encode_state w t.tracer) ]

@@ -122,6 +122,14 @@ type config = {
           Million-user runs set [false]: deliveries are still counted,
           filtered and fed to hooks, but not retained — see
           {!Smtp.Mta.set_retain_mail}. *)
+  serving : Serve.Config.t option;
+      (** Route remote SMTP delivery through the serving path
+          ({!Serve.Dispatch}): bounded per-lane admission queues,
+          concurrent phase-by-phase sessions, and per-class latency
+          SLOs ({!Serve.Slo}).  Overload surfaces as
+          {!send_result.Backpressured} (paid sends are refunded).
+          [None] (the default) keeps the direct fast path — one
+          latency draw, synchronous dialogue. *)
   tracer : Obs.Trace.t option;
       (** Record protocol events into this tracer and arm the engine
           monitor (callback wall-clock summary, queue-depth series).
@@ -187,6 +195,10 @@ type send_result =
   | Submitted of [ `Paid | `Free ]
   | Deferred_snapshot  (** Buffered; will be submitted at thaw. *)
   | Failed_down  (** The sender's own ISP is crashed; nothing queued. *)
+  | Backpressured
+      (** The serving layer refused admission (421: queue full under
+          the [`Drop] policy).  Nothing entered the system; a paid
+          charge was refunded.  Only possible with [cfg.serving]. *)
   | Rejected of Ledger.block
 
 val send_email :
@@ -250,6 +262,10 @@ val crash_isp : t -> isp:int -> downtime:float -> unit
 val isp_up : t -> int -> bool
 (** False between {!crash_isp} and the scheduled recovery. *)
 
+val serve : t -> Serve.Dispatch.t option
+(** The live serving-path dispatcher when [cfg.serving] was set —
+    read its SLO histograms and queue counters after a run. *)
+
 val audit_results : t -> Bank.audit_result list
 (** Completed audits, oldest first. *)
 
@@ -288,6 +304,8 @@ type counters = {
   mutable blocked_balance : int;
   mutable blocked_limit : int;
   mutable deferred_sends : int;
+  mutable backpressured_sends : int;
+      (** Sends refused at serving-path admission ({!Backpressured}). *)
   mutable acks_generated : int;
   mutable limit_warnings : int;
 }

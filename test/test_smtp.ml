@@ -572,6 +572,119 @@ let test_mta_latency_orders_delivery () =
   Alcotest.(check (list string)) "local first" [ "local"; "remote" ] (List.rev !order)
 
 (* ------------------------------------------------------------------ *)
+(* Retry-queue edges                                                   *)
+(*                                                                     *)
+(* The backoff/bounce decision of [retry_transient] is shared between  *)
+(* the direct path and the serving layer, so its edges are pinned      *)
+(* here once, with explicit seeds, for both consumers.                 *)
+(* ------------------------------------------------------------------ *)
+
+let retry_world ~seed ~policy () =
+  let engine = Sim.Engine.create ~seed () in
+  let net = Smtp.Mta.network engine in
+  Smtp.Mta.set_retry_policy net policy;
+  let mta_a = Smtp.Mta.create net ~hostname:"mx.a.com" ~domains:[ "a.com" ] in
+  let mta_b = Smtp.Mta.create net ~hostname:"mx.b.com" ~domains:[ "b.com" ] in
+  (engine, net, mta_a, mta_b)
+
+let sample_envelope () =
+  ( Smtp.Envelope.v ~sender:(addr "alice@a.com") ~recipients:[ addr "bob@b.com" ],
+    Smtp.Message.make ~from:(addr "alice@a.com") ~to_:[ addr "bob@b.com" ]
+      ~body:"retry me" () )
+
+let test_mta_backoff_exactly_at_cap () =
+  (* base 60 doubling with a 240 s cap: attempt 2 computes 60 * 2^2 =
+     240 — exactly the cap, the boundary where [Float.min] must not
+     round or overshoot — and attempt 3 (480) clamps to it. *)
+  let policy =
+    { Smtp.Mta.default_retry with
+      Smtp.Mta.max_attempts = 10; base_backoff = 60.; backoff_factor = 2.;
+      backoff_cap = 240. }
+  in
+  let engine, net, mta_a, mta_b = retry_world ~seed:23 ~policy () in
+  let envelope, message = sample_envelope () in
+  let backoff_of attempt =
+    match
+      Smtp.Mta.retry_transient mta_a ~dest_host:(Smtp.Mta.host mta_b) envelope
+        message ~attempt ~reason:"tempfail probe"
+        ~resubmit:(fun ~attempt:_ -> ())
+    with
+    | `Parked b -> b
+    | `Bounced -> Alcotest.fail "parked attempt bounced"
+  in
+  Alcotest.(check (float 0.)) "attempt 0" 60. (backoff_of 0);
+  Alcotest.(check (float 0.)) "attempt 1" 120. (backoff_of 1);
+  Alcotest.(check (float 0.)) "attempt 2 lands exactly on the cap" 240.
+    (backoff_of 2);
+  Alcotest.(check (float 0.)) "attempt 3 clamps to the cap" 240. (backoff_of 3);
+  Alcotest.(check int) "all four parked" 4 (Smtp.Mta.retry_queue_length net);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "queue drains" 0 (Smtp.Mta.retry_queue_length net)
+
+let test_mta_final_attempt_bounces_not_retries () =
+  let policy = { Smtp.Mta.default_retry with Smtp.Mta.max_attempts = 3 } in
+  let _engine, net, mta_a, mta_b = retry_world ~seed:29 ~policy () in
+  let envelope, message = sample_envelope () in
+  let decide attempt =
+    Smtp.Mta.retry_transient mta_a ~dest_host:(Smtp.Mta.host mta_b) envelope
+      message ~attempt ~reason:"450 still busy"
+      ~resubmit:(fun ~attempt:_ -> Alcotest.fail "final attempt resubmitted")
+  in
+  (* Attempt index 2 is the third and last session: one more would
+     exceed [max_attempts], so the decision must be a bounce — parking
+     it would both leak a queue slot and run a 4th attempt. *)
+  (match decide 2 with
+  | `Bounced -> ()
+  | `Parked _ -> Alcotest.fail "final attempt parked instead of bouncing");
+  Alcotest.(check int) "nothing parked" 0 (Smtp.Mta.retry_queue_length net);
+  Alcotest.(check int) "counted as bounced" 1
+    (Smtp.Mta.stats mta_a).Smtp.Mta.bounced;
+  Alcotest.(check int) "dead-lettered" 1
+    (List.length (Smtp.Mta.dead_letters mta_a))
+
+let test_mta_down_host_single_attempt_policy () =
+  (* End-to-end: with max_attempts = 1 the first tempfail IS the final
+     attempt, so a down host bounces immediately — one session, no
+     backoff event ever scheduled. *)
+  let policy = { Smtp.Mta.default_retry with Smtp.Mta.max_attempts = 1 } in
+  let engine, net, mta_a, mta_b = retry_world ~seed:31 ~policy () in
+  Smtp.Mta.set_down mta_b true;
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com") ~body:"x";
+  Sim.Engine.run engine;
+  let s = Smtp.Mta.stats mta_a in
+  Alcotest.(check int) "one session only" 1 s.Smtp.Mta.sessions;
+  Alcotest.(check int) "bounced" 1 s.Smtp.Mta.bounced;
+  Alcotest.(check int) "never parked" 0 (Smtp.Mta.retry_queue_length net)
+
+let test_mta_bounce_refund_exactly_once () =
+  (* A paid message that exhausts its retries must trigger the refund
+     hook once — not once per attempt.  The on_bounce hook is the
+     refund mechanism (the ISP layer reverses its ledger debit and the
+     recipient-credit leg from it), so each leg is modelled as a
+     counter incremented by the hook: three sessions, one bounce, each
+     leg reversed exactly once. *)
+  let policy = { Smtp.Mta.default_retry with Smtp.Mta.max_attempts = 3 } in
+  let engine, _net, mta_a, mta_b = retry_world ~seed:37 ~policy () in
+  Smtp.Mta.set_outbound_stamp mta_a (fun _env m ->
+      Smtp.Message.mark_payment m ~epennies:1);
+  let ledger_reversed = ref 0 and credit_reversed = ref 0 in
+  Smtp.Mta.set_on_bounce mta_a (fun _env m _reason ->
+      match Smtp.Message.payment m with
+      | Some n ->
+          ledger_reversed := !ledger_reversed + n;
+          incr credit_reversed
+      | None -> ());
+  Smtp.Mta.set_down mta_b true;
+  send_simple mta_a ~from:(addr "alice@a.com") ~to_:(addr "bob@b.com")
+    ~body:"paid but doomed";
+  Sim.Engine.run engine;
+  let s = Smtp.Mta.stats mta_a in
+  Alcotest.(check int) "all three attempts ran" 3 s.Smtp.Mta.sessions;
+  Alcotest.(check int) "one bounce" 1 s.Smtp.Mta.bounced;
+  Alcotest.(check int) "ledger leg reversed once" 1 !ledger_reversed;
+  Alcotest.(check int) "credit leg reversed once" 1 !credit_reversed
+
+(* ------------------------------------------------------------------ *)
 (* Hand-rendered formatting and the structural delivery fast path      *)
 (*                                                                     *)
 (* Several hot-path functions replace [Printf.sprintf] (or the full    *)
@@ -794,5 +907,16 @@ let () =
           Alcotest.test_case "message-id stamping" `Quick test_mta_stamps_message_id;
           Alcotest.test_case "message-id preserved" `Quick
             test_mta_preserves_existing_message_id;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff exactly at cap" `Quick
+            test_mta_backoff_exactly_at_cap;
+          Alcotest.test_case "final attempt bounces" `Quick
+            test_mta_final_attempt_bounces_not_retries;
+          Alcotest.test_case "single-attempt policy" `Quick
+            test_mta_down_host_single_attempt_policy;
+          Alcotest.test_case "bounce refund once" `Quick
+            test_mta_bounce_refund_exactly_once;
         ] );
     ]
