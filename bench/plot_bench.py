@@ -53,6 +53,11 @@ SERIES = [
     ("snap read MB/s", "{:.1f}", ("snapshot", "read_mb_per_s")),
     ("verify(100) us", "{:.1f}", ("audit_verify", "n100_us_per_round")),
     ("verify(1000) us", "{:.1f}", ("audit_verify", "n1000_us_per_round")),
+    # Sparse-engine sub-keys appeared with the lib/audit engine; older
+    # baselines render these as em-dashes.
+    ("sparse(10^3) us", "{:.1f}", ("audit_verify", "sparse", "n1000_us_per_round")),
+    ("sparse(10^4) us", "{:.1f}", ("audit_verify", "sparse", "n10000_us_per_round")),
+    ("sparse 10^3->10^4", "{:.1f}x", ("audit_verify", "sparse", "ratio_1000_to_10000")),
     ("clear(4) ms", "{:.2f}", ("clearing", "banks4", "settle_ms")),
     ("clear(4) msgs", "{:d}", ("clearing", "banks4", "messages")),
     ("clear(16) ms", "{:.2f}", ("clearing", "banks16", "settle_ms")),

@@ -41,16 +41,17 @@ let full_arg =
     "Run the nightly-scale variant where one exists: E17 adds its \
      million-user row, E18 raises its adversary grid to 100 ISPs x 1000 \
      users per cell, E19 does the same for its bank-wire grid and grows \
-     the federation to 16 member banks (all take minutes).  Experiments \
-     without a larger variant ignore the flag."
+     the federation to 16 member banks, E21 scales its collusion grid, \
+     adds the 5-ring plan and appends a 10^4-ISP cell (all take \
+     minutes).  Experiments without a larger variant ignore the flag."
   in
   Arg.(value & flag & info [ "full"; "million" ] ~doc)
 
 let checkpoint_every_arg =
   let doc =
     "Write a world snapshot to the $(b,--snapshot) file every $(docv) \
-     simulated seconds (E2, E3, E16, E17, E18, E19 and E20's world grid \
-     only)."
+     simulated seconds (E2, E3, E16, E17, E18, E19, E20 and E21's world \
+     grids only)."
   in
   Arg.(value & opt (some float) None & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
 
@@ -164,7 +165,7 @@ let setup_logs level =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id: e1..e20, or 'all'." in
+    let doc = "Experiment id: e1..e21, or 'all'." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
   let term =

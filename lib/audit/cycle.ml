@@ -1,0 +1,126 @@
+(* Cycle-sum collusion detection over the sparse claim graph.
+
+   The pairwise check has a known soundness gap: colluders A and B who
+   keep their OWN pair antisymmetric while jointly cheating a third
+   party C (A overstates against C by +d, B understates by -d) produce
+   two violating edges (A,C) and (B,C) — a star centered on the honest
+   victim.  Pairwise attribution sees C in the most violations and
+   frames it, while each colluder carries a single, unconvictable edge.
+
+   The disambiguating signature is a minimal cycle in the claim graph:
+   walk A -> C -> B along the two violating edges and close the cycle
+   B -> A along a claim edge.  For the collusion to stay hidden the
+   closing edge must be *consistent* (the colluders' pair passes its own
+   check) yet *non-silent* (they claim mutual traffic — the fabricated
+   coordination fabric; genuinely disjoint strangers have no edge at
+   all), and the discrepancies around the cycle must sum to zero (the
+   lies were coordinated to cancel, which is what made the victim's
+   star balanced).  A lone liar fails the test twice over: its star's
+   discrepancies all share the sign of its lie (non-zero cycle sum),
+   and its honest accusers need no fabricated edge.
+
+   Attribution therefore flips: the cycle's outer members are convicted
+   and the center — the honest third party the pairwise check framed —
+   is cleared.  Longer collusion rings (k members rotating lies across
+   k victims) decompose into one such minimal cycle per victim, so the
+   per-vertex scan convicts every member without enumerating long
+   cycles.
+
+   Vertices already convicted by strict majority are excluded first:
+   their stars are explained by their own lie, and treating a majority
+   offender's accusers as a potential ring would let a noisy liar
+   manufacture false rings through honest peers. *)
+
+type ring = { members : int list; through : int; residue : int }
+
+(* Pairwise-connectivity probes are O(k^2) in the star degree k.  Real
+   coordination fabrics are tiny (one edge per adjacent colluder pair);
+   a star wider than this is not a plausible hidden ring and is left to
+   majority attribution rather than probed quadratically. *)
+let max_star = 64
+
+let detect ~violations ~offenders ~connected:(connected : int -> int -> bool) =
+  let offender = Hashtbl.create 8 in
+  List.iter (fun i -> Hashtbl.replace offender i ()) offenders;
+  let edges =
+    List.filter
+      (fun (v : Verify.violation) ->
+        not (Hashtbl.mem offender v.isp_a || Hashtbl.mem offender v.isp_b))
+      violations
+  in
+  (* vertex -> (accuser, discrepancy) list, accusers ascending *)
+  let stars = Hashtbl.create 16 in
+  let add_edge c other d =
+    Hashtbl.replace stars c
+      ((other, d) :: Option.value ~default:[] (Hashtbl.find_opt stars c))
+  in
+  List.iter
+    (fun (v : Verify.violation) ->
+      add_edge v.isp_a v.isp_b v.discrepancy;
+      add_edge v.isp_b v.isp_a v.discrepancy)
+    edges;
+  let centers =
+    Hashtbl.fold (fun c star acc -> if List.length star >= 2 then c :: acc else acc)
+      stars []
+    |> List.sort compare
+  in
+  List.concat_map
+    (fun c ->
+      let star =
+        List.sort (fun (a, _) (b, _) -> compare a b) (Hashtbl.find stars c)
+      in
+      let k = List.length star in
+      if k > max_star then []
+      else begin
+        (* Union accusers along consistent non-silent claim edges. *)
+        let arr = Array.of_list star in
+        let parent = Array.init k (fun i -> i) in
+        let rec find i = if parent.(i) = i then i else find parent.(i) in
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            if connected (fst arr.(i)) (fst arr.(j)) then begin
+              let ri = find i and rj = find j in
+              if ri <> rj then parent.(max ri rj) <- min ri rj
+            end
+          done
+        done;
+        let comps = Hashtbl.create 4 in
+        Array.iteri
+          (fun i (m, d) ->
+            let root = find i in
+            Hashtbl.replace comps root
+              ((m, d) :: Option.value ~default:[] (Hashtbl.find_opt comps root)))
+          arr;
+        Hashtbl.fold (fun _ members acc -> members :: acc) comps []
+        |> List.filter_map (fun members ->
+               if List.length members < 2 then None
+               else if List.fold_left (fun acc (_, d) -> acc + d) 0 members <> 0
+               then None
+               else
+                 Some
+                   {
+                     members = List.sort compare (List.map fst members);
+                     through = c;
+                     residue =
+                       List.fold_left (fun acc (_, d) -> acc + abs d) 0 members;
+                   })
+        |> List.sort (fun a b -> compare a.members b.members)
+      end)
+    centers
+
+let convicted rings =
+  List.concat_map (fun r -> r.members) rings |> List.sort_uniq compare
+
+let cleared rings =
+  let conv = convicted rings in
+  List.filter_map
+    (fun r -> if List.mem r.through conv then None else Some r.through)
+    rings
+  |> List.sort_uniq compare
+
+(* Fold ring attribution into a pairwise suspect list: ring members are
+   added, cleared centers (framed honest third parties) are removed. *)
+let attribute ~suspects rings =
+  let cl = cleared rings in
+  List.filter (fun s -> not (List.mem s cl)) suspects @ convicted rings
+  |> List.sort_uniq compare

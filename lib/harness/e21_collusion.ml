@@ -1,0 +1,420 @@
+(* E21: collusion rings vs the cycle-sum detector — §4.4's open flank
+   measured.  Pairwise auditing catches a lone liar because its row
+   disagrees with a majority of honest peers; a *coalition* can instead
+   aim its lies at one honest victim and balance them (one member
+   overstates what the victim owes, another understates by the same
+   amount), so no member ever crosses the strict-majority threshold and
+   the victim sits in the middle of every violating pair.  The sparse
+   audit engine's cycle detector (lib/audit) walks the claim graph
+   around each violation center, groups the accusers connected by
+   consistent-nonzero fabricated edges, and convicts exactly the
+   coalitions whose star sums to zero — clearing the center.
+
+   The grid crosses collusion plans (none, an antisymmetric pair, a
+   3-ring, plus a 5-ring under --full) with fault levels (calm mesh,
+   scheduled partitions that sever one coalition member from the bank
+   across audit rounds).  Each cell answers:
+
+   - conviction: are *all* coalition members convicted — including the
+     member whose report only arrives after a partition heals, via the
+     carry matrix — and when?
+   - framing: is the victim at the center of every fabricated star
+     cleared, and is no honest ISP ever convicted, in any cell?
+   - conservation: collusion tampers reports, never money, so the
+     e-penny residue must be zero everywhere.
+
+   Under --full the grid also rises to 10^4 ISPs — feasible only on the
+   sparse representation; dense rows alone would need ~800 MB. *)
+
+let hour = Sim.Engine.hour
+let day = Sim.Engine.day
+
+let days = 2.0
+let audit_period = 6. *. hour
+let generators = 16
+
+(* A collusion plan: which ISPs tamper, whom they frame, and the
+   per-member behaviors from the {!Zmail.Adversary} plan builders. *)
+type plan = {
+  plabel : string;
+  colluders : int list;
+  victims : int list;
+  assignments : (int * Zmail.Adversary.behavior) list;
+}
+
+let no_collusion =
+  { plabel = "none"; colluders = []; victims = []; assignments = [] }
+
+(* Members sit on even indices, victims on odd ones, so plans stay
+   disjoint from the partition companion (ISP 3 is never a member). *)
+let pair_plan =
+  {
+    plabel = "pair";
+    colluders = [ 2; 4 ];
+    victims = [ 5 ];
+    assignments = Zmail.Adversary.collusion_pair ~a:2 ~b:4 ~victim:5 ~delta:3 ();
+  }
+
+let ring_plan k =
+  let members = List.init k (fun i -> 2 * (i + 1)) in
+  let victims = List.init k (fun i -> (2 * i) + 5) in
+  {
+    plabel = Printf.sprintf "ring%d" k;
+    colluders = members;
+    victims;
+    assignments = Zmail.Adversary.collusion_ring ~members ~victims ~delta:2 ();
+  }
+
+type fault_level = { flabel : string; mesh : Sim.Fault.plan; partitioned : bool }
+
+let fault_levels =
+  [
+    { flabel = "calm"; mesh = Sim.Fault.reliable; partitioned = false };
+    {
+      flabel = "partitioned";
+      mesh = Sim.Fault.plan ~drop:0.02 ~delay_prob:0.05 ~delay_max:2.0 ();
+      partitioned = true;
+    };
+  ]
+
+(* Same window shape as E18: coalition member 2 (every plan includes
+   it) and an honest companion are severed from the bank across the
+   0.5 d and 0.75 d audit rounds, then briefly again around 1.5 d.
+   The member's tampered row only reaches the bank after the heal, so
+   ring conviction must ride the carry-matrix reconciliation. *)
+let partition_windows ~n_isps =
+  let groups = Array.make (n_isps + 1) 0 in
+  groups.(2) <- 1;
+  groups.(3) <- 1;
+  [
+    Sim.Fault.Mesh.partition ~start:(0.3 *. day) ~stop:(0.95 *. day) ~groups;
+    Sim.Fault.Mesh.partition ~start:(1.45 *. day) ~stop:(1.55 *. day) ~groups;
+  ]
+
+type outcome = {
+  attempts : int;
+  paid : int;
+  delivered : int;
+  audits : int;
+  deferred_rounds : int;
+  absences : int;
+  rings_found : int;
+  ring_volume : int;
+  first_ring : float option;  (* first round with any ring conviction *)
+  all_convicted : float option;  (* first round convicting every member *)
+  post_heal : float option;
+      (* first full-coalition conviction after the first partition
+         window heals — the round whose verification leans on the
+         carry matrix for the severed member's late report *)
+  victims_cleared : int;  (* Σ |cleared ∩ victims| over rounds *)
+  honest_convicted : int;  (* must be 0 in every cell *)
+  tampered : int;
+  residue : int;
+  metrics : Sim.Table.t;
+}
+
+let run_cell ~tracer ~persist ~seed ~n_isps ~users_per_isp ~sends_per_user
+    ~(fl : fault_level) ~(plan : plan) =
+  let world =
+    Zmail.World.create
+      {
+        (Zmail.World.default_config ~n_isps ~users_per_isp) with
+        Zmail.World.seed;
+        audit_period = Some audit_period;
+        retain_mail = false;
+        tracer = Some tracer;
+        mesh_default = fl.mesh;
+        partitions = (if fl.partitioned then partition_windows ~n_isps else []);
+        customize_isp =
+          (fun _ cfg ->
+            let cfg = { cfg with Zmail.Isp.daily_limit = 1_000_000 } in
+            {
+              cfg with
+              Zmail.Isp.initial_avail = 2 * users_per_isp;
+              minavail = users_per_isp;
+              buy_amount = 5 * users_per_isp;
+              maxavail = 20 * users_per_isp;
+            });
+      }
+  in
+  let advs =
+    List.map
+      (fun (isp, behavior) ->
+        let adv = Zmail.Adversary.create behavior in
+        Zmail.World.register_adversary world ~isp adv;
+        adv)
+      plan.assignments
+  in
+  (* After register_adversary: the honest mask excludes every coalition
+     member before the antisymmetry and cycle-residue checkers
+     subscribe — a victim conviction trips cycle-residue instantly. *)
+  let checkers = Zmail.World.attach_invariants world in
+  let engine = Zmail.World.engine world in
+  let rng = Sim.Engine.rng engine in
+  let universe = n_isps * users_per_isp in
+  let of_global g = (g / users_per_isp, g mod users_per_isp) in
+  let rank = Sim.Dist.zipf ~n:universe ~s:1.1 in
+  let stride =
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    let rec find c = if gcd c universe = 1 then c else find (c + 1) in
+    find 97
+  in
+  let attempts = ref 0 in
+  let paid = ref 0 in
+  let send () =
+    let g = (rank rng - 1) * stride mod universe in
+    let t = Sim.Dist.uniform_int rng ~lo:0 ~hi:(universe - 2) in
+    let t = if t >= g then t + 1 else t in
+    incr attempts;
+    match
+      Zmail.World.send_email world ~from:(of_global g) ~to_:(of_global t) ()
+    with
+    | Zmail.World.Submitted `Paid -> incr paid
+    | Zmail.World.Submitted `Free | Zmail.World.Deferred_snapshot
+    | Zmail.World.Failed_down | Zmail.World.Backpressured
+    | Zmail.World.Rejected _ ->
+        ()
+  in
+  let total_sends = universe * sends_per_user in
+  let n_gen = Stdlib.min generators total_sends in
+  let per_gen = total_sends / n_gen in
+  let rate = float_of_int per_gen /. (0.9 *. days *. day) in
+  for i = 0 to n_gen - 1 do
+    let budget = per_gen + if i < total_sends mod n_gen then 1 else 0 in
+    let rec step remaining () =
+      if remaining > 0 then begin
+        send ();
+        ignore
+          (Sim.Engine.schedule_after engine
+             ~delay:(Sim.Dist.exponential rng ~rate)
+             (step (remaining - 1)))
+      end
+    in
+    ignore
+      (Sim.Engine.schedule_after engine ~delay:(float_of_int i *. 13.)
+         (step budget))
+  done;
+  let label = Printf.sprintf "%s/%s" plan.plabel fl.flabel in
+  (try
+     Checkpoint.drive persist ~label ~world ~days:(days +. 0.5) ();
+     Zmail.World.run_until_quiet world;
+     Zmail.World.check_invariants ~quiescent:true world
+   with Obs.Invariant.Violation v ->
+     Format.eprintf "%a@." Obs.Invariant.pp_violation v;
+     raise (Obs.Invariant.Violation v));
+  List.iter
+    (fun c ->
+      if Obs.Invariant.checks c = 0 then
+        failwith ("E21: checker " ^ Obs.Invariant.name c ^ " never ran");
+      Obs.Invariant.detach c)
+    checkers;
+  let audits = Zmail.World.audit_results_timed world in
+  let first p =
+    List.find_map (fun (time, r) -> if p r then Some time else None) audits
+  in
+  let first_ring =
+    first (fun r -> r.Zmail.Bank.rings <> [])
+  in
+  let full_conviction (r : Zmail.Bank.audit_result) =
+    List.for_all (fun m -> List.mem m r.Zmail.Bank.convicted) plan.colluders
+  in
+  let all_convicted =
+    match plan.colluders with [] -> None | _ -> first full_conviction
+  in
+  let post_heal =
+    match plan.colluders with
+    | [] -> None
+    | _ ->
+        List.find_map
+          (fun (time, r) ->
+            if time > 0.95 *. day && full_conviction r then Some time else None)
+          audits
+  in
+  let honest_convicted =
+    List.fold_left
+      (fun acc (_, r) ->
+        acc
+        + List.length
+            (List.filter
+               (fun i -> not (List.mem i plan.colluders))
+               r.Zmail.Bank.convicted))
+      0 audits
+  in
+  let victims_cleared =
+    List.fold_left
+      (fun acc (_, r) ->
+        acc
+        + List.length
+            (List.filter (fun i -> List.mem i plan.victims) r.Zmail.Bank.cleared))
+      0 audits
+  in
+  let rings_found =
+    List.fold_left
+      (fun acc (_, r) -> acc + List.length r.Zmail.Bank.rings)
+      0 audits
+  in
+  let ring_volume =
+    List.fold_left
+      (fun acc (_, r) ->
+        acc
+        + List.fold_left
+            (fun a (ring : Audit.Cycle.ring) -> a + ring.Audit.Cycle.residue)
+            0 r.Zmail.Bank.rings)
+      0 audits
+  in
+  (* The cell's hard promises, checked here so a regression fails the
+     experiment rather than shading a table cell. *)
+  if honest_convicted > 0 then
+    failwith
+      (Printf.sprintf "E21 %s: %d honest conviction(s) — the detector framed \
+                       a compliant ISP" label honest_convicted);
+  if plan.colluders <> [] && all_convicted = None then
+    failwith
+      (Printf.sprintf
+         "E21 %s: coalition never fully convicted (first ring %s)" label
+         (match first_ring with
+         | Some t -> Printf.sprintf "at day %.2f" (t /. day)
+         | None -> "never"));
+  (* Partition cells must re-convict after the heal: the severed
+     member's tampered report only reaches that round through the
+     carry matrix, so a missing post-heal conviction means the carry
+     path lost the coalition's trail. *)
+  if plan.colluders <> [] && fl.partitioned && post_heal = None then
+    failwith
+      (Printf.sprintf
+         "E21 %s: no full-coalition conviction after the partition healed"
+         label);
+  let residue = Zmail.World.epenny_residue world in
+  if residue <> 0 then
+    failwith
+      (Printf.sprintf "E21 %s: e-penny residue %d (tampers must be \
+                       balance-neutral)" label residue);
+  let c = Zmail.World.counters world in
+  let link = Zmail.World.link_stats world in
+  {
+    attempts = !attempts;
+    paid = !paid;
+    delivered = c.Zmail.World.ham_delivered;
+    audits = List.length audits;
+    deferred_rounds = Sim.Stats.Counter.value link.Zmail.World.audits_deferred;
+    absences =
+      List.fold_left
+        (fun acc (_, r) -> acc + List.length r.Zmail.Bank.absent)
+        0 audits;
+    rings_found;
+    ring_volume;
+    first_ring;
+    all_convicted;
+    post_heal;
+    victims_cleared;
+    honest_convicted;
+    tampered =
+      List.fold_left (fun acc a -> acc + Zmail.Adversary.tampered a) 0 advs;
+    residue;
+    metrics = Obs.Metrics.to_table (Zmail.World.metrics world);
+  }
+
+let run ?obs ?persist ?(seed = 21) ?(full = false) () =
+  let obs = Option.value obs ~default:Obs.Run.none in
+  let persist = Option.value persist ~default:Checkpoint.none in
+  let tracer = Obs.Run.tracer_or obs ~capacity:512 in
+  let n_isps, users_per_isp, sends_per_user =
+    if full then (40, 200, 3) else (16, 60, 3)
+  in
+  let plans =
+    [ no_collusion; pair_plan; ring_plan 3 ]
+    @ (if full then [ ring_plan 5 ] else [])
+  in
+  let cells =
+    List.concat_map
+      (fun plan -> List.map (fun fl -> (plan, fl)) fault_levels)
+      plans
+  in
+  let outcomes =
+    List.mapi
+      (fun k (plan, fl) ->
+        ( plan,
+          fl,
+          run_cell ~tracer ~persist ~seed:(seed + k) ~n_isps ~users_per_isp
+            ~sends_per_user ~fl ~plan ))
+      cells
+  in
+  (* The 10^4-ISP row (--full): the scale §4.4 names, representable
+     only sparsely.  One calm 3-ring cell — the conviction property at
+     four orders of magnitude, not a fault sweep. *)
+  let scale =
+    if full then
+      let plan = ring_plan 3 and fl = List.hd fault_levels in
+      Some
+        ( plan,
+          run_cell ~tracer ~persist ~seed:(seed + 97) ~n_isps:10_000
+            ~users_per_isp:1 ~sends_per_user:1 ~fl ~plan )
+    else None
+  in
+  let day_of = function
+    | Some time -> Printf.sprintf "day %.2f" (time /. day)
+    | None -> "never"
+  in
+  let detection =
+    Sim.Table.create
+      ~title:
+        (Printf.sprintf
+           "E21 (collusion rings): cycle-sum detection across collusion x \
+            fault cells (%d ISPs x %d users, %.0f days, audits every %g h; \
+            convicted = strict majority OR cycle-ring membership; the framed \
+            victim must be cleared, honest convictions must be 0, residue \
+            must be 0)"
+           n_isps users_per_isp days (audit_period /. hour))
+      ~columns:
+        [
+          "collusion";
+          "faults";
+          "sends";
+          "delivered";
+          "audits";
+          "deferred";
+          "absences";
+          "tampered";
+          "rings";
+          "ring volume";
+          "first ring";
+          "all convicted";
+          "post-heal";
+          "victims cleared";
+          "honest convicted";
+          "residue";
+        ]
+  in
+  let add_row table label flabel (o : outcome) =
+    Sim.Table.add_row table
+      [
+        label;
+        flabel;
+        Sim.Table.cell_int o.attempts;
+        Sim.Table.cell_int o.delivered;
+        Sim.Table.cell_int o.audits;
+        Sim.Table.cell_int o.deferred_rounds;
+        Sim.Table.cell_int o.absences;
+        Sim.Table.cell_int o.tampered;
+        Sim.Table.cell_int o.rings_found;
+        Sim.Table.cell_int o.ring_volume;
+        day_of o.first_ring;
+        day_of o.all_convicted;
+        day_of o.post_heal;
+        Sim.Table.cell_int o.victims_cleared;
+        Sim.Table.cell_int o.honest_convicted;
+        Sim.Table.cell_int o.residue;
+      ]
+  in
+  List.iter
+    (fun (plan, fl, o) -> add_row detection plan.plabel fl.flabel o)
+    outcomes;
+  (match scale with
+  | Some (plan, o) ->
+      add_row detection (plan.plabel ^ "@10^4 isps") "calm" o
+  | None -> ());
+  if obs.Obs.Run.metrics then
+    match List.rev outcomes with
+    | (_, _, last) :: _ -> [ detection; last.metrics ]
+    | [] -> [ detection ]
+  else [ detection ]

@@ -43,7 +43,7 @@ let zmail_side ~obs ~seed =
   let pk, _ = Toycrypto.Rsa.generate rng in
   let sample =
     Zmail.Wire.seal_for_bank rng pk
-      (Zmail.Wire.Audit_reply { isp = 0; seq = 0; credit = Array.make 2 0 })
+      (Zmail.Wire.Audit_reply { isp = 0; seq = 0; credit = [| (1, 1) |] })
   in
   let settlement_bytes = settlement_msgs * Toycrypto.Seal.size_bytes sample in
   ( (delivered, ledger_ops, settlement_msgs, settlement_bytes, 0., 0.),

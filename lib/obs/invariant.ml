@@ -58,6 +58,15 @@ let bool_field (ev : Trace.event) key =
   | Some (Trace.Bool b) -> Some b
   | _ -> None
 
+let int_list_field (ev : Trace.event) key =
+  match List.assoc_opt key ev.Trace.fields with
+  | Some (Trace.Str "") -> Some []
+  | Some (Trace.Str s) ->
+      let parts = String.split_on_char ',' s in
+      let ints = List.filter_map int_of_string_opt parts in
+      if List.length ints = List.length parts then Some ints else None
+  | _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Zero-sum conservation (§1.2)                                        *)
 (* ------------------------------------------------------------------ *)
@@ -165,6 +174,70 @@ let attach_antisymmetry ?(context = 32) trace ~honest =
                   f.flying)
             pairs
         end
+    | _ -> ()
+  in
+  attach trace t sink
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-residue accounting (§4.4 collusion attribution)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Consumes the bank's closing audit span event.  The lied volume of a
+   round is what its violations sum to in absolute terms; the ring
+   volume is the part the cycle detector attributed to collusion
+   rings.  The checker fails fast — with the tracer's ring-buffer
+   context — when attribution stops adding up (ring volume exceeding
+   lied volume, rings without members, a center both cleared and
+   ring-convicted) or when a ring conviction lands on an ISP declared
+   honest: the one outcome the cycle detector must never produce. *)
+let attach_cycle_residue ?(context = 32) trace ~honest =
+  let t = fresh "cycle-residue" in
+  let is_honest i = i >= 0 && i < Array.length honest && honest.(i) in
+  let sink (ev : Trace.event) =
+    match (ev.Trace.comp, ev.Trace.name, ev.Trace.phase) with
+    | "bank", "audit", Trace.End ->
+        t.checks <- t.checks + 1;
+        let geti key = Option.value ~default:0 (int_field ev key) in
+        let rings = geti "rings"
+        and ring_volume = geti "ring_volume"
+        and lied_volume = geti "lied_volume" in
+        if ring_volume > lied_volume then
+          violate ~trace ~context t ev
+            "rings account for volume %d but the round only lied %d"
+            ring_volume lied_volume;
+        if rings = 0 && ring_volume <> 0 then
+          violate ~trace ~context t ev
+            "no rings found yet ring volume is %d" ring_volume;
+        (* Only the cycle detector's own convictions ([ring_isps]) are
+           held to the soundness bar: strict-majority offenders can be
+           transient artifacts of in-flight traffic at the snapshot
+           (E20's serving worlds), which is §4.4's pre-existing
+           ambiguity, not a ring-attribution bug. *)
+        let ring_members =
+          Option.value ~default:[] (int_list_field ev "ring_isps")
+        in
+        let cleared =
+          Option.value ~default:[] (int_list_field ev "cleared_isps")
+        in
+        if rings > 0 && List.length ring_members < 2 then
+          violate ~trace ~context t ev
+            "%d ring(s) found but only %d ring member(s) — a ring has at \
+             least two members"
+            rings (List.length ring_members);
+        List.iter
+          (fun i ->
+            if List.mem i ring_members then
+              violate ~trace ~context t ev
+                "isp %d both cleared and ring-convicted in one round" i)
+          cleared;
+        List.iter
+          (fun i ->
+            if is_honest i then
+              violate ~trace ~context t ev
+                "honest isp %d ring-convicted — cycle attribution framed a \
+                 compliant non-cheating kernel"
+                i)
+          ring_members
     | _ -> ()
   in
   attach trace t sink

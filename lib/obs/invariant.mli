@@ -27,7 +27,10 @@
     - {b exactly-once} (E16): every non-replay [bank/buy]/[bank/sell]
       and every [isp/buy_apply]/[isp/sell_apply] must occur at most
       once per (ISP, nonce) despite duplication and retransmission on
-      the bank link. *)
+      the bank link.
+    - {b cycle-residue} (§4.4 collusion, E21): the closing [bank/audit]
+      span must account for its lied volume consistently between rings
+      and residue, and never convict an honest ISP. *)
 
 type violation = {
   time : float;  (** simulated time of the offending event *)
@@ -69,3 +72,14 @@ val attach_antisymmetry : ?context:int -> Trace.t -> honest:bool array -> t
     as dishonest. *)
 
 val attach_exactly_once : ?context:int -> Trace.t -> t
+
+val attach_cycle_residue : ?context:int -> Trace.t -> honest:bool array -> t
+(** Audit-attribution accounting (§4.4 collusion).  Consumes the bank's
+    closing [bank/audit] span events and fails fast when the cycle
+    detector's books stop adding up — ring volume exceeding the round's
+    lied volume, rings without members, an ISP both cleared and
+    ring-convicted — or when a {e ring} conviction lands on an ISP
+    marked honest, the one outcome ring attribution must never produce
+    (strict-majority offenders are exempt: in-flight traffic at a
+    snapshot can transiently implicate honest ISPs, §4.4's pre-existing
+    ambiguity).  [honest] as in {!attach_antisymmetry}. *)

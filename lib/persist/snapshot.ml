@@ -7,7 +7,10 @@ type t = {
   sections : (string * string) list;
 }
 
-let current_version = 4
+(* v5: Zmail.Credit rows and the bank carry matrix moved to the
+   canonical sparse-pairs encoding (lib/audit), and Wire.Audit_reply
+   binary payloads carry sparse rows. *)
+let current_version = 5
 let magic = "ZMSNAP01"
 
 let v ~experiment ~label ~seed ~time sections =

@@ -13,10 +13,12 @@ type behavior =
   | Understate_owed of int
   | Replay_stale
   | Drop_crosscheck of int
+  | Collude of { adjust : (int * int) list }
 
 type t = {
   behavior : behavior;
-  mutable last : int array option;  (* Replay_stale: previous true row *)
+  mutable last : (int * int) array option;
+      (* Replay_stale: previous true sparse row *)
   mutable tampered : int;  (* reports actually altered *)
   mutable rounds : int;  (* thaws seen *)
 }
@@ -27,7 +29,17 @@ let create behavior =
       invalid_arg "Adversary: Understate_owed needs a positive amount"
   | Drop_crosscheck p when p < 0 ->
       invalid_arg "Adversary: Drop_crosscheck needs a valid peer"
-  | _ -> ());
+  | Collude { adjust } ->
+      if adjust = [] then invalid_arg "Adversary: Collude needs adjustments";
+      List.iter
+        (fun (p, d) ->
+          if p < 0 then invalid_arg "Adversary: Collude peer out of range";
+          if d = 0 then invalid_arg "Adversary: Collude adjustment must be non-zero")
+        adjust;
+      let peers = List.map fst adjust in
+      if List.length (List.sort_uniq compare peers) <> List.length peers then
+        invalid_arg "Adversary: Collude adjustments must target distinct peers"
+  | Understate_owed _ | Drop_crosscheck _ | Replay_stale -> ());
   { behavior; last = None; tampered = 0; rounds = 0 }
 
 let behavior t = t.behavior
@@ -38,6 +50,10 @@ let name = function
   | Understate_owed k -> Printf.sprintf "understate(%d)" k
   | Replay_stale -> "replay-stale"
   | Drop_crosscheck p -> Printf.sprintf "drop-crosscheck(%d)" p
+  | Collude { adjust } ->
+      Printf.sprintf "collude(%s)"
+        (String.concat ","
+           (List.map (fun (p, d) -> Printf.sprintf "%d:%+d" p d) adjust))
 
 let describe = function
   | Understate_owed _ ->
@@ -52,21 +68,45 @@ let describe = function
       "zeroes the row entry for one chosen peer; implicated: the single \
        broken pair flags adversary and victim for investigation, and \
        never convicts the victim under the strict-majority rule"
+  | Collude _ ->
+      "applies a fixed per-peer adjustment, coordinated with partners so \
+       colluder pairs stay antisymmetric while a victim's star balances; \
+       caught: the cycle-sum detector convicts the ring members and clears \
+       the framed victim"
 
-(* The tamper never mutates [row] in place: the kernel owns it. *)
+(* Merge a fixed adjustment list into a sparse row: out(p) = row(p) +
+   adjust(p), zeros dropped, canonical sorted order.  Deterministic by
+   construction (single sort of an association list). *)
+let merge_adjust row adjust =
+  let cells = Hashtbl.create (Array.length row + List.length adjust) in
+  Array.iter (fun (p, v) -> Hashtbl.replace cells p v) row;
+  List.iter
+    (fun (p, d) ->
+      let v = Option.value ~default:0 (Hashtbl.find_opt cells p) + d in
+      if v = 0 then Hashtbl.remove cells p else Hashtbl.replace cells p v)
+    adjust;
+  let out = Hashtbl.fold (fun p v acc -> (p, v) :: acc) cells [] in
+  Array.of_list (List.sort compare out)
+
+(* The tamper never mutates [row] in place: the kernel owns it.  Rows
+   are sparse [(peer, count)] pairs sorted by peer, and every branch
+   returns that canonical form. *)
 let tamper t ~seq:_ row =
   t.rounds <- t.rounds + 1;
   match t.behavior with
   | Understate_owed k ->
-      let out = Array.copy row in
       let changed = ref false in
-      Array.iteri
-        (fun i v ->
-          if v < 0 then begin
-            out.(i) <- v + min k (-v);
-            if out.(i) <> v then changed := true
-          end)
-        row;
+      let out =
+        Array.to_list row
+        |> List.filter_map (fun (p, v) ->
+               if v < 0 then begin
+                 changed := true;
+                 let v' = v + min k (-v) in
+                 if v' = 0 then None else Some (p, v')
+               end
+               else Some (p, v))
+        |> Array.of_list
+      in
       if !changed then t.tampered <- t.tampered + 1;
       out
   | Replay_stale -> (
@@ -80,26 +120,96 @@ let tamper t ~seq:_ row =
           if prev <> truth then t.tampered <- t.tampered + 1;
           prev)
   | Drop_crosscheck peer ->
-      if peer < Array.length row && row.(peer) <> 0 then begin
-        let out = Array.copy row in
-        out.(peer) <- 0;
+      if Array.exists (fun (p, _) -> p = peer) row then begin
         t.tampered <- t.tampered + 1;
-        out
+        Array.of_list
+          (List.filter (fun (p, _) -> p <> peer) (Array.to_list row))
       end
       else row
+  | Collude { adjust } ->
+      let out = merge_adjust row adjust in
+      if out <> row then t.tampered <- t.tampered + 1;
+      out
+
+(* ------------------------------------------------------------------ *)
+(* Collusion plans                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_distinct what l =
+  if List.length (List.sort_uniq compare l) <> List.length l then
+    invalid_arg (Printf.sprintf "Adversary: %s must be distinct" what);
+  List.iter
+    (fun i -> if i < 0 then invalid_arg "Adversary: negative ISP index") l
+
+(* Two colluders jointly cheat one victim while keeping their own pair
+   antisymmetric: [a] overstates against the victim by [delta], [b]
+   understates by the same amount (the victim's star balances), and the
+   pair fabricates a mutual claim of [fabricate] (+f / -f, so their own
+   check passes) — the consistent non-silent edge the cycle detector
+   walks to close the ring. *)
+let collusion_pair ~a ~b ~victim ~delta ?(fabricate = 7) () =
+  check_distinct "collusion_pair participants" [ a; b; victim ];
+  if delta = 0 then invalid_arg "Adversary: collusion_pair needs delta <> 0";
+  if fabricate = 0 then
+    invalid_arg "Adversary: collusion_pair needs fabricate <> 0";
+  [
+    (a, Collude { adjust = [ (victim, delta); (b, fabricate) ] });
+    (b, Collude { adjust = [ (victim, -delta); (a, -fabricate) ] });
+  ]
+
+(* A ring of k >= 2 members rotating lies across k victims: member m_i
+   overstates against victim v_i by [delta] and understates against
+   v_(i-1) by the same amount, so every victim's star balances through
+   the adjacent member pair; adjacent members fabricate the +f/-f
+   coordination edge.  Each victim yields one minimal cycle
+   {m_i, m_(i+1)} through v_i, so the detector convicts every member
+   without enumerating the long cycle.  (For k = 2 the two "adjacent"
+   members coincide, so the fabric edge is added once, not twice.) *)
+let collusion_ring ~members ~victims ~delta ?(fabricate = 7) () =
+  let k = List.length members in
+  if k < 2 then invalid_arg "Adversary: collusion_ring needs >= 2 members";
+  if List.length victims <> k then
+    invalid_arg "Adversary: collusion_ring needs one victim per member";
+  check_distinct "collusion_ring participants" (members @ victims);
+  if delta = 0 then invalid_arg "Adversary: collusion_ring needs delta <> 0";
+  if fabricate = 0 then
+    invalid_arg "Adversary: collusion_ring needs fabricate <> 0";
+  let m = Array.of_list members and v = Array.of_list victims in
+  (* Distinct per-victim magnitudes (delta, delta+1, ...).  The star
+     around each victim must balance — an unbalanced frame would shift
+     the victim's implied settlement position, a trivial tell — but
+     nothing forces each *member's* own lies to cancel, and keeping the
+     magnitudes distinct means member-centered stars sum to
+     a_i - a_{i-1} <> 0: only the victim-centered rings balance, so
+     cycle-sum attribution cannot mistake a member for a center (the
+     equal-magnitude corner where both sides balance is the documented
+     ambiguity in DESIGN.md §13). *)
+  let mag i = if delta > 0 then delta + i else delta - i in
+  List.init k (fun i ->
+      let next = m.((i + 1) mod k) and prev = m.((i + k - 1) mod k) in
+      let fabric =
+        if k = 2 then
+          (* One fabricated edge, oriented by position so the pair's
+             adjustments stay antisymmetric. *)
+          if i = 0 then [ (next, fabricate) ] else [ (prev, -fabricate) ]
+        else [ (next, fabricate); (prev, -fabricate) ]
+      in
+      let j = (i + k - 1) mod k in
+      ( m.(i),
+        Collude { adjust = ((v.(i), mag i) :: (v.(j), -mag j) :: fabric) } ))
 
 (* [last] is real protocol state for Replay_stale (the next round's lie
    depends on it), so it must ride in world captures for resume
    determinism; the counters come along for table stability. *)
 let encode_state w t =
   let open Persist.Codec.W in
-  opt int_array w t.last;
+  opt (array (pair int int)) w t.last;
   int w t.tampered;
   int w t.rounds
 
 let restore_state r t =
   let open Persist.Codec.R in
-  t.last <- opt int_array r;
+  t.last <- opt (array (pair int int)) r;
   t.tampered <- int r;
   t.rounds <- int r
 

@@ -19,8 +19,15 @@
       under §4.4 — adversary and victim are both implicated for
       investigation — but the strict-majority rule never convicts the
       victim, and the behavior gains the adversary nothing.
+    - {!Collude}: a fixed per-peer adjustment, coordinated with
+      partners ({!collusion_pair}, {!collusion_ring}) so the colluders'
+      own pairs stay antisymmetric while an honest victim's star of
+      violations balances — invisible to pairwise attribution, which
+      frames the victim.  Caught by the cycle-sum detector
+      ([Audit.Cycle]), which convicts the ring and clears the victim.
 
-    E18 measures all three across the mesh-fault grid. *)
+    E18 measures the first three across the mesh-fault grid; E21
+    measures collusion at scale. *)
 
 type behavior =
   | Understate_owed of int
@@ -30,19 +37,54 @@ type behavior =
       (** Report the previous round's true row instead of the current
           one (the first round, with nothing to replay, is honest). *)
   | Drop_crosscheck of int
-      (** Zero the reported entry for this one peer. *)
+      (** Drop the reported entry for this one peer. *)
+  | Collude of { adjust : (int * int) list }
+      (** Add each [(peer, delta)] to the reported row (zeros dropped
+          from the canonical form).  The lie is fixed per round; the
+          coordination lives in how partners' adjustments are chosen —
+          use the plan constructors below. *)
 
 type t
 
 val create : behavior -> t
-(** @raise Invalid_argument on a non-positive understatement or a
-    negative peer index. *)
+(** @raise Invalid_argument on a non-positive understatement, a
+    negative peer index, or a degenerate [Collude] adjustment (empty,
+    zero delta, or duplicate peers). *)
 
 val behavior : t -> behavior
 
-val tamper : t -> seq:int -> int array -> int array
-(** The function to install with {!Isp.set_audit_tamper}.  Never
-    mutates its input row. *)
+val tamper : t -> seq:int -> (int * int) array -> (int * int) array
+(** The function to install with {!Isp.set_audit_tamper}.  Rows are
+    sparse [(peer, count)] pairs sorted by peer; every branch returns
+    that canonical form.  Never mutates its input row. *)
+
+val collusion_pair :
+  a:int -> b:int -> victim:int -> delta:int -> ?fabricate:int -> unit ->
+  (int * behavior) list
+(** The minimal §4.4-evading collusion: [a] overstates against [victim]
+    by [delta], [b] understates by the same amount (the victim's star
+    of violations balances), and the pair fabricates a mutual
+    [+fabricate]/[-fabricate] claim so their own check passes while
+    leaving the consistent non-silent edge the cycle detector needs.
+    Returns [(isp, behavior)] assignments for {!World.register_adversary}.
+    @raise Invalid_argument on overlapping participants or zero
+    [delta]/[fabricate]. *)
+
+val collusion_ring :
+  members:int list -> victims:int list -> delta:int -> ?fabricate:int ->
+  unit -> (int * behavior) list
+(** A ring of [k >= 2] members rotating lies across [k] victims:
+    member [m_i] overstates against victim [v_i] by magnitude
+    [a_i = delta + i] and understates against [v_(i-1)] by [a_(i-1)];
+    adjacent members fabricate their coordination edge.  The
+    magnitudes are distinct on purpose: each victim's star still
+    balances ([+a_i] from [m_i], [-a_i] from [m_(i+1)]) but no
+    member's own lies cancel, so only victim-centered rings sum to
+    zero and attribution cannot flip (DESIGN.md §13).  Each victim
+    yields one minimal cycle [{m_i, m_(i+1)}], so the detector
+    convicts every member.  [members] and [victims] must be disjoint
+    and distinct, with one victim per member.
+    @raise Invalid_argument otherwise. *)
 
 val tampered : t -> int
 (** Reports actually altered so far (a tamper that happens to be the

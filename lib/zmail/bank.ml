@@ -49,7 +49,8 @@ type audit_state = {
   audit_seq : int;
   mutable waiting : int list;
   absent : int list;  (* excluded at round start: unreachable, not guilty *)
-  reported : int array array;
+  reported : (int * int) array array;
+      (* per-ISP sparse rows as they came off the wire *)
   span : int;  (* trace span opened at start_audit *)
 }
 
@@ -64,14 +65,16 @@ type t = {
      the original reply instead of being re-applied: exactly-once
      effect over an at-least-once link. *)
   reply_cache : (int * int64, Wire.payload) Hashtbl.t;
-  (* [carry.(x).(y)]: what reporter [y] has claimed against ISP [x]
-     across the rounds [x] was absent for and has not answered yet.
-     When [x] finally reports, its cumulative row covers all its missed
-     periods at once, so the pair check compares it against its peers'
-     earlier reports via this carry instead of falsely accusing both
-     sides of the partition.  Rows are cleared when their ISP reports
-     (the carry is consumed by that round's check). *)
-  carry : int array array;
+  (* [carry.(x)] keyed by reporter [y]: what [y] has claimed against
+     ISP [x] across the rounds [x] was absent for and has not answered
+     yet.  When [x] finally reports, its cumulative row covers all its
+     missed periods at once, so the pair check compares it against its
+     peers' earlier reports via this carry instead of falsely accusing
+     both sides of the partition.  Rows are cleared when their ISP
+     reports (the carry is consumed by that round's check).  Sparse:
+     only partitions that actually separated traffic partners populate
+     cells. *)
+  carry : Audit.Row.t array;
   mutable outstanding : int;
   mutable seq : int;
   mutable audit : audit_state option;
@@ -96,7 +99,7 @@ let create rng config =
     secret;
     account = Array.make config.n_isps config.initial_account;
     reply_cache = Hashtbl.create 256;
-    carry = Array.make_matrix config.n_isps config.n_isps 0;
+    carry = Array.init config.n_isps (fun _ -> Audit.Row.create ~n:config.n_isps);
     outstanding = 0;
     seq = 0;
     audit = None;
@@ -125,6 +128,15 @@ type audit_result = {
   seq : int;
   violations : Credit.Audit.violation list;
   suspects : int list;
+  convicted : int list;
+      (** Positive convictions only: strict-majority offenders plus
+          cycle-ring members.  A subset of [suspects]; the remainder of
+          [suspects] is investigation, not conviction. *)
+  rings : Audit.Cycle.ring list;
+      (** Collusion rings found by the cycle-sum detector. *)
+  cleared : int list;
+      (** Honest third parties the pairwise check would have framed —
+          ring centers, removed from [suspects]. *)
   absent : int list;
       (** ISPs the round proceeded without (unreachable at round start).
           Never suspects by virtue of absence: unreachable is not
@@ -156,52 +168,107 @@ let reply t payload =
    implicating both sides of a healed partition.  Then the carry is
    rolled forward: reporters' rows are consumed, and what they just
    claimed against this round's absentees is accumulated for the round
-   those absentees eventually answer. *)
+   those absentees eventually answer.
+
+   Everything runs through the sparse claim accumulator: cost follows
+   the populated cell count, never n^2.  After the pairwise pass the
+   cycle-sum detector walks the violating edges for collusion rings —
+   coordinated liars whose star balances at an honest victim — and
+   attribution convicts the ring while clearing the framed center. *)
 let finish_audit t (audit : audit_state) =
   let n = t.config.n_isps in
   let present = Array.make n false in
   for i = 0 to n - 1 do
     present.(i) <- t.config.compliant.(i) && not (List.mem i audit.absent)
   done;
-  (* The carry matters both when this round has absentees and when a
-     previous round's absentee is finally reporting now — so the fast
-     path keys on the carry being empty, not on this round's list. *)
-  let carry_live =
-    Array.exists (Array.exists (fun v -> v <> 0)) t.carry
+  let expected_cells =
+    Array.fold_left (fun a row -> a + Array.length row) 0 audit.reported
+    + Array.fold_left (fun a row -> a + Audit.Row.cardinal row) 0 t.carry
   in
-  let adjusted =
-    if audit.absent = [] && not carry_live then audit.reported
-    else
-      Array.init n (fun a ->
-          if not present.(a) then audit.reported.(a)
-          else
-            Array.init n (fun b -> audit.reported.(a).(b) + t.carry.(b).(a)))
-  in
-  let violations = Credit.Audit.verify ~reported:adjusted ~compliant:present in
+  let acc = Audit.Verify.create ~expected_cells ~present () in
+  Array.iteri
+    (fun a row ->
+      if present.(a) then
+        Array.iter (fun (b, v) -> Audit.Verify.claim acc ~reporter:a ~peer:b v) row)
+    audit.reported;
+  (* Carry adjustment: [carry.(x)] cell [y -> v] means reporter [y]
+     claimed [v] against [x] in a round [x] missed; feed it as part of
+     [y]'s row so [x]'s cumulative report reconciles against it.
+     Claims touching a still-absent [x] are ignored by the accumulator
+     (x is not present) and stay carried. *)
+  Array.iteri
+    (fun x row ->
+      Audit.Row.iter (fun y v -> Audit.Verify.claim acc ~reporter:y ~peer:x v) row)
+    t.carry;
+  let violations = Audit.Verify.violations acc in
   for x = 0 to n - 1 do
-    if present.(x) then Array.fill t.carry.(x) 0 n 0
+    if present.(x) then Audit.Row.clear t.carry.(x)
   done;
+  let absent_compliant = Hashtbl.create 8 in
   List.iter
-    (fun x ->
-      if t.config.compliant.(x) then
-        for y = 0 to n - 1 do
-          if present.(y) then
-            t.carry.(x).(y) <- t.carry.(x).(y) + audit.reported.(y).(x)
-        done)
+    (fun x -> if t.config.compliant.(x) then Hashtbl.replace absent_compliant x ())
     audit.absent;
+  if Hashtbl.length absent_compliant > 0 then
+    Array.iteri
+      (fun y row ->
+        if present.(y) then
+          Array.iter
+            (fun (b, v) ->
+              if b >= 0 && b < n && Hashtbl.mem absent_compliant b then
+                Audit.Row.add t.carry.(b) y v)
+            row)
+      audit.reported;
   t.audit <- None;
   t.seq <- t.seq + 1;
   t.audits_completed <- t.audits_completed + 1;
-  let suspects = Credit.Audit.suspects ~compliant:present violations in
-  if Obs.Trace.active t.tracer then
+  let offenders = Audit.Verify.offenders ~present violations in
+  let rings =
+    Audit.Cycle.detect ~violations ~offenders
+      ~connected:(fun a b -> Audit.Verify.consistent_nonzero acc a b)
+  in
+  let pairwise =
+    match (offenders, violations) with
+    | [], [] -> []
+    | [], _ -> Credit.Audit.implicated violations
+    | _, _ -> offenders
+  in
+  let suspects = Audit.Cycle.attribute ~suspects:pairwise rings in
+  let convicted =
+    List.sort_uniq compare (offenders @ Audit.Cycle.convicted rings)
+  in
+  let cleared = Audit.Cycle.cleared rings in
+  if Obs.Trace.active t.tracer then begin
+    let ring_volume =
+      List.fold_left (fun acc (r : Audit.Cycle.ring) -> acc + r.residue) 0 rings
+    in
     Obs.Trace.span_end t.tracer ~span:audit.span ~comp:"bank" "audit"
       ~fields:
         [ ("seq", Obs.Trace.Int audit.audit_seq);
           ("violations", Obs.Trace.Int (List.length violations));
           ("suspects", Obs.Trace.Int (List.length suspects));
-          ("absent", Obs.Trace.Int (List.length audit.absent)) ];
+          ("absent", Obs.Trace.Int (List.length audit.absent));
+          ("rings", Obs.Trace.Int (List.length rings));
+          ("convicted", Obs.Trace.Int (List.length convicted));
+          ("cleared", Obs.Trace.Int (List.length cleared));
+          ("lied_volume", Obs.Trace.Int (Audit.Verify.lied_volume violations));
+          ("ring_volume", Obs.Trace.Int ring_volume);
+          (* Identity lists (comma-joined) so online checkers can test
+             membership, not just counts.  [ring_isps] carries only the
+             cycle detector's convictions: majority offenders can be
+             transient (in-flight traffic at the snapshot) and are not
+             held to the ring attribution's soundness bar. *)
+          ( "convicted_isps",
+            Obs.Trace.Str (String.concat "," (List.map string_of_int convicted)) );
+          ( "ring_isps",
+            Obs.Trace.Str
+              (String.concat ","
+                 (List.map string_of_int (Audit.Cycle.convicted rings))) );
+          ( "cleared_isps",
+            Obs.Trace.Str (String.concat "," (List.map string_of_int cleared)) ) ]
+  end;
   Audit_complete
-    { seq = audit.audit_seq; violations; suspects; absent = audit.absent }
+    { seq = audit.audit_seq; violations; suspects; convicted; rings; cleared;
+      absent = audit.absent }
 
 let on_payload t ~from_isp payload =
   match (payload : Wire.payload) with
@@ -316,7 +383,7 @@ let start_audit ?(except = []) t =
         audit_seq = t.seq;
         waiting;
         absent;
-        reported = Array.make_matrix t.config.n_isps t.config.n_isps 0;
+        reported = Array.make t.config.n_isps [||];
         span;
       };
   List.map
@@ -363,7 +430,7 @@ let encode_state w t =
       i64 w nonce;
       Wire.encode_bin w payload)
     w entries;
-  array int_array w t.carry;
+  array Audit.Row.encode w t.carry;
   int w t.outstanding;
   int w t.seq;
   opt
@@ -371,7 +438,7 @@ let encode_state w t =
       int w a.audit_seq;
       list int w a.waiting;
       list int w a.absent;
-      array int_array w a.reported;
+      array (array (pair int int)) w a.reported;
       int w a.span)
     w t.audit;
   int w t.buys;
@@ -399,15 +466,10 @@ let restore_state r t =
          let payload = Wire.decode_bin r in
          ((isp, nonce), payload))
        r);
-  let carry = array int_array r in
+  let carry = array (fun r -> Audit.Row.restore r ~n:t.config.n_isps) r in
   if Array.length carry <> t.config.n_isps then
     corrupt r "Bank: carry matrix size mismatch";
-  Array.iteri
-    (fun x row ->
-      if Array.length row <> t.config.n_isps then
-        corrupt r "Bank: carry row size mismatch";
-      Array.blit row 0 t.carry.(x) 0 (Array.length row))
-    carry;
+  Array.blit carry 0 t.carry 0 (Array.length carry);
   t.outstanding <- int r;
   t.seq <- int r;
   (* [audit_state] is rebuilt wholesale: nothing outside the bank holds
@@ -418,7 +480,7 @@ let restore_state r t =
         let audit_seq = int r in
         let waiting = list int r in
         let absent = list int r in
-        let reported = array int_array r in
+        let reported = array (array (pair int int)) r in
         let span = int r in
         if Array.length reported <> t.config.n_isps then
           corrupt r "Bank: audit matrix size mismatch";

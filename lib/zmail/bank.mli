@@ -79,7 +79,20 @@ type audit_result = {
           peers — cheaters disagree with (nearly) everyone, honest
           ISPs only with the cheaters.  When no ISP crosses the
           majority threshold, everyone implicated is reported for
-          further investigation (§4.4). *)
+          further investigation (§4.4) — minus anyone the cycle
+          detector cleared, plus every ring member it convicted. *)
+  convicted : int list;
+      (** Positive convictions only: strict-majority offenders plus
+          cycle-ring members.  A subset of [suspects]; the rest of
+          [suspects] is investigation, never conviction — the
+          distinction E21's zero-honest-convictions claim rests on. *)
+  rings : Audit.Cycle.ring list;
+      (** Collusion rings the cycle-sum detector found this round:
+          accuser sets whose discrepancies balance at an honest center
+          and who are linked by consistent non-silent claims. *)
+  cleared : int list;
+      (** Ring centers — honest third parties the pairwise check would
+          have framed — removed from [suspects]. *)
   absent : int list;
       (** Compliant ISPs the round ran without because they were
           unreachable at round start.  Unreachable is not guilty: they

@@ -10,17 +10,28 @@
    answering audit round [seq]: buffered receives stamped [<= seq] were
    folded into the reported row, epoch [seq+1] becomes the fresh
    period, later epochs stay buffered — the Chandy-Lamport marker rule
-   for in-flight messages, generalized to multi-round lag. *)
+   for in-flight messages, generalized to multi-round lag.
+
+   Periods are sparse rows ([Audit.Row]): under a Zipf workload an ISP
+   exchanges mail with a small fraction of its peers, so the vector
+   costs O(traffic partners), not O(n) — at 10^4 ISPs the dense
+   per-ISP array (and the dense wire row it fed) is what made worlds
+   of that size unrepresentable. *)
+
+module Row = Audit.Row
+module Sparse = Audit.Verify
+
 type t = {
-  now : int array;
-  mutable early : (int * int array) list;  (* epoch -> counts, ascending *)
+  n : int;
+  mutable now : Row.t;
+  mutable early : (int * Row.t) list;  (* epoch -> counts, ascending *)
   mutable tracer : Obs.Trace.t;
   mutable owner : int;  (* this vector's ISP index, for trace events *)
 }
 
 let create ~n =
   if n <= 0 then invalid_arg "Credit.create: n must be positive";
-  { now = Array.make n 0; early = []; tracer = Obs.Trace.none; owner = -1 }
+  { n; now = Row.create ~n; early = []; tracer = Obs.Trace.none; owner = -1 }
 
 let set_tracer t ~owner tracer =
   t.tracer <- tracer;
@@ -35,31 +46,31 @@ let ev t name fields =
   if Obs.Trace.active t.tracer then
     Obs.Trace.emit t.tracer ~actor:t.owner ~fields ~comp:"credit" name
 
-let n t = Array.length t.now
+let n t = t.n
 
-let get t peer = t.now.(peer)
+let get t peer = Row.get t.now peer
 
 let record_send t ~peer =
-  t.now.(peer) <- t.now.(peer) + 1;
+  Row.add t.now peer 1;
   if tracing t then ev t "send" [ ("peer", Obs.Trace.Int peer) ]
 
 let record_receive t ~peer =
-  t.now.(peer) <- t.now.(peer) - 1;
+  Row.add t.now peer (-1);
   if tracing t then
     ev t "recv" [ ("peer", Obs.Trace.Int peer); ("early", Obs.Trace.Bool false) ]
 
 let bucket t ~epoch =
   match List.assoc_opt epoch t.early with
-  | Some arr -> arr
+  | Some row -> row
   | None ->
-      let arr = Array.make (Array.length t.now) 0 in
+      let row = Row.create ~n:t.n in
       t.early <-
-        List.merge (fun (a, _) (b, _) -> compare a b) t.early [ (epoch, arr) ];
-      arr
+        List.merge (fun (a, _) (b, _) -> compare a b) t.early [ (epoch, row) ];
+      row
 
 let record_receive_early t ~epoch ~peer =
-  let arr = bucket t ~epoch in
-  arr.(peer) <- arr.(peer) - 1;
+  let row = bucket t ~epoch in
+  Row.add row peer (-1);
   if tracing t then
     ev t "recv"
       [
@@ -69,78 +80,83 @@ let record_receive_early t ~epoch ~peer =
       ]
 
 let cancel_send t ~peer =
-  t.now.(peer) <- t.now.(peer) - 1;
+  Row.add t.now peer (-1);
   if tracing t then ev t "cancel" [ ("peer", Obs.Trace.Int peer) ]
 
-let sum arr = Array.fold_left ( + ) 0 arr
-
 let early_pending t =
-  -List.fold_left (fun acc (_, arr) -> acc + sum arr) 0 t.early
+  -List.fold_left (fun acc (_, row) -> acc + Row.sum row) 0 t.early
 
-let snapshot t = Array.copy t.now
+let snapshot t = Row.to_dense t.now
 
 (* The cumulative row answering audit round [seq]: everything booked in
    the open period(s), plus buffered receives already stamped with an
    epoch the round covers.  Pure — [reset_upto] is the mutating half. *)
-let snapshot_upto t ~seq =
-  let snap = Array.copy t.now in
-  List.iter
-    (fun (e, arr) ->
-      if e <= seq then
-        Array.iteri (fun i v -> snap.(i) <- snap.(i) + v) arr)
-    t.early;
+let report_row t ~seq =
+  let snap = Row.copy t.now in
+  List.iter (fun (e, row) -> if e <= seq then Row.add_row snap row) t.early;
   snap
+
+let snapshot_upto t ~seq = Row.to_dense (report_row t ~seq)
+
+let report_upto t ~seq = Row.pairs (report_row t ~seq)
+
+let populated t = Row.cardinal t.now
 
 let reset_upto t ~seq =
   let folded =
     -List.fold_left
-       (fun acc (e, arr) -> if e <= seq then acc + sum arr else acc)
+       (fun acc (e, row) -> if e <= seq then acc + Row.sum row else acc)
        0 t.early
   in
   if folded > 0 then
     ev t "fold" [ ("upto", Obs.Trace.Int seq); ("count", Obs.Trace.Int folded) ];
   let promoted =
     match List.assoc_opt (seq + 1) t.early with
-    | Some arr -> -sum arr
+    | Some row -> -Row.sum row
     | None -> 0
   in
   ev t "reset" [ ("promoted", Obs.Trace.Int promoted) ];
-  Array.fill t.now 0 (Array.length t.now) 0;
-  (match List.assoc_opt (seq + 1) t.early with
-  | Some arr -> Array.blit arr 0 t.now 0 (Array.length t.now)
-  | None -> ());
+  t.now <-
+    (match List.assoc_opt (seq + 1) t.early with
+    | Some row -> Row.copy row
+    | None -> Row.create ~n:t.n);
   t.early <- List.filter (fun (e, _) -> e > seq + 1) t.early
 
-let net_flow t = Array.fold_left ( + ) 0 t.now
+let net_flow t = Row.sum t.now
 
 (* The tracer binding and owner index are wiring, not state: the
-   restored vector keeps whatever tracer the live world attached. *)
+   restored vector keeps whatever tracer the live world attached.
+   Rows persist in canonical sorted-pairs form (snapshot v5) — equal
+   vectors encode to identical bytes. *)
 let encode_state w t =
-  Persist.Codec.W.int_array w t.now;
+  Row.encode w t.now;
   Persist.Codec.W.list
-    (Persist.Codec.W.pair Persist.Codec.W.int Persist.Codec.W.int_array)
+    (fun w (e, row) ->
+      Persist.Codec.W.int w e;
+      Row.encode w row)
     w t.early
 
 let restore_state r t =
-  let check name src =
-    if Array.length src <> Array.length t.now then
-      Persist.Codec.R.corrupt r
-        (Printf.sprintf "Credit: %s has %d peers, snapshot has %d" name
-           (Array.length t.now) (Array.length src))
-  in
-  let src = Persist.Codec.R.int_array r in
-  check "now" src;
-  Array.blit src 0 t.now 0 (Array.length t.now);
-  let early =
+  t.now <- Row.restore r ~n:t.n;
+  t.early <-
     Persist.Codec.R.list
-      (Persist.Codec.R.pair Persist.Codec.R.int Persist.Codec.R.int_array)
+      (fun r ->
+        let e = Persist.Codec.R.int r in
+        let row = Row.restore r ~n:t.n in
+        (e, row))
       r
-  in
-  List.iter (fun (_, arr) -> check "early" arr) early;
-  t.early <- early
 
+(* The dense reference verifier.  [Audit.Verify] (the sparse engine in
+   lib/audit) is what the bank runs at scale; this O(n^2) scan is kept
+   as the executable specification the property tests compare it
+   against, and for the small dense matrices of the federation path.
+   The violation record is one and the same type. *)
 module Audit = struct
-  type violation = { isp_a : int; isp_b : int; discrepancy : int }
+  type violation = Sparse.violation = {
+    isp_a : int;
+    isp_b : int;
+    discrepancy : int;
+  }
 
   let verify ~reported ~compliant =
     let n = Array.length compliant in
@@ -170,24 +186,9 @@ module Audit = struct
     |> List.sort_uniq compare
 
   let suspects ~compliant violations =
-    let compliant_count =
-      Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 compliant
-    in
-    let counts = Hashtbl.create 8 in
-    List.iter
-      (fun v ->
-        List.iter
-          (fun isp ->
-            Hashtbl.replace counts isp
-              (1 + Option.value ~default:0 (Hashtbl.find_opt counts isp)))
-          [ v.isp_a; v.isp_b ])
-      violations;
-    let majority = (compliant_count - 1) / 2 in
-    let repeat_offenders =
-      Hashtbl.fold (fun isp n acc -> if n > majority then isp :: acc else acc) counts []
-    in
-    match (repeat_offenders, violations) with
+    let offenders = Sparse.offenders ~present:compliant violations in
+    match (offenders, violations) with
     | [], [] -> []
     | [], _ -> implicated violations
-    | offenders, _ -> List.sort compare offenders
+    | offenders, _ -> offenders
 end

@@ -1,10 +1,18 @@
 (** Per-peer credit vectors and the §4.4 consistency check.
 
-    Each compliant ISP [i] keeps [credit.(j)]: incremented when [i]
+    Each compliant ISP [i] keeps a per-peer count: incremented when [i]
     sends an email to compliant ISP [j], decremented when [i] receives
     one from [j].  After quiescence, honesty implies the antisymmetry
-    [credit_i.(j) + credit_j.(i) = 0] for every pair; any violation
-    implicates at least one of the two ISPs. *)
+    [credit_i(j) + credit_j(i) = 0] for every pair; any violation
+    implicates at least one of the two ISPs.
+
+    The vector is backed by a sparse row ({!Audit.Row}): storage and
+    reporting cost scale with the ISP's actual traffic partners, not
+    with the world size, which is what makes 10^4-ISP audits
+    representable.  The dense [int array] views ({!snapshot},
+    {!snapshot_upto}) are retained for small-world tests and the
+    federation path; the serving path reports sparsely via
+    {!report_upto}. *)
 
 type t
 (** A mutable credit vector over [n] peers. *)
@@ -57,6 +65,15 @@ val snapshot_upto : t -> seq:int -> int array
     which the bank reconciles against its carry of the peers' earlier
     reports.  Pure — pair with {!reset_upto}. *)
 
+val report_upto : t -> seq:int -> (int * int) array
+(** The same cumulative row as {!snapshot_upto}, in canonical sparse
+    form: non-zero [(peer, count)] cells sorted by peer.  This is what
+    an honest ISP puts on the audit wire — O(traffic partners), never
+    O(n). *)
+
+val populated : t -> int
+(** Number of non-zero cells in the current-period vector. *)
+
 val reset_upto : t -> seq:int -> unit
 (** Close the period(s) answering audit round [seq] (§4.4): buffered
     receives stamped [<= seq] are discarded (the {!snapshot_upto} row
@@ -70,16 +87,22 @@ val net_flow : t -> int
 val encode_state : Persist.Codec.W.t -> t -> unit
 val restore_state : Persist.Codec.R.t -> t -> unit
 (** Snapshot capture and in-place restore of the current-period and
-    early-receive vectors.  The tracer binding is wiring, not state,
-    and is untouched.  Restore raises [Persist.Codec.Corrupt] on a
-    peer-count mismatch. *)
+    early-receive vectors, in canonical sorted sparse-pairs form
+    (snapshot v5): equal vectors encode to identical bytes.  The tracer
+    binding is wiring, not state, and is untouched.  Restore raises
+    [Persist.Codec.Corrupt] on an out-of-range peer or malformed row. *)
 
-(** The bank's verification matrix. *)
+(** The dense reference verifier.  At scale the bank runs the sparse
+    engine ({!Audit.Verify} in [lib/audit]); this O(n^2) scan over
+    dense matrices is the executable specification the property tests
+    compare it against, and serves the federation's small dense path.
+    [violation] is the {e same type} as [Audit.Verify.violation], so
+    results from either engine mix freely. *)
 module Audit : sig
-  type violation = {
+  type violation = Audit.Verify.violation = {
     isp_a : int;
     isp_b : int;
-    discrepancy : int;  (** [credit_a.(b) + credit_b.(a)], non-zero. *)
+    discrepancy : int;  (** [credit_a(b) + credit_b(a)], non-zero. *)
   }
 
   val verify : reported:int array array -> compliant:bool array -> violation list

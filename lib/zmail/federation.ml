@@ -267,6 +267,16 @@ let on_audit_reply t ~from_isp sealed =
         match Wire.open_at_bank bank.secret sealed with
         | Some (Wire.Audit_reply { isp; seq; credit })
           when isp = from_isp && seq = audit.audit_seq && List.mem isp audit.waiting ->
+            (* The wire row is sparse; the federation's global matrix
+               stays dense (it is small — a handful of member banks'
+               worth of ISPs — and [bank_suspects] reasons over whole
+               blocks of it).  Out-of-range cells in a malformed row
+               count for nothing. *)
+            let dense = Array.make t.config.n_isps 0 in
+            Array.iter
+              (fun (p, v) ->
+                if p >= 0 && p < t.config.n_isps then dense.(p) <- dense.(p) + v)
+              credit;
             (* A [Lie_in_audit] home bank rewrites its own members'
                rows against foreign-homed peers before merging them
                into the global matrix: every cross-bank pair involving
@@ -283,8 +293,8 @@ let on_audit_reply t ~from_isp sealed =
                         && t.config.home.(peer) <> home
                       then v + d
                       else v)
-                    credit
-              | Honest_bank | Over_issue _ | Skim_position _ -> credit
+                    dense
+              | Honest_bank | Over_issue _ | Skim_position _ -> dense
             in
             audit.reported.(isp) <- credit;
             audit.waiting <- List.filter (fun i -> i <> isp) audit.waiting;
@@ -306,6 +316,13 @@ let on_audit_reply t ~from_isp sealed =
                      violations;
                      suspects =
                        Credit.Audit.suspects ~compliant:t.config.compliant violations;
+                     convicted =
+                       Audit.Verify.offenders ~present:t.config.compliant violations;
+                     (* The federation path keeps pairwise attribution
+                        only: its Byzantine layer is the member banks
+                        ([bank_suspects]), not colluding ISPs. *)
+                     rings = [];
+                     cleared = [];
                      (* A federation round addresses every member
                         synchronously; there is no quorum path here. *)
                      absent = [];

@@ -60,9 +60,11 @@ type t = {
       (** The audit round a current freeze answers; meaningful only
           while [not cansend].  Usually [seq], but larger after the
           bank skipped us in rounds we were unreachable for. *)
-  mutable audit_tamper : (seq:int -> int array -> int array) option;
-      (** Byzantine hook: rewrites the credit row reported at {!thaw}.
-          Reports only — the real vector and the money are untouched. *)
+  mutable audit_tamper :
+    (seq:int -> (int * int) array -> (int * int) array) option;
+      (** Byzantine hook: rewrites the sparse credit row reported at
+          {!thaw}.  Reports only — the real vector and the money are
+          untouched. *)
   mutable pending_warnings : int list;  (** Users newly at their limit. *)
   mutable warned_today : bool array;
   mutable sent_paid : int;
@@ -454,7 +456,7 @@ let on_bank_message t signed =
 let thaw t =
   if t.cansend then invalid_arg "Isp.thaw: no snapshot freeze in force";
   let seq = t.freeze_for in
-  let credit = Credit.snapshot_upto t.credit ~seq in
+  let credit = Credit.report_upto t.credit ~seq in
   let credit =
     match t.audit_tamper with None -> credit | Some f -> f ~seq credit
   in

@@ -171,15 +171,17 @@ val on_bank_message : t -> Wire.signed -> reaction
 
 val thaw : t -> Toycrypto.Seal.sealed
 (** End the snapshot freeze: emit the sealed [Audit_reply] carrying the
-    credit snapshot for the frozen-for round ({!Credit.snapshot_upto}),
+    sparse credit row for the frozen-for round ({!Credit.report_upto}),
     close the answered period(s) ({!Credit.reset_upto}), advance [seq]
     past the answered round, and lift [cansend].
     @raise Invalid_argument if no freeze is in force. *)
 
-val set_audit_tamper : t -> (seq:int -> int array -> int array) option -> unit
+val set_audit_tamper :
+  t -> (seq:int -> (int * int) array -> (int * int) array) option -> unit
 (** Install a Byzantine report rewriter: the function receives the
-    audit round and the true credit row at {!thaw} and returns the row
-    actually reported to the bank.  Only the {e report} is altered —
+    audit round and the true sparse credit row ([(peer, count)] sorted
+    by peer) at {!thaw} and returns the row actually reported to the
+    bank.  Only the {e report} is altered —
     the kernel's real credit state, balances and e-penny flows are
     untouched, which is what makes every such behavior balance-neutral
     by construction ({!Adversary}).  Wiring, not state: not captured in

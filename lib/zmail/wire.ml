@@ -4,7 +4,11 @@ type payload =
   | Sell of { amount : Epenny.amount; nonce : int64 }
   | Sell_reply of { nonce : int64 }
   | Audit_request of { seq : int }
-  | Audit_reply of { isp : int; seq : int; credit : int array }
+  | Audit_reply of { isp : int; seq : int; credit : (int * int) array }
+      (* [credit] is the sparse reported row: (peer, count) sorted by
+         peer.  Honest encoders emit the canonical non-zero form
+         ([Audit.Row.pairs]); tampered rows may carry explicit zeros,
+         which the verifier treats as no claim. *)
   | Transfer of { from_bank : int; to_bank : int; amount : Epenny.amount; xfer_id : int }
   | Transfer_ack of { xfer_id : int }
 
@@ -16,8 +20,14 @@ let encode = function
   | Sell_reply { nonce } -> Printf.sprintf "sellreply %Ld" nonce
   | Audit_request { seq } -> Printf.sprintf "request %d" seq
   | Audit_reply { isp; seq; credit } ->
+      (* "-" marks an empty row: the cells field must stay non-empty
+         for the space-split decoder to see four words. *)
       Printf.sprintf "reply %d %d %s" isp seq
-        (String.concat "," (Array.to_list (Array.map string_of_int credit)))
+        (if Array.length credit = 0 then "-"
+         else
+           String.concat ","
+             (Array.to_list
+                (Array.map (fun (p, v) -> Printf.sprintf "%d:%d" p v) credit)))
   | Transfer { from_bank; to_bank; amount; xfer_id } ->
       Printf.sprintf "transfer %d %d %d %d" from_bank to_bank amount xfer_id
   | Transfer_ack { xfer_id } -> Printf.sprintf "transferack %d" xfer_id
@@ -47,12 +57,24 @@ let decode s =
       | None -> fail ())
   | [ "reply"; isp; seq; credit ] -> (
       match (int_of_string_opt isp, int_of_string_opt seq) with
-      | Some isp, Some seq -> (
-          let cells = String.split_on_char ',' credit in
-          let parsed = List.filter_map int_of_string_opt cells in
-          if List.length parsed = List.length cells then
-            Ok (Audit_reply { isp; seq; credit = Array.of_list parsed })
-          else fail ())
+      | Some isp, Some seq ->
+          if credit = "-" then Ok (Audit_reply { isp; seq; credit = [||] })
+          else (
+            let cells = String.split_on_char ',' credit in
+            let parsed =
+              List.filter_map
+                (fun cell ->
+                  match String.split_on_char ':' cell with
+                  | [ p; v ] -> (
+                      match (int_of_string_opt p, int_of_string_opt v) with
+                      | Some p, Some v -> Some (p, v)
+                      | _ -> None)
+                  | _ -> None)
+                cells
+            in
+            if List.length parsed = List.length cells then
+              Ok (Audit_reply { isp; seq; credit = Array.of_list parsed })
+            else fail ())
       | _ -> fail ())
   | [ "transfer"; from_bank; to_bank; amount; xfer_id ] -> (
       match
@@ -99,7 +121,7 @@ let encode_bin w p =
       u8 w 5;
       int w isp;
       int w seq;
-      int_array w credit
+      array (pair int int) w credit
   | Transfer { from_bank; to_bank; amount; xfer_id } ->
       u8 w 6;
       int w from_bank;
@@ -132,7 +154,7 @@ let decode_bin r =
   | 5 ->
       let isp = int r in
       let seq = int r in
-      let credit = int_array r in
+      let credit = array (pair int int) r in
       Audit_reply { isp; seq; credit }
   | 6 ->
       let from_bank = int r in

@@ -21,7 +21,14 @@ type payload =
   | Sell of { amount : Epenny.amount; nonce : int64 }
   | Sell_reply of { nonce : int64 }
   | Audit_request of { seq : int }
-  | Audit_reply of { isp : int; seq : int; credit : int array }
+  | Audit_reply of { isp : int; seq : int; credit : (int * int) array }
+      (** [credit] is the {e sparse} reported row: [(peer, count)]
+          sorted by peer id.  At 10^4 ISPs a dense row would make every
+          reply (and its sealing cost) O(n); the sparse row is sized by
+          the ISP's actual traffic partners.  Honest encoders emit the
+          canonical non-zero form ([Audit.Row.pairs]); tampered rows
+          may carry explicit zeros, which verification treats as no
+          claim. *)
   | Transfer of { from_bank : int; to_bank : int; amount : Epenny.amount; xfer_id : int }
       (** Bank → bank clearing transfer (§5): signed by [from_bank],
           applied exactly once at [to_bank] (dedup on [xfer_id]). *)

@@ -235,13 +235,14 @@ let attach_invariants ?honest t =
   let zero_sum = Obs.Invariant.attach_zero_sum t.tracer ~initial:t.initial in
   let antisymmetry = Obs.Invariant.attach_antisymmetry t.tracer ~honest in
   let exactly_once = Obs.Invariant.attach_exactly_once t.tracer in
+  let cycle_residue = Obs.Invariant.attach_cycle_residue t.tracer ~honest in
   (* A background heartbeat so conservation is compared while the run
      is in progress, not only at audit rounds and the final
      checkpoint.  Background events never keep the run alive. *)
   ignore
     (Sim.Engine.every t.engine ~period:Sim.Engine.hour (fun () ->
          check_invariants t));
-  [ zero_sum; antisymmetry; exactly_once ]
+  [ zero_sum; antisymmetry; exactly_once; cycle_residue ]
 
 (* ------------------------------------------------------------------ *)
 (* Bank links                                                          *)
@@ -1218,6 +1219,14 @@ let encode_audit_result w (ar : Bank.audit_result) =
       int w v.Credit.Audit.discrepancy)
     w ar.Bank.violations;
   list int w ar.Bank.suspects;
+  list int w ar.Bank.convicted;
+  list
+    (fun w (r : Audit.Cycle.ring) ->
+      list int w r.Audit.Cycle.members;
+      int w r.Audit.Cycle.through;
+      int w r.Audit.Cycle.residue)
+    w ar.Bank.rings;
+  list int w ar.Bank.cleared;
   list int w ar.Bank.absent
 
 (* The world's own bookkeeping: mail counters, audit history, link

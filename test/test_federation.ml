@@ -168,7 +168,7 @@ let test_audit_reply_validation () =
   let _, t = make () in
   (* No audit running. *)
   let reply =
-    seal_to t ~isp:0 (Zmail.Wire.Audit_reply { isp = 0; seq = 0; credit = [| 0; 0; 0; 0 |] })
+    seal_to t ~isp:0 (Zmail.Wire.Audit_reply { isp = 0; seq = 0; credit = [||] })
   in
   (match Zmail.Federation.on_audit_reply t ~from_isp:0 reply with
   | Error _ -> ()
@@ -176,7 +176,7 @@ let test_audit_reply_validation () =
   ignore (Zmail.Federation.start_audit t);
   (* Misattributed reply: ISP 1 sends a row claiming to be ISP 0. *)
   let forged =
-    seal_to t ~isp:1 (Zmail.Wire.Audit_reply { isp = 0; seq = 0; credit = [| 0; 0; 0; 0 |] })
+    seal_to t ~isp:1 (Zmail.Wire.Audit_reply { isp = 0; seq = 0; credit = [||] })
   in
   (match Zmail.Federation.on_audit_reply t ~from_isp:1 forged with
   | Error _ -> ()

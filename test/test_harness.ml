@@ -138,7 +138,7 @@ let test_e15_shape () =
   | _ -> Alcotest.fail "expected three tables"
 
 let test_registry () =
-  Alcotest.(check int) "nineteen experiments" 19 (List.length Harness.Experiments.all);
+  Alcotest.(check int) "twenty experiments" 20 (List.length Harness.Experiments.all);
   Alcotest.(check bool) "find e7" true (Harness.Experiments.find "E7" <> None);
   Alcotest.(check bool) "unknown id" true (Harness.Experiments.find "e99" = None);
   (* Ids are unique and well-formed. *)

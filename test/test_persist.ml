@@ -299,7 +299,8 @@ let wire_payload_gen =
         map
           (fun (isp, seq, credit) -> Zmail.Wire.Audit_reply { isp; seq; credit })
           (triple amount amount
-             (array_of_size (Gen.int_range 0 8) (int_range (-1000) 1000)));
+             (array_of_size (Gen.int_range 0 8)
+                (pair (int_range 0 9999) (int_range (-1000) 1000))));
       ])
 
 let wire_tests =

@@ -198,8 +198,10 @@ let wire_payload_gen =
           (fun isp seq credit ->
             Zmail.Wire.Audit_reply { isp; seq; credit = Array.of_list credit })
           small_nat small_nat
-          (* Always ≥ 1 cell: an audit reply carries one per ISP. *)
-          (list_size (int_range 1 8) int);
+          (* Sparse (peer, claim) cells; zero claims are legal on the
+             wire — tampered rows need not be canonical. *)
+          (list_size (int_range 0 8)
+             (pair (int_range 0 9999) (int_range (-100) 100)));
       ])
 
 let wire_round_trip =

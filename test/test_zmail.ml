@@ -118,7 +118,8 @@ let all_payloads =
     Zmail.Wire.Sell { amount = 100; nonce = 1L };
     Zmail.Wire.Sell_reply { nonce = 1L };
     Zmail.Wire.Audit_request { seq = 3 };
-    Zmail.Wire.Audit_reply { isp = 2; seq = 3; credit = [| 1; -2; 0 |] };
+    Zmail.Wire.Audit_reply { isp = 2; seq = 3; credit = [| (0, 1); (1, -2) |] };
+    Zmail.Wire.Audit_reply { isp = 5; seq = 4; credit = [||] };
   ]
 
 let test_wire_roundtrip () =
@@ -176,8 +177,11 @@ let test_wire_signature () =
 
 let wire_roundtrip_prop =
   QCheck.Test.make ~name:"wire encode/decode roundtrip" ~count:200
-    QCheck.(quad (int_bound 100000) int64 (int_bound 50) (list_of_size (Gen.int_range 1 6) (int_range (-100) 100)))
+    QCheck.(quad (int_bound 100000) int64 (int_bound 50) (list_of_size (Gen.int_range 1 6) (pair (int_bound 9999) (int_range (-100) 100))))
     (fun (amount, nonce, seq, credit) ->
+      (* Wire rows need not be canonical (a tampered encoder may emit
+         zeros or unsorted cells); the codec must round-trip whatever
+         the cell list says. *)
       let payloads =
         [
           Zmail.Wire.Buy { amount; nonce };
@@ -652,13 +656,13 @@ let test_bank_audit_detects_cheater () =
       (Zmail.Wire.seal_for_bank r (Zmail.Bank.public_key bank)
          (Zmail.Wire.Audit_reply { isp; seq = 0; credit }))
   in
-  (match send 0 [| 0; 2; 1 |] with
+  (match send 0 [| (1, 2); (2, 1) |] with
   | Zmail.Bank.Audit_progress -> ()
   | _ -> Alcotest.fail "expected progress");
-  (match send 1 [| -2; 0; 1 |] with
+  (match send 1 [| (0, -2); (2, 1) |] with
   | Zmail.Bank.Audit_progress -> ()
   | _ -> Alcotest.fail "expected progress");
-  match send 2 [| -3; -4; 0 |] with
+  match send 2 [| (0, -3); (1, -4) |] with
   | Zmail.Bank.Audit_complete result ->
       Alcotest.(check int) "two violating pairs" 2
         (List.length result.Zmail.Bank.violations);
@@ -672,7 +676,7 @@ let test_bank_stale_audit_reply () =
   let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:1 ~compliant) in
   let stale =
     Zmail.Wire.seal_for_bank r (Zmail.Bank.public_key bank)
-      (Zmail.Wire.Audit_reply { isp = 0; seq = 99; credit = [| 0 |] })
+      (Zmail.Wire.Audit_reply { isp = 0; seq = 99; credit = [||] })
   in
   match Zmail.Bank.on_isp_message bank ~from_isp:0 stale with
   | Zmail.Bank.Rejected _ -> ()
@@ -698,10 +702,10 @@ let test_bank_quorum_carry_reconciles () =
   let requests = Zmail.Bank.start_audit ~except:[ 2 ] bank in
   Alcotest.(check (list int)) "requests skip the absentee" [ 0; 1 ]
     (List.sort compare (List.map fst requests));
-  (match send 0 0 [| 0; 0; 2 |] with
+  (match send 0 0 [| (2, 2) |] with
   | Zmail.Bank.Audit_progress -> ()
   | _ -> Alcotest.fail "expected progress");
-  (match send 1 0 [| 0; 0; 0 |] with
+  (match send 1 0 [||] with
   | Zmail.Bank.Audit_complete result ->
       Alcotest.(check (list int)) "absent recorded" [ 2 ] result.Zmail.Bank.absent;
       Alcotest.(check int) "no violations in the quorum round" 0
@@ -712,13 +716,13 @@ let test_bank_quorum_carry_reconciles () =
      periods (owes 0 the carried 2 plus this round's flow to 1), the
      others report round 1 alone. *)
   ignore (Zmail.Bank.start_audit bank);
-  (match send 0 1 [| 0; 0; 0 |] with
+  (match send 0 1 [||] with
   | Zmail.Bank.Audit_progress -> ()
   | _ -> Alcotest.fail "expected progress");
-  (match send 1 1 [| 0; 0; 1 |] with
+  (match send 1 1 [| (2, 1) |] with
   | Zmail.Bank.Audit_progress -> ()
   | _ -> Alcotest.fail "expected progress");
-  match send 2 1 [| -2; -1; 0 |] with
+  match send 2 1 [| (0, -2); (1, -1) |] with
   | Zmail.Bank.Audit_complete result ->
       Alcotest.(check (list int)) "nobody absent after heal" []
         result.Zmail.Bank.absent;
@@ -742,41 +746,95 @@ let test_bank_start_audit_validation () =
 (* Adversary                                                           *)
 (* ------------------------------------------------------------------ *)
 
+let sparse_row = Alcotest.(array (pair int int))
+
 let test_adversary_understate () =
   let a = Zmail.Adversary.create (Zmail.Adversary.Understate_owed 3) in
-  let row = [| -5; 2; -1; 0 |] in
+  let row = [| (0, -5); (1, 2); (2, -1) |] in
   let out = Zmail.Adversary.tamper a ~seq:0 row in
-  Alcotest.(check (array int)) "owed entries shrink toward zero"
-    [| -2; 2; 0; 0 |] out;
-  Alcotest.(check (array int)) "input row untouched" [| -5; 2; -1; 0 |] row;
+  Alcotest.(check sparse_row) "owed entries shrink toward zero"
+    [| (0, -2); (1, 2) |] out;
+  Alcotest.(check sparse_row) "input row untouched"
+    [| (0, -5); (1, 2); (2, -1) |] row;
   Alcotest.(check int) "tamper counted" 1 (Zmail.Adversary.tampered a);
   (* Nothing owed: the tamper is the identity and does not count. *)
-  ignore (Zmail.Adversary.tamper a ~seq:1 [| 0; 4; 0; 0 |]);
+  ignore (Zmail.Adversary.tamper a ~seq:1 [| (1, 4) |]);
   Alcotest.(check int) "identity tamper not counted" 1 (Zmail.Adversary.tampered a);
   Alcotest.(check int) "rounds counted" 2 (Zmail.Adversary.rounds a)
 
 let test_adversary_replay_stale () =
   let a = Zmail.Adversary.create Zmail.Adversary.Replay_stale in
   (* First round: nothing to replay — the report is honest. *)
-  Alcotest.(check (array int)) "first round honest" [| 0; 3 |]
-    (Zmail.Adversary.tamper a ~seq:0 [| 0; 3 |]);
+  Alcotest.(check sparse_row) "first round honest" [| (1, 3) |]
+    (Zmail.Adversary.tamper a ~seq:0 [| (1, 3) |]);
   Alcotest.(check int) "no tamper yet" 0 (Zmail.Adversary.tampered a);
   (* Second round: the previous truth comes out instead. *)
-  Alcotest.(check (array int)) "second round replays round one" [| 0; 3 |]
-    (Zmail.Adversary.tamper a ~seq:1 [| 0; 7 |]);
+  Alcotest.(check sparse_row) "second round replays round one" [| (1, 3) |]
+    (Zmail.Adversary.tamper a ~seq:1 [| (1, 7) |]);
   Alcotest.(check int) "tamper counted" 1 (Zmail.Adversary.tampered a);
-  Alcotest.(check (array int)) "third round replays round two" [| 0; 7 |]
-    (Zmail.Adversary.tamper a ~seq:2 [| 0; 9 |])
+  Alcotest.(check sparse_row) "third round replays round two" [| (1, 7) |]
+    (Zmail.Adversary.tamper a ~seq:2 [| (1, 9) |])
 
 let test_adversary_drop_crosscheck () =
   let a = Zmail.Adversary.create (Zmail.Adversary.Drop_crosscheck 1) in
-  Alcotest.(check (array int)) "victim entry zeroed" [| 4; 0; -2 |]
-    (Zmail.Adversary.tamper a ~seq:0 [| 4; 7; -2 |]);
+  Alcotest.(check sparse_row) "victim entry dropped" [| (0, 4); (2, -2) |]
+    (Zmail.Adversary.tamper a ~seq:0 [| (0, 4); (1, 7); (2, -2) |]);
   Alcotest.(check int) "tamper counted" 1 (Zmail.Adversary.tampered a);
-  (* Already zero: nothing to hide, nothing counted. *)
-  Alcotest.(check (array int)) "zero entry untouched" [| 4; 0; -2 |]
-    (Zmail.Adversary.tamper a ~seq:1 [| 4; 0; -2 |]);
+  (* Already silent: nothing to hide, nothing counted. *)
+  Alcotest.(check sparse_row) "silent entry untouched" [| (0, 4); (2, -2) |]
+    (Zmail.Adversary.tamper a ~seq:1 [| (0, 4); (2, -2) |]);
   Alcotest.(check int) "identity not counted" 1 (Zmail.Adversary.tampered a)
+
+let test_adversary_collude () =
+  let a =
+    Zmail.Adversary.create
+      (Zmail.Adversary.Collude { adjust = [ (2, 3); (1, 7) ] })
+  in
+  Alcotest.(check sparse_row) "adjustments merge into canonical form"
+    [| (1, 7); (2, 2) |]
+    (Zmail.Adversary.tamper a ~seq:0 [| (2, -1) |]);
+  Alcotest.(check int) "tamper counted" 1 (Zmail.Adversary.tampered a);
+  (* An adjustment cancelling a real cell drops it from the row. *)
+  Alcotest.(check sparse_row) "cancelled cell dropped" [| (1, 7) |]
+    (Zmail.Adversary.tamper a ~seq:1 [| (2, -3) |])
+
+let test_adversary_collusion_plans () =
+  (* Pair plan: victim star balances, fabric edge antisymmetric. *)
+  (match Zmail.Adversary.collusion_pair ~a:1 ~b:4 ~victim:2 ~delta:3 () with
+  | [ (1, Zmail.Adversary.Collude { adjust = adj_a });
+      (4, Zmail.Adversary.Collude { adjust = adj_b }) ] ->
+      Alcotest.(check int) "victim star balances" 0
+        (List.assoc 2 adj_a + List.assoc 2 adj_b);
+      Alcotest.(check int) "fabric edge antisymmetric" 0
+        (List.assoc 4 adj_a + List.assoc 1 adj_b)
+  | _ -> Alcotest.fail "unexpected pair plan shape");
+  (* Ring plan: every victim's two adjustments cancel, every adjacent
+     member pair's fabricated claims cancel. *)
+  let members = [ 0; 1; 2 ] and victims = [ 3; 4; 5 ] in
+  let plan =
+    Zmail.Adversary.collusion_ring ~members ~victims ~delta:2 ~fabricate:5 ()
+  in
+  let adjust_of i =
+    match List.assoc i plan with
+    | Zmail.Adversary.Collude { adjust } -> adjust
+    | _ -> Alcotest.fail "expected Collude"
+  in
+  let claim i p = Option.value ~default:0 (List.assoc_opt p (adjust_of i)) in
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "victim %d star balances" v)
+        0
+        (List.fold_left (fun acc m -> acc + claim m v) 0 members))
+    victims;
+  List.iteri
+    (fun i m ->
+      let next = List.nth members ((i + 1) mod List.length members) in
+      Alcotest.(check int)
+        (Printf.sprintf "fabric %d<->%d antisymmetric" m next)
+        0
+        (claim m next + claim next m))
+    members
 
 let test_adversary_validation () =
   let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
@@ -784,7 +842,25 @@ let test_adversary_validation () =
     (raises (fun () -> Zmail.Adversary.create (Zmail.Adversary.Understate_owed 0)));
   Alcotest.(check bool) "negative victim" true
     (raises (fun () ->
-         Zmail.Adversary.create (Zmail.Adversary.Drop_crosscheck (-1))))
+         Zmail.Adversary.create (Zmail.Adversary.Drop_crosscheck (-1))));
+  Alcotest.(check bool) "empty collusion adjustment" true
+    (raises (fun () ->
+         Zmail.Adversary.create (Zmail.Adversary.Collude { adjust = [] })));
+  Alcotest.(check bool) "zero collusion delta" true
+    (raises (fun () ->
+         Zmail.Adversary.create
+           (Zmail.Adversary.Collude { adjust = [ (0, 0) ] })));
+  Alcotest.(check bool) "duplicate collusion peers" true
+    (raises (fun () ->
+         Zmail.Adversary.create
+           (Zmail.Adversary.Collude { adjust = [ (0, 1); (0, 2) ] })));
+  Alcotest.(check bool) "overlapping pair participants" true
+    (raises (fun () ->
+         Zmail.Adversary.collusion_pair ~a:1 ~b:1 ~victim:2 ~delta:3 ()));
+  Alcotest.(check bool) "ring victim overlap" true
+    (raises (fun () ->
+         Zmail.Adversary.collusion_ring ~members:[ 0; 1 ] ~victims:[ 1; 2 ]
+           ~delta:1 ()))
 
 (* ------------------------------------------------------------------ *)
 (* Listserv                                                            *)
@@ -932,6 +1008,8 @@ let () =
           Alcotest.test_case "understate owed" `Quick test_adversary_understate;
           Alcotest.test_case "replay stale" `Quick test_adversary_replay_stale;
           Alcotest.test_case "drop cross-check" `Quick test_adversary_drop_crosscheck;
+          Alcotest.test_case "collude" `Quick test_adversary_collude;
+          Alcotest.test_case "collusion plans" `Quick test_adversary_collusion_plans;
           Alcotest.test_case "validation" `Quick test_adversary_validation;
         ] );
       ( "listserv",
