@@ -1,7 +1,7 @@
 (* Benchmark and experiment harness.
 
    Usage:
-     main.exe            run every experiment table (E1-E20) then the
+     main.exe            run every experiment table (E1-E22) then the
                          E12 micro-benchmarks
      main.exe e7         run one experiment
      main.exe micro      run only the micro-benchmarks
@@ -12,8 +12,9 @@
    trace and writes it out (--trace-format jsonl|chrome); --json FILE
    times every experiment (plus engine throughput, the reduced E17
    scale row, a serving-path E20 cell, §4.4 audit-verify cost at 100
-   and 1000 ISPs, inter-bank clearing at 4 and 16 member
-   banks, and snapshot I/O) and writes a
+   and 1000 ISPs, inter-bank clearing at 4 and 16 member banks,
+   snapshot I/O, the Parworld multi-domain stepping row and the
+   incremental-snapshot capture row) and writes a
    machine-readable report; --json with --full additionally runs the
    nightly-scale rows (E17 at a million users, the E18 grid at 100
    ISPs x 1000 users).  Single-experiment runs also accept the
@@ -440,6 +441,126 @@ let snapshot_io () =
   in
   (bytes, mb_s write_s, mb_s read_s)
 
+(* Parworld stepped at 1, 2 and 4 domains (fresh build per count, same
+   seed): the events/sec and speedups the multicore tentpole claims.
+   The event count is asserted identical across domain counts — the
+   bench doubles as a determinism check — and the speedups are honest
+   wall-clock ratios: on a single-core runner they sit near 1.0, and
+   the committed baseline documents whatever the recording machine
+   actually delivered rather than an aspirational figure. *)
+let domains_throughput () =
+  let time d =
+    let w =
+      Zmail.Parworld.create
+        {
+          (Zmail.Parworld.default_config ~groups:4 ~isps_per_group:4
+             ~users_per_isp:1500)
+          with
+          Zmail.Parworld.seed = 22;
+        }
+    in
+    let (), seconds = wall (fun () -> Zmail.Parworld.run w ~domains:d) in
+    (Zmail.Parworld.events_fired w, seconds)
+  in
+  let events, s1 = time 1 in
+  let events2, s2 = time 2 in
+  let events4, s4 = time 4 in
+  if events <> events2 || events <> events4 then
+    failwith "bench: engine.domains event counts diverged across domain counts";
+  (events, s1, s2, s4)
+
+(* Incremental snapshot capture: a 400-ISP world captured in full vs
+   via [capture_incremental] with 1% of the ISPs re-dirtied between
+   captures — the steady-state checkpointing regime the dirty tracking
+   exists for: a wide world where most ISPs are quiet receivers and
+   activity touches a few.  Sixteen funded bulk senders at the low
+   indices fill mailboxes across all 400 ISPs; the re-dirtied 1% are
+   ordinary receivers at the high indices, so the delta carries small
+   sections while the clean 99% (the bulk of the bytes) is skipped.
+   Byte sizes of the full snapshot and the 1%-dirty delta ride along
+   so the baselines document the I/O saving too. *)
+let snapshot_incremental () =
+  let n_isps = 400 in
+  let world =
+    Zmail.World.create
+      {
+        (Zmail.World.default_config ~n_isps ~users_per_isp:2) with
+        Zmail.World.seed = 12;
+        audit_period = Some (12. *. Sim.Engine.hour);
+        customize_isp =
+          (fun _ c ->
+            {
+              c with
+              Zmail.Isp.initial_balance = 1_000_000;
+              daily_limit = max_int;
+            });
+      }
+  in
+  for k = 0 to 15 do
+    Zmail.World.attach_bulk_sender world ~isp:k ~user:0 ~per_day:4000. ()
+  done;
+  Zmail.World.run_days world 1.;
+  let time = Sim.Engine.now (Zmail.World.engine world) in
+  let base =
+    Persist.Snapshot.v ~experiment:"bench" ~label:"" ~seed:12 ~time
+      (Zmail.World.capture world)
+  in
+  let full_bytes = String.length (Persist.Snapshot.to_string base) in
+  (* Like the sparse-audit row: this runs after every experiment table
+     has churned the heap, and a major collection landing inside the
+     timed loop swamps the millisecond-scale capture being measured —
+     compact first and average enough rounds to ride out the rest. *)
+  Gc.compact ();
+  let iters = 40 in
+  let (), full_s =
+    wall (fun () ->
+        for _ = 1 to iters do
+          ignore (Zmail.World.capture world)
+        done)
+  in
+  (* The first incremental capture after a run is a full one (every
+     ISP starts dirty); it also resets the dirty set, so the timed
+     loop below measures the steady state. *)
+  ignore (Zmail.World.capture_incremental world);
+  let dirty = max 1 (n_isps / 100) in
+  let redirty () =
+    for k = 0 to dirty - 1 do
+      Zmail.World.mark_isp_dirty world (n_isps - 1 - k)
+    done
+  in
+  Gc.compact ();
+  let (), incr_s =
+    wall (fun () ->
+        for _ = 1 to iters do
+          redirty ();
+          ignore (Zmail.World.capture_incremental world)
+        done)
+  in
+  redirty ();
+  let delta_bytes =
+    match
+      Persist.Snapshot.delta ~base ~experiment:"bench" ~label:"" ~seed:12
+        ~time
+        (Zmail.World.capture_incremental world)
+    with
+    | Ok d -> String.length (Persist.Snapshot.to_string d)
+    | Error m -> failwith ("bench: snapshot delta: " ^ m)
+  in
+  ( n_isps,
+    dirty,
+    full_s /. float_of_int iters *. 1e3,
+    incr_s /. float_of_int iters *. 1e3,
+    full_bytes,
+    delta_bytes )
+
+(* ISO-8601 UTC stamp embedded in the report, so tooling can order
+   baselines by when they were recorded instead of by filename. *)
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -475,6 +596,10 @@ let run_json ~path ~obs ~full =
   in
   let latency_events, latency_s, latency_paid_p99 = latency_throughput () in
   let snap_bytes, write_mb_s, read_mb_s = snapshot_io () in
+  let dom_events, dom_s1, dom_s2, dom_s4 = domains_throughput () in
+  let inc_isps, inc_dirty, inc_full_ms, inc_incr_ms, inc_full_b, inc_delta_b =
+    snapshot_incremental ()
+  in
   let verify_100_us = audit_verify_cost 100 in
   let verify_1000_us = audit_verify_cost 1000 in
   let sparse_1000_us, sparse_1000_cells = sparse_audit_verify_cost 1000 in
@@ -499,7 +624,10 @@ let run_json ~path ~obs ~full =
     end
   in
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": 2,\n  \"experiments\": [\n";
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"schema\": 3,\n  \"generated_at\": \"%s\",\n\
+      \  \"experiments\": [\n"
+       (iso8601_now ()));
   List.iteri
     (fun k (id, seconds) ->
       Buffer.add_string b
@@ -546,6 +674,23 @@ let run_json ~path ~obs ~full =
        clear4_ms clear4_msgs clear16_ms clear16_msgs);
   Buffer.add_string b
     (Printf.sprintf
+       "  \"engine_domains\": { \"groups\": 4, \"events\": %d, \
+        \"wall_s_1\": %.6f, \"wall_s_2\": %.6f, \"wall_s_4\": %.6f, \
+        \"events_per_sec\": %.0f, \"speedup_2\": %.2f, \"speedup_4\": \
+        %.2f, \"domains_available\": %b },\n"
+       dom_events dom_s1 dom_s2 dom_s4
+       (float_of_int dom_events /. dom_s1)
+       (dom_s1 /. dom_s2) (dom_s1 /. dom_s4) Sim.Domainpool.available);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"snapshot_incremental\": { \"isps\": %d, \"dirty_isps\": %d, \
+        \"full_ms\": %.3f, \"incr_ms\": %.3f, \"speedup\": %.2f, \
+        \"full_bytes\": %d, \"delta_bytes\": %d },\n"
+       inc_isps inc_dirty inc_full_ms inc_incr_ms
+       (inc_full_ms /. inc_incr_ms)
+       inc_full_b inc_delta_b);
+  Buffer.add_string b
+    (Printf.sprintf
        "  \"snapshot\": { \"bytes\": %d, \"write_mb_per_s\": %.2f, \
         \"read_mb_per_s\": %.2f }%s\n"
        snap_bytes write_mb_s read_mb_s
@@ -579,7 +724,7 @@ let list_experiments () =
   print_endline "micro (E12: protocol micro-benchmarks)"
 
 let usage =
-  "usage: main.exe [e1..e21|micro|list] [--metrics] [--trace FILE] \
+  "usage: main.exe [e1..e22|micro|list] [--metrics] [--trace FILE] \
    [--trace-format jsonl|chrome] [--json FILE] [--full] \
    [--checkpoint-every T] [--snapshot FILE] [--resume FILE] [--stop-at T]"
 

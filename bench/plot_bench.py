@@ -6,20 +6,23 @@ date), plus any extra report paths given on the command line, and
 prints one trend table: the headline series (engine, e17_scale and
 serving-path latency events/sec, allocation per event, peak heap,
 the latency cell's paid-class p99, snapshot bandwidth, audit-verify
-cost, clearing settle cost and message count) as columns, one row
-per baseline, with the percent delta from the previous row in
-parentheses.
+cost, clearing settle cost and message count, multi-domain stepping
+speedups and the incremental-snapshot capture speedup) as columns,
+one row per baseline, with the percent delta from the previous row
+in parentheses.
 
 Pure stdlib, no matplotlib: the output is a table, not a picture, so
 it works in CI logs and terminals.  Keys absent from older schemas
 (audit_verify appeared in schema 2, clearing later in schema 2, the
-latency row later still) render as an em-dash cell rather than
-failing, so the tool can always read the whole history — a baseline
-recorded before a series existed is simply blank in that column, and
-the percent delta resumes from the first baseline that has it.  A
-value a formatter cannot render (e.g. a hand-edited report turning a
-count into a float) falls back to repr instead of aborting the
-report.
+latency row later still, engine_domains and snapshot_incremental in
+schema 3) render as an em-dash cell rather than failing, so the tool
+can always read the whole history — a baseline recorded before a
+series existed is simply blank in that column, and the percent delta
+resumes from the first baseline that has it.  A zero-valued previous
+entry has no defined percent delta; the delta renders as MISSING
+instead of dividing by zero.  A value a formatter cannot render
+(e.g. a hand-edited report turning a count into a float) falls back
+to repr instead of aborting the report.
 
 Usage:
     python3 bench/plot_bench.py [extra_report.json ...]
@@ -62,6 +65,12 @@ SERIES = [
     ("clear(4) msgs", "{:d}", ("clearing", "banks4", "messages")),
     ("clear(16) ms", "{:.2f}", ("clearing", "banks16", "settle_ms")),
     ("clear(16) msgs", "{:d}", ("clearing", "banks16", "messages")),
+    # Schema-3 series: Parworld multi-domain stepping and the
+    # incremental-snapshot capture path.
+    ("domains ev/s", "{:,.0f}", ("engine_domains", "events_per_sec")),
+    ("domains x2", "{:.2f}x", ("engine_domains", "speedup_2")),
+    ("domains x4", "{:.2f}x", ("engine_domains", "speedup_4")),
+    ("snap incr speedup", "{:.2f}x", ("snapshot_incremental", "speedup")),
 ]
 
 
@@ -86,39 +95,43 @@ def cell(fmt, value, previous):
         # A report whose value type no longer matches the formatter
         # (schema drift, hand-edited file) still renders.
         text = repr(value)
-    if previous not in (None, 0):
-        try:
-            text += " ({:+.1f}%)".format(100.0 * (value - previous) / previous)
-        except TypeError:
-            pass
+    if previous is not None:
+        if previous == 0:
+            # A zero baseline has no defined percent delta; say so
+            # rather than divide by zero.
+            text += " (MISSING)"
+        else:
+            try:
+                text += " ({:+.1f}%)".format(
+                    100.0 * (value - previous) / previous
+                )
+            except TypeError:
+                pass
     return text
 
 
-def main():
-    here = os.path.dirname(os.path.abspath(__file__))
-    paths = sorted(glob.glob(os.path.join(here, "BENCH_*.json")))
-    paths += sys.argv[1:]
-    rows = []
-    for path in paths:
-        report = load(path)
-        if report is None:
-            continue
-        label = os.path.basename(path)
-        if label.startswith("BENCH_"):
-            label = label[len("BENCH_"):]
-        if label.endswith(".json"):
-            label = label[: -len(".json")]
-        values = []
-        for _, _, series_path in SERIES:
-            v = get(report, *series_path)
-            if v is not None and series_path == ("e17_scale", "peak_heap_words"):
-                v = v / 1e6  # report megawords, not words
-            values.append(v)
-        rows.append((label, values))
-    if not rows:
-        print("no bench/BENCH_*.json baselines found", file=sys.stderr)
-        return 1
+def label_of(path):
+    label = os.path.basename(path)
+    if label.startswith("BENCH_"):
+        label = label[len("BENCH_"):]
+    if label.endswith(".json"):
+        label = label[: -len(".json")]
+    return label
 
+
+def extract(report):
+    """One row of raw series values for a parsed report."""
+    values = []
+    for _, _, series_path in SERIES:
+        v = get(report, *series_path)
+        if v is not None and series_path == ("e17_scale", "peak_heap_words"):
+            v = v / 1e6  # report megawords, not words
+        values.append(v)
+    return values
+
+
+def render(rows):
+    """Rows of (label, values) -> list of printable table lines."""
     headers = ["baseline"] + [name for name, _, _ in SERIES]
     table = [headers]
     previous = [None] * len(SERIES)
@@ -131,10 +144,32 @@ def main():
         table.append(rendered)
 
     widths = [max(len(row[c]) for row in table) for c in range(len(headers))]
+    lines = []
     for i, row in enumerate(table):
-        print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
         if i == 0:
-            print("  ".join("-" * w for w in widths))
+            lines.append("  ".join("-" * w for w in widths))
+    return lines
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    here = os.path.dirname(os.path.abspath(__file__))
+    paths = sorted(glob.glob(os.path.join(here, "BENCH_*.json")))
+    paths += argv
+    rows = []
+    for path in paths:
+        report = load(path)
+        if report is None:
+            continue
+        rows.append((label_of(path), extract(report)))
+    if not rows:
+        print("no bench/BENCH_*.json baselines found", file=sys.stderr)
+        return 1
+    for line in render(rows):
+        print(line)
     return 0
 
 

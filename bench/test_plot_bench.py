@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Fixture tests for plot_bench.py (stdlib unittest, no deps).
+
+Run with either of:
+    python3 bench/test_plot_bench.py
+    python3 -m unittest discover bench
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import plot_bench  # noqa: E402
+
+
+def report(**overrides):
+    """A minimal schema-3 report; overrides patch nested keys."""
+    base = {
+        "schema": 3,
+        "generated_at": "2026-08-09T00:00:00Z",
+        "engine": {"events_per_sec": 100000.0},
+        "clearing": {
+            "banks4": {"settle_ms": 1.0, "messages": 50},
+            "banks16": {"settle_ms": 4.0, "messages": 400},
+        },
+        "engine_domains": {
+            "events_per_sec": 400000.0,
+            "speedup_2": 1.8,
+            "speedup_4": 3.1,
+        },
+        "snapshot_incremental": {"speedup": 6.5},
+    }
+    base.update(overrides)
+    return base
+
+
+class CellTest(unittest.TestCase):
+    def test_missing_value(self):
+        self.assertEqual(plot_bench.cell("{:d}", None, None), plot_bench.MISSING)
+
+    def test_plain_value_no_previous(self):
+        self.assertEqual(plot_bench.cell("{:d}", 7, None), "7")
+
+    def test_percent_delta(self):
+        self.assertEqual(plot_bench.cell("{:d}", 110, 100), "110 (+10.0%)")
+
+    def test_zero_baseline_renders_missing_not_crash(self):
+        # A 0-valued previous entry has no defined percent delta; the
+        # old code either crashed (ZeroDivisionError) or silently
+        # dropped the delta.  It must render MISSING.
+        text = plot_bench.cell("{:d}", 42, 0)
+        self.assertIn("MISSING", text)
+        self.assertTrue(text.startswith("42"))
+
+    def test_formatter_mismatch_falls_back_to_repr(self):
+        self.assertEqual(plot_bench.cell("{:d}", 1.5, None), "1.5")
+
+
+class SeriesTest(unittest.TestCase):
+    def headers(self):
+        return [name for name, _, _ in plot_bench.SERIES]
+
+    def test_engine_domains_series_present(self):
+        headers = self.headers()
+        self.assertIn("domains ev/s", headers)
+        self.assertIn("domains x2", headers)
+        self.assertIn("domains x4", headers)
+
+    def test_snapshot_incremental_series_present(self):
+        self.assertIn("snap incr speedup", self.headers())
+
+    def test_extract_reads_schema3_keys(self):
+        values = dict(
+            zip(self.headers(), plot_bench.extract(report()))
+        )
+        self.assertEqual(values["domains x2"], 1.8)
+        self.assertEqual(values["snap incr speedup"], 6.5)
+
+    def test_extract_tolerates_old_schema(self):
+        values = dict(
+            zip(self.headers(), plot_bench.extract({"schema": 1}))
+        )
+        self.assertIsNone(values["domains x2"])
+
+
+class RenderTest(unittest.TestCase):
+    def test_zero_baseline_row_renders(self):
+        # First baseline records 0 messages (the counter series the
+        # zero-baseline bug was about); the next row's delta against it
+        # must render MISSING instead of raising ZeroDivisionError.
+        first = report()
+        first["clearing"]["banks4"]["messages"] = 0
+        second = report()
+        rows = [
+            ("2026-08-01", plot_bench.extract(first)),
+            ("2026-08-09", plot_bench.extract(second)),
+        ]
+        lines = plot_bench.render(rows)
+        self.assertTrue(any("MISSING" in line for line in lines))
+        # Header + separator + two baseline rows.
+        self.assertEqual(len(lines), 4)
+
+    def test_missing_series_renders_em_dash(self):
+        rows = [("old", plot_bench.extract({"schema": 1}))]
+        lines = plot_bench.render(rows)
+        self.assertIn(plot_bench.MISSING, lines[2])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -74,9 +74,19 @@ let stop_at_arg =
   in
   Arg.(value & opt (some float) None & info [ "stop-at" ] ~docv:"SECONDS" ~doc)
 
+let domains_arg =
+  let doc =
+    "Step domain-aware experiments (E17, E22) on $(docv) OCaml domains \
+     via the sharded Parworld backend.  Output is byte-identical for \
+     every value of $(docv); values above 1 need an OCaml 5 runtime \
+     (earlier runtimes fall back to sequential stepping with a stderr \
+     note).  Other experiments ignore the flag."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 (* Shared by the `experiment` subcommand and the default command. *)
 let run_experiments id seed full trace trace_format metrics checkpoint_every
-    snapshot resume stop_at =
+    snapshot resume stop_at domains =
   let tracer =
     match trace with
     (* A generous ring: full traces for every experiment here; a long
@@ -105,10 +115,10 @@ let run_experiments id seed full trace trace_format metrics checkpoint_every
         in
         let result =
           if id = "all" then begin
-            Harness.Experiments.run_all ~seed ~full ~obs ();
+            Harness.Experiments.run_all ~seed ~full ~obs ?domains ();
             Ok ()
           end
-          else Harness.Experiments.run_one ~seed ~full ~obs ~persist id
+          else Harness.Experiments.run_one ~seed ~full ~obs ~persist ?domains id
         in
         match result with
         | Ok () -> (
@@ -165,7 +175,7 @@ let setup_logs level =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id: e1..e21, or 'all'." in
+    let doc = "Experiment id: e1..e22, or 'all'." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
   let term =
@@ -173,7 +183,7 @@ let experiment_cmd =
       term_result'
         (const run_experiments $ id_arg $ seed_arg $ full_arg $ trace_arg
         $ trace_format_arg $ metrics_arg $ checkpoint_every_arg $ snapshot_arg
-        $ resume_arg $ stop_at_arg))
+        $ resume_arg $ stop_at_arg $ domains_arg))
   in
   let doc = "Run a reproduction experiment and print its table(s)" in
   Cmd.v (Cmd.info "experiment" ~doc) term

@@ -62,8 +62,19 @@ val run :
   ?persist:Checkpoint.t ->
   ?seed:int ->
   ?million:bool ->
+  ?domains:int ->
   unit ->
   Sim.Table.t list
 (** The experiment: the 10k and 100k rows, plus the 1M row when
     [million] is set (minutes of wall-clock; off by default and in
-    CI). *)
+    CI).
+
+    With [domains] set the standard rows are replaced by the sharded
+    variant: a {!Zmail.Parworld} (disjoint ISP groups, barrier-merged
+    cross-group mail) stepped on that many OCaml 5 domains.  Stdout is
+    byte-identical for every [domains] value — the CI multi-domain
+    lane diffs [--domains 1] against [--domains 2] — and the domain
+    count is reported on stderr only.  [persist] is ignored on this
+    path: checkpoint/resume drives a single world, and the sharded
+    world's determinism is enforced by capture comparison (E22)
+    instead. *)

@@ -374,12 +374,12 @@ let run_fed_cell ~seed ~n_banks ~(chaos : chaos) ~behavior_name ~behavior =
   let label = Printf.sprintf "%s/%s" behavior_name chaos.clabel in
   let n_isps = 2 * n_banks in
   let engine = Sim.Engine.create ~seed () in
-  let rng = Sim.Rng.create (seed lxor 0xfed19) in
+  let rng = Sim.Rng.stream ~seed ~tag:0xfed19 in
   let mesh =
     Sim.Fault.Mesh.create ~default:chaos.plan
       ~partitions:(if chaos.partitioned then fed_partition ~n_banks else [])
       ~n_nodes:n_banks engine
-      (Sim.Rng.create (seed lxor 0xc1ea7))
+      (Sim.Rng.stream ~seed ~tag:0xc1ea7)
   in
   let behaviors = Array.make n_banks Zmail.Federation.Honest_bank in
   behaviors.(byz_bank) <- behavior;

@@ -7,6 +7,7 @@ type t = {
     seed:int ->
     obs:Obs.Run.t ->
     persist:Checkpoint.t ->
+    domains:int option ->
     Sim.Table.t list;
 }
 
@@ -19,7 +20,7 @@ let all =
         "§1.2: spam cost rises by at least two orders of magnitude; the \
          break-even response rate rises similarly; spam volume decreases \
          substantially.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E1_market.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E1_market.run ~seed ());
     };
     {
       id = "e2";
@@ -27,13 +28,13 @@ let all =
       claim =
         "§1.2: users who receive about as much as they send neither pay nor \
          profit, given an initial buffering balance.";
-      run = (fun ~full:_ ~seed ~obs ~persist -> E2_zero_sum.run ~obs ~persist ~seed ());
+      run = (fun ~full:_ ~seed ~obs ~persist ~domains:_ -> E2_zero_sum.run ~obs ~persist ~seed ());
     };
     {
       id = "e3";
       title = "Misbehaving-ISP detection through the credit audit";
       claim = "§4.4: the bank can detect misbehaved ISPs from the credit arrays.";
-      run = (fun ~full:_ ~seed ~obs ~persist -> E3_detection.run ~obs ~persist ~seed ());
+      run = (fun ~full:_ ~seed ~obs ~persist ~domains:_ -> E3_detection.run ~obs ~persist ~seed ());
     };
     {
       id = "e4";
@@ -41,7 +42,7 @@ let all =
       claim =
         "§2.3: Zmail handles payments in bulk so handling cost is small; \
          SHRED's per-payment cost can exceed the penny collected.";
-      run = (fun ~full:_ ~seed ~obs ~persist:_ -> E4_accounting.run ~obs ~seed ());
+      run = (fun ~full:_ ~seed ~obs ~persist:_ ~domains:_ -> E4_accounting.run ~obs ~seed ());
     };
     {
       id = "e5";
@@ -49,7 +50,7 @@ let all =
       claim =
         "§1.3/§5: bootstrap with two compliant ISPs; positive feedback spreads \
          compliance.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E5_adoption.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E5_adoption.run ~seed ());
     };
     {
       id = "e6";
@@ -57,7 +58,7 @@ let all =
       claim =
         "§5: a per-day spending limit bounds virus liability, blocks the \
          flood, and detects zombies via the warning.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E6_zombies.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E6_zombies.run ~seed ());
     };
     {
       id = "e7";
@@ -65,7 +66,7 @@ let all =
       claim =
         "§5: the automatic acknowledgment returns the e-penny to the \
          distributor and keeps the subscriber database clean.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E7_listserv.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E7_listserv.run ~seed ());
     };
     {
       id = "e8";
@@ -73,7 +74,7 @@ let all =
       claim =
         "§1.2/§2.2: filters suffer false positives and misspelling evasion; \
          Zmail needs no spam definition at all.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E8_filters.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E8_filters.run ~seed ());
     };
     {
       id = "e9";
@@ -81,7 +82,7 @@ let all =
       claim =
         "§2.3: computational schemes make everyone slower; Zmail is free for \
          balanced users and expensive for bulk senders.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E9_sender_cost.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E9_sender_cost.run ~seed ());
     };
     {
       id = "e10";
@@ -89,13 +90,13 @@ let all =
       claim =
         "§4.4: the 10-minute freeze buffers user mail briefly and yields \
          consistent snapshots.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E10_snapshot.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E10_snapshot.run ~seed ());
     };
     {
       id = "e11";
       title = "Replay and forgery attacks on the bank channel";
       claim = "§4.3: nonces prevent message replay attacks.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E11_replay.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E11_replay.run ~seed ());
     };
     {
       id = "e13";
@@ -103,7 +104,7 @@ let all =
       claim =
         "§4.4 leaves the frequency open (\"once a week or once a month, for \
          example\"); this sweeps the trade-off.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E13_audit_period.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E13_audit_period.run ~seed ());
     };
     {
       id = "e14";
@@ -111,7 +112,7 @@ let all =
       claim =
         "§5: accept, segregate/discard, or filter mail from non-compliant \
          ISPs — measured side by side.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E14_policies.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E14_policies.run ~seed ());
     };
     {
       id = "e15";
@@ -119,7 +120,7 @@ let all =
       claim =
         "§5 (Bank Setup): the bank \"can be implemented as a set of \
          distributed banks\"; this builds two and clears their imbalance.";
-      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ -> E15_federation.run ~seed ());
+      run = (fun ~full:_ ~seed ~obs:_ ~persist:_ ~domains:_ -> E15_federation.run ~seed ());
     };
     {
       id = "e16";
@@ -128,7 +129,7 @@ let all =
         "Implied by §4.3–§4.4: the nonce/audit protocol never depends on a \
          perfect bank link — under drops, duplicates, corruption, outages \
          and ISP crashes, money stays zero-sum and cheaters stay caught.";
-      run = (fun ~full:_ ~seed ~obs ~persist -> E16_chaos.run ~obs ~persist ~seed ());
+      run = (fun ~full:_ ~seed ~obs ~persist ~domains:_ -> E16_chaos.run ~obs ~persist ~seed ());
     };
     {
       id = "e17";
@@ -139,8 +140,8 @@ let all =
          still flags the cheater and nobody else, and the run stays flat in \
          memory with retain_mail=false.";
       run =
-        (fun ~full ~seed ~obs ~persist ->
-          E17_scale.run ~obs ~persist ~seed ~million:full ());
+        (fun ~full ~seed ~obs ~persist ~domains ->
+          E17_scale.run ~obs ~persist ~seed ~million:full ?domains ());
     };
     {
       id = "e18";
@@ -152,7 +153,7 @@ let all =
          of a heal, honest ISPs are never convicted, and money stays \
          zero-sum even when partitions bounce and refund paid mail.";
       run =
-        (fun ~full ~seed ~obs ~persist ->
+        (fun ~full ~seed ~obs ~persist ~domains:_ ->
           E18_adversary.run ~obs ~persist ~seed ~full ());
     };
     {
@@ -166,7 +167,7 @@ let all =
          after heal, and statement checks plus audit block-attribution \
          flag exactly the Byzantine member bank.";
       run =
-        (fun ~full ~seed ~obs ~persist ->
+        (fun ~full ~seed ~obs ~persist ~domains:_ ->
           E19_bank_wire.run ~obs ~persist ~seed ~full ());
     };
     {
@@ -182,7 +183,7 @@ let all =
          mesh chaos the retry storm shows up as a Retried-class tail, not \
          as lost money.";
       run =
-        (fun ~full ~seed ~obs ~persist ->
+        (fun ~full ~seed ~obs ~persist ~domains:_ ->
           E20_serving.run ~obs ~persist ~seed ~full ());
     };
     {
@@ -198,8 +199,23 @@ let all =
          under --full the same holds at 10^4 ISPs, a scale only the \
          sparse rows can represent.";
       run =
-        (fun ~full ~seed ~obs ~persist ->
+        (fun ~full ~seed ~obs ~persist ~domains:_ ->
           E21_collusion.run ~obs ~persist ~seed ~full ());
+    };
+    {
+      id = "e22";
+      title = "Domain-parallel determinism: sharded stepping, byte-equal merge";
+      claim =
+        "Toward 10^7 users: disjoint ISP groups step on separate OCaml 5 \
+         domains and interact only at epoch-aligned merge barriers (fixed \
+         group order, per-shard RNG streams), so the multi-domain world is \
+         byte-identical to the single-domain one for the same seed — \
+         captures compare equal section by section, including when a \
+         partition window straddles a merge barrier, and every shard \
+         conserves money exactly.";
+      run =
+        (fun ~full:_ ~seed ~obs ~persist ~domains ->
+          E22_parworld.run ~obs ~persist ~seed ?domains ());
     };
   ]
 
@@ -207,19 +223,19 @@ let find id =
   let id = String.lowercase_ascii id in
   List.find_opt (fun e -> e.id = id) all
 
-let print_experiment ~full ~seed ?obs ?persist e =
+let print_experiment ~full ~seed ?obs ?persist ?domains e =
   let obs = Option.value obs ~default:Obs.Run.none in
   let persist = Option.value persist ~default:Checkpoint.none in
   Format.printf "---- %s: %s ----@." (String.uppercase_ascii e.id) e.title;
   Format.printf "claim: %s@.@." e.claim;
-  List.iter Sim.Table.print (e.run ~full ~seed ~obs ~persist)
+  List.iter Sim.Table.print (e.run ~full ~seed ~obs ~persist ~domains)
 
-let run_all ?(seed = 0) ?(full = false) ?obs () =
-  List.iter (print_experiment ~full ~seed ?obs) all
+let run_all ?(seed = 0) ?(full = false) ?obs ?domains () =
+  List.iter (print_experiment ~full ~seed ?obs ?domains) all
 
-let run_one ?(seed = 0) ?(full = false) ?obs ?persist id =
+let run_one ?(seed = 0) ?(full = false) ?obs ?persist ?domains id =
   match find id with
   | Some e ->
-      print_experiment ~full ~seed ?obs ?persist e;
+      print_experiment ~full ~seed ?obs ?persist ?domains e;
       Ok ()
-  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e21)" id)
+  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e22)" id)

@@ -6,7 +6,7 @@
     deterministic for a given seed. *)
 
 type t = {
-  id : string;  (** ["e1"] … ["e19"]. *)
+  id : string;  (** ["e1"] … ["e22"]. *)
   title : string;
   claim : string;  (** The paper sentence being reproduced. *)
   run :
@@ -14,6 +14,7 @@ type t = {
     seed:int ->
     obs:Obs.Run.t ->
     persist:Checkpoint.t ->
+    domains:int option ->
     Sim.Table.t list;
       (** [full] asks for the experiment's nightly-scale variant (E17's
           million-user row, E18's and E19's 100-ISP grids); most
@@ -26,7 +27,13 @@ type t = {
           checkpoint/resume driver (E2, E3, E16, E17, E18 and E19's
           world grid honour it; E19's federation cells are pure
           functions of their seed and re-execute identically on
-          resume; pass {!Checkpoint.none} otherwise). *)
+          resume; pass {!Checkpoint.none} otherwise).  [domains] is
+          the [--domains] axis: E17 switches to its sharded
+          {!Zmail.Parworld} variant and E22 steps its multi-domain leg
+          on that many domains; every other experiment ignores it, and
+          stdout never depends on its value ([None] vs [Some _] may
+          select a different variant, but [Some 1] and [Some 4] are
+          byte-identical — the CI multi-domain lane enforces this). *)
 }
 
 val all : t list
@@ -35,11 +42,12 @@ val all : t list
 val find : string -> t option
 (** Case-insensitive lookup by id. *)
 
-val run_all : ?seed:int -> ?full:bool -> ?obs:Obs.Run.t -> unit -> unit
+val run_all :
+  ?seed:int -> ?full:bool -> ?obs:Obs.Run.t -> ?domains:int -> unit -> unit
 (** Run every experiment, printing each table to stdout. *)
 
 val run_one :
   ?seed:int -> ?full:bool -> ?obs:Obs.Run.t -> ?persist:Checkpoint.t ->
-  string -> (unit, string) result
+  ?domains:int -> string -> (unit, string) result
 (** Run and print a single experiment by id.
     @raise Checkpoint.Stopped when [persist] hits its stop point. *)

@@ -10,6 +10,33 @@ let mix64 z =
 
 let create seed = { state = mix64 (Int64.of_int seed) }
 
+(* Sub-stream derivation.  The old scheme seeded subsystem streams
+   with [seed lxor tag], which is catastrophically structured: seed
+   [tag] collapses the stream to [create 0]'s, and two seeds that
+   differ by [tag1 lxor tag2] swap the two subsystems' streams
+   wholesale.  Here both inputs pass independently through the
+   SplitMix64 finalizer before they meet, so any coincidence between
+   two derived streams needs a full 64-bit collision of mixed words —
+   no xor relation between adversarially-chosen seeds produces one.
+   The salt keeps [stream ~seed ~tag:seed] from mirroring
+   [create seed] (mix64 is a bijection, so un-salted equal inputs
+   would collide after the final add). *)
+let stream_salt = 0x5BF0363516F5D7DBL
+
+let stream ~seed ~tag =
+  let mixed_seed = mix64 (Int64.of_int seed) in
+  let mixed_tag = mix64 (Int64.logxor (Int64.of_int tag) stream_salt) in
+  { state = mix64 (Int64.add mixed_seed mixed_tag) }
+
+let stream_n ~seed ~tag n =
+  if n < 0 then invalid_arg "Rng.stream_n: negative index";
+  let base = stream ~seed ~tag in
+  {
+    state =
+      mix64
+        (Int64.add base.state (Int64.mul golden_gamma (Int64.of_int (n + 1))));
+  }
+
 let copy t = { state = t.state }
 
 let state t = t.state

@@ -18,6 +18,22 @@ val copy : t -> t
 (** [copy t] is an independent generator that continues [t]'s stream;
     advancing one does not affect the other. *)
 
+val stream : seed:int -> tag:int -> t
+(** [stream ~seed ~tag] derives the subsystem stream identified by
+    [tag] (a small per-subsystem constant) from a world seed.  Both
+    inputs pass independently through the SplitMix64 finalizer before
+    combining, so streams with distinct tags — and the root stream of
+    {!create} — cannot be made to coincide or swap by adversarial seed
+    choice.  (The previous [seed lxor tag] scheme failed both ways:
+    seed [tag] yielded [create 0]'s stream, and seeds differing by
+    [tag1 lxor tag2] swapped the two subsystems' streams.) *)
+
+val stream_n : seed:int -> tag:int -> int -> t
+(** [stream_n ~seed ~tag n] is the [n]-th sub-stream of
+    [stream ~seed ~tag] — one independent stream per indexed instance
+    (e.g. per-ISP wire taps) under a single subsystem tag.
+    @raise Invalid_argument on a negative index. *)
+
 val split : t -> t
 (** [split t] derives a new generator from [t]'s stream, advancing [t].
     Streams of the parent and child are statistically independent. *)

@@ -327,13 +327,26 @@ let on_payload t ~from_isp payload =
           cache_reply t ~from_isp nonce payload;
           reply t payload)
   | Wire.Audit_reply { isp; seq; credit } -> (
+      (* While the round is open, an ISP that already answered may
+         replace its row: a receive stamped with this round can arrive
+         after its reply went out (the sender's request was delayed, so
+         it charged mail before freezing), and the amended reply books
+         it back into the round the sender reported it in.  Last write
+         wins; a duplicated reply re-asserts the same row.  Absent ISPs
+         (partition-severed at round start) stay excluded — their
+         reconciliation belongs to the carry matrix, not a late row. *)
       match t.audit with
       | Some audit
-        when audit.audit_seq = seq && isp = from_isp && List.mem isp audit.waiting ->
+        when audit.audit_seq = seq && isp = from_isp
+             && not (List.mem isp audit.absent) ->
+          let first = List.mem isp audit.waiting in
           audit.reported.(isp) <- credit;
-          audit.waiting <- List.filter (fun i -> i <> isp) audit.waiting;
+          if first then
+            audit.waiting <- List.filter (fun i -> i <> isp) audit.waiting;
           ev t "audit_reply"
-            [ ("isp", Obs.Trace.Int isp); ("seq", Obs.Trace.Int seq) ];
+            [ ("isp", Obs.Trace.Int isp);
+              ("seq", Obs.Trace.Int seq);
+              ("amended", Obs.Trace.Bool (not first)) ];
           if audit.waiting = [] then finish_audit t audit else Audit_progress
       | Some _ -> Rejected Wrong_state
       | None -> Rejected Wrong_state)

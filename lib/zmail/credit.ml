@@ -25,13 +25,25 @@ type t = {
   n : int;
   mutable now : Row.t;
   mutable early : (int * Row.t) list;  (* epoch -> counts, ascending *)
+  mutable reported : (int * Row.t) option;
+      (* The row answering the last closed round, retained so a receive
+         stamped with that round (the sender had not frozen yet when it
+         charged the message) can still be booked where the sender
+         booked it — see [amend_receive]. *)
   mutable tracer : Obs.Trace.t;
   mutable owner : int;  (* this vector's ISP index, for trace events *)
 }
 
 let create ~n =
   if n <= 0 then invalid_arg "Credit.create: n must be positive";
-  { n; now = Row.create ~n; early = []; tracer = Obs.Trace.none; owner = -1 }
+  {
+    n;
+    now = Row.create ~n;
+    early = [];
+    reported = None;
+    tracer = Obs.Trace.none;
+    owner = -1;
+  }
 
 let set_tracer t ~owner tracer =
   t.tracer <- tracer;
@@ -79,6 +91,45 @@ let record_receive_early t ~epoch ~peer =
         ("epoch", Obs.Trace.Int epoch);
       ]
 
+(* The late mirror of [record_receive_early]: a receive stamped with
+   the round we just answered.  The sender booked the send in its
+   round-[epoch] report (it had not frozen yet when it charged the
+   message), so booking the receive into the open period would leave
+   round [epoch] one-sided and round [epoch+1] one-sided the other way
+   — a transient §4.4 violation on an honest pair that the majority
+   rule can convert into a false conviction.  Instead the receive is
+   folded into the retained reported row and the caller re-sends the
+   amended reply while the bank's round is still open.
+
+   The fold is commit-or-revert: [deliver] is called with the amended
+   row, and only if it accepts (the round is still open and the
+   replacement reply was handed to a transport) does the fold stick.
+   Otherwise the fold is undone and [false] returned, so the caller
+   books the receive into the open period — folding a receive into a
+   report the bank will never re-read would erase it from the books
+   entirely, which is how absent ISPs rejoining after a partition
+   briefly looked like mass under-reporters. *)
+let amend_receive t ~epoch ~peer ~deliver =
+  match t.reported with
+  | Some (s, row) when s = epoch ->
+      Row.add row peer (-1);
+      if deliver (Row.pairs row) then begin
+        if tracing t then
+          ev t "recv"
+            [
+              ("peer", Obs.Trace.Int peer);
+              ("early", Obs.Trace.Bool false);
+              ("amended", Obs.Trace.Bool true);
+              ("epoch", Obs.Trace.Int epoch);
+            ];
+        true
+      end
+      else begin
+        Row.add row peer 1;
+        false
+      end
+  | Some _ | None -> false
+
 let cancel_send t ~peer =
   Row.add t.now peer (-1);
   if tracing t then ev t "cancel" [ ("peer", Obs.Trace.Int peer) ]
@@ -103,6 +154,7 @@ let report_upto t ~seq = Row.pairs (report_row t ~seq)
 let populated t = Row.cardinal t.now
 
 let reset_upto t ~seq =
+  t.reported <- Some (seq, report_row t ~seq);
   let folded =
     -List.fold_left
        (fun acc (e, row) -> if e <= seq then acc + Row.sum row else acc)
@@ -134,7 +186,12 @@ let encode_state w t =
     (fun w (e, row) ->
       Persist.Codec.W.int w e;
       Row.encode w row)
-    w t.early
+    w t.early;
+  Persist.Codec.W.opt
+    (fun w (s, row) ->
+      Persist.Codec.W.int w s;
+      Row.encode w row)
+    w t.reported
 
 let restore_state r t =
   t.now <- Row.restore r ~n:t.n;
@@ -144,6 +201,13 @@ let restore_state r t =
         let e = Persist.Codec.R.int r in
         let row = Row.restore r ~n:t.n in
         (e, row))
+      r;
+  t.reported <-
+    Persist.Codec.R.opt
+      (fun r ->
+        let s = Persist.Codec.R.int r in
+        let row = Row.restore r ~n:t.n in
+        (s, row))
       r
 
 (* The dense reference verifier.  [Audit.Verify] (the sparse engine in

@@ -50,6 +50,29 @@ val record_receive_early : t -> epoch:int -> peer:int -> unit
     every period consistent (the Chandy-Lamport rule for messages
     crossing the marker, generalized to multi-round lag). *)
 
+val amend_receive :
+  t -> epoch:int -> peer:int -> deliver:((int * int) array -> bool) -> bool
+(** The late mirror of {!record_receive_early}: book a receive stamped
+    with the round we already answered.  The sender had not yet frozen
+    for round [epoch] when it charged the message (its audit request
+    was delayed — dropped and retransmitted on a faulty bank link), so
+    it booked the send into its round-[epoch] report while our reply
+    for that round has already gone out without the receive.  Booking
+    it into the open period instead would make rounds [epoch] and
+    [epoch+1] each one-sided (equal and opposite transient §4.4
+    violations) — and the majority rule can convert the first into a
+    false conviction of an honest ISP.  If [epoch] matches the
+    retained last-answered round, the receive is folded into that
+    retained row and [deliver] is called with the amended sparse row
+    so the caller can re-send its audit reply.  The fold commits only
+    if [deliver] returns [true] (the bank's round is still open and
+    the replacement is on its way); on [false] the fold is reverted —
+    a receive folded into a report the bank will never re-read would
+    vanish from the books entirely.  Returns whether the fold
+    committed; on [false] (including a non-matching [epoch], where
+    [deliver] is never called) the caller books the receive via
+    {!record_receive} as usual. *)
+
 val early_pending : t -> int
 (** Number of receives currently buffered for future periods. *)
 

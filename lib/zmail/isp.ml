@@ -65,6 +65,12 @@ type t = {
       (** Byzantine hook: rewrites the sparse credit row reported at
           {!thaw}.  Reports only — the real vector and the money are
           untouched. *)
+  mutable amend_hook : (seq:int -> Toycrypto.Seal.sealed -> bool) option;
+      (** Wiring, not state (like the tracer): the world's transport
+          for amended audit replies.  Called from the delivery path
+          when a receive stamped with the last answered round is
+          folded into the retained report row — the sealed replacement
+          reply must reach the bank while that round is still open. *)
   mutable pending_warnings : int list;  (** Users newly at their limit. *)
   mutable warned_today : bool array;
   mutable sent_paid : int;
@@ -103,6 +109,7 @@ let create rng config =
     seq = 0;
     freeze_for = 0;
     audit_tamper = None;
+    amend_hook = None;
     pending_warnings = [];
     warned_today = Array.make config.n_users false;
     sent_paid = 0;
@@ -138,6 +145,7 @@ let pending_buy_nonce t = Option.map (fun p -> p.nonce) t.pending_buy
 let pending_sell_nonce t = Option.map (fun p -> p.nonce) t.pending_sell
 let audit_seq t = t.seq
 let set_audit_tamper t f = t.audit_tamper <- f
+let set_amend_hook t f = t.amend_hook <- f
 
 (* ------------------------------------------------------------------ *)
 (* State capture                                                       *)
@@ -310,9 +318,18 @@ let refund_send t ~sender ~dest_isp =
    when the sender charged it.  A newer epoch than ours means the
    sender already snapshotted for an audit round we have yet to answer
    (our snapshot can lag after a crash): the receive then belongs to
-   the next billing period, not the one we are still accumulating.
-   The e-penny itself moves immediately either way — epochs only
-   affect audit bookkeeping, never money. *)
+   the next billing period, not the one we are still accumulating.  An
+   older epoch means the reverse skew: the sender's audit request was
+   delayed (dropped and retransmitted on a faulty bank link), so it
+   charged the message before freezing for a round we already
+   answered — the receive is folded into the retained report for that
+   round and the amended reply re-sent while the round is open (see
+   {!Credit.amend_receive}).  Adversaries don't get the amendment
+   hardening: re-reporting through their tamper hook would perturb the
+   tamper's own replay memory, and an honest-looking amendment would
+   mask the very report the experiments measure.  The e-penny itself
+   moves immediately either way — epochs only affect audit
+   bookkeeping, never money. *)
 let accept_delivery_stamped t ~sender_epoch ~from_isp ~rcpt =
   if not t.config.compliant.(from_isp) then `Unpaid
   else begin
@@ -321,6 +338,21 @@ let accept_delivery_stamped t ~sender_epoch ~from_isp ~rcpt =
       match sender_epoch with
       | Some e when e > t.seq ->
           Credit.record_receive_early t.credit ~epoch:e ~peer:from_isp
+      | Some e when e < t.seq ->
+          let amended =
+            Option.is_none t.audit_tamper
+            &&
+            match t.amend_hook with
+            | Some send ->
+                Credit.amend_receive t.credit ~epoch:e ~peer:from_isp
+                  ~deliver:(fun row ->
+                    send ~seq:e
+                      (Wire.seal_for_bank t.rng t.config.bank_public
+                         (Wire.Audit_reply
+                            { isp = t.config.index; seq = e; credit = row })))
+            | None -> false
+          in
+          if not amended then Credit.record_receive t.credit ~peer:from_isp
       | Some _ | None -> Credit.record_receive t.credit ~peer:from_isp
     end;
     t.received_paid <- t.received_paid + 1;

@@ -187,6 +187,26 @@ val set_audit_tamper :
     by construction ({!Adversary}).  Wiring, not state: not captured in
     snapshots; whoever rebuilds the world reinstalls it. *)
 
+val set_amend_hook : t -> (seq:int -> Toycrypto.Seal.sealed -> bool) option -> unit
+(** Install the transport for amended audit replies.  When a paid
+    message stamped with the last answered round arrives after our
+    reply for that round already went out (the sender's audit request
+    was delayed on a faulty bank link, so it charged the message
+    before freezing), the receive is folded into the retained report
+    row and the hook is called with the round and the sealed
+    replacement [Audit_reply] — the world re-sends it while the bank's
+    round is still open, restoring pairwise antisymmetry for the round
+    the sender booked the message in.  The hook returns whether it
+    accepted the amendment for transport; [false] (the bank's round
+    already closed — e.g. it finished with this kernel's peer group
+    absent during a partition) reverts the fold and books the receive
+    into the open period, since an amendment the bank will never read
+    would erase the receive from the books.  Without the hook (or for
+    kernels with a tamper installed) the receive likewise falls back
+    to the open period, reproducing the pre-amendment transient.
+    Wiring, not state: not captured in snapshots; whoever rebuilds the
+    world reinstalls it. *)
+
 (** {1 Housekeeping} *)
 
 val end_of_day : t -> unit

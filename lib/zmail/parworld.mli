@@ -1,0 +1,85 @@
+(** Domain-parallel world stepping with a deterministic merge.
+
+    ISPs interact only through the SMTP mesh and the bank link, so
+    disjoint ISP groups can run as independent {!World.t} shards (own
+    engine, bank, mesh, RNG streams) stepped concurrently on OCaml 5
+    {!Domain}s via {!Sim.Domainpool}.  Cross-group mail is the only
+    coupling: a shard's workload queues it locally and the coordinator
+    injects it at epoch-aligned barriers (every [window] seconds, the
+    audit period by default), always in fixed group order — so the
+    final state is byte-identical whether the shards stepped on 1, 2
+    or 4 domains.  {!capture} of two runs with the same config must
+    compare equal; E22 and the property suite enforce exactly that.
+
+    Cross-shard mail is outside-world mail on both sides (unpaid, no
+    e-penny flow), so each shard's zero-sum conservation stays exact
+    and audits never span a merge barrier.
+
+    On OCaml 4.x ({!Sim.Domainpool.available} = [false]) everything
+    runs sequentially with identical results. *)
+
+type config = {
+  groups : int;  (** Number of shard worlds. *)
+  isps_per_group : int;
+  users_per_isp : int;
+  seed : int;
+      (** Root seed; each shard's world seed derives from it through
+          {!Sim.Rng.stream_n} (tag [0x9a12d], index = group). *)
+  days : float;  (** Simulated duration driven by {!run}. *)
+  window : float;
+      (** Barrier period in seconds; also each shard's audit period,
+          so merges align with audit/clearing boundaries. *)
+  cross_fraction : float;
+      (** Probability that a generated send targets another group. *)
+  sends_per_user : int;
+  partitions : int -> Sim.Fault.Mesh.partition list;
+      (** Per-group partition schedule for the shard's own mesh. *)
+}
+
+val default_config :
+  groups:int -> isps_per_group:int -> users_per_isp:int -> config
+(** Seed 0, 2 simulated days, 12-hour windows, 10% cross-group mail,
+    3 sends per user, no partitions. *)
+
+type t
+
+val create : config -> t
+(** Build the shard worlds (sequentially — world construction interns
+    SMTP domains into a process-global table; stepping never interns)
+    and attach each shard's E17-style Zipf workload.
+    @raise Invalid_argument on a non-positive group count or window,
+    or a [cross_fraction] outside [0, 1]. *)
+
+val run : t -> domains:int -> unit
+(** Step every shard to each barrier on up to [domains] domains, merge
+    cross-group mail in fixed group order, repeat for [cfg.days], then
+    quiesce (drain all shards, flush remaining cross mail, repeat
+    until empty).  [domains = 1] is the sequential reference the
+    multi-domain runs are byte-compared against.
+    @raise Invalid_argument on a non-positive [domains]. *)
+
+val capture : t -> (string * string) list
+(** A ["parworld"] coordinator section (group count, cross-mail
+    counters, barrier count, outbox depths) followed by every shard's
+    {!World.capture} under a ["g<group>/"] prefix.  Two runs of the
+    same config capture byte-identically regardless of domain count. *)
+
+val shards : t -> World.t array
+val cross_sent : t -> int
+(** Sends the workload routed across groups (queued at a barrier). *)
+
+val cross_injected : t -> int
+(** Cross-group messages actually injected at barriers so far. *)
+
+val barriers : t -> int
+(** Merge barriers executed (including the quiesce flushes). *)
+
+val events_fired : t -> int
+(** Σ engine events across shards — the numerator of events/sec. *)
+
+val ham_delivered : t -> int
+val residue : t -> int
+(** Σ per-shard e-penny residue; zero when every shard conserves. *)
+
+val audits : t -> int
+(** Σ completed audit rounds across shards. *)

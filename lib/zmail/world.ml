@@ -12,6 +12,7 @@ type config = {
   users_per_isp : int;
   compliant : bool array;
   seed : int;
+  shard_tag : string;
   audit_period : float option;
   freeze_duration : float;
   bank_link_latency : float;
@@ -47,6 +48,7 @@ let default_config ~n_isps ~users_per_isp =
     users_per_isp;
     compliant = Array.make n_isps true;
     seed = 0;
+    shard_tag = "";
     audit_period = None;
     freeze_duration = 10. *. Sim.Engine.minute;
     bank_link_latency = 0.1;
@@ -129,6 +131,10 @@ type t = {
   metrics : Obs.Metrics.t;
   honest : bool array;  (* compliant AND not configured to cheat *)
   serve : Serve.Dispatch.t option;  (* serving path, when configured *)
+  isp_dirty : Sim.Bitset.t;
+      (* ISPs whose kernel state changed since the last
+         [capture_incremental]; starts all-set so the first incremental
+         capture is a full one. *)
 }
 
 let engine t = t.engine
@@ -156,7 +162,14 @@ let isp t i =
   | Some k -> k
   | None -> invalid_arg (Printf.sprintf "World.isp: ISP %d is not compliant" i)
 
-let domain_of_isp i = Printf.sprintf "isp%d.example" i
+(* With the default empty [shard_tag] this is byte-identical to the
+   historical "isp%d.example"; a Parworld shard passes its group tag so
+   ISP domains stay globally unique across shard worlds (the intern
+   table is process-global — identical strings would alias cross-shard
+   mail into the destination's own ISPs). *)
+let domain_of_isp ?(shard_tag = "") i =
+  if shard_tag = "" then Printf.sprintf "isp%d.example" i
+  else Printf.sprintf "isp%d.%s.example" i shard_tag
 
 let address t ~isp:i ~user =
   if i < 0 || i >= t.cfg.n_isps || user < 0 || user >= t.cfg.users_per_isp then
@@ -196,10 +209,21 @@ let locate t addr =
     end
     else None
 
+(* Every world-mediated kernel mutation funnels through a handful of
+   sites; each calls [touch] so [capture_incremental] knows which
+   "isp/<i>" sections to re-serialize.  Callers that mutate a kernel
+   directly via [isp t i] must call [mark_isp_dirty] themselves. *)
+let touch t i = Sim.Bitset.set t.isp_dirty i
+let mark_isp_dirty t i =
+  if i < 0 || i >= t.cfg.n_isps then
+    invalid_arg "World.mark_isp_dirty: index out of range";
+  touch t i
+
 let drain_warnings t i =
   match t.kernels.(i) with
   | None -> ()
   | Some k ->
+      touch t i;
       let warned = Isp.limit_warnings k in
       t.stats.limit_warnings <- t.stats.limit_warnings + List.length warned
 
@@ -358,6 +382,7 @@ and bank_message_to_isp t i signed =
   match t.kernels.(i) with
   | None -> ()
   | Some kernel -> (
+      touch t i;
       match Isp.on_bank_message kernel signed with
       | Isp.No_reaction -> ()
       | Isp.Start_snapshot_timer ->
@@ -376,6 +401,7 @@ and bank_message_to_isp t i signed =
                      | Some s -> s
                      | None -> assert false (* frozen implies a round *)
                    in
+                   touch t i;
                    let reply = Isp.thaw kernel in
                    Log.debug (fun m ->
                        m "t=%.0f isp %d thawed, reporting" (Sim.Engine.now t.engine) i);
@@ -411,6 +437,7 @@ let pool_tick t i kernel =
   match Isp.pool_action kernel with
   | None -> ()
   | Some sealed ->
+      touch t i;
       let still, kind =
         match (Isp.pending_buy_nonce kernel, Isp.pending_sell_nonce kernel) with
         | Some nonce, _ when Isp.pending_buy_nonce kernel <> buy_before ->
@@ -522,6 +549,7 @@ let crash_isp t ~isp:i ~downtime =
                 Persist.Codec round-trip of the kernel.  A crash loses
                 only volatile state: the snapshot-freeze flag and
                 whatever was in flight on the link. *)
+             touch t i;
              Isp.recover kernel ~image:(Isp.durable_image kernel);
              Sim.Stats.Counter.incr t.link.recoveries;
              wev t ~actor:i "recover" [];
@@ -594,6 +622,7 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
       | `Submitted -> Submitted `Free
       | `Backpressure -> backpressured ())
   | Some kernel -> (
+      touch t i;
       let charge () =
         if dest_isp >= 0 then Isp.charge_send kernel ~sender:u ~dest_isp
         else if Isp.frozen kernel then Isp.Deferred
@@ -686,6 +715,7 @@ let maybe_generate_ack t ~isp_index ~rcpt_user message =
     | (Some _ | None), _ -> ()
 
 let inbound_filter t ~isp_index kernel ~sender ~rcpt message =
+  touch t isp_index;
   let from_isp =
     match isp_of_addr t sender with
     | i when i >= 0 && t.cfg.compliant.(i) -> Some i
@@ -777,8 +807,9 @@ let create cfg =
   let mtas =
     Array.init cfg.n_isps (fun i ->
         Smtp.Mta.create net
-          ~hostname:(Printf.sprintf "mx.%s" (domain_of_isp i))
-          ~domains:[ domain_of_isp i ])
+          ~hostname:
+            (Printf.sprintf "mx.%s" (domain_of_isp ~shard_tag:cfg.shard_tag i))
+          ~domains:[ domain_of_isp ~shard_tag:cfg.shard_tag i ])
   in
   let initial_balance_of = Array.make cfg.n_isps 0 in
   let kernels =
@@ -798,7 +829,9 @@ let create cfg =
   in
   if not cfg.retain_mail then
     Array.iter (fun m -> Smtp.Mta.set_retain_mail m false) mtas;
-  let domains = Array.init cfg.n_isps domain_of_isp in
+  let domains =
+    Array.init cfg.n_isps (domain_of_isp ~shard_tag:cfg.shard_tag)
+  in
   let domain_ids = Array.map Smtp.Address.intern_domain domains in
   (* The intern table is process-global and append-only, so sizing the
      routing array to the current intern count covers every domain this
@@ -825,7 +858,7 @@ let create cfg =
           invalid_arg "World.create: bank_wire tap on a non-compliant ISP";
         ( i,
           Adversary.Bank_wire.create
-            (Sim.Rng.create (cfg.seed lxor 0x8b1e5 lxor (i * 0x2717)))
+            (Sim.Rng.stream_n ~seed:cfg.seed ~tag:0x8b1e5 i)
             behavior ))
       cfg.bank_wire
   in
@@ -843,7 +876,7 @@ let create cfg =
     | Some sc ->
         Some
           (Serve.Dispatch.attach ~config:sc
-             ~rng:(Sim.Rng.create (cfg.seed lxor 0x5e17e))
+             ~rng:(Sim.Rng.stream ~seed:cfg.seed ~tag:0x5e17e)
              net)
   in
   let t =
@@ -882,14 +915,14 @@ let create cfg =
          seed generates the same traffic under any plan. *)
       fault =
         Sim.Fault.create ~plan:cfg.bank_fault engine
-          (Sim.Rng.create (cfg.seed lxor 0x6fa17));
+          (Sim.Rng.stream ~seed:cfg.seed ~tag:0x6fa17);
       (* Same isolation for the mesh: its own root-seeded stream, so
          link chaos never perturbs workload or bank-fault randomness.
          Node n_isps is the bank. *)
       mesh =
         Sim.Fault.Mesh.create ~default:cfg.mesh_default ~links:cfg.mesh_links
           ~partitions:cfg.partitions ~n_nodes:(cfg.n_isps + 1) engine
-          (Sim.Rng.create (cfg.seed lxor 0x3a7e5));
+          (Sim.Rng.stream ~seed:cfg.seed ~tag:0x3a7e5);
       adversaries = [];
       bank_taps;
       up = Array.make cfg.n_isps true;
@@ -910,6 +943,10 @@ let create cfg =
       metrics;
       honest;
       serve;
+      isp_dirty =
+        (let d = Sim.Bitset.create ~capacity:cfg.n_isps () in
+         Array.iteri (fun i c -> if c then Sim.Bitset.set d i) cfg.compliant;
+         d);
     }
   in
   (* Route every component's events into the shared tracer and gather
@@ -917,6 +954,39 @@ let create cfg =
   Bank.set_tracer t.the_bank tracer;
   Array.iter
     (function Some kernel -> Isp.set_tracer kernel tracer | None -> ())
+    t.kernels;
+  (* Amended audit replies (a receive stamped with an already-answered
+     round arriving while the bank's round is still open) travel the
+     same degraded ISP->bank path as the original reply, retransmitted
+     until the round closes — after that the amendment is moot and the
+     loop stops.  The hook returns whether the round was still open at
+     fold time: on [false] the kernel reverts the fold and books the
+     receive normally (an amendment to a closed round — the common
+     case right after a partition heals — would silently erase the
+     receive).  Wiring, like the tracer: [Isp.recover] leaves it in
+     place across crashes. *)
+  Array.iteri
+    (fun i -> function
+      | Some kernel ->
+          Isp.set_amend_hook kernel
+            (Some
+               (fun ~seq reply ->
+                 let still () =
+                   match Bank.audit_waiting t.the_bank with
+                   | Some (s, _) -> s = seq
+                   | None -> false
+                 in
+                 still ()
+                 && begin
+                      retry_loop t
+                        ~send:(fun () ->
+                          if t.up.(i) then
+                            to_bank t ~kind:Adversary.Bank_wire.Audit_reply_msg
+                              i reply)
+                        ~still ~timeout:t.cfg.retry_timeout;
+                      true
+                    end))
+      | None -> ())
     t.kernels;
   List.iter
     (fun c ->
@@ -993,6 +1063,7 @@ let create cfg =
               if Smtp.Message.payment message <> None then
                 match locate t (Smtp.Envelope.sender envelope) with
                 | Some (si, u) when si = i ->
+                    touch t i;
                     List.iter
                       (fun rcpt ->
                         let dest_isp = isp_of_addr t rcpt in
@@ -1079,6 +1150,7 @@ let register_adversary t ~isp:i adv =
   | Some kernel ->
       if List.mem_assoc i t.adversaries then
         invalid_arg "World.register_adversary: ISP already has an adversary";
+      touch t i;
       Isp.set_audit_tamper kernel (Some (Adversary.tamper adv));
       t.honest.(i) <- false;
       t.adversaries <- t.adversaries @ [ (i, adv) ]
@@ -1296,3 +1368,38 @@ let capture t =
     | Some d -> [ sec "serve" (fun w () -> Serve.Dispatch.encode_state w d) ]
     | None -> [])
   @ [ sec "trace" (fun w () -> Obs.Trace.encode_state w t.tracer) ]
+
+(* Incremental capture: same section names in the same order as
+   [capture], but each "isp/<i>" body is serialized only when the
+   world-mediated mutation sites marked ISP [i] dirty since the last
+   incremental capture.  The non-ISP sections (engine, rng, fault,
+   mesh, bank, world, serve, trace) are always serialized: they are
+   small, mutate on nearly every event, and tracking them would cost
+   more than re-encoding them.  The dirty set starts all-set, so the
+   first incremental capture of a world is a full one. *)
+let capture_incremental t =
+  let sec name encode = (name, Some (Persist.Codec.to_string encode ())) in
+  let sections =
+    [ sec "engine" (fun w () -> Sim.Engine.encode_state w t.engine);
+      sec "rng" (fun w () -> Sim.Rng.encode_state w t.rng);
+      sec "fault" (fun w () -> Sim.Fault.encode_state w t.fault);
+      sec "mesh" (fun w () -> Sim.Fault.Mesh.encode_state w t.mesh);
+      sec "bank" (fun w () -> Bank.encode_state w t.the_bank) ]
+    @ (Array.to_list t.kernels
+      |> List.mapi (fun i k -> (i, k))
+      |> List.filter_map (fun (i, k) ->
+             Option.map
+               (fun kernel ->
+                 let name = Printf.sprintf "isp/%d" i in
+                 if Sim.Bitset.mem t.isp_dirty i then
+                   sec name (fun w () -> Isp.encode_state w kernel)
+                 else (name, None))
+               k))
+    @ [ sec "world" (fun w () -> encode_world w t) ]
+    @ (match t.serve with
+      | Some d -> [ sec "serve" (fun w () -> Serve.Dispatch.encode_state w d) ]
+      | None -> [])
+    @ [ sec "trace" (fun w () -> Obs.Trace.encode_state w t.tracer) ]
+  in
+  Sim.Bitset.clear t.isp_dirty;
+  sections

@@ -58,6 +58,14 @@ type config = {
   users_per_isp : int;
   compliant : bool array;
   seed : int;
+  shard_tag : string;
+      (** Disambiguates ISP domain names across coexisting worlds.
+          With the default [""] ISP [i]'s domain is ["isp<i>.example"]
+          (byte-identical to every earlier snapshot); a non-empty tag
+          yields ["isp<i>.<tag>.example"].  {!Parworld} gives each
+          shard world a distinct tag: the SMTP domain intern table is
+          process-global, so identical domain strings would alias
+          cross-shard mail into the destination world's own ISPs. *)
   audit_period : float option;
       (** Run a §4.4 audit every this many seconds ([None]: only
           manual {!trigger_audit}). *)
@@ -383,3 +391,21 @@ val capture : t -> (string * string) list
     capture byte-identically — that equality is the resume-determinism
     guarantee, and any mismatch is reported per section by
     {!Persist.Snapshot.diff}. *)
+
+val capture_incremental : t -> (string * string option) list
+(** As {!capture} — same section names, same order — but each
+    ["isp/<i>"] body is [Some] only when ISP [i]'s kernel changed since
+    the previous [capture_incremental] (the world tracks this at every
+    mutation site: charges, deliveries, bank messages, pool actions,
+    recoveries, daily resets).  Clean kernels yield [None].  The
+    non-ISP sections are always [Some]: they change on nearly every
+    event.  Resets the dirty set, so the capture itself is the new
+    baseline; the first call on a fresh world is a full capture.  Feed
+    to {!Persist.Snapshot.delta} together with the base snapshot the
+    previous capture produced. *)
+
+val mark_isp_dirty : t -> int -> unit
+(** Force ISP [i]'s section into the next {!capture_incremental}.
+    Needed only by callers that mutate a kernel {e directly} through
+    {!isp} — world-mediated mutations mark themselves.
+    @raise Invalid_argument for an out-of-range index. *)

@@ -138,8 +138,9 @@ let test_e15_shape () =
   | _ -> Alcotest.fail "expected three tables"
 
 let test_registry () =
-  Alcotest.(check int) "twenty experiments" 20 (List.length Harness.Experiments.all);
+  Alcotest.(check int) "twenty-one experiments" 21 (List.length Harness.Experiments.all);
   Alcotest.(check bool) "find e7" true (Harness.Experiments.find "E7" <> None);
+  Alcotest.(check bool) "find e22" true (Harness.Experiments.find "e22" <> None);
   Alcotest.(check bool) "unknown id" true (Harness.Experiments.find "e99" = None);
   (* Ids are unique and well-formed. *)
   let ids = List.map (fun e -> e.Harness.Experiments.id) Harness.Experiments.all in

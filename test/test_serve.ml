@@ -240,7 +240,7 @@ let run_scenario ~seed =
   let d =
     Serve.Dispatch.attach
       ~config:{ serve_config with Serve.Config.queue_depth = 4; max_sessions = 2 }
-      ~rng:(Sim.Rng.create (seed lxor 0x5e17e))
+      ~rng:(Sim.Rng.stream ~seed ~tag:0x5e17e)
       net
   in
   for i = 1 to 12 do

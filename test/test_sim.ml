@@ -72,6 +72,66 @@ let test_rng_pick_empty () =
   Alcotest.check_raises "empty array" (Invalid_argument "Rng.pick: empty array")
     (fun () -> ignore (Sim.Rng.pick rng [||]))
 
+(* Regression for the old [seed lxor tag] sub-stream derivation, which
+   had two adversarial failure modes that [Rng.stream] must not:
+   choosing seed = tag collapsed the subsystem stream onto [create 0],
+   and two seeds differing by [tag1 lxor tag2] swapped the two
+   subsystems' streams wholesale. *)
+let test_rng_stream_no_seed_tag_collision () =
+  let tags = [ 0x3a7e5; 0x8b1e5; 0x5e17e; 0x6fa17; 0xfed19; 0xc1ea7 ] in
+  List.iter
+    (fun tag ->
+      (* seed = tag used to yield create 0's stream *)
+      let derived = Sim.Rng.stream ~seed:tag ~tag in
+      let zero = Sim.Rng.create 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "stream ~seed:%#x ~tag:%#x <> create 0" tag tag)
+        true
+        (Sim.Rng.int64 derived <> Sim.Rng.int64 zero);
+      (* the derived stream must also differ from the root stream of the
+         same seed *)
+      let derived = Sim.Rng.stream ~seed:tag ~tag in
+      let root = Sim.Rng.create tag in
+      Alcotest.(check bool) "stream differs from root create"
+        true
+        (Sim.Rng.int64 derived <> Sim.Rng.int64 root))
+    tags
+
+let test_rng_stream_no_swap () =
+  (* Under xor derivation, seeds s and s lxor tag1 lxor tag2 made
+     subsystem tag1 of one run equal subsystem tag2 of the other. *)
+  let tag1 = 0x3a7e5 and tag2 = 0x8b1e5 in
+  let s = 0xdeadbeef in
+  let s' = s lxor tag1 lxor tag2 in
+  let a = Sim.Rng.stream ~seed:s ~tag:tag1 in
+  let b = Sim.Rng.stream ~seed:s' ~tag:tag2 in
+  Alcotest.(check bool) "no stream swap" true (Sim.Rng.int64 a <> Sim.Rng.int64 b);
+  let a = Sim.Rng.stream ~seed:s ~tag:tag2 in
+  let b = Sim.Rng.stream ~seed:s' ~tag:tag1 in
+  Alcotest.(check bool) "no reverse swap" true (Sim.Rng.int64 a <> Sim.Rng.int64 b)
+
+let test_rng_stream_n_distinct () =
+  let seen = Hashtbl.create 64 in
+  for n = 0 to 31 do
+    let r = Sim.Rng.stream_n ~seed:42 ~tag:0x8b1e5 n in
+    let w = Sim.Rng.int64 r in
+    Alcotest.(check bool)
+      (Printf.sprintf "stream_n %d fresh" n)
+      false (Hashtbl.mem seen w);
+    Hashtbl.replace seen w ()
+  done;
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Rng.stream_n: negative index") (fun () ->
+      ignore (Sim.Rng.stream_n ~seed:42 ~tag:0x8b1e5 (-1)))
+
+let test_rng_stream_deterministic () =
+  let a = Sim.Rng.stream ~seed:7 ~tag:0x5e17e in
+  let b = Sim.Rng.stream ~seed:7 ~tag:0x5e17e in
+  for _ = 1 to 16 do
+    Alcotest.(check int64) "same derived stream" (Sim.Rng.int64 a)
+      (Sim.Rng.int64 b)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Dist                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -771,6 +831,12 @@ let () =
           Alcotest.test_case "uniform mean" `Quick test_rng_mean;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
           Alcotest.test_case "pick empty" `Quick test_rng_pick_empty;
+          Alcotest.test_case "stream no seed/tag collision" `Quick
+            test_rng_stream_no_seed_tag_collision;
+          Alcotest.test_case "stream no swap" `Quick test_rng_stream_no_swap;
+          Alcotest.test_case "stream_n distinct" `Quick test_rng_stream_n_distinct;
+          Alcotest.test_case "stream deterministic" `Quick
+            test_rng_stream_deterministic;
         ] );
       ( "dist",
         [

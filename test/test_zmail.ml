@@ -78,6 +78,65 @@ let test_credit_epoch_ladder () =
     (Zmail.Credit.snapshot c);
   Alcotest.(check int) "ladder drained" 0 (Zmail.Credit.early_pending c)
 
+(* The late mirror of the ladder: a receive stamped with the round we
+   already answered (the sender's audit request was delayed, so it
+   charged the message before freezing) folds into the retained report
+   row — returned so the kernel can re-send an amended reply — instead
+   of lopsiding the open period.  Only the last-answered round is
+   amendable; anything older, or an amend before any round closed,
+   falls back to the ordinary receive path. *)
+let test_credit_amend_receive () =
+  let c = Zmail.Credit.create ~n:3 in
+  let accept seen row =
+    seen := Some (Array.copy row);
+    true
+  in
+  let got = ref None in
+  (* No round answered yet: nothing to amend, [deliver] never runs. *)
+  Alcotest.(check bool) "no retained row" false
+    (Zmail.Credit.amend_receive c ~epoch:0 ~peer:1 ~deliver:(accept got));
+  Alcotest.(check bool) "deliver not called" true (!got = None);
+  Zmail.Credit.record_send c ~peer:1;
+  Zmail.Credit.record_send c ~peer:1;
+  Zmail.Credit.record_send c ~peer:2;
+  Zmail.Credit.reset_upto c ~seq:0;
+  (* Late receive stamped round 0: the retained [(1,2);(2,1)] row is
+     amended in place and handed to [deliver]. *)
+  Alcotest.(check bool) "amend commits" true
+    (Zmail.Credit.amend_receive c ~epoch:0 ~peer:1 ~deliver:(accept got));
+  Alcotest.(check bool) "amended row" true (!got = Some [| (1, 1); (2, 1) |]);
+  (* A rejected delivery (the bank's round already closed) reverts the
+     fold: the retained row is unchanged for the next amendment. *)
+  Alcotest.(check bool) "rejected delivery reverts" false
+    (Zmail.Credit.amend_receive c ~epoch:0 ~peer:2 ~deliver:(fun _ -> false));
+  (* The next amend sees the un-reverted state and zeroes the peer-2
+     cell, which drops from the canonical sparse form. *)
+  Alcotest.(check bool) "amend after revert" true
+    (Zmail.Credit.amend_receive c ~epoch:0 ~peer:2 ~deliver:(accept got));
+  Alcotest.(check bool) "zero cell dropped" true (!got = Some [| (1, 1) |]);
+  (* The open period is untouched by amendments. *)
+  Alcotest.(check (array int)) "open period clean" [| 0; 0; 0 |]
+    (Zmail.Credit.snapshot c);
+  (* Wrong epoch: more than one round behind is not amendable. *)
+  Alcotest.(check bool) "only last round amendable" false
+    (Zmail.Credit.amend_receive c ~epoch:1 ~peer:1 ~deliver:(fun _ -> true));
+  (* The retained row is durable state: a codec round-trip preserves
+     amendability byte-for-byte. *)
+  let w = Persist.Codec.W.create () in
+  Zmail.Credit.encode_state w c;
+  let bytes = Persist.Codec.W.contents w in
+  let fresh = Zmail.Credit.create ~n:3 in
+  Zmail.Credit.restore_state (Persist.Codec.R.of_string bytes) fresh;
+  Alcotest.(check bool) "amendable after restore" true
+    (Zmail.Credit.amend_receive fresh ~epoch:0 ~peer:2 ~deliver:(accept got));
+  Alcotest.(check bool) "restored row amended" true
+    (!got = Some [| (1, 1); (2, -1) |]);
+  (* Closing the next round replaces the retained row: round 0 is no
+     longer amendable. *)
+  Zmail.Credit.reset_upto c ~seq:1;
+  Alcotest.(check bool) "older round retired" false
+    (Zmail.Credit.amend_receive c ~epoch:0 ~peer:1 ~deliver:(fun _ -> true))
+
 let test_audit_consistent () =
   let reported =
     [| [| 0; 3; -1 |]; [| -3; 0; 2 |]; [| 1; -2; 0 |] |]
@@ -515,6 +574,83 @@ let test_isp_snapshot_flow () =
       Alcotest.(check (list int)) "no suspects" [] result.Zmail.Bank.suspects
   | None -> Alcotest.fail "audit did not complete"
 
+(* The snapshot race behind E16's max-chaos false convictions: ISP 1's
+   audit request arrives promptly but ISP 0's is delayed (a faulty bank
+   link), so ISP 0 keeps charging mail stamped with the round under
+   audit after ISP 1 has already thawed and reported.  When the stamped
+   message lands, ISP 1 must fold the receive into its retained round-0
+   row and re-send an amended reply — booking it into the open period
+   would make round 0 one-sided (+1) and round 1 one-sided (-1), and
+   the majority rule can convict an honest ISP off the first. *)
+let test_isp_amended_audit_reply () =
+  let r = rng () in
+  let compliant = [| true; true |] in
+  let bank = Zmail.Bank.create r (Zmail.Bank.default_config ~n_isps:2 ~compliant) in
+  let mk i =
+    Zmail.Isp.create r
+      (Zmail.Isp.default_config ~index:i ~n_isps:2 ~n_users:2 ~compliant
+         ~bank_public:(Zmail.Bank.public_key bank))
+  in
+  let isp0 = mk 0 and isp1 = mk 1 in
+  let amended = ref None in
+  let round_open = ref true in
+  Zmail.Isp.set_amend_hook isp1
+    (Some
+       (fun ~seq reply ->
+         !round_open
+         && begin
+              amended := Some (seq, reply);
+              true
+            end));
+  (* Balanced pre-audit traffic: 0 sends one paid message to 1. *)
+  ignore (Zmail.Isp.charge_send isp0 ~sender:0 ~dest_isp:1);
+  ignore (Zmail.Isp.accept_delivery_stamped isp1 ~sender_epoch:(Some 0) ~from_isp:0 ~rcpt:0);
+  let requests = Zmail.Bank.start_audit bank in
+  let req_for i = List.assoc i requests in
+  (* ISP 1's request arrives; it freezes, thaws and reports round 0. *)
+  ignore (Zmail.Isp.on_bank_message isp1 (req_for 1));
+  (match Zmail.Bank.on_isp_message bank ~from_isp:1 (Zmail.Isp.thaw isp1) with
+  | Zmail.Bank.Audit_progress -> ()
+  | _ -> Alcotest.fail "expected progress after first reply");
+  (* ISP 0's request is still in flight: it charges another message,
+     stamped with the round the bank is auditing. *)
+  let stamp = Zmail.Isp.audit_seq isp0 in
+  Alcotest.(check int) "laggard still stamping round 0" 0 stamp;
+  ignore (Zmail.Isp.charge_send isp0 ~sender:1 ~dest_isp:1);
+  (* The stamped message lands after ISP 1 already reported: the
+     receive folds into the retained row, not the open period, and the
+     amend hook fires with the replacement reply. *)
+  ignore
+    (Zmail.Isp.accept_delivery_stamped isp1 ~sender_epoch:(Some stamp) ~from_isp:0 ~rcpt:1);
+  Alcotest.(check int) "open period untouched" 0
+    (Zmail.Isp.credit_vector isp1).(0);
+  (match !amended with
+  | Some (0, reply) -> (
+      match Zmail.Bank.on_isp_message bank ~from_isp:1 reply with
+      | Zmail.Bank.Audit_progress -> ()
+      | _ -> Alcotest.fail "amended reply should keep the round open")
+  | Some (s, _) -> Alcotest.failf "amended reply for unexpected round %d" s
+  | None -> Alcotest.fail "amend hook did not fire");
+  (* ISP 0's delayed request finally arrives; its cumulative row covers
+     both sends, and the amended round closes clean. *)
+  ignore (Zmail.Isp.on_bank_message isp0 (req_for 0));
+  (match Zmail.Bank.on_isp_message bank ~from_isp:0 (Zmail.Isp.thaw isp0) with
+  | Zmail.Bank.Audit_complete result ->
+      Alcotest.(check int) "amended round has no violations" 0
+        (List.length result.Zmail.Bank.violations);
+      Alcotest.(check (list int)) "no suspects" [] result.Zmail.Bank.suspects
+  | _ -> Alcotest.fail "audit did not complete");
+  (* After the round closes the transport refuses the amendment: a
+     straggler stamped with the closed round must fall back to the
+     open period, not vanish into a report the bank will never
+     re-read (the post-partition-heal path). *)
+  round_open := false;
+  ignore (Zmail.Isp.charge_send isp0 ~sender:0 ~dest_isp:1);
+  ignore
+    (Zmail.Isp.accept_delivery_stamped isp1 ~sender_epoch:(Some 0) ~from_isp:0 ~rcpt:0);
+  Alcotest.(check int) "straggler lands in open period" (-1)
+    (Zmail.Isp.credit_vector isp1).(0)
+
 let test_isp_audit_request_replay_ignored () =
   let r = rng () in
   let compliant = [| true |] in
@@ -948,6 +1084,7 @@ let () =
         [
           Alcotest.test_case "vector ops" `Quick test_credit_vector;
           Alcotest.test_case "epoch ladder" `Quick test_credit_epoch_ladder;
+          Alcotest.test_case "amend receive" `Quick test_credit_amend_receive;
           Alcotest.test_case "audit consistent" `Quick test_audit_consistent;
           Alcotest.test_case "audit mismatch" `Quick test_audit_detects_mismatch;
           Alcotest.test_case "audit ignores non-compliant" `Quick
@@ -983,6 +1120,8 @@ let () =
           Alcotest.test_case "reply replay (paper literal)" `Quick
             test_isp_buy_reply_replay_paper_literal;
           Alcotest.test_case "snapshot flow" `Quick test_isp_snapshot_flow;
+          Alcotest.test_case "amended audit reply" `Quick
+            test_isp_amended_audit_reply;
           Alcotest.test_case "request replay ignored" `Quick
             test_isp_audit_request_replay_ignored;
           Alcotest.test_case "thaw without freeze" `Quick test_isp_thaw_without_freeze;
