@@ -1,7 +1,7 @@
 (* Benchmark and experiment harness.
 
    Usage:
-     main.exe            run every experiment table (E1-E22) then the
+     main.exe            run every experiment table (E1-E23) then the
                          E12 micro-benchmarks
      main.exe e7         run one experiment
      main.exe micro      run only the micro-benchmarks
@@ -13,8 +13,9 @@
    times every experiment (plus engine throughput, the reduced E17
    scale row, a serving-path E20 cell, §4.4 audit-verify cost at 100
    and 1000 ISPs, inter-bank clearing at 4 and 16 member banks,
-   snapshot I/O, the Parworld multi-domain stepping row and the
-   incremental-snapshot capture row) and writes a
+   snapshot I/O, the Parworld multi-domain stepping row, the
+   incremental-snapshot capture row and the WAL append/recover rows) and
+   writes a
    machine-readable report; --json with --full additionally runs the
    nightly-scale rows (E17 at a million users, the E18 grid at 100
    ISPs x 1000 users).  Single-experiment runs also accept the
@@ -553,6 +554,73 @@ let snapshot_incremental () =
     full_bytes,
     delta_bytes )
 
+(* WAL append throughput at the device level: frame + append with a
+   flush every [group] records — the exact write path a disk-backed
+   kernel drives per logged billing transition ({!Zmail.Isp}).
+   Records/s at group 1 (the policy for money-moving records, which
+   always flush) and group 8 (the default lazy batch), so the committed
+   baselines document what group commit actually buys on the append
+   path. *)
+let wal_append_cost group =
+  let d = Sim.Disk.create (Sim.Rng.create 31) in
+  let payload = String.make 24 'r' in
+  let n = 100_000 in
+  let (), seconds =
+    wall (fun () ->
+        for k = 0 to n - 1 do
+          Sim.Disk.append d (Persist.Wal.frame ~seq:k payload);
+          if k mod group = group - 1 then Sim.Disk.flush d
+        done;
+        Sim.Disk.flush d)
+  in
+  float_of_int n /. seconds
+
+(* WAL recovery cost vs log length: a disk-backed kernel is driven
+   with paid sends and deliveries until its log holds [n] delta
+   records, the log is frozen, and the full recovery — scan, checkpoint
+   restore, replay, compaction — is timed by re-seeding the device with
+   the frozen log each iteration ([recover_wal] compacts on success, so
+   the log must be restored between runs).  Both lengths sit below the
+   kernel's compaction threshold (512 deltas) because the log can never
+   grow past it: compaction bounds replay, which is exactly what the
+   baselines document.  Returns the recovery wall cost in ms and the
+   delta-record count actually replayed. *)
+let wal_recover_cost n =
+  let rng = Sim.Rng.create 33 in
+  let compliant = [| true; true |] in
+  let bank =
+    Zmail.Bank.create rng (Zmail.Bank.default_config ~n_isps:2 ~compliant)
+  in
+  let disk = Sim.Disk.create (Sim.Rng.create 34) in
+  let isp =
+    Zmail.Isp.create ~disk ~wal_group:1 rng
+      { (Zmail.Isp.default_config ~index:0 ~n_isps:2 ~n_users:16 ~compliant
+           ~bank_public:(Zmail.Bank.public_key bank))
+        with
+        Zmail.Isp.initial_balance = 1_000_000_000;
+        daily_limit = max_int;
+      }
+  in
+  let k = ref 0 in
+  while Zmail.Isp.wal_appended isp < n do
+    (if !k mod 2 = 0 then
+       ignore (Zmail.Isp.charge_send isp ~sender:(!k mod 16) ~dest_isp:1)
+     else ignore (Zmail.Isp.accept_delivery isp ~from_isp:1 ~rcpt:(!k mod 16)));
+    incr k
+  done;
+  let log = Sim.Disk.contents disk in
+  let iters = max 20 (20_000 / n) in
+  let (), seconds =
+    wall (fun () ->
+        for _ = 1 to iters do
+          Sim.Disk.reset_to disk log;
+          match Zmail.Isp.recover_wal isp with
+          | Ok () -> ()
+          | Error e -> failwith ("bench: wal_recover: " ^ e)
+        done)
+  in
+  (seconds /. float_of_int iters *. 1e3, Zmail.Isp.wal_replayed isp)
+
 (* ISO-8601 UTC stamp embedded in the report, so tooling can order
    baselines by when they were recorded instead of by filename. *)
 let iso8601_now () =
@@ -606,6 +674,10 @@ let run_json ~path ~obs ~full =
   let sparse_10000_us, sparse_10000_cells = sparse_audit_verify_cost 10_000 in
   let clear4_ms, clear4_msgs = clearing_cost 4 in
   let clear16_ms, clear16_msgs = clearing_cost 16 in
+  let wal_g1_rps = wal_append_cost 1 in
+  let wal_g8_rps = wal_append_cost 8 in
+  let wal_rec_short_ms, wal_rec_short_n = wal_recover_cost 64 in
+  let wal_rec_long_ms, wal_rec_long_n = wal_recover_cost 448 in
   (* Nightly-only long rows: the E17 million-user world and the E18
      adversary grid at 100 ISPs x 1000 users.  Minutes of wall-clock,
      so they only run under --full. *)
@@ -625,7 +697,7 @@ let run_json ~path ~obs ~full =
   in
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    (Printf.sprintf "{\n  \"schema\": 3,\n  \"generated_at\": \"%s\",\n\
+    (Printf.sprintf "{\n  \"schema\": 4,\n  \"generated_at\": \"%s\",\n\
       \  \"experiments\": [\n"
        (iso8601_now ()));
   List.iteri
@@ -672,6 +744,14 @@ let run_json ~path ~obs ~full =
        "  \"clearing\": { \"banks4\": { \"settle_ms\": %.3f, \"messages\": \
         %d }, \"banks16\": { \"settle_ms\": %.3f, \"messages\": %d } },\n"
        clear4_ms clear4_msgs clear16_ms clear16_msgs);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"wal\": { \"append_g1_records_per_sec\": %.0f, \
+        \"append_g8_records_per_sec\": %.0f, \"recover_short\": { \
+        \"records\": %d, \"ms\": %.3f }, \"recover_long\": { \
+        \"records\": %d, \"ms\": %.3f } },\n"
+       wal_g1_rps wal_g8_rps wal_rec_short_n wal_rec_short_ms wal_rec_long_n
+       wal_rec_long_ms);
   Buffer.add_string b
     (Printf.sprintf
        "  \"engine_domains\": { \"groups\": 4, \"events\": %d, \
@@ -724,7 +804,7 @@ let list_experiments () =
   print_endline "micro (E12: protocol micro-benchmarks)"
 
 let usage =
-  "usage: main.exe [e1..e22|micro|list] [--metrics] [--trace FILE] \
+  "usage: main.exe [e1..e23|micro|list] [--metrics] [--trace FILE] \
    [--trace-format jsonl|chrome] [--json FILE] [--full] \
    [--checkpoint-every T] [--snapshot FILE] [--resume FILE] [--stop-at T]"
 

@@ -15,7 +15,8 @@ Pure stdlib, no matplotlib: the output is a table, not a picture, so
 it works in CI logs and terminals.  Keys absent from older schemas
 (audit_verify appeared in schema 2, clearing later in schema 2, the
 latency row later still, engine_domains and snapshot_incremental in
-schema 3) render as an em-dash cell rather than failing, so the tool
+schema 3, the wal rows in schema 4) render as an em-dash cell rather
+than failing, so the tool
 can always read the whole history — a baseline recorded before a
 series existed is simply blank in that column, and the percent delta
 resumes from the first baseline that has it.  A zero-valued previous
@@ -71,6 +72,9 @@ SERIES = [
     ("domains x2", "{:.2f}x", ("engine_domains", "speedup_2")),
     ("domains x4", "{:.2f}x", ("engine_domains", "speedup_4")),
     ("snap incr speedup", "{:.2f}x", ("snapshot_incremental", "speedup")),
+    # Schema-4 series: the durable-WAL append and recovery paths.
+    ("wal append g8 rec/s", "{:,.0f}", ("wal", "append_g8_records_per_sec")),
+    ("wal recover ms", "{:.3f}", ("wal", "recover_long", "ms")),
 ]
 
 

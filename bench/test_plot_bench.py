@@ -16,9 +16,9 @@ import plot_bench  # noqa: E402
 
 
 def report(**overrides):
-    """A minimal schema-3 report; overrides patch nested keys."""
+    """A minimal schema-4 report; overrides patch nested keys."""
     base = {
-        "schema": 3,
+        "schema": 4,
         "generated_at": "2026-08-09T00:00:00Z",
         "engine": {"events_per_sec": 100000.0},
         "clearing": {
@@ -31,6 +31,12 @@ def report(**overrides):
             "speedup_4": 3.1,
         },
         "snapshot_incremental": {"speedup": 6.5},
+        "wal": {
+            "append_g1_records_per_sec": 900000.0,
+            "append_g8_records_per_sec": 2500000.0,
+            "recover_short": {"records": 64, "ms": 0.2},
+            "recover_long": {"records": 448, "ms": 1.4},
+        },
     }
     base.update(overrides)
     return base
@@ -70,6 +76,16 @@ class SeriesTest(unittest.TestCase):
 
     def test_snapshot_incremental_series_present(self):
         self.assertIn("snap incr speedup", self.headers())
+
+    def test_wal_series_present(self):
+        headers = self.headers()
+        self.assertIn("wal append g8 rec/s", headers)
+        self.assertIn("wal recover ms", headers)
+
+    def test_extract_reads_schema4_keys(self):
+        values = dict(zip(self.headers(), plot_bench.extract(report())))
+        self.assertEqual(values["wal append g8 rec/s"], 2500000.0)
+        self.assertEqual(values["wal recover ms"], 1.4)
 
     def test_extract_reads_schema3_keys(self):
         values = dict(

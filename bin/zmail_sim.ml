@@ -42,8 +42,9 @@ let full_arg =
      million-user row, E18 raises its adversary grid to 100 ISPs x 1000 \
      users per cell, E19 does the same for its bank-wire grid and grows \
      the federation to 16 member banks, E21 scales its collusion grid, \
-     adds the 5-ring plan and appends a 10^4-ISP cell (all take \
-     minutes).  Experiments without a larger variant ignore the flag."
+     adds the 5-ring plan and appends a 10^4-ISP cell, E23 sweeps every \
+     fault level densely under both chaos settings (all take minutes).  \
+     Experiments without a larger variant ignore the flag."
   in
   Arg.(value & flag & info [ "full"; "million" ] ~doc)
 
@@ -175,7 +176,7 @@ let setup_logs level =
 
 let experiment_cmd =
   let id_arg =
-    let doc = "Experiment id: e1..e22, or 'all'." in
+    let doc = "Experiment id: e1..e23, or 'all'." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
   let term =

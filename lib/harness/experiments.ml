@@ -217,6 +217,21 @@ let all =
         (fun ~full:_ ~seed ~obs ~persist ~domains ->
           E22_parworld.run ~obs ~persist ~seed ?domains ());
     };
+    {
+      id = "e23";
+      title = "Durable WAL billing under disk faults: crash-point sweep";
+      claim =
+        "Implied by §4.3's durable accounting: with billing state on \
+         write-ahead logs over faulty storage (torn final appends, bit \
+         rot on the torn fragment), crashing any ISP — or the bank — at \
+         every event boundary and recovering by log replay conserves \
+         money exactly (residue = cheat-minted, the no-double-billing \
+         oracle), never abandons a log, and never convicts an honest \
+         ISP.";
+      run =
+        (fun ~full ~seed ~obs ~persist ~domains:_ ->
+          E23_crashpoint.run ~obs ~persist ~seed ~full ());
+    };
   ]
 
 let find id =
@@ -238,4 +253,4 @@ let run_one ?(seed = 0) ?(full = false) ?obs ?persist ?domains id =
   | Some e ->
       print_experiment ~full ~seed ?obs ?persist ?domains e;
       Ok ()
-  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e22)" id)
+  | None -> Error (Printf.sprintf "unknown experiment %S (try e1..e23)" id)

@@ -14,8 +14,14 @@ type t = {
    seed/tag) instead of [seed lxor tag], and delta snapshots exist
    (see [delta]).  No migration from v5: the derivation change is
    semantic — a v5 snapshot's replay-verify could never pass against
-   the new streams (same situation as v1->v2). *)
-let current_version = 6
+   the new streams (same situation as v1->v2).
+   v7: the world section gains the bank-up flag and the bank-crash /
+   bank-recovery / lost-while-bank-down / WAL-fallback link counters
+   (E23's durable-WAL work); disk-backed kernels and the bank append a
+   storage-device + WAL-bookkeeping section to their state.  No
+   migration from v6: a v6 snapshot simply lacks the new trailing
+   fields, and replay-verify compares full section bytes. *)
+let current_version = 7
 let magic = "ZMSNAP01"
 
 (* A delta snapshot's first section; the name is not a valid component

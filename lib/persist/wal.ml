@@ -1,0 +1,59 @@
+(* Frame layout (all integers little-endian):
+
+     u32 seq | u32 payload_len | payload bytes | u32 crc
+
+   The CRC covers the first 8 + payload_len bytes of the frame.  The
+   sequence number is part of the checksummed region, so a frame moved
+   to another log position fails verification even if its payload and
+   CRC are internally consistent. *)
+
+let u32_at s pos =
+  let b i = Char.code s.[pos + i] in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let frame ~seq payload =
+  if seq < 0 || seq > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Wal.frame: sequence %d outside u32" seq);
+  let w = Codec.W.create () in
+  Codec.W.u32 w seq;
+  Codec.W.str w payload;
+  let body = Codec.W.contents w in
+  let crc = Int32.to_int (Codec.Crc32.string body) land 0xFFFFFFFF in
+  let trailer = Codec.W.create () in
+  Codec.W.u32 trailer crc;
+  body ^ Codec.W.contents trailer
+
+type verdict = Clean | Torn of int | Corrupt of int
+
+type scan = {
+  records : string list;
+  clean_bytes : int;
+  verdict : verdict;
+}
+
+let scan log =
+  let len = String.length log in
+  let rec go pos seq acc =
+    if pos = len then
+      { records = List.rev acc; clean_bytes = pos; verdict = Clean }
+    else if len - pos < 8 then
+      { records = List.rev acc; clean_bytes = pos; verdict = Torn pos }
+    else begin
+      let payload_len = u32_at log (pos + 4) in
+      if len - pos < 8 + payload_len + 4 then
+        { records = List.rev acc; clean_bytes = pos; verdict = Torn pos }
+      else begin
+        let body = String.sub log pos (8 + payload_len) in
+        let stated = u32_at log (pos + 8 + payload_len) in
+        let crc = Int32.to_int (Codec.Crc32.string body) land 0xFFFFFFFF in
+        if crc <> stated || u32_at log pos <> seq then
+          { records = List.rev acc; clean_bytes = pos; verdict = Corrupt pos }
+        else
+          go
+            (pos + 8 + payload_len + 4)
+            (seq + 1)
+            (String.sub log (pos + 8) payload_len :: acc)
+      end
+    end
+  in
+  go 0 0 []

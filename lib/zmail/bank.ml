@@ -87,32 +87,18 @@ type t = {
   mutable messages_out : int;
   rejects : int array;  (* indexed by [reject_index] *)
   mutable tracer : Obs.Trace.t;
+  (* Write-ahead-log plumbing, mirroring [Isp]: [disk = None] keeps
+     the bank implicitly durable with zero overhead.  The bank's
+     message path draws no randomness ([sign_by_bank] and
+     [open_at_bank] are deterministic), so replaying logged inputs
+     rebuilds the reply cache and audit state byte-identically. *)
+  disk : Sim.Disk.t option;
+  mutable wal_seq : int;
+  mutable wal_since_checkpoint : int;
+  mutable wal_appended : int;
+  mutable wal_replayed : int;
+  mutable replaying : bool;
 }
-
-let create rng config =
-  if Array.length config.compliant <> config.n_isps then
-    invalid_arg "Bank.create: compliance map size mismatch";
-  let public, secret = Toycrypto.Rsa.generate rng in
-  {
-    config;
-    public;
-    secret;
-    account = Array.make config.n_isps config.initial_account;
-    reply_cache = Hashtbl.create 256;
-    carry = Array.init config.n_isps (fun _ -> Audit.Row.create ~n:config.n_isps);
-    outstanding = 0;
-    seq = 0;
-    audit = None;
-    buys = 0;
-    buys_rejected = 0;
-    sells = 0;
-    replays_dropped = 0;
-    audits_completed = 0;
-    messages_in = 0;
-    messages_out = 0;
-    rejects = Array.make n_reject_reasons 0;
-    tracer = Obs.Trace.none;
-  }
 
 let set_tracer t tracer = t.tracer <- tracer
 
@@ -123,6 +109,242 @@ let ev t name fields =
 let public_key t = t.public
 let account_balance t ~isp = t.account.(isp)
 let outstanding_epennies t = t.outstanding
+let disk t = t.disk
+let wal_appended t = t.wal_appended
+let wal_replayed t = t.wal_replayed
+
+(* ------------------------------------------------------------------ *)
+(* State capture                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The keypair is not captured: it is derived deterministically from
+   the creation RNG, so the world-rebuild that precedes a restore
+   regenerates the identical keys.  The reply cache is sorted by
+   (isp, nonce) so equal banks encode identically regardless of
+   Hashtbl internals.
+
+   [encode_kernel] is the protocol state only — the payload of WAL
+   checkpoint records; the public [encode_state] additionally captures
+   the storage device and WAL bookkeeping when a disk is attached. *)
+let encode_kernel w t =
+  let open Persist.Codec.W in
+  int_array w t.account;
+  let entries =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.reply_cache []
+    |> List.sort (fun ((i1, n1), _) ((i2, n2), _) ->
+           match Int.compare i1 i2 with 0 -> Int64.compare n1 n2 | c -> c)
+  in
+  list
+    (fun w ((isp, nonce), payload) ->
+      int w isp;
+      i64 w nonce;
+      Wire.encode_bin w payload)
+    w entries;
+  array Audit.Row.encode w t.carry;
+  int w t.outstanding;
+  int w t.seq;
+  opt
+    (fun w (a : audit_state) ->
+      int w a.audit_seq;
+      list int w a.waiting;
+      list int w a.absent;
+      array (array (pair int int)) w a.reported;
+      int w a.span)
+    w t.audit;
+  int w t.buys;
+  int w t.buys_rejected;
+  int w t.sells;
+  int w t.replays_dropped;
+  int w t.audits_completed;
+  int w t.messages_in;
+  int w t.messages_out;
+  int_array w t.rejects
+
+let restore_kernel r t =
+  let open Persist.Codec.R in
+  let account = int_array r in
+  if Array.length account <> Array.length t.account then
+    corrupt r "Bank: account array size mismatch";
+  Array.blit account 0 t.account 0 (Array.length account);
+  Hashtbl.reset t.reply_cache;
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.reply_cache k v)
+    (list
+       (fun r ->
+         let isp = int r in
+         let nonce = i64 r in
+         let payload = Wire.decode_bin r in
+         ((isp, nonce), payload))
+       r);
+  let carry = array (fun r -> Audit.Row.restore r ~n:t.config.n_isps) r in
+  if Array.length carry <> t.config.n_isps then
+    corrupt r "Bank: carry matrix size mismatch";
+  Array.blit carry 0 t.carry 0 (Array.length carry);
+  t.outstanding <- int r;
+  t.seq <- int r;
+  (* [audit_state] is rebuilt wholesale: nothing outside the bank holds
+     a reference to it (callers poll {!audit_waiting} instead). *)
+  t.audit <-
+    opt
+      (fun r ->
+        let audit_seq = int r in
+        let waiting = list int r in
+        let absent = list int r in
+        let reported = array (array (pair int int)) r in
+        let span = int r in
+        if Array.length reported <> t.config.n_isps then
+          corrupt r "Bank: audit matrix size mismatch";
+        { audit_seq; waiting; absent; reported; span })
+      r;
+  t.buys <- int r;
+  t.buys_rejected <- int r;
+  t.sells <- int r;
+  t.replays_dropped <- int r;
+  t.audits_completed <- int r;
+  t.messages_in <- int r;
+  t.messages_out <- int r;
+  let rejects = int_array r in
+  if Array.length rejects <> n_reject_reasons then
+    corrupt r "Bank: reject counter size mismatch";
+  Array.blit rejects 0 t.rejects 0 n_reject_reasons
+
+let encode_state w t =
+  encode_kernel w t;
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      Sim.Disk.encode_state w d;
+      let open Persist.Codec.W in
+      int w t.wal_seq;
+      int w t.wal_since_checkpoint;
+      int w t.wal_appended;
+      int w t.wal_replayed
+
+let restore_state r t =
+  restore_kernel r t;
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      Sim.Disk.restore_state r d;
+      let open Persist.Codec.R in
+      t.wal_seq <- int r;
+      t.wal_since_checkpoint <- int r;
+      t.wal_appended <- int r;
+      t.wal_replayed <- int r
+
+(* CRC-trailed kernel image, the payload of WAL checkpoint records —
+   the same discipline as [Isp.durable_image]. *)
+let durable_image t =
+  let body = Persist.Codec.to_string encode_kernel t in
+  let w = Persist.Codec.W.create () in
+  Persist.Codec.W.str w body;
+  Persist.Codec.W.u32 w (Int32.to_int (Persist.Codec.Crc32.string body) land 0xFFFFFFFF);
+  Persist.Codec.W.contents w
+
+let restore_image t ~image =
+  let restore r =
+    let body = Persist.Codec.R.str r in
+    let crc = Persist.Codec.R.u32 r in
+    if Int32.to_int (Persist.Codec.Crc32.string body) land 0xFFFFFFFF <> crc
+    then Persist.Codec.R.corrupt r "durable image CRC mismatch";
+    match Persist.Codec.decode (fun r -> restore_kernel r t) body with
+    | Ok () -> ()
+    | Error msg -> Persist.Codec.R.corrupt r msg
+  in
+  Persist.Codec.decode restore image
+
+(* ------------------------------------------------------------------ *)
+(* The write-ahead log                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every bank transition is an ISP-origin message, an audit-round
+   start, or a request re-issue; the WAL records exactly these inputs.
+   All bank records are money- or protocol-bearing (a buy reply that
+   escaped while its debit was volatile would double-spend on
+   recovery), so every record flushes immediately — no group commit on
+   the bank side.  A completed audit round checkpoints the log instead
+   of appending: completed rounds must never replay (their
+   [Audit_complete] was already delivered to the world), and the
+   checkpoint keeps recovery time bounded by the open round's
+   traffic. *)
+
+let tag_checkpoint = 0
+let tag_msg = 1
+let tag_start = 2
+let tag_resend = 3
+
+let wal_compact_after = 512
+
+let checkpoint_frame t =
+  let payload =
+    Persist.Codec.to_string
+      (fun w () ->
+        Persist.Codec.W.u8 w tag_checkpoint;
+        Persist.Codec.W.str w (durable_image t))
+      ()
+  in
+  Persist.Wal.frame ~seq:0 payload
+
+let wal_checkpoint t =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      Sim.Disk.reset_to d (checkpoint_frame t);
+      t.wal_seq <- 1;
+      t.wal_since_checkpoint <- 0
+
+let wal_append t writer =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      if not t.replaying then begin
+        let payload = Persist.Codec.to_string (fun w () -> writer w) () in
+        Sim.Disk.append d (Persist.Wal.frame ~seq:t.wal_seq payload);
+        t.wal_seq <- t.wal_seq + 1;
+        t.wal_appended <- t.wal_appended + 1;
+        t.wal_since_checkpoint <- t.wal_since_checkpoint + 1;
+        Sim.Disk.flush d;
+        if t.wal_since_checkpoint >= wal_compact_after then wal_checkpoint t
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?disk rng config =
+  if Array.length config.compliant <> config.n_isps then
+    invalid_arg "Bank.create: compliance map size mismatch";
+  let public, secret = Toycrypto.Rsa.generate rng in
+  let t =
+    {
+      config;
+      public;
+      secret;
+      account = Array.make config.n_isps config.initial_account;
+      reply_cache = Hashtbl.create 256;
+      carry = Array.init config.n_isps (fun _ -> Audit.Row.create ~n:config.n_isps);
+      outstanding = 0;
+      seq = 0;
+      audit = None;
+      buys = 0;
+      buys_rejected = 0;
+      sells = 0;
+      replays_dropped = 0;
+      audits_completed = 0;
+      messages_in = 0;
+      messages_out = 0;
+      rejects = Array.make n_reject_reasons 0;
+      tracer = Obs.Trace.none;
+      disk;
+      wal_seq = 0;
+      wal_since_checkpoint = 0;
+      wal_appended = 0;
+      wal_replayed = 0;
+      replaying = false;
+    }
+  in
+  wal_checkpoint t;
+  t
 
 type audit_result = {
   seq : int;
@@ -354,7 +576,7 @@ let on_payload t ~from_isp payload =
   | Wire.Transfer _ | Wire.Transfer_ack _ ->
       Rejected Wrong_direction
 
-let on_isp_message t ~from_isp sealed =
+let on_isp_message_exec t ~from_isp sealed =
   t.messages_in <- t.messages_in + 1;
   let result =
     if from_isp < 0 || from_isp >= t.config.n_isps then Rejected Unknown_isp
@@ -373,7 +595,23 @@ let on_isp_message t ~from_isp sealed =
   | Reply _ | Audit_progress | Audit_complete _ -> ());
   result
 
-let start_audit ?(except = []) t =
+let on_isp_message t ~from_isp sealed =
+  let result = on_isp_message_exec t ~from_isp sealed in
+  (match result with
+  | Audit_complete _ ->
+      (* The message that closed the round is folded into a fresh
+         checkpoint rather than appended: a completed round must never
+         replay (its result already reached the world), and the log
+         stays bounded by the open round's traffic. *)
+      wal_checkpoint t
+  | Reply _ | Audit_progress | Rejected _ ->
+      wal_append t (fun w ->
+          Persist.Codec.W.u8 w tag_msg;
+          Persist.Codec.W.int w from_isp;
+          Toycrypto.Seal.encode_bin w sealed));
+  result
+
+let start_audit_exec ?(except = []) t =
   if t.audit <> None then invalid_arg "Bank.start_audit: audit already in progress";
   let compliant_isps =
     List.filter
@@ -405,6 +643,13 @@ let start_audit ?(except = []) t =
       (isp, Wire.sign_by_bank t.secret (Wire.Audit_request { seq = t.seq })))
     waiting
 
+let start_audit ?except t =
+  let requests = start_audit_exec ?except t in
+  wal_append t (fun w ->
+      Persist.Codec.W.u8 w tag_start;
+      Persist.Codec.W.list Persist.Codec.W.int w (Option.value ~default:[] except));
+  requests
+
 let audit_in_progress t = t.audit <> None
 
 (* Re-issue the current round's request for one straggler — the
@@ -412,104 +657,96 @@ let audit_in_progress t = t.audit <> None
    for pending protocol state before reopening for business, so its
    snapshot happens before any post-recovery mail can straddle the
    epoch boundary. *)
-let resend_audit_request t ~isp =
+let resend_audit_request_exec t ~isp =
   match t.audit with
   | Some audit when List.mem isp audit.waiting ->
       t.messages_out <- t.messages_out + 1;
       Some (Wire.sign_by_bank t.secret (Wire.Audit_request { seq = audit.audit_seq }))
   | Some _ | None -> None
 
+let resend_audit_request t ~isp =
+  let signed = resend_audit_request_exec t ~isp in
+  if signed <> None then
+    wal_append t (fun w ->
+        Persist.Codec.W.u8 w tag_resend;
+        Persist.Codec.W.int w isp);
+  signed
+
 let audit_waiting t =
   match t.audit with
   | None -> None
   | Some audit -> Some (audit.audit_seq, audit.waiting)
 
-(* The keypair is not captured: it is derived deterministically from
-   the creation RNG, so the world-rebuild that precedes a restore
-   regenerates the identical keys.  The reply cache is sorted by
-   (isp, nonce) so equal banks encode identically regardless of
-   Hashtbl internals. *)
-let encode_state w t =
-  let open Persist.Codec.W in
-  int_array w t.account;
-  let entries =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.reply_cache []
-    |> List.sort (fun ((i1, n1), _) ((i2, n2), _) ->
-           match Int.compare i1 i2 with 0 -> Int64.compare n1 n2 | c -> c)
-  in
-  list
-    (fun w ((isp, nonce), payload) ->
-      int w isp;
-      i64 w nonce;
-      Wire.encode_bin w payload)
-    w entries;
-  array Audit.Row.encode w t.carry;
-  int w t.outstanding;
-  int w t.seq;
-  opt
-    (fun w (a : audit_state) ->
-      int w a.audit_seq;
-      list int w a.waiting;
-      list int w a.absent;
-      array (array (pair int int)) w a.reported;
-      int w a.span)
-    w t.audit;
-  int w t.buys;
-  int w t.buys_rejected;
-  int w t.sells;
-  int w t.replays_dropped;
-  int w t.audits_completed;
-  int w t.messages_in;
-  int w t.messages_out;
-  int_array w t.rejects
+(* ------------------------------------------------------------------ *)
+(* Crash and WAL recovery                                              *)
+(* ------------------------------------------------------------------ *)
 
-let restore_state r t =
-  let open Persist.Codec.R in
-  let account = int_array r in
-  if Array.length account <> Array.length t.account then
-    corrupt r "Bank: account array size mismatch";
-  Array.blit account 0 t.account 0 (Array.length account);
-  Hashtbl.reset t.reply_cache;
-  List.iter
-    (fun (k, v) -> Hashtbl.replace t.reply_cache k v)
-    (list
-       (fun r ->
-         let isp = int r in
-         let nonce = i64 r in
-         let payload = Wire.decode_bin r in
-         ((isp, nonce), payload))
-       r);
-  let carry = array (fun r -> Audit.Row.restore r ~n:t.config.n_isps) r in
-  if Array.length carry <> t.config.n_isps then
-    corrupt r "Bank: carry matrix size mismatch";
-  Array.blit carry 0 t.carry 0 (Array.length carry);
-  t.outstanding <- int r;
-  t.seq <- int r;
-  (* [audit_state] is rebuilt wholesale: nothing outside the bank holds
-     a reference to it (callers poll {!audit_waiting} instead). *)
-  t.audit <-
-    opt
-      (fun r ->
-        let audit_seq = int r in
-        let waiting = list int r in
-        let absent = list int r in
-        let reported = array (array (pair int int)) r in
-        let span = int r in
-        if Array.length reported <> t.config.n_isps then
-          corrupt r "Bank: audit matrix size mismatch";
-        { audit_seq; waiting; absent; reported; span })
-      r;
-  t.buys <- int r;
-  t.buys_rejected <- int r;
-  t.sells <- int r;
-  t.replays_dropped <- int r;
-  t.audits_completed <- int r;
-  t.messages_in <- int r;
-  t.messages_out <- int r;
-  let rejects = int_array r in
-  if Array.length rejects <> n_reject_reasons then
-    corrupt r "Bank: reject counter size mismatch";
-  Array.blit rejects 0 t.rejects 0 n_reject_reasons
+let power_cut t = Option.iter Sim.Disk.power_cut t.disk
+
+let replay_record t payload =
+  let r = Persist.Codec.R.of_string payload in
+  let tag = Persist.Codec.R.u8 r in
+  if tag = tag_msg then begin
+    let from_isp = Persist.Codec.R.int r in
+    let sealed = Toycrypto.Seal.decode_bin r in
+    ignore (on_isp_message_exec t ~from_isp sealed)
+  end
+  else if tag = tag_start then begin
+    let except = Persist.Codec.R.list Persist.Codec.R.int r in
+    ignore (start_audit_exec ~except t)
+  end
+  else if tag = tag_resend then begin
+    let isp = Persist.Codec.R.int r in
+    ignore (resend_audit_request_exec t ~isp)
+  end
+  else Persist.Codec.R.corrupt r (Printf.sprintf "unknown bank WAL record tag %d" tag);
+  Persist.Codec.R.expect_end r
+
+let recover_wal t =
+  match t.disk with
+  | None -> Error "Bank.recover_wal: bank has no disk"
+  | Some d -> (
+      let scan = Persist.Wal.scan (Sim.Disk.contents d) in
+      match scan.Persist.Wal.records with
+      | [] -> Error "Bank.recover_wal: no intact checkpoint record in the log"
+      | first :: deltas -> (
+          let checkpoint =
+            let open Persist.Codec in
+            decode
+              (fun r ->
+                if R.u8 r <> tag_checkpoint then
+                  R.corrupt r "first bank WAL record is not a checkpoint";
+                R.str r)
+              first
+          in
+          match checkpoint with
+          | Error msg -> Error ("Bank.recover_wal: " ^ msg)
+          | Ok image -> (
+              match restore_image t ~image with
+              | Error msg ->
+                  Error ("Bank.recover_wal: corrupt checkpoint image: " ^ msg)
+              | Ok () -> (
+                  let saved_tracer = t.tracer in
+                  t.replaying <- true;
+                  t.tracer <- Obs.Trace.none;
+                  let outcome =
+                    try
+                      List.iter (replay_record t) deltas;
+                      Ok ()
+                    with
+                    | Persist.Codec.Corrupt msg ->
+                        Error ("Bank.recover_wal: " ^ msg)
+                    | Failure msg | Invalid_argument msg ->
+                        Error ("Bank.recover_wal: replay diverged: " ^ msg)
+                  in
+                  t.replaying <- false;
+                  t.tracer <- saved_tracer;
+                  match outcome with
+                  | Error _ as e -> e
+                  | Ok () ->
+                      t.wal_replayed <- List.length deltas;
+                      wal_checkpoint t;
+                      Ok ()))))
 
 type stats = {
   buys : int;

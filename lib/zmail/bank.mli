@@ -60,8 +60,16 @@ val reject_to_string : reject -> string
 
 type t
 
-val create : Sim.Rng.t -> config -> t
-(** Generates the bank keypair from [rng]. *)
+val create : ?disk:Sim.Disk.t -> Sim.Rng.t -> config -> t
+(** Generates the bank keypair from [rng].  With [disk] the bank keeps
+    a write-ahead log on it: every incoming ISP message, audit-round
+    start and request re-issue is logged (inputs, not outcomes — the
+    bank's message path is deterministic, so replay rebuilds the reply
+    cache and audit state byte-identically) and flushed immediately,
+    and the initial checkpoint is written at once.  A completed audit
+    round compacts the log to a fresh checkpoint, so completed rounds
+    never replay.  Without [disk] the bank is implicitly durable (the
+    legacy model) with zero overhead. *)
 
 val set_tracer : t -> Obs.Trace.t -> unit
 (** Emit [bank/...] trace events (buy/sell with a replay flag, audit
@@ -153,11 +161,44 @@ val encode_state : Persist.Codec.W.t -> t -> unit
 val restore_state : Persist.Codec.R.t -> t -> unit
 (** Snapshot capture and in-place restore of accounts, the reply cache
     (sorted by (isp, nonce) so equal banks encode identically), the
-    partition carry matrix, the audit state and all counters.  The RSA keypair is {e not} captured:
+    partition carry matrix, the audit state and all counters — plus,
+    when a disk is attached, the storage device and WAL bookkeeping.
+    The RSA keypair is {e not} captured:
     it is derived deterministically from the creation RNG, so the
     world-rebuild preceding a restore regenerates identical keys.
     Restore raises [Persist.Codec.Corrupt] on malformed input or a
     shape mismatch. *)
+
+(** {1 Crash and WAL recovery} *)
+
+val disk : t -> Sim.Disk.t option
+(** The attached storage device, if any. *)
+
+val power_cut : t -> unit
+(** Apply a power cut to the attached device ({!Sim.Disk.power_cut}).
+    All bank records flush at append, so only a record whose flush was
+    interrupted mid-write (the torn-tail fault) can be damaged.  Follow
+    up with {!recover_wal} to model the crash.  A no-op without a
+    disk. *)
+
+val recover_wal : t -> (unit, string) result
+(** Rebuild the bank from the surviving log: scan, truncate at the
+    first torn or corrupt record, restore the leading checkpoint image
+    and replay the logged messages through the normal handlers with
+    tracing suppressed.  The reply cache rebuilds exactly, so an ISP
+    whose request was applied before the crash but whose reply was lost
+    in flight is answered from the cache on retransmission — the crash
+    cannot double-bill.  On success the log is compacted to a fresh
+    checkpoint.  [Error] when no disk is attached, the log has no
+    intact leading checkpoint, or replay fails. *)
+
+val wal_appended : t -> int
+(** Delta records written over the bank's lifetime (checkpoints
+    excluded). *)
+
+val wal_replayed : t -> int
+(** Delta records replayed by the most recent successful
+    {!recover_wal}. *)
 
 type stats = {
   buys : int;  (** Accepted buy transactions. *)

@@ -80,46 +80,21 @@ type t = {
   mutable refunds : int;
   mutable crashes : int;
   mutable tracer : Obs.Trace.t;
+  (* Write-ahead-log plumbing.  [disk = None] keeps the legacy
+     write-through durability model ({!durable_image}/{!recover}) with
+     zero per-operation overhead. *)
+  disk : Sim.Disk.t option;
+  wal_group : int;
+  mutable wal_seq : int;  (** Next frame sequence number on the device. *)
+  mutable wal_lazy : int;  (** Unflushed lazy records (group commit). *)
+  mutable wal_since_checkpoint : int;
+  mutable wal_appended : int;
+  mutable wal_replayed : int;
+  mutable replaying : bool;
+      (** True while {!recover_wal} re-applies logged operations: the
+          WAL writer and the amend transport are suppressed so replay
+          is silent and appends nothing. *)
 }
-
-let create rng config =
-  if config.index < 0 || config.index >= config.n_isps then
-    invalid_arg "Isp.create: index out of range";
-  if Array.length config.compliant <> config.n_isps then
-    invalid_arg "Isp.create: compliance map size mismatch";
-  if not config.compliant.(config.index) then
-    invalid_arg "Isp.create: kernel only models compliant ISPs";
-  if config.minavail >= config.maxavail then
-    invalid_arg "Isp.create: minavail must be below maxavail";
-  let rng = Sim.Rng.split rng in
-  {
-    config;
-    rng;
-    nonces = Toycrypto.Nonce.create rng;
-    ledger =
-      Ledger.create ~n_users:config.n_users ~initial_balance:config.initial_balance
-        ~initial_account:config.initial_account ~daily_limit:config.daily_limit
-        ~initial_avail:config.initial_avail;
-    credit = Credit.create ~n:config.n_isps;
-    cansend = true;
-    pending_buy = None;
-    pending_sell = None;
-    last_buy = None;
-    last_sell = None;
-    seq = 0;
-    freeze_for = 0;
-    audit_tamper = None;
-    amend_hook = None;
-    pending_warnings = [];
-    warned_today = Array.make config.n_users false;
-    sent_paid = 0;
-    sent_free = 0;
-    received_paid = 0;
-    cheat_minted = 0;
-    refunds = 0;
-    crashes = 0;
-    tracer = Obs.Trace.none;
-  }
 
 let set_tracer t tracer =
   t.tracer <- tracer;
@@ -146,6 +121,7 @@ let pending_sell_nonce t = Option.map (fun p -> p.nonce) t.pending_sell
 let audit_seq t = t.seq
 let set_audit_tamper t f = t.audit_tamper <- f
 let set_amend_hook t f = t.amend_hook <- f
+let disk t = t.disk
 
 (* ------------------------------------------------------------------ *)
 (* State capture                                                       *)
@@ -167,8 +143,14 @@ let decode_pending r =
 (* The tracer binding is wiring, not state; the config is identity and
    is re-created by whoever rebuilds the world.  Everything else —
    including the RNG and nonce streams, which must continue bit-for-bit
-   for a resumed run to match the straight-through one — is here. *)
-let encode_state w t =
+   for a resumed run to match the straight-through one — is here.
+
+   [encode_kernel] is the protocol state only; the public
+   {!encode_state} additionally captures the storage device and WAL
+   bookkeeping when a disk is attached.  The split matters because WAL
+   checkpoint records embed a kernel image: a checkpoint that included
+   the device would contain the log that contains the checkpoint. *)
+let encode_kernel w t =
   let open Persist.Codec.W in
   Sim.Rng.encode_state w t.rng;
   Toycrypto.Nonce.encode_state w t.nonces;
@@ -190,7 +172,7 @@ let encode_state w t =
   int w t.refunds;
   int w t.crashes
 
-let restore_state r t =
+let restore_kernel r t =
   let open Persist.Codec.R in
   Sim.Rng.restore_state r t.rng;
   Toycrypto.Nonce.restore_state r t.nonces;
@@ -215,43 +197,229 @@ let restore_state r t =
   t.refunds <- int r;
   t.crashes <- int r
 
-(* Crash recovery: the ledger, credit vector, audit sequence and the
-   pending buy/sell records (the request WAL) are durable; only the
-   snapshot-freeze flag is volatile.  Losing an in-progress freeze is
-   safe — the bank retransmits the audit request and the freeze simply
-   restarts — whereas losing a pending buy would desynchronize the
-   money supply (the bank may have debited us already).
+let encode_state w t =
+  encode_kernel w t;
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      Sim.Disk.encode_state w d;
+      let open Persist.Codec.W in
+      int w t.wal_seq;
+      int w t.wal_lazy;
+      int w t.wal_since_checkpoint;
+      int w t.wal_appended;
+      int w t.wal_replayed
 
-   The durable state travels as an explicit {!Persist.Codec} image:
-   {!durable_image} is the write-ahead record taken at crash time, and
-   {!recover} restores from it rather than trusting whatever happens to
-   still sit in memory. *)
-(* The image carries its own CRC-32 trailer (like a snapshot section)
-   so a flipped bit anywhere in it — including inside a plain integer
-   field the codec could otherwise decode — aborts recovery instead of
-   restoring a subtly wrong kernel. *)
+let restore_state r t =
+  restore_kernel r t;
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      Sim.Disk.restore_state r d;
+      let open Persist.Codec.R in
+      t.wal_seq <- int r;
+      t.wal_lazy <- int r;
+      t.wal_since_checkpoint <- int r;
+      t.wal_appended <- int r;
+      t.wal_replayed <- int r
+
+(* The kernel image is the unit of atomic durability: the payload of a
+   WAL checkpoint record, and — for kernels without a disk — the whole
+   legacy write-through durable record.  It carries its own CRC-32
+   trailer (like a snapshot section) so a flipped bit anywhere in it —
+   including inside a plain integer field the codec could otherwise
+   decode — aborts recovery instead of restoring a subtly wrong
+   kernel. *)
 let durable_image t =
-  let body = Persist.Codec.to_string encode_state t in
+  let body = Persist.Codec.to_string encode_kernel t in
   let w = Persist.Codec.W.create () in
   Persist.Codec.W.str w body;
   Persist.Codec.W.u32 w (Int32.to_int (Persist.Codec.Crc32.string body) land 0xFFFFFFFF);
   Persist.Codec.W.contents w
 
-let recover t ~image =
+(* Restore a kernel image without the crash bookkeeping — shared by
+   {!recover} (the caller-facing restart) and WAL checkpoint replay. *)
+let restore_image t ~image =
   let restore r =
     let body = Persist.Codec.R.str r in
     let crc = Persist.Codec.R.u32 r in
     if Int32.to_int (Persist.Codec.Crc32.string body) land 0xFFFFFFFF <> crc
     then Persist.Codec.R.corrupt r "durable image CRC mismatch";
-    match Persist.Codec.decode (fun r -> restore_state r t) body with
+    match Persist.Codec.decode (fun r -> restore_kernel r t) body with
     | Ok () -> ()
     | Error msg -> Persist.Codec.R.corrupt r msg
   in
-  (match Persist.Codec.decode restore image with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Isp.recover: corrupt durable image: " ^ msg));
-  t.crashes <- t.crashes + 1;
-  t.cansend <- true
+  Persist.Codec.decode restore image
+
+(* ------------------------------------------------------------------ *)
+(* The write-ahead log                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Record taxonomy: every kernel entry point that can mutate state or
+   advance the RNG/nonce streams logs the {e inputs} of the call (plus
+   the one environment-dependent outcome, the amend-transport verdict,
+   that replay cannot re-derive).  Replay re-runs the same mutation
+   code from the last checkpoint image — which restored the RNG and
+   nonce streams — so every probabilistic branch and every sealing
+   draw comes out identically, and the recovered kernel matches the
+   lost one bit for bit up to the last flushed record.
+
+   Flush policy (group commit): a record whose operation moved money
+   or emitted a message to the outside world flushes immediately — the
+   effect must not be observable anywhere while the record that
+   explains it is volatile.  Records that only touch counters or
+   warning bookkeeping (free sends, blocked sends, warning drains,
+   honest end-of-day resets, audit freezes) are lazy: they flush when
+   [wal_group] of them accumulate or when the next mandatory record
+   flushes the whole tail.  Losing a lazy suffix in a power cut
+   therefore never loses a penny, which is what E23 asserts cell by
+   cell.  (An audit freeze is volatile by design: recovery lifts it
+   and the bank's request retransmission restarts it.)
+
+   Crash points in this simulation are event boundaries, so a record
+   appended and flushed inside the same engine callback as its
+   operation is atomic with it; the meaningful write-ahead guarantee
+   is "flushed before the next event can observe the effect", which
+   the policy above provides. *)
+
+let tag_checkpoint = 0
+let tag_charge = 1
+let tag_deliver = 2
+let tag_refund = 3
+let tag_topup = 4
+let tag_pool = 5
+let tag_bank_msg = 6
+let tag_thaw = 7
+let tag_end_of_day = 8
+let tag_warnings = 9
+
+(* Rewrite the log as one fresh checkpoint once this many delta
+   records accumulate.  Purely count-based, hence deterministic. *)
+let wal_compact_after = 512
+
+let checkpoint_frame t =
+  let payload =
+    Persist.Codec.to_string
+      (fun w () ->
+        Persist.Codec.W.u8 w tag_checkpoint;
+        Persist.Codec.W.str w (durable_image t))
+      ()
+  in
+  Persist.Wal.frame ~seq:0 payload
+
+let wal_checkpoint t =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      Sim.Disk.reset_to d (checkpoint_frame t);
+      t.wal_seq <- 1;
+      t.wal_lazy <- 0;
+      t.wal_since_checkpoint <- 0
+
+let wal_append t ~flush writer =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      if not t.replaying then begin
+        let payload =
+          Persist.Codec.to_string
+            (fun w () ->
+              writer w;
+              (* no result *))
+            ()
+        in
+        Sim.Disk.append d (Persist.Wal.frame ~seq:t.wal_seq payload);
+        t.wal_seq <- t.wal_seq + 1;
+        t.wal_appended <- t.wal_appended + 1;
+        t.wal_since_checkpoint <- t.wal_since_checkpoint + 1;
+        if flush then begin
+          Sim.Disk.flush d;
+          t.wal_lazy <- 0
+        end
+        else begin
+          t.wal_lazy <- t.wal_lazy + 1;
+          if t.wal_lazy >= t.wal_group then begin
+            Sim.Disk.flush d;
+            t.wal_lazy <- 0
+          end
+        end;
+        if t.wal_since_checkpoint >= wal_compact_after then wal_checkpoint t
+      end
+
+let wal_appended t = t.wal_appended
+let wal_replayed t = t.wal_replayed
+
+let recover t ~image =
+  match restore_image t ~image with
+  | Error msg -> Error ("Isp.recover: corrupt durable image: " ^ msg)
+  | Ok () ->
+      t.crashes <- t.crashes + 1;
+      t.cansend <- true;
+      (* An image-based restart on a disk-backed kernel bypasses the
+         log, leaving records that describe a state other than the one
+         just installed; re-baseline so a later WAL recovery replays
+         from here, not from the stale history. *)
+      wal_checkpoint t;
+      Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let create ?disk ?(wal_group = 8) rng config =
+  if config.index < 0 || config.index >= config.n_isps then
+    invalid_arg "Isp.create: index out of range";
+  if Array.length config.compliant <> config.n_isps then
+    invalid_arg "Isp.create: compliance map size mismatch";
+  if not config.compliant.(config.index) then
+    invalid_arg "Isp.create: kernel only models compliant ISPs";
+  if config.minavail >= config.maxavail then
+    invalid_arg "Isp.create: minavail must be below maxavail";
+  if wal_group < 1 then invalid_arg "Isp.create: wal_group must be positive";
+  let rng = Sim.Rng.split rng in
+  let t =
+    {
+      config;
+      rng;
+      nonces = Toycrypto.Nonce.create rng;
+      ledger =
+        Ledger.create ~n_users:config.n_users ~initial_balance:config.initial_balance
+          ~initial_account:config.initial_account ~daily_limit:config.daily_limit
+          ~initial_avail:config.initial_avail;
+      credit = Credit.create ~n:config.n_isps;
+      cansend = true;
+      pending_buy = None;
+      pending_sell = None;
+      last_buy = None;
+      last_sell = None;
+      seq = 0;
+      freeze_for = 0;
+      audit_tamper = None;
+      amend_hook = None;
+      pending_warnings = [];
+      warned_today = Array.make config.n_users false;
+      sent_paid = 0;
+      sent_free = 0;
+      received_paid = 0;
+      cheat_minted = 0;
+      refunds = 0;
+      crashes = 0;
+      tracer = Obs.Trace.none;
+      disk;
+      wal_group;
+      wal_seq = 0;
+      wal_lazy = 0;
+      wal_since_checkpoint = 0;
+      wal_appended = 0;
+      wal_replayed = 0;
+      replaying = false;
+    }
+  in
+  (* A WAL-backed kernel is born with its initial state durable: the
+     log always starts with a checkpoint record, so recovery never has
+     to guess at a baseline. *)
+  wal_checkpoint t;
+  t
 
 type send_outcome =
   | Sent_paid
@@ -272,13 +440,11 @@ let skip_credit_increment t =
   | Unreported_sends p -> Sim.Dist.bernoulli t.rng p
   | Honest | Fake_receives _ -> false
 
-let charge_send t ~sender ~dest_isp =
-  if dest_isp < 0 || dest_isp >= t.config.n_isps then
-    invalid_arg "Isp.charge_send: dest_isp out of range";
-  (* §4.4: during a snapshot freeze the ISP "stops sending out any
-     email" — including free mail to non-compliant destinations. *)
-  if not t.cansend then Deferred
-  else if not t.config.compliant.(dest_isp) then begin
+(* The mutation body shared by the live path and WAL replay; the
+   [Deferred] guard stays in the caller so a frozen kernel logs
+   nothing (it also mutates nothing and draws nothing). *)
+let charge_exec t ~sender ~dest_isp =
+  if not t.config.compliant.(dest_isp) then begin
     (* §4.1: mail to a non-compliant ISP is sent without charge. *)
     t.sent_free <- t.sent_free + 1;
     Sent_free
@@ -298,12 +464,29 @@ let charge_send t ~sender ~dest_isp =
         note_limit_warning t sender;
         Sent_paid
 
+let charge_send t ~sender ~dest_isp =
+  if dest_isp < 0 || dest_isp >= t.config.n_isps then
+    invalid_arg "Isp.charge_send: dest_isp out of range";
+  (* §4.4: during a snapshot freeze the ISP "stops sending out any
+     email" — including free mail to non-compliant destinations. *)
+  if not t.cansend then Deferred
+  else begin
+    let outcome = charge_exec t ~sender ~dest_isp in
+    wal_append t
+      ~flush:(outcome = Sent_paid)
+      (fun w ->
+        Persist.Codec.W.u8 w tag_charge;
+        Persist.Codec.W.int w sender;
+        Persist.Codec.W.int w dest_isp);
+    outcome
+  end
+
 (* Undo one paid send whose message bounced before delivery: the
    e-penny was riding in the message and would otherwise be destroyed.
    Restore the sender's balance and cancel the [credit+1] recorded
    toward the destination (so a clean audit stays clean).  The daily
    [sent] count is deliberately not undone: the attempt happened. *)
-let refund_send t ~sender ~dest_isp =
+let refund_exec t ~sender ~dest_isp =
   Ledger.credit_receive t.ledger ~user:sender;
   if
     dest_isp >= 0
@@ -313,6 +496,13 @@ let refund_send t ~sender ~dest_isp =
   then Credit.cancel_send t.credit ~peer:dest_isp;
   t.refunds <- t.refunds + 1;
   ev t "refund" [ ("user", Obs.Trace.Int sender); ("dest", Obs.Trace.Int dest_isp) ]
+
+let refund_send t ~sender ~dest_isp =
+  refund_exec t ~sender ~dest_isp;
+  wal_append t ~flush:true (fun w ->
+      Persist.Codec.W.u8 w tag_refund;
+      Persist.Codec.W.int w sender;
+      Persist.Codec.W.int w dest_isp)
 
 (* [sender_epoch] is the audit sequence number stamped on the message
    when the sender charged it.  A newer epoch than ours means the
@@ -329,41 +519,84 @@ let refund_send t ~sender ~dest_isp =
    tamper's own replay memory, and an honest-looking amendment would
    mask the very report the experiments measure.  The e-penny itself
    moves immediately either way — epochs only affect audit
-   bookkeeping, never money. *)
+   bookkeeping, never money.
+
+   [replay_amend] is [None] on the live path.  During WAL replay it
+   carries the logged amend-transport verdict: whether the world
+   accepted the amended reply is a fact about the bank's state at the
+   original instant, the one thing replay cannot re-derive, so it is
+   the one outcome the record stores.  Replay then folds (or not)
+   without re-sealing or re-sending anything. *)
+let deliver_exec t ~replay_amend ~sender_epoch ~from_isp ~rcpt =
+  Ledger.credit_receive t.ledger ~user:rcpt;
+  let amended =
+    if from_isp = t.config.index then false
+    else begin
+      match sender_epoch with
+      | Some e when e > t.seq ->
+          Credit.record_receive_early t.credit ~epoch:e ~peer:from_isp;
+          false
+      | Some e when e < t.seq ->
+          let amended =
+            match replay_amend with
+            | Some false -> false
+            | Some true ->
+                Option.is_none t.audit_tamper
+                && Credit.amend_receive t.credit ~epoch:e ~peer:from_isp
+                     ~deliver:(fun _ -> true)
+            | None -> (
+                Option.is_none t.audit_tamper
+                &&
+                match t.amend_hook with
+                | Some send ->
+                    Credit.amend_receive t.credit ~epoch:e ~peer:from_isp
+                      ~deliver:(fun row ->
+                        send ~seq:e
+                          (Wire.seal_for_bank t.rng t.config.bank_public
+                             (Wire.Audit_reply
+                                { isp = t.config.index; seq = e; credit = row })))
+                | None -> false)
+          in
+          if not amended then Credit.record_receive t.credit ~peer:from_isp;
+          amended
+      | Some _ | None ->
+          Credit.record_receive t.credit ~peer:from_isp;
+          false
+    end
+  in
+  t.received_paid <- t.received_paid + 1;
+  if tracing t then
+    ev t "settle"
+      [ ("from", Obs.Trace.Int from_isp); ("rcpt", Obs.Trace.Int rcpt) ];
+  amended
+
 let accept_delivery_stamped t ~sender_epoch ~from_isp ~rcpt =
   if not t.config.compliant.(from_isp) then `Unpaid
   else begin
-    Ledger.credit_receive t.ledger ~user:rcpt;
-    if from_isp <> t.config.index then begin
-      match sender_epoch with
-      | Some e when e > t.seq ->
-          Credit.record_receive_early t.credit ~epoch:e ~peer:from_isp
-      | Some e when e < t.seq ->
-          let amended =
-            Option.is_none t.audit_tamper
-            &&
-            match t.amend_hook with
-            | Some send ->
-                Credit.amend_receive t.credit ~epoch:e ~peer:from_isp
-                  ~deliver:(fun row ->
-                    send ~seq:e
-                      (Wire.seal_for_bank t.rng t.config.bank_public
-                         (Wire.Audit_reply
-                            { isp = t.config.index; seq = e; credit = row })))
-            | None -> false
-          in
-          if not amended then Credit.record_receive t.credit ~peer:from_isp
-      | Some _ | None -> Credit.record_receive t.credit ~peer:from_isp
-    end;
-    t.received_paid <- t.received_paid + 1;
-    if tracing t then
-      ev t "settle"
-        [ ("from", Obs.Trace.Int from_isp); ("rcpt", Obs.Trace.Int rcpt) ];
+    let amended = deliver_exec t ~replay_amend:None ~sender_epoch ~from_isp ~rcpt in
+    wal_append t ~flush:true (fun w ->
+        Persist.Codec.W.u8 w tag_deliver;
+        Persist.Codec.W.opt Persist.Codec.W.int w sender_epoch;
+        Persist.Codec.W.int w from_isp;
+        Persist.Codec.W.int w rcpt;
+        Persist.Codec.W.bool w amended);
     `Paid
   end
 
 let accept_delivery t ~from_isp ~rcpt =
   accept_delivery_stamped t ~sender_epoch:None ~from_isp ~rcpt
+
+(* §4.2 user top-up, routed through the kernel so the transition lands
+   in the WAL like every other money movement. *)
+let user_topup t ~user ~amount =
+  match Ledger.user_buy t.ledger ~user ~amount with
+  | Error _ as e -> e
+  | Ok () ->
+      wal_append t ~flush:true (fun w ->
+          Persist.Codec.W.u8 w tag_topup;
+          Persist.Codec.W.int w user;
+          Persist.Codec.W.int w amount);
+      Ok ()
 
 let request_span t name ~nonce ~amount =
   Obs.Trace.span_begin t.tracer ~actor:t.config.index ~comp:"isp" name
@@ -371,7 +604,7 @@ let request_span t name ~nonce ~amount =
       [ ("nonce", Obs.Trace.Int (Int64.to_int nonce));
         ("amount", Obs.Trace.Int amount) ]
 
-let pool_action t =
+let pool_action_exec t =
   let avail = Ledger.avail t.ledger in
   if avail < t.config.minavail && t.pending_buy = None then begin
     let nonce = Toycrypto.Nonce.next t.nonces in
@@ -391,6 +624,15 @@ let pool_action t =
     Some (Wire.seal_for_bank t.rng t.config.bank_public (Wire.Sell { amount; nonce }))
   end
   else None
+
+let pool_action t =
+  let request = pool_action_exec t in
+  (* Write-ahead for the request WAL proper: the pending-nonce record
+     is durable before the sealed request can reach any wire.  The
+     no-request path touches nothing and logs nothing. *)
+  if request <> None then
+    wal_append t ~flush:true (fun w -> Persist.Codec.W.u8 w tag_pool);
+  request
 
 type reaction = No_reaction | Start_snapshot_timer
 
@@ -455,37 +697,52 @@ let on_sell_reply t ~nonce =
           apply_sell t ~nonce amount
       | Some _ | None -> ())
 
+let apply_bank_payload t payload =
+  match payload with
+  | Wire.Buy_reply { nonce; accepted } ->
+      on_buy_reply t ~nonce ~accepted;
+      No_reaction
+  | Wire.Sell_reply { nonce } ->
+      on_sell_reply t ~nonce;
+      No_reaction
+  | Wire.Audit_request { seq } ->
+      (* [seq > t.seq] means the bank ran rounds without us (we
+         were partition-severed): jump forward and answer round
+         [seq] with the cumulative row covering every round we
+         missed — the bank's carry matrix reconciles it against
+         what our peers already reported. *)
+      if seq >= t.seq && t.cansend then begin
+        t.cansend <- false;
+        t.freeze_for <- seq;
+        ev t "freeze" [ ("seq", Obs.Trace.Int seq) ];
+        Start_snapshot_timer
+      end
+      else No_reaction
+  | Wire.Buy _ | Wire.Sell _ | Wire.Audit_reply _
+  | Wire.Transfer _ | Wire.Transfer_ack _ ->
+      (* ISP-origin and bank-to-bank payloads signed by the bank
+         make no sense at an ISP. *)
+      No_reaction
+
 let on_bank_message t signed =
   match Wire.verify_from_bank t.config.bank_public signed with
   | None -> No_reaction
-  | Some payload -> (
-      match payload with
-      | Wire.Buy_reply { nonce; accepted } ->
-          on_buy_reply t ~nonce ~accepted;
-          No_reaction
-      | Wire.Sell_reply { nonce } ->
-          on_sell_reply t ~nonce;
-          No_reaction
-      | Wire.Audit_request { seq } ->
-          (* [seq > t.seq] means the bank ran rounds without us (we
-             were partition-severed): jump forward and answer round
-             [seq] with the cumulative row covering every round we
-             missed — the bank's carry matrix reconciles it against
-             what our peers already reported. *)
-          if seq >= t.seq && t.cansend then begin
-            t.cansend <- false;
-            t.freeze_for <- seq;
-            ev t "freeze" [ ("seq", Obs.Trace.Int seq) ];
-            Start_snapshot_timer
-          end
-          else No_reaction
-      | Wire.Buy _ | Wire.Sell _ | Wire.Audit_reply _
-      | Wire.Transfer _ | Wire.Transfer_ack _ ->
-          (* ISP-origin and bank-to-bank payloads signed by the bank
-             make no sense at an ISP. *)
-          No_reaction)
+  | Some payload ->
+      let reaction = apply_bank_payload t payload in
+      (* Replies complete a money transfer, so they flush; an audit
+         freeze is volatile (recovery lifts it, the bank's request
+         retransmission restarts it) and rides on group commit. *)
+      let flush =
+        match payload with
+        | Wire.Buy_reply _ | Wire.Sell_reply _ -> true
+        | _ -> false
+      in
+      wal_append t ~flush (fun w ->
+          Persist.Codec.W.u8 w tag_bank_msg;
+          Wire.encode_bin w payload);
+      reaction
 
-let thaw t =
+let thaw_exec t =
   if t.cansend then invalid_arg "Isp.thaw: no snapshot freeze in force";
   let seq = t.freeze_for in
   let credit = Credit.report_upto t.credit ~seq in
@@ -500,6 +757,14 @@ let thaw t =
   Credit.reset_upto t.credit ~seq;
   t.seq <- seq + 1;
   t.cansend <- true;
+  reply
+
+let thaw t =
+  let reply = thaw_exec t in
+  (* The epoch advance closes a billing period; everything after it
+     books into the next one, so the stamp must be durable before the
+     sealed reply leaves. *)
+  wal_append t ~flush:true (fun w -> Persist.Codec.W.u8 w tag_thaw);
   reply
 
 let apply_daily_cheat t =
@@ -518,15 +783,128 @@ let apply_daily_cheat t =
       done
   | Honest | Unreported_sends _ -> ()
 
-let end_of_day t =
+let end_of_day_exec t =
   apply_daily_cheat t;
   Ledger.reset_daily t.ledger;
   Array.fill t.warned_today 0 (Array.length t.warned_today) false
 
-let limit_warnings t =
+let end_of_day t =
+  end_of_day_exec t;
+  (* A cheating day mints unbacked e-pennies — money, so it flushes;
+     an honest day only resets counters and rides on group commit. *)
+  let minted =
+    match t.config.cheat with Fake_receives k -> k > 0 | Honest | Unreported_sends _ -> false
+  in
+  wal_append t ~flush:minted (fun w -> Persist.Codec.W.u8 w tag_end_of_day)
+
+let limit_warnings_exec t =
   let warnings = List.rev t.pending_warnings in
   t.pending_warnings <- [];
   warnings
+
+let limit_warnings t =
+  let warnings = limit_warnings_exec t in
+  if warnings <> [] then
+    wal_append t ~flush:false (fun w -> Persist.Codec.W.u8 w tag_warnings);
+  warnings
+
+(* ------------------------------------------------------------------ *)
+(* Crash and WAL recovery                                              *)
+(* ------------------------------------------------------------------ *)
+
+let power_cut t = Option.iter Sim.Disk.power_cut t.disk
+
+let replay_record t payload =
+  let r = Persist.Codec.R.of_string payload in
+  let tag = Persist.Codec.R.u8 r in
+  if tag = tag_charge then begin
+    let sender = Persist.Codec.R.int r in
+    let dest_isp = Persist.Codec.R.int r in
+    ignore (charge_exec t ~sender ~dest_isp)
+  end
+  else if tag = tag_deliver then begin
+    let sender_epoch = Persist.Codec.R.opt Persist.Codec.R.int r in
+    let from_isp = Persist.Codec.R.int r in
+    let rcpt = Persist.Codec.R.int r in
+    let amended = Persist.Codec.R.bool r in
+    ignore
+      (deliver_exec t ~replay_amend:(Some amended) ~sender_epoch ~from_isp ~rcpt)
+  end
+  else if tag = tag_refund then begin
+    let sender = Persist.Codec.R.int r in
+    let dest_isp = Persist.Codec.R.int r in
+    refund_exec t ~sender ~dest_isp
+  end
+  else if tag = tag_topup then begin
+    let user = Persist.Codec.R.int r in
+    let amount = Persist.Codec.R.int r in
+    match Ledger.user_buy t.ledger ~user ~amount with
+    | Ok () -> ()
+    | Error msg -> failwith ("topup replay rejected: " ^ msg)
+  end
+  else if tag = tag_pool then ignore (pool_action_exec t)
+  else if tag = tag_bank_msg then
+    ignore (apply_bank_payload t (Wire.decode_bin r))
+  else if tag = tag_thaw then ignore (thaw_exec t)
+  else if tag = tag_end_of_day then end_of_day_exec t
+  else if tag = tag_warnings then ignore (limit_warnings_exec t)
+  else Persist.Codec.R.corrupt r (Printf.sprintf "unknown WAL record tag %d" tag);
+  Persist.Codec.R.expect_end r
+
+let recover_wal t =
+  match t.disk with
+  | None -> Error "Isp.recover_wal: kernel has no disk"
+  | Some d -> (
+      let scan = Persist.Wal.scan (Sim.Disk.contents d) in
+      match scan.Persist.Wal.records with
+      | [] -> Error "Isp.recover_wal: no intact checkpoint record in the log"
+      | first :: deltas -> (
+          let checkpoint =
+            let open Persist.Codec in
+            decode
+              (fun r ->
+                if R.u8 r <> tag_checkpoint then
+                  R.corrupt r "first WAL record is not a checkpoint";
+                R.str r)
+              first
+          in
+          match checkpoint with
+          | Error msg -> Error ("Isp.recover_wal: " ^ msg)
+          | Ok image -> (
+              match restore_image t ~image with
+              | Error msg ->
+                  Error ("Isp.recover_wal: corrupt checkpoint image: " ^ msg)
+              | Ok () -> (
+                  (* Replay is silent: nothing is traced, nothing is
+                     appended, no amended reply is re-sent — the world
+                     already saw all of it the first time. *)
+                  let saved_tracer = t.tracer in
+                  t.replaying <- true;
+                  set_tracer t Obs.Trace.none;
+                  let outcome =
+                    try
+                      List.iter (replay_record t) deltas;
+                      Ok ()
+                    with
+                    | Persist.Codec.Corrupt msg ->
+                        Error ("Isp.recover_wal: " ^ msg)
+                    | Failure msg | Invalid_argument msg ->
+                        Error ("Isp.recover_wal: replay diverged: " ^ msg)
+                  in
+                  t.replaying <- false;
+                  set_tracer t saved_tracer;
+                  match outcome with
+                  | Error _ as e -> e
+                  | Ok () ->
+                      t.wal_replayed <- List.length deltas;
+                      t.crashes <- t.crashes + 1;
+                      t.cansend <- true;
+                      (* Compact: recovery is the natural checkpoint
+                         boundary, and rewriting the log here also
+                         truncates whatever torn or rotten suffix the
+                         power cut left behind. *)
+                      wal_checkpoint t;
+                      Ok ()))))
 
 let total_epennies t = Ledger.total_epennies t.ledger
 

@@ -12,7 +12,24 @@
     applied twice.  With [replay_hardening] (the default) a reply is
     accepted only while a matching request is outstanding; constructing
     a kernel with [~replay_hardening:false] reproduces the paper's
-    literal — and replay-unsafe — behaviour. *)
+    literal — and replay-unsafe — behaviour.
+
+    {2 Durability}
+
+    A kernel has two durability models.  Without a disk (the default),
+    it keeps the legacy write-through model: {!durable_image} captures
+    the complete protocol state as one atomic record and {!recover}
+    restores it, as if every mutation landed on stable storage the
+    instant it happened.  With a {!Sim.Disk} attached at {!create},
+    durability instead goes through an incremental write-ahead log:
+    every billing-relevant transition appends a CRC'd, sequence-numbered
+    record ({!Persist.Wal} framing) under a group-commit flush policy —
+    money-moving and message-emitting transitions flush immediately,
+    counter-only ones ride until [wal_group] accumulate — and crash
+    recovery ({!power_cut} then {!recover_wal}) scans the surviving log,
+    restores the leading checkpoint image and replays the delta records
+    through the same mutation code, reproducing the lost kernel bit for
+    bit up to the last flushed record. *)
 
 type cheat =
   | Honest
@@ -51,7 +68,17 @@ val default_config :
 
 type t
 
-val create : Sim.Rng.t -> config -> t
+val create : ?disk:Sim.Disk.t -> ?wal_group:int -> Sim.Rng.t -> config -> t
+(** [create ?disk ?wal_group rng config].  With [disk] the kernel logs
+    every billing-relevant transition to it as a write-ahead log and
+    immediately writes the initial checkpoint record, so the log is
+    never without a recovery baseline; [wal_group] (default 8) is the
+    group-commit window for lazy records.  Without [disk] the kernel
+    uses the legacy write-through model and pays zero per-operation
+    overhead.
+    @raise Invalid_argument on an out-of-range index, a compliance map
+    of the wrong size, a non-compliant own index, an inverted pool
+    band, or [wal_group < 1]. *)
 
 val set_tracer : t -> Obs.Trace.t -> unit
 (** Emit [isp/...] protocol events (charge/settle/refund, buy/sell
@@ -84,14 +111,18 @@ val audit_seq : t -> int
 (** The next audit sequence number this kernel will accept. *)
 
 val durable_image : t -> string
-(** The kernel's write-through durable record: its complete protocol
-    state (ledger, credit vectors, audit sequence, pending buy/sell
-    records, RNG/nonce streams, counters) as one [Persist.Codec]
-    string.  The model treats every kernel mutation as landing on
-    stable storage, so the image read at recovery reflects all
-    bookkeeping up to that instant; it is fed back to {!recover}. *)
+(** An atomic capture of the kernel's complete protocol state (ledger,
+    credit vectors, audit sequence, pending buy/sell records, RNG/nonce
+    streams, counters) as one [Persist.Codec] string with its own
+    CRC-32 trailer.  Under the legacy write-through model this is the
+    durable record itself, read at crash time and fed back to
+    {!recover}; under the WAL model the same image is the payload of
+    checkpoint records, and the log's delta records describe everything
+    since the last one.  The storage device is deliberately {e not}
+    part of the image (a checkpoint that embedded the log would contain
+    itself). *)
 
-val recover : t -> image:string -> unit
+val recover : t -> image:string -> (unit, string) result
 (** Restart the kernel after a crash from [image] (a {!durable_image}).
     The ledger, credit vector, audit sequence and pending buy/sell
     records are durable state and are restored from the image; the
@@ -99,14 +130,20 @@ val recover : t -> image:string -> unit
     audit-request retransmission restarts the freeze if one was in
     progress).  Callers must separately retransmit any pending bank
     requests to reconverge the pool.
-    @raise Invalid_argument if [image] does not decode. *)
+
+    On a corrupt image (bad CRC, truncated or malformed codec bytes)
+    the kernel is {e not} guaranteed unchanged — partial restore may
+    have happened — and [Error] is returned so the caller can fall back
+    to an older known-good image.  Never raises on corrupt input. *)
 
 val encode_state : Persist.Codec.W.t -> t -> unit
 val restore_state : Persist.Codec.R.t -> t -> unit
 (** Snapshot capture and in-place restore of the full kernel state
-    (the tracer binding and the identity-bearing [config] excepted).
-    Restore raises [Persist.Codec.Corrupt] on malformed input or a
-    shape mismatch against the live kernel. *)
+    (the tracer binding and the identity-bearing [config] excepted),
+    including — when a disk is attached — the storage device and the
+    WAL bookkeeping, so a resumed run re-creates crash/recovery
+    byte-identically.  Restore raises [Persist.Codec.Corrupt] on
+    malformed input or a shape mismatch against the live kernel. *)
 
 (** {1 Mail path (§4.1)} *)
 
@@ -147,6 +184,16 @@ val refund_send : t -> sender:int -> dest_isp:int -> unit
     [dest_isp] (when remote and compliant), so the e-penny in the dead
     letter is not destroyed and audits stay clean.  The daily [sent]
     count is not undone. *)
+
+(** {1 User path (§4.2)} *)
+
+val user_topup :
+  t -> user:int -> amount:Epenny.amount -> (unit, string) result
+(** Buy [amount] e-pennies from the ISP's pool onto [user]'s balance
+    (the §4.2 user transaction), routed through the kernel so the
+    transition lands in the write-ahead log like every other money
+    movement.  Fails (and logs nothing) when the pool cannot cover the
+    purchase. *)
 
 (** {1 Bank path (§4.3)} *)
 
@@ -207,6 +254,46 @@ val set_amend_hook : t -> (seq:int -> Toycrypto.Seal.sealed -> bool) option -> u
     Wiring, not state: not captured in snapshots; whoever rebuilds the
     world reinstalls it. *)
 
+(** {1 Crash and WAL recovery}
+
+    The write-ahead path.  Only meaningful for kernels created with a
+    disk; see the module description for the logging discipline. *)
+
+val disk : t -> Sim.Disk.t option
+(** The attached storage device, if any. *)
+
+val power_cut : t -> unit
+(** Apply a power cut to the attached device: the unflushed log tail is
+    lost, modulo the device's fault plan ({!Sim.Disk.power_cut}).  The
+    kernel's in-memory state is deliberately untouched — the caller
+    models the crash by discarding it, i.e. by following up with
+    {!recover_wal} (or by rebuilding the kernel and recovering there).
+    A no-op without a disk. *)
+
+val recover_wal : t -> (unit, string) result
+(** Rebuild the kernel from the surviving log: scan the device's
+    durable bytes ({!Persist.Wal.scan}), truncating at the first torn
+    or corrupt record; restore the leading checkpoint image; replay the
+    delta records through the same mutation code with tracing and
+    logging suppressed (the world already observed these transitions
+    the first time).  Because the checkpoint restores the RNG and nonce
+    streams and every stream-consuming transition is logged, replay
+    reproduces every probabilistic branch and sealing draw, so the
+    recovered kernel matches the lost one bit for bit up to the last
+    flushed record.  On success the crash is counted, the volatile
+    freeze flag lifted, and the log compacted to a fresh checkpoint
+    (which also discards the damaged suffix).  [Error] when the log has
+    no intact leading checkpoint or replay fails; the caller falls back
+    to an older known-good image. *)
+
+val wal_appended : t -> int
+(** Delta records written to the log over the kernel's lifetime
+    (checkpoints excluded). *)
+
+val wal_replayed : t -> int
+(** Delta records replayed by the most recent successful
+    {!recover_wal}. *)
+
 (** {1 Housekeeping} *)
 
 val end_of_day : t -> unit
@@ -234,4 +321,4 @@ val stats_refunds : t -> int
 (** Bounced paid sends refunded via {!refund_send}. *)
 
 val stats_crashes : t -> int
-(** Times {!recover} has run. *)
+(** Times {!recover} or {!recover_wal} has completed successfully. *)

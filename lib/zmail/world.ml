@@ -31,6 +31,15 @@ type config = {
   retry_backoff : float;
   retry_cap : float;
   retain_mail : bool;
+  disk : Sim.Disk.plan option;
+      (** Give every kernel (and the bank) a simulated log device with
+          this fault plan and switch durability from the write-through
+          image model to incremental write-ahead logs.  [None] (the
+          default) keeps the legacy model with zero per-operation
+          overhead. *)
+  wal_group : int;
+      (** Group-commit window for lazy ISP WAL records (see
+          {!Isp.create}).  Ignored without [disk]. *)
   serving : Serve.Config.t option;
       (** Route remote SMTP delivery through the serving path
           ([Serve.Dispatch]): bounded admission queues, concurrent
@@ -67,6 +76,8 @@ let default_config ~n_isps ~users_per_isp =
     retry_backoff = 2.;
     retry_cap = 900.;
     retain_mail = true;
+    disk = None;
+    wal_group = 8;
     serving = None;
     tracer = None;
   }
@@ -94,6 +105,10 @@ type link_stats = {
   recoveries : Sim.Stats.Counter.t;
   bounce_refunds : Sim.Stats.Counter.t;
   audits_deferred : Sim.Stats.Counter.t;
+  bank_crashes : Sim.Stats.Counter.t;
+  bank_recoveries : Sim.Stats.Counter.t;
+  lost_bank_down : Sim.Stats.Counter.t;
+  wal_fallbacks : Sim.Stats.Counter.t;
 }
 
 type t = {
@@ -126,6 +141,11 @@ type t = {
   bank_taps : (int * Adversary.Bank_wire.t) list;  (* ISP->bank wire adversaries *)
   up : bool array;  (* false while an ISP is crashed *)
   crash_gen : int array;  (* bumped per crash; invalidates stale timers *)
+  mutable bank_up : bool;  (* false while the bank is crashed *)
+  (* Last known-good durable image per ISP, the fallback when a WAL
+     recovery reports a corrupt log; filled lazily (crash paths only)
+     so worlds that never crash pay nothing. *)
+  last_good : string option array;
   link : link_stats;
   tracer : Obs.Trace.t;
   metrics : Obs.Metrics.t;
@@ -150,6 +170,7 @@ let adversaries t = t.adversaries
 let bank_wire_taps t = t.bank_taps
 let link_stats t = t.link
 let isp_up t i = t.up.(i)
+let bank_up t = t.bank_up
 let serve t = t.serve
 let deferral_delay t = t.deferral
 let initial_epennies t = t.initial
@@ -342,6 +363,11 @@ and bank_link t i sealed =
       ignore
         (Sim.Engine.schedule_after t.engine ~delay:t.cfg.bank_link_latency
            (fun () ->
+             if not t.bank_up then
+               (* A crashed bank accepts no connections; the sender's
+                  retry loop re-drives the exchange after recovery. *)
+               Sim.Stats.Counter.incr t.link.lost_bank_down
+             else
              match Bank.on_isp_message t.the_bank ~from_isp:i sealed with
              | Bank.Reply signed -> send_to_isp t i signed
              | Bank.Audit_complete result ->
@@ -368,6 +394,8 @@ and bank_link t i sealed =
     sealed
 
 and send_to_isp t i signed =
+  if not t.bank_up then Sim.Stats.Counter.incr t.link.lost_bank_down
+  else
   via_mesh t ~src:(bank_node t) ~dst:i @@ fun () ->
   Sim.Fault.route t.fault ~corrupt:corrupt_signed
     (fun signed ->
@@ -466,6 +494,13 @@ let pool_tick t i kernel =
    keeps its request retransmitted until recovery, preserving the E16
    behavior. *)
 let start_audit_round t =
+  if not t.bank_up then begin
+    (* No bank, no round: the next periodic tick (or manual trigger)
+       after recovery starts it. *)
+    Sim.Stats.Counter.incr t.link.audits_deferred;
+    wev t "audit_deferred" [ ("bank_down", Obs.Trace.Bool true) ]
+  end
+  else
   let severed =
     if Sim.Fault.Mesh.trivial t.mesh then []
     else
@@ -518,6 +553,49 @@ let start_audit_round t =
 (* Crash and recovery                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Restart one kernel's durable state after a crash.  WAL-backed
+   kernels recover by log scan + checkpoint restore + replay
+   ({!Isp.recover_wal}); legacy kernels reload their write-through
+   durable image.  Either way a typed recovery failure falls back to
+   the last known-good image instead of killing the run — and when no
+   older image exists (the kernel never crashed before), the reboot
+   proceeds on the intact in-memory state, counted so experiments can
+   assert the path never fired. *)
+let recover_kernel t i kernel =
+  let fallback why =
+    Log.warn (fun m ->
+        m "t=%.0f isp %d recovery failed (%s); falling back to last-good image"
+          (Sim.Engine.now t.engine) i why);
+    Sim.Stats.Counter.incr t.link.wal_fallbacks;
+    wev t ~actor:i "recover_fallback" [ ("why", Obs.Trace.Str why) ];
+    match t.last_good.(i) with
+    | Some image -> (
+        match Isp.recover kernel ~image with
+        | Ok () -> ()
+        | Error msg ->
+            (* The stored image was produced by [durable_image] and
+               verified once already; failing here means memory
+               corruption outside the model.  Keep the in-memory
+               state. *)
+            Log.err (fun m -> m "isp %d last-good image rejected: %s" i msg))
+    | None -> ()
+  in
+  (match Isp.disk kernel with
+  | Some _ -> (
+      match Isp.recover_wal kernel with Ok () -> () | Error msg -> fallback msg)
+  | None -> (
+      (* Legacy model: the kernel's billing state is write-through
+         durable — every mutation (including bounce refunds booked
+         while the MTA is unreachable) lands on stable storage — so
+         recovery reloads the latest durable image: a full
+         Persist.Codec round-trip of the kernel.  A crash loses only
+         volatile state: the snapshot-freeze flag and whatever was in
+         flight on the link. *)
+      match Isp.recover kernel ~image:(Isp.durable_image kernel) with
+      | Ok () -> ()
+      | Error msg -> fallback msg));
+  t.last_good.(i) <- Some (Isp.durable_image kernel)
+
 let crash_isp t ~isp:i ~downtime =
   if i < 0 || i >= t.cfg.n_isps then invalid_arg "World.crash_isp: index out of range";
   if downtime <= 0. then invalid_arg "World.crash_isp: downtime must be positive";
@@ -531,6 +609,10 @@ let crash_isp t ~isp:i ~downtime =
       t.crash_gen.(i) <- t.crash_gen.(i) + 1;
       Sim.Stats.Counter.incr t.link.crashes;
       wev t ~actor:i "crash" [ ("downtime", Obs.Trace.Float downtime) ];
+      (* The power cut happens at the crash instant: the unflushed WAL
+         tail dies now (modulo the device's torn/rot plan), not at
+         recovery time.  No-op for legacy kernels. *)
+      Isp.power_cut kernel;
       (* The MTA answers 421 while down; peers retry with backoff and
          eventually bounce (refunded via the bounce hook). *)
       Smtp.Mta.set_down t.mtas.(i) true;
@@ -541,16 +623,9 @@ let crash_isp t ~isp:i ~downtime =
              t.up.(i) <- true;
              Smtp.Mta.set_down t.mtas.(i) false;
              (* Restart from durable state (ledger, credit, pending
-                requests); the freeze flag is volatile and clears.
-                The kernel's billing state is write-through durable —
-                every mutation (including bounce refunds booked while
-                the MTA is unreachable) lands on stable storage — so
-                recovery reloads the latest durable image: a full
-                Persist.Codec round-trip of the kernel.  A crash loses
-                only volatile state: the snapshot-freeze flag and
-                whatever was in flight on the link. *)
+                requests); the freeze flag is volatile and clears. *)
              touch t i;
-             Isp.recover kernel ~image:(Isp.durable_image kernel);
+             recover_kernel t i kernel;
              Sim.Stats.Counter.incr t.link.recoveries;
              wev t ~actor:i "recover" [];
              (* Recovery handshake: before reopening for business the
@@ -561,15 +636,68 @@ let crash_isp t ~isp:i ~downtime =
                 behind the already-thawed peers.  Modeled synchronous:
                 a fresh connection the recovering ISP initiates, not
                 regular (faulty) link traffic; the request retransmit
-                chain still covers it regardless. *)
-             (match Bank.resend_audit_request t.the_bank ~isp:i with
-             | Some signed -> bank_message_to_isp t i signed
-             | None -> ());
+                chain still covers it regardless.  A crashed bank
+                cannot answer the handshake; its own recovery re-issues
+                the requests instead. *)
+             (if t.bank_up then
+                match Bank.resend_audit_request t.the_bank ~isp:i with
+                | Some signed -> bank_message_to_isp t i signed
+                | None -> ());
              if not (Isp.frozen kernel) then flush_deferred t i;
              (* Any buy/sell outstanding across the crash is
                 re-driven from the recovered request records; the
                 bank's reply cache absorbs duplicates. *)
              pool_tick t i kernel))
+
+(* Crash the bank itself.  While down, every ISP-origin message and
+   every bank-origin send is lost (counted in [lost_bank_down]); the
+   at-least-once retry loops on both sides re-drive the open exchanges
+   after recovery, and the replayed reply cache keeps the re-driven
+   buys/sells exactly-once.  With a WAL-backed bank the power cut can
+   tear at most the final record (bank records flush at append); a
+   legacy bank is implicitly durable and recovery is a no-op on
+   state. *)
+let crash_bank t ~downtime =
+  if downtime <= 0. then invalid_arg "World.crash_bank: downtime must be positive";
+  if not t.bank_up then invalid_arg "World.crash_bank: bank is already down";
+  Log.info (fun m ->
+      m "t=%.0f bank CRASH (down for %.0fs)" (Sim.Engine.now t.engine) downtime);
+  t.bank_up <- false;
+  Sim.Stats.Counter.incr t.link.bank_crashes;
+  wev t "bank_crash" [ ("downtime", Obs.Trace.Float downtime) ];
+  Bank.power_cut t.the_bank;
+  ignore
+    (Sim.Engine.schedule_after t.engine ~delay:downtime (fun () ->
+         Log.info (fun m -> m "t=%.0f bank recovered" (Sim.Engine.now t.engine));
+         t.bank_up <- true;
+         (match Bank.disk t.the_bank with
+         | Some _ -> (
+             match Bank.recover_wal t.the_bank with
+             | Ok () -> ()
+             | Error msg ->
+                 (* The bank log's leading checkpoint is written by an
+                    atomic device reset and every record is flushed, so
+                    scan damage is bounded to the torn final record;
+                    reaching here is outside the fault model.  Keep the
+                    in-memory state, counted. *)
+                 Log.warn (fun m -> m "bank WAL recovery failed: %s" msg);
+                 Sim.Stats.Counter.incr t.link.wal_fallbacks)
+         | None -> ());
+         Sim.Stats.Counter.incr t.link.bank_recoveries;
+         wev t "bank_recover" [];
+         (* Re-drive the open audit round: the recovered audit state
+            knows who still owes a reply; re-issue their requests now
+            rather than waiting out the request retry loops. *)
+         match Bank.audit_waiting t.the_bank with
+         | Some (_, waiting) ->
+             List.iter
+               (fun i ->
+                 if t.up.(i) then
+                   match Bank.resend_audit_request t.the_bank ~isp:i with
+                   | Some signed -> send_to_isp t i signed
+                   | None -> ())
+               waiting
+         | None -> ()))
 
 (* ------------------------------------------------------------------ *)
 (* Send path                                                           *)
@@ -635,7 +763,7 @@ let rec submit_message t ~from:(i, u) ~to_addr ~build_msg =
                from the ISP pool, then the send is retried once. *)
             match t.cfg.auto_topup with
             | Some amount -> (
-                match Ledger.user_buy (Isp.ledger kernel) ~user:u ~amount with
+                match Isp.user_topup kernel ~user:u ~amount with
                 | Ok () -> charge ()
                 | Error _ -> blocked)
             | None -> blocked)
@@ -801,8 +929,20 @@ let create cfg =
   let honest = Array.make cfg.n_isps false in
   let rng = Sim.Rng.split (Sim.Engine.rng engine) in
   let net = Smtp.Mta.network engine in
+  (* Storage devices, when configured, each draw their fault decisions
+     (torn-tail cut points, rot flips) from their own root-seeded
+     stream — like the fault, mesh, bank-wire and serving models — so
+     attaching disks never perturbs workload randomness.  Device
+     n_isps is the bank's. *)
+  let disk_for n =
+    match cfg.disk with
+    | None -> None
+    | Some plan ->
+        Some (Sim.Disk.create ~plan (Sim.Rng.stream_n ~seed:cfg.seed ~tag:0xd15c n))
+  in
   let the_bank =
-    Bank.create rng (Bank.default_config ~n_isps:cfg.n_isps ~compliant:cfg.compliant)
+    Bank.create ?disk:(disk_for cfg.n_isps) rng
+      (Bank.default_config ~n_isps:cfg.n_isps ~compliant:cfg.compliant)
   in
   let mtas =
     Array.init cfg.n_isps (fun i ->
@@ -823,7 +963,7 @@ let create cfg =
           let final = cfg.customize_isp i base in
           initial_balance_of.(i) <- final.Isp.initial_balance;
           honest.(i) <- final.Isp.cheat = Isp.Honest;
-          Some (Isp.create rng final)
+          Some (Isp.create ?disk:(disk_for i) ~wal_group:cfg.wal_group rng final)
         end
         else None)
   in
@@ -927,6 +1067,8 @@ let create cfg =
       bank_taps;
       up = Array.make cfg.n_isps true;
       crash_gen = Array.make cfg.n_isps 0;
+      bank_up = true;
+      last_good = Array.make cfg.n_isps None;
       link =
         {
           retransmits = Obs.Metrics.counter metrics "link.retransmits";
@@ -938,6 +1080,10 @@ let create cfg =
           recoveries = Obs.Metrics.counter metrics "link.recoveries";
           bounce_refunds = Obs.Metrics.counter metrics "link.bounce_refunds";
           audits_deferred = Obs.Metrics.counter metrics "link.audits_deferred";
+          bank_crashes = Obs.Metrics.counter metrics "link.bank_crashes";
+          bank_recoveries = Obs.Metrics.counter metrics "link.bank_recoveries";
+          lost_bank_down = Obs.Metrics.counter metrics "link.lost_bank_down";
+          wal_fallbacks = Obs.Metrics.counter metrics "link.wal_fallbacks";
         };
       tracer;
       metrics;
@@ -1333,6 +1479,11 @@ let encode_world w t =
     [ t.link.retransmits; t.link.bank_rejects; t.link.lost_isp_down;
       t.link.sends_failed_down; t.link.crashes; t.link.recoveries;
       t.link.bounce_refunds; t.link.audits_deferred ];
+  bool w t.bank_up;
+  List.iter
+    (Sim.Stats.Counter.encode_state w)
+    [ t.link.bank_crashes; t.link.bank_recoveries; t.link.lost_bank_down;
+      t.link.wal_fallbacks ];
   list
     (fun w (i, adv) ->
       int w i;

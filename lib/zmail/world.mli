@@ -130,6 +130,25 @@ type config = {
           Million-user runs set [false]: deliveries are still counted,
           filtered and fed to hooks, but not retained — see
           {!Smtp.Mta.set_retain_mail}. *)
+  disk : Sim.Disk.plan option;
+      (** Attach a simulated storage device ({!Sim.Disk}) to every
+          compliant kernel and to the bank, switching durability from
+          the legacy write-through-image model to per-ISP write-ahead
+          logs: billing-relevant transitions are appended as CRC'd
+          sequence-numbered records and crash recovery replays the
+          surviving log ({!Isp.recover_wal}, {!Bank.recover_wal}).  The
+          plan sets the devices' power-cut fault behavior (torn final
+          append, bit rot on the torn fragment); each device draws its
+          fault decisions from its own root-seeded stream, so attaching
+          disks never perturbs workload randomness.  [None] (the
+          default) keeps the legacy model with zero overhead. *)
+  wal_group : int;
+      (** Group-commit factor for ISP WALs: lazy records (those that
+          move no money and draw no randomness) are batched and flushed
+          every [wal_group] appends; records with billing effect always
+          flush immediately.  1 = flush every record (strictest).
+          Default 8 (see the durability notes in {!Isp.create}).
+          Ignored without [disk]. *)
   serving : Serve.Config.t option;
       (** Route remote SMTP delivery through the serving path
           ({!Serve.Dispatch}): bounded per-lane admission queues,
@@ -261,14 +280,38 @@ val crash_isp : t -> isp:int -> downtime:float -> unit
     down: its MTA answers 421 (peers retry, then bounce — bounced paid
     mail is refunded), bank messages addressed to it are lost, local
     submissions return {!Failed_down}, and any snapshot freeze is
-    abandoned.  Recovery restarts the kernel from durable state
-    ({!Isp.recover}): ledger, credit records and pending bank requests
+    abandoned.  The crash instant applies a power cut to the kernel's
+    storage device (when [cfg.disk] is set): the unflushed WAL tail is
+    lost per the device's fault plan.  Recovery restarts the kernel
+    from durable state — the surviving write-ahead log
+    ({!Isp.recover_wal}) with [cfg.disk], the legacy durable image
+    ({!Isp.recover}) without; a recovery that fails its integrity
+    checks falls back to the last known-good image (counted in
+    [wal_fallbacks]).  Ledger, credit records and pending bank requests
     survive; outstanding exchanges re-converge by retransmission.
     @raise Invalid_argument for a non-compliant index, a non-positive
     [downtime], or an ISP that is already down. *)
 
+val crash_bank : t -> downtime:float -> unit
+(** Halt the bank now and restart it after [downtime] seconds.  While
+    down, every ISP-origin message and every bank-origin send is lost
+    (counted in [lost_bank_down]) and periodic audit rounds are
+    deferred.  The crash instant applies a power cut to the bank's
+    device; recovery replays the bank WAL ({!Bank.recover_wal}) —
+    rebuilding accounts, the reply cache and the open audit round — and
+    re-issues the outstanding audit requests.  The at-least-once retry
+    loops on both sides re-drive everything that was in flight, and the
+    replayed reply cache keeps re-driven buys/sells exactly-once.
+    Without [cfg.disk] the bank is implicitly durable and only the
+    message loss is modeled.
+    @raise Invalid_argument for a non-positive [downtime] or a bank
+    that is already down. *)
+
 val isp_up : t -> int -> bool
 (** False between {!crash_isp} and the scheduled recovery. *)
+
+val bank_up : t -> bool
+(** False between {!crash_bank} and the scheduled recovery. *)
 
 val serve : t -> Serve.Dispatch.t option
 (** The live serving-path dispatcher when [cfg.serving] was set —
@@ -338,7 +381,19 @@ type link_stats = {
       (** E-pennies refunded out of bounced paid mail. *)
   audits_deferred : Sim.Stats.Counter.t;
       (** Audit rounds skipped because partition-severed ISPs broke
-          the [audit_unreachable] policy. *)
+          the [audit_unreachable] policy, or because the bank itself
+          was down at round start. *)
+  bank_crashes : Sim.Stats.Counter.t;
+  bank_recoveries : Sim.Stats.Counter.t;
+  lost_bank_down : Sim.Stats.Counter.t;
+      (** Messages lost because the bank was crashed: ISP-origin
+          messages that arrived at the down bank plus bank-origin
+          sends attempted while down. *)
+  wal_fallbacks : Sim.Stats.Counter.t;
+      (** Crash recoveries whose primary path (WAL replay, or the
+          legacy image reload) failed integrity checks and fell back
+          to the last known-good image.  Zero in every E23 grid cell —
+          the fault model never damages acknowledged bytes. *)
 }
 
 val link_stats : t -> link_stats

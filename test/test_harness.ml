@@ -138,9 +138,9 @@ let test_e15_shape () =
   | _ -> Alcotest.fail "expected three tables"
 
 let test_registry () =
-  Alcotest.(check int) "twenty-one experiments" 21 (List.length Harness.Experiments.all);
+  Alcotest.(check int) "twenty-two experiments" 22 (List.length Harness.Experiments.all);
   Alcotest.(check bool) "find e7" true (Harness.Experiments.find "E7" <> None);
-  Alcotest.(check bool) "find e22" true (Harness.Experiments.find "e22" <> None);
+  Alcotest.(check bool) "find e23" true (Harness.Experiments.find "e23" <> None);
   Alcotest.(check bool) "unknown id" true (Harness.Experiments.find "e99" = None);
   (* Ids are unique and well-formed. *)
   let ids = List.map (fun e -> e.Harness.Experiments.id) Harness.Experiments.all in
@@ -199,6 +199,76 @@ let test_e17_scale_runs () =
   Alcotest.(check int) "no false accusations" 0
     o.Harness.E17_scale.false_accusations
 
+(* A miniature crash-point sweep through the full Crashpoint machinery:
+   WAL-backed kernels and bank, torn-tail faults on, victims rotating
+   over both ISPs and the bank.  No cheater here, so the conservation
+   oracle demands literal zero residue after every crash. *)
+let test_crashpoint_sweep () =
+  let n_isps = 2 and users_per_isp = 2 and days = 0.5 in
+  let build () =
+    let world =
+      Zmail.World.create
+        {
+          (Zmail.World.default_config ~n_isps ~users_per_isp) with
+          Zmail.World.seed = 230;
+          audit_period = Some (4. *. Sim.Engine.hour);
+          disk = Some (Sim.Disk.plan ~torn:0.5 ~rot:0.25 ());
+          wal_group = 4;
+          customize_isp =
+            (fun _ cfg ->
+              { cfg with Zmail.Isp.initial_avail = 150; minavail = 200; buy_amount = 300 });
+        }
+    in
+    let engine = Zmail.World.engine world in
+    for g = 0 to (n_isps * users_per_isp) - 1 do
+      for k = 0 to 2 do
+        ignore
+          (Sim.Engine.schedule_after engine
+             ~delay:(float_of_int ((g * 501) + (k * 9000)))
+             (fun () ->
+               let target = (g + 1) mod (n_isps * users_per_isp) in
+               ignore
+                 (Zmail.World.send_email world
+                    ~from:(g / users_per_isp, g mod users_per_isp)
+                    ~to_:(target / users_per_isp, target mod users_per_isp)
+                    ())))
+      done
+    done;
+    world
+  in
+  let n = Harness.Crashpoint.baseline_events ~build ~days in
+  Alcotest.(check bool) "baseline has events" true (n > 0);
+  let r =
+    Harness.Crashpoint.sweep ~build ~days ~downtime:(0.5 *. Sim.Engine.hour)
+      ~honest:(fun _ -> true)
+      ~n_isps ~stride:(max 1 (n / 9)) ()
+  in
+  Alcotest.(check int) "baseline re-measured identically" n
+    r.Harness.Crashpoint.baseline_events;
+  let s = Harness.Crashpoint.summarize r in
+  Alcotest.(check bool) "several points" true (s.Harness.Crashpoint.points >= 6);
+  Alcotest.(check bool) "bank took a crash" true
+    (s.Harness.Crashpoint.bank_crashes > 0);
+  Alcotest.(check bool) "every point crashed" true s.Harness.Crashpoint.all_crashed;
+  Alcotest.(check bool) "every crash recovered" true
+    s.Harness.Crashpoint.all_recovered;
+  Alcotest.(check int) "no WAL fallbacks" 0 s.Harness.Crashpoint.total_fallbacks;
+  Alcotest.(check bool) "conserved at every point" true
+    s.Harness.Crashpoint.all_conserved;
+  List.iter
+    (fun run ->
+      Alcotest.(check int)
+        (Printf.sprintf "zero residue at p=%d" run.Harness.Crashpoint.point)
+        0 run.Harness.Crashpoint.residue)
+    r.Harness.Crashpoint.runs;
+  (* Determinism: the same sweep again is the same report. *)
+  let r' =
+    Harness.Crashpoint.sweep ~build ~days ~downtime:(0.5 *. Sim.Engine.hour)
+      ~honest:(fun _ -> true)
+      ~n_isps ~stride:(max 1 (n / 9)) ()
+  in
+  Alcotest.(check bool) "sweep is deterministic" true (r = r')
+
 let () =
   Alcotest.run "harness"
     [
@@ -221,5 +291,6 @@ let () =
           Alcotest.test_case "e2 runs" `Slow test_e2_runs;
           Alcotest.test_case "e7 runs" `Slow test_e7_runs;
           Alcotest.test_case "e17 scale runs" `Slow test_e17_scale_runs;
+          Alcotest.test_case "crashpoint sweep" `Quick test_crashpoint_sweep;
         ] );
     ]

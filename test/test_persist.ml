@@ -349,7 +349,9 @@ let isp_durable_image () =
   let crashes0 = Zmail.Isp.stats_crashes k in
   let img = Zmail.Isp.durable_image k in
   (* recover = restore the image, count the crash, clear the freeze. *)
-  Zmail.Isp.recover k ~image:img;
+  (match Zmail.Isp.recover k ~image:img with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "recover refused a good image: %s" msg);
   checki "crash counted" (crashes0 + 1) (Zmail.Isp.stats_crashes k);
   checkb "freeze cleared" false (Zmail.Isp.frozen k);
   let after_first = Zmail.Isp.durable_image k in
@@ -357,22 +359,36 @@ let isp_durable_image () =
      restored state depends only on the image, not on what happened
      in between. *)
   ignore (Zmail.Isp.charge_send k ~sender:7 ~dest_isp:1);
-  Zmail.Isp.recover k ~image:img;
+  (match Zmail.Isp.recover k ~image:img with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "second recover refused: %s" msg);
   checkb "recover is a pure function of the image" true
     (Zmail.Isp.durable_image k = after_first);
-  (* A corrupted image must abort recovery, not restore a wrong world:
-     the image carries a CRC trailer, so any single flipped bit —
-     even inside a plain integer the codec could decode — is refused. *)
+  (* A corrupted image must abort recovery, not restore a wrong world —
+     and it must report [Error], not raise: the caller falls back to
+     the last known-good image.  The image carries a CRC trailer, so
+     any single flipped bit — even inside a plain integer the codec
+     could decode — is refused, and the refusal leaves the kernel's
+     state untouched (the CRC is checked before any field is
+     restored). *)
   let reference = Zmail.Isp.durable_image k in
   for pos = 0 to String.length img - 1 do
     let bad = Bytes.of_string img in
     Bytes.set bad pos (Char.chr (Char.code (Bytes.get bad pos) lxor 0x40));
     (match Zmail.Isp.recover k ~image:(Bytes.to_string bad) with
-    | exception Invalid_argument _ -> ()
-    | () -> Alcotest.failf "flipped byte %d accepted by recover" pos);
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "flipped byte %d accepted by recover" pos
+    | exception e ->
+        Alcotest.failf "flipped byte %d raised %s instead of Error" pos
+          (Printexc.to_string e));
     checkb "kernel untouched by refused image" true
       (Zmail.Isp.durable_image k = reference)
-  done
+  done;
+  (* The refused kernel is still functional: a fresh send charges
+     normally — the typed error let the caller keep the live state. *)
+  (match Zmail.Isp.charge_send k ~sender:3 ~dest_isp:1 with
+  | Zmail.Isp.Sent_paid | Zmail.Isp.Sent_free | Zmail.Isp.Blocked _ -> ()
+  | Zmail.Isp.Deferred -> Alcotest.fail "kernel wedged after refused image")
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot container                                                  *)
